@@ -1,0 +1,95 @@
+// §II cost-model ablation: "the MST which minimizes Σ d(u,v) also minimizes
+// Σ dᵅ(u,v) for any α > 0" — so one tree is simultaneously optimal for every
+// path-loss exponent. This bench measures the MST and the two NNT trees
+// under α ∈ {1, 2, 3, 4} and reports the approximation ratio per α.
+//
+// Expected shape: the MST column is optimal at every α by construction; the
+// NNT ratios grow with α (squaring amplifies the few longer NNT edges),
+// while remaining O(1) for Co-NNT.
+#include <cstdio>
+#include <iostream>
+
+#include "emst/geometry/sampling.hpp"
+#include "emst/graph/mst.hpp"
+#include "emst/graph/tree_utils.hpp"
+#include "emst/nnt/connt.hpp"
+#include "emst/nnt/kp_nnt.hpp"
+#include "emst/rgg/radii.hpp"
+#include "emst/rgg/rgg.hpp"
+#include "emst/support/cli.hpp"
+#include "emst/support/parallel.hpp"
+#include "emst/support/rng.hpp"
+#include "emst/support/stats.hpp"
+#include "emst/support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace emst;
+  const support::Cli cli(argc, argv,
+                         {{"n", "node count (default 2000)"},
+                          {"trials", "trials (default 10)"},
+                          {"seed", "master seed (default 2008)"},
+                          {"csv", "write CSV to this path"}});
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 2000));
+  const auto trials = static_cast<std::size_t>(cli.get_int("trials", 10));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 2008));
+
+  std::printf("alpha-generalized tree cost (SII): one MST is optimal for "
+              "every path-loss exponent; NNT ratios per alpha at n=%zu\n\n",
+              n);
+
+  const std::vector<double> alphas = {1.0, 2.0, 3.0, 4.0};
+  struct Out {
+    std::vector<double> mst, co_ratio, kp_ratio;
+    bool mst_still_optimal = true;
+  };
+  std::vector<Out> outs(trials);
+  support::parallel_for(trials, [&](std::size_t t) {
+    support::Rng rng(support::Rng::stream_seed(seed, t));
+    const auto points = geometry::uniform_points(n, rng);
+    const sim::Topology topo(points, rgg::connectivity_radius(n));
+    const auto mst = rgg::euclidean_mst(points);
+    const auto co = nnt::run_connt(topo).tree;
+    nnt::KpNntOptions kp_opts;
+    kp_opts.rank_seed = support::Rng::stream_seed(seed ^ 0x1234, t);
+    const auto kp = nnt::run_kp_nnt(topo, kp_opts).tree;
+    // The α-invariance claim: Kruskal on α-powered weights picks the SAME
+    // edge set (monotone transforms preserve the sorted order).
+    {
+      std::vector<graph::Edge> powered = topo.graph().edges();
+      for (graph::Edge& e : powered) e.w = e.w * e.w * e.w;  // α = 3
+      const auto mst3 = graph::kruskal_msf(n, powered);
+      outs[t].mst_still_optimal = graph::same_edge_set(mst3, mst) ||
+                                  mst.size() != n - 1;  // skip if disconnected
+    }
+    for (const double alpha : alphas) {
+      const double mst_cost = graph::tree_cost(points, mst, alpha);
+      outs[t].mst.push_back(mst_cost);
+      outs[t].co_ratio.push_back(graph::tree_cost(points, co, alpha) / mst_cost);
+      outs[t].kp_ratio.push_back(graph::tree_cost(points, kp, alpha) / mst_cost);
+    }
+  });
+
+  support::Table table({"alpha", "MST_cost", "CoNNT/MST", "KPNNT/MST"});
+  table.set_precision(1, 4);
+  for (std::size_t i = 0; i < alphas.size(); ++i) {
+    support::RunningStats mst;
+    support::RunningStats co;
+    support::RunningStats kp;
+    for (const Out& o : outs) {
+      mst.add(o.mst[i]);
+      co.add(o.co_ratio[i]);
+      kp.add(o.kp_ratio[i]);
+    }
+    table.add_row({alphas[i], mst.mean(), co.mean(), kp.mean()});
+  }
+  table.print(std::cout);
+  if (cli.has("csv")) table.save_csv(cli.get("csv", ""));
+
+  std::size_t invariant = 0;
+  for (const Out& o : outs) {
+    if (o.mst_still_optimal) ++invariant;
+  }
+  std::printf("\nalpha-invariance of the MST edge set (Kruskal on d^3 "
+              "weights): %zu/%zu trials identical\n", invariant, trials);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 1 / Theorem 5.2 reproduction: the giant-component structure of the
+// sub-connectivity RGG r = c·√(1/n).
+//
+// Expected shape: below the percolation threshold (factor ≲ 1.1) the giant
+// fraction is small; at the paper's experimental factor 1.4 a unique giant
+// holds a Θ(1) fraction of nodes while the largest non-giant component and
+// the largest small-region population stay far below β·ln² n.
+#include <cstdio>
+#include <iostream>
+
+#include "emst/harness/figures.hpp"
+#include "emst/support/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace emst;
+  const support::Cli cli(argc, argv,
+                         {{"ns", "comma-separated node counts"},
+                          {"factors", "comma-separated c1 factors x100 (e.g. 80,110,140)"},
+                          {"trials", "trials per point (default 10)"},
+                          {"seed", "master seed (default 2008)"},
+                          {"csv", "write CSV to this path"}});
+  const auto ns64 = cli.get_int_list("ns", {1000, 5000, 20000});
+  std::vector<std::size_t> ns(ns64.begin(), ns64.end());
+  const auto f100 = cli.get_int_list("factors", {80, 100, 110, 120, 140, 170, 200});
+  std::vector<double> factors;
+  factors.reserve(f100.size());
+  for (const auto f : f100) factors.push_back(static_cast<double>(f) / 100.0);
+  const auto trials = static_cast<std::size_t>(cli.get_int("trials", 10));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 2008));
+
+  std::printf("Figure 1 / Thm 5.2: giant component and small regions at "
+              "r = c1_factor*sqrt(1/n)\n");
+  std::printf("expect: giant_frac jumps across the percolation threshold; at "
+              "1.4 (paper's setting) region_nodes << ln^2 n\n\n");
+
+  const auto rows = harness::run_percolation(ns, factors, trials, seed);
+  const auto table = harness::percolation_table(rows);
+  table.print(std::cout);
+  if (cli.has("csv")) table.save_csv(cli.get("csv", ""));
+
+  std::printf("\nverdict (Thm 5.2, node level): at factor 1.4, the largest "
+              "NON-giant component vs ln^2 n:\n");
+  for (const auto& row : rows) {
+    if (row.c1_factor != 1.4) continue;
+    std::printf("  n=%zu: %.1f nodes vs ln^2 n = %.1f  (beta_hat = %.2f; "
+                "theorem needs SOME constant beta)\n",
+                row.n, row.second_component, row.log2n,
+                row.second_component / row.log2n);
+  }
+  std::printf("\nnote: region_nodes (cell-level small regions) is only "
+              "meaningful once good_frac is supercritical (factor >= ~1.7 "
+              "under the Euclidean metric) — the paper's cell construction "
+              "uses the Chebyshev metric and an unspecified large c1; at "
+              "factor 1.4 the node-level giant already exists but the good-"
+              "cell backbone does not yet percolate.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Message anatomy of classical GHS — where the Θ(log² n) energy actually
+// goes. The 1983 analysis splits traffic into Θ(|E|) discovery
+// (TEST/ACCEPT/REJECT, each edge rejected at most once) and Θ(n log n)
+// control (INITIATE/REPORT, once per node per level); this bench prints the
+// measured per-type counts and energies, plus the same anatomy for the
+// §V-A cached variant (discovery collapses into announcements).
+#include <cstdio>
+#include <iostream>
+
+#include "emst/geometry/sampling.hpp"
+#include "emst/ghs/classic.hpp"
+#include "emst/rgg/radii.hpp"
+#include "emst/support/cli.hpp"
+#include "emst/support/parallel.hpp"
+#include "emst/support/rng.hpp"
+#include "emst/support/stats.hpp"
+#include "emst/support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace emst;
+  const support::Cli cli(argc, argv,
+                         {{"ns", "comma-separated node counts"},
+                          {"trials", "trials (default 8)"},
+                          {"seed", "master seed (default 2008)"},
+                          {"csv", "write CSV to this path"}});
+  const auto ns64 = cli.get_int_list("ns", {1000, 4000});
+  const auto trials = static_cast<std::size_t>(cli.get_int("trials", 8));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 2008));
+
+  std::printf("classical GHS message anatomy (discovery = test+accept+reject, "
+              "control = initiate+report)\n\n");
+
+  support::Table table({"n", "variant", "type", "count", "energy",
+                        "energy_share"});
+  table.set_precision(4, 3);
+  table.set_precision(5, 3);
+
+  constexpr auto kTypes = static_cast<std::size_t>(ghs::GhsMsgType::kTypeCount);
+  for (const auto n64 : ns64) {
+    const auto n = static_cast<std::size_t>(n64);
+    for (const ghs::MoeStrategy moe :
+         {ghs::MoeStrategy::kTestAll, ghs::MoeStrategy::kCachedConfirm}) {
+      std::vector<ghs::GhsMessageBreakdown> outs(trials);
+      support::parallel_for(trials, [&](std::size_t t) {
+        support::Rng rng(support::Rng::stream_seed(seed ^ (n * 17), t));
+        const sim::Topology topo(geometry::uniform_points(n, rng),
+                                 rgg::connectivity_radius(n));
+        ghs::ClassicGhsOptions options;
+        options.moe = moe;
+        outs[t] = ghs::run_classic_ghs(topo, options).breakdown;
+      });
+      double total_energy = 0.0;
+      std::array<support::RunningStats, kTypes> counts;
+      std::array<support::RunningStats, kTypes> energies;
+      for (const auto& b : outs) {
+        for (std::size_t i = 0; i < kTypes; ++i) {
+          counts[i].add(static_cast<double>(b.count[i]));
+          energies[i].add(b.energy[i]);
+        }
+      }
+      for (std::size_t i = 0; i < kTypes; ++i) total_energy += energies[i].mean();
+      const char* variant =
+          moe == ghs::MoeStrategy::kTestAll ? "classic" : "cached (SV-A)";
+      for (std::size_t i = 0; i < kTypes; ++i) {
+        if (counts[i].mean() == 0.0) continue;
+        table.add_row(
+            {static_cast<long long>(n), std::string(variant),
+             std::string(ghs::ghs_msg_type_name(static_cast<ghs::GhsMsgType>(i))),
+             counts[i].mean(), energies[i].mean(),
+             energies[i].mean() / total_energy});
+      }
+    }
+  }
+  table.print(std::cout);
+  if (cli.has("csv")) table.save_csv(cli.get("csv", ""));
+  std::printf("\nreading guide: in the classic rows, test+accept+reject carry "
+              "most of the energy (the Θ(|E|) term of O(|E| + n log n)); the "
+              "cached variant trades them for announce broadcasts — the "
+              "modification's entire effect in one table.\n");
+  return 0;
+}

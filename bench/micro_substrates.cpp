@@ -1,0 +1,195 @@
+// google-benchmark microbenchmarks for the substrate layers: RGG
+// construction, spatial queries, union-find, sequential MSTs, and the
+// distributed runtime's per-message overhead. These guard the harness's
+// ability to run the large sweeps in reasonable time.
+#include <benchmark/benchmark.h>
+
+#include "emst/eopt/eopt.hpp"
+#include "emst/geometry/deployments.hpp"
+#include "emst/geometry/sampling.hpp"
+#include "emst/ghs/classic.hpp"
+#include "emst/graph/gabriel.hpp"
+#include "emst/spatial/kdtree.hpp"
+#include "emst/ghs/sync.hpp"
+#include "emst/graph/mst.hpp"
+#include "emst/graph/union_find.hpp"
+#include "emst/nnt/connt.hpp"
+#include "emst/rgg/radii.hpp"
+#include "emst/rgg/rgg.hpp"
+#include "emst/spatial/cell_grid.hpp"
+#include "emst/support/rng.hpp"
+
+namespace {
+
+using namespace emst;
+
+std::vector<geometry::Point2> bench_points(std::size_t n, std::uint64_t seed) {
+  support::Rng rng(seed);
+  return geometry::uniform_points(n, rng);
+}
+
+void BM_UniformPoints(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  support::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geometry::uniform_points(n, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_UniformPoints)->Arg(1000)->Arg(100000);
+
+void BM_RggBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto points = bench_points(n, 2);
+  const double radius = rgg::connectivity_radius(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rgg::geometric_edges(points, radius));
+  }
+}
+BENCHMARK(BM_RggBuild)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_CellGridWithin(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto points = bench_points(n, 3);
+  const double radius = rgg::connectivity_radius(n);
+  const spatial::CellGrid grid(points, radius);
+  std::size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grid.within(points[q++ % n], radius));
+  }
+}
+BENCHMARK(BM_CellGridWithin)->Arg(10000)->Arg(100000);
+
+void BM_UnionFind(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  support::Rng rng(5);
+  for (auto _ : state) {
+    graph::UnionFind dsu(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      dsu.unite(static_cast<graph::NodeId>(rng.uniform_int(n)),
+                static_cast<graph::NodeId>(rng.uniform_int(n)));
+    }
+    benchmark::DoNotOptimize(dsu.components());
+  }
+}
+BENCHMARK(BM_UnionFind)->Arg(10000)->Arg(100000);
+
+void BM_Kruskal(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto points = bench_points(n, 7);
+  const auto edges = rgg::geometric_edges(points, rgg::connectivity_radius(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::kruskal_msf(n, edges));
+  }
+}
+BENCHMARK(BM_Kruskal)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_PrimVsKruskal_Prim(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto points = bench_points(n, 7);
+  const auto instance = rgg::build_rgg(points, rgg::connectivity_radius(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::prim_msf(instance.graph));
+  }
+}
+BENCHMARK(BM_PrimVsKruskal_Prim)->Arg(10000);
+
+void BM_ClassicGhs(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const sim::Topology topo(bench_points(n, 11), rgg::connectivity_radius(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ghs::run_classic_ghs(topo));
+  }
+}
+BENCHMARK(BM_ClassicGhs)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_SyncGhsCached(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const sim::Topology topo(bench_points(n, 13), rgg::connectivity_radius(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ghs::run_sync_ghs(topo, {}));
+  }
+}
+BENCHMARK(BM_SyncGhsCached)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_CoNnt(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const sim::Topology topo(bench_points(n, 17), rgg::connectivity_radius(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nnt::run_connt(topo));
+  }
+}
+BENCHMARK(BM_CoNnt)->Arg(500)->Arg(5000)->Unit(benchmark::kMillisecond);
+
+void BM_KdTreeBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto points = bench_points(n, 23);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spatial::KdTree(points));
+  }
+}
+BENCHMARK(BM_KdTreeBuild)->Arg(10000)->Arg(100000);
+
+void BM_KdTreeKnn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto points = bench_points(n, 29);
+  const spatial::KdTree tree(points);
+  std::size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree.k_nearest(points[q++ % n], 8, static_cast<std::uint32_t>(-1)));
+  }
+}
+BENCHMARK(BM_KdTreeKnn)->Arg(10000)->Arg(100000);
+
+void BM_CellGridVsKdTree_ClusteredRange(benchmark::State& state) {
+  // The kd-tree's raison d'être: clustered deployments where the grid's
+  // per-cell population explodes. state.range(0): 0 = grid, 1 = kd-tree.
+  support::Rng rng(31);
+  const auto points = geometry::sample_deployment(
+      geometry::Deployment::kClustered, 50000, rng);
+  const double radius = rgg::connectivity_radius(points.size());
+  const spatial::CellGrid grid(points, radius);
+  const spatial::KdTree tree(points);
+  std::size_t q = 0;
+  for (auto _ : state) {
+    const geometry::Point2 p = points[q++ % points.size()];
+    if (state.range(0) == 0) {
+      benchmark::DoNotOptimize(grid.within(p, radius));
+    } else {
+      benchmark::DoNotOptimize(tree.within(p, radius));
+    }
+  }
+}
+BENCHMARK(BM_CellGridVsKdTree_ClusteredRange)->Arg(0)->Arg(1);
+
+void BM_GabrielFilter(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto points = bench_points(n, 37);
+  const auto edges = rgg::geometric_edges(points, rgg::connectivity_radius(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::gabriel_filter(points, edges));
+  }
+}
+BENCHMARK(BM_GabrielFilter)->Arg(2000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_Eopt(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const sim::Topology topo(bench_points(n, 41), rgg::connectivity_radius(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eopt::run_eopt(topo));
+  }
+}
+BENCHMARK(BM_Eopt)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);
+
+void BM_EuclideanMst(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto points = bench_points(n, 19);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rgg::euclidean_mst(points));
+  }
+}
+BENCHMARK(BM_EuclideanMst)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,83 @@
+// Theorem 5.1 (Gupta–Kumar) empirically: r = √(c·ln n / n) connects the RGG
+// WHP for c above a threshold. The theorem is proved for c > 4; the true
+// threshold is c = 1 (r² n/ln n → 1 is the sharp connectivity constant), and
+// the paper's experiments run at factor 1.6, i.e. c = 1.6² = 2.56 — between
+// the sharp constant and the provable one. This bench maps P(connected) vs
+// the factor so that choice is visible.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "emst/geometry/sampling.hpp"
+#include "emst/rgg/components.hpp"
+#include "emst/rgg/radii.hpp"
+#include "emst/rgg/rgg.hpp"
+#include "emst/support/cli.hpp"
+#include "emst/support/parallel.hpp"
+#include "emst/support/rng.hpp"
+#include "emst/support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace emst;
+  const support::Cli cli(argc, argv,
+                         {{"ns", "comma-separated node counts"},
+                          {"factors", "factors x100 (default 80..200)"},
+                          {"trials", "trials per point (default 20)"},
+                          {"seed", "master seed (default 2008)"},
+                          {"csv", "write CSV to this path"}});
+  const auto ns64 = cli.get_int_list("ns", {500, 2000, 8000});
+  const auto f100 = cli.get_int_list(
+      "factors", {40, 50, 60, 70, 80, 90, 100, 120, 160, 200});
+  const auto trials = static_cast<std::size_t>(cli.get_int("trials", 20));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 2008));
+
+  std::printf("Thm 5.1 connectivity: P(connected) at r = f*sqrt(ln n / n) "
+              "(c = f^2; theorem proves c > 4, sharp constant c = 1, paper "
+              "runs at c = 2.56)\n\n");
+
+  support::Table table({"n", "factor", "c=f^2", "P(connected)", "isolated_mean"});
+  table.set_precision(1, 2);
+  table.set_precision(2, 2);
+  table.set_precision(3, 2);
+  table.set_precision(4, 2);
+
+  for (const auto n64 : ns64) {
+    const auto n = static_cast<std::size_t>(n64);
+    for (const auto f : f100) {
+      const double factor = static_cast<double>(f) / 100.0;
+      std::vector<std::uint8_t> connected(trials, 0);
+      std::vector<double> isolated(trials, 0.0);
+      support::parallel_for(trials, [&](std::size_t t) {
+        support::Rng rng(support::Rng::stream_seed(
+            seed ^ (n * 31) ^ static_cast<std::uint64_t>(f), t));
+        const auto instance =
+            rgg::random_rgg(n, rgg::connectivity_radius(n, factor), rng);
+        const auto comps = rgg::connected_components(instance.graph);
+        connected[t] = comps.count == 1 ? 1 : 0;
+        std::size_t singletons = 0;
+        for (const std::size_t size : comps.sizes) {
+          if (size == 1) ++singletons;
+        }
+        isolated[t] = static_cast<double>(singletons);
+      });
+      double p = 0.0;
+      double iso = 0.0;
+      for (std::size_t t = 0; t < trials; ++t) {
+        p += connected[t];
+        iso += isolated[t];
+      }
+      table.add_row({static_cast<long long>(n), factor, factor * factor,
+                     p / static_cast<double>(trials),
+                     iso / static_cast<double>(trials)});
+    }
+  }
+  table.print(std::cout);
+  if (cli.has("csv")) table.save_csv(cli.get("csv", ""));
+  std::printf("\nreading guide: the transition sits below factor 1 at finite "
+              "n and drifts toward the sharp c = 1 as n grows; the last "
+              "obstruction is isolated nodes (isolated_mean -> 0 exactly "
+              "where P -> 1) — the classic connectivity picture. The paper's "
+              "1.6 is comfortably supercritical at every n here, even though "
+              "the Thm 5.1 constant (c > 4) would demand factor 2.\n");
+  return 0;
+}

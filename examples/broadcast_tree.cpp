@@ -1,0 +1,72 @@
+// Broadcasting over the MST — the paper's second §II application
+// (MST-based broadcast is within a constant factor of the optimal-energy
+// broadcast [5, 27]), driven through the library's broadcast planner
+// (`emst::apps::plan_broadcast` / `execute_broadcast`).
+//
+//   ./broadcast_tree [--n=2000] [--seed=13]
+//
+// A source floods one message to every node. Compared:
+//   - MST broadcast: forward along tree edges (n-1 unicasts, Σ d² energy);
+//   - MST *wireless* broadcast: each internal node transmits ONCE at the
+//     power of its longest child edge (the wireless multicast advantage);
+//   - naive flooding: every node rebroadcasts at full radio range once;
+//   - single-shot: the source transmits at the range of the farthest node.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "emst/apps/broadcast.hpp"
+#include "emst/eopt/eopt.hpp"
+#include "emst/geometry/sampling.hpp"
+#include "emst/rgg/radii.hpp"
+#include "emst/support/cli.hpp"
+#include "emst/support/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace emst;
+  const support::Cli cli(argc, argv,
+                         {{"n", "number of nodes (default 2000)"},
+                          {"seed", "deployment seed (default 13)"}});
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 2000));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 13));
+
+  support::Rng rng(seed);
+  const auto points = geometry::uniform_points(n, rng);
+  const sim::Topology topo(points, rgg::connectivity_radius(n));
+  const graph::NodeId source = 0;
+
+  const auto eopt = eopt::run_eopt(topo);
+  const apps::BroadcastPlan plan =
+      apps::plan_broadcast(topo, eopt.run.tree, source);
+
+  // Execute the wireless-advantage schedule and verify coverage.
+  sim::EnergyMeter meter;
+  const std::size_t covered = apps::execute_broadcast(topo, plan, meter);
+
+  // Baselines.
+  const double r = topo.max_radius();
+  const double flood = static_cast<double>(n) * r * r;
+  double reach = 0.0;
+  for (graph::NodeId u = 0; u < n; ++u)
+    reach = std::max(reach, geometry::distance(points[source], points[u]));
+  const double single = reach * reach;
+
+  std::printf("broadcast from node %u: covered %zu/%zu nodes in %llu rounds "
+              "(radio range %.4f)\n\n",
+              source, covered, n,
+              static_cast<unsigned long long>(meter.totals().rounds), r);
+  std::printf("%-24s %14s %14s\n", "strategy", "energy", "transmissions");
+  std::printf("%-24s %14.4f %14zu\n", "MST, unicast per edge",
+              plan.unicast_energy, n - 1);
+  std::printf("%-24s %14.4f %14zu\n", "MST, wireless advantage",
+              plan.wireless_energy, plan.transmissions);
+  std::printf("%-24s %14.4f %14zu\n", "naive flooding", flood, n);
+  std::printf("%-24s %14.4f %14d\n", "single shot from source", single, 1);
+
+  std::printf("\nreading guide: MST broadcast beats flooding by ~%.0fx here; "
+              "[5,27] prove it is within a constant factor of optimal. The "
+              "single shot looks cheap in messages but needs Θ(1) energy vs "
+              "the MST's Θ(log n / n)-per-edge total.\n",
+              flood / std::max(1e-12, plan.wireless_energy));
+  return 0;
+}

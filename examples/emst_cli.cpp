@@ -1,0 +1,170 @@
+// emst_cli — run any of the library's algorithms on a random deployment and
+// emit one machine-readable record (text or JSON). The scripting entry
+// point: sweep drivers, notebooks, and CI smoke checks all shell out to
+// this.
+//
+//   ./emst_cli --algo=eopt --n=2000 --seed=7 --format=json
+//   ./emst_cli --algo=ghs,eopt,connt --n=500 --format=text
+//
+// Algorithms: ghs | ghs-cached | sync | sync-probe | eopt | connt |
+//             connt-axis | kpnnt
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "emst/eopt/eopt.hpp"
+#include "emst/geometry/sampling.hpp"
+#include "emst/ghs/classic.hpp"
+#include "emst/ghs/sync.hpp"
+#include "emst/graph/mst.hpp"
+#include "emst/graph/tree_utils.hpp"
+#include "emst/nnt/connt.hpp"
+#include "emst/nnt/kp_nnt.hpp"
+#include "emst/rgg/radii.hpp"
+#include "emst/support/cli.hpp"
+#include "emst/support/json.hpp"
+#include "emst/support/rng.hpp"
+
+namespace {
+
+using namespace emst;
+
+struct Record {
+  std::string algo;
+  sim::Accounting totals;
+  std::size_t phases = 0;
+  double tree_len = 0.0;
+  double tree_sq = 0.0;
+  bool spanning = false;
+  bool exact = false;
+};
+
+Record run_one(const std::string& algo, const sim::Topology& topo,
+               const std::vector<geometry::Point2>& points,
+               const std::vector<graph::Edge>& reference) {
+  Record record;
+  record.algo = algo;
+  std::vector<graph::Edge> tree;
+  if (algo == "ghs" || algo == "ghs-cached") {
+    ghs::ClassicGhsOptions options;
+    if (algo == "ghs-cached") options.moe = ghs::MoeStrategy::kCachedConfirm;
+    const auto run = ghs::run_classic_ghs(topo, options);
+    record.totals = run.totals;
+    record.phases = run.phases;
+    tree = run.tree;
+  } else if (algo == "sync" || algo == "sync-probe") {
+    ghs::SyncGhsOptions options;
+    options.neighbor_cache = algo == "sync";
+    const auto run = ghs::run_sync_ghs(topo, options);
+    record.totals = run.run.totals;
+    record.phases = run.run.phases;
+    tree = run.run.tree;
+  } else if (algo == "eopt") {
+    const auto run = eopt::run_eopt(topo);
+    record.totals = run.run.totals;
+    record.phases = run.run.phases;
+    tree = run.run.tree;
+  } else if (algo == "connt" || algo == "connt-axis") {
+    nnt::CoNntOptions options;
+    if (algo == "connt-axis") options.scheme = nnt::RankScheme::kAxis;
+    const auto run = nnt::run_connt(topo, options);
+    record.totals = run.totals;
+    record.phases = run.max_probe_rounds;
+    tree = run.tree;
+  } else if (algo == "kpnnt") {
+    const auto run = nnt::run_kp_nnt(topo);
+    record.totals = run.totals;
+    record.phases = run.max_probe_rounds;
+    tree = run.tree;
+  } else {
+    std::cerr << "unknown algorithm: " << algo << '\n';
+    std::exit(2);
+  }
+  record.tree_len = graph::tree_cost(points, tree, 1.0);
+  record.tree_sq = graph::tree_cost(points, tree, 2.0);
+  record.spanning = graph::is_spanning_tree(points.size(), tree);
+  record.exact = graph::same_edge_set(tree, reference);
+  return record;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const support::Cli cli(
+      argc, argv,
+      {{"algo", "comma-separated list (ghs|ghs-cached|sync|sync-probe|eopt|"
+                "connt|connt-axis|kpnnt); default eopt"},
+       {"n", "node count (default 1000)"},
+       {"seed", "deployment seed (default 1)"},
+       {"radius-factor", "connectivity radius factor (default 1.6)"},
+       {"format", "text | json (default text)"}});
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 1000));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const double factor = cli.get_double("radius-factor", 1.6);
+  const std::string format = cli.get("format", "text");
+
+  std::vector<std::string> algos;
+  {
+    std::stringstream ss(cli.get("algo", "eopt"));
+    std::string piece;
+    while (std::getline(ss, piece, ',')) {
+      if (!piece.empty()) algos.push_back(piece);
+    }
+  }
+
+  support::Rng rng(seed);
+  const auto points = geometry::uniform_points(n, rng);
+  const sim::Topology topo(points, rgg::connectivity_radius(n, factor));
+  const auto reference = graph::kruskal_msf(n, topo.graph().edges());
+
+  std::vector<Record> records;
+  records.reserve(algos.size());
+  for (const std::string& algo : algos)
+    records.push_back(run_one(algo, topo, points, reference));
+
+  if (format == "json") {
+    support::JsonWriter json(std::cout);
+    json.begin_object();
+    json.key("n").value(n);
+    json.key("seed").value(seed);
+    json.key("radius").value(topo.max_radius());
+    json.key("edges").value(topo.graph().edge_count());
+    json.key("connected").value(reference.size() == n - 1);
+    json.key("mst_len").value(graph::tree_cost(points, reference, 1.0));
+    json.key("mst_sq").value(graph::tree_cost(points, reference, 2.0));
+    json.key("runs").begin_array();
+    for (const Record& r : records) {
+      json.begin_object();
+      json.key("algo").value(r.algo);
+      json.key("energy").value(r.totals.energy);
+      json.key("messages").value(r.totals.messages());
+      json.key("unicasts").value(r.totals.unicasts);
+      json.key("broadcasts").value(r.totals.broadcasts);
+      json.key("rounds").value(r.totals.rounds);
+      json.key("phases").value(r.phases);
+      json.key("tree_len").value(r.tree_len);
+      json.key("tree_sq").value(r.tree_sq);
+      json.key("spanning").value(r.spanning);
+      json.key("exact_mst").value(r.exact);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    std::cout << '\n';
+  } else {
+    std::printf("n=%zu seed=%llu radius=%.4f edges=%zu\n", n,
+                static_cast<unsigned long long>(seed), topo.max_radius(),
+                topo.graph().edge_count());
+    std::printf("%-12s %12s %10s %8s %10s %10s %6s\n", "algo", "energy",
+                "messages", "rounds", "sum|e|", "sum|e|^2", "exact");
+    for (const Record& r : records) {
+      std::printf("%-12s %12.4f %10llu %8llu %10.4f %10.5f %6s\n",
+                  r.algo.c_str(), r.totals.energy,
+                  static_cast<unsigned long long>(r.totals.messages()),
+                  static_cast<unsigned long long>(r.totals.rounds), r.tree_len,
+                  r.tree_sq, r.exact ? "yes" : "no");
+    }
+  }
+  return 0;
+}

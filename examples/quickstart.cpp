@@ -1,0 +1,77 @@
+// Quickstart: deploy a random sensor field, build its MST three ways, and
+// compare energy bills.
+//
+//   ./quickstart [--n=2000] [--seed=7]
+//
+// This is the 60-second tour of the library:
+//   1. sample a deployment and build the radio topology,
+//   2. run the classical GHS baseline, the paper's EOPT, and Co-NNT,
+//   3. verify both exact algorithms against Kruskal,
+//   4. print the three cost columns the paper is about.
+#include <cstdio>
+
+#include "emst/eopt/eopt.hpp"
+#include "emst/geometry/sampling.hpp"
+#include "emst/ghs/classic.hpp"
+#include "emst/graph/mst.hpp"
+#include "emst/graph/tree_utils.hpp"
+#include "emst/nnt/connt.hpp"
+#include "emst/rgg/radii.hpp"
+#include "emst/support/cli.hpp"
+#include "emst/support/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace emst;
+  const support::Cli cli(argc, argv,
+                         {{"n", "number of sensor nodes (default 2000)"},
+                          {"seed", "deployment seed (default 7)"}});
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 2000));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+
+  // 1. Deploy n sensors uniformly in the unit square; the radio range is the
+  //    connectivity radius 1.6·√(ln n / n) from Thm 5.1.
+  support::Rng rng(seed);
+  auto points = geometry::uniform_points(n, rng);
+  const sim::Topology topo(points, rgg::connectivity_radius(n));
+  std::printf("deployed %zu sensors, radio range %.4f, %zu links\n", n,
+              topo.max_radius(), topo.graph().edge_count());
+
+  // 2. The three §VII algorithms.
+  const auto ghs = ghs::run_classic_ghs(topo);
+  const auto eopt = eopt::run_eopt(topo);
+  const auto connt = nnt::run_connt(topo);
+
+  // 3. Verify exactness against Kruskal (unique MST by tie-broken order).
+  const auto reference = graph::kruskal_msf(n, topo.graph().edges());
+  std::printf("GHS  exact MST: %s\n",
+              graph::same_edge_set(ghs.tree, reference) ? "yes" : "NO");
+  std::printf("EOPT exact MST: %s  (giant fragment: %zu nodes after step 1)\n",
+              graph::same_edge_set(eopt.run.tree, reference) ? "yes" : "NO",
+              eopt.giant_size);
+  std::printf("Co-NNT spanning tree: %s (an O(1)-approximation, not exact)\n",
+              graph::is_spanning_tree(n, connt.tree) ? "yes" : "NO");
+
+  // 4. The paper's three performance measures.
+  std::printf("\n%-8s %12s %12s %10s %12s %12s\n", "algo", "energy", "messages",
+              "rounds", "sum|e|", "sum|e|^2");
+  auto row = [&](const char* name, double energy, std::uint64_t msgs,
+                 std::uint64_t rounds, const std::vector<graph::Edge>& tree) {
+    std::printf("%-8s %12.3f %12llu %10llu %12.3f %12.4f\n", name, energy,
+                static_cast<unsigned long long>(msgs),
+                static_cast<unsigned long long>(rounds),
+                graph::tree_cost(points, tree, 1.0),
+                graph::tree_cost(points, tree, 2.0));
+  };
+  row("GHS", ghs.totals.energy, ghs.totals.messages(), ghs.totals.rounds,
+      ghs.tree);
+  row("EOPT", eopt.run.totals.energy, eopt.run.totals.messages(),
+      eopt.run.totals.rounds, eopt.run.tree);
+  row("Co-NNT", connt.totals.energy, connt.totals.messages(),
+      connt.totals.rounds, connt.tree);
+
+  std::printf("\nEOPT spent %.1f%% of GHS's energy "
+              "(step1 %.3f + census %.3f + step2 %.3f)\n",
+              100.0 * eopt.run.totals.energy / ghs.totals.energy,
+              eopt.step1.energy, eopt.census.energy, eopt.step2.energy);
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Data aggregation over the MST — the paper's §II motivating application.
+//
+//   ./sensor_aggregation [--n=2000] [--rounds=100] [--seed=11]
+//
+// Each sensor holds a reading; a sink collects MIN/MAX/MEAN via the
+// library's metered convergecast (`emst::apps::AggregationTree`), combining
+// children's values en route — one message per tree edge per round. Three
+// collection backbones on the same deployment:
+//   - the exact MST built by EOPT (the paper's optimal aggregation tree),
+//   - the Co-NNT O(1)-approximate tree (cheaper to build),
+//   - direct transmission: every node sends straight to the sink.
+// The steady-state per-round energy is Σ d² over the backbone — exactly why
+// "MST is the optimal data aggregation tree" [15].
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "emst/apps/aggregation.hpp"
+#include "emst/eopt/eopt.hpp"
+#include "emst/geometry/sampling.hpp"
+#include "emst/nnt/connt.hpp"
+#include "emst/rgg/radii.hpp"
+#include "emst/support/cli.hpp"
+#include "emst/support/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace emst;
+  const support::Cli cli(argc, argv,
+                         {{"n", "number of sensors (default 2000)"},
+                          {"rounds", "aggregation rounds to bill (default 100)"},
+                          {"seed", "deployment seed (default 11)"}});
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 2000));
+  const auto rounds = static_cast<std::size_t>(cli.get_int("rounds", 100));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 11));
+
+  support::Rng rng(seed);
+  const auto points = geometry::uniform_points(n, rng);
+  std::vector<double> readings(n);
+  for (double& r : readings) r = rng.uniform(15.0, 35.0);  // e.g. temperature
+  const graph::NodeId sink = 0;
+
+  // Backbone 1: exact MST via EOPT (pay the construction bill once).
+  const sim::Topology topo(points, rgg::connectivity_radius(n));
+  const auto eopt = eopt::run_eopt(topo);
+  // Backbone 2: Co-NNT approximate tree.
+  const auto connt = nnt::run_connt(topo);
+  // Backbone 3: direct transmission — a star centred at the sink (needs an
+  // unbounded radio view, so its own wide topology).
+  const sim::Topology open(points, 1.5);
+  std::vector<graph::Edge> star;
+  for (graph::NodeId u = 1; u < n; ++u)
+    star.push_back({sink, u, geometry::distance(points[sink], points[u])});
+
+  const apps::AggregationTree mst_tree(topo, eopt.run.tree, sink);
+  const apps::AggregationTree nnt_tree(topo, connt.tree, sink);
+  const apps::AggregationTree star_tree(open, star, sink);
+
+  sim::EnergyMeter meter;
+  const auto mst_agg = mst_tree.collect(readings, meter);
+  const auto nnt_agg = nnt_tree.collect(readings, meter);
+  const auto star_agg = star_tree.collect(readings, meter);
+
+  std::printf("sensor field: %zu nodes, sink at node %u; true max %.3f, "
+              "mean %.3f\n", n, sink,
+              *std::max_element(readings.begin(), readings.end()),
+              mst_agg.mean());
+  std::printf("aggregation correctness: MST max %.3f, NNT max %.3f, star max "
+              "%.3f (all equal)\n\n",
+              mst_agg.max, nnt_agg.max, star_agg.max);
+
+  std::printf("%-14s %16s %16s %14s %8s\n", "backbone", "build_energy",
+              "per_round", "100_rounds", "depth");
+  auto row = [&](const char* name, double build,
+                 const apps::AggregationTree& tree) {
+    const double per_round = tree.round_energy({});
+    std::printf("%-14s %16.3f %16.4f %14.3f %8zu\n", name, build, per_round,
+                build + static_cast<double>(rounds) * per_round, tree.depth());
+  };
+  row("EOPT MST", eopt.run.totals.energy, mst_tree);
+  row("Co-NNT", connt.totals.energy, nnt_tree);
+  row("direct/star", 0.0, star_tree);
+
+  std::printf("\nreading guide: the star needs no construction but pays "
+              "Θ(n·d²_sink) every round; the MST amortizes its build after "
+              "a handful of rounds — the paper's aggregation argument.\n");
+  return 0;
+}

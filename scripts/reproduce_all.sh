@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Regenerate every table/figure of the reproduction and archive the outputs.
+#
+#   scripts/reproduce_all.sh [build_dir] [results_dir]
+#
+# Runs each bench binary at its default (paper-scale) parameters, teeing the
+# console tables into results/<bench>.txt and CSVs into results/<bench>.csv.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+RESULTS_DIR="${2:-results}"
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+  echo "error: $BUILD_DIR/bench not found — build first:" >&2
+  echo "  cmake -B $BUILD_DIR -G Ninja && cmake --build $BUILD_DIR" >&2
+  exit 1
+fi
+
+mkdir -p "$RESULTS_DIR"
+
+for bench in "$BUILD_DIR"/bench/*; do
+  name="$(basename "$bench")"
+  [ -f "$bench" ] && [ -x "$bench" ] || continue
+  case "$name" in
+    CMakeFiles|*.cmake) continue ;;
+    micro_substrates)
+      echo "== $name (google-benchmark)"
+      # Older google-benchmark releases take a plain double; newer ones also
+      # accept the "0.05s" form.
+      "$bench" --benchmark_min_time=0.05 | tee "$RESULTS_DIR/$name.txt"
+      ;;
+    *)
+      echo "== $name"
+      "$bench" --csv="$RESULTS_DIR/$name.csv" | tee "$RESULTS_DIR/$name.txt"
+      ;;
+  esac
+  echo
+done
+
+echo "all benches done — outputs in $RESULTS_DIR/"

@@ -1,0 +1,50 @@
+#include "emst/apps/aggregation.hpp"
+
+#include "emst/support/assert.hpp"
+
+namespace emst::apps {
+
+AggregationTree::AggregationTree(const sim::Topology& topo,
+                                 const std::vector<graph::Edge>& tree,
+                                 graph::NodeId sink)
+    : topo_(topo),
+      sink_(sink),
+      parent_(sim::forest_parents(topo.node_count(), tree, {sink})),
+      schedule_(sim::make_schedule(parent_)) {
+  EMST_ASSERT(sink < topo.node_count());
+}
+
+SensorAggregate AggregationTree::collect(const std::vector<double>& readings,
+                                         sim::EnergyMeter& meter) const {
+  EMST_ASSERT(readings.size() == topo_.node_count());
+  std::vector<SensorAggregate> values(readings.size());
+  for (std::size_t u = 0; u < readings.size(); ++u)
+    values[u] = SensorAggregate::of(readings[u]);
+  const auto folded = sim::tree_convergecast<SensorAggregate>(
+      topo_, parent_, schedule_, std::move(values),
+      [](const SensorAggregate& a, const SensorAggregate& b) {
+        return a.merged(b);
+      },
+      meter);
+  return folded[sink_];
+}
+
+std::vector<double> AggregationTree::disseminate(double value,
+                                                 sim::EnergyMeter& meter) const {
+  std::vector<double> init(topo_.node_count(), 0.0);
+  init[sink_] = value;
+  return sim::tree_broadcast<double>(
+      topo_, parent_, schedule_, std::move(init),
+      [](double from_parent, graph::NodeId) { return from_parent; }, meter);
+}
+
+double AggregationTree::round_energy(const geometry::PathLoss& model) const {
+  double total = 0.0;
+  for (graph::NodeId u = 0; u < parent_.size(); ++u) {
+    if (parent_[u] == graph::kNoNode) continue;
+    total += model.cost(topo_.distance(u, parent_[u]));
+  }
+  return total;
+}
+
+}  // namespace emst::apps

@@ -1,0 +1,66 @@
+// Data aggregation over a spanning tree — the paper's §II motivating
+// application ("MST is the optimal data aggregation tree" [15]), packaged as
+// a library: typed aggregate functions folded up a metered convergecast.
+//
+// One aggregation round sends exactly one message per tree edge (children
+// fold into parents en route — the in-network aggregation that makes trees
+// beat direct transmission), so the steady-state energy per round is
+// Σ dᵅ over the backbone: the quantity the MST minimizes.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "emst/sim/collectives.hpp"
+
+namespace emst::apps {
+
+/// The classic sensor aggregates (min/max/sum/count → mean).
+struct SensorAggregate {
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+  double count = 0.0;
+
+  [[nodiscard]] static SensorAggregate of(double reading) {
+    return {reading, reading, reading, 1.0};
+  }
+
+  [[nodiscard]] SensorAggregate merged(const SensorAggregate& other) const {
+    return {std::min(min, other.min), std::max(max, other.max),
+            sum + other.sum, count + other.count};
+  }
+
+  [[nodiscard]] double mean() const { return count > 0.0 ? sum / count : 0.0; }
+};
+
+/// A reusable aggregation backbone over a fixed tree rooted at `sink`.
+class AggregationTree {
+ public:
+  AggregationTree(const sim::Topology& topo, const std::vector<graph::Edge>& tree,
+                  graph::NodeId sink);
+
+  /// Run one aggregation round over `readings` (one per node); charges one
+  /// unicast per tree edge to `meter` and returns the sink's aggregate.
+  [[nodiscard]] SensorAggregate collect(const std::vector<double>& readings,
+                                        sim::EnergyMeter& meter) const;
+
+  /// Disseminate a value from the sink to every node (e.g. a new duty
+  /// cycle); one unicast per tree edge.
+  [[nodiscard]] std::vector<double> disseminate(double value,
+                                                sim::EnergyMeter& meter) const;
+
+  /// Σ dᵅ over the backbone — the per-round energy (α from the meter model).
+  [[nodiscard]] double round_energy(const geometry::PathLoss& model) const;
+
+  [[nodiscard]] std::size_t depth() const noexcept { return schedule_.max_depth; }
+  [[nodiscard]] graph::NodeId sink() const noexcept { return sink_; }
+
+ private:
+  const sim::Topology& topo_;
+  graph::NodeId sink_;
+  std::vector<graph::NodeId> parent_;
+  sim::TreeSchedule schedule_;
+};
+
+}  // namespace emst::apps

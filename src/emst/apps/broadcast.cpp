@@ -1,0 +1,67 @@
+#include "emst/apps/broadcast.hpp"
+
+#include <algorithm>
+
+#include "emst/support/assert.hpp"
+
+namespace emst::apps {
+
+BroadcastPlan plan_broadcast(const sim::Topology& topo,
+                             const std::vector<graph::Edge>& tree,
+                             graph::NodeId source,
+                             const geometry::PathLoss& model) {
+  EMST_ASSERT(source < topo.node_count());
+  BroadcastPlan plan;
+  plan.source = source;
+  const auto parent = sim::forest_parents(topo.node_count(), tree, {source});
+  const auto schedule = sim::make_schedule(parent);
+  plan.rounds = schedule.max_depth;
+  plan.tx_radius.assign(topo.node_count(), 0.0);
+  for (graph::NodeId u = 0; u < topo.node_count(); ++u) {
+    if (parent[u] == graph::kNoNode) continue;
+    const double d = topo.distance(u, parent[u]);
+    plan.unicast_energy += model.cost(d);
+    plan.tx_radius[parent[u]] = std::max(plan.tx_radius[parent[u]], d);
+  }
+  for (const double radius : plan.tx_radius) {
+    if (radius > 0.0) {
+      ++plan.transmissions;
+      plan.wireless_energy += model.cost(radius);
+    }
+  }
+  return plan;
+}
+
+std::size_t execute_broadcast(const sim::Topology& topo,
+                              const BroadcastPlan& plan,
+                              sim::EnergyMeter& meter) {
+  EMST_ASSERT(plan.tx_radius.size() == topo.node_count());
+  std::vector<bool> reached(topo.node_count(), false);
+  reached[plan.source] = true;
+  // Flood level by level: a node transmits once after it has been reached.
+  // The choreography processes transmitters in BFS order, which is exactly
+  // the pipelined schedule of depth `plan.rounds`.
+  std::vector<graph::NodeId> frontier = {plan.source};
+  std::size_t covered = 1;
+  while (!frontier.empty()) {
+    std::vector<graph::NodeId> next;
+    for (const graph::NodeId u : frontier) {
+      const double radius = plan.tx_radius[u];
+      if (radius <= 0.0) continue;
+      const auto heard = topo.nodes_within(u, radius * (1.0 + 1e-12));
+      meter.charge_broadcast(u, radius, heard.size());
+      for (const graph::NodeId v : heard) {
+        if (!reached[v]) {
+          reached[v] = true;
+          ++covered;
+          next.push_back(v);
+        }
+      }
+    }
+    meter.tick_round();
+    frontier = std::move(next);
+  }
+  return covered;
+}
+
+}  // namespace emst::apps

@@ -1,0 +1,43 @@
+// MST-based broadcast planning — the paper's other §II application
+// ("broadcasting based on MST consumes energy within a constant factor of
+// the optimum" [5, 27]).
+//
+// Given a spanning tree rooted at the source, two transmission plans:
+//  - per-edge unicast: one message per tree edge (n−1 transmissions,
+//    energy Σ dᵅ);
+//  - wireless advantage: every internal node transmits ONCE at the power of
+//    its farthest child (local broadcast), so siblings share one
+//    transmission — the minimum-energy broadcast structure [27] restricted
+//    to the tree.
+#pragma once
+
+#include <vector>
+
+#include "emst/sim/collectives.hpp"
+
+namespace emst::apps {
+
+struct BroadcastPlan {
+  graph::NodeId source = 0;
+  /// Per node: transmit power radius (0 = leaf, never transmits).
+  std::vector<double> tx_radius;
+  std::size_t transmissions = 0;  ///< nodes with tx_radius > 0
+  double wireless_energy = 0.0;   ///< Σ tx_radiusᵅ (wireless advantage)
+  double unicast_energy = 0.0;    ///< Σ dᵅ per tree edge (no advantage)
+  std::size_t rounds = 0;         ///< tree depth (pipelined flood)
+};
+
+/// Plan a broadcast of one message from `source` over `tree`.
+[[nodiscard]] BroadcastPlan plan_broadcast(const sim::Topology& topo,
+                                           const std::vector<graph::Edge>& tree,
+                                           graph::NodeId source,
+                                           const geometry::PathLoss& model = {});
+
+/// Execute the plan on a meter: one local broadcast per internal node (the
+/// wireless-advantage schedule). Returns the number of nodes reached
+/// (including the source) — must equal n on a spanning tree.
+[[nodiscard]] std::size_t execute_broadcast(const sim::Topology& topo,
+                                            const BroadcastPlan& plan,
+                                            sim::EnergyMeter& meter);
+
+}  // namespace emst::apps

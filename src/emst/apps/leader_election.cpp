@@ -1,0 +1,37 @@
+#include "emst/apps/leader_election.hpp"
+
+#include <algorithm>
+
+#include "emst/support/assert.hpp"
+
+namespace emst::apps {
+
+ElectionResult elect_leader(const sim::Topology& topo,
+                            const std::vector<graph::Edge>& tree,
+                            graph::NodeId root, sim::EnergyMeter& meter) {
+  const std::size_t n = topo.node_count();
+  EMST_ASSERT(root < n);
+  const auto parent = sim::forest_parents(n, tree, {root});
+  const auto schedule = sim::make_schedule(parent);
+
+  // Convergecast: each subtree reports its maximum id.
+  std::vector<graph::NodeId> ids(n);
+  for (graph::NodeId u = 0; u < n; ++u) ids[u] = u;
+  const auto maxima = sim::tree_convergecast<graph::NodeId>(
+      topo, parent, schedule, std::move(ids),
+      [](graph::NodeId a, graph::NodeId b) { return std::max(a, b); }, meter);
+
+  ElectionResult result;
+  result.leader = maxima[root];
+
+  // Broadcast the winner back down.
+  std::vector<graph::NodeId> known(n, graph::kNoNode);
+  known[root] = result.leader;
+  result.known_leader = sim::tree_broadcast<graph::NodeId>(
+      topo, parent, schedule, std::move(known),
+      [](graph::NodeId from_parent, graph::NodeId) { return from_parent; },
+      meter);
+  return result;
+}
+
+}  // namespace emst::apps

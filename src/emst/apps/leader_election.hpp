@@ -1,0 +1,29 @@
+// Leader election over a spanning tree — the problem §IV's lower bound is
+// really about ("any distributed algorithm for constructing a spanning tree
+// (or equivalently, leader election)" via Korach–Moran–Zaks).
+//
+// Given any spanning tree (EOPT's MST, Co-NNT, …), electing the maximum-id
+// node costs one convergecast + one broadcast: 2(n−1) messages over tree
+// edges — so the election inherits the tree's Σdᵅ twice, and the paper's
+// Ω(log n) spanning-tree energy bound is equivalently a leader-election
+// bound.
+#pragma once
+
+#include "emst/sim/collectives.hpp"
+
+namespace emst::apps {
+
+struct ElectionResult {
+  graph::NodeId leader = graph::kNoNode;  ///< the maximum node id
+  /// Per-node view after dissemination: everyone must agree on the leader.
+  std::vector<graph::NodeId> known_leader;
+};
+
+/// Elect the maximum node id over `tree` (rooted anywhere — `root` is just
+/// the convergecast anchor, NOT favoured). Charges 2 messages per tree edge.
+[[nodiscard]] ElectionResult elect_leader(const sim::Topology& topo,
+                                          const std::vector<graph::Edge>& tree,
+                                          graph::NodeId root,
+                                          sim::EnergyMeter& meter);
+
+}  // namespace emst::apps

@@ -1,0 +1,113 @@
+#include "emst/eopt/eopt.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "emst/rgg/radii.hpp"
+#include "emst/support/assert.hpp"
+
+namespace emst::eopt {
+
+sim::Topology eopt_topology(std::vector<geometry::Point2> points,
+                            const EoptOptions& options) {
+  const std::size_t n = points.size();
+  EMST_ASSERT(n >= 2);
+  const double r2 = rgg::connectivity_radius(n, options.step2_factor);
+  return sim::Topology(std::move(points), r2);
+}
+
+EoptResult run_eopt(const sim::Topology& topo, const EoptOptions& options,
+                    const ghs::FragmentForest* seed) {
+  const std::size_t n = topo.node_count();
+  EMST_ASSERT(n >= 2);
+  EoptResult result;
+  result.radius1 = rgg::percolation_radius(n, options.step1_factor);
+  result.radius2 = topo.max_radius();
+  // At tiny n the percolation radius formula exceeds the connectivity
+  // radius (√(1/n) shrinks slower than √(ln n/n) only for ln n > (c₁/c₂)²);
+  // clamp so Step 1 degenerates gracefully into a single full-radius run.
+  result.radius1 = std::min(result.radius1, result.radius2);
+
+  sim::EnergyMeter total(options.pathloss);
+
+  // --- Step 1: modified GHS in the percolation regime --------------------
+  ghs::SyncGhsOptions step1;
+  step1.radius = result.radius1;
+  step1.pathloss = options.pathloss;
+  step1.neighbor_cache = options.neighbor_cache;
+  step1.announce_min_power = options.announce_min_power;
+  step1.track_per_node_energy = options.track_per_node_energy;
+  step1.announce_initial = true;
+  const std::optional<ghs::FragmentForest> initial =
+      seed != nullptr ? std::optional<ghs::FragmentForest>(*seed)
+                      : std::nullopt;
+  const ghs::SyncGhsResult stage1 = ghs::run_sync_ghs(topo, step1, initial, &total);
+  result.step1 = stage1.run.totals;
+  result.step1_fragments = stage1.run.fragments;
+  result.step1_phases = stage1.run.phases;
+
+  // --- Census: each fragment learns its size -----------------------------
+  const sim::Accounting before_census = total.totals();
+  sim::EnergyMeter census_meter(options.pathloss);
+  if (options.track_per_node_energy) census_meter.enable_per_node(n);
+  const std::vector<std::size_t> sizes =
+      ghs::fragment_census(topo, stage1.final_forest, census_meter);
+  total.absorb(census_meter.totals());
+  result.census = total.totals() - before_census;
+
+  // Fragments above β·ln²n declare themselves giant. Theorem 5.2 says WHP
+  // exactly one does; if several exceed the threshold (possible at small n
+  // or an aggressive β), only the largest stays passive — two mutually
+  // passive fragments would never connect to each other.
+  const double threshold = rgg::giant_threshold(n, options.beta);
+  std::unordered_map<ghs::NodeId, std::size_t> frag_size;
+  for (ghs::NodeId u = 0; u < n; ++u)
+    frag_size[stage1.final_forest.leader[u]] = sizes[u];
+  ghs::NodeId giant = graph::kNoNode;
+  for (const auto& [leader, size] : frag_size) {
+    if (static_cast<double>(size) <= threshold) continue;
+    if (giant == graph::kNoNode || size > frag_size[giant] ||
+        (size == frag_size[giant] && leader < giant)) {
+      giant = leader;
+    }
+  }
+  result.giant_found = giant != graph::kNoNode;
+  result.giant_size = result.giant_found ? frag_size[giant] : 0;
+
+  // --- Step 2: modified GHS in the connectivity regime -------------------
+  ghs::SyncGhsOptions step2;
+  step2.radius = result.radius2;
+  step2.pathloss = options.pathloss;
+  step2.neighbor_cache = options.neighbor_cache;
+  step2.announce_min_power = options.announce_min_power;
+  step2.track_per_node_energy = options.track_per_node_energy;
+  // Caches were filled at r₁; the radius grew, so everyone re-announces once.
+  step2.announce_initial = true;
+  if (options.giant_passive && result.giant_found)
+    step2.passive_fragments.push_back(giant);
+  step2.retain_passive_id = options.giant_keeps_id;
+  const sim::Accounting before_step2 = total.totals();
+  const ghs::SyncGhsResult stage2 =
+      ghs::run_sync_ghs(topo, step2, stage1.final_forest, &total);
+  result.step2 = total.totals() - before_step2;
+  result.step2_phases = stage2.run.phases;
+
+  result.run.tree = stage2.run.tree;
+  result.run.totals = total.totals();
+  result.run.phases = stage1.run.phases + stage2.run.phases;
+  result.run.fragments = stage2.run.fragments;
+  if (options.track_per_node_energy) {
+    result.per_node_energy.assign(n, 0.0);
+    auto accumulate = [&](const std::vector<double>& ledger) {
+      for (std::size_t u = 0; u < ledger.size(); ++u)
+        result.per_node_energy[u] += ledger[u];
+    };
+    accumulate(stage1.run.per_node_energy);
+    accumulate(census_meter.per_node());
+    accumulate(stage2.run.per_node_energy);
+    result.run.per_node_energy = result.per_node_energy;
+  }
+  return result;
+}
+
+}  // namespace emst::eopt

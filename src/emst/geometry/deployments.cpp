@@ -1,0 +1,114 @@
+#include "emst/geometry/deployments.hpp"
+
+#include <cmath>
+
+#include "emst/geometry/sampling.hpp"
+#include "emst/support/assert.hpp"
+
+namespace emst::geometry {
+namespace {
+
+/// Box–Muller standard normal from two uniforms.
+double gaussian(support::Rng& rng) {
+  const double u1 = std::max(1e-300, rng.uniform());
+  const double u2 = rng.uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+double clamp01(double v) { return std::min(1.0, std::max(0.0, v)); }
+
+std::vector<Point2> clustered(std::size_t n, support::Rng& rng,
+                              const DeploymentParams& params) {
+  EMST_ASSERT(params.cluster_parents >= 1);
+  std::vector<Point2> parents =
+      uniform_points(params.cluster_parents, rng);
+  std::vector<Point2> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point2 center = parents[rng.uniform_int(parents.size())];
+    points.push_back({clamp01(center.x + params.cluster_spread * gaussian(rng)),
+                      clamp01(center.y + params.cluster_spread * gaussian(rng))});
+  }
+  return points;
+}
+
+std::vector<Point2> grid_jitter(std::size_t n, support::Rng& rng,
+                                const DeploymentParams& params) {
+  const auto side = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(n))));
+  const double pitch = 1.0 / static_cast<double>(side);
+  std::vector<Point2> points;
+  points.reserve(n);
+  for (std::size_t i = 0; points.size() < n && i < side * side; ++i) {
+    const double cx = (static_cast<double>(i % side) + 0.5) * pitch;
+    const double cy = (static_cast<double>(i / side) + 0.5) * pitch;
+    points.push_back(
+        {clamp01(cx + params.jitter * pitch * rng.uniform(-1.0, 1.0)),
+         clamp01(cy + params.jitter * pitch * rng.uniform(-1.0, 1.0))});
+  }
+  return points;
+}
+
+std::vector<Point2> hole(std::size_t n, support::Rng& rng,
+                         const DeploymentParams& params) {
+  std::vector<Point2> points;
+  points.reserve(n);
+  const double r_sq = params.hole_radius * params.hole_radius;
+  while (points.size() < n) {
+    const Point2 p{rng.uniform(), rng.uniform()};
+    if (distance_sq(p, params.hole_center) >= r_sq) points.push_back(p);
+  }
+  return points;
+}
+
+std::vector<Point2> gradient(std::size_t n, support::Rng& rng,
+                             const DeploymentParams& params) {
+  // Density f(x) ∝ 1 + s·x on [0,1]: sample by inversion of
+  // F(x) = (x + s·x²/2) / (1 + s/2).
+  const double s = params.gradient_slope;
+  EMST_ASSERT(s >= 0.0);
+  std::vector<Point2> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = rng.uniform() * (1.0 + s / 2.0);
+    // Solve x + s·x²/2 = u  ⇒  x = (−1 + √(1 + 2su)) / s.
+    const double x = s == 0.0 ? u : (-1.0 + std::sqrt(1.0 + 2.0 * s * u)) / s;
+    points.push_back({clamp01(x), rng.uniform()});
+  }
+  return points;
+}
+
+}  // namespace
+
+const std::vector<Deployment>& all_deployments() {
+  static const std::vector<Deployment> kAll = {
+      Deployment::kUniform, Deployment::kClustered, Deployment::kGridJitter,
+      Deployment::kHole, Deployment::kGradient};
+  return kAll;
+}
+
+std::string deployment_name(Deployment model) {
+  switch (model) {
+    case Deployment::kUniform: return "uniform";
+    case Deployment::kClustered: return "clustered";
+    case Deployment::kGridJitter: return "grid+jitter";
+    case Deployment::kHole: return "hole";
+    case Deployment::kGradient: return "gradient";
+  }
+  return "?";
+}
+
+std::vector<Point2> sample_deployment(Deployment model, std::size_t n,
+                                      support::Rng& rng,
+                                      const DeploymentParams& params) {
+  switch (model) {
+    case Deployment::kUniform: return uniform_points(n, rng);
+    case Deployment::kClustered: return clustered(n, rng, params);
+    case Deployment::kGridJitter: return grid_jitter(n, rng, params);
+    case Deployment::kHole: return hole(n, rng, params);
+    case Deployment::kGradient: return gradient(n, rng, params);
+  }
+  return {};
+}
+
+}  // namespace emst::geometry

@@ -1,0 +1,57 @@
+// Deployment models beyond the paper's uniform assumption.
+//
+// The paper's analysis assumes n i.i.d. uniform points (§II). Real sensor
+// fields are rarely uniform, so the robustness bench re-runs the headline
+// experiments on structurally different deployments:
+//  - kUniform    — the paper's model (baseline);
+//  - kClustered  — a Thomas/Matérn-style cluster process: parent centers
+//    with Gaussian-ish offspring, mimicking sensors dropped in batches;
+//  - kGridJitter — a perturbed grid, mimicking planned installations;
+//  - kHole       — uniform with a circular coverage hole (sensor loss /
+//    obstacle), stressing the giant-component assumption;
+//  - kGradient   — density increasing along x (propagation from a road /
+//    coastline), stressing the diagonal-ranking geometry of Co-NNT.
+// All models emit exactly n points in the unit square.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "emst/geometry/point.hpp"
+#include "emst/support/rng.hpp"
+
+namespace emst::geometry {
+
+enum class Deployment {
+  kUniform,
+  kClustered,
+  kGridJitter,
+  kHole,
+  kGradient,
+};
+
+/// All models, for sweep loops.
+[[nodiscard]] const std::vector<Deployment>& all_deployments();
+
+[[nodiscard]] std::string deployment_name(Deployment model);
+
+struct DeploymentParams {
+  /// kClustered: number of cluster parents and offspring spread (std dev).
+  std::size_t cluster_parents = 12;
+  double cluster_spread = 0.08;
+  /// kGridJitter: jitter as a fraction of the grid pitch.
+  double jitter = 0.35;
+  /// kHole: hole center and radius.
+  Point2 hole_center{0.5, 0.5};
+  double hole_radius = 0.25;
+  /// kGradient: density ∝ (1 + gradient_slope·x).
+  double gradient_slope = 3.0;
+};
+
+/// Sample exactly n points from `model` in the unit square.
+[[nodiscard]] std::vector<Point2> sample_deployment(
+    Deployment model, std::size_t n, support::Rng& rng,
+    const DeploymentParams& params = {});
+
+}  // namespace emst::geometry

@@ -1,0 +1,27 @@
+// Radio path-loss energy model (paper §II).
+//
+// Transmitting a message over distance d costs a·d^α where α is the path-loss
+// exponent; the paper fixes a = 1, α = 2 for energy complexity but analyzes
+// tree *cost* for general α.
+#pragma once
+
+#include <cmath>
+
+#include "emst/support/assert.hpp"
+
+namespace emst::geometry {
+
+struct PathLoss {
+  double scale = 1.0;  ///< the constant `a`
+  double alpha = 2.0;  ///< path-loss exponent α
+
+  /// Energy to transmit one message to range `d`.
+  [[nodiscard]] double cost(double d) const noexcept {
+    EMST_ASSERT(d >= 0.0);
+    if (alpha == 2.0) return scale * d * d;       // hot path: avoid pow
+    if (alpha == 1.0) return scale * d;
+    return scale * std::pow(d, alpha);
+  }
+};
+
+}  // namespace emst::geometry

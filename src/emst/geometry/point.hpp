@@ -1,0 +1,53 @@
+// 2-D points in the unit square and the distance metrics used by the paper.
+//
+// The paper's energy model charges d(u,v)^α per message with α = 2 (path-loss
+// exponent). Euclidean distance is the default everywhere; the Chebyshev
+// (L∞) metric — which the paper's percolation *analysis* switches to "to
+// simplify our analysis" (§V-B) — is also provided so the percolation module
+// can be exercised under both.
+#pragma once
+
+#include <cmath>
+
+namespace emst::geometry {
+
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr bool operator==(const Point2&, const Point2&) noexcept = default;
+};
+
+[[nodiscard]] constexpr Point2 operator+(Point2 a, Point2 b) noexcept {
+  return {a.x + b.x, a.y + b.y};
+}
+[[nodiscard]] constexpr Point2 operator-(Point2 a, Point2 b) noexcept {
+  return {a.x - b.x, a.y - b.y};
+}
+[[nodiscard]] constexpr Point2 operator*(Point2 a, double s) noexcept {
+  return {a.x * s, a.y * s};
+}
+
+/// Squared Euclidean distance — cheap; also *is* the α=2 message energy.
+[[nodiscard]] constexpr double distance_sq(Point2 a, Point2 b) noexcept {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+[[nodiscard]] inline double distance(Point2 a, Point2 b) noexcept {
+  return std::sqrt(distance_sq(a, b));
+}
+
+/// Chebyshev / L∞ distance: max(|Δx|, |Δy|) (paper §V-B simplification).
+[[nodiscard]] inline double chebyshev(Point2 a, Point2 b) noexcept {
+  return std::max(std::fabs(a.x - b.x), std::fabs(a.y - b.y));
+}
+
+enum class Metric { kEuclidean, kChebyshev };
+
+[[nodiscard]] inline double dist(Metric m, Point2 a, Point2 b) noexcept {
+  return m == Metric::kEuclidean ? distance(a, b) : chebyshev(a, b);
+}
+
+}  // namespace emst::geometry

@@ -1,0 +1,24 @@
+// Axis-aligned rectangles (used for the deployment region and spatial index).
+#pragma once
+
+#include "emst/geometry/point.hpp"
+
+namespace emst::geometry {
+
+struct Rect {
+  Point2 lo{0.0, 0.0};
+  Point2 hi{1.0, 1.0};
+
+  [[nodiscard]] constexpr double width() const noexcept { return hi.x - lo.x; }
+  [[nodiscard]] constexpr double height() const noexcept { return hi.y - lo.y; }
+  [[nodiscard]] constexpr double area() const noexcept { return width() * height(); }
+
+  [[nodiscard]] constexpr bool contains(Point2 p) const noexcept {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+};
+
+/// The paper's deployment region: the unit square [0,1]².
+[[nodiscard]] constexpr Rect unit_square() noexcept { return Rect{}; }
+
+}  // namespace emst::geometry

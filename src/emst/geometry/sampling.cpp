@@ -1,0 +1,24 @@
+#include "emst/geometry/sampling.hpp"
+
+#include "emst/support/assert.hpp"
+
+namespace emst::geometry {
+
+std::vector<Point2> uniform_points(std::size_t n, support::Rng& rng, Rect region) {
+  EMST_ASSERT(region.width() > 0.0 && region.height() > 0.0);
+  std::vector<Point2> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    points.push_back({rng.uniform(region.lo.x, region.hi.x),
+                      rng.uniform(region.lo.y, region.hi.y)});
+  }
+  return points;
+}
+
+std::vector<Point2> poisson_points(double rate, support::Rng& rng, Rect region) {
+  EMST_ASSERT(rate >= 0.0);
+  const auto count = static_cast<std::size_t>(rng.poisson(rate * region.area()));
+  return uniform_points(count, rng, region);
+}
+
+}  // namespace emst::geometry

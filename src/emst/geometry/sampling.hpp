@@ -1,0 +1,27 @@
+// Random point processes on the unit square (paper §II / §V-B).
+//
+// The node deployment model is n i.i.d. uniform points; the percolation proof
+// replaces it with a Poisson process "to exploit the strong independence
+// property" — both are provided so the percolation experiments can check that
+// the two agree at these densities.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "emst/geometry/point.hpp"
+#include "emst/geometry/rect.hpp"
+#include "emst/support/rng.hpp"
+
+namespace emst::geometry {
+
+/// n i.i.d. uniform points in `region`.
+[[nodiscard]] std::vector<Point2> uniform_points(std::size_t n, support::Rng& rng,
+                                                 Rect region = unit_square());
+
+/// Homogeneous Poisson point process with intensity `rate` *per unit area*
+/// on `region`: N ~ Poisson(rate·area), then N uniform points.
+[[nodiscard]] std::vector<Point2> poisson_points(double rate, support::Rng& rng,
+                                                 Rect region = unit_square());
+
+}  // namespace emst::geometry

@@ -1,0 +1,398 @@
+#include "emst/ghs/classic.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <variant>
+
+#include "emst/sim/network.hpp"
+#include "emst/support/assert.hpp"
+
+namespace emst::ghs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Message types (Gallager, Humblet & Spira 1983, §3).
+// Fragment names are edge indices of the core edge; levels are integers.
+// ---------------------------------------------------------------------------
+
+enum class NodeState : std::uint8_t { kSleeping, kFind, kFound };
+enum class EdgeState : std::uint8_t { kBasic, kBranch, kRejected };
+
+struct Connect {
+  std::uint32_t level;
+};
+struct Initiate {
+  std::uint32_t level;
+  EdgeIndex frag;
+  NodeState state;
+};
+struct Test {
+  std::uint32_t level;
+  EdgeIndex frag;
+};
+struct Accept {};
+struct Reject {};
+struct Report {
+  std::uint64_t best;  ///< edge index of subtree MOE, or kInfEdge
+};
+struct ChangeRoot {};
+/// §V-A modification: local broadcast of a node's (new) fragment name.
+struct Announce {
+  EdgeIndex frag;
+};
+
+using GhsMsg = std::variant<Connect, Initiate, Test, Accept, Reject, Report,
+                            ChangeRoot, Announce>;
+
+constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+constexpr EdgeIndex kNoFragName = static_cast<EdgeIndex>(-1);
+
+// ---------------------------------------------------------------------------
+// Per-node protocol state. Edges are addressed by "slot": the position in
+// the node's radius-filtered neighbor span (ascending weight), which makes
+// "minimum-weight basic edge" a linear scan from slot 0.
+// ---------------------------------------------------------------------------
+
+struct NodeCtx {
+  NodeState state = NodeState::kSleeping;
+  std::uint32_t level = 0;
+  EdgeIndex frag = kNoFragName;       // undefined until first Initiate
+  std::vector<EdgeState> edge_state;  // per neighbor slot
+  std::size_t best_slot = kNoSlot;    // candidate MOE (local slot)
+  std::uint64_t best_edge = kInfEdge; // its global edge index
+  std::size_t test_slot = kNoSlot;    // slot currently under TEST
+  std::size_t in_branch = kNoSlot;    // slot toward the core
+  std::uint32_t find_count = 0;
+  bool halted = false;
+  /// kCachedConfirm: last fragment name each neighbor announced. Names are
+  /// globally unique over time (a core edge can core only once), so a cache
+  /// hit equal to the node's own name proves the edge internal forever.
+  std::unordered_map<NodeId, EdgeIndex> cache;
+};
+
+class ClassicGhsRun {
+ public:
+  ClassicGhsRun(const sim::Topology& topo, const ClassicGhsOptions& options)
+      : topo_(topo),
+        radius_(options.radius > 0.0 ? options.radius : topo.max_radius()),
+        moe_(options.moe),
+        net_(topo, options.pathloss, /*unbounded_broadcast=*/false,
+             options.delays),
+        nodes_(topo.node_count()),
+        starters_(options.spontaneous_wakeups) {
+    EMST_ASSERT(radius_ <= topo.max_radius() * (1.0 + 1e-12));
+    max_rounds_ = options.max_rounds > 0
+                      ? options.max_rounds
+                      : (50 * topo.node_count() + 1000) *
+                            (options.delays.max_extra_delay + 1);
+    if (options.track_per_node_energy)
+      net_.meter().enable_per_node(topo.node_count());
+    for (NodeId u = 0; u < topo_.node_count(); ++u) {
+      nodes_[u].edge_state.assign(neighbors(u).size(), EdgeState::kBasic);
+    }
+  }
+
+  MstRunResult run() {
+    if (starters_.empty()) {
+      for (NodeId u = 0; u < topo_.node_count(); ++u) wakeup(u);
+    } else {
+      for (NodeId u : starters_) wakeup(u);
+    }
+    std::size_t rounds = 0;
+    while (net_.pending() || !deferred_.empty()) {
+      EMST_ASSERT_MSG(++rounds <= max_rounds_, "classic GHS exceeded round cap");
+      auto batch = net_.collect_round();
+      // Retry messages deferred in earlier rounds first (they are older).
+      auto retry = std::move(deferred_);
+      deferred_.clear();
+      for (auto& d : retry) dispatch(d);
+      for (auto& d : batch) dispatch(d);
+      // If only deferred messages remain and nothing is in flight, the run
+      // would spin; GHS guarantees an enabling message is always in flight,
+      // so this state means the round cap will eventually trip (bug guard).
+    }
+    return harvest();
+  }
+
+ private:
+  using Delivery = sim::Delivery<GhsMsg>;
+
+  [[nodiscard]] std::span<const graph::Neighbor> neighbors(NodeId u) const {
+    return neighbors_within(topo_, u, radius_);
+  }
+
+  [[nodiscard]] std::size_t slot_of(NodeId u, NodeId v) const {
+    return neighbor_slot(topo_, u, v);
+  }
+
+  [[nodiscard]] static GhsMsgType type_of(const GhsMsg& msg) {
+    return std::visit(
+        [](const auto& m) {
+          using T = std::decay_t<decltype(m)>;
+          if constexpr (std::is_same_v<T, Connect>) return GhsMsgType::kConnect;
+          else if constexpr (std::is_same_v<T, Initiate>) return GhsMsgType::kInitiate;
+          else if constexpr (std::is_same_v<T, Test>) return GhsMsgType::kTest;
+          else if constexpr (std::is_same_v<T, Accept>) return GhsMsgType::kAccept;
+          else if constexpr (std::is_same_v<T, Reject>) return GhsMsgType::kReject;
+          else if constexpr (std::is_same_v<T, Report>) return GhsMsgType::kReport;
+          else if constexpr (std::is_same_v<T, Announce>) return GhsMsgType::kAnnounce;
+          else return GhsMsgType::kChangeRoot;
+        },
+        msg);
+  }
+
+  void tally(GhsMsgType type, double reach) {
+    const auto index = static_cast<std::size_t>(type);
+    ++breakdown_.count[index];
+    breakdown_.energy[index] += net_.meter().model().cost(reach);
+  }
+
+  void send(NodeId u, std::size_t slot, GhsMsg msg) {
+    tally(type_of(msg), neighbors(u)[slot].w);
+    net_.unicast(u, neighbors(u)[slot].id, std::move(msg));
+  }
+
+  void defer(const Delivery& d) { deferred_.push_back(d); }
+
+  // --- GHS procedures (numbered as in the 1983 paper) ---------------------
+
+  /// (2) Spontaneous wakeup: mark the minimum-weight edge Branch and send
+  /// CONNECT(0) over it. Isolated nodes halt immediately.
+  void wakeup(NodeId u) {
+    NodeCtx& n = nodes_[u];
+    if (n.state != NodeState::kSleeping) return;
+    n.state = NodeState::kFound;
+    n.level = 0;
+    n.find_count = 0;
+    if (neighbors(u).empty()) {
+      n.halted = true;  // isolated node: its own (trivial) fragment
+      return;
+    }
+    n.edge_state[0] = EdgeState::kBranch;  // slot 0 = minimum-weight edge
+    send(u, 0, Connect{0});
+  }
+
+  /// (3) Receiving CONNECT(L) on edge j.
+  void on_connect(NodeId u, std::size_t j, const Connect& m, const Delivery& d) {
+    NodeCtx& n = nodes_[u];
+    if (m.level < n.level) {
+      // Absorb the lower-level fragment.
+      n.edge_state[j] = EdgeState::kBranch;
+      send(u, j, Initiate{n.level, n.frag, n.state});
+      if (n.state == NodeState::kFind) ++n.find_count;
+    } else if (n.edge_state[j] == EdgeState::kBasic) {
+      defer(d);  // equal level but j not yet known to be the mutual MOE
+    } else {
+      // Merge: j is the core of the new fragment, named by its edge index.
+      const EdgeIndex core = neighbors(u)[j].edge_index;
+      send(u, j, Initiate{n.level + 1, core, NodeState::kFind});
+    }
+  }
+
+  /// (4) Receiving INITIATE(L, F, S) on edge j.
+  void on_initiate(NodeId u, std::size_t j, const Initiate& m) {
+    NodeCtx& n = nodes_[u];
+    n.level = m.level;
+    const bool renamed = n.frag != m.frag;
+    n.frag = m.frag;
+    // §V-A modification: a node whose fragment name changed announces it to
+    // its whole neighbourhood with one local broadcast.
+    if (moe_ == MoeStrategy::kCachedConfirm && renamed) {
+      tally(GhsMsgType::kAnnounce, radius_);
+      net_.broadcast(u, radius_, Announce{m.frag});
+    }
+    n.state = m.state;
+    n.in_branch = j;
+    n.best_slot = kNoSlot;
+    n.best_edge = kInfEdge;
+    for (std::size_t i = 0; i < n.edge_state.size(); ++i) {
+      if (i == j || n.edge_state[i] != EdgeState::kBranch) continue;
+      send(u, i, Initiate{m.level, m.frag, m.state});
+      if (m.state == NodeState::kFind) ++n.find_count;
+    }
+    if (m.state == NodeState::kFind) test(u);
+  }
+
+  /// (5) Procedure test: probe the minimum-weight basic edge. In cached
+  /// mode, edges whose neighbour announced the node's own fragment name are
+  /// rejected for free; the first remaining candidate is still confirmed
+  /// with one TEST (the cache can be stale in the other direction only).
+  void test(NodeId u) {
+    NodeCtx& n = nodes_[u];
+    const auto nbs = neighbors(u);
+    for (std::size_t i = 0; i < n.edge_state.size(); ++i) {
+      if (n.edge_state[i] != EdgeState::kBasic) continue;
+      if (moe_ == MoeStrategy::kCachedConfirm) {
+        const auto hit = n.cache.find(nbs[i].id);
+        if (hit != n.cache.end() && hit->second == n.frag) {
+          n.edge_state[i] = EdgeState::kRejected;  // proven internal, free
+          continue;
+        }
+      }
+      n.test_slot = i;
+      send(u, i, Test{n.level, n.frag});
+      return;
+    }
+    n.test_slot = kNoSlot;
+    report(u);
+  }
+
+  /// (6) Receiving TEST(L, F) on edge j.
+  void on_test(NodeId u, std::size_t j, const Test& m, const Delivery& d) {
+    NodeCtx& n = nodes_[u];
+    if (m.level > n.level) {
+      defer(d);
+      return;
+    }
+    if (m.frag != n.frag) {
+      send(u, j, Accept{});
+      return;
+    }
+    // Same fragment: internal edge.
+    if (n.edge_state[j] == EdgeState::kBasic) n.edge_state[j] = EdgeState::kRejected;
+    if (n.test_slot != j) {
+      send(u, j, Reject{});
+    } else {
+      test(u);  // the edge we were testing is internal; try the next
+    }
+  }
+
+  /// (7) Receiving ACCEPT on edge j.
+  void on_accept(NodeId u, std::size_t j) {
+    NodeCtx& n = nodes_[u];
+    n.test_slot = kNoSlot;
+    const std::uint64_t idx = neighbors(u)[j].edge_index;
+    if (idx < n.best_edge) {
+      n.best_edge = idx;
+      n.best_slot = j;
+    }
+    report(u);
+  }
+
+  /// (8) Receiving REJECT on edge j.
+  void on_reject(NodeId u, std::size_t j) {
+    NodeCtx& n = nodes_[u];
+    if (n.edge_state[j] == EdgeState::kBasic) n.edge_state[j] = EdgeState::kRejected;
+    test(u);
+  }
+
+  /// (9) Procedure report.
+  void report(NodeId u) {
+    NodeCtx& n = nodes_[u];
+    if (n.find_count == 0 && n.test_slot == kNoSlot) {
+      n.state = NodeState::kFound;
+      EMST_ASSERT(n.in_branch != kNoSlot);
+      send(u, n.in_branch, Report{n.best_edge});
+    }
+  }
+
+  /// (10) Receiving REPORT(w) on edge j.
+  void on_report(NodeId u, std::size_t j, const Report& m, const Delivery& d) {
+    NodeCtx& n = nodes_[u];
+    if (j != n.in_branch) {
+      EMST_ASSERT(n.find_count > 0);
+      --n.find_count;
+      if (m.best < n.best_edge) {
+        n.best_edge = m.best;
+        n.best_slot = j;
+      }
+      report(u);
+      return;
+    }
+    // Report arriving over the core edge.
+    if (n.state == NodeState::kFind) {
+      defer(d);
+    } else if (m.best > n.best_edge) {
+      change_root(u);
+    } else if (m.best == kInfEdge && n.best_edge == kInfEdge) {
+      n.halted = true;  // the whole fragment has no outgoing edge: done
+    }
+    // else: the other core node owns the fragment MOE and will change root.
+  }
+
+  /// (11) Procedure change-root.
+  void change_root(NodeId u) {
+    NodeCtx& n = nodes_[u];
+    EMST_ASSERT(n.best_slot != kNoSlot);
+    if (n.edge_state[n.best_slot] == EdgeState::kBranch) {
+      send(u, n.best_slot, ChangeRoot{});
+    } else {
+      send(u, n.best_slot, Connect{n.level});
+      n.edge_state[n.best_slot] = EdgeState::kBranch;
+    }
+  }
+
+  void dispatch(const Delivery& d) {
+    const NodeId u = d.to;
+    const std::size_t j = slot_of(u, d.from);
+    // A sleeping node is awakened by any incoming message (all nodes wake in
+    // round 0 here, but keep the guard for partial-start configurations).
+    if (nodes_[u].state == NodeState::kSleeping) wakeup(u);
+    std::visit(
+        [&](const auto& msg) {
+          using T = std::decay_t<decltype(msg)>;
+          if constexpr (std::is_same_v<T, Connect>) {
+            on_connect(u, j, msg, d);
+          } else if constexpr (std::is_same_v<T, Initiate>) {
+            on_initiate(u, j, msg);
+          } else if constexpr (std::is_same_v<T, Test>) {
+            on_test(u, j, msg, d);
+          } else if constexpr (std::is_same_v<T, Accept>) {
+            on_accept(u, j);
+          } else if constexpr (std::is_same_v<T, Reject>) {
+            on_reject(u, j);
+          } else if constexpr (std::is_same_v<T, Report>) {
+            on_report(u, j, msg, d);
+          } else if constexpr (std::is_same_v<T, Announce>) {
+            nodes_[u].cache[d.from] = msg.frag;
+          } else {
+            change_root(u);
+          }
+        },
+        d.msg);
+  }
+
+  MstRunResult harvest() {
+    MstRunResult result;
+    const auto& edges = topo_.graph().edges();
+    std::vector<bool> in_tree(edges.size(), false);
+    std::uint32_t max_level = 0;
+    for (NodeId u = 0; u < topo_.node_count(); ++u) {
+      const NodeCtx& n = nodes_[u];
+      max_level = std::max(max_level, n.level);
+      const auto nbs = neighbors(u);
+      for (std::size_t i = 0; i < n.edge_state.size(); ++i) {
+        if (n.edge_state[i] == EdgeState::kBranch) in_tree[nbs[i].edge_index] = true;
+      }
+    }
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      if (in_tree[e]) result.tree.push_back(edges[e].canonical());
+    }
+    graph::sort_edges(result.tree);
+    result.totals = net_.meter().totals();
+    result.phases = max_level;
+    result.fragments = topo_.node_count() - result.tree.size();
+    result.breakdown = breakdown_;
+    result.per_node_energy = net_.meter().per_node();
+    return result;
+  }
+
+  const sim::Topology& topo_;
+  double radius_;
+  MoeStrategy moe_;
+  sim::Network<GhsMsg> net_;
+  std::vector<NodeCtx> nodes_;
+  std::vector<NodeId> starters_;
+  std::vector<Delivery> deferred_;
+  std::size_t max_rounds_ = 0;
+  GhsMessageBreakdown breakdown_;
+};
+
+}  // namespace
+
+MstRunResult run_classic_ghs(const sim::Topology& topo,
+                             const ClassicGhsOptions& options) {
+  return ClassicGhsRun(topo, options).run();
+}
+
+}  // namespace emst::ghs

@@ -1,0 +1,109 @@
+// Shared definitions for the distributed MST algorithms.
+//
+// All algorithms identify edges by their index in the topology's canonical
+// edge list (sorted by (weight, endpoints)); comparing indices is exactly the
+// canonical total order on weights, so fragment names, MOE comparisons and
+// report aggregation are integer operations with no floating-point equality
+// hazards — and the resulting MST is unique, enabling edge-for-edge
+// comparison with Kruskal.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "emst/graph/edge.hpp"
+#include "emst/sim/meter.hpp"
+#include "emst/sim/topology.hpp"
+
+namespace emst::ghs {
+
+using NodeId = sim::NodeId;
+using EdgeIndex = std::uint32_t;
+inline constexpr std::uint64_t kInfEdge = std::numeric_limits<std::uint64_t>::max();
+
+/// One logical transmission recorded by an engine for interference replay
+/// (mac::replay_log): unicast (to, distance-as-radius) or local broadcast.
+struct TxRecord {
+  NodeId from = 0;
+  NodeId to = 0;           ///< receiver (unicast) — ignored for broadcasts
+  double power_radius = 0.0;
+  bool is_broadcast = false;
+};
+
+/// A batch of transmissions the protocol issues concurrently; batches are
+/// ordered in time. Batching is coarse (one batch per protocol wave), which
+/// over-states contention — the replay is an upper bound on slots/attempts.
+using TxBatch = std::vector<TxRecord>;
+using TxLog = std::vector<TxBatch>;
+
+/// Message types of the classical GHS protocol (plus the §V-A announcement),
+/// for per-type accounting.
+enum class GhsMsgType : std::uint8_t {
+  kConnect,
+  kInitiate,
+  kTest,
+  kAccept,
+  kReject,
+  kReport,
+  kChangeRoot,
+  kAnnounce,
+  kTypeCount,
+};
+
+[[nodiscard]] const char* ghs_msg_type_name(GhsMsgType type);
+
+/// Per-type message and energy tallies (classic GHS fills this in; the
+/// interesting split is TEST/ACCEPT/REJECT = Θ(|E|) discovery traffic vs
+/// the Θ(n log n) INITIATE/REPORT control traffic).
+struct GhsMessageBreakdown {
+  std::array<std::uint64_t, static_cast<std::size_t>(GhsMsgType::kTypeCount)>
+      count{};
+  std::array<double, static_cast<std::size_t>(GhsMsgType::kTypeCount)> energy{};
+
+  [[nodiscard]] std::uint64_t count_of(GhsMsgType type) const {
+    return count[static_cast<std::size_t>(type)];
+  }
+  [[nodiscard]] double energy_of(GhsMsgType type) const {
+    return energy[static_cast<std::size_t>(type)];
+  }
+  [[nodiscard]] std::uint64_t total_count() const {
+    std::uint64_t total = 0;
+    for (const std::uint64_t c : count) total += c;
+    return total;
+  }
+};
+
+/// Result of one distributed MST run.
+struct MstRunResult {
+  std::vector<graph::Edge> tree;   ///< canonical order
+  sim::Accounting totals;          ///< energy / messages / rounds
+  std::size_t phases = 0;          ///< phases (sync) or max level (classic)
+  std::size_t fragments = 0;       ///< final fragment count (1 iff connected)
+  GhsMessageBreakdown breakdown;   ///< per message type (classic GHS only)
+  /// Per-node transmit-energy ledger (empty unless the run options enabled
+  /// tracking). max element = the network-lifetime bound.
+  std::vector<double> per_node_energy;
+};
+
+/// Neighbors of u within `radius`, ascending (weight, id) — the prefix of the
+/// topology's sorted neighbor span (the paper's adaptive power control).
+[[nodiscard]] std::span<const graph::Neighbor> neighbors_within(
+    const sim::Topology& topo, NodeId u, double radius);
+
+/// Position of neighbor v in u's sorted neighbor span (binary search by
+/// (weight, id)). Aborts if (u,v) is not an edge of the topology.
+[[nodiscard]] std::size_t neighbor_slot(const sim::Topology& topo, NodeId u, NodeId v);
+
+/// Count the DISTINCT undirected communication pairs a transmission log
+/// exercises (a broadcast contributes one pair per receiver within its power
+/// radius). This is the quantity the Korach–Moran–Zaks argument (§IV) lower-
+/// bounds: any spanning-tree / leader-election algorithm must use
+/// Ω(n log n) distinct edges, which Lemma 4.1 then converts into Ω(log n)
+/// energy.
+[[nodiscard]] std::size_t distinct_pairs_used(const sim::Topology& topo,
+                                              const TxLog& log);
+
+}  // namespace emst::ghs

@@ -1,0 +1,409 @@
+#include "emst/ghs/sync.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "emst/graph/union_find.hpp"
+#include "emst/sim/collectives.hpp"
+#include "emst/support/assert.hpp"
+
+namespace emst::ghs {
+namespace {
+
+constexpr NodeId kNone = graph::kNoNode;
+
+/// Driver for one phase-synchronous GHS run. The protocol choreography is
+/// deterministic, so the driver walks fragment trees itself and charges the
+/// meter for every message the distributed execution would send; the only
+/// state a node may consult is state the message flow actually delivered to
+/// it (its own fragment id, its neighbor cache, probe replies).
+class SyncGhsEngine {
+ public:
+  SyncGhsEngine(const sim::Topology& topo, const SyncGhsOptions& options,
+                const std::optional<FragmentForest>& seed)
+      : topo_(topo),
+        opts_(options),
+        radius_(options.radius > 0.0 ? options.radius : topo.max_radius()),
+        meter_(options.pathloss) {
+    EMST_ASSERT(radius_ <= topo_.max_radius() * (1.0 + 1e-12));
+    const std::size_t n = topo_.node_count();
+    frag_.resize(n);
+    tree_adj_.assign(n, {});
+    cache_.assign(n, {});
+    in_tree_.assign(topo_.graph().edge_count(), false);
+    rejected_.assign(topo_.graph().edge_count(), false);
+    if (seed) {
+      EMST_ASSERT(seed->leader.size() == n);
+      frag_ = seed->leader;
+      for (const graph::Edge& e : seed->tree) add_tree_edge(e);
+    } else {
+      for (NodeId u = 0; u < n; ++u) frag_[u] = u;
+    }
+    for (NodeId p : opts_.passive_fragments) passive_.insert(p);
+    if (opts_.track_per_node_energy) meter_.enable_per_node(n);
+    max_phases_ = opts_.max_phases > 0
+                      ? opts_.max_phases
+                      : static_cast<std::size_t>(
+                            4.0 * std::log2(static_cast<double>(n) + 2.0)) +
+                            16;
+  }
+
+  SyncGhsResult run() {
+    if (opts_.neighbor_cache && opts_.announce_initial) announce_all();
+    std::size_t phases = 0;
+    std::vector<std::size_t> trajectory;
+    for (;;) {
+      trajectory.push_back(fragment_count());
+      if (!run_phase()) break;
+      EMST_ASSERT_MSG(++phases <= max_phases_, "sync GHS exceeded phase cap");
+    }
+    SyncGhsResult result;
+    result.run.tree = tree_;
+    graph::sort_edges(result.run.tree);
+    result.run.totals = meter_.totals();
+    result.run.phases = phases;
+    result.run.fragments = fragment_count();
+    result.final_forest.leader = frag_;
+    result.final_forest.tree = result.run.tree;
+    result.fragments_per_phase = std::move(trajectory);
+    result.run.per_node_energy = meter_.per_node();
+    return result;
+  }
+
+  [[nodiscard]] std::size_t fragment_count() const {
+    const std::unordered_set<NodeId> leaders(frag_.begin(), frag_.end());
+    return leaders.size();
+  }
+
+  [[nodiscard]] const sim::EnergyMeter& meter() const noexcept { return meter_; }
+
+ private:
+  struct Candidate {
+    std::uint64_t edge_index = kInfEdge;
+    NodeId from = kNone;
+    NodeId to = kNone;
+  };
+
+  void add_tree_edge(const graph::Edge& e) {
+    tree_adj_[e.u].push_back(e.v);
+    tree_adj_[e.v].push_back(e.u);
+    tree_.push_back(e.canonical());
+    // Mark by global edge index so the probe walk can skip tree edges.
+    in_tree_[edge_index_of(e.u, e.v)] = true;
+  }
+
+  [[nodiscard]] EdgeIndex edge_index_of(NodeId u, NodeId v) const {
+    return topo_.neighbors(u)[neighbor_slot(topo_, u, v)].edge_index;
+  }
+
+  void charge_unicast(NodeId u, NodeId v) {
+    meter_.charge_unicast(u, topo_.distance(u, v));
+    if (opts_.transmission_log != nullptr) {
+      batch_.push_back({u, v, topo_.distance(u, v), false});
+    }
+  }
+
+  /// Charge a unicast into a specific wave buffer (for per-wave batching of
+  /// the interference log); equals charge_unicast when not logging.
+  void charge_wave(TxBatch& wave, NodeId u, NodeId v) {
+    meter_.charge_unicast(u, topo_.distance(u, v));
+    if (opts_.transmission_log != nullptr) {
+      wave.push_back({u, v, topo_.distance(u, v), false});
+    }
+  }
+
+  /// Close the current concurrency batch (no-op when not logging or empty).
+  void flush_batch() {
+    if (opts_.transmission_log == nullptr || batch_.empty()) return;
+    opts_.transmission_log->push_back(std::move(batch_));
+    batch_.clear();
+  }
+
+  /// One local broadcast of u's fragment id; every receiver updates its
+  /// cached entry for u. With announce_min_power the transmit power shrinks
+  /// to the farthest neighbour's distance — identical receiver set, less
+  /// energy (neighbours are sorted ascending, so .back() is the farthest).
+  void announce(NodeId u) {
+    const auto receivers = neighbors_within(topo_, u, radius_);
+    const double power = opts_.announce_min_power
+                             ? (receivers.empty() ? 0.0 : receivers.back().w)
+                             : radius_;
+    meter_.charge_broadcast(u, power, receivers.size());
+    if (opts_.transmission_log != nullptr) {
+      batch_.push_back({u, u, power, true});
+    }
+    for (const graph::Neighbor& nb : receivers) cache_[nb.id][u] = frag_[u];
+  }
+
+  void announce_all() {
+    for (NodeId u = 0; u < topo_.node_count(); ++u) announce(u);
+    flush_batch();
+    meter_.tick_round();
+  }
+
+  /// BFS parents/order of one fragment from its leader over tree edges.
+  struct FragmentView {
+    std::vector<NodeId> order;          // BFS order, order[0] = leader
+    std::unordered_map<NodeId, NodeId> parent;
+    std::unordered_map<NodeId, std::size_t> depth;
+    std::size_t max_depth = 0;
+  };
+
+  [[nodiscard]] FragmentView view_fragment(NodeId leader) const {
+    FragmentView view;
+    view.order.push_back(leader);
+    view.parent[leader] = kNone;
+    view.depth[leader] = 0;
+    std::queue<NodeId> frontier;
+    frontier.push(leader);
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop();
+      for (NodeId v : tree_adj_[u]) {
+        if (view.parent.count(v) > 0) continue;
+        view.parent[v] = u;
+        view.depth[v] = view.depth[u] + 1;
+        view.max_depth = std::max(view.max_depth, view.depth[v]);
+        view.order.push_back(v);
+        frontier.push(v);
+      }
+    }
+    return view;
+  }
+
+  /// Local MOE of node u: cheapest incident edge leaving the fragment, found
+  /// by cache lookup (modified) or TEST probing (classic). Probing charges
+  /// 2 messages per probe and permanently rejects intra-fragment edges.
+  [[nodiscard]] Candidate local_moe(NodeId u, std::size_t& probes,
+                                    TxBatch& probe_wave) {
+    Candidate best;
+    for (const graph::Neighbor& nb : neighbors_within(topo_, u, radius_)) {
+      if (opts_.neighbor_cache) {
+        const auto it = cache_[u].find(nb.id);
+        EMST_ASSERT_MSG(it != cache_[u].end(),
+                        "modified GHS: neighbor cache must be complete");
+        if (it->second == frag_[u]) continue;
+        best = {nb.edge_index, u, nb.id};
+        break;  // neighbors ascend by weight: first hit is the minimum
+      }
+      // Classic probing: skip branch (tree) and rejected edges, TEST the rest.
+      if (in_tree_[nb.edge_index] || rejected_[nb.edge_index]) continue;
+      charge_wave(probe_wave, u, nb.id);  // TEST
+      charge_wave(probe_wave, nb.id, u);  // ACCEPT or REJECT
+      ++probes;
+      if (frag_[nb.id] == frag_[u]) {
+        rejected_[nb.edge_index] = true;
+        continue;
+      }
+      best = {nb.edge_index, u, nb.id};
+      break;
+    }
+    return best;
+  }
+
+  /// Execute one phase. Returns false when no active fragment remains.
+  bool run_phase() {
+    // Group members by fragment leader.
+    std::unordered_map<NodeId, std::vector<NodeId>> members;
+    for (NodeId u = 0; u < topo_.node_count(); ++u) members[frag_[u]].push_back(u);
+
+    // Active fragments select their MOEs. When logging, the phase's
+    // messages group into four concurrency waves across all fragments.
+    std::unordered_map<NodeId, Candidate> selected;
+    TxBatch initiate_wave;
+    TxBatch probe_wave;
+    TxBatch report_wave;
+    TxBatch changeroot_wave;
+    std::size_t max_depth = 0;
+    std::size_t max_probes = 0;
+    for (const auto& [leader, nodes] : members) {
+      if (passive_.count(leader) > 0 || finished_.count(leader) > 0) continue;
+      const FragmentView view = view_fragment(leader);
+      EMST_ASSERT_MSG(view.order.size() == nodes.size(),
+                      "fragment tree must span exactly the fragment members");
+      max_depth = std::max(max_depth, view.max_depth);
+
+      // INITIATE flood: one unicast per tree edge, leader to leaves.
+      for (NodeId v : view.order) {
+        if (view.parent.at(v) != kNone)
+          charge_wave(initiate_wave, view.parent.at(v), v);
+      }
+      // Local MOEs + REPORT convergecast (one unicast per tree edge).
+      Candidate best;
+      std::size_t probes = 0;
+      for (NodeId v : view.order) {
+        const Candidate c = local_moe(v, probes, probe_wave);
+        if (c.edge_index < best.edge_index) best = c;
+        if (view.parent.at(v) != kNone)
+          charge_wave(report_wave, v, view.parent.at(v));
+      }
+      max_probes = std::max(max_probes, probes);
+      if (best.edge_index == kInfEdge) {
+        finished_.insert(leader);  // fragment spans its whole component
+        continue;
+      }
+      // CHANGE-ROOT down the tree path leader→owner, then CONNECT over MOE.
+      NodeId hop = best.from;
+      std::vector<NodeId> path;
+      while (hop != kNone) {
+        path.push_back(hop);
+        hop = view.parent.at(hop);
+      }
+      for (std::size_t i = path.size(); i-- > 1;)
+        charge_wave(changeroot_wave, path[i], path[i - 1]);
+      charge_wave(changeroot_wave, best.from, best.to);  // CONNECT
+      selected[leader] = best;
+    }
+    if (opts_.transmission_log != nullptr) {
+      for (TxBatch* wave :
+           {&initiate_wave, &probe_wave, &report_wave, &changeroot_wave}) {
+        if (!wave->empty()) opts_.transmission_log->push_back(std::move(*wave));
+      }
+    }
+    // Synchronous-time estimate for this phase: initiate flood + report
+    // convergecast (depth each), the probe sequence, change-root + connect.
+    meter_.tick_rounds(2 * max_depth + 2 * max_probes + 2);
+
+    if (selected.empty()) return false;
+
+    merge(selected);
+    return true;
+  }
+
+  /// Borůvka contraction of the selected MOEs, with the paper's passive-id
+  /// retention, followed by the modified-GHS announcements.
+  void merge(const std::unordered_map<NodeId, Candidate>& selected) {
+    // Union fragments over chosen edges (union-find over node ids; every
+    // node of both fragments is already united through tree edges... use a
+    // dedicated DSU over fragment leaders via their node ids).
+    graph::UnionFind dsu(topo_.node_count());
+    // First unite members with their leader so leader sets represent groups.
+    for (NodeId u = 0; u < topo_.node_count(); ++u) dsu.unite(u, frag_[u]);
+    for (const auto& [leader, c] : selected) dsu.unite(c.from, c.to);
+
+    // Collect groups: representative -> fragment leaders inside.
+    std::unordered_map<NodeId, std::vector<NodeId>> group_leaders;
+    {
+      std::unordered_set<NodeId> leaders(frag_.begin(), frag_.end());
+      for (NodeId l : leaders) group_leaders[dsu.find(l)].push_back(l);
+    }
+
+    // Decide each group's new leader.
+    std::unordered_map<NodeId, NodeId> new_leader_of_rep;
+    for (auto& [rep, leaders] : group_leaders) {
+      if (leaders.size() == 1) {
+        new_leader_of_rep[rep] = leaders[0];
+        continue;
+      }
+      NodeId chosen = kNone;
+      for (NodeId l : leaders) {
+        if (passive_.count(l) > 0) {
+          EMST_ASSERT_MSG(chosen == kNone, "at most one passive fragment per group");
+          chosen = l;
+        }
+      }
+      const bool has_passive = chosen != kNone;
+      if (!has_passive || !opts_.retain_passive_id) {
+        // Core edge = minimum selected edge inside the group (it is the
+        // mutual MOE); the new leader is its higher-id endpoint.
+        Candidate core;
+        for (NodeId l : leaders) {
+          const auto it = selected.find(l);
+          if (it != selected.end() && it->second.edge_index < core.edge_index)
+            core = it->second;
+        }
+        EMST_ASSERT(core.edge_index != kInfEdge);
+        chosen = std::max(core.from, core.to);
+      }
+      new_leader_of_rep[rep] = chosen;
+      if (has_passive) {
+        // Passivity survives the merge (the giant keeps only accepting).
+        for (NodeId l : leaders) passive_.erase(l);
+        passive_.insert(chosen);
+      }
+    }
+
+    // Add the chosen MOE edges to the forest (dedupe mutual picks).
+    std::unordered_set<std::uint64_t> added;
+    for (const auto& [leader, c] : selected) {
+      if (!added.insert(c.edge_index).second) continue;
+      const graph::Edge e = topo_.graph().edges()[c.edge_index];
+      add_tree_edge(e);
+    }
+
+    // Relabel nodes; changed nodes announce their new fragment id.
+    std::vector<NodeId> changed;
+    for (NodeId u = 0; u < topo_.node_count(); ++u) {
+      const NodeId nl = new_leader_of_rep.at(dsu.find(frag_[u]));
+      if (nl != frag_[u]) {
+        frag_[u] = nl;
+        changed.push_back(u);
+      }
+    }
+    if (opts_.neighbor_cache) {
+      for (NodeId u : changed) announce(u);
+      flush_batch();
+      if (!changed.empty()) meter_.tick_round();
+    }
+  }
+
+  const sim::Topology& topo_;
+  SyncGhsOptions opts_;
+  double radius_;
+  sim::EnergyMeter meter_;
+
+  std::vector<NodeId> frag_;                    // fragment leader per node
+  std::vector<std::vector<NodeId>> tree_adj_;   // fragment tree adjacency
+  std::vector<graph::Edge> tree_;
+  std::vector<std::unordered_map<NodeId, NodeId>> cache_;  // neighbor -> frag
+  std::vector<bool> in_tree_;    // per global edge index
+  std::vector<bool> rejected_;   // per global edge index (probe mode)
+  std::unordered_set<NodeId> passive_;
+  std::unordered_set<NodeId> finished_;
+  std::size_t max_phases_ = 0;
+  TxBatch batch_;  // open announcement batch (when logging)
+};
+
+}  // namespace
+
+SyncGhsResult run_sync_ghs(const sim::Topology& topo, const SyncGhsOptions& options,
+                           const std::optional<FragmentForest>& seed,
+                           sim::EnergyMeter* external_meter) {
+  SyncGhsEngine engine(topo, options, seed);
+  SyncGhsResult result = engine.run();
+  if (external_meter != nullptr) external_meter->absorb(result.run.totals);
+  return result;
+}
+
+std::vector<std::size_t> fragment_census(const sim::Topology& topo,
+                                         const FragmentForest& forest,
+                                         sim::EnergyMeter& meter) {
+  const std::size_t n = topo.node_count();
+  EMST_ASSERT(forest.leader.size() == n);
+  // "One broadcast and one convergecast" (§V): the leader floods a size
+  // query down its tree, then member counts fold back up — one unicast per
+  // tree edge in each direction.
+  std::vector<NodeId> leaders;
+  {
+    std::unordered_set<NodeId> unique(forest.leader.begin(), forest.leader.end());
+    leaders.assign(unique.begin(), unique.end());
+  }
+  const auto parent = sim::forest_parents(n, forest.tree, leaders);
+  const auto schedule = sim::make_schedule(parent);
+  // Size query down (payload irrelevant; the message must still be paid).
+  (void)sim::tree_broadcast<std::uint8_t>(
+      topo, parent, schedule, std::vector<std::uint8_t>(n, 0),
+      [](std::uint8_t v, NodeId) { return v; }, meter);
+  // Member counts up.
+  const auto subtree = sim::tree_convergecast<std::size_t>(
+      topo, parent, schedule, std::vector<std::size_t>(n, 1),
+      [](std::size_t a, std::size_t b) { return a + b; }, meter);
+  std::vector<std::size_t> out(n);
+  for (NodeId u = 0; u < n; ++u) out[u] = subtree[forest.leader[u]];
+  return out;
+}
+
+}  // namespace emst::ghs

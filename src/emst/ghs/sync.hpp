@@ -1,0 +1,101 @@
+// Phase-synchronous GHS and the paper's *modified* GHS (§V-A).
+//
+// Each phase, every fragment: (1) floods an INITIATE down its fragment tree,
+// (2) every member determines its local minimum outgoing edge (MOE),
+// (3) a REPORT convergecast carries the fragment MOE to the leader,
+// (4) the leader CHANGE-ROOTs to the MOE endpoint, which sends CONNECT, and
+// (5) fragments linked by chosen MOEs merge (Borůvka contraction).
+//
+// The two MOE-discovery modes realize the baseline/modified split:
+//  - `neighbor_cache = false` (classic flavour): a node probes its basic
+//    edges in ascending weight with TEST messages; the probed neighbor
+//    answers ACCEPT/REJECT, and rejected (intra-fragment) edges are never
+//    probed again — the classical O(|E| + n·φ) test/reject budget.
+//  - `neighbor_cache = true` (modified GHS): every node caches each
+//    neighbor's fragment id; after a merge only nodes whose id changed
+//    announce it with ONE local broadcast, and MOE discovery is a zero-
+//    message table lookup. Message complexity drops to O(n·φ).
+//
+// Step-2 specific options (paper §V-A, last paragraph):
+//  - passive fragments ("the giant") never initiate, test, or report — they
+//    only accept CONNECT messages from small fragments;
+//  - a merge group containing a passive fragment keeps the passive
+//    fragment's id, so its members never re-announce.
+//
+// The run can be seeded with an existing fragment forest (EOPT Step 2
+// continues from the Step-1 fragments).
+#pragma once
+
+#include <optional>
+
+#include "emst/geometry/pathloss.hpp"
+#include "emst/ghs/common.hpp"
+
+namespace emst::ghs {
+
+/// A fragment forest: per-node fragment leader and the tree edges built so
+/// far. Fragment ids are leader node ids.
+struct FragmentForest {
+  std::vector<NodeId> leader;       ///< per node: its fragment's leader
+  std::vector<graph::Edge> tree;    ///< edges of all fragment trees
+};
+
+struct SyncGhsOptions {
+  /// Operating transmission radius (≤ topology max radius; <= 0 → max).
+  double radius = 0.0;
+  geometry::PathLoss pathloss{};
+  /// true = modified GHS (neighbor cache + announcements);
+  /// false = classic TEST/ACCEPT/REJECT probing.
+  bool neighbor_cache = true;
+  /// Broadcast one initial id announcement per node before phase 1 (needed
+  /// whenever caches are empty or the radius grew since they were filled).
+  bool announce_initial = true;
+  /// Power-adapt announcements: broadcast only as far as the node's farthest
+  /// neighbour in the operating topology instead of the full radius. Reaches
+  /// the same receiver set (so correctness is untouched) at d_max^α ≤ r^α
+  /// energy; requires the node to know its neighbour distances — which the
+  /// modified GHS assumes anyway ("with their distance information", §V-A).
+  /// On sparse logical topologies (Gabriel graph) this is the coordinate
+  /// lever the §VIII open question asks about.
+  bool announce_min_power = false;
+  /// Fragments (by leader id) that only accept connections (the giant).
+  std::vector<NodeId> passive_fragments;
+  /// Merge groups containing a passive fragment keep the passive id.
+  bool retain_passive_id = true;
+  /// Safety cap on phases (0 = automatic: 4·log2(n) + 16).
+  std::size_t max_phases = 0;
+  /// Fill MstRunResult::per_node_energy (per-sender transmit ledger).
+  bool track_per_node_energy = false;
+  /// When non-null, every transmission is also appended to this log, one
+  /// batch per protocol wave (initial announce; per phase: initiate wave,
+  /// MOE probes, report wave, change-root+connect, merge announcements) —
+  /// the input to mac::replay_log for end-to-end interference accounting.
+  TxLog* transmission_log = nullptr;
+};
+
+struct SyncGhsResult {
+  MstRunResult run;            ///< tree includes seed edges
+  FragmentForest final_forest; ///< fragmentation when the run stopped
+  /// Fragment count before each phase (Borůvka trajectory: every phase at
+  /// least halves the number of active fragments, so the series is
+  /// geometric — tested).
+  std::vector<std::size_t> fragments_per_phase;
+};
+
+/// Run phase-synchronous (modified) GHS. `seed` continues from an existing
+/// fragment forest; nullopt starts from singletons. `external_meter`, when
+/// non-null, accumulates across calls (EOPT charges Step 1 + census + Step 2
+/// to one meter).
+[[nodiscard]] SyncGhsResult run_sync_ghs(
+    const sim::Topology& topo, const SyncGhsOptions& options,
+    const std::optional<FragmentForest>& seed = std::nullopt,
+    sim::EnergyMeter* external_meter = nullptr);
+
+/// Fragment-size census (EOPT Step 2 preamble): one broadcast down and one
+/// convergecast up each fragment tree. Returns per-node size of its own
+/// fragment; charges 2 unicasts per tree edge to `meter`.
+[[nodiscard]] std::vector<std::size_t> fragment_census(
+    const sim::Topology& topo, const FragmentForest& forest,
+    sim::EnergyMeter& meter);
+
+}  // namespace emst::ghs

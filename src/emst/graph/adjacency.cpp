@@ -1,0 +1,35 @@
+#include "emst/graph/adjacency.hpp"
+
+#include <algorithm>
+
+#include "emst/support/assert.hpp"
+
+namespace emst::graph {
+
+AdjacencyList::AdjacencyList(std::size_t n, const std::vector<Edge>& edges)
+    : offsets_(n + 1, 0), edges_(edges) {
+  sort_edges(edges_);
+  for (const Edge& e : edges_) {
+    EMST_ASSERT(e.u < n && e.v < n);
+    EMST_ASSERT_MSG(e.u != e.v, "self loops are not allowed");
+    ++offsets_[e.u + 1];
+    ++offsets_[e.v + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) offsets_[i] += offsets_[i - 1];
+  entries_.resize(offsets_[n]);
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  // edges_ is sorted by (w, u, v); appending in that order leaves each
+  // node's neighbor range sorted by (w, id) without a per-node sort.
+  for (std::uint32_t idx = 0; idx < edges_.size(); ++idx) {
+    const Edge& e = edges_[idx];
+    entries_[cursor[e.u]++] = Neighbor{e.v, e.w, idx};
+    entries_[cursor[e.v]++] = Neighbor{e.u, e.w, idx};
+  }
+}
+
+std::span<const Neighbor> AdjacencyList::neighbors(NodeId u) const {
+  EMST_ASSERT(u + 1 < offsets_.size());
+  return {entries_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+}
+
+}  // namespace emst::graph

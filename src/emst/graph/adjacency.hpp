@@ -1,0 +1,51 @@
+// Compressed-sparse-row adjacency for weighted undirected graphs.
+//
+// Built once from an edge list; per-node neighbor ranges are contiguous and
+// sorted by (weight, neighbor id) — the canonical edge order — so the GHS
+// implementations can walk "basic edges in ascending weight" with a cursor.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "emst/graph/edge.hpp"
+
+namespace emst::graph {
+
+struct Neighbor {
+  NodeId id = 0;
+  double w = 0.0;
+  /// Index of this (u,v) pair in the owning graph's canonical edge list;
+  /// identical for both directions, so per-edge state can live in one array.
+  std::uint32_t edge_index = 0;
+};
+
+class AdjacencyList {
+ public:
+  AdjacencyList() = default;
+
+  /// Build from an undirected edge list over nodes [0, n).
+  AdjacencyList(std::size_t n, const std::vector<Edge>& edges);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edges_.size(); }
+
+  /// Neighbors of u, sorted by (weight, id).
+  [[nodiscard]] std::span<const Neighbor> neighbors(NodeId u) const;
+
+  [[nodiscard]] std::size_t degree(NodeId u) const { return neighbors(u).size(); }
+
+  /// Canonical (sorted) edge list the graph was built from.
+  [[nodiscard]] const std::vector<Edge>& edges() const noexcept { return edges_; }
+
+  /// Weight of edge index e.
+  [[nodiscard]] double edge_weight(std::uint32_t e) const { return edges_[e].w; }
+
+ private:
+  std::vector<std::size_t> offsets_;
+  std::vector<Neighbor> entries_;
+  std::vector<Edge> edges_;  // canonical order
+};
+
+}  // namespace emst::graph

@@ -1,0 +1,57 @@
+#include <optional>
+
+#include "emst/graph/mst.hpp"
+#include "emst/graph/union_find.hpp"
+#include "emst/support/assert.hpp"
+
+namespace emst::graph {
+namespace {
+
+/// One Borůvka phase: each component picks its minimum outgoing edge under
+/// the canonical order, then all picks are contracted. Returns the number of
+/// merges performed (0 means the forest is final).
+std::size_t boruvka_phase(const AdjacencyList& graph, UnionFind& dsu,
+                          std::vector<Edge>* tree) {
+  const std::size_t n = graph.node_count();
+  // best outgoing edge per component root, discovered this phase
+  std::vector<std::optional<Edge>> best(n);
+  for (NodeId u = 0; u < n; ++u) {
+    const NodeId ru = dsu.find(u);
+    for (const Neighbor& nb : graph.neighbors(u)) {
+      if (dsu.find(nb.id) == ru) continue;
+      const Edge candidate{u, nb.id, nb.w};
+      if (!best[ru] || edge_less(candidate, *best[ru])) best[ru] = candidate;
+    }
+  }
+  std::size_t merges = 0;
+  for (NodeId r = 0; r < n; ++r) {
+    if (!best[r]) continue;
+    const Edge e = *best[r];
+    if (dsu.unite(e.u, e.v)) {
+      if (tree != nullptr) tree->push_back(e.canonical());
+      ++merges;
+    }
+  }
+  return merges;
+}
+
+}  // namespace
+
+std::vector<Edge> boruvka_msf(const AdjacencyList& graph) {
+  UnionFind dsu(graph.node_count());
+  std::vector<Edge> tree;
+  if (graph.node_count() > 0) tree.reserve(graph.node_count() - 1);
+  while (boruvka_phase(graph, dsu, &tree) > 0) {
+  }
+  sort_edges(tree);
+  return tree;
+}
+
+std::size_t boruvka_phase_count(const AdjacencyList& graph) {
+  UnionFind dsu(graph.node_count());
+  std::size_t phases = 0;
+  while (boruvka_phase(graph, dsu, nullptr) > 0) ++phases;
+  return phases;
+}
+
+}  // namespace emst::graph

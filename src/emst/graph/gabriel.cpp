@@ -1,0 +1,92 @@
+#include "emst/graph/gabriel.hpp"
+
+#include "emst/spatial/cell_grid.hpp"
+#include "emst/support/assert.hpp"
+
+namespace emst::graph {
+namespace {
+
+/// Strict interior test: w kills (u,v) iff d²(w,u)+d²(w,v) < d²(u,v).
+/// (Boundary points — exactly on the circle — do not kill the edge; with
+/// continuous coordinates the case has measure zero anyway.)
+bool witness_kills(geometry::Point2 w, geometry::Point2 pu, geometry::Point2 pv,
+                   double d_uv_sq) {
+  return geometry::distance_sq(w, pu) + geometry::distance_sq(w, pv) < d_uv_sq;
+}
+
+/// RNG lune test: w kills (u,v) iff max(d(w,u), d(w,v)) < d(u,v).
+bool lune_witness_kills(geometry::Point2 w, geometry::Point2 pu,
+                        geometry::Point2 pv, double d_uv_sq) {
+  return geometry::distance_sq(w, pu) < d_uv_sq &&
+         geometry::distance_sq(w, pv) < d_uv_sq;
+}
+
+}  // namespace
+
+bool is_gabriel_edge(std::span<const geometry::Point2> points, NodeId u,
+                     NodeId v) {
+  EMST_ASSERT(u < points.size() && v < points.size() && u != v);
+  const double d_uv_sq = geometry::distance_sq(points[u], points[v]);
+  for (NodeId w = 0; w < points.size(); ++w) {
+    if (w == u || w == v) continue;
+    if (witness_kills(points[w], points[u], points[v], d_uv_sq)) return false;
+  }
+  return true;
+}
+
+std::vector<Edge> gabriel_filter(std::span<const geometry::Point2> points,
+                                 const std::vector<Edge>& edges) {
+  const spatial::CellGrid grid = spatial::CellGrid::with_auto_cell(points);
+  std::vector<Edge> kept;
+  kept.reserve(points.size() * 2);
+  for (const Edge& e : edges) {
+    const geometry::Point2 pu = points[e.u];
+    const geometry::Point2 pv = points[e.v];
+    const geometry::Point2 mid = (pu + pv) * 0.5;
+    const double d_uv_sq = geometry::distance_sq(pu, pv);
+    const double disk_radius = 0.5 * std::sqrt(d_uv_sq);
+    bool gabriel = true;
+    grid.for_each_within(mid, disk_radius, [&](spatial::PointIndex w) {
+      if (!gabriel || w == e.u || w == e.v) return;
+      if (witness_kills(points[w], pu, pv, d_uv_sq)) gabriel = false;
+    });
+    if (gabriel) kept.push_back(e);
+  }
+  return kept;
+}
+
+bool is_rng_edge(std::span<const geometry::Point2> points, NodeId u, NodeId v) {
+  EMST_ASSERT(u < points.size() && v < points.size() && u != v);
+  const double d_uv_sq = geometry::distance_sq(points[u], points[v]);
+  for (NodeId w = 0; w < points.size(); ++w) {
+    if (w == u || w == v) continue;
+    if (lune_witness_kills(points[w], points[u], points[v], d_uv_sq))
+      return false;
+  }
+  return true;
+}
+
+std::vector<Edge> rng_filter(std::span<const geometry::Point2> points,
+                             const std::vector<Edge>& edges) {
+  const spatial::CellGrid grid = spatial::CellGrid::with_auto_cell(points);
+  std::vector<Edge> kept;
+  kept.reserve(points.size() * 2);
+  for (const Edge& e : edges) {
+    const geometry::Point2 pu = points[e.u];
+    const geometry::Point2 pv = points[e.v];
+    const geometry::Point2 mid = (pu + pv) * 0.5;
+    const double d_uv_sq = geometry::distance_sq(pu, pv);
+    // The lune is contained in the disk around the midpoint with radius
+    // (√3/2)·d ≤ d.
+    const double scan_radius = std::sqrt(d_uv_sq);
+    bool rng = true;
+    grid.for_each_within(mid, scan_radius, [&](spatial::PointIndex w) {
+      if (!rng || w == e.u || w == e.v) return;
+      if (lune_witness_kills(points[w], pu, pv, d_uv_sq)) rng = false;
+    });
+    if (rng) kept.push_back(e);
+  }
+  return kept;
+}
+
+}  // namespace emst::graph

@@ -1,0 +1,47 @@
+// Gabriel graph — a locally-computable geometric MST superset.
+//
+// Edge (u,v) belongs to the Gabriel graph iff no other point lies inside the
+// closed disk with diameter uv, equivalently d²(w,u) + d²(w,v) ≥ d²(u,v) for
+// all w. Classical facts: EMST ⊆ RNG ⊆ GG ⊆ Delaunay, and |GG| = O(n).
+//
+// Relevance to the paper: §VIII leaves open whether coordinates admit an
+// energy-optimal *exact* MST algorithm. A node that knows its own and its
+// neighbours' coordinates can decide Gabriel membership of its incident
+// edges with ONE-HOP information only (the disk of a unit-disk edge is
+// contained in the union of the endpoints' radio ranges), shrinking the
+// candidate edge set from Θ(n log n) to O(n) before GHS even starts — the
+// `coordeopt` exploration measured in `bench/ablation_ghs_variants` and
+// EXPERIMENTS.md.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "emst/geometry/point.hpp"
+#include "emst/graph/edge.hpp"
+
+namespace emst::graph {
+
+/// True iff (u,v) is a Gabriel edge of `points` (no witness in the diameter
+/// disk). O(n) scan; prefer gabriel_filter for whole edge sets.
+[[nodiscard]] bool is_gabriel_edge(std::span<const geometry::Point2> points,
+                                   NodeId u, NodeId v);
+
+/// Filter an edge list down to its Gabriel edges. Uses a spatial grid over
+/// the points: expected O(|edges| · disk population).
+[[nodiscard]] std::vector<Edge> gabriel_filter(
+    std::span<const geometry::Point2> points, const std::vector<Edge>& edges);
+
+/// Relative neighborhood graph membership: (u,v) is an RNG edge iff no
+/// witness w has max(d(w,u), d(w,v)) < d(u,v) (the "lune" is empty).
+/// EMST ⊆ RNG ⊆ GG — the RNG is the sparser (still connectivity-preserving)
+/// locally-computable MST superset.
+[[nodiscard]] bool is_rng_edge(std::span<const geometry::Point2> points,
+                               NodeId u, NodeId v);
+
+/// Filter an edge list down to its RNG edges (grid-accelerated).
+[[nodiscard]] std::vector<Edge> rng_filter(
+    std::span<const geometry::Point2> points, const std::vector<Edge>& edges);
+
+}  // namespace emst::graph

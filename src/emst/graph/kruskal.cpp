@@ -1,0 +1,20 @@
+#include "emst/graph/mst.hpp"
+#include "emst/graph/union_find.hpp"
+
+namespace emst::graph {
+
+std::vector<Edge> kruskal_msf(std::size_t n, std::vector<Edge> edges) {
+  sort_edges(edges);
+  UnionFind dsu(n);
+  std::vector<Edge> tree;
+  if (n > 0) tree.reserve(n - 1);
+  for (const Edge& e : edges) {
+    if (dsu.unite(e.u, e.v)) {
+      tree.push_back(e.canonical());
+      if (dsu.components() == 1) break;
+    }
+  }
+  return tree;
+}
+
+}  // namespace emst::graph

@@ -1,0 +1,34 @@
+// Sequential (centralized) MST algorithms: Kruskal, Prim, Borůvka.
+//
+// These are the ground truth for the distributed algorithms: with the
+// canonical tie-break order (edge.hpp) the MST/minimum spanning *forest* is
+// unique, so GHS / modified-GHS / EOPT outputs are compared edge-for-edge
+// against `kruskal_msf`. On disconnected graphs all three return the minimum
+// spanning forest.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "emst/graph/adjacency.hpp"
+#include "emst/graph/edge.hpp"
+
+namespace emst::graph {
+
+/// Minimum spanning forest by Kruskal's algorithm. Edges returned in
+/// canonical sorted order. O(m log m).
+[[nodiscard]] std::vector<Edge> kruskal_msf(std::size_t n, std::vector<Edge> edges);
+
+/// Minimum spanning forest by Prim's algorithm with a binary heap, restarted
+/// per component. O(m log n).
+[[nodiscard]] std::vector<Edge> prim_msf(const AdjacencyList& graph);
+
+/// Minimum spanning forest by Borůvka's algorithm. O(m log n). This is the
+/// sequential skeleton of GHS — each phase every component selects its
+/// minimum outgoing edge — and is used to cross-check phase counts.
+[[nodiscard]] std::vector<Edge> boruvka_msf(const AdjacencyList& graph);
+
+/// Number of Borůvka phases until no component has an outgoing edge.
+[[nodiscard]] std::size_t boruvka_phase_count(const AdjacencyList& graph);
+
+}  // namespace emst::graph

@@ -1,0 +1,47 @@
+#include <queue>
+
+#include "emst/graph/mst.hpp"
+#include "emst/support/assert.hpp"
+
+namespace emst::graph {
+namespace {
+
+struct HeapItem {
+  Edge edge;  // edge.v is the frontier node to add
+  friend bool operator<(const HeapItem& a, const HeapItem& b) {
+    // std::priority_queue is a max-heap; invert the canonical order.
+    return edge_less(b.edge, a.edge);
+  }
+};
+
+}  // namespace
+
+std::vector<Edge> prim_msf(const AdjacencyList& graph) {
+  const std::size_t n = graph.node_count();
+  std::vector<Edge> tree;
+  if (n == 0) return tree;
+  tree.reserve(n - 1);
+  std::vector<bool> in_tree(n, false);
+  std::priority_queue<HeapItem> heap;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (in_tree[root]) continue;
+    in_tree[root] = true;
+    for (const Neighbor& nb : graph.neighbors(root))
+      heap.push({Edge{root, nb.id, nb.w}});
+    while (!heap.empty()) {
+      const Edge e = heap.top().edge;
+      heap.pop();
+      if (in_tree[e.v]) continue;
+      in_tree[e.v] = true;
+      tree.push_back(e.canonical());
+      for (const Neighbor& nb : graph.neighbors(e.v)) {
+        if (!in_tree[nb.id]) heap.push({Edge{e.v, nb.id, nb.w}});
+      }
+    }
+  }
+  sort_edges(tree);
+  return tree;
+}
+
+}  // namespace emst::graph

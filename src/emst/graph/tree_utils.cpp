@@ -1,0 +1,131 @@
+#include "emst/graph/tree_utils.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "emst/graph/union_find.hpp"
+#include "emst/support/assert.hpp"
+
+namespace emst::graph {
+namespace {
+
+/// Build a throwaway adjacency (id only) from an edge list.
+std::vector<std::vector<NodeId>> simple_adjacency(std::size_t n,
+                                                  const std::vector<Edge>& edges) {
+  std::vector<std::vector<NodeId>> adj(n);
+  for (const Edge& e : edges) {
+    adj[e.u].push_back(e.v);
+    adj[e.v].push_back(e.u);
+  }
+  return adj;
+}
+
+}  // namespace
+
+bool is_forest(std::size_t n, const std::vector<Edge>& edges) {
+  UnionFind dsu(n);
+  for (const Edge& e : edges) {
+    if (e.u >= n || e.v >= n || e.u == e.v) return false;
+    if (!dsu.unite(e.u, e.v)) return false;  // cycle
+  }
+  return true;
+}
+
+bool is_spanning_tree(std::size_t n, const std::vector<Edge>& edges) {
+  if (n == 0) return edges.empty();
+  return edges.size() == n - 1 && is_forest(n, edges);
+}
+
+bool spans_same_components(std::size_t n, const std::vector<Edge>& edges,
+                           const std::vector<Edge>& reference) {
+  UnionFind a(n);
+  for (const Edge& e : edges) a.unite(e.u, e.v);
+  UnionFind b(n);
+  for (const Edge& e : reference) b.unite(e.u, e.v);
+  if (a.components() != b.components()) return false;
+  // Same component count + every reference edge internal to an `edges`
+  // component ⇒ identical partitions.
+  for (const Edge& e : reference) {
+    if (!a.connected(e.u, e.v)) return false;
+  }
+  return true;
+}
+
+bool same_edge_set(std::vector<Edge> a, std::vector<Edge> b) {
+  if (a.size() != b.size()) return false;
+  for (Edge& e : a) e = e.canonical();
+  for (Edge& e : b) e = e.canonical();
+  auto key_less = [](const Edge& x, const Edge& y) {
+    return x.u != y.u ? x.u < y.u : x.v < y.v;
+  };
+  std::sort(a.begin(), a.end(), key_less);
+  std::sort(b.begin(), b.end(), key_less);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].u != b[i].u || a[i].v != b[i].v) return false;
+  }
+  return true;
+}
+
+double tree_cost(std::span<const geometry::Point2> points,
+                 const std::vector<Edge>& edges, double alpha) {
+  double total = 0.0;
+  for (const Edge& e : edges) {
+    EMST_ASSERT(e.u < points.size() && e.v < points.size());
+    const double d = geometry::distance(points[e.u], points[e.v]);
+    if (alpha == 2.0) {
+      total += d * d;
+    } else if (alpha == 1.0) {
+      total += d;
+    } else {
+      total += std::pow(d, alpha);
+    }
+  }
+  return total;
+}
+
+std::vector<NodeId> to_parent_array(std::size_t n, const std::vector<Edge>& edges,
+                                    NodeId root) {
+  EMST_ASSERT(root < n);
+  EMST_ASSERT_MSG(is_forest(n, edges), "parent array requires an acyclic edge set");
+  auto adj = simple_adjacency(n, edges);
+  std::vector<NodeId> parent(n, kNoNode);
+  std::vector<bool> visited(n, false);
+  std::queue<NodeId> frontier;
+  frontier.push(root);
+  visited[root] = true;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v : adj[u]) {
+      if (visited[v]) continue;
+      visited[v] = true;
+      parent[v] = u;
+      frontier.push(v);
+    }
+  }
+  return parent;
+}
+
+std::size_t tree_depth(std::size_t n, const std::vector<Edge>& edges, NodeId root) {
+  EMST_ASSERT(root < n);
+  auto adj = simple_adjacency(n, edges);
+  std::vector<bool> visited(n, false);
+  std::queue<std::pair<NodeId, std::size_t>> frontier;
+  frontier.emplace(root, 0);
+  visited[root] = true;
+  std::size_t depth = 0;
+  while (!frontier.empty()) {
+    const auto [u, d] = frontier.front();
+    frontier.pop();
+    depth = std::max(depth, d);
+    for (NodeId v : adj[u]) {
+      if (visited[v]) continue;
+      visited[v] = true;
+      frontier.emplace(v, d + 1);
+    }
+  }
+  return depth;
+}
+
+}  // namespace emst::graph

@@ -1,0 +1,47 @@
+// Spanning-tree validation and the tree-cost statistics the paper reports.
+//
+// Section VII compares trees by Σ|e| (Euclidean MST objective, α = 1) and
+// Σ|e|² (energy objective, α = 2); `tree_cost` computes Σ dᵅ(u,v) from node
+// positions for any α.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "emst/geometry/point.hpp"
+#include "emst/graph/edge.hpp"
+
+namespace emst::graph {
+
+/// True iff `edges` is a spanning tree on n nodes: exactly n-1 edges,
+/// acyclic, and connecting all nodes.
+[[nodiscard]] bool is_spanning_tree(std::size_t n, const std::vector<Edge>& edges);
+
+/// True iff `edges` is a forest (acyclic) on n nodes.
+[[nodiscard]] bool is_forest(std::size_t n, const std::vector<Edge>& edges);
+
+/// True iff `edges` spans exactly the same components as `reference` does
+/// (i.e. it is a spanning forest of the same connectivity structure).
+[[nodiscard]] bool spans_same_components(std::size_t n, const std::vector<Edge>& edges,
+                                         const std::vector<Edge>& reference);
+
+/// True iff a and b contain the same undirected edges (order-insensitive).
+[[nodiscard]] bool same_edge_set(std::vector<Edge> a, std::vector<Edge> b);
+
+/// Σ dᵅ(u,v) over tree edges, recomputed from positions.
+[[nodiscard]] double tree_cost(std::span<const geometry::Point2> points,
+                               const std::vector<Edge>& edges, double alpha);
+
+/// Parent-pointer representation rooted at `root` (kNoNode for the root;
+/// nodes unreachable from root also get kNoNode). Requires a forest.
+[[nodiscard]] std::vector<NodeId> to_parent_array(std::size_t n,
+                                                  const std::vector<Edge>& edges,
+                                                  NodeId root);
+
+/// Depth of the tree from `root` (root has depth 0); -1 entries for
+/// unreachable nodes are skipped. Returns the maximum depth reached.
+[[nodiscard]] std::size_t tree_depth(std::size_t n, const std::vector<Edge>& edges,
+                                     NodeId root);
+
+}  // namespace emst::graph

@@ -1,0 +1,40 @@
+#include "emst/graph/union_find.hpp"
+
+#include <numeric>
+
+#include "emst/support/assert.hpp"
+
+namespace emst::graph {
+
+UnionFind::UnionFind(std::size_t n)
+    : parent_(n), rank_(n, 0), size_(n, 1), components_(n) {
+  std::iota(parent_.begin(), parent_.end(), NodeId{0});
+}
+
+NodeId UnionFind::find(NodeId x) {
+  EMST_ASSERT(x < parent_.size());
+  NodeId root = x;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[x] != root) {
+    const NodeId next = parent_[x];
+    parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool UnionFind::unite(NodeId a, NodeId b) {
+  NodeId ra = find(a);
+  NodeId rb = find(b);
+  if (ra == rb) return false;
+  if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  if (rank_[ra] == rank_[rb]) ++rank_[ra];
+  --components_;
+  return true;
+}
+
+std::size_t UnionFind::size_of(NodeId x) { return size_[find(x)]; }
+
+}  // namespace emst::graph

@@ -1,0 +1,38 @@
+// Disjoint-set union with union by rank and path compression.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "emst/graph/edge.hpp"
+
+namespace emst::graph {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n);
+
+  /// Representative of x's set (path compression; amortized α(n)).
+  [[nodiscard]] NodeId find(NodeId x);
+
+  /// Merge the sets of a and b; returns false if already joined.
+  bool unite(NodeId a, NodeId b);
+
+  [[nodiscard]] bool connected(NodeId a, NodeId b) { return find(a) == find(b); }
+
+  /// Number of disjoint sets remaining.
+  [[nodiscard]] std::size_t components() const noexcept { return components_; }
+
+  /// Size of the set containing x.
+  [[nodiscard]] std::size_t size_of(NodeId x);
+
+  [[nodiscard]] std::size_t universe() const noexcept { return parent_.size(); }
+
+ private:
+  std::vector<NodeId> parent_;
+  std::vector<std::uint32_t> rank_;
+  std::vector<std::uint32_t> size_;
+  std::size_t components_;
+};
+
+}  // namespace emst::graph

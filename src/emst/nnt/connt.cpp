@@ -1,0 +1,164 @@
+#include "emst/nnt/connt.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "emst/sim/network.hpp"
+#include "emst/support/assert.hpp"
+
+namespace emst::nnt {
+namespace {
+
+/// Per-node doubling schedule shared by both executions.
+struct ProbePlan {
+  std::size_t max_rounds = 0;
+
+  ProbePlan(RankScheme scheme, geometry::Point2 p, double n_est) {
+    const double lu = potential_distance(scheme, p);
+    const double m_exact = std::log2(std::max(2.0, n_est * lu * lu));
+    max_rounds = static_cast<std::size_t>(std::max(1.0, std::ceil(m_exact)));
+  }
+
+  [[nodiscard]] static double radius(std::size_t round, double n_est) {
+    return std::min(
+        std::sqrt(std::pow(2.0, static_cast<double>(round)) / n_est),
+        std::sqrt(2.0));
+  }
+};
+
+}  // namespace
+
+CoNntResult run_connt(const sim::Topology& topo, const CoNntOptions& options) {
+  const std::size_t n = topo.node_count();
+  EMST_ASSERT(n >= 1);
+  const double n_est = std::max(2.0, static_cast<double>(n) * options.n_estimate_factor);
+  const auto points = std::span<const geometry::Point2>(topo.points());
+
+  CoNntResult result;
+  result.parent.assign(n, graph::kNoNode);
+  sim::EnergyMeter meter(options.pathloss);
+  if (options.track_per_node_energy) meter.enable_per_node(n);
+
+  std::vector<graph::NodeId> unresolved(n);
+  for (graph::NodeId u = 0; u < n; ++u) unresolved[u] = u;
+
+  for (std::size_t round = 1; !unresolved.empty(); ++round) {
+    std::vector<graph::NodeId> still_unresolved;
+    for (const graph::NodeId u : unresolved) {
+      // m = ⌈lg(n·L_u²)⌉ probes suffice to cover the potential region.
+      const ProbePlan plan(options.scheme, points[u], n_est);
+      if (round > plan.max_rounds) continue;  // top-ranked node: terminate
+
+      const double radius = ProbePlan::radius(round, n_est);
+      // REQUEST: one local broadcast carrying u's coordinates.
+      const std::vector<sim::NodeId> heard = topo.nodes_within(u, radius);
+      meter.charge_broadcast(u, radius, heard.size());
+      // REPLIES from every higher-ranked node in range.
+      graph::NodeId best = graph::kNoNode;
+      double best_d = 0.0;
+      for (const sim::NodeId v : heard) {
+        if (!rank_less(options.scheme, points, u, v)) continue;
+        const double d = topo.distance(v, u);
+        meter.charge_unicast(v, d);
+        if (best == graph::kNoNode || d < best_d || (d == best_d && v < best)) {
+          best = v;
+          best_d = d;
+        }
+      }
+      if (best == graph::kNoNode) {
+        still_unresolved.push_back(u);
+        continue;
+      }
+      // CONNECTION to the nearest replier.
+      meter.charge_unicast(u, best_d);
+      result.parent[u] = best;
+      result.tree.push_back(graph::Edge{u, best, best_d}.canonical());
+      result.max_connect_distance = std::max(result.max_connect_distance, best_d);
+      result.max_probe_rounds = std::max(result.max_probe_rounds, round);
+    }
+    // One request round, one reply round, one connection round.
+    meter.tick_rounds(3);
+    unresolved = std::move(still_unresolved);
+  }
+
+  graph::sort_edges(result.tree);
+  result.totals = meter.totals();
+  result.per_node_energy = meter.per_node();
+  return result;
+}
+
+CoNntResult run_connt_actor(const sim::Topology& topo,
+                            const CoNntOptions& options) {
+  const std::size_t n = topo.node_count();
+  EMST_ASSERT(n >= 1);
+  const double n_est =
+      std::max(2.0, static_cast<double>(n) * options.n_estimate_factor);
+  const auto points = std::span<const geometry::Point2>(topo.points());
+
+  struct Msg {
+    enum class Kind : std::uint8_t { kRequest, kReply, kConnect };
+    Kind kind = Kind::kRequest;
+  };
+  sim::Network<Msg> net(topo, options.pathloss, /*unbounded_broadcast=*/true);
+  if (options.track_per_node_energy) net.meter().enable_per_node(n);
+
+  CoNntResult result;
+  result.parent.assign(n, graph::kNoNode);
+  std::vector<graph::NodeId> unresolved(n);
+  for (graph::NodeId u = 0; u < n; ++u) unresolved[u] = u;
+
+  for (std::size_t round = 1; !unresolved.empty(); ++round) {
+    // Phase step 1: every still-searching node broadcasts a REQUEST.
+    std::vector<graph::NodeId> searching;
+    for (const graph::NodeId u : unresolved) {
+      const ProbePlan plan(options.scheme, points[u], n_est);
+      if (round > plan.max_rounds) continue;  // top-ranked node: done
+      net.broadcast(u, ProbePlan::radius(round, n_est), Msg{Msg::Kind::kRequest});
+      searching.push_back(u);
+    }
+    // Phase step 2: higher-ranked hearers REPLY.
+    for (const auto& d : net.collect_round()) {
+      EMST_ASSERT(d.msg.kind == Msg::Kind::kRequest);
+      if (rank_less(options.scheme, points, d.from, d.to)) {
+        net.unicast(d.to, d.from, Msg{Msg::Kind::kReply});
+      }
+    }
+    // Phase step 3: requesters CONNECT to their nearest replier.
+    struct Best {
+      graph::NodeId node = graph::kNoNode;
+      double distance = 0.0;
+    };
+    std::vector<Best> best(n);
+    for (const auto& d : net.collect_round()) {
+      EMST_ASSERT(d.msg.kind == Msg::Kind::kReply);
+      Best& b = best[d.to];
+      if (b.node == graph::kNoNode || d.distance < b.distance ||
+          (d.distance == b.distance && d.from < b.node)) {
+        b = {d.from, d.distance};
+      }
+    }
+    std::vector<graph::NodeId> still_unresolved;
+    for (const graph::NodeId u : searching) {
+      const Best& b = best[u];
+      if (b.node == graph::kNoNode) {
+        still_unresolved.push_back(u);
+        continue;
+      }
+      net.unicast(u, b.node, Msg{Msg::Kind::kConnect});
+      result.parent[u] = b.node;
+      result.tree.push_back(graph::Edge{u, b.node, b.distance}.canonical());
+      result.max_connect_distance =
+          std::max(result.max_connect_distance, b.distance);
+      result.max_probe_rounds = std::max(result.max_probe_rounds, round);
+    }
+    (void)net.collect_round();  // drain CONNECT deliveries
+    unresolved = std::move(still_unresolved);
+  }
+
+  graph::sort_edges(result.tree);
+  result.totals = net.meter().totals();
+  result.per_node_energy = net.meter().per_node();
+  return result;
+}
+
+}  // namespace emst::nnt

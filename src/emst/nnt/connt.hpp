@@ -1,0 +1,59 @@
+// Co-NNT — the coordinate-based O(1)-energy spanning tree (paper §VI,
+// Thm 6.2).
+//
+// Every node u (knowing its own coordinates) probes for its nearest
+// higher-ranked node with doubling radii rᵢ = √(2ⁱ/n), i = 1 … ⌈lg(n·L_u²)⌉:
+//   - u locally broadcasts a REQUEST carrying its coordinates at power rᵢ
+//     (cost rᵢ^α);
+//   - every node v within rᵢ with rank(v) > rank(u) REPLIES (unicast,
+//     cost d(u,v)^α);
+//   - if any reply arrives, u sends a CONNECTION message to the nearest
+//     replier and stops; otherwise it doubles the radius.
+// A node that exhausts L_u without replies is the top-ranked node and simply
+// terminates. The first round with a reply necessarily contains the global
+// nearest higher-ranked node, so the output is exactly the NNT.
+//
+// Expected totals (Thm 6.2): O(n) messages and O(1) energy; the tree is an
+// O(1) approximation of the MST in both Σ|e| and Σ|e|² (Thm 6.1).
+#pragma once
+
+#include "emst/geometry/pathloss.hpp"
+#include "emst/ghs/common.hpp"
+#include "emst/nnt/rank.hpp"
+
+namespace emst::nnt {
+
+struct CoNntOptions {
+  RankScheme scheme = RankScheme::kDiagonal;
+  geometry::PathLoss pathloss{};
+  /// Assumed network-size knowledge: the protocol needs only a Θ(n)
+  /// estimate (Thm 6.2); scale the true n to emulate estimation error.
+  double n_estimate_factor = 1.0;
+  /// Fill CoNntResult::per_node_energy (per-sender transmit ledger).
+  bool track_per_node_energy = false;
+};
+
+struct CoNntResult {
+  std::vector<graph::NodeId> parent;  ///< kNoNode for the top-ranked node
+  std::vector<graph::Edge> tree;      ///< canonical order, n-1 edges
+  sim::Accounting totals;
+  std::size_t max_probe_rounds = 0;   ///< deepest doubling sequence used
+  double max_connect_distance = 0.0;  ///< longest tree edge (Lemma 6.3 check)
+  std::vector<double> per_node_energy;  ///< empty unless tracking enabled
+};
+
+/// Run the distributed Co-NNT construction. Probe radii may exceed the
+/// topology's max radius (power-adaptive transmission; the spatial index
+/// resolves deliveries).
+[[nodiscard]] CoNntResult run_connt(const sim::Topology& topo,
+                                    const CoNntOptions& options = {});
+
+/// The same protocol executed as a message-driven actor system over
+/// Network<Msg> (REQUEST broadcast / REPLY unicast / CONNECTION unicast as
+/// real in-flight messages). Cross-validates `run_connt`: identical parents,
+/// energy, and message counts (tested); `run_connt` is the faster harness
+/// path.
+[[nodiscard]] CoNntResult run_connt_actor(const sim::Topology& topo,
+                                          const CoNntOptions& options = {});
+
+}  // namespace emst::nnt

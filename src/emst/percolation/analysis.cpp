@@ -1,0 +1,149 @@
+#include "emst/percolation/analysis.hpp"
+
+#include <algorithm>
+
+#include "emst/geometry/sampling.hpp"
+#include "emst/rgg/components.hpp"
+#include "emst/rgg/radii.hpp"
+#include "emst/support/assert.hpp"
+#include "emst/support/rng.hpp"
+
+namespace emst::percolation {
+
+Report analyze(const rgg::Rgg& instance) {
+  Report report;
+  report.n = instance.points.size();
+  report.radius = instance.radius;
+
+  CellField field(instance.points, instance.radius);
+  report.c_param = field.density_parameter();
+  report.good_fraction = field.good_fraction();
+
+  // Node-level component structure.
+  const rgg::Components comps = rgg::connected_components(instance.graph);
+  report.component_count = comps.count;
+  report.giant_nodes = comps.giant_size();
+  report.giant_fraction = report.n == 0
+                              ? 0.0
+                              : static_cast<double>(report.giant_nodes) /
+                                    static_cast<double>(report.n);
+  report.second_component = comps.second_size();
+
+  // Cell-level percolation structure.
+  std::size_t good_cluster_count = 0;
+  const auto good_label = field.good_clusters(good_cluster_count);
+  report.good_cluster_count = good_cluster_count;
+
+  std::vector<std::size_t> good_cluster_cells(good_cluster_count, 0);
+  for (std::size_t label : good_label) {
+    if (label != static_cast<std::size_t>(-1)) ++good_cluster_cells[label];
+  }
+  std::size_t largest_good = 0;  // cluster id
+  for (std::size_t id = 1; id < good_cluster_cells.size(); ++id) {
+    if (good_cluster_cells[id] > good_cluster_cells[largest_good]) largest_good = id;
+  }
+  report.largest_good_cluster =
+      good_cluster_cells.empty() ? 0 : good_cluster_cells[largest_good];
+
+  // Small regions: complement clusters of the largest good cluster.
+  std::vector<bool> in_giant_cluster(field.cell_count(), false);
+  if (!good_cluster_cells.empty()) {
+    for (std::size_t cell = 0; cell < good_label.size(); ++cell)
+      in_giant_cluster[cell] = good_label[cell] == largest_good;
+  }
+  std::size_t region_count = 0;
+  const auto region_label = field.complement_clusters(in_giant_cluster, region_count);
+  report.small_region_count = region_count;
+
+  std::vector<std::size_t> region_cells(region_count, 0);
+  std::vector<std::size_t> region_nodes(region_count, 0);
+  const std::size_t side = field.side();
+  for (std::size_t cell = 0; cell < region_label.size(); ++cell) {
+    if (region_label[cell] == static_cast<std::size_t>(-1)) continue;
+    ++region_cells[region_label[cell]];
+    region_nodes[region_label[cell]] += field.population(cell % side, cell / side);
+  }
+  for (std::size_t id = 0; id < region_count; ++id) {
+    report.largest_small_region_cells =
+        std::max(report.largest_small_region_cells, region_cells[id]);
+    report.largest_small_region_nodes =
+        std::max(report.largest_small_region_nodes, region_nodes[id]);
+  }
+
+  // Thm 5.2 predicate: every non-giant component's nodes live in cells that
+  // all belong to small regions (i.e. outside the giant's good cluster).
+  const std::uint32_t giant_comp = comps.count == 0 ? 0 : comps.giant();
+  report.small_components_trapped = true;
+  for (std::size_t i = 0; i < instance.points.size(); ++i) {
+    if (comps.label[i] == giant_comp) continue;
+    const auto [cx, cy] = field.cell_of(instance.points[i]);
+    if (in_giant_cluster[cy * side + cx]) {
+      // A non-giant node sitting inside the giant's good-cell cluster would
+      // contradict the cell construction (it would be connected to the
+      // giant). Possible only for Euclidean-vs-Chebyshev edge effects.
+      report.small_components_trapped = false;
+      break;
+    }
+  }
+  return report;
+}
+
+RegionSamples region_samples(const rgg::Rgg& instance) {
+  RegionSamples samples;
+  CellField field(instance.points, instance.radius);
+  std::size_t good_cluster_count = 0;
+  const auto good_label = field.good_clusters(good_cluster_count);
+  if (good_cluster_count == 0) return samples;  // no backbone: no regions
+  std::vector<std::size_t> cluster_cells(good_cluster_count, 0);
+  for (const std::size_t label : good_label) {
+    if (label != static_cast<std::size_t>(-1)) ++cluster_cells[label];
+  }
+  std::size_t largest = 0;
+  for (std::size_t id = 1; id < cluster_cells.size(); ++id) {
+    if (cluster_cells[id] > cluster_cells[largest]) largest = id;
+  }
+  std::vector<bool> in_backbone(field.cell_count(), false);
+  for (std::size_t cell = 0; cell < good_label.size(); ++cell)
+    in_backbone[cell] = good_label[cell] == largest;
+  std::size_t region_count = 0;
+  const auto region_label = field.complement_clusters(in_backbone, region_count);
+  samples.cells.assign(region_count, 0);
+  samples.nodes.assign(region_count, 0);
+  const std::size_t side = field.side();
+  for (std::size_t cell = 0; cell < region_label.size(); ++cell) {
+    if (region_label[cell] == static_cast<std::size_t>(-1)) continue;
+    ++samples.cells[region_label[cell]];
+    samples.nodes[region_label[cell]] +=
+        field.population(cell % side, cell / side);
+  }
+  return samples;
+}
+
+double estimate_critical_factor(std::size_t n, std::size_t trials,
+                                std::uint64_t seed, double target, double lo,
+                                double hi, std::size_t iterations) {
+  EMST_ASSERT(lo < hi && target > 0.0 && target < 1.0);
+  auto giant_fraction_at = [&](double factor) {
+    double total = 0.0;
+    for (std::size_t t = 0; t < trials; ++t) {
+      support::Rng rng(support::Rng::stream_seed(
+          seed ^ static_cast<std::uint64_t>(factor * 1e6), t));
+      const auto instance =
+          rgg::random_rgg(n, rgg::percolation_radius(n, factor), rng);
+      const rgg::Components comps = rgg::connected_components(instance.graph);
+      total += static_cast<double>(comps.giant_size()) / static_cast<double>(n);
+    }
+    return total / static_cast<double>(trials);
+  };
+  for (std::size_t i = 0; i < iterations; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (giant_fraction_at(mid) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace emst::percolation

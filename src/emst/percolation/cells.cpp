@@ -1,0 +1,114 @@
+#include "emst/percolation/cells.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "emst/support/assert.hpp"
+
+namespace emst::percolation {
+
+CellField::CellField(std::span<const geometry::Point2> points, double radius) {
+  EMST_ASSERT(radius > 0.0);
+  c_param_ = radius * radius * static_cast<double>(points.size());
+  side_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::floor(1.0 / (radius / 2.0))));
+  cell_ = 1.0 / static_cast<double>(side_);
+  pop_.assign(side_ * side_, 0);
+  for (const geometry::Point2& p : points) {
+    const auto [cx, cy] = cell_of(p);
+    ++pop_[cy * side_ + cx];
+  }
+}
+
+std::pair<std::size_t, std::size_t> CellField::cell_of(geometry::Point2 p) const {
+  auto coord = [&](double v) {
+    double c = std::floor(v / cell_);
+    return static_cast<std::size_t>(
+        std::clamp(c, 0.0, static_cast<double>(side_ - 1)));
+  };
+  return {coord(p.x), coord(p.y)};
+}
+
+std::size_t CellField::population(std::size_t cx, std::size_t cy) const {
+  EMST_ASSERT(cx < side_ && cy < side_);
+  return pop_[cy * side_ + cx];
+}
+
+bool CellField::occupied(std::size_t cx, std::size_t cy) const {
+  return population(cx, cy) > 0;
+}
+
+bool CellField::good(std::size_t cx, std::size_t cy) const {
+  return static_cast<double>(population(cx, cy)) >= good_threshold();
+}
+
+double CellField::good_fraction() const {
+  std::size_t good_cells = 0;
+  for (std::size_t cy = 0; cy < side_; ++cy)
+    for (std::size_t cx = 0; cx < side_; ++cx)
+      if (good(cx, cy)) ++good_cells;
+  return static_cast<double>(good_cells) / static_cast<double>(cell_count());
+}
+
+namespace {
+
+constexpr std::size_t kUnlabeled = static_cast<std::size_t>(-1);
+
+/// Generic 8-adjacency BFS labelling over the cells where `member` is true.
+std::vector<std::size_t> label_clusters(std::size_t side,
+                                        const std::vector<bool>& member,
+                                        std::size_t& cluster_count) {
+  std::vector<std::size_t> label(side * side, kUnlabeled);
+  cluster_count = 0;
+  std::queue<std::size_t> frontier;
+  for (std::size_t start = 0; start < member.size(); ++start) {
+    if (!member[start] || label[start] != kUnlabeled) continue;
+    const std::size_t id = cluster_count++;
+    label[start] = id;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      const std::size_t cell = frontier.front();
+      frontier.pop();
+      const long cx = static_cast<long>(cell % side);
+      const long cy = static_cast<long>(cell / side);
+      for (long dy = -1; dy <= 1; ++dy) {
+        for (long dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0) continue;
+          const long nx = cx + dx;
+          const long ny = cy + dy;
+          if (nx < 0 || ny < 0 || nx >= static_cast<long>(side) ||
+              ny >= static_cast<long>(side))
+            continue;
+          const std::size_t ncell =
+              static_cast<std::size_t>(ny) * side + static_cast<std::size_t>(nx);
+          if (member[ncell] && label[ncell] == kUnlabeled) {
+            label[ncell] = id;
+            frontier.push(ncell);
+          }
+        }
+      }
+    }
+  }
+  return label;
+}
+
+}  // namespace
+
+std::vector<std::size_t> CellField::good_clusters(std::size_t& cluster_count) const {
+  std::vector<bool> member(cell_count());
+  for (std::size_t cy = 0; cy < side_; ++cy)
+    for (std::size_t cx = 0; cx < side_; ++cx)
+      member[cy * side_ + cx] = good(cx, cy);
+  return label_clusters(side_, member, cluster_count);
+}
+
+std::vector<std::size_t> CellField::complement_clusters(
+    const std::vector<bool>& in_set, std::size_t& cluster_count) const {
+  EMST_ASSERT(in_set.size() == cell_count());
+  std::vector<bool> member(cell_count());
+  for (std::size_t i = 0; i < in_set.size(); ++i) member[i] = !in_set[i];
+  return label_clusters(side_, member, cluster_count);
+}
+
+}  // namespace emst::percolation

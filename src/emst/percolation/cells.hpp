@@ -1,0 +1,64 @@
+// Site-percolation cell field (paper §V-B).
+//
+// The unit square is divided into cells of side r/2 so that — under the
+// paper's Chebyshev simplification — any two nodes in the same or in
+// 8-adjacent cells are within transmission range r. A cell is *good* when it
+// holds at least c/8 nodes, where c = r²·n is the expected-degree parameter
+// (the expected cell population is c/4). The largest cluster of good cells
+// induces the giant component; maximal clusters of its complement are the
+// "small regions" of Thm 5.2.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "emst/geometry/point.hpp"
+
+namespace emst::percolation {
+
+class CellField {
+ public:
+  /// Build the r/2 cell field for `points` with transmission radius r.
+  CellField(std::span<const geometry::Point2> points, double radius);
+
+  [[nodiscard]] std::size_t side() const noexcept { return side_; }
+  [[nodiscard]] std::size_t cell_count() const noexcept { return side_ * side_; }
+  [[nodiscard]] double cell_size() const noexcept { return cell_; }
+  /// c = r²·n, the dimensionless density parameter.
+  [[nodiscard]] double density_parameter() const noexcept { return c_param_; }
+  /// The goodness threshold c/8 (in nodes).
+  [[nodiscard]] double good_threshold() const noexcept { return c_param_ / 8.0; }
+
+  [[nodiscard]] std::size_t population(std::size_t cx, std::size_t cy) const;
+  [[nodiscard]] bool occupied(std::size_t cx, std::size_t cy) const;
+  [[nodiscard]] bool good(std::size_t cx, std::size_t cy) const;
+
+  /// Cell coordinates (cx, cy) of a point.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> cell_of(geometry::Point2 p) const;
+
+  /// Fraction of cells that are good (the empirical site-occupation
+  /// probability p of the percolation reduction; Lemma 5.2 says p → 1 as
+  /// c → ∞).
+  [[nodiscard]] double good_fraction() const;
+
+  /// Label clusters of good cells under 8-adjacency. Returns labels
+  /// (one per cell, row-major; SIZE_MAX for non-good cells) and writes the
+  /// cluster count.
+  [[nodiscard]] std::vector<std::size_t> good_clusters(std::size_t& cluster_count) const;
+
+  /// Label maximal 8-connected clusters of the complement of the given cell
+  /// set (`in_set[cell]` true = excluded). These are the paper's small
+  /// regions when `in_set` marks the largest good cluster.
+  [[nodiscard]] std::vector<std::size_t> complement_clusters(
+      const std::vector<bool>& in_set, std::size_t& cluster_count) const;
+
+ private:
+  std::size_t side_ = 0;
+  double cell_ = 0.0;
+  double c_param_ = 0.0;
+  std::vector<std::uint32_t> pop_;  // row-major populations
+};
+
+}  // namespace emst::percolation

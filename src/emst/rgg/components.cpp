@@ -1,0 +1,61 @@
+#include "emst/rgg/components.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace emst::rgg {
+
+std::uint32_t Components::giant() const {
+  std::uint32_t best = 0;
+  for (std::uint32_t c = 1; c < sizes.size(); ++c) {
+    if (sizes[c] > sizes[best]) best = c;
+  }
+  return best;
+}
+
+std::size_t Components::giant_size() const {
+  return sizes.empty() ? 0 : sizes[giant()];
+}
+
+std::size_t Components::second_size() const {
+  if (sizes.size() < 2) return 0;
+  const std::uint32_t g = giant();
+  std::size_t best = 0;
+  for (std::uint32_t c = 0; c < sizes.size(); ++c) {
+    if (c != g) best = std::max(best, sizes[c]);
+  }
+  return best;
+}
+
+Components connected_components(const graph::AdjacencyList& graph) {
+  const std::size_t n = graph.node_count();
+  Components comps;
+  comps.label.assign(n, static_cast<std::uint32_t>(-1));
+  std::queue<graph::NodeId> frontier;
+  for (graph::NodeId start = 0; start < n; ++start) {
+    if (comps.label[start] != static_cast<std::uint32_t>(-1)) continue;
+    const auto id = static_cast<std::uint32_t>(comps.count++);
+    comps.sizes.push_back(0);
+    comps.label[start] = id;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      const graph::NodeId u = frontier.front();
+      frontier.pop();
+      ++comps.sizes[id];
+      for (const graph::Neighbor& nb : graph.neighbors(u)) {
+        if (comps.label[nb.id] == static_cast<std::uint32_t>(-1)) {
+          comps.label[nb.id] = id;
+          frontier.push(nb.id);
+        }
+      }
+    }
+  }
+  return comps;
+}
+
+bool is_connected(const graph::AdjacencyList& graph) {
+  if (graph.node_count() <= 1) return true;
+  return connected_components(graph).count == 1;
+}
+
+}  // namespace emst::rgg

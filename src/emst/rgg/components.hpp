@@ -1,0 +1,30 @@
+// Connected-component labelling and the component statistics that drive the
+// paper's Step-1/Step-2 split (Thm 5.2).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "emst/graph/adjacency.hpp"
+
+namespace emst::rgg {
+
+struct Components {
+  std::vector<std::uint32_t> label;  ///< component id per node (dense, 0-based)
+  std::vector<std::size_t> sizes;    ///< size per component id
+  std::size_t count = 0;
+
+  /// Id of the largest component (ties: smallest id).
+  [[nodiscard]] std::uint32_t giant() const;
+  /// Size of the largest component (0 if empty graph).
+  [[nodiscard]] std::size_t giant_size() const;
+  /// Size of the largest component other than the giant (0 if none).
+  [[nodiscard]] std::size_t second_size() const;
+};
+
+/// BFS component labelling.
+[[nodiscard]] Components connected_components(const graph::AdjacencyList& graph);
+
+[[nodiscard]] bool is_connected(const graph::AdjacencyList& graph);
+
+}  // namespace emst::rgg

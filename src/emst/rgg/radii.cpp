@@ -1,0 +1,27 @@
+#include "emst/rgg/radii.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "emst/support/assert.hpp"
+
+namespace emst::rgg {
+
+double connectivity_radius(std::size_t n, double factor) {
+  EMST_ASSERT(n >= 2);
+  const auto nd = static_cast<double>(n);
+  return factor * std::sqrt(std::log(nd) / nd);
+}
+
+double percolation_radius(std::size_t n, double factor) {
+  EMST_ASSERT(n >= 1);
+  return factor * std::sqrt(1.0 / static_cast<double>(n));
+}
+
+double giant_threshold(std::size_t n, double beta) {
+  EMST_ASSERT(n >= 2);
+  const double ln = std::log(static_cast<double>(n));
+  return beta * ln * ln;
+}
+
+}  // namespace emst::rgg

@@ -1,0 +1,24 @@
+// The transmission radii the paper's regimes are built on.
+//
+//  - Connectivity regime (Thm 5.1 / Gupta–Kumar): r = √(c·log n / n) with
+//    c > 4 makes the RGG connected WHP. §VII uses 1.6·√(ln n / n)
+//    (note: natural log, and 1.6² = 2.56 plays the role of c).
+//  - Percolation regime (Thm 5.2): r = √(c₁ / n) with c₁ above the
+//    supercritical threshold yields a unique giant component plus small
+//    components trapped in O(log² n)-node regions. §VII uses 1.4·√(1/n).
+#pragma once
+
+#include <cstddef>
+
+namespace emst::rgg {
+
+/// r = factor · √(ln n / n). The paper's experiments use factor = 1.6.
+[[nodiscard]] double connectivity_radius(std::size_t n, double factor = 1.6);
+
+/// r = factor · √(1 / n). The paper's experiments use factor = 1.4.
+[[nodiscard]] double percolation_radius(std::size_t n, double factor = 1.4);
+
+/// The giant-component size threshold of Thm 5.2: β · log² n (natural log).
+[[nodiscard]] double giant_threshold(std::size_t n, double beta = 1.0);
+
+}  // namespace emst::rgg

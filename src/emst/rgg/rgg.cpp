@@ -1,0 +1,55 @@
+#include "emst/rgg/rgg.hpp"
+
+#include <cmath>
+
+#include "emst/geometry/sampling.hpp"
+#include "emst/graph/mst.hpp"
+#include "emst/rgg/radii.hpp"
+#include "emst/spatial/cell_grid.hpp"
+#include "emst/support/assert.hpp"
+
+namespace emst::rgg {
+
+std::vector<graph::Edge> geometric_edges(const std::vector<geometry::Point2>& points,
+                                         double radius) {
+  EMST_ASSERT(radius > 0.0);
+  spatial::CellGrid grid(points, radius);
+  std::vector<graph::Edge> edges;
+  for (graph::NodeId u = 0; u < points.size(); ++u) {
+    grid.for_each_within(points[u], radius, [&](spatial::PointIndex v) {
+      if (v <= u) return;  // emit each unordered pair once; skip self
+      edges.push_back(
+          {u, v, geometry::distance(points[u], points[v])});
+    });
+  }
+  graph::sort_edges(edges);
+  return edges;
+}
+
+Rgg build_rgg(std::vector<geometry::Point2> points, double radius) {
+  Rgg rgg;
+  rgg.radius = radius;
+  auto edges = geometric_edges(points, radius);
+  rgg.graph = graph::AdjacencyList(points.size(), edges);
+  rgg.points = std::move(points);
+  return rgg;
+}
+
+Rgg random_rgg(std::size_t n, double radius, support::Rng& rng) {
+  return build_rgg(geometry::uniform_points(n, rng), radius);
+}
+
+std::vector<graph::Edge> euclidean_mst(const std::vector<geometry::Point2>& points) {
+  const std::size_t n = points.size();
+  if (n <= 1) return {};
+  double radius = n >= 2 ? connectivity_radius(n, 1.6) : 1.0;
+  const double diameter = std::sqrt(2.0);
+  for (;;) {
+    auto edges = geometric_edges(points, std::min(radius, diameter));
+    auto tree = graph::kruskal_msf(n, std::move(edges));
+    if (tree.size() == n - 1 || radius >= diameter) return tree;
+    radius *= 1.5;
+  }
+}
+
+}  // namespace emst::rgg

@@ -1,0 +1,40 @@
+#include "emst/sim/collectives.hpp"
+
+#include <queue>
+
+namespace emst::sim {
+
+std::vector<graph::NodeId> forest_parents(std::size_t n,
+                                          const std::vector<graph::Edge>& tree,
+                                          const std::vector<graph::NodeId>& roots) {
+  std::vector<std::vector<graph::NodeId>> adj(n);
+  for (const graph::Edge& e : tree) {
+    EMST_ASSERT(e.u < n && e.v < n);
+    adj[e.u].push_back(e.v);
+    adj[e.v].push_back(e.u);
+  }
+  std::vector<graph::NodeId> parent(n, graph::kNoNode);
+  std::vector<bool> visited(n, false);
+  std::queue<graph::NodeId> frontier;
+  for (const graph::NodeId root : roots) {
+    EMST_ASSERT(root < n);
+    if (visited[root]) continue;
+    visited[root] = true;
+    frontier.push(root);
+  }
+  while (!frontier.empty()) {
+    const graph::NodeId u = frontier.front();
+    frontier.pop();
+    for (const graph::NodeId v : adj[u]) {
+      if (visited[v]) continue;
+      visited[v] = true;
+      parent[v] = u;
+      frontier.push(v);
+    }
+  }
+  for (std::size_t u = 0; u < n; ++u)
+    EMST_ASSERT_MSG(visited[u], "every node must be reachable from a root");
+  return parent;
+}
+
+}  // namespace emst::sim

@@ -1,0 +1,118 @@
+// Tree collectives: metered broadcast-down and convergecast-up over a
+// rooted forest — the communication patterns the paper's applications are
+// built from (fragment-size census in EOPT Step 2, data aggregation §II,
+// MST broadcast §II).
+//
+// Both primitives charge exactly one unicast per non-root node (i.e. one
+// message per tree edge) and tick the meter by the forest depth — the
+// synchronous schedule where each tree level acts in one round.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "emst/graph/edge.hpp"
+#include "emst/sim/meter.hpp"
+#include "emst/sim/topology.hpp"
+#include "emst/support/assert.hpp"
+
+namespace emst::sim {
+
+/// Nodes ordered root→leaves (BFS-like: every node appears after its
+/// parent), plus per-node depth. Computed once per collective schedule.
+struct TreeSchedule {
+  std::vector<NodeId> top_down;     ///< roots first, then by depth
+  std::vector<std::size_t> depth;   ///< 0 for roots
+  std::size_t max_depth = 0;
+};
+
+/// Build the schedule for a parent-pointer forest (parent[u] == kNoNode for
+/// roots). Aborts on cycles (a parent array of a forest has none).
+[[nodiscard]] inline TreeSchedule make_schedule(
+    const std::vector<graph::NodeId>& parent) {
+  const std::size_t n = parent.size();
+  TreeSchedule schedule;
+  schedule.depth.assign(n, static_cast<std::size_t>(-1));
+  // Depth by chasing parents with memoization.
+  for (NodeId u = 0; u < n; ++u) {
+    std::vector<NodeId> chain;
+    NodeId v = u;
+    while (schedule.depth[v] == static_cast<std::size_t>(-1)) {
+      chain.push_back(v);
+      if (parent[v] == graph::kNoNode) {
+        schedule.depth[v] = 0;
+        break;
+      }
+      v = parent[v];
+      EMST_ASSERT_MSG(chain.size() <= n, "parent array contains a cycle");
+    }
+    while (!chain.empty()) {
+      const NodeId w = chain.back();
+      if (schedule.depth[w] == static_cast<std::size_t>(-1)) {
+        schedule.depth[w] = schedule.depth[parent[w]] + 1;
+      }
+      schedule.max_depth = std::max(schedule.max_depth, schedule.depth[w]);
+      chain.pop_back();
+    }
+  }
+  schedule.top_down.resize(n);
+  std::iota(schedule.top_down.begin(), schedule.top_down.end(), NodeId{0});
+  std::stable_sort(schedule.top_down.begin(), schedule.top_down.end(),
+                   [&](NodeId a, NodeId b) {
+                     return schedule.depth[a] < schedule.depth[b];
+                   });
+  return schedule;
+}
+
+/// Broadcast a value down the forest: every non-root receives its parent's
+/// (transformed) value. `fn(parent_value, child)` produces the child value.
+/// Returns the per-node values; roots keep their entry from `root_values`.
+template <typename T, typename Fn>
+[[nodiscard]] std::vector<T> tree_broadcast(const Topology& topo,
+                                            const std::vector<graph::NodeId>& parent,
+                                            const TreeSchedule& schedule,
+                                            std::vector<T> values, Fn&& fn,
+                                            EnergyMeter& meter) {
+  EMST_ASSERT(parent.size() == topo.node_count());
+  EMST_ASSERT(values.size() == topo.node_count());
+  for (const NodeId u : schedule.top_down) {
+    if (parent[u] == graph::kNoNode) continue;
+    meter.charge_unicast(parent[u], topo.distance(parent[u], u));
+    values[u] = fn(values[parent[u]], u);
+  }
+  meter.tick_rounds(schedule.max_depth);
+  return values;
+}
+
+/// Convergecast up the forest: every non-root sends its aggregated subtree
+/// value to its parent, which folds it with `combine(parent_acc, child_acc)`.
+/// Returns per-node subtree aggregates (roots hold their tree's total).
+template <typename T, typename Combine>
+[[nodiscard]] std::vector<T> tree_convergecast(
+    const Topology& topo, const std::vector<graph::NodeId>& parent,
+    const TreeSchedule& schedule, std::vector<T> values, Combine&& combine,
+    EnergyMeter& meter) {
+  EMST_ASSERT(parent.size() == topo.node_count());
+  EMST_ASSERT(values.size() == topo.node_count());
+  // Leaves-first: iterate the top-down order backwards.
+  for (auto it = schedule.top_down.rbegin(); it != schedule.top_down.rend();
+       ++it) {
+    const NodeId u = *it;
+    if (parent[u] == graph::kNoNode) continue;
+    meter.charge_unicast(u, topo.distance(u, parent[u]));
+    values[parent[u]] = combine(values[parent[u]], values[u]);
+  }
+  meter.tick_rounds(schedule.max_depth);
+  return values;
+}
+
+/// Parent-pointer forest from an edge list and explicit roots — convenience
+/// for callers holding tree edges rather than parent arrays. Every node must
+/// be reachable from some root.
+[[nodiscard]] std::vector<graph::NodeId> forest_parents(
+    std::size_t n, const std::vector<graph::Edge>& tree,
+    const std::vector<graph::NodeId>& roots);
+
+}  // namespace emst::sim

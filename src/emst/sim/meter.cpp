@@ -1,0 +1,2 @@
+// EnergyMeter is fully inline; this TU anchors the emst_sim library target.
+#include "emst/sim/meter.hpp"

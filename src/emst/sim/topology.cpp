@@ -1,0 +1,41 @@
+#include "emst/sim/topology.hpp"
+
+#include "emst/support/assert.hpp"
+
+namespace emst::sim {
+
+Topology::Topology(std::vector<geometry::Point2> points, double max_radius)
+    : Topology(rgg::build_rgg(std::move(points), max_radius)) {}
+
+Topology::Topology(rgg::Rgg instance)
+    : points_(std::move(instance.points)),
+      max_radius_(instance.radius),
+      graph_(std::move(instance.graph)) {
+  EMST_ASSERT(max_radius_ > 0.0);
+  grid_ = std::make_unique<spatial::CellGrid>(
+      std::span<const geometry::Point2>(points_), max_radius_);
+}
+
+Topology::Topology(std::vector<geometry::Point2> points, double max_radius,
+                   std::vector<graph::Edge> edges)
+    : points_(std::move(points)),
+      max_radius_(max_radius),
+      graph_(points_.size(), edges) {
+  EMST_ASSERT(max_radius_ > 0.0);
+  for (const graph::Edge& e : graph_.edges())
+    EMST_ASSERT_MSG(e.w <= max_radius_ * (1.0 + 1e-12),
+                    "explicit edge exceeds the maximum transmission radius");
+  grid_ = std::make_unique<spatial::CellGrid>(
+      std::span<const geometry::Point2>(points_), max_radius_);
+}
+
+std::vector<NodeId> Topology::nodes_within(NodeId u, double radius) const {
+  EMST_ASSERT(u < points_.size());
+  std::vector<NodeId> out;
+  grid_->for_each_within(points_[u], radius, [&](spatial::PointIndex i) {
+    if (i != u) out.push_back(i);
+  });
+  return out;
+}
+
+}  // namespace emst::sim

@@ -1,0 +1,66 @@
+// Physical network topology for the simulator.
+//
+// Owns node positions, the adjacency at the *maximum* transmission radius an
+// algorithm is allowed to use, and a spatial index for power-adaptive local
+// broadcasts. Algorithms that operate below the maximum radius (EOPT Step 1)
+// simply filter neighbours by distance — the paper's "nodes set the power
+// level adaptively" capability (§II).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "emst/geometry/point.hpp"
+#include "emst/graph/adjacency.hpp"
+#include "emst/rgg/rgg.hpp"
+#include "emst/spatial/cell_grid.hpp"
+
+namespace emst::sim {
+
+using NodeId = graph::NodeId;
+
+class Topology {
+ public:
+  /// Build from points with maximum transmission radius `max_radius`.
+  Topology(std::vector<geometry::Point2> points, double max_radius);
+
+  /// Adopt an already-built RGG (adjacency radius becomes the max radius).
+  explicit Topology(rgg::Rgg instance);
+
+  /// Build with an EXPLICIT edge set (e.g. the Gabriel subgraph of the unit
+  /// disk graph): communication is restricted to the given links, though
+  /// local broadcasts still propagate to everything in range (the radio
+  /// does not know about logical topologies).
+  Topology(std::vector<geometry::Point2> points, double max_radius,
+           std::vector<graph::Edge> edges);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return points_.size(); }
+  [[nodiscard]] double max_radius() const noexcept { return max_radius_; }
+  [[nodiscard]] const std::vector<geometry::Point2>& points() const noexcept {
+    return points_;
+  }
+  [[nodiscard]] geometry::Point2 position(NodeId u) const { return points_[u]; }
+  [[nodiscard]] const graph::AdjacencyList& graph() const noexcept { return graph_; }
+
+  [[nodiscard]] double distance(NodeId u, NodeId v) const {
+    return geometry::distance(points_[u], points_[v]);
+  }
+
+  /// Neighbors of u within the max radius, ascending (weight, id).
+  [[nodiscard]] std::span<const graph::Neighbor> neighbors(NodeId u) const {
+    return graph_.neighbors(u);
+  }
+
+  /// All nodes (other than u) within Euclidean `radius` of u. Unlike
+  /// neighbors(), this consults the spatial index, so it works for radii
+  /// beyond max_radius (Co-NNT's unbounded doubling probe).
+  [[nodiscard]] std::vector<NodeId> nodes_within(NodeId u, double radius) const;
+
+ private:
+  std::vector<geometry::Point2> points_;
+  double max_radius_ = 0.0;
+  graph::AdjacencyList graph_;
+  std::unique_ptr<spatial::CellGrid> grid_;  // indexes points_
+};
+
+}  // namespace emst::sim

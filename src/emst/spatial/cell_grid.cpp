@@ -1,0 +1,112 @@
+#include "emst/spatial/cell_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "emst/support/assert.hpp"
+
+namespace emst::spatial {
+
+CellGrid::CellGrid(std::span<const geometry::Point2> points, double cell_size,
+                   geometry::Rect region)
+    : points_(points), region_(region) {
+  EMST_ASSERT(cell_size > 0.0);
+  const double extent = std::max(region.width(), region.height());
+  EMST_ASSERT(extent > 0.0);
+  // Clamp the per-side cell count: tiny radii on huge point sets would
+  // otherwise allocate quadratically many empty cells.
+  const double max_side =
+      std::sqrt(4.0 * static_cast<double>(points.size()) + 64.0) + 1.0;
+  double side = std::ceil(extent / cell_size);
+  side = std::clamp(side, 1.0, max_side);
+  side_ = static_cast<std::size_t>(side);
+  cell_ = extent / side;
+
+  offsets_.assign(side_ * side_ + 1, 0);
+  for (const geometry::Point2& p : points_) ++offsets_[cell_of(p) + 1];
+  for (std::size_t i = 1; i < offsets_.size(); ++i) offsets_[i] += offsets_[i - 1];
+  members_.resize(points_.size());
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (PointIndex i = 0; i < points_.size(); ++i)
+    members_[cursor[cell_of(points_[i])]++] = i;
+}
+
+CellGrid CellGrid::with_auto_cell(std::span<const geometry::Point2> points,
+                                  geometry::Rect region) {
+  const double n = std::max<double>(1.0, static_cast<double>(points.size()));
+  const double extent = std::max(region.width(), region.height());
+  return CellGrid(points, extent / std::sqrt(n), region);
+}
+
+std::size_t CellGrid::cell_of(geometry::Point2 p) const noexcept {
+  auto coord = [&](double v, double lo) {
+    double c = std::floor((v - lo) / cell_);
+    return static_cast<std::size_t>(
+        std::clamp(c, 0.0, static_cast<double>(side_ - 1)));
+  };
+  return coord(p.y, region_.lo.y) * side_ + coord(p.x, region_.lo.x);
+}
+
+std::span<const PointIndex> CellGrid::cell_members(std::size_t cx,
+                                                   std::size_t cy) const {
+  EMST_ASSERT(cx < side_ && cy < side_);
+  const std::size_t c = cy * side_ + cx;
+  return {members_.data() + offsets_[c], offsets_[c + 1] - offsets_[c]};
+}
+
+void CellGrid::for_each_within(geometry::Point2 p, double r,
+                               const std::function<void(PointIndex)>& fn) const {
+  EMST_ASSERT(r >= 0.0);
+  const double r_sq = r * r;
+  auto clamp_cell = [&](double v, double lo) {
+    double c = std::floor((v - lo) / cell_);
+    return static_cast<long>(std::clamp(c, 0.0, static_cast<double>(side_ - 1)));
+  };
+  const long x_lo = clamp_cell(p.x - r, region_.lo.x);
+  const long x_hi = clamp_cell(p.x + r, region_.lo.x);
+  const long y_lo = clamp_cell(p.y - r, region_.lo.y);
+  const long y_hi = clamp_cell(p.y + r, region_.lo.y);
+  for (long cy = y_lo; cy <= y_hi; ++cy) {
+    for (long cx = x_lo; cx <= x_hi; ++cx) {
+      for (PointIndex i : cell_members(static_cast<std::size_t>(cx),
+                                       static_cast<std::size_t>(cy))) {
+        if (geometry::distance_sq(points_[i], p) <= r_sq) fn(i);
+      }
+    }
+  }
+}
+
+std::vector<PointIndex> CellGrid::within(geometry::Point2 p, double r) const {
+  std::vector<PointIndex> out;
+  for_each_within(p, r, [&](PointIndex i) { out.push_back(i); });
+  return out;
+}
+
+std::vector<PointIndex> CellGrid::k_nearest(geometry::Point2 p, std::size_t k,
+                                            PointIndex exclude) const {
+  std::vector<PointIndex> result;
+  if (k == 0 || points_.empty()) return result;
+  // Expanding-radius search: start at one-cell scale and double until k
+  // candidates are inside the *verified* radius (candidates beyond the scan
+  // radius r may be incomplete, so require dist <= r before accepting).
+  double r = cell_;
+  const double extent = std::hypot(region_.width(), region_.height());
+  std::vector<std::pair<double, PointIndex>> candidates;
+  for (;;) {
+    candidates.clear();
+    for_each_within(p, r, [&](PointIndex i) {
+      if (i == exclude) return;
+      candidates.emplace_back(geometry::distance(points_[i], p), i);
+    });
+    if (candidates.size() >= k || r > extent) break;
+    r *= 2.0;
+  }
+  std::sort(candidates.begin(), candidates.end());
+  const std::size_t take = std::min(k, candidates.size());
+  result.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) result.push_back(candidates[i].second);
+  return result;
+}
+
+}  // namespace emst::spatial

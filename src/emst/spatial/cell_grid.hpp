@@ -1,0 +1,68 @@
+// Uniform cell grid over the unit square.
+//
+// The workhorse spatial index: RGG construction, the Co-NNT doubling-radius
+// probes, and the lower-bound experiment's k-nearest-neighbour queries all
+// reduce to "enumerate points within radius r of p", which the grid answers
+// in expected O(points returned) by scanning the O((r/cell)²) overlapping
+// cells.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "emst/geometry/point.hpp"
+#include "emst/geometry/rect.hpp"
+
+namespace emst::spatial {
+
+using PointIndex = std::uint32_t;
+
+class CellGrid {
+ public:
+  /// Index `points` (not owned; must outlive the grid) with cells of side
+  /// `cell_size` over `region`. cell_size is clamped so the grid has at
+  /// least one and at most ~4·|points| + 64 cells per dimension squared.
+  CellGrid(std::span<const geometry::Point2> points, double cell_size,
+           geometry::Rect region = geometry::unit_square());
+
+  /// Convenience: pick a cell size targeting ~1 point per cell.
+  static CellGrid with_auto_cell(std::span<const geometry::Point2> points,
+                                 geometry::Rect region = geometry::unit_square());
+
+  /// Invoke fn(index) for every indexed point with distance(p, point) <= r
+  /// (Euclidean). Includes the query point itself if it is indexed.
+  void for_each_within(geometry::Point2 p, double r,
+                       const std::function<void(PointIndex)>& fn) const;
+
+  /// Indices of all points within Euclidean distance r of p.
+  [[nodiscard]] std::vector<PointIndex> within(geometry::Point2 p, double r) const;
+
+  /// The k nearest indexed points to p, excluding `exclude` (pass a
+  /// non-index like UINT32_MAX to exclude none), sorted by distance.
+  /// Returns fewer than k if the index holds fewer points.
+  [[nodiscard]] std::vector<PointIndex> k_nearest(geometry::Point2 p, std::size_t k,
+                                                  PointIndex exclude) const;
+
+  [[nodiscard]] std::size_t point_count() const noexcept { return points_.size(); }
+  [[nodiscard]] std::size_t cells_per_side() const noexcept { return side_; }
+  [[nodiscard]] double cell_size() const noexcept { return cell_; }
+
+  /// Points bucketed in grid cell (cx, cy).
+  [[nodiscard]] std::span<const PointIndex> cell_members(std::size_t cx,
+                                                         std::size_t cy) const;
+
+ private:
+  [[nodiscard]] std::size_t cell_of(geometry::Point2 p) const noexcept;
+
+  std::span<const geometry::Point2> points_;
+  geometry::Rect region_;
+  double cell_ = 0.0;
+  std::size_t side_ = 0;
+  std::vector<std::size_t> offsets_;      // CSR over cells
+  std::vector<PointIndex> members_;
+};
+
+}  // namespace emst::spatial

@@ -1,0 +1,116 @@
+#include "emst/spatial/kdtree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "emst/support/assert.hpp"
+
+namespace emst::spatial {
+
+KdTree::KdTree(std::span<const geometry::Point2> points) : points_(points) {
+  if (points_.empty()) return;
+  nodes_.reserve(points_.size());
+  std::vector<std::uint32_t> indices(points_.size());
+  std::iota(indices.begin(), indices.end(), 0u);
+  root_ = build(indices, /*split_x=*/true);
+}
+
+std::int32_t KdTree::build(std::span<std::uint32_t> indices, bool split_x) {
+  if (indices.empty()) return -1;
+  const std::size_t mid = indices.size() / 2;
+  // Median split along the current axis (ties broken by index → stable,
+  // duplicate-safe).
+  std::nth_element(indices.begin(), indices.begin() + static_cast<std::ptrdiff_t>(mid),
+                   indices.end(), [&](std::uint32_t a, std::uint32_t b) {
+                     const double ka = split_x ? points_[a].x : points_[a].y;
+                     const double kb = split_x ? points_[b].x : points_[b].y;
+                     if (ka != kb) return ka < kb;
+                     return a < b;
+                   });
+  const auto node_index = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back({indices[mid], -1, -1, split_x});
+  // Children are built after the push; indices into nodes_ stay valid
+  // because we only append.
+  const std::int32_t left = build(indices.first(mid), !split_x);
+  const std::int32_t right = build(indices.subspan(mid + 1), !split_x);
+  nodes_[static_cast<std::size_t>(node_index)].left = left;
+  nodes_[static_cast<std::size_t>(node_index)].right = right;
+  return node_index;
+}
+
+void KdTree::for_each_within(geometry::Point2 p, double r,
+                             const std::function<void(std::uint32_t)>& fn) const {
+  EMST_ASSERT(r >= 0.0);
+  range_query(root_, p, r * r, fn);
+}
+
+void KdTree::range_query(std::int32_t node, geometry::Point2 p, double r_sq,
+                         const std::function<void(std::uint32_t)>& fn) const {
+  if (node < 0) return;
+  const Node& nd = nodes_[static_cast<std::size_t>(node)];
+  const geometry::Point2 q = points_[nd.point];
+  if (geometry::distance_sq(q, p) <= r_sq) fn(nd.point);
+  const double delta = nd.split_x ? p.x - q.x : p.y - q.y;
+  // Search the near side always; the far side only if the splitting plane is
+  // within range.
+  const std::int32_t near = delta <= 0.0 ? nd.left : nd.right;
+  const std::int32_t far = delta <= 0.0 ? nd.right : nd.left;
+  range_query(near, p, r_sq, fn);
+  if (delta * delta <= r_sq) range_query(far, p, r_sq, fn);
+}
+
+std::vector<std::uint32_t> KdTree::within(geometry::Point2 p, double r) const {
+  std::vector<std::uint32_t> out;
+  for_each_within(p, r, [&](std::uint32_t i) { out.push_back(i); });
+  return out;
+}
+
+std::uint32_t KdTree::nearest(geometry::Point2 p, std::uint32_t exclude) const {
+  const auto knn = k_nearest(p, 1, exclude);
+  return knn.empty() ? std::numeric_limits<std::uint32_t>::max() : knn[0];
+}
+
+void KdTree::knn_query(std::int32_t node, geometry::Point2 p, std::size_t k,
+                       std::uint32_t exclude,
+                       std::vector<std::pair<double, std::uint32_t>>& heap) const {
+  if (node < 0) return;
+  const Node& nd = nodes_[static_cast<std::size_t>(node)];
+  const geometry::Point2 q = points_[nd.point];
+  if (nd.point != exclude) {
+    const double d_sq = geometry::distance_sq(q, p);
+    if (heap.size() < k) {
+      heap.emplace_back(d_sq, nd.point);
+      std::push_heap(heap.begin(), heap.end());
+    } else if (d_sq < heap.front().first) {
+      std::pop_heap(heap.begin(), heap.end());
+      heap.back() = {d_sq, nd.point};
+      std::push_heap(heap.begin(), heap.end());
+    }
+  }
+  const double delta = nd.split_x ? p.x - q.x : p.y - q.y;
+  const std::int32_t near = delta <= 0.0 ? nd.left : nd.right;
+  const std::int32_t far = delta <= 0.0 ? nd.right : nd.left;
+  knn_query(near, p, k, exclude, heap);
+  // Prune the far side when the splitting plane is farther than the current
+  // k-th best (or the heap is not yet full).
+  if (heap.size() < k || delta * delta <= heap.front().first) {
+    knn_query(far, p, k, exclude, heap);
+  }
+}
+
+std::vector<std::uint32_t> KdTree::k_nearest(geometry::Point2 p, std::size_t k,
+                                             std::uint32_t exclude) const {
+  std::vector<std::uint32_t> out;
+  if (k == 0 || points_.empty()) return out;
+  std::vector<std::pair<double, std::uint32_t>> heap;  // max-heap on d²
+  heap.reserve(k + 1);
+  knn_query(root_, p, k, exclude, heap);
+  std::sort_heap(heap.begin(), heap.end());
+  out.reserve(heap.size());
+  for (const auto& [d_sq, index] : heap) out.push_back(index);
+  return out;
+}
+
+}  // namespace emst::spatial

@@ -1,0 +1,67 @@
+// 2-d k-d tree — the CellGrid's complement for NON-uniform point sets.
+//
+// The cell grid answers range queries in expected O(output) only when points
+// are roughly uniform (one point per cell); under clustered deployments
+// (geometry/deployments.hpp) a single cell can hold Θ(n) points. The k-d
+// tree's O(√n + output) range query and O(log n) expected nearest-neighbour
+// query are density-independent. Both indexes expose the same query surface
+// and are property-tested against each other.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "emst/geometry/point.hpp"
+
+namespace emst::spatial {
+
+class KdTree {
+ public:
+  /// Build over `points` (not owned; must outlive the tree). O(n log n).
+  explicit KdTree(std::span<const geometry::Point2> points);
+
+  /// Invoke fn(index) for every point within Euclidean distance r of p
+  /// (inclusive). Includes the query point itself if indexed.
+  void for_each_within(geometry::Point2 p, double r,
+                       const std::function<void(std::uint32_t)>& fn) const;
+
+  [[nodiscard]] std::vector<std::uint32_t> within(geometry::Point2 p,
+                                                  double r) const;
+
+  /// Index of the nearest point to p, excluding `exclude`
+  /// (pass UINT32_MAX to exclude nothing); UINT32_MAX if the tree is empty
+  /// or holds only the excluded point.
+  [[nodiscard]] std::uint32_t nearest(geometry::Point2 p,
+                                      std::uint32_t exclude) const;
+
+  /// The k nearest points to p (excluding `exclude`), sorted by distance.
+  [[nodiscard]] std::vector<std::uint32_t> k_nearest(geometry::Point2 p,
+                                                     std::size_t k,
+                                                     std::uint32_t exclude) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+
+ private:
+  struct Node {
+    std::uint32_t point = 0;      // index into points_
+    std::int32_t left = -1;       // node indices
+    std::int32_t right = -1;
+    bool split_x = true;          // splitting axis at this node
+  };
+
+  [[nodiscard]] std::int32_t build(std::span<std::uint32_t> indices, bool split_x);
+  void range_query(std::int32_t node, geometry::Point2 p, double r_sq,
+                   const std::function<void(std::uint32_t)>& fn) const;
+  void knn_query(std::int32_t node, geometry::Point2 p, std::size_t k,
+                 std::uint32_t exclude,
+                 std::vector<std::pair<double, std::uint32_t>>& heap) const;
+
+  std::span<const geometry::Point2> points_;
+  std::vector<Node> nodes_;
+  std::int32_t root_ = -1;
+};
+
+}  // namespace emst::spatial

@@ -1,0 +1,29 @@
+// Lightweight contract checking (CppCoreGuidelines I.6/I.8 style).
+//
+// EMST_ASSERT is active in all build types: the simulator and the
+// distributed-algorithm drivers rely on invariants whose violation would
+// silently corrupt experiment results, so we prefer a loud abort over a
+// wrong table row.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace emst::support {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "emst: assertion failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace emst::support
+
+#define EMST_ASSERT(expr)                                                    \
+  ((expr) ? static_cast<void>(0)                                             \
+          : ::emst::support::assert_fail(#expr, __FILE__, __LINE__, nullptr))
+
+#define EMST_ASSERT_MSG(expr, msg)                                        \
+  ((expr) ? static_cast<void>(0)                                          \
+          : ::emst::support::assert_fail(#expr, __FILE__, __LINE__, msg))

@@ -1,0 +1,79 @@
+#include "emst/support/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace emst::support {
+
+Cli::Cli(int argc, const char* const* argv, std::map<std::string, std::string> spec)
+    : spec_(std::move(spec)) {
+  spec_.emplace("help", "show this help");
+  const std::string program = argc > 0 ? argv[0] : "emst";
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument: %s\n", token.c_str());
+      usage_and_exit(program);
+    }
+    token.erase(0, 2);
+    std::string value = "true";
+    if (const auto eq = token.find('='); eq != std::string::npos) {
+      value = token.substr(eq + 1);
+      token.erase(eq);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+    }
+    if (spec_.find(token) == spec_.end()) {
+      std::fprintf(stderr, "unknown flag: --%s\n", token.c_str());
+      usage_and_exit(program);
+    }
+    values_[token] = value;
+  }
+  if (has("help")) usage_and_exit(program);
+}
+
+void Cli::usage_and_exit(const std::string& program) const {
+  std::fprintf(stderr, "usage: %s [flags]\n", program.c_str());
+  for (const auto& [name, help] : spec_)
+    std::fprintf(stderr, "  --%-18s %s\n", name.c_str(), help.c_str());
+  std::exit(2);
+}
+
+bool Cli::has(const std::string& name) const { return values_.count(name) > 0; }
+
+std::string Cli::get(const std::string& name, const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::stoll(it->second);
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::stod(it->second);
+}
+
+bool Cli::get_bool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::int64_t> Cli::get_int_list(const std::string& name,
+                                            std::vector<std::int64_t> fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  std::vector<std::int64_t> out;
+  std::stringstream ss(it->second);
+  std::string piece;
+  while (std::getline(ss, piece, ',')) {
+    if (!piece.empty()) out.push_back(std::stoll(piece));
+  }
+  return out;
+}
+
+}  // namespace emst::support

@@ -1,0 +1,40 @@
+// Minimal `--flag=value` / `--flag value` command-line parsing for the
+// benches and examples. No external dependency; unknown flags are an error
+// so typos in sweep scripts fail fast instead of silently running defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace emst::support {
+
+class Cli {
+ public:
+  /// Parse argv. `spec` maps flag name (without dashes) to a help string;
+  /// flags not in the spec abort with a usage message.
+  Cli(int argc, const char* const* argv,
+      std::map<std::string, std::string> spec);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Comma-separated integer list, e.g. --ns=100,500,1000.
+  [[nodiscard]] std::vector<std::int64_t> get_int_list(
+      const std::string& name, std::vector<std::int64_t> fallback) const;
+
+ private:
+  void usage_and_exit(const std::string& program) const;
+
+  std::map<std::string, std::string> spec_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace emst::support

@@ -1,0 +1,180 @@
+// Minimal streaming JSON writer (no DOM, no dependency) for machine-readable
+// experiment output (`examples/emst_cli --format=json`).
+//
+// Usage:
+//   JsonWriter json(os);
+//   json.begin_object();
+//   json.key("n").value(2000);
+//   json.key("algorithms").begin_array();
+//   ... json.end_array();
+//   json.end_object();
+//
+// The writer validates nesting with assertions and handles string escaping
+// and non-finite doubles (emitted as null, per RFC 8259's exclusion).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "emst/support/assert.hpp"
+
+namespace emst::support {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os, bool pretty = true)
+      : os_(os), pretty_(pretty) {}
+
+  JsonWriter& begin_object() {
+    start_value();
+    os_ << '{';
+    stack_.push_back(Frame{Container::kObject, 0});
+    return *this;
+  }
+
+  JsonWriter& end_object() {
+    EMST_ASSERT_MSG(!stack_.empty() && stack_.back().container == Container::kObject,
+                    "end_object without matching begin_object");
+    const bool had_items = stack_.back().count > 0;
+    stack_.pop_back();
+    if (had_items) newline_indent();
+    os_ << '}';
+    return *this;
+  }
+
+  JsonWriter& begin_array() {
+    start_value();
+    os_ << '[';
+    stack_.push_back(Frame{Container::kArray, 0});
+    return *this;
+  }
+
+  JsonWriter& end_array() {
+    EMST_ASSERT_MSG(!stack_.empty() && stack_.back().container == Container::kArray,
+                    "end_array without matching begin_array");
+    const bool had_items = stack_.back().count > 0;
+    stack_.pop_back();
+    if (had_items) newline_indent();
+    os_ << ']';
+    return *this;
+  }
+
+  JsonWriter& key(std::string_view name) {
+    EMST_ASSERT_MSG(!stack_.empty() && stack_.back().container == Container::kObject,
+                    "key() is only valid inside an object");
+    EMST_ASSERT_MSG(!pending_key_, "key() called twice without a value");
+    separator();
+    write_string(name);
+    os_ << (pretty_ ? ": " : ":");
+    pending_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view text) {
+    start_value();
+    write_string(text);
+    return *this;
+  }
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(bool flag) {
+    start_value();
+    os_ << (flag ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& value(double number) {
+    start_value();
+    if (!std::isfinite(number)) {
+      os_ << "null";  // JSON has no Inf/NaN
+    } else {
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "%.12g", number);
+      os_ << buffer;
+    }
+    return *this;
+  }
+  JsonWriter& value(std::int64_t number) {
+    start_value();
+    os_ << number;
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t number) {
+    start_value();
+    os_ << number;
+    return *this;
+  }
+  JsonWriter& value(int number) { return value(static_cast<std::int64_t>(number)); }
+  JsonWriter& null() {
+    start_value();
+    os_ << "null";
+    return *this;
+  }
+
+  /// True when every container has been closed (document complete).
+  [[nodiscard]] bool complete() const noexcept {
+    return stack_.empty() && !pending_key_;
+  }
+
+ private:
+  enum class Container : std::uint8_t { kObject, kArray };
+  struct Frame {
+    Container container;
+    std::size_t count;
+  };
+
+  void separator() {
+    if (stack_.back().count > 0) os_ << ',';
+    ++stack_.back().count;
+    newline_indent();
+  }
+
+  void start_value() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;  // the key already emitted the separator
+    }
+    if (!stack_.empty()) {
+      EMST_ASSERT_MSG(stack_.back().container == Container::kArray,
+                      "bare value inside an object requires key()");
+      separator();
+    }
+  }
+
+  void newline_indent() {
+    if (!pretty_) return;
+    os_ << '\n';
+    for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+  }
+
+  void write_string(std::string_view text) {
+    os_ << '"';
+    for (const char ch : text) {
+      switch (ch) {
+        case '"': os_ << "\\\""; break;
+        case '\\': os_ << "\\\\"; break;
+        case '\n': os_ << "\\n"; break;
+        case '\t': os_ << "\\t"; break;
+        case '\r': os_ << "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(ch) < 0x20) {
+            char buffer[8];
+            std::snprintf(buffer, sizeof(buffer), "\\u%04x", ch);
+            os_ << buffer;
+          } else {
+            os_ << ch;
+          }
+      }
+    }
+    os_ << '"';
+  }
+
+  std::ostream& os_;
+  bool pretty_;
+  bool pending_key_ = false;
+  std::vector<Frame> stack_;
+};
+
+}  // namespace emst::support

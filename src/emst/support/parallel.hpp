@@ -1,0 +1,25 @@
+// Thread-parallel trial execution.
+//
+// Monte-Carlo sweeps (20+ trials per table row) are embarrassingly parallel:
+// each trial gets a deterministic stream seed derived from (master seed,
+// trial index), so results are identical regardless of thread count or
+// scheduling (CppCoreGuidelines CP.2: no data races — each trial writes only
+// its own slot).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace emst::support {
+
+/// Number of worker threads to use (hardware_concurrency, at least 1).
+/// Honors the EMST_THREADS environment variable when set.
+[[nodiscard]] std::size_t default_thread_count();
+
+/// Run fn(i) for i in [0, count) across worker threads. Blocks until all
+/// complete. Exceptions inside fn terminate (deliberate: a failed trial
+/// invalidates the whole experiment).
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                  std::size_t threads = 0);
+
+}  // namespace emst::support

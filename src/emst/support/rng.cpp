@@ -1,0 +1,48 @@
+#include "emst/support/rng.hpp"
+
+#include <cmath>
+
+#include "emst/support/assert.hpp"
+
+namespace emst::support {
+
+std::uint64_t Rng::uniform_int(std::uint64_t bound) noexcept {
+  EMST_ASSERT(bound > 0);
+  // Lemire's nearly-divisionless method with rejection to remove bias.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t Rng::poisson(double mean) noexcept {
+  EMST_ASSERT(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth inversion in the log domain to avoid underflow.
+    const double threshold = -mean;
+    double accum = 0.0;
+    std::uint64_t count = 0;
+    for (;;) {
+      accum += std::log(uniform());
+      if (accum < threshold) return count;
+      ++count;
+    }
+  }
+  // Split λ = λ/2 + λ/2 recursively; depth is O(log λ), each leaf uses the
+  // exact inversion above. Slower than PTRS but exact and branch-simple —
+  // Poisson sampling is never on a hot path here (it is used once per
+  // point-process instantiation).
+  const std::uint64_t left = poisson(mean / 2.0);
+  return left + poisson(mean - mean / 2.0);
+}
+
+}  // namespace emst::support

@@ -1,0 +1,139 @@
+#include "emst/support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "emst/support/assert.hpp"
+#include "emst/support/rng.hpp"
+
+namespace emst::support {
+
+void RunningStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::sem() const noexcept {
+  if (count_ < 2) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(count_);
+  const auto nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  EMST_ASSERT(!sorted.empty());
+  EMST_ASSERT(q >= 0.0 && q <= 1.0);
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+Summary summarize(std::span<const double> sample) {
+  Summary s;
+  if (sample.empty()) return s;
+  RunningStats rs;
+  for (double x : sample) rs.add(x);
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.count = rs.count();
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.sem = rs.sem();
+  s.min = rs.min();
+  s.max = rs.max();
+  s.p25 = quantile_sorted(sorted, 0.25);
+  s.median = quantile_sorted(sorted, 0.50);
+  s.p75 = quantile_sorted(sorted, 0.75);
+  return s;
+}
+
+LineFit fit_line(std::span<const double> x, std::span<const double> y) {
+  EMST_ASSERT(x.size() == y.size());
+  EMST_ASSERT(x.size() >= 2);
+  const auto n = static_cast<double>(x.size());
+  double sx = 0.0;
+  double sy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  LineFit fit;
+  if (sxx == 0.0) return fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r2 = (syy == 0.0) ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+double mean_of(std::span<const double> sample) {
+  if (sample.empty()) return 0.0;
+  double total = 0.0;
+  for (double x : sample) total += x;
+  return total / static_cast<double>(sample.size());
+}
+
+Interval bootstrap_mean_ci(std::span<const double> sample, Rng& rng,
+                           std::size_t resamples, double confidence) {
+  EMST_ASSERT(confidence > 0.0 && confidence < 1.0);
+  if (sample.empty()) return {};
+  if (sample.size() == 1) return {sample[0], sample[0]};
+  std::vector<double> means;
+  means.reserve(resamples);
+  for (std::size_t b = 0; b < resamples; ++b) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      total += sample[rng.uniform_int(sample.size())];
+    }
+    means.push_back(total / static_cast<double>(sample.size()));
+  }
+  std::sort(means.begin(), means.end());
+  const double tail = (1.0 - confidence) / 2.0;
+  return {quantile_sorted(means, tail), quantile_sorted(means, 1.0 - tail)};
+}
+
+}  // namespace emst::support

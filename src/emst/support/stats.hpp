@@ -1,0 +1,93 @@
+// Descriptive statistics and least-squares line fitting.
+//
+// The paper's Figure 3(b) claims that log(Energy) plotted against
+// log log n is a straight line with slope b where Energy = c * log^b n;
+// LineFit recovers that slope so the benchmark can verify b ≈ 2 / 1 / 0
+// for GHS / EOPT / Co-NNT respectively.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace emst::support {
+
+/// Single-pass mean/variance accumulator (Welford). Numerically stable.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  /// Standard error of the mean; 0 for fewer than two samples.
+  [[nodiscard]] double sem() const noexcept;
+
+  /// Merge another accumulator (parallel reduction; Chan et al. update).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Full-sample summary including order statistics.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double sem = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+};
+
+/// Summarize a sample (copies + sorts internally; fine for trial counts).
+[[nodiscard]] Summary summarize(std::span<const double> sample);
+
+/// Linear interpolation quantile of a *sorted* sample, q in [0,1].
+[[nodiscard]] double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Ordinary least squares y = intercept + slope * x.
+struct LineFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  ///< coefficient of determination
+};
+
+[[nodiscard]] LineFit fit_line(std::span<const double> x, std::span<const double> y);
+
+/// Mean of a sample (0 for empty).
+[[nodiscard]] double mean_of(std::span<const double> sample);
+
+/// A two-sided confidence interval.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  [[nodiscard]] bool contains(double x) const noexcept {
+    return x >= lo && x <= hi;
+  }
+  [[nodiscard]] double width() const noexcept { return hi - lo; }
+};
+
+/// Percentile-bootstrap confidence interval for the MEAN of a sample:
+/// resample with replacement `resamples` times, take the (1±conf)/2
+/// quantiles of the resampled means. Deterministic given the Rng. Used by
+/// the harness to report CI bands without distributional assumptions (trial
+/// energies are skewed).
+[[nodiscard]] Interval bootstrap_mean_ci(std::span<const double> sample,
+                                         class Rng& rng,
+                                         std::size_t resamples = 2000,
+                                         double confidence = 0.95);
+
+}  // namespace emst::support

@@ -1,0 +1,102 @@
+#include "emst/support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "emst/support/assert.hpp"
+
+namespace emst::support {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)), precision_(headers_.size(), 3) {
+  EMST_ASSERT(!headers_.empty());
+}
+
+void Table::set_precision(std::size_t column, int digits) {
+  EMST_ASSERT(column < precision_.size());
+  precision_[column] = digits;
+}
+
+void Table::add_row(std::vector<Cell> row) {
+  EMST_ASSERT_MSG(row.size() == headers_.size(), "row width must match header width");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::format_cell(std::size_t column, const Cell& cell) const {
+  if (const auto* text = std::get_if<std::string>(&cell)) return *text;
+  if (const auto* integer = std::get_if<long long>(&cell)) return std::to_string(*integer);
+  const double value = std::get<double>(cell);
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision_[column], value);
+  return buffer;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      cells.push_back(format_cell(c, row[c]));
+      widths[c] = std::max(widths[c], cells.back().size());
+    }
+    rendered.push_back(std::move(cells));
+  }
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os.width(static_cast<std::streamsize>(widths[c]));
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) rule += widths[c] + (c == 0 ? 0 : 2);
+  os << std::string(rule, '-') << '\n';
+  for (const auto& row : rendered) emit(row);
+}
+
+void Table::write_csv(std::ostream& os) const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << (c == 0 ? "" : ",") << quote(headers_[c]);
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << (c == 0 ? "" : ",") << quote(format_cell(c, row[c]));
+    os << '\n';
+  }
+}
+
+bool Table::save_csv(const std::string& path) const {
+  std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream file(path);
+  if (!file) {
+    std::cerr << "emst: warning: cannot write CSV to " << path << '\n';
+    return false;
+  }
+  write_csv(file);
+  return true;
+}
+
+}  // namespace emst::support

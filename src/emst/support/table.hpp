@@ -1,0 +1,50 @@
+// Aligned console tables and CSV emission for the benchmark harnesses.
+//
+// Every figure/table bench prints (a) a human-readable aligned table that
+// mirrors the rows the paper reports and (b) optionally a CSV file so the
+// plots can be regenerated with any external tool.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace emst::support {
+
+/// A table cell: text, integer, or floating point (formatted with
+/// per-column precision).
+using Cell = std::variant<std::string, long long, double>;
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Per-column decimal places for double cells (default 3).
+  void set_precision(std::size_t column, int digits);
+
+  void add_row(std::vector<Cell> row);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return headers_.size(); }
+
+  /// Render with aligned columns, a header rule, and right-aligned numbers.
+  void print(std::ostream& os) const;
+
+  /// Emit RFC-4180-ish CSV (quotes applied to cells containing separators).
+  void write_csv(std::ostream& os) const;
+
+  /// Convenience: write CSV to `path`, creating parent dirs if needed.
+  /// Returns false (and prints a warning) if the file cannot be opened.
+  bool save_csv(const std::string& path) const;
+
+ private:
+  [[nodiscard]] std::string format_cell(std::size_t column, const Cell& cell) const;
+
+  std::vector<std::string> headers_;
+  std::vector<int> precision_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace emst::support

@@ -1,0 +1,124 @@
+#include "emst/viz/svg.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "emst/support/assert.hpp"
+
+namespace emst::viz {
+namespace {
+
+std::string fmt(const char* pattern, auto... args) {
+  char buffer[512];
+  std::snprintf(buffer, sizeof(buffer), pattern, args...);
+  return buffer;
+}
+
+}  // namespace
+
+SvgCanvas::SvgCanvas(double size_px, double margin_px)
+    : size_(size_px), margin_(margin_px) {
+  EMST_ASSERT(size_px > 2.0 * margin_px);
+}
+
+double SvgCanvas::px(double x) const noexcept {
+  return margin_ + x * (size_ - 2.0 * margin_);
+}
+
+double SvgCanvas::py(double y) const noexcept {
+  return size_ - margin_ - y * (size_ - 2.0 * margin_);  // flip y
+}
+
+void SvgCanvas::draw_points(std::span<const geometry::Point2> points,
+                            double radius_px, const std::string& fill) {
+  for (const geometry::Point2& p : points) {
+    body_.push_back(fmt(R"(<circle cx="%.2f" cy="%.2f" r="%.2f" fill="%s"/>)",
+                        px(p.x), py(p.y), radius_px, fill.c_str()));
+  }
+}
+
+void SvgCanvas::draw_point_subset(std::span<const geometry::Point2> points,
+                                  std::span<const std::size_t> indices,
+                                  double radius_px, const std::string& fill) {
+  for (const std::size_t i : indices) {
+    EMST_ASSERT(i < points.size());
+    body_.push_back(fmt(R"(<circle cx="%.2f" cy="%.2f" r="%.2f" fill="%s"/>)",
+                        px(points[i].x), py(points[i].y), radius_px,
+                        fill.c_str()));
+  }
+}
+
+void SvgCanvas::draw_edges(std::span<const geometry::Point2> points,
+                           const std::vector<graph::Edge>& edges,
+                           double width_px, const std::string& stroke) {
+  for (const graph::Edge& e : edges) {
+    EMST_ASSERT(e.u < points.size() && e.v < points.size());
+    body_.push_back(
+        fmt(R"(<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="%s" stroke-width="%.2f"/>)",
+            px(points[e.u].x), py(points[e.u].y), px(points[e.v].x),
+            py(points[e.v].y), stroke.c_str(), width_px));
+  }
+}
+
+void SvgCanvas::draw_cell_field(const percolation::CellField& field,
+                                const std::string& good_fill,
+                                const std::string& occupied_fill) {
+  const double cell = field.cell_size();
+  for (std::size_t cy = 0; cy < field.side(); ++cy) {
+    for (std::size_t cx = 0; cx < field.side(); ++cx) {
+      const bool good = field.good(cx, cy);
+      if (!good && !field.occupied(cx, cy)) continue;
+      const double x0 = static_cast<double>(cx) * cell;
+      const double y0 = static_cast<double>(cy) * cell;
+      body_.push_back(
+          fmt(R"(<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s"/>)",
+              px(x0), py(y0 + cell), px(x0 + cell) - px(x0),
+              py(y0) - py(y0 + cell),
+              good ? good_fill.c_str() : occupied_fill.c_str()));
+    }
+  }
+}
+
+void SvgCanvas::draw_label(geometry::Point2 pos, const std::string& text,
+                           double font_px, const std::string& fill) {
+  std::string escaped;
+  for (const char ch : text) {
+    switch (ch) {
+      case '<': escaped += "&lt;"; break;
+      case '>': escaped += "&gt;"; break;
+      case '&': escaped += "&amp;"; break;
+      default: escaped += ch;
+    }
+  }
+  body_.push_back(
+      fmt(R"(<text x="%.2f" y="%.2f" font-size="%.1f" fill="%s" font-family="sans-serif">%s</text>)",
+          px(pos.x), py(pos.y), font_px, fill.c_str(), escaped.c_str()));
+}
+
+void SvgCanvas::write(std::ostream& os) const {
+  os << fmt(R"(<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">)",
+            size_, size_, size_, size_)
+     << '\n';
+  os << R"(<rect width="100%" height="100%" fill="white"/>)" << '\n';
+  for (const std::string& element : body_) os << element << '\n';
+  os << "</svg>\n";
+}
+
+bool SvgCanvas::save(const std::string& path) const {
+  std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream file(path);
+  if (!file) {
+    std::cerr << "emst: warning: cannot write SVG to " << path << '\n';
+    return false;
+  }
+  write(file);
+  return true;
+}
+
+}  // namespace emst::viz

@@ -1,0 +1,67 @@
+// Minimal SVG rendering of deployments, trees, and percolation cell fields —
+// regenerates the paper's qualitative figures (Fig 1's giant-component
+// picture, tree comparisons) as standalone .svg files with no external
+// dependency.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "emst/geometry/point.hpp"
+#include "emst/graph/edge.hpp"
+#include "emst/percolation/cells.hpp"
+
+namespace emst::viz {
+
+/// Drawing surface mapping the unit square to a pixel viewport (y flipped so
+/// the origin is bottom-left, as in the paper's figures).
+class SvgCanvas {
+ public:
+  explicit SvgCanvas(double size_px = 800.0, double margin_px = 10.0);
+
+  /// One dot per point.
+  void draw_points(std::span<const geometry::Point2> points, double radius_px,
+                   const std::string& fill);
+
+  /// A subset of points (by index), e.g. the giant component's members.
+  void draw_point_subset(std::span<const geometry::Point2> points,
+                         std::span<const std::size_t> indices, double radius_px,
+                         const std::string& fill);
+
+  /// One line segment per edge.
+  void draw_edges(std::span<const geometry::Point2> points,
+                  const std::vector<graph::Edge>& edges, double width_px,
+                  const std::string& stroke);
+
+  /// Cell field backdrop: good cells in `good_fill`, occupied-but-not-good
+  /// in `occupied_fill`, empty cells unpainted.
+  void draw_cell_field(const percolation::CellField& field,
+                       const std::string& good_fill,
+                       const std::string& occupied_fill);
+
+  /// Text label (SVG coordinates are handled internally; pos in unit square).
+  void draw_label(geometry::Point2 pos, const std::string& text,
+                  double font_px = 14.0, const std::string& fill = "#333");
+
+  /// Number of shape elements queued so far (for tests).
+  [[nodiscard]] std::size_t element_count() const noexcept {
+    return body_.size();
+  }
+
+  void write(std::ostream& os) const;
+  /// Write to a file; returns false (with a warning) on I/O failure.
+  bool save(const std::string& path) const;
+
+ private:
+  [[nodiscard]] double px(double x) const noexcept;
+  [[nodiscard]] double py(double y) const noexcept;
+
+  double size_;
+  double margin_;
+  std::vector<std::string> body_;
+};
+
+}  // namespace emst::viz

@@ -1,0 +1,156 @@
+// Tests for the application layer: aggregation trees and broadcast plans.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "emst/apps/aggregation.hpp"
+#include "emst/apps/broadcast.hpp"
+#include "emst/apps/leader_election.hpp"
+#include "emst/eopt/eopt.hpp"
+#include "emst/geometry/sampling.hpp"
+#include "emst/graph/tree_utils.hpp"
+#include "emst/rgg/radii.hpp"
+#include "emst/rgg/rgg.hpp"
+#include "emst/support/rng.hpp"
+
+namespace emst::apps {
+namespace {
+
+struct Fixture {
+  std::vector<geometry::Point2> points;
+  sim::Topology topo;
+  std::vector<graph::Edge> tree;
+
+  explicit Fixture(std::size_t n, std::uint64_t seed)
+      : points([&] {
+          support::Rng rng(seed);
+          return geometry::uniform_points(n, rng);
+        }()),
+        topo(points, rgg::connectivity_radius(n)),
+        tree(rgg::euclidean_mst(points)) {}
+};
+
+TEST(Aggregation, CollectComputesExactAggregates) {
+  Fixture fx(500, 43);
+  const AggregationTree agg(fx.topo, fx.tree, 0);
+  support::Rng rng(99);
+  std::vector<double> readings(500);
+  for (double& r : readings) r = rng.uniform(-5.0, 40.0);
+  sim::EnergyMeter meter;
+  const SensorAggregate result = agg.collect(readings, meter);
+  EXPECT_DOUBLE_EQ(result.max, *std::max_element(readings.begin(), readings.end()));
+  EXPECT_DOUBLE_EQ(result.min, *std::min_element(readings.begin(), readings.end()));
+  EXPECT_DOUBLE_EQ(result.count, 500.0);
+  double sum = 0.0;
+  for (const double r : readings) sum += r;
+  EXPECT_NEAR(result.sum, sum, 1e-9);
+  EXPECT_NEAR(result.mean(), sum / 500.0, 1e-12);
+  // One message per tree edge.
+  EXPECT_EQ(meter.totals().unicasts, fx.tree.size());
+}
+
+TEST(Aggregation, RoundEnergyEqualsTreeCost) {
+  Fixture fx(300, 47);
+  const AggregationTree agg(fx.topo, fx.tree, 5);
+  double expected = 0.0;
+  for (const graph::Edge& e : fx.tree) expected += e.w * e.w;
+  EXPECT_NEAR(agg.round_energy({1.0, 2.0}), expected, 1e-9);
+  // Collect's metered energy equals the per-round figure.
+  sim::EnergyMeter meter;
+  (void)agg.collect(std::vector<double>(300, 1.0), meter);
+  EXPECT_NEAR(meter.totals().energy, expected, 1e-9);
+}
+
+TEST(Aggregation, DisseminateReachesEveryone) {
+  Fixture fx(200, 53);
+  const AggregationTree agg(fx.topo, fx.tree, 7);
+  sim::EnergyMeter meter;
+  const auto values = agg.disseminate(3.25, meter);
+  for (const double v : values) EXPECT_DOUBLE_EQ(v, 3.25);
+  EXPECT_EQ(meter.totals().unicasts, fx.tree.size());
+}
+
+TEST(Aggregation, MstBackboneBeatsStarPerRound) {
+  Fixture fx(800, 59);
+  const AggregationTree mst(fx.topo, fx.tree, 0);
+  std::vector<graph::Edge> star;
+  for (graph::NodeId u = 1; u < 800; ++u)
+    star.push_back({0, u, geometry::distance(fx.points[0], fx.points[u])});
+  // The star is a valid tree too — build its backbone via a wide-open
+  // topology (star edges exceed the radio radius of the RGG topology).
+  const sim::Topology open(fx.points, 1.5);
+  const AggregationTree direct(open, star, 0);
+  EXPECT_LT(mst.round_energy({}), 0.1 * direct.round_energy({}));
+  EXPECT_GT(mst.depth(), direct.depth());  // the latency trade-off
+}
+
+TEST(Broadcast, PlanCoversTreeAndSavesEnergy) {
+  Fixture fx(600, 61);
+  const BroadcastPlan plan = plan_broadcast(fx.topo, fx.tree, 0);
+  EXPECT_LE(plan.transmissions, fx.tree.size());
+  EXPECT_GT(plan.transmissions, 0u);
+  // Wireless advantage never loses to per-edge unicast.
+  EXPECT_LE(plan.wireless_energy, plan.unicast_energy + 1e-12);
+  EXPECT_EQ(plan.rounds, graph::tree_depth(600, fx.tree, 0));
+}
+
+TEST(Broadcast, ExecuteReachesAllNodes) {
+  Fixture fx(400, 67);
+  const BroadcastPlan plan = plan_broadcast(fx.topo, fx.tree, 3);
+  sim::EnergyMeter meter;
+  EXPECT_EQ(execute_broadcast(fx.topo, plan, meter), 400u);
+  // Executed energy equals the planned wireless energy.
+  EXPECT_NEAR(meter.totals().energy, plan.wireless_energy, 1e-9);
+  EXPECT_EQ(meter.totals().broadcasts, plan.transmissions);
+}
+
+TEST(Broadcast, ExecutionCanOutrunThePlanViaOverhearing) {
+  // Nodes outside the tree children can overhear a transmission (wireless!),
+  // so execution may cover nodes earlier than the tree depth suggests — but
+  // never fewer.
+  Fixture fx(300, 71);
+  const BroadcastPlan plan = plan_broadcast(fx.topo, fx.tree, 0);
+  sim::EnergyMeter meter;
+  const std::size_t covered = execute_broadcast(fx.topo, plan, meter);
+  EXPECT_EQ(covered, 300u);
+  EXPECT_LE(meter.totals().rounds, plan.rounds + 1);
+}
+
+TEST(LeaderElection, ElectsTheMaximumIdFromAnyRoot) {
+  Fixture fx(300, 73);
+  for (const graph::NodeId root : {0u, 57u, 299u}) {
+    sim::EnergyMeter meter;
+    const ElectionResult result =
+        elect_leader(fx.topo, fx.tree, root, meter);
+    EXPECT_EQ(result.leader, 299u);  // max id always wins
+    for (const graph::NodeId known : result.known_leader)
+      EXPECT_EQ(known, 299u);        // everyone agrees
+    // Exactly 2 messages per tree edge.
+    EXPECT_EQ(meter.totals().unicasts, 2 * fx.tree.size());
+  }
+}
+
+TEST(LeaderElection, EnergyIsTwiceTheTreeCost) {
+  Fixture fx(400, 79);
+  sim::EnergyMeter meter({1.0, 2.0});
+  (void)elect_leader(fx.topo, fx.tree, 0, meter);
+  double tree_sq = 0.0;
+  for (const graph::Edge& e : fx.tree) tree_sq += e.w * e.w;
+  EXPECT_NEAR(meter.totals().energy, 2.0 * tree_sq, 1e-9);
+  // §IV's point: once the MST exists, election costs only 2·L_MST = O(1) —
+  // the Ω(log n) is all in BUILDING the tree.
+  EXPECT_LT(meter.totals().energy, 2.0);
+}
+
+TEST(Broadcast, SingleNodePlan) {
+  const sim::Topology topo({{0.5, 0.5}, {0.6, 0.6}}, 0.5);
+  const std::vector<graph::Edge> tree = {
+      {0, 1, geometry::distance({0.5, 0.5}, {0.6, 0.6})}};
+  const BroadcastPlan plan = plan_broadcast(topo, tree, 0);
+  EXPECT_EQ(plan.transmissions, 1u);
+  sim::EnergyMeter meter;
+  EXPECT_EQ(execute_broadcast(topo, plan, meter), 2u);
+}
+
+}  // namespace
+}  // namespace emst::apps

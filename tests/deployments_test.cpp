@@ -1,0 +1,110 @@
+// Tests for the non-uniform deployment models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "emst/geometry/deployments.hpp"
+#include "emst/support/rng.hpp"
+#include "emst/support/stats.hpp"
+
+namespace emst::geometry {
+namespace {
+
+class AllModels : public ::testing::TestWithParam<Deployment> {};
+
+TEST_P(AllModels, ExactlyNPointsInsideTheUnitSquare) {
+  support::Rng rng(7);
+  const auto points = sample_deployment(GetParam(), 3000, rng);
+  ASSERT_EQ(points.size(), 3000u);
+  for (const Point2& p : points) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 1.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 1.0);
+  }
+}
+
+TEST_P(AllModels, DeterministicPerSeed) {
+  support::Rng a(11);
+  support::Rng b(11);
+  const auto pa = sample_deployment(GetParam(), 100, a);
+  const auto pb = sample_deployment(GetParam(), 100, b);
+  EXPECT_EQ(pa, pb);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AllModels,
+    ::testing::ValuesIn(all_deployments()),
+    [](const ::testing::TestParamInfo<Deployment>& info) {
+      std::string name = deployment_name(info.param);
+      for (char& ch : name) {
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      }
+      return name;
+    });
+
+TEST(Deployments, NamesAreDistinct) {
+  std::set<std::string> names;
+  for (const Deployment d : all_deployments()) names.insert(deployment_name(d));
+  EXPECT_EQ(names.size(), all_deployments().size());
+}
+
+TEST(Deployments, ClusteredIsMoreConcentratedThanUniform) {
+  // Mean nearest-pair distance shrinks under clustering; proxy: variance of
+  // per-quadrant counts is much higher than uniform's.
+  support::Rng rng(13);
+  auto quadrant_variance = [&](Deployment model) {
+    const auto points = sample_deployment(model, 4000, rng);
+    double counts[16] = {0};
+    for (const Point2& p : points) {
+      const int qx = std::min(3, static_cast<int>(p.x * 4.0));
+      const int qy = std::min(3, static_cast<int>(p.y * 4.0));
+      counts[qy * 4 + qx] += 1.0;
+    }
+    support::RunningStats stats;
+    for (const double c : counts) stats.add(c);
+    return stats.variance();
+  };
+  EXPECT_GT(quadrant_variance(Deployment::kClustered),
+            4.0 * quadrant_variance(Deployment::kUniform));
+}
+
+TEST(Deployments, GridJitterIsMoreEvenThanUniform) {
+  support::Rng rng(17);
+  auto cell_variance = [&](Deployment model) {
+    const auto points = sample_deployment(model, 4096, rng);
+    std::vector<double> counts(64, 0.0);
+    for (const Point2& p : points) {
+      const auto cx = std::min<std::size_t>(7, static_cast<std::size_t>(p.x * 8));
+      const auto cy = std::min<std::size_t>(7, static_cast<std::size_t>(p.y * 8));
+      counts[cy * 8 + cx] += 1.0;
+    }
+    support::RunningStats stats;
+    for (const double c : counts) stats.add(c);
+    return stats.variance();
+  };
+  EXPECT_LT(cell_variance(Deployment::kGridJitter),
+            cell_variance(Deployment::kUniform));
+}
+
+TEST(Deployments, HoleIsEmpty) {
+  support::Rng rng(19);
+  DeploymentParams params;
+  const auto points =
+      sample_deployment(Deployment::kHole, 5000, rng, params);
+  for (const Point2& p : points) {
+    EXPECT_GE(distance(p, params.hole_center), params.hole_radius);
+  }
+}
+
+TEST(Deployments, GradientSkewsRight) {
+  support::Rng rng(23);
+  const auto points = sample_deployment(Deployment::kGradient, 10000, rng);
+  support::RunningStats xs;
+  for (const Point2& p : points) xs.add(p.x);
+  // With slope 3: E[x] = ∫x(1+3x)dx / (1+3/2) = (1/2 + 1) / 2.5 = 0.6.
+  EXPECT_NEAR(xs.mean(), 0.6, 0.02);
+}
+
+}  // namespace
+}  // namespace emst::geometry

@@ -1,0 +1,148 @@
+// Tests for the Gabriel graph substrate: membership predicate, grid filter
+// vs brute force, MST ⊆ GG, and |GG| = O(n).
+#include <gtest/gtest.h>
+
+#include "emst/geometry/sampling.hpp"
+#include "emst/graph/gabriel.hpp"
+#include "emst/graph/mst.hpp"
+#include "emst/graph/tree_utils.hpp"
+#include "emst/rgg/radii.hpp"
+#include "emst/rgg/rgg.hpp"
+#include "emst/support/rng.hpp"
+
+namespace emst::graph {
+namespace {
+
+TEST(Gabriel, HandExamples) {
+  // Collinear points: (0,0)-(1,0) has witness (0.5, 0) strictly inside.
+  const std::vector<geometry::Point2> blocked = {{0, 0}, {1, 0}, {0.5, 0}};
+  EXPECT_FALSE(is_gabriel_edge(blocked, 0, 1));
+  EXPECT_TRUE(is_gabriel_edge(blocked, 0, 2));
+  EXPECT_TRUE(is_gabriel_edge(blocked, 2, 1));
+  // A witness outside the diameter disk does not block.
+  const std::vector<geometry::Point2> clear = {{0, 0}, {1, 0}, {0.5, 0.8}};
+  EXPECT_TRUE(is_gabriel_edge(clear, 0, 1));
+  // A witness exactly on the circle (right angle) does not block.
+  const std::vector<geometry::Point2> boundary = {{0, 0}, {1, 0}, {0.5, 0.5}};
+  EXPECT_TRUE(is_gabriel_edge(boundary, 0, 1));
+}
+
+class GabrielFilter : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GabrielFilter, MatchesBruteForcePredicate) {
+  const auto [n, seed] = GetParam();
+  support::Rng rng(static_cast<std::uint64_t>(seed) * 2713);
+  const auto points = geometry::uniform_points(static_cast<std::size_t>(n), rng);
+  const auto edges =
+      rgg::geometric_edges(points, rgg::connectivity_radius(points.size()));
+  const auto filtered = gabriel_filter(points, edges);
+  // Every kept edge passes the predicate; every dropped edge fails it.
+  std::set<std::pair<NodeId, NodeId>> kept;
+  for (const Edge& e : filtered) kept.emplace(e.canonical().u, e.canonical().v);
+  for (const Edge& e : edges) {
+    const Edge c = e.canonical();
+    EXPECT_EQ(kept.count({c.u, c.v}) > 0, is_gabriel_edge(points, e.u, e.v))
+        << "edge " << c.u << "-" << c.v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GabrielFilter,
+                         ::testing::Combine(::testing::Values(30, 150),
+                                            ::testing::Values(1, 2, 3)));
+
+TEST(Gabriel, MstIsASubgraph) {
+  // EMST ⊆ GG: filtering the unit-disk graph down to Gabriel edges must not
+  // lose any MST edge.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    support::Rng rng(seed * 31);
+    const auto points = geometry::uniform_points(800, rng);
+    const auto edges =
+        rgg::geometric_edges(points, rgg::connectivity_radius(points.size()));
+    const auto gabriel = gabriel_filter(points, edges);
+    const auto mst_full = kruskal_msf(points.size(), edges);
+    const auto mst_gabriel = kruskal_msf(points.size(), gabriel);
+    EXPECT_TRUE(same_edge_set(mst_full, mst_gabriel)) << "seed " << seed;
+  }
+}
+
+TEST(Gabriel, LinearSizeVersusLogDensity) {
+  // |GG| ≤ 3n (planar); the unit-disk graph at the connectivity radius has
+  // Θ(n log n) edges — the filter must deliver an asymptotic reduction.
+  support::Rng rng(37);
+  const std::size_t n = 3000;
+  const auto points = geometry::uniform_points(n, rng);
+  const auto edges = rgg::geometric_edges(points, rgg::connectivity_radius(n));
+  const auto gabriel = gabriel_filter(points, edges);
+  EXPECT_LE(gabriel.size(), 3 * n);
+  EXPECT_LT(gabriel.size() * 5, edges.size());  // at least 5x sparser here
+}
+
+TEST(Rng, HandExamples) {
+  // Apex at (0.5, 0.6): distance 0.78 to both base endpoints (< base length
+  // 1 ⇒ inside the lune ⇒ kills the RNG base edge) but 0.6 from the base
+  // midpoint (> 0.5 ⇒ OUTSIDE the diameter disk ⇒ the Gabriel edge
+  // survives) — a GG edge that is not an RNG edge.
+  const std::vector<geometry::Point2> triangle = {{0, 0}, {1, 0}, {0.5, 0.6}};
+  EXPECT_FALSE(is_rng_edge(triangle, 0, 1));
+  EXPECT_TRUE(is_gabriel_edge(triangle, 0, 1));
+  EXPECT_TRUE(is_rng_edge(triangle, 0, 2));
+  EXPECT_TRUE(is_rng_edge(triangle, 2, 1));
+  // Deep inside the lune AND the disk: kills both.
+  const std::vector<geometry::Point2> blocked = {{0, 0}, {1, 0}, {0.5, 0.1}};
+  EXPECT_FALSE(is_rng_edge(blocked, 0, 1));
+  EXPECT_FALSE(is_gabriel_edge(blocked, 0, 1));
+}
+
+TEST(Rng, ChainOfContainments) {
+  // EMST ⊆ RNG ⊆ GG, verified on random instances.
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    support::Rng rng(seed * 43);
+    const auto points = geometry::uniform_points(600, rng);
+    const auto edges =
+        rgg::geometric_edges(points, rgg::connectivity_radius(points.size()));
+    const auto gg = gabriel_filter(points, edges);
+    const auto rn = rng_filter(points, edges);
+    // RNG ⊆ GG.
+    std::set<std::pair<NodeId, NodeId>> gg_set;
+    for (const Edge& e : gg) gg_set.emplace(e.canonical().u, e.canonical().v);
+    for (const Edge& e : rn) {
+      const Edge c = e.canonical();
+      EXPECT_TRUE(gg_set.count({c.u, c.v}) > 0)
+          << "RNG edge " << c.u << "-" << c.v << " missing from GG";
+    }
+    // EMST ⊆ RNG.
+    const auto mst_full = kruskal_msf(points.size(), edges);
+    const auto mst_rng = kruskal_msf(points.size(), rn);
+    EXPECT_TRUE(same_edge_set(mst_full, mst_rng)) << "seed " << seed;
+    // Sparsity ordering: |RNG| ≤ |GG|.
+    EXPECT_LE(rn.size(), gg.size());
+  }
+}
+
+TEST(Rng, FilterMatchesPredicate) {
+  support::Rng rng(53);
+  const auto points = geometry::uniform_points(120, rng);
+  const auto edges =
+      rgg::geometric_edges(points, rgg::connectivity_radius(points.size()));
+  const auto filtered = rng_filter(points, edges);
+  std::set<std::pair<NodeId, NodeId>> kept;
+  for (const Edge& e : filtered) kept.emplace(e.canonical().u, e.canonical().v);
+  for (const Edge& e : edges) {
+    const Edge c = e.canonical();
+    EXPECT_EQ(kept.count({c.u, c.v}) > 0, is_rng_edge(points, e.u, e.v));
+  }
+}
+
+TEST(Gabriel, FilterPreservesConnectivity) {
+  support::Rng rng(41);
+  const auto points = geometry::uniform_points(1000, rng);
+  const auto edges =
+      rgg::geometric_edges(points, rgg::connectivity_radius(points.size()));
+  const auto gabriel = gabriel_filter(points, edges);
+  const auto msf_full = kruskal_msf(points.size(), edges);
+  const auto msf_gabriel = kruskal_msf(points.size(), gabriel);
+  EXPECT_TRUE(spans_same_components(points.size(), msf_gabriel, msf_full));
+}
+
+}  // namespace
+}  // namespace emst::graph

@@ -1,0 +1,126 @@
+// Tests for points, metrics, the path-loss model, and point processes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "emst/geometry/pathloss.hpp"
+#include "emst/geometry/point.hpp"
+#include "emst/geometry/rect.hpp"
+#include "emst/geometry/sampling.hpp"
+#include "emst/support/rng.hpp"
+
+namespace emst::geometry {
+namespace {
+
+TEST(Point, DistanceBasics) {
+  const Point2 a{0.0, 0.0};
+  const Point2 b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(distance_sq(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(distance(a, a), 0.0);
+}
+
+TEST(Point, DistanceSymmetric) {
+  const Point2 a{0.2, 0.9};
+  const Point2 b{0.7, 0.1};
+  EXPECT_DOUBLE_EQ(distance(a, b), distance(b, a));
+  EXPECT_DOUBLE_EQ(chebyshev(a, b), chebyshev(b, a));
+}
+
+TEST(Point, ChebyshevVsEuclidean) {
+  const Point2 a{0.0, 0.0};
+  const Point2 b{0.3, 0.4};
+  EXPECT_DOUBLE_EQ(chebyshev(a, b), 0.4);
+  // L∞ ≤ L2 ≤ √2·L∞ in the plane.
+  EXPECT_LE(chebyshev(a, b), distance(a, b));
+  EXPECT_LE(distance(a, b), std::sqrt(2.0) * chebyshev(a, b));
+}
+
+TEST(Point, MetricDispatch) {
+  const Point2 a{0.0, 0.0};
+  const Point2 b{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(dist(Metric::kEuclidean, a, b), std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(dist(Metric::kChebyshev, a, b), 1.0);
+}
+
+TEST(Point, Arithmetic) {
+  const Point2 a{1.0, 2.0};
+  const Point2 b{0.5, -1.0};
+  const Point2 sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.x, 1.5);
+  EXPECT_DOUBLE_EQ(sum.y, 1.0);
+  const Point2 scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled.x, 2.0);
+  EXPECT_DOUBLE_EQ(scaled.y, 4.0);
+}
+
+TEST(Rect, UnitSquare) {
+  const Rect r = unit_square();
+  EXPECT_DOUBLE_EQ(r.area(), 1.0);
+  EXPECT_TRUE(r.contains({0.5, 0.5}));
+  EXPECT_TRUE(r.contains({0.0, 1.0}));
+  EXPECT_FALSE(r.contains({1.1, 0.5}));
+}
+
+TEST(PathLoss, AlphaTwoIsSquare) {
+  const PathLoss model{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(model.cost(0.5), 0.25);
+  EXPECT_DOUBLE_EQ(model.cost(0.0), 0.0);
+}
+
+TEST(PathLoss, GeneralAlphaAndScale) {
+  const PathLoss model{2.0, 3.0};
+  EXPECT_NEAR(model.cost(0.5), 2.0 * 0.125, 1e-12);
+  const PathLoss linear{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(linear.cost(0.7), 0.7);
+}
+
+TEST(Sampling, UniformPointsInsideRegion) {
+  support::Rng rng(41);
+  const auto points = uniform_points(5000, rng);
+  ASSERT_EQ(points.size(), 5000u);
+  for (const Point2& p : points) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, 1.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, 1.0);
+  }
+}
+
+TEST(Sampling, UniformPointsCoverQuadrants) {
+  support::Rng rng(43);
+  const auto points = uniform_points(4000, rng);
+  int quadrant[4] = {0, 0, 0, 0};
+  for (const Point2& p : points)
+    ++quadrant[(p.x >= 0.5 ? 1 : 0) + (p.y >= 0.5 ? 2 : 0)];
+  for (int q : quadrant) EXPECT_NEAR(q, 1000, 150);
+}
+
+TEST(Sampling, CustomRegion) {
+  support::Rng rng(47);
+  const Rect region{{2.0, 3.0}, {4.0, 5.0}};
+  const auto points = uniform_points(100, rng, region);
+  for (const Point2& p : points) EXPECT_TRUE(region.contains(p));
+}
+
+TEST(Sampling, PoissonCountNearRate) {
+  support::Rng rng(53);
+  double total = 0.0;
+  constexpr int kTrials = 200;
+  for (int i = 0; i < kTrials; ++i)
+    total += static_cast<double>(poisson_points(500.0, rng).size());
+  EXPECT_NEAR(total / kTrials, 500.0, 10.0);
+}
+
+TEST(Sampling, PoissonRateScalesWithArea) {
+  support::Rng rng(59);
+  const Rect region{{0.0, 0.0}, {2.0, 2.0}};  // area 4
+  double total = 0.0;
+  constexpr int kTrials = 100;
+  for (int i = 0; i < kTrials; ++i)
+    total += static_cast<double>(poisson_points(100.0, rng, region).size());
+  EXPECT_NEAR(total / kTrials, 400.0, 25.0);
+}
+
+}  // namespace
+}  // namespace emst::geometry

@@ -1,0 +1,117 @@
+// Tests for the streaming JSON writer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "emst/support/json.hpp"
+
+namespace emst::support {
+namespace {
+
+TEST(Json, FlatObject) {
+  std::ostringstream os;
+  JsonWriter json(os, /*pretty=*/false);
+  json.begin_object();
+  json.key("n").value(2000);
+  json.key("energy").value(42.5);
+  json.key("exact").value(true);
+  json.end_object();
+  EXPECT_TRUE(json.complete());
+  EXPECT_EQ(os.str(), R"({"n":2000,"energy":42.5,"exact":true})");
+}
+
+TEST(Json, NestedArrayOfObjects) {
+  std::ostringstream os;
+  JsonWriter json(os, false);
+  json.begin_object();
+  json.key("runs").begin_array();
+  json.begin_object().key("a").value(1).end_object();
+  json.begin_object().key("a").value(2).end_object();
+  json.end_array();
+  json.end_object();
+  EXPECT_EQ(os.str(), R"({"runs":[{"a":1},{"a":2}]})");
+}
+
+TEST(Json, EmptyContainers) {
+  std::ostringstream os;
+  JsonWriter json(os, false);
+  json.begin_object();
+  json.key("list").begin_array().end_array();
+  json.key("obj").begin_object().end_object();
+  json.end_object();
+  EXPECT_EQ(os.str(), R"({"list":[],"obj":{}})");
+}
+
+TEST(Json, StringEscaping) {
+  std::ostringstream os;
+  JsonWriter json(os, false);
+  json.begin_object();
+  json.key("text").value("a\"b\\c\nd\te");
+  json.end_object();
+  EXPECT_EQ(os.str(), "{\"text\":\"a\\\"b\\\\c\\nd\\te\"}");
+}
+
+TEST(Json, ControlCharacterEscaped) {
+  std::ostringstream os;
+  JsonWriter json(os, false);
+  json.begin_array();
+  json.value(std::string_view("\x01", 1));
+  json.end_array();
+  EXPECT_EQ(os.str(), "[\"\\u0001\"]");
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  std::ostringstream os;
+  JsonWriter json(os, false);
+  json.begin_array();
+  json.value(std::numeric_limits<double>::infinity());
+  json.value(std::numeric_limits<double>::quiet_NaN());
+  json.value(1.5);
+  json.end_array();
+  EXPECT_EQ(os.str(), "[null,null,1.5]");
+}
+
+TEST(Json, NullAndBareArrayValues) {
+  std::ostringstream os;
+  JsonWriter json(os, false);
+  json.begin_array();
+  json.null();
+  json.value("x");
+  json.value(false);
+  json.end_array();
+  EXPECT_EQ(os.str(), R"([null,"x",false])");
+  EXPECT_TRUE(json.complete());
+}
+
+TEST(Json, PrettyPrintIndents) {
+  std::ostringstream os;
+  JsonWriter json(os, true);
+  json.begin_object();
+  json.key("a").value(1);
+  json.end_object();
+  EXPECT_EQ(os.str(), "{\n  \"a\": 1\n}");
+}
+
+TEST(Json, IncompleteIsDetectable) {
+  std::ostringstream os;
+  JsonWriter json(os, false);
+  json.begin_object();
+  EXPECT_FALSE(json.complete());
+}
+
+TEST(Json, MismatchedEndAborts) {
+  std::ostringstream os;
+  JsonWriter json(os, false);
+  json.begin_object();
+  EXPECT_DEATH(json.end_array(), "matching");
+}
+
+TEST(Json, BareValueInObjectAborts) {
+  std::ostringstream os;
+  JsonWriter json(os, false);
+  json.begin_object();
+  EXPECT_DEATH(json.value(1), "requires key");
+}
+
+}  // namespace
+}  // namespace emst::support

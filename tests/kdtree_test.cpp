@@ -1,0 +1,137 @@
+// Tests for the k-d tree, cross-checked against brute force AND CellGrid on
+// uniform and clustered deployments.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "emst/geometry/deployments.hpp"
+#include "emst/geometry/sampling.hpp"
+#include "emst/spatial/cell_grid.hpp"
+#include "emst/spatial/kdtree.hpp"
+#include "emst/support/rng.hpp"
+
+namespace emst::spatial {
+namespace {
+
+constexpr std::uint32_t kNone = std::numeric_limits<std::uint32_t>::max();
+
+TEST(KdTree, EmptyAndSingle) {
+  const std::vector<geometry::Point2> none;
+  const KdTree empty(none);
+  EXPECT_TRUE(empty.within({0.5, 0.5}, 1.0).empty());
+  EXPECT_EQ(empty.nearest({0.5, 0.5}, kNone), kNone);
+
+  const std::vector<geometry::Point2> one = {{0.3, 0.7}};
+  const KdTree single(one);
+  EXPECT_EQ(single.within({0.3, 0.7}, 0.01).size(), 1u);
+  EXPECT_EQ(single.nearest({0.9, 0.9}, kNone), 0u);
+  EXPECT_EQ(single.nearest({0.9, 0.9}, 0), kNone);
+}
+
+TEST(KdTree, DuplicatePoints) {
+  const std::vector<geometry::Point2> points(7, geometry::Point2{0.4, 0.4});
+  const KdTree tree(points);
+  EXPECT_EQ(tree.within({0.4, 0.4}, 1e-9).size(), 7u);
+  EXPECT_EQ(tree.k_nearest({0.4, 0.4}, 7, kNone).size(), 7u);
+}
+
+class KdTreeVsBrute
+    : public ::testing::TestWithParam<std::tuple<geometry::Deployment, int>> {};
+
+TEST_P(KdTreeVsBrute, WithinMatchesBruteForce) {
+  const auto [model, seed] = GetParam();
+  support::Rng rng(static_cast<std::uint64_t>(seed) * 6007);
+  const auto points = geometry::sample_deployment(model, 800, rng);
+  const KdTree tree(points);
+  for (int q = 0; q < 25; ++q) {
+    const geometry::Point2 p{rng.uniform(), rng.uniform()};
+    const double r = rng.uniform(0.01, 0.4);
+    auto got = tree.within(p, r);
+    std::vector<std::uint32_t> want;
+    for (std::uint32_t i = 0; i < points.size(); ++i) {
+      if (geometry::distance(points[i], p) <= r) want.push_back(i);
+    }
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST_P(KdTreeVsBrute, KNearestMatchesBruteForce) {
+  const auto [model, seed] = GetParam();
+  support::Rng rng(static_cast<std::uint64_t>(seed) * 6011);
+  const auto points = geometry::sample_deployment(model, 500, rng);
+  const KdTree tree(points);
+  for (int q = 0; q < 15; ++q) {
+    const geometry::Point2 p{rng.uniform(), rng.uniform()};
+    for (const std::size_t k : {1u, 4u, 16u}) {
+      const auto got = tree.k_nearest(p, k, kNone);
+      std::vector<std::pair<double, std::uint32_t>> all;
+      for (std::uint32_t i = 0; i < points.size(); ++i)
+        all.emplace_back(geometry::distance(points[i], p), i);
+      std::sort(all.begin(), all.end());
+      ASSERT_EQ(got.size(), k);
+      for (std::size_t i = 0; i < k; ++i) {
+        EXPECT_DOUBLE_EQ(geometry::distance(points[got[i]], p), all[i].first);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Deployments, KdTreeVsBrute,
+    ::testing::Combine(::testing::Values(geometry::Deployment::kUniform,
+                                         geometry::Deployment::kClustered,
+                                         geometry::Deployment::kGridJitter),
+                       ::testing::Values(1, 2)));
+
+TEST(KdTree, AgreesWithCellGrid) {
+  support::Rng rng(6029);
+  const auto points =
+      geometry::sample_deployment(geometry::Deployment::kClustered, 1500, rng);
+  const KdTree tree(points);
+  const CellGrid grid = CellGrid::with_auto_cell(points);
+  for (int q = 0; q < 40; ++q) {
+    const geometry::Point2 p{rng.uniform(), rng.uniform()};
+    const double r = rng.uniform(0.02, 0.3);
+    auto a = tree.within(p, r);
+    auto b = grid.within(p, r);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(KdTree, NearestRespectsExclusion) {
+  support::Rng rng(6037);
+  const auto points = geometry::uniform_points(200, rng);
+  const KdTree tree(points);
+  for (std::uint32_t u = 0; u < 50; ++u) {
+    const std::uint32_t got = tree.nearest(points[u], u);
+    ASSERT_NE(got, kNone);
+    EXPECT_NE(got, u);
+    // Brute force.
+    std::uint32_t best = kNone;
+    double best_d = 0.0;
+    for (std::uint32_t v = 0; v < points.size(); ++v) {
+      if (v == u) continue;
+      const double d = geometry::distance(points[u], points[v]);
+      if (best == kNone || d < best_d) {
+        best = v;
+        best_d = d;
+      }
+    }
+    EXPECT_DOUBLE_EQ(geometry::distance(points[u], points[got]), best_d);
+  }
+}
+
+TEST(KdTree, KLargerThanN) {
+  support::Rng rng(6043);
+  const auto points = geometry::uniform_points(5, rng);
+  const KdTree tree(points);
+  EXPECT_EQ(tree.k_nearest({0.5, 0.5}, 50, kNone).size(), 5u);
+  EXPECT_EQ(tree.k_nearest({0.5, 0.5}, 50, 2).size(), 4u);
+}
+
+}  // namespace
+}  // namespace emst::spatial

@@ -1,0 +1,133 @@
+// Tests for the coordinate-free random-rank NNT baseline ([14,15], §III).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "emst/geometry/sampling.hpp"
+#include "emst/graph/tree_utils.hpp"
+#include "emst/nnt/connt.hpp"
+#include "emst/nnt/kp_nnt.hpp"
+#include "emst/rgg/radii.hpp"
+#include "emst/rgg/rgg.hpp"
+#include "emst/support/rng.hpp"
+
+namespace emst::nnt {
+namespace {
+
+sim::Topology make_topology(std::size_t n, std::uint64_t seed) {
+  support::Rng rng(seed);
+  return sim::Topology(geometry::uniform_points(n, rng),
+                       rgg::connectivity_radius(n));
+}
+
+TEST(KpNnt, RanksAreAPermutation) {
+  const sim::Topology topo = make_topology(200, 1);
+  const KpNntResult result = run_kp_nnt(topo);
+  std::vector<bool> seen(200, false);
+  for (const std::uint32_t r : result.rank) {
+    ASSERT_LT(r, 200u);
+    EXPECT_FALSE(seen[r]);
+    seen[r] = true;
+  }
+}
+
+TEST(KpNnt, DifferentSeedsDifferentRanks) {
+  const sim::Topology topo = make_topology(100, 2);
+  KpNntOptions a;
+  a.rank_seed = 1;
+  KpNntOptions b;
+  b.rank_seed = 2;
+  EXPECT_NE(run_kp_nnt(topo, a).rank, run_kp_nnt(topo, b).rank);
+}
+
+class KpNntExactness : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(KpNntExactness, ParentIsNearestHigherRank) {
+  const auto [n, seed] = GetParam();
+  const sim::Topology topo = make_topology(static_cast<std::size_t>(n),
+                                           static_cast<std::uint64_t>(seed));
+  KpNntOptions options;
+  options.rank_seed = static_cast<std::uint64_t>(seed) * 31 + 1;
+  const KpNntResult result = run_kp_nnt(topo, options);
+  std::size_t roots = 0;
+  for (graph::NodeId u = 0; u < topo.node_count(); ++u) {
+    // Brute force with the drawn ranks.
+    graph::NodeId best = graph::kNoNode;
+    double best_d = 0.0;
+    for (graph::NodeId v = 0; v < topo.node_count(); ++v) {
+      if (v == u || result.rank[v] <= result.rank[u]) continue;
+      const double d = topo.distance(u, v);
+      if (best == graph::kNoNode || d < best_d || (d == best_d && v < best)) {
+        best = v;
+        best_d = d;
+      }
+    }
+    EXPECT_EQ(result.parent[u], best) << "node " << u;
+    if (result.parent[u] == graph::kNoNode) ++roots;
+  }
+  EXPECT_EQ(roots, 1u);
+  EXPECT_TRUE(graph::is_spanning_tree(topo.node_count(), result.tree));
+}
+
+INSTANTIATE_TEST_SUITE_P(SizesAndSeeds, KpNntExactness,
+                         ::testing::Combine(::testing::Values(2, 20, 150, 500),
+                                            ::testing::Values(1, 2, 3)));
+
+TEST(KpNnt, EnergyGrowsLogarithmically) {
+  // Θ(log n) energy: between n = 500 and n = 8000 the mean energy should
+  // grow — unlike Co-NNT — but by a factor well below the ×16 of linear.
+  auto mean_energy = [&](std::size_t n) {
+    double total = 0.0;
+    constexpr int kTrials = 8;
+    for (int t = 0; t < kTrials; ++t) {
+      const sim::Topology topo = make_topology(n, 100 + n + t);
+      KpNntOptions options;
+      options.rank_seed = 7000 + t;
+      total += run_kp_nnt(topo, options).totals.energy;
+    }
+    return total / kTrials;
+  };
+  const double small = mean_energy(500);
+  const double large = mean_energy(8000);
+  EXPECT_GT(large, small);                  // grows (unlike Co-NNT)
+  EXPECT_LT(large / small, 4.0);            // far slower than linear
+}
+
+TEST(KpNnt, WorseApproximationThanCoNnt) {
+  // [15]: random ranks give an O(log n)-approximation; the coordinate-based
+  // diagonal ranking gives O(1). On shared instances KP-NNT's Σ|e| should
+  // exceed Co-NNT's (statistically, fixed seeds).
+  double kp_len = 0.0;
+  double co_len = 0.0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    support::Rng rng(seed * 71);
+    const auto points = geometry::uniform_points(1500, rng);
+    const sim::Topology topo(points, rgg::connectivity_radius(1500));
+    KpNntOptions kp;
+    kp.rank_seed = seed;
+    kp_len += graph::tree_cost(points, run_kp_nnt(topo, kp).tree, 1.0);
+    co_len += graph::tree_cost(points, run_connt(topo).tree, 1.0);
+  }
+  EXPECT_GT(kp_len, co_len);
+}
+
+TEST(KpNnt, DeterministicForFixedSeeds) {
+  const sim::Topology topo = make_topology(300, 5);
+  const KpNntResult a = run_kp_nnt(topo);
+  const KpNntResult b = run_kp_nnt(topo);
+  EXPECT_EQ(a.rank, b.rank);
+  EXPECT_DOUBLE_EQ(a.totals.energy, b.totals.energy);
+  EXPECT_TRUE(graph::same_edge_set(a.tree, b.tree));
+}
+
+TEST(KpNnt, LongEdgesExist) {
+  // Without coordinates, the top-percentile nodes must search far: the
+  // longest KP edge typically dwarfs the unit-disk radius — the reason this
+  // baseline does not fit the paper's unit-disk setting (§III).
+  const sim::Topology topo = make_topology(2000, 9);
+  const KpNntResult result = run_kp_nnt(topo);
+  EXPECT_GT(result.max_connect_distance, rgg::connectivity_radius(2000));
+}
+
+}  // namespace
+}  // namespace emst::nnt

@@ -1,0 +1,272 @@
+// Tests for the site-percolation cell field and the empirical Thm 5.2
+// analysis.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "emst/geometry/sampling.hpp"
+#include "emst/percolation/analysis.hpp"
+#include "emst/percolation/cells.hpp"
+#include "emst/rgg/radii.hpp"
+#include "emst/rgg/rgg.hpp"
+#include "emst/support/rng.hpp"
+#include "emst/support/stats.hpp"
+
+namespace emst::percolation {
+namespace {
+
+TEST(CellField, PopulationsSumToN) {
+  support::Rng rng(107);
+  const auto points = geometry::uniform_points(3000, rng);
+  const CellField field(points, rgg::percolation_radius(3000));
+  std::size_t total = 0;
+  for (std::size_t cy = 0; cy < field.side(); ++cy)
+    for (std::size_t cx = 0; cx < field.side(); ++cx)
+      total += field.population(cx, cy);
+  EXPECT_EQ(total, 3000u);
+}
+
+TEST(CellField, GeometryMatchesRadius) {
+  support::Rng rng(109);
+  const std::size_t n = 1000;
+  const double r = rgg::percolation_radius(n, 1.4);
+  const auto points = geometry::uniform_points(n, rng);
+  const CellField field(points, r);
+  // Cell side ≈ r/2 (floor to integer grid), so side count ≈ 2/r.
+  EXPECT_NEAR(static_cast<double>(field.side()), 2.0 / r, 2.0);
+  EXPECT_NEAR(field.density_parameter(), 1.4 * 1.4, 1e-9);
+  EXPECT_NEAR(field.good_threshold(), 1.4 * 1.4 / 8.0, 1e-9);
+}
+
+TEST(CellField, CellOfRoundTrips) {
+  const std::vector<geometry::Point2> points = {{0.01, 0.01}, {0.99, 0.99}};
+  const CellField field(points, 0.2);
+  const auto [ax, ay] = field.cell_of(points[0]);
+  EXPECT_EQ(ax, 0u);
+  EXPECT_EQ(ay, 0u);
+  const auto [bx, by] = field.cell_of(points[1]);
+  EXPECT_EQ(bx, field.side() - 1);
+  EXPECT_EQ(by, field.side() - 1);
+  EXPECT_EQ(field.population(ax, ay), 1u);
+}
+
+TEST(CellField, GoodFractionIncreasesWithDensity) {
+  // Lemma 5.2: p_c → 1 as c → ∞. Compare factor 1.0 vs 2.5 at fixed n.
+  support::Rng rng(113);
+  const std::size_t n = 20000;
+  const auto points = geometry::uniform_points(n, rng);
+  const CellField sparse(points, rgg::percolation_radius(n, 1.0));
+  const CellField dense(points, rgg::percolation_radius(n, 2.5));
+  EXPECT_GT(dense.good_fraction(), sparse.good_fraction());
+  EXPECT_GT(dense.good_fraction(), 0.75);
+}
+
+TEST(CellField, ClusterLabelsConsistent) {
+  support::Rng rng(127);
+  const std::size_t n = 4000;
+  const auto points = geometry::uniform_points(n, rng);
+  const CellField field(points, rgg::percolation_radius(n, 1.4));
+  std::size_t clusters = 0;
+  const auto labels = field.good_clusters(clusters);
+  ASSERT_EQ(labels.size(), field.cell_count());
+  std::size_t labeled = 0;
+  for (std::size_t cell = 0; cell < labels.size(); ++cell) {
+    const std::size_t cx = cell % field.side();
+    const std::size_t cy = cell / field.side();
+    if (labels[cell] != static_cast<std::size_t>(-1)) {
+      EXPECT_LT(labels[cell], clusters);
+      EXPECT_TRUE(field.good(cx, cy));
+      ++labeled;
+    } else {
+      EXPECT_FALSE(field.good(cx, cy));
+    }
+  }
+  EXPECT_GT(labeled, 0u);
+}
+
+TEST(CellField, ComplementClustersPartitionTheRest) {
+  support::Rng rng(131);
+  const std::size_t n = 4000;
+  const auto points = geometry::uniform_points(n, rng);
+  const CellField field(points, rgg::percolation_radius(n, 1.4));
+  std::vector<bool> in_set(field.cell_count(), false);
+  for (std::size_t i = 0; i < in_set.size(); i += 3) in_set[i] = true;
+  std::size_t count = 0;
+  const auto labels = field.complement_clusters(in_set, count);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (in_set[i]) {
+      EXPECT_EQ(labels[i], static_cast<std::size_t>(-1));
+    } else {
+      EXPECT_LT(labels[i], count);
+    }
+  }
+}
+
+TEST(CellField, GoodFractionMatchesPoissonPrediction) {
+  // A cell of side r/2 holds Binomial(n, r²/4) ≈ Poisson(c/4) nodes, so the
+  // expected good fraction is P(X ≥ ⌈c/8⌉). Compare the empirical fraction
+  // against the analytic tail at the paper's c = 1.4² (threshold c/8 ≈ 0.245
+  // ⇒ good = "≥ 1 node" ⇒ p = 1 − e^{−c/4}).
+  support::Rng rng(151);
+  const std::size_t n = 40000;
+  const double factor = 1.4;
+  const auto points = geometry::uniform_points(n, rng);
+  const CellField field(points, rgg::percolation_radius(n, factor));
+  const double c = factor * factor;
+  const double lambda = c / 4.0;
+  // Threshold c/8 < 1 ⇒ good ⇔ population ≥ 1.
+  ASSERT_LT(field.good_threshold(), 1.0);
+  const double predicted = 1.0 - std::exp(-lambda);
+  EXPECT_NEAR(field.good_fraction(), predicted, 0.02);
+}
+
+TEST(Analysis, PoissonAndUniformDeploymentsAgree) {
+  // §V-B replaces the uniform deployment with a Poisson process "to exploit
+  // the strong independence property"; Lemma 5.1 says the two coincide WHP.
+  // Check the giant fraction matches between the two at the same density.
+  const std::size_t n = 8000;
+  const double radius = rgg::percolation_radius(n, 1.4);
+  support::RunningStats uniform_giant;
+  support::RunningStats poisson_giant;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    support::Rng rng(seed * 7919);
+    const auto u = rgg::build_rgg(geometry::uniform_points(n, rng), radius);
+    uniform_giant.add(analyze(u).giant_fraction);
+    const auto p = rgg::build_rgg(
+        geometry::poisson_points(static_cast<double>(n), rng), radius);
+    poisson_giant.add(analyze(p).giant_fraction);
+  }
+  EXPECT_NEAR(uniform_giant.mean(), poisson_giant.mean(), 0.05);
+}
+
+TEST(Analysis, SupercriticalGiantEmerges) {
+  // Thm 5.2 at the paper's experimental setting r = 1.4·√(1/n): a giant
+  // component with a Θ(n) fraction of nodes and only small stragglers.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    support::Rng rng(seed * 1000 + 1);
+    const std::size_t n = 5000;
+    const auto instance = rgg::random_rgg(n, rgg::percolation_radius(n, 1.4), rng);
+    const Report report = analyze(instance);
+    EXPECT_GT(report.giant_fraction, 0.25) << "seed " << seed;
+    // Largest non-giant component is far below the β·ln²n scale with β=4.
+    EXPECT_LT(static_cast<double>(report.second_component),
+              rgg::giant_threshold(n, 4.0))
+        << "seed " << seed;
+    EXPECT_EQ(report.n, n);
+    EXPECT_GT(report.component_count, 1u);
+  }
+}
+
+TEST(Analysis, SubcriticalHasNoGiant) {
+  // Far below the percolation threshold the largest component is tiny.
+  support::Rng rng(137);
+  const std::size_t n = 5000;
+  const auto instance = rgg::random_rgg(n, rgg::percolation_radius(n, 0.3), rng);
+  const Report report = analyze(instance);
+  EXPECT_LT(report.giant_fraction, 0.05);
+}
+
+TEST(Analysis, ConnectivityRadiusIsOneComponent) {
+  support::Rng rng(139);
+  const std::size_t n = 2000;
+  const auto instance = rgg::random_rgg(n, rgg::connectivity_radius(n), rng);
+  const Report report = analyze(instance);
+  EXPECT_EQ(report.component_count, 1u);
+  EXPECT_DOUBLE_EQ(report.giant_fraction, 1.0);
+  EXPECT_EQ(report.second_component, 0u);
+}
+
+TEST(CriticalFactor, MatchesGilbertDiskConstant) {
+  // The continuum percolation threshold for Gilbert disk graphs is a known
+  // constant: critical mean degree ≈ 4.512, i.e. factor √(4.512/π) ≈ 1.20.
+  // Our bisection estimate at n = 10000 must land near it.
+  const double estimate = estimate_critical_factor(10000, 3, 2028, 0.3);
+  EXPECT_GT(estimate, 1.0);
+  EXPECT_LT(estimate, 1.4);
+}
+
+TEST(CriticalFactor, BelowThePaperExperimentalChoice) {
+  // The paper runs Step 1 at factor 1.4 — validated here as supercritical.
+  const double estimate = estimate_critical_factor(5000, 3, 777, 0.5);
+  EXPECT_LT(estimate, 1.4);
+}
+
+TEST(RegionSamples, Lemma54CellTailDecays) {
+  // Lemma 5.4: P(|S| = k) ≤ e^{−γ√k} in the supercritical phase. Pool the
+  // region-size samples over several instances at a strongly supercritical
+  // factor and check the survival function collapses quickly.
+  std::vector<std::size_t> pooled;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    support::Rng rng(seed * 613);
+    const std::size_t n = 10000;
+    const auto instance = rgg::random_rgg(n, rgg::percolation_radius(n, 2.0), rng);
+    const RegionSamples samples = region_samples(instance);
+    pooled.insert(pooled.end(), samples.cells.begin(), samples.cells.end());
+  }
+  ASSERT_GT(pooled.size(), 50u);
+  auto survival = [&](std::size_t k) {
+    std::size_t count = 0;
+    for (const std::size_t size : pooled) {
+      if (size >= k) ++count;
+    }
+    return static_cast<double>(count) / static_cast<double>(pooled.size());
+  };
+  EXPECT_LT(survival(16), 0.5 * survival(4));
+  EXPECT_LT(survival(64), 0.25 * survival(4) + 1e-12);
+}
+
+TEST(RegionSamples, Lemma55NodeTailDecays) {
+  // Lemma 5.5: the node-population tail of a small region decays like
+  // e^{−γ√h} too — in particular the mean is a small constant (the key step
+  // of the expected-energy proof, Lemma 5.7).
+  support::RunningStats populations;
+  double max_pop = 0.0;
+  for (std::uint64_t seed = 11; seed <= 18; ++seed) {
+    support::Rng rng(seed * 617);
+    const std::size_t n = 10000;
+    const auto instance = rgg::random_rgg(n, rgg::percolation_radius(n, 2.0), rng);
+    const RegionSamples samples = region_samples(instance);
+    for (const std::size_t pop : samples.nodes) {
+      populations.add(static_cast<double>(pop));
+      max_pop = std::max(max_pop, static_cast<double>(pop));
+    }
+  }
+  ASSERT_GT(populations.count(), 50u);
+  EXPECT_LT(populations.mean(), 10.0);  // E[Σ Z_i] is a small constant
+  EXPECT_LT(max_pop, rgg::giant_threshold(10000, 8.0));
+}
+
+TEST(RegionSamples, SubcriticalHasNoBackbone) {
+  // Below the threshold there is no meaningful backbone; the complement is
+  // essentially one giant region containing almost all nodes.
+  support::Rng rng(619);
+  const std::size_t n = 4000;
+  const auto instance = rgg::random_rgg(n, rgg::percolation_radius(n, 0.5), rng);
+  const RegionSamples samples = region_samples(instance);
+  std::size_t total_nodes = 0;
+  std::size_t biggest = 0;
+  for (const std::size_t pop : samples.nodes) {
+    total_nodes += pop;
+    biggest = std::max(biggest, pop);
+  }
+  EXPECT_GT(biggest, n / 2);
+  EXPECT_GT(total_nodes, 9 * n / 10);
+}
+
+TEST(Analysis, SmallRegionNodesBoundedByLog2Scale) {
+  // The β·log²n claim: with β = 8 the bound should comfortably hold over
+  // fixed seeds (WHP statement; generous β absorbs small-n effects).
+  for (std::uint64_t seed = 11; seed <= 15; ++seed) {
+    support::Rng rng(seed);
+    const std::size_t n = 8000;
+    const auto instance = rgg::random_rgg(n, rgg::percolation_radius(n, 1.4), rng);
+    const Report report = analyze(instance);
+    EXPECT_LT(static_cast<double>(report.second_component),
+              rgg::giant_threshold(n, 8.0))
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace emst::percolation

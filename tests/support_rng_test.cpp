@@ -1,0 +1,150 @@
+// Tests for the deterministic RNG substrate.
+#include "emst/support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace emst::support {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differences = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() != b()) ++differences;
+  }
+  EXPECT_GT(differences, 60);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(7);
+  const auto first = a();
+  a.reseed(7);
+  EXPECT_EQ(a(), first);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double total = 0.0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) total += rng.uniform();
+  EXPECT_NEAR(total / kSamples, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(-3.0, 7.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 7.0);
+  }
+}
+
+TEST(Rng, UniformIntBoundedAndCoversRange) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t x = rng.uniform_int(10);
+    EXPECT_LT(x, 10u);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformIntBoundOne) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(1), 0u);
+}
+
+TEST(Rng, UniformIntApproximatelyUniform) {
+  Rng rng(17);
+  constexpr int kBuckets = 16;
+  constexpr int kSamples = 160000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.uniform_int(kBuckets)];
+  // Chi-square with 15 dof: 99.9th percentile ≈ 37.7.
+  double chi2 = 0.0;
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  for (int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 40.0);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(19);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+class PoissonMoments : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonMoments, MeanAndVarianceMatch) {
+  const double mean = GetParam();
+  Rng rng(static_cast<std::uint64_t>(mean * 1000) + 1);
+  constexpr int kSamples = 20000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = static_cast<double>(rng.poisson(mean));
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double sample_mean = sum / kSamples;
+  const double sample_var = sum_sq / kSamples - sample_mean * sample_mean;
+  const double tolerance = 5.0 * std::sqrt(mean / kSamples) + 0.02;
+  EXPECT_NEAR(sample_mean, mean, tolerance * std::max(1.0, std::sqrt(mean)));
+  EXPECT_NEAR(sample_var, mean, 0.1 * mean + 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallAndLargeMeans, PoissonMoments,
+                         ::testing::Values(0.5, 2.0, 10.0, 29.9, 50.0, 200.0,
+                                           1000.0));
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(23);
+  Rng child = parent.split();
+  // The child stream should not obviously correlate with the parent.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, StreamSeedDeterministicAndDistinct) {
+  const auto s0 = Rng::stream_seed(99, 0);
+  EXPECT_EQ(s0, Rng::stream_seed(99, 0));
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 1000; ++i) seeds.insert(Rng::stream_seed(99, i));
+  EXPECT_EQ(seeds.size(), 1000u);
+  EXPECT_NE(Rng::stream_seed(99, 1), Rng::stream_seed(100, 1));
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace emst::support

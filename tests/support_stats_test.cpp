@@ -1,0 +1,197 @@
+// Tests for descriptive statistics and line fitting.
+#include "emst/support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "emst/support/rng.hpp"
+
+namespace emst::support {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.sem(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> xs = {1.0, 2.5, -3.0, 7.25, 0.0, 4.5};
+  RunningStats s;
+  double sum = 0.0;
+  for (double x : xs) {
+    s.add(x);
+    sum += x;
+  }
+  const double mean = sum / static_cast<double>(xs.size());
+  double ss = 0.0;
+  for (double x : xs) ss += (x - mean) * (x - mean);
+  const double var = ss / static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(var), 1e-12);
+  EXPECT_NEAR(s.sem(), std::sqrt(var / 6.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.25);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(31);
+  RunningStats whole;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(-10, 10);
+    whole.add(x);
+    (i < 230 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Summarize, OrderStatistics) {
+  const std::vector<double> xs = {9, 1, 5, 3, 7};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.p25, 3.0);
+  EXPECT_DOUBLE_EQ(s.p75, 7.0);
+}
+
+TEST(Summarize, Empty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+}
+
+TEST(QuantileSorted, Interpolates) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.25), 2.5);
+}
+
+TEST(LineFit, ExactLine) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(i);
+    y.push_back(3.5 * i - 2.0);
+  }
+  const LineFit fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 3.5, 1e-12);
+  EXPECT_NEAR(fit.intercept, -2.0, 1e-10);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(LineFit, NoisyLineRecoversSlope) {
+  Rng rng(37);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 500; ++i) {
+    const double xi = rng.uniform(0, 10);
+    x.push_back(xi);
+    y.push_back(2.0 * xi + 1.0 + rng.uniform(-0.1, 0.1));
+  }
+  const LineFit fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 0.02);
+  EXPECT_NEAR(fit.intercept, 1.0, 0.05);
+  EXPECT_GT(fit.r2, 0.99);
+}
+
+TEST(LineFit, ConstantXGivesZeroSlope) {
+  const std::vector<double> x = {1.0, 1.0, 1.0};
+  const std::vector<double> y = {1.0, 2.0, 3.0};
+  const LineFit fit = fit_line(x, y);
+  EXPECT_EQ(fit.slope, 0.0);
+}
+
+TEST(BootstrapCi, ContainsTrueMeanOfGaussianish) {
+  Rng rng(2027);
+  Rng boot(555);
+  // Sample from uniform(0, 10): true mean 5.
+  std::vector<double> sample;
+  for (int i = 0; i < 200; ++i) sample.push_back(rng.uniform(0.0, 10.0));
+  const Interval ci = bootstrap_mean_ci(sample, boot);
+  EXPECT_TRUE(ci.contains(mean_of(sample)));
+  EXPECT_TRUE(ci.contains(5.0));  // 200 samples: CI ~±0.4, safely around 5
+  EXPECT_GT(ci.width(), 0.0);
+  EXPECT_LT(ci.width(), 2.0);
+}
+
+TEST(BootstrapCi, NarrowsWithSampleSize) {
+  Rng rng(2029);
+  auto width_at = [&](int n) {
+    std::vector<double> sample;
+    for (int i = 0; i < n; ++i) sample.push_back(rng.uniform(0.0, 1.0));
+    Rng boot(7);
+    return bootstrap_mean_ci(sample, boot).width();
+  };
+  EXPECT_LT(width_at(1600), width_at(25));
+}
+
+TEST(BootstrapCi, DegenerateSamples) {
+  Rng boot(1);
+  EXPECT_EQ(bootstrap_mean_ci({}, boot).width(), 0.0);
+  const std::vector<double> one = {3.0};
+  const Interval ci = bootstrap_mean_ci(one, boot);
+  EXPECT_DOUBLE_EQ(ci.lo, 3.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 3.0);
+  const std::vector<double> constant(10, 2.5);
+  const Interval flat = bootstrap_mean_ci(constant, boot);
+  EXPECT_DOUBLE_EQ(flat.lo, 2.5);
+  EXPECT_DOUBLE_EQ(flat.hi, 2.5);
+}
+
+TEST(BootstrapCi, DeterministicGivenRng) {
+  const std::vector<double> sample = {1.0, 5.0, 2.0, 8.0, 3.0};
+  Rng a(42);
+  Rng b(42);
+  const Interval ia = bootstrap_mean_ci(sample, a);
+  const Interval ib = bootstrap_mean_ci(sample, b);
+  EXPECT_DOUBLE_EQ(ia.lo, ib.lo);
+  EXPECT_DOUBLE_EQ(ia.hi, ib.hi);
+}
+
+TEST(MeanOf, Basic) {
+  EXPECT_EQ(mean_of({}), 0.0);
+  const std::vector<double> xs = {2.0, 4.0, 6.0};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 4.0);
+}
+
+}  // namespace
+}  // namespace emst::support

@@ -1,0 +1,107 @@
+// Tests for the table/CSV writer and the CLI flag parser.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "emst/support/cli.hpp"
+#include "emst/support/table.hpp"
+
+namespace emst::support {
+namespace {
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({std::string("alpha"), 1.5});
+  t.add_row({std::string("b"), 22.25});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22.250"), std::string::npos);  // default precision 3
+  EXPECT_NE(out.find("-----"), std::string::npos);   // header rule
+}
+
+TEST(Table, PrecisionPerColumn) {
+  Table t({"x", "y"});
+  t.set_precision(0, 1);
+  t.set_precision(1, 5);
+  t.add_row({1.23456, 1.23456});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1.2,1.23456\n");
+}
+
+TEST(Table, IntegerCells) {
+  Table t({"n"});
+  t.add_row({static_cast<long long>(5000)});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "n\n5000\n");
+}
+
+TEST(Table, CsvQuoting) {
+  Table t({"label"});
+  t.add_row({std::string("a,b")});
+  t.add_row({std::string("say \"hi\"")});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "label\n\"a,b\"\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Table, RowAndColumnCounts) {
+  Table t({"a", "b", "c"});
+  EXPECT_EQ(t.columns(), 3u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({1.0, 2.0, 3.0});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Cli, ParsesEqualsAndSpaceForms) {
+  const char* argv[] = {"prog", "--n=500", "--trials", "7", "--verbose"};
+  Cli cli(5, argv, {{"n", ""}, {"trials", ""}, {"verbose", ""}});
+  EXPECT_EQ(cli.get_int("n", 0), 500);
+  EXPECT_EQ(cli.get_int("trials", 0), 7);
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+}
+
+TEST(Cli, FallbacksWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Cli cli(1, argv, {{"n", ""}, {"rate", ""}, {"name", ""}});
+  EXPECT_EQ(cli.get_int("n", 42), 42);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate", 1.5), 1.5);
+  EXPECT_EQ(cli.get("name", "dflt"), "dflt");
+  EXPECT_FALSE(cli.has("n"));
+}
+
+TEST(Cli, ParsesDouble) {
+  const char* argv[] = {"prog", "--beta=2.5"};
+  Cli cli(2, argv, {{"beta", ""}});
+  EXPECT_DOUBLE_EQ(cli.get_double("beta", 0.0), 2.5);
+}
+
+TEST(Cli, ParsesIntList) {
+  const char* argv[] = {"prog", "--ns=100,500,1000"};
+  Cli cli(2, argv, {{"ns", ""}});
+  const auto ns = cli.get_int_list("ns", {});
+  ASSERT_EQ(ns.size(), 3u);
+  EXPECT_EQ(ns[0], 100);
+  EXPECT_EQ(ns[2], 1000);
+}
+
+TEST(Cli, IntListFallback) {
+  const char* argv[] = {"prog"};
+  Cli cli(1, argv, {{"ns", ""}});
+  const auto ns = cli.get_int_list("ns", {50, 100});
+  ASSERT_EQ(ns.size(), 2u);
+  EXPECT_EQ(ns[1], 100);
+}
+
+TEST(Cli, UnknownFlagExits) {
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_EXIT((Cli(2, argv, {{"n", ""}})), ::testing::ExitedWithCode(2),
+              "unknown flag");
+}
+
+}  // namespace
+}  // namespace emst::support

@@ -1,0 +1,100 @@
+// Tests for the SVG renderer.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "emst/geometry/sampling.hpp"
+#include "emst/rgg/radii.hpp"
+#include "emst/rgg/rgg.hpp"
+#include "emst/support/rng.hpp"
+#include "emst/viz/svg.hpp"
+
+namespace emst::viz {
+namespace {
+
+TEST(Svg, EmptyCanvasIsValidDocument) {
+  SvgCanvas canvas;
+  std::ostringstream os;
+  canvas.write(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("<svg"), std::string::npos);
+  EXPECT_NE(out.find("</svg>"), std::string::npos);
+  EXPECT_EQ(canvas.element_count(), 0u);
+}
+
+TEST(Svg, PointsBecomeCircles) {
+  SvgCanvas canvas;
+  const std::vector<geometry::Point2> points = {{0.1, 0.2}, {0.9, 0.8}};
+  canvas.draw_points(points, 2.0, "#f00");
+  EXPECT_EQ(canvas.element_count(), 2u);
+  std::ostringstream os;
+  canvas.write(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("<circle"), std::string::npos);
+  EXPECT_NE(out.find("#f00"), std::string::npos);
+}
+
+TEST(Svg, EdgesBecomeLines) {
+  SvgCanvas canvas;
+  const std::vector<geometry::Point2> points = {{0.0, 0.0}, {1.0, 1.0}};
+  canvas.draw_edges(points, {{0, 1, 1.0}}, 1.0, "#00f");
+  std::ostringstream os;
+  canvas.write(os);
+  EXPECT_NE(os.str().find("<line"), std::string::npos);
+}
+
+TEST(Svg, YAxisIsFlipped) {
+  // (0,0) must land at the BOTTOM of the viewport (large pixel y).
+  SvgCanvas canvas(100.0, 10.0);
+  const std::vector<geometry::Point2> points = {{0.0, 0.0}};
+  canvas.draw_points(points, 1.0, "#000");
+  std::ostringstream os;
+  canvas.write(os);
+  EXPECT_NE(os.str().find(R"(cy="90.00")"), std::string::npos);
+}
+
+TEST(Svg, SubsetDrawsOnlyRequested) {
+  SvgCanvas canvas;
+  const std::vector<geometry::Point2> points = {{0.1, 0.1}, {0.5, 0.5},
+                                                {0.9, 0.9}};
+  const std::vector<std::size_t> subset = {0, 2};
+  canvas.draw_point_subset(points, subset, 1.0, "#0a0");
+  EXPECT_EQ(canvas.element_count(), 2u);
+}
+
+TEST(Svg, LabelsEscapeMarkup) {
+  SvgCanvas canvas;
+  canvas.draw_label({0.5, 0.5}, "a<b & c>d");
+  std::ostringstream os;
+  canvas.write(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("a&lt;b &amp; c&gt;d"), std::string::npos);
+  EXPECT_EQ(out.find("a<b"), std::string::npos);
+}
+
+TEST(Svg, CellFieldPaintsOccupiedCells) {
+  support::Rng rng(61);
+  const auto points = geometry::uniform_points(500, rng);
+  const percolation::CellField field(points, rgg::percolation_radius(500, 1.4));
+  SvgCanvas canvas;
+  canvas.draw_cell_field(field, "#aaa", "#eee");
+  // There must be at least as many rects as good cells.
+  std::size_t good = 0;
+  for (std::size_t cy = 0; cy < field.side(); ++cy)
+    for (std::size_t cx = 0; cx < field.side(); ++cx)
+      if (field.good(cx, cy)) ++good;
+  EXPECT_GE(canvas.element_count(), good);
+}
+
+TEST(Svg, SaveCreatesFile) {
+  SvgCanvas canvas;
+  canvas.draw_label({0.1, 0.1}, "test");
+  const std::string path = ::testing::TempDir() + "/emst_svg_test/out.svg";
+  EXPECT_TRUE(canvas.save(path));
+  std::ifstream file(path);
+  EXPECT_TRUE(file.good());
+}
+
+}  // namespace
+}  // namespace emst::viz
