@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_alpha_costs.dir/ablation_alpha_costs.cpp.o"
+  "CMakeFiles/ablation_alpha_costs.dir/ablation_alpha_costs.cpp.o.d"
+  "ablation_alpha_costs"
+  "ablation_alpha_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_alpha_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ghs_variants.dir/ablation_ghs_variants.cpp.o"
+  "CMakeFiles/ablation_ghs_variants.dir/ablation_ghs_variants.cpp.o.d"
+  "ablation_ghs_variants"
+  "ablation_ghs_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ghs_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nnt_ranking.dir/ablation_nnt_ranking.cpp.o"
+  "CMakeFiles/ablation_nnt_ranking.dir/ablation_nnt_ranking.cpp.o.d"
+  "ablation_nnt_ranking"
+  "ablation_nnt_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nnt_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

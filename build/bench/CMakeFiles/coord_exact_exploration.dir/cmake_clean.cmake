@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coord_exact_exploration.dir/coord_exact_exploration.cpp.o"
+  "CMakeFiles/coord_exact_exploration.dir/coord_exact_exploration.cpp.o.d"
+  "coord_exact_exploration"
+  "coord_exact_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coord_exact_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eopt_step_breakdown.dir/eopt_step_breakdown.cpp.o"
+  "CMakeFiles/eopt_step_breakdown.dir/eopt_step_breakdown.cpp.o.d"
+  "eopt_step_breakdown"
+  "eopt_step_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eopt_step_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

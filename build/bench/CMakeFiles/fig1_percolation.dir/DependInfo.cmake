@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig1_percolation.cpp" "bench/CMakeFiles/fig1_percolation.dir/fig1_percolation.cpp.o" "gcc" "bench/CMakeFiles/fig1_percolation.dir/fig1_percolation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/emst_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/emst_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/emst_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/emst_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/emst_eopt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/emst_percolation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/emst_ghs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/emst_nnt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/emst_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/emst_rgg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/emst_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/emst_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/emst_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/emst_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

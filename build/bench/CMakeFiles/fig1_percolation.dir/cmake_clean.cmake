@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_percolation.dir/fig1_percolation.cpp.o"
+  "CMakeFiles/fig1_percolation.dir/fig1_percolation.cpp.o.d"
+  "fig1_percolation"
+  "fig1_percolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_percolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

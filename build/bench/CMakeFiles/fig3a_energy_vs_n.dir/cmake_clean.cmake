@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3a_energy_vs_n.dir/fig3a_energy_vs_n.cpp.o"
+  "CMakeFiles/fig3a_energy_vs_n.dir/fig3a_energy_vs_n.cpp.o.d"
+  "fig3a_energy_vs_n"
+  "fig3a_energy_vs_n.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_energy_vs_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_loglog_slopes.dir/fig3b_loglog_slopes.cpp.o"
+  "CMakeFiles/fig3b_loglog_slopes.dir/fig3b_loglog_slopes.cpp.o.d"
+  "fig3b_loglog_slopes"
+  "fig3b_loglog_slopes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_loglog_slopes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ghs_message_anatomy.dir/ghs_message_anatomy.cpp.o"
+  "CMakeFiles/ghs_message_anatomy.dir/ghs_message_anatomy.cpp.o.d"
+  "ghs_message_anatomy"
+  "ghs_message_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ghs_message_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

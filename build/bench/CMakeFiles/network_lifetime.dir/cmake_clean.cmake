@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_lifetime.dir/network_lifetime.cpp.o"
+  "CMakeFiles/network_lifetime.dir/network_lifetime.cpp.o.d"
+  "network_lifetime"
+  "network_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

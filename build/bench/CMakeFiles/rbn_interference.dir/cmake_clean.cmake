@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbn_interference.dir/rbn_interference.cpp.o"
+  "CMakeFiles/rbn_interference.dir/rbn_interference.cpp.o.d"
+  "rbn_interference"
+  "rbn_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbn_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustness_deployments.dir/robustness_deployments.cpp.o"
+  "CMakeFiles/robustness_deployments.dir/robustness_deployments.cpp.o.d"
+  "robustness_deployments"
+  "robustness_deployments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_deployments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steele_constants.dir/steele_constants.cpp.o"
+  "CMakeFiles/steele_constants.dir/steele_constants.cpp.o.d"
+  "steele_constants"
+  "steele_constants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steele_constants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

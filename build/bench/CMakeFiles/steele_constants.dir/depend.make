@@ -1,0 +1,2 @@
+# Empty dependencies file for steele_constants.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabA_tree_quality.dir/tabA_tree_quality.cpp.o"
+  "CMakeFiles/tabA_tree_quality.dir/tabA_tree_quality.cpp.o.d"
+  "tabA_tree_quality"
+  "tabA_tree_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabA_tree_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_related_algorithms.dir/tab_related_algorithms.cpp.o"
+  "CMakeFiles/tab_related_algorithms.dir/tab_related_algorithms.cpp.o.d"
+  "tab_related_algorithms"
+  "tab_related_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_related_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thm41_lower_bound.dir/thm41_lower_bound.cpp.o"
+  "CMakeFiles/thm41_lower_bound.dir/thm41_lower_bound.cpp.o.d"
+  "thm41_lower_bound"
+  "thm41_lower_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm41_lower_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

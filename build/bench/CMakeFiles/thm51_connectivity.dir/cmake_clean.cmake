@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thm51_connectivity.dir/thm51_connectivity.cpp.o"
+  "CMakeFiles/thm51_connectivity.dir/thm51_connectivity.cpp.o.d"
+  "thm51_connectivity"
+  "thm51_connectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm51_connectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

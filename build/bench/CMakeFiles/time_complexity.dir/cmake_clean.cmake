@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_complexity.dir/time_complexity.cpp.o"
+  "CMakeFiles/time_complexity.dir/time_complexity.cpp.o.d"
+  "time_complexity"
+  "time_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

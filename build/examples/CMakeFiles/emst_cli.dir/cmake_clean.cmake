@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emst_cli.dir/emst_cli.cpp.o"
+  "CMakeFiles/emst_cli.dir/emst_cli.cpp.o.d"
+  "emst_cli"
+  "emst_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emst_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/percolation_explorer.dir/percolation_explorer.cpp.o"
+  "CMakeFiles/percolation_explorer.dir/percolation_explorer.cpp.o.d"
+  "percolation_explorer"
+  "percolation_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/percolation_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

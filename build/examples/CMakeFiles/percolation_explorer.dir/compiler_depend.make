@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for percolation_explorer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_control.dir/topology_control.cpp.o"
+  "CMakeFiles/topology_control.dir/topology_control.cpp.o.d"
+  "topology_control"
+  "topology_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[example_quickstart]=] "/root/repo/build/examples/quickstart" "--n=300")
+set_tests_properties([=[example_quickstart]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_sensor_aggregation]=] "/root/repo/build/examples/sensor_aggregation" "--n=300")
+set_tests_properties([=[example_sensor_aggregation]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_broadcast_tree]=] "/root/repo/build/examples/broadcast_tree" "--n=300")
+set_tests_properties([=[example_broadcast_tree]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_percolation_explorer]=] "/root/repo/build/examples/percolation_explorer" "--n=1000" "--sweep")
+set_tests_properties([=[example_percolation_explorer]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_topology_control]=] "/root/repo/build/examples/topology_control" "--n=300" "--pairs=30")
+set_tests_properties([=[example_topology_control]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_failure_recovery]=] "/root/repo/build/examples/failure_recovery" "--n=500")
+set_tests_properties([=[example_failure_recovery]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_emst_cli]=] "/root/repo/build/examples/emst_cli" "--algo=ghs,ghs-cached,sync,sync-probe,eopt,connt,connt-axis,kpnnt" "--n=200" "--format=json")
+set_tests_properties([=[example_emst_cli]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_draw_figures]=] "/root/repo/build/examples/draw_figures" "--n=400" "--outdir=/root/repo/build/examples/figures")
+set_tests_properties([=[example_draw_figures]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_mobility]=] "/root/repo/build/examples/mobility" "--n=400" "--epochs=3")
+set_tests_properties([=[example_mobility]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;30;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emst_apps.dir/emst/apps/aggregation.cpp.o"
+  "CMakeFiles/emst_apps.dir/emst/apps/aggregation.cpp.o.d"
+  "CMakeFiles/emst_apps.dir/emst/apps/broadcast.cpp.o"
+  "CMakeFiles/emst_apps.dir/emst/apps/broadcast.cpp.o.d"
+  "CMakeFiles/emst_apps.dir/emst/apps/leader_election.cpp.o"
+  "CMakeFiles/emst_apps.dir/emst/apps/leader_election.cpp.o.d"
+  "libemst_apps.a"
+  "libemst_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emst_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

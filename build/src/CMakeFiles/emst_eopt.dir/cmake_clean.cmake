@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emst_eopt.dir/emst/eopt/eopt.cpp.o"
+  "CMakeFiles/emst_eopt.dir/emst/eopt/eopt.cpp.o.d"
+  "libemst_eopt.a"
+  "libemst_eopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emst_eopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

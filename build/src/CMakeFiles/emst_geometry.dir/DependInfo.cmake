@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/emst/geometry/deployments.cpp" "src/CMakeFiles/emst_geometry.dir/emst/geometry/deployments.cpp.o" "gcc" "src/CMakeFiles/emst_geometry.dir/emst/geometry/deployments.cpp.o.d"
+  "/root/repo/src/emst/geometry/sampling.cpp" "src/CMakeFiles/emst_geometry.dir/emst/geometry/sampling.cpp.o" "gcc" "src/CMakeFiles/emst_geometry.dir/emst/geometry/sampling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/emst_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

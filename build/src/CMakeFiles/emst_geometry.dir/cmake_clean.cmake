@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emst_geometry.dir/emst/geometry/deployments.cpp.o"
+  "CMakeFiles/emst_geometry.dir/emst/geometry/deployments.cpp.o.d"
+  "CMakeFiles/emst_geometry.dir/emst/geometry/sampling.cpp.o"
+  "CMakeFiles/emst_geometry.dir/emst/geometry/sampling.cpp.o.d"
+  "libemst_geometry.a"
+  "libemst_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emst_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

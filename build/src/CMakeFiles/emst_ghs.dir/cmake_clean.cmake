@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emst_ghs.dir/emst/ghs/classic.cpp.o"
+  "CMakeFiles/emst_ghs.dir/emst/ghs/classic.cpp.o.d"
+  "CMakeFiles/emst_ghs.dir/emst/ghs/common.cpp.o"
+  "CMakeFiles/emst_ghs.dir/emst/ghs/common.cpp.o.d"
+  "CMakeFiles/emst_ghs.dir/emst/ghs/sync.cpp.o"
+  "CMakeFiles/emst_ghs.dir/emst/ghs/sync.cpp.o.d"
+  "libemst_ghs.a"
+  "libemst_ghs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emst_ghs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libemst_ghs.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for emst_ghs.
+# This may be replaced when dependencies are built.

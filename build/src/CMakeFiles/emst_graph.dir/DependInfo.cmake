@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/emst/graph/adjacency.cpp" "src/CMakeFiles/emst_graph.dir/emst/graph/adjacency.cpp.o" "gcc" "src/CMakeFiles/emst_graph.dir/emst/graph/adjacency.cpp.o.d"
+  "/root/repo/src/emst/graph/boruvka.cpp" "src/CMakeFiles/emst_graph.dir/emst/graph/boruvka.cpp.o" "gcc" "src/CMakeFiles/emst_graph.dir/emst/graph/boruvka.cpp.o.d"
+  "/root/repo/src/emst/graph/gabriel.cpp" "src/CMakeFiles/emst_graph.dir/emst/graph/gabriel.cpp.o" "gcc" "src/CMakeFiles/emst_graph.dir/emst/graph/gabriel.cpp.o.d"
+  "/root/repo/src/emst/graph/kruskal.cpp" "src/CMakeFiles/emst_graph.dir/emst/graph/kruskal.cpp.o" "gcc" "src/CMakeFiles/emst_graph.dir/emst/graph/kruskal.cpp.o.d"
+  "/root/repo/src/emst/graph/prim.cpp" "src/CMakeFiles/emst_graph.dir/emst/graph/prim.cpp.o" "gcc" "src/CMakeFiles/emst_graph.dir/emst/graph/prim.cpp.o.d"
+  "/root/repo/src/emst/graph/tree_utils.cpp" "src/CMakeFiles/emst_graph.dir/emst/graph/tree_utils.cpp.o" "gcc" "src/CMakeFiles/emst_graph.dir/emst/graph/tree_utils.cpp.o.d"
+  "/root/repo/src/emst/graph/union_find.cpp" "src/CMakeFiles/emst_graph.dir/emst/graph/union_find.cpp.o" "gcc" "src/CMakeFiles/emst_graph.dir/emst/graph/union_find.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/emst_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/emst_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/emst_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

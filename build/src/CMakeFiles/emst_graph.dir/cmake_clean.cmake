@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emst_graph.dir/emst/graph/adjacency.cpp.o"
+  "CMakeFiles/emst_graph.dir/emst/graph/adjacency.cpp.o.d"
+  "CMakeFiles/emst_graph.dir/emst/graph/boruvka.cpp.o"
+  "CMakeFiles/emst_graph.dir/emst/graph/boruvka.cpp.o.d"
+  "CMakeFiles/emst_graph.dir/emst/graph/gabriel.cpp.o"
+  "CMakeFiles/emst_graph.dir/emst/graph/gabriel.cpp.o.d"
+  "CMakeFiles/emst_graph.dir/emst/graph/kruskal.cpp.o"
+  "CMakeFiles/emst_graph.dir/emst/graph/kruskal.cpp.o.d"
+  "CMakeFiles/emst_graph.dir/emst/graph/prim.cpp.o"
+  "CMakeFiles/emst_graph.dir/emst/graph/prim.cpp.o.d"
+  "CMakeFiles/emst_graph.dir/emst/graph/tree_utils.cpp.o"
+  "CMakeFiles/emst_graph.dir/emst/graph/tree_utils.cpp.o.d"
+  "CMakeFiles/emst_graph.dir/emst/graph/union_find.cpp.o"
+  "CMakeFiles/emst_graph.dir/emst/graph/union_find.cpp.o.d"
+  "libemst_graph.a"
+  "libemst_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emst_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emst_harness.dir/emst/harness/experiment.cpp.o"
+  "CMakeFiles/emst_harness.dir/emst/harness/experiment.cpp.o.d"
+  "CMakeFiles/emst_harness.dir/emst/harness/figures.cpp.o"
+  "CMakeFiles/emst_harness.dir/emst/harness/figures.cpp.o.d"
+  "libemst_harness.a"
+  "libemst_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emst_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/emst/mac/rbn.cpp" "src/CMakeFiles/emst_mac.dir/emst/mac/rbn.cpp.o" "gcc" "src/CMakeFiles/emst_mac.dir/emst/mac/rbn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/emst_ghs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/emst_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/emst_rgg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/emst_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/emst_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/emst_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/emst_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

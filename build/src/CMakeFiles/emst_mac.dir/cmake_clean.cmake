@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emst_mac.dir/emst/mac/rbn.cpp.o"
+  "CMakeFiles/emst_mac.dir/emst/mac/rbn.cpp.o.d"
+  "libemst_mac.a"
+  "libemst_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emst_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

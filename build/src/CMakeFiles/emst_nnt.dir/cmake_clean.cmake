@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emst_nnt.dir/emst/nnt/connt.cpp.o"
+  "CMakeFiles/emst_nnt.dir/emst/nnt/connt.cpp.o.d"
+  "CMakeFiles/emst_nnt.dir/emst/nnt/kp_nnt.cpp.o"
+  "CMakeFiles/emst_nnt.dir/emst/nnt/kp_nnt.cpp.o.d"
+  "CMakeFiles/emst_nnt.dir/emst/nnt/rank.cpp.o"
+  "CMakeFiles/emst_nnt.dir/emst/nnt/rank.cpp.o.d"
+  "libemst_nnt.a"
+  "libemst_nnt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emst_nnt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

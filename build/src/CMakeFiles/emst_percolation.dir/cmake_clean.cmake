@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emst_percolation.dir/emst/percolation/analysis.cpp.o"
+  "CMakeFiles/emst_percolation.dir/emst/percolation/analysis.cpp.o.d"
+  "CMakeFiles/emst_percolation.dir/emst/percolation/cells.cpp.o"
+  "CMakeFiles/emst_percolation.dir/emst/percolation/cells.cpp.o.d"
+  "libemst_percolation.a"
+  "libemst_percolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emst_percolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

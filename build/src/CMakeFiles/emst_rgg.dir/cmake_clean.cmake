@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emst_rgg.dir/emst/rgg/components.cpp.o"
+  "CMakeFiles/emst_rgg.dir/emst/rgg/components.cpp.o.d"
+  "CMakeFiles/emst_rgg.dir/emst/rgg/radii.cpp.o"
+  "CMakeFiles/emst_rgg.dir/emst/rgg/radii.cpp.o.d"
+  "CMakeFiles/emst_rgg.dir/emst/rgg/rgg.cpp.o"
+  "CMakeFiles/emst_rgg.dir/emst/rgg/rgg.cpp.o.d"
+  "libemst_rgg.a"
+  "libemst_rgg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emst_rgg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

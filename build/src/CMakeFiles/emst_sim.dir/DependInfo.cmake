@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/emst/sim/collectives.cpp" "src/CMakeFiles/emst_sim.dir/emst/sim/collectives.cpp.o" "gcc" "src/CMakeFiles/emst_sim.dir/emst/sim/collectives.cpp.o.d"
+  "/root/repo/src/emst/sim/meter.cpp" "src/CMakeFiles/emst_sim.dir/emst/sim/meter.cpp.o" "gcc" "src/CMakeFiles/emst_sim.dir/emst/sim/meter.cpp.o.d"
+  "/root/repo/src/emst/sim/topology.cpp" "src/CMakeFiles/emst_sim.dir/emst/sim/topology.cpp.o" "gcc" "src/CMakeFiles/emst_sim.dir/emst/sim/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/emst_rgg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/emst_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/emst_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/emst_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/emst_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emst_sim.dir/emst/sim/collectives.cpp.o"
+  "CMakeFiles/emst_sim.dir/emst/sim/collectives.cpp.o.d"
+  "CMakeFiles/emst_sim.dir/emst/sim/meter.cpp.o"
+  "CMakeFiles/emst_sim.dir/emst/sim/meter.cpp.o.d"
+  "CMakeFiles/emst_sim.dir/emst/sim/topology.cpp.o"
+  "CMakeFiles/emst_sim.dir/emst/sim/topology.cpp.o.d"
+  "libemst_sim.a"
+  "libemst_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emst_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emst_spatial.dir/emst/spatial/cell_grid.cpp.o"
+  "CMakeFiles/emst_spatial.dir/emst/spatial/cell_grid.cpp.o.d"
+  "CMakeFiles/emst_spatial.dir/emst/spatial/kdtree.cpp.o"
+  "CMakeFiles/emst_spatial.dir/emst/spatial/kdtree.cpp.o.d"
+  "libemst_spatial.a"
+  "libemst_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emst_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

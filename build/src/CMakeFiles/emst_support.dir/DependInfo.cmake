@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/emst/support/cli.cpp" "src/CMakeFiles/emst_support.dir/emst/support/cli.cpp.o" "gcc" "src/CMakeFiles/emst_support.dir/emst/support/cli.cpp.o.d"
+  "/root/repo/src/emst/support/parallel.cpp" "src/CMakeFiles/emst_support.dir/emst/support/parallel.cpp.o" "gcc" "src/CMakeFiles/emst_support.dir/emst/support/parallel.cpp.o.d"
+  "/root/repo/src/emst/support/rng.cpp" "src/CMakeFiles/emst_support.dir/emst/support/rng.cpp.o" "gcc" "src/CMakeFiles/emst_support.dir/emst/support/rng.cpp.o.d"
+  "/root/repo/src/emst/support/stats.cpp" "src/CMakeFiles/emst_support.dir/emst/support/stats.cpp.o" "gcc" "src/CMakeFiles/emst_support.dir/emst/support/stats.cpp.o.d"
+  "/root/repo/src/emst/support/table.cpp" "src/CMakeFiles/emst_support.dir/emst/support/table.cpp.o" "gcc" "src/CMakeFiles/emst_support.dir/emst/support/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emst_support.dir/emst/support/cli.cpp.o"
+  "CMakeFiles/emst_support.dir/emst/support/cli.cpp.o.d"
+  "CMakeFiles/emst_support.dir/emst/support/parallel.cpp.o"
+  "CMakeFiles/emst_support.dir/emst/support/parallel.cpp.o.d"
+  "CMakeFiles/emst_support.dir/emst/support/rng.cpp.o"
+  "CMakeFiles/emst_support.dir/emst/support/rng.cpp.o.d"
+  "CMakeFiles/emst_support.dir/emst/support/stats.cpp.o"
+  "CMakeFiles/emst_support.dir/emst/support/stats.cpp.o.d"
+  "CMakeFiles/emst_support.dir/emst/support/table.cpp.o"
+  "CMakeFiles/emst_support.dir/emst/support/table.cpp.o.d"
+  "libemst_support.a"
+  "libemst_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emst_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emst_viz.dir/emst/viz/svg.cpp.o"
+  "CMakeFiles/emst_viz.dir/emst/viz/svg.cpp.o.d"
+  "libemst_viz.a"
+  "libemst_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emst_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

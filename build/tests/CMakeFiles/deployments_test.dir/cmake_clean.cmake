@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deployments_test.dir/deployments_test.cpp.o"
+  "CMakeFiles/deployments_test.dir/deployments_test.cpp.o.d"
+  "deployments_test"
+  "deployments_test.pdb"
+  "deployments_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deployments_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

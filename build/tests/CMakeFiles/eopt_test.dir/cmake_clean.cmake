@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eopt_test.dir/eopt_test.cpp.o"
+  "CMakeFiles/eopt_test.dir/eopt_test.cpp.o.d"
+  "eopt_test"
+  "eopt_test.pdb"
+  "eopt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eopt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

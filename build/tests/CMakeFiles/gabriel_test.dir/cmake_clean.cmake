@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gabriel_test.dir/gabriel_test.cpp.o"
+  "CMakeFiles/gabriel_test.dir/gabriel_test.cpp.o.d"
+  "gabriel_test"
+  "gabriel_test.pdb"
+  "gabriel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gabriel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

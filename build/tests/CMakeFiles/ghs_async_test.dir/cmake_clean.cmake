@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ghs_async_test.dir/ghs_async_test.cpp.o"
+  "CMakeFiles/ghs_async_test.dir/ghs_async_test.cpp.o.d"
+  "ghs_async_test"
+  "ghs_async_test.pdb"
+  "ghs_async_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ghs_async_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ghs_classic_test.dir/ghs_classic_test.cpp.o"
+  "CMakeFiles/ghs_classic_test.dir/ghs_classic_test.cpp.o.d"
+  "ghs_classic_test"
+  "ghs_classic_test.pdb"
+  "ghs_classic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ghs_classic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ghs_sync_test.dir/ghs_sync_test.cpp.o"
+  "CMakeFiles/ghs_sync_test.dir/ghs_sync_test.cpp.o.d"
+  "ghs_sync_test"
+  "ghs_sync_test.pdb"
+  "ghs_sync_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ghs_sync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

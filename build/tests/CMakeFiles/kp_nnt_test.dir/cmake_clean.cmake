@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kp_nnt_test.dir/kp_nnt_test.cpp.o"
+  "CMakeFiles/kp_nnt_test.dir/kp_nnt_test.cpp.o.d"
+  "kp_nnt_test"
+  "kp_nnt_test.pdb"
+  "kp_nnt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kp_nnt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_rbn_test.dir/mac_rbn_test.cpp.o"
+  "CMakeFiles/mac_rbn_test.dir/mac_rbn_test.cpp.o.d"
+  "mac_rbn_test"
+  "mac_rbn_test.pdb"
+  "mac_rbn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_rbn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

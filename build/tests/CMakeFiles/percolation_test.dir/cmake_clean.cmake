@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/percolation_test.dir/percolation_test.cpp.o"
+  "CMakeFiles/percolation_test.dir/percolation_test.cpp.o.d"
+  "percolation_test"
+  "percolation_test.pdb"
+  "percolation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/percolation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rgg_test.dir/rgg_test.cpp.o"
+  "CMakeFiles/rgg_test.dir/rgg_test.cpp.o.d"
+  "rgg_test"
+  "rgg_test.pdb"
+  "rgg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rgg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_rng_test[1]_include.cmake")
+include("/root/repo/build/tests/support_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/support_table_cli_test[1]_include.cmake")
+include("/root/repo/build/tests/json_test[1]_include.cmake")
+include("/root/repo/build/tests/geometry_test[1]_include.cmake")
+include("/root/repo/build/tests/deployments_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/gabriel_test[1]_include.cmake")
+include("/root/repo/build/tests/spatial_test[1]_include.cmake")
+include("/root/repo/build/tests/kdtree_test[1]_include.cmake")
+include("/root/repo/build/tests/rgg_test[1]_include.cmake")
+include("/root/repo/build/tests/percolation_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/collectives_test[1]_include.cmake")
+include("/root/repo/build/tests/ghs_classic_test[1]_include.cmake")
+include("/root/repo/build/tests/ghs_async_test[1]_include.cmake")
+include("/root/repo/build/tests/ghs_sync_test[1]_include.cmake")
+include("/root/repo/build/tests/mac_rbn_test[1]_include.cmake")
+include("/root/repo/build/tests/kp_nnt_test[1]_include.cmake")
+include("/root/repo/build/tests/eopt_test[1]_include.cmake")
+include("/root/repo/build/tests/nnt_test[1]_include.cmake")
+include("/root/repo/build/tests/viz_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/differential_test[1]_include.cmake")
