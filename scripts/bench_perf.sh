@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Run the simulator-engine microbench and record the result as BENCH_sim.json
+# at the repo root, so the perf trajectory is tracked in git from PR to PR.
+#
+#   scripts/bench_perf.sh [build_dir] [output_json]
+#
+# The JSON is google-benchmark's format: one entry per benchmark run.
+# BM_CalendarPump/BM_LegacyPump are the collect_round-dominated steady-state
+# workload; BM_CalendarEnqueue/BM_LegacyEnqueue isolate enqueue. Args are
+# /<messages>/<max_extra_delay>. See docs/PERF.md for how to read it.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+OUT="${2:-$REPO_ROOT/BENCH_sim.json}"
+BIN="$BUILD_DIR/bench/perf_sim"
+
+if [ ! -x "$BIN" ]; then
+  echo "error: $BIN not found or not executable — build first:" >&2
+  echo "  cmake -B $BUILD_DIR -S $REPO_ROOT && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+# Plain-double min_time: the "0.1s" spelling needs a newer google-benchmark
+# than the oldest this repo supports (see reproduce_all.sh).
+"$BIN" \
+  --benchmark_min_time=0.1 \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json
+
+echo
+echo "wrote $OUT"
+
+# Headline ratio (legacy / calendar) per workload, when python3 is around.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$OUT" <<'EOF'
+import json, sys
+runs = {b["name"]: b["real_time"]
+        for b in json.load(open(sys.argv[1]))["benchmarks"]
+        if b.get("run_type", "iteration") == "iteration"}
+print("speedup (legacy / calendar):")
+for name, legacy_time in sorted(runs.items()):
+    if not name.startswith("BM_Legacy"):
+        continue
+    calendar = name.replace("BM_Legacy", "BM_Calendar")
+    if calendar in runs and runs[calendar] > 0:
+        workload = name.removeprefix("BM_Legacy")
+        print(f"  {workload:<22} {legacy_time / runs[calendar]:6.2f}x")
+EOF
+fi

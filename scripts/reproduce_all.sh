@@ -5,8 +5,12 @@
 #
 # Runs each bench binary at its default (paper-scale) parameters, teeing the
 # console tables into results/<bench>.txt and CSVs into results/<bench>.csv.
+# Fails loudly (before running anything) if any bench binary named by a
+# bench/*.cpp source is missing from the build tree — a silent skip would
+# produce an incomplete results/ directory that looks complete.
 set -euo pipefail
 
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${1:-build}"
 RESULTS_DIR="${2:-results}"
 
@@ -16,14 +20,28 @@ if [ ! -d "$BUILD_DIR/bench" ]; then
   exit 1
 fi
 
+# Every bench/*.cpp source must have produced an executable.
+missing=0
+benches=()
+for src in "$REPO_ROOT"/bench/*.cpp; do
+  name="$(basename "${src%.cpp}")"
+  if [ ! -x "$BUILD_DIR/bench/$name" ]; then
+    echo "error: bench binary missing: $BUILD_DIR/bench/$name" >&2
+    missing=1
+  fi
+  benches+=("$name")
+done
+if [ "$missing" -ne 0 ]; then
+  echo "error: rebuild before reproducing: cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
 mkdir -p "$RESULTS_DIR"
 
-for bench in "$BUILD_DIR"/bench/*; do
-  name="$(basename "$bench")"
-  [ -f "$bench" ] && [ -x "$bench" ] || continue
+for name in "${benches[@]}"; do
+  bench="$BUILD_DIR/bench/$name"
   case "$name" in
-    CMakeFiles|*.cmake) continue ;;
-    micro_substrates)
+    micro_substrates|perf_sim)
       echo "== $name (google-benchmark)"
       # Older google-benchmark releases take a plain double; newer ones also
       # accept the "0.05s" form.

@@ -1,13 +1,14 @@
 #include "emst/graph/adjacency.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "emst/support/assert.hpp"
 
 namespace emst::graph {
 
-AdjacencyList::AdjacencyList(std::size_t n, const std::vector<Edge>& edges)
-    : offsets_(n + 1, 0), edges_(edges) {
+AdjacencyList::AdjacencyList(std::size_t n, std::vector<Edge> edges)
+    : offsets_(n + 1, 0), edges_(std::move(edges)) {
   sort_edges(edges_);
   for (const Edge& e : edges_) {
     EMST_ASSERT(e.u < n && e.v < n);

@@ -25,8 +25,10 @@ class AdjacencyList {
  public:
   AdjacencyList() = default;
 
-  /// Build from an undirected edge list over nodes [0, n).
-  AdjacencyList(std::size_t n, const std::vector<Edge>& edges);
+  /// Build from an undirected edge list over nodes [0, n). Takes the list
+  /// by value: pass an rvalue to avoid the copy (it is canonicalized and
+  /// kept as the graph's edge store either way).
+  AdjacencyList(std::size_t n, std::vector<Edge> edges);
 
   [[nodiscard]] std::size_t node_count() const noexcept { return offsets_.empty() ? 0 : offsets_.size() - 1; }
   [[nodiscard]] std::size_t edge_count() const noexcept { return edges_.size(); }

@@ -1,6 +1,8 @@
 #include "emst/rgg/rgg.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <numbers>
 
 #include "emst/geometry/sampling.hpp"
 #include "emst/graph/mst.hpp"
@@ -10,11 +12,18 @@
 
 namespace emst::rgg {
 
-std::vector<graph::Edge> geometric_edges(const std::vector<geometry::Point2>& points,
-                                         double radius) {
+std::vector<graph::Edge> geometric_edges_unsorted(
+    const std::vector<geometry::Point2>& points, double radius) {
   EMST_ASSERT(radius > 0.0);
   spatial::CellGrid grid(points, radius);
   std::vector<graph::Edge> edges;
+  // Expected edge count in the unit square: each unordered pair is an edge
+  // with probability ≤ π·r² (boundary effects only lower it), so n²·π·r²/2
+  // is a tight upper estimate; cap it at the complete graph.
+  const double n = static_cast<double>(points.size());
+  const double pair_prob = std::min(1.0, std::numbers::pi * radius * radius);
+  const double expected = 0.5 * n * (n - 1.0) * pair_prob;
+  edges.reserve(static_cast<std::size_t>(expected) + 16);
   for (graph::NodeId u = 0; u < points.size(); ++u) {
     grid.for_each_within(points[u], radius, [&](spatial::PointIndex v) {
       if (v <= u) return;  // emit each unordered pair once; skip self
@@ -22,6 +31,12 @@ std::vector<graph::Edge> geometric_edges(const std::vector<geometry::Point2>& po
           {u, v, geometry::distance(points[u], points[v])});
     });
   }
+  return edges;
+}
+
+std::vector<graph::Edge> geometric_edges(const std::vector<geometry::Point2>& points,
+                                         double radius) {
+  auto edges = geometric_edges_unsorted(points, radius);
   graph::sort_edges(edges);
   return edges;
 }
@@ -29,8 +44,10 @@ std::vector<graph::Edge> geometric_edges(const std::vector<geometry::Point2>& po
 Rgg build_rgg(std::vector<geometry::Point2> points, double radius) {
   Rgg rgg;
   rgg.radius = radius;
-  auto edges = geometric_edges(points, radius);
-  rgg.graph = graph::AdjacencyList(points.size(), edges);
+  // AdjacencyList canonicalizes (sorts) internally, so the unsorted
+  // enumeration is enough — and the rvalue hand-off skips the edge copy.
+  rgg.graph = graph::AdjacencyList(points.size(),
+                                   geometric_edges_unsorted(points, radius));
   rgg.points = std::move(points);
   return rgg;
 }
@@ -45,7 +62,9 @@ std::vector<graph::Edge> euclidean_mst(const std::vector<geometry::Point2>& poin
   double radius = n >= 2 ? connectivity_radius(n, 1.6) : 1.0;
   const double diameter = std::sqrt(2.0);
   for (;;) {
-    auto edges = geometric_edges(points, std::min(radius, diameter));
+    // kruskal_msf sorts its input, so the unsorted enumeration avoids a
+    // redundant full sort per growth step.
+    auto edges = geometric_edges_unsorted(points, std::min(radius, diameter));
     auto tree = graph::kruskal_msf(n, std::move(edges));
     if (tree.size() == n - 1 || radius >= diameter) return tree;
     radius *= 1.5;

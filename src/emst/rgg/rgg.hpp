@@ -26,6 +26,13 @@ struct Rgg {
 [[nodiscard]] std::vector<graph::Edge> geometric_edges(
     const std::vector<geometry::Point2>& points, double radius);
 
+/// Same edge set in cell-grid enumeration order (unsorted). For consumers
+/// that impose their own order anyway — kruskal_msf and AdjacencyList both
+/// re-sort their input — sorting here would just be thrown away. Capacity is
+/// reserved up front from the expected-degree estimate n·π·r².
+[[nodiscard]] std::vector<graph::Edge> geometric_edges_unsorted(
+    const std::vector<geometry::Point2>& points, double radius);
+
 /// Build the RGG over given points.
 [[nodiscard]] Rgg build_rgg(std::vector<geometry::Point2> points, double radius);
 

@@ -12,17 +12,30 @@
 //    then by global send sequence — which also preserves per-edge FIFO.
 //  - No collisions/interference: each transmission succeeds (§II).
 //
+// Engine (docs/PERF.md has the full story): in-flight messages live in a
+// *calendar queue* — a ring of per-round buckets keyed by due round. With
+// max_extra_delay = D, every due falls in [now+1, now+1+D] (the per-edge
+// FIFO clamp can only raise a due to another value in that window), which
+// covers D+1 distinct residues mod D+1, so a ring of D+1 buckets never
+// aliases. Enqueue appends to its bucket in O(1); collect_round() drains
+// exactly one bucket and orders it by receiver with a counting scatter (or a
+// small indexed sort), instead of re-sorting the whole in-flight set every
+// round as the seed engine did (see reference_network.hpp). Messages within
+// a bucket are appended in send-sequence order, so any stable by-receiver
+// ordering reproduces the (receiver, sequence) contract bit-for-bit.
+//
 // The payload type is a template parameter; each algorithm defines its own
 // message struct or variant.
 #pragma once
 
 #include <algorithm>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "emst/sim/meter.hpp"
 #include "emst/sim/topology.hpp"
 #include "emst/support/assert.hpp"
+#include "emst/support/flat_map.hpp"
 #include "emst/support/rng.hpp"
 
 namespace emst::sim {
@@ -56,7 +69,8 @@ class Network {
         meter_(model),
         unbounded_broadcast_(unbounded_broadcast),
         delays_(delays),
-        delay_rng_(delays.seed) {}
+        delay_rng_(delays.seed),
+        buckets_(delays.max_extra_delay + 1) {}
 
   /// Send m from u to v; delivered next round. Charges d(u,v)^α.
   /// With `unbounded_broadcast` (power-adaptive radios, e.g. Co-NNT), the
@@ -75,49 +89,31 @@ class Network {
   /// Locally broadcast m from u at power radius `radius`; every node within
   /// `radius` receives it next round. Charges radius^α once.
   void broadcast(NodeId u, double radius, const Msg& m) {
-    EMST_ASSERT(u < topo_.node_count());
-    EMST_ASSERT(radius >= 0.0);
-    if (!unbounded_broadcast_) {
-      EMST_ASSERT_MSG(radius <= topo_.max_radius() * (1.0 + 1e-12),
-                      "broadcast beyond the maximum transmission radius");
-    }
-    std::vector<NodeId> receivers;
-    if (radius <= topo_.max_radius()) {
-      for (const graph::Neighbor& nb : topo_.neighbors(u)) {
-        if (nb.w <= radius) receivers.push_back(nb.id);
-        // neighbors are sorted by weight; stop at the first out of range
-        else
-          break;
-      }
-    } else {
-      receivers = topo_.nodes_within(u, radius);
-    }
-    meter_.charge_broadcast(u, radius, receivers.size());
-    for (NodeId v : receivers) enqueue(u, v, topo_.distance(u, v), Msg(m));
+    broadcast_impl(u, radius, m);
   }
 
-  [[nodiscard]] bool pending() const noexcept { return !inflight_.empty(); }
+  /// Rvalue overload: the last receiver takes ownership of the payload
+  /// instead of copying it (matters for heap-backed message types).
+  void broadcast(NodeId u, double radius, Msg&& m) {
+    broadcast_impl(u, radius, std::move(m));
+  }
+
+  [[nodiscard]] bool pending() const noexcept { return inflight_count_ > 0; }
 
   /// Advance to the next round and return the messages due for delivery,
   /// sorted by (receiver, send sequence) — which preserves per-edge FIFO.
   [[nodiscard]] std::vector<Delivery<Msg>> collect_round() {
     meter_.tick_round();
     ++now_;
-    std::sort(inflight_.begin(), inflight_.end(),
-              [](const Item& a, const Item& b) {
-                if (a.due != b.due) return a.due < b.due;
-                if (a.to != b.to) return a.to < b.to;
-                return a.seq < b.seq;
-              });
+    // head_ indexed the bucket for round now_+1 before the increment — i.e.
+    // for the round that just became due.
+    std::vector<Item>& bucket = buckets_[head_];
+    head_ = head_ + 1 == buckets_.size() ? 0 : head_ + 1;
     std::vector<Delivery<Msg>> out;
-    std::size_t consumed = 0;
-    for (Item& item : inflight_) {
-      if (item.due > now_) break;
-      out.push_back({item.from, item.to, item.distance, std::move(item.msg)});
-      ++consumed;
-    }
-    inflight_.erase(inflight_.begin(),
-                    inflight_.begin() + static_cast<std::ptrdiff_t>(consumed));
+    out.reserve(bucket.size());
+    drain_by_receiver(bucket, out);
+    inflight_count_ -= bucket.size();
+    bucket.clear();
     return out;
   }
 
@@ -131,9 +127,41 @@ class Network {
     NodeId to;
     double distance;
     Msg msg;
-    std::uint64_t seq;
-    std::uint64_t due;  ///< round at which the message arrives
+    // No seq / due fields: the bucket index encodes the due round and the
+    // append order within a bucket IS the send-sequence order.
   };
+
+  template <typename M>
+  void broadcast_impl(NodeId u, double radius, M&& m) {
+    EMST_ASSERT(u < topo_.node_count());
+    EMST_ASSERT(radius >= 0.0);
+    if (!unbounded_broadcast_) {
+      EMST_ASSERT_MSG(radius <= topo_.max_radius() * (1.0 + 1e-12),
+                      "broadcast beyond the maximum transmission radius");
+    }
+    receivers_.clear();
+    if (radius <= topo_.max_radius()) {
+      // Relies on per-node neighbor ranges being sorted by weight, asserted
+      // once at Topology construction (not re-checked in this hot loop).
+      const auto nbs = topo_.neighbors(u);
+      receivers_.reserve(nbs.size());
+      for (const graph::Neighbor& nb : nbs) {
+        if (nb.w <= radius) receivers_.push_back(nb.id);
+        else
+          break;
+      }
+    } else {
+      receivers_ = topo_.nodes_within(u, radius);
+    }
+    meter_.charge_broadcast(u, radius, receivers_.size());
+    if (receivers_.empty()) return;
+    for (std::size_t i = 0; i + 1 < receivers_.size(); ++i) {
+      const NodeId v = receivers_[i];
+      enqueue(u, v, topo_.distance(u, v), Msg(m));
+    }
+    const NodeId v = receivers_.back();
+    enqueue(u, v, topo_.distance(u, v), Msg(std::forward<M>(m)));
+  }
 
   void enqueue(NodeId u, NodeId v, double d, Msg m) {
     std::uint64_t due = now_ + 1;
@@ -143,24 +171,92 @@ class Network {
       // the same link.
       const std::uint64_t key =
           (static_cast<std::uint64_t>(u) << 32) | static_cast<std::uint64_t>(v);
-      auto [it, inserted] = last_due_.try_emplace(key, due);
-      if (!inserted) {
-        due = std::max(due, it->second);
-        it->second = due;
+      const auto slot = last_due_.find_or_insert(key, due);
+      if (!slot.inserted) {
+        due = std::max(due, *slot.value);
+        *slot.value = due;
       }
     }
-    inflight_.push_back({u, v, d, std::move(m), next_seq_++, due});
+    // Ring indexing without the 64-bit modulo (it showed up per enqueue):
+    // head_ is the bucket for round now_+1 and due - (now_+1) <= D, so one
+    // conditional wrap suffices.
+    std::size_t idx = head_ + static_cast<std::size_t>(due - now_ - 1);
+    if (idx >= buckets_.size()) idx -= buckets_.size();
+    buckets_[idx].push_back({u, v, d, std::move(m)});
+    ++inflight_count_;
   }
+
+  /// Move the bucket's items into `out` ordered by (receiver, send
+  /// sequence). Three strategies, cheapest first: the bucket is often
+  /// already in receiver order (single sender walking its neighbor list);
+  /// small buckets use a stable indexed sort; large buckets use a counting
+  /// scatter over the receivers actually touched — O(B + U log U) for U
+  /// distinct receivers, with no comparator at all.
+  void drain_by_receiver(std::vector<Item>& bucket,
+                         std::vector<Delivery<Msg>>& out) {
+    const std::size_t b = bucket.size();
+    if (b == 0) return;
+    bool in_order = true;
+    for (std::size_t i = 1; i < b; ++i) {
+      if (bucket[i - 1].to > bucket[i].to) {
+        in_order = false;
+        break;
+      }
+    }
+    if (in_order) {
+      for (Item& item : bucket)
+        out.push_back({item.from, item.to, item.distance, std::move(item.msg)});
+      return;
+    }
+    order_.resize(b);
+    if (b <= kSmallBucket) {
+      for (std::size_t i = 0; i < b; ++i)
+        order_[i] = static_cast<std::uint32_t>(i);
+      std::stable_sort(order_.begin(), order_.end(),
+                       [&bucket](std::uint32_t a, std::uint32_t c) {
+                         return bucket[a].to < bucket[c].to;
+                       });
+    } else {
+      if (recv_slot_.size() < topo_.node_count())
+        recv_slot_.assign(topo_.node_count(), 0);
+      touched_.clear();
+      for (const Item& item : bucket) {
+        if (recv_slot_[item.to]++ == 0) touched_.push_back(item.to);
+      }
+      std::sort(touched_.begin(), touched_.end());
+      std::uint32_t offset = 0;
+      for (const NodeId r : touched_) {
+        const std::uint32_t count = recv_slot_[r];
+        recv_slot_[r] = offset;
+        offset += count;
+      }
+      for (std::size_t i = 0; i < b; ++i)
+        order_[recv_slot_[bucket[i].to]++] = static_cast<std::uint32_t>(i);
+      for (const NodeId r : touched_) recv_slot_[r] = 0;
+    }
+    for (const std::uint32_t idx : order_) {
+      Item& item = bucket[idx];
+      out.push_back({item.from, item.to, item.distance, std::move(item.msg)});
+    }
+  }
+
+  static constexpr std::size_t kSmallBucket = 48;
 
   const Topology& topo_;
   EnergyMeter meter_;
   bool unbounded_broadcast_;
   DelayModel delays_;
   support::Rng delay_rng_;
-  std::vector<Item> inflight_;
-  std::unordered_map<std::uint64_t, std::uint64_t> last_due_;
-  std::uint64_t next_seq_ = 0;
+  std::vector<std::vector<Item>> buckets_;  ///< ring keyed by due round
+  std::size_t head_ = 0;  ///< bucket holding messages due at round now_+1
+  std::size_t inflight_count_ = 0;
+  support::FlatMap64 last_due_;             ///< per-directed-edge FIFO clamp
   std::uint64_t now_ = 0;
+  // Scratch buffers reused across calls to avoid per-round allocations.
+  std::vector<NodeId> receivers_;
+  std::vector<std::uint32_t> order_;
+  std::vector<std::uint32_t> recv_slot_;
+  std::vector<NodeId> touched_;
 };
 
 }  // namespace emst::sim

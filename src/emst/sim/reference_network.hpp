@@ -1,0 +1,141 @@
+// The ORIGINAL sort-per-round network engine, kept verbatim as a reference.
+//
+// This is the seed implementation that `Network<Msg>` (network.hpp) replaced
+// with a calendar queue. It survives for two purposes:
+//  1. Differential testing: the calendar queue must produce *byte-identical*
+//     delivery sequences (receiver-then-sequence order, per-edge FIFO under
+//     random delays) — tests/network_equivalence_test.cpp replays identical
+//     schedules through both engines and compares every round.
+//  2. Perf baselining: bench/perf_sim.cpp measures both engines so the
+//     speedup is tracked in BENCH_sim.json rather than asserted in prose.
+//
+// Do NOT use this in algorithms or benches other than the above: every
+// collect_round() re-sorts the entire in-flight vector (O(M log M)) and
+// erases the delivered prefix (O(M) memmove).
+#pragma once
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "emst/sim/meter.hpp"
+#include "emst/sim/network.hpp"
+#include "emst/sim/topology.hpp"
+#include "emst/support/assert.hpp"
+#include "emst/support/rng.hpp"
+
+namespace emst::sim {
+
+template <typename Msg>
+class ReferenceNetwork {
+ public:
+  ReferenceNetwork(const Topology& topo, geometry::PathLoss model = {},
+                   bool unbounded_broadcast = false, DelayModel delays = {})
+      : topo_(topo),
+        meter_(model),
+        unbounded_broadcast_(unbounded_broadcast),
+        delays_(delays),
+        delay_rng_(delays.seed) {}
+
+  /// Send m from u to v; delivered next round. Charges d(u,v)^α.
+  void unicast(NodeId u, NodeId v, Msg m) {
+    EMST_ASSERT(u < topo_.node_count() && v < topo_.node_count() && u != v);
+    const double d = topo_.distance(u, v);
+    EMST_ASSERT_MSG(unbounded_broadcast_ ||
+                        d <= topo_.max_radius() * (1.0 + 1e-12),
+                    "unicast beyond the maximum transmission radius");
+    meter_.charge_unicast(u, d);
+    enqueue(u, v, d, std::move(m));
+  }
+
+  /// Locally broadcast m from u at power radius `radius`. Charges radius^α.
+  void broadcast(NodeId u, double radius, const Msg& m) {
+    EMST_ASSERT(u < topo_.node_count());
+    EMST_ASSERT(radius >= 0.0);
+    if (!unbounded_broadcast_) {
+      EMST_ASSERT_MSG(radius <= topo_.max_radius() * (1.0 + 1e-12),
+                      "broadcast beyond the maximum transmission radius");
+    }
+    std::vector<NodeId> receivers;
+    if (radius <= topo_.max_radius()) {
+      for (const graph::Neighbor& nb : topo_.neighbors(u)) {
+        if (nb.w <= radius) receivers.push_back(nb.id);
+        // neighbors are sorted by weight; stop at the first out of range
+        else
+          break;
+      }
+    } else {
+      receivers = topo_.nodes_within(u, radius);
+    }
+    meter_.charge_broadcast(u, radius, receivers.size());
+    for (NodeId v : receivers) enqueue(u, v, topo_.distance(u, v), Msg(m));
+  }
+
+  [[nodiscard]] bool pending() const noexcept { return !inflight_.empty(); }
+
+  /// Advance to the next round and return the messages due for delivery,
+  /// sorted by (receiver, send sequence) — which preserves per-edge FIFO.
+  [[nodiscard]] std::vector<Delivery<Msg>> collect_round() {
+    meter_.tick_round();
+    ++now_;
+    std::sort(inflight_.begin(), inflight_.end(),
+              [](const Item& a, const Item& b) {
+                if (a.due != b.due) return a.due < b.due;
+                if (a.to != b.to) return a.to < b.to;
+                return a.seq < b.seq;
+              });
+    std::vector<Delivery<Msg>> out;
+    std::size_t consumed = 0;
+    for (Item& item : inflight_) {
+      if (item.due > now_) break;
+      out.push_back({item.from, item.to, item.distance, std::move(item.msg)});
+      ++consumed;
+    }
+    inflight_.erase(inflight_.begin(),
+                    inflight_.begin() + static_cast<std::ptrdiff_t>(consumed));
+    return out;
+  }
+
+  [[nodiscard]] const Topology& topology() const noexcept { return topo_; }
+  [[nodiscard]] EnergyMeter& meter() noexcept { return meter_; }
+  [[nodiscard]] const EnergyMeter& meter() const noexcept { return meter_; }
+
+ private:
+  struct Item {
+    NodeId from;
+    NodeId to;
+    double distance;
+    Msg msg;
+    std::uint64_t seq;
+    std::uint64_t due;  ///< round at which the message arrives
+  };
+
+  void enqueue(NodeId u, NodeId v, double d, Msg m) {
+    std::uint64_t due = now_ + 1;
+    if (delays_.max_extra_delay > 0) {
+      due += delay_rng_.uniform_int(delays_.max_extra_delay + 1);
+      // FIFO per directed edge: never schedule before an earlier message on
+      // the same link.
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(u) << 32) | static_cast<std::uint64_t>(v);
+      auto [it, inserted] = last_due_.try_emplace(key, due);
+      if (!inserted) {
+        due = std::max(due, it->second);
+        it->second = due;
+      }
+    }
+    inflight_.push_back({u, v, d, std::move(m), next_seq_++, due});
+  }
+
+  const Topology& topo_;
+  EnergyMeter meter_;
+  bool unbounded_broadcast_;
+  DelayModel delays_;
+  support::Rng delay_rng_;
+  std::vector<Item> inflight_;
+  std::unordered_map<std::uint64_t, std::uint64_t> last_due_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t now_ = 0;
+};
+
+}  // namespace emst::sim

@@ -4,6 +4,25 @@
 
 namespace emst::sim {
 
+namespace {
+
+// Network::broadcast's bounded path early-exits on the first neighbor whose
+// weight exceeds the power radius — correct only if every node's neighbor
+// range is ascending in weight. AdjacencyList guarantees that today, but the
+// hot loop must not silently depend on it: check the invariant once here,
+// at construction, rather than per broadcast.
+void assert_neighbors_weight_sorted(const graph::AdjacencyList& graph) {
+  for (NodeId u = 0; u < graph.node_count(); ++u) {
+    const auto nbs = graph.neighbors(u);
+    for (std::size_t i = 1; i < nbs.size(); ++i) {
+      EMST_ASSERT_MSG(nbs[i - 1].w <= nbs[i].w,
+                      "topology neighbors must be sorted by weight");
+    }
+  }
+}
+
+}  // namespace
+
 Topology::Topology(std::vector<geometry::Point2> points, double max_radius)
     : Topology(rgg::build_rgg(std::move(points), max_radius)) {}
 
@@ -12,6 +31,7 @@ Topology::Topology(rgg::Rgg instance)
       max_radius_(instance.radius),
       graph_(std::move(instance.graph)) {
   EMST_ASSERT(max_radius_ > 0.0);
+  assert_neighbors_weight_sorted(graph_);
   grid_ = std::make_unique<spatial::CellGrid>(
       std::span<const geometry::Point2>(points_), max_radius_);
 }
@@ -20,11 +40,12 @@ Topology::Topology(std::vector<geometry::Point2> points, double max_radius,
                    std::vector<graph::Edge> edges)
     : points_(std::move(points)),
       max_radius_(max_radius),
-      graph_(points_.size(), edges) {
+      graph_(points_.size(), std::move(edges)) {
   EMST_ASSERT(max_radius_ > 0.0);
   for (const graph::Edge& e : graph_.edges())
     EMST_ASSERT_MSG(e.w <= max_radius_ * (1.0 + 1e-12),
                     "explicit edge exceeds the maximum transmission radius");
+  assert_neighbors_weight_sorted(graph_);
   grid_ = std::make_unique<spatial::CellGrid>(
       std::span<const geometry::Point2>(points_), max_radius_);
 }

@@ -1,0 +1,100 @@
+// Open-addressing hash map from nonzero 64-bit keys to 64-bit values.
+//
+// Purpose-built for hot bookkeeping tables like the simulator's per-edge
+// FIFO tracker (key = packed directed edge, value = last scheduled due
+// round). std::unordered_map allocates a node per insert and chases a
+// pointer per lookup, which dominated Network::enqueue under random delays.
+// This map keeps everything in one flat power-of-two array with linear
+// probing: inserts are amortized O(1) with no per-element allocation, and a
+// lookup touches one cache line in the common case. Erase is deliberately
+// unsupported (the tracker only grows within a run), which keeps probing
+// tombstone-free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "emst/support/assert.hpp"
+
+namespace emst::support {
+
+class FlatMap64 {
+ public:
+  FlatMap64() = default;
+
+  struct FindResult {
+    std::uint64_t* value;  ///< stored value; invalidated by the next insert
+    bool inserted;         ///< true if `key` was absent and was added
+  };
+
+  /// Find `key`, inserting it with `value` if absent. Key 0 is reserved as
+  /// the empty-slot sentinel (the simulator packs directed edges (u,v) with
+  /// u != v, so 0 never occurs there).
+  FindResult find_or_insert(std::uint64_t key, std::uint64_t value) {
+    EMST_ASSERT_MSG(key != 0, "key 0 is the empty-slot sentinel");
+    if ((size_ + 1) * 4 > slots_.size() * 3) grow();
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = mix(key) & mask;
+    for (;; i = (i + 1) & mask) {
+      Slot& slot = slots_[i];
+      if (slot.key == key) return {&slot.value, false};
+      if (slot.key == 0) {
+        slot.key = key;
+        slot.value = value;
+        ++size_;
+        return {&slot.value, true};
+      }
+    }
+  }
+
+  /// Pre-size the table for `n` keys without rehashing along the way.
+  void reserve(std::size_t n) {
+    std::size_t cap = kMinCapacity;
+    while (n * 4 > cap * 3) cap *= 2;
+    if (cap > slots_.size()) rehash(cap);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  void clear() noexcept {
+    for (Slot& slot : slots_) slot = Slot{};
+    size_ = 0;
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;
+    std::uint64_t value = 0;
+  };
+
+  static constexpr std::size_t kMinCapacity = 16;
+
+  /// splitmix64 finalizer — full-avalanche so linear probing sees a uniform
+  /// distribution even for structured keys like (u << 32) | v.
+  [[nodiscard]] static constexpr std::uint64_t mix(std::uint64_t x) noexcept {
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  void grow() { rehash(slots_.empty() ? kMinCapacity : slots_.size() * 2); }
+
+  void rehash(std::size_t new_capacity) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_capacity, Slot{});
+    const std::size_t mask = slots_.size() - 1;
+    for (const Slot& slot : old) {
+      if (slot.key == 0) continue;
+      std::size_t i = mix(slot.key) & mask;
+      while (slots_[i].key != 0) i = (i + 1) & mask;
+      slots_[i] = slot;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace emst::support

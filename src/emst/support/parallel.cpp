@@ -1,10 +1,6 @@
 #include "emst/support/parallel.hpp"
 
-#include <algorithm>
-#include <atomic>
 #include <cstdlib>
-#include <thread>
-#include <vector>
 
 namespace emst::support {
 
@@ -15,29 +11,6 @@ std::size_t default_thread_count() {
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
-}
-
-void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
-                  std::size_t threads) {
-  if (count == 0) return;
-  if (threads == 0) threads = default_thread_count();
-  threads = std::min(threads, count);
-  if (threads == 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
-    return;
-  }
-  std::atomic<std::size_t> next{0};
-  std::vector<std::jthread> workers;
-  workers.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) {
-    workers.emplace_back([&] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= count) return;
-        fn(i);
-      }
-    });
-  }
 }
 
 }  // namespace emst::support

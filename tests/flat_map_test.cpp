@@ -1,0 +1,81 @@
+// Tests for the open-addressing FlatMap64 backing the simulator's per-edge
+// FIFO tracker.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "emst/support/flat_map.hpp"
+#include "emst/support/rng.hpp"
+
+namespace emst::support {
+namespace {
+
+TEST(FlatMap64, InsertThenFind) {
+  FlatMap64 map;
+  EXPECT_TRUE(map.empty());
+  auto first = map.find_or_insert(42, 7);
+  EXPECT_TRUE(first.inserted);
+  EXPECT_EQ(*first.value, 7u);
+  auto second = map.find_or_insert(42, 99);
+  EXPECT_FALSE(second.inserted);
+  EXPECT_EQ(*second.value, 7u);  // existing value untouched
+  *second.value = 11;
+  EXPECT_EQ(*map.find_or_insert(42, 0).value, 11u);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMap64, GrowsWithoutLosingEntries) {
+  FlatMap64 map;
+  for (std::uint64_t k = 1; k <= 5000; ++k) {
+    EXPECT_TRUE(map.find_or_insert(k, k * 3).inserted);
+  }
+  EXPECT_EQ(map.size(), 5000u);
+  for (std::uint64_t k = 1; k <= 5000; ++k) {
+    auto r = map.find_or_insert(k, 0);
+    EXPECT_FALSE(r.inserted);
+    EXPECT_EQ(*r.value, k * 3);
+  }
+}
+
+TEST(FlatMap64, MatchesUnorderedMapUnderRandomWorkload) {
+  // Property test against the std container it replaces, with the same
+  // try_emplace-then-max update pattern Network::enqueue uses.
+  FlatMap64 map;
+  std::unordered_map<std::uint64_t, std::uint64_t> oracle;
+  Rng rng(31337);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t key = rng.uniform_int(4096) + 1;  // nonzero
+    const std::uint64_t value = rng.uniform_int(1u << 20);
+    auto r = map.find_or_insert(key, value);
+    auto [it, inserted] = oracle.try_emplace(key, value);
+    ASSERT_EQ(r.inserted, inserted);
+    if (!inserted) {
+      const std::uint64_t merged = std::max(value, it->second);
+      *r.value = merged;
+      it->second = merged;
+    }
+    ASSERT_EQ(*r.value, it->second);
+  }
+  EXPECT_EQ(map.size(), oracle.size());
+  for (const auto& [key, value] : oracle) {
+    EXPECT_EQ(*map.find_or_insert(key, 0).value, value);
+  }
+}
+
+TEST(FlatMap64, ReserveAndClear) {
+  FlatMap64 map;
+  map.reserve(1000);
+  for (std::uint64_t k = 1; k <= 1000; ++k) map.find_or_insert(k, k);
+  EXPECT_EQ(map.size(), 1000u);
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_TRUE(map.find_or_insert(5, 1).inserted);
+}
+
+TEST(FlatMap64, ZeroKeyIsRejected) {
+  FlatMap64 map;
+  EXPECT_DEATH((void)map.find_or_insert(0, 1), "empty-slot sentinel");
+}
+
+}  // namespace
+}  // namespace emst::support
