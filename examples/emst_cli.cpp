@@ -5,6 +5,7 @@
 //
 //   ./emst_cli --algo=eopt --n=2000 --seed=7 --format=json
 //   ./emst_cli --algo=ghs,eopt,connt --n=500 --format=text
+//   ./emst_cli --algo=eopt --n=1000 --loss=0.1 --arq=1   # lossy channel
 //
 // Algorithms: ghs | ghs-cached | sync | sync-probe | eopt | connt |
 //             connt-axis | kpnnt
@@ -22,6 +23,8 @@
 #include "emst/nnt/connt.hpp"
 #include "emst/nnt/kp_nnt.hpp"
 #include "emst/rgg/radii.hpp"
+#include "emst/sim/fault.hpp"
+#include "emst/sim/reliable.hpp"
 #include "emst/support/cli.hpp"
 #include "emst/support/json.hpp"
 #include "emst/support/rng.hpp"
@@ -42,11 +45,18 @@ struct Record {
 
 Record run_one(const std::string& algo, const sim::Topology& topo,
                const std::vector<geometry::Point2>& points,
-               const std::vector<graph::Edge>& reference) {
+               const std::vector<graph::Edge>& reference,
+               const sim::FaultModel& faults, const sim::ArqOptions& arq) {
   Record record;
   record.algo = algo;
   std::vector<graph::Edge> tree;
+  const bool faulty = faults.enabled() || arq.enabled;
   if (algo == "ghs" || algo == "ghs-cached") {
+    if (faulty) {
+      std::cerr << "--loss/--arq apply to the fault-aware engines only "
+                   "(sync|sync-probe|eopt), not " << algo << '\n';
+      std::exit(2);
+    }
     ghs::ClassicGhsOptions options;
     if (algo == "ghs-cached") options.moe = ghs::MoeStrategy::kCachedConfirm;
     const auto run = ghs::run_classic_ghs(topo, options);
@@ -56,16 +66,26 @@ Record run_one(const std::string& algo, const sim::Topology& topo,
   } else if (algo == "sync" || algo == "sync-probe") {
     ghs::SyncGhsOptions options;
     options.neighbor_cache = algo == "sync";
+    options.faults = faults;
+    options.arq = arq;
     const auto run = ghs::run_sync_ghs(topo, options);
     record.totals = run.run.totals;
     record.phases = run.run.phases;
     tree = run.run.tree;
   } else if (algo == "eopt") {
-    const auto run = eopt::run_eopt(topo);
+    eopt::EoptOptions options;
+    options.faults = faults;
+    options.arq = arq;
+    const auto run = eopt::run_eopt(topo, options);
     record.totals = run.run.totals;
     record.phases = run.run.phases;
     tree = run.run.tree;
   } else if (algo == "connt" || algo == "connt-axis") {
+    if (faulty) {
+      std::cerr << "--loss/--arq apply to the fault-aware engines only "
+                   "(sync|sync-probe|eopt), not " << algo << '\n';
+      std::exit(2);
+    }
     nnt::CoNntOptions options;
     if (algo == "connt-axis") options.scheme = nnt::RankScheme::kAxis;
     const auto run = nnt::run_connt(topo, options);
@@ -73,6 +93,11 @@ Record run_one(const std::string& algo, const sim::Topology& topo,
     record.phases = run.max_probe_rounds;
     tree = run.tree;
   } else if (algo == "kpnnt") {
+    if (faulty) {
+      std::cerr << "--loss/--arq apply to the fault-aware engines only "
+                   "(sync|sync-probe|eopt), not " << algo << '\n';
+      std::exit(2);
+    }
     const auto run = nnt::run_kp_nnt(topo);
     record.totals = run.totals;
     record.phases = run.max_probe_rounds;
@@ -98,11 +123,21 @@ int main(int argc, char** argv) {
        {"n", "node count (default 1000)"},
        {"seed", "deployment seed (default 1)"},
        {"radius-factor", "connectivity radius factor (default 1.6)"},
+       {"loss", "Bernoulli message-loss probability (default 0; "
+                "sync|sync-probe|eopt only, see docs/ROBUSTNESS.md)"},
+       {"fault-seed", "fault-layer RNG seed (default 0xFA011A)"},
+       {"arq", "1 = stop-and-wait ARQ on every unicast (default 0)"},
        {"format", "text | json (default text)"}});
   const auto n = static_cast<std::size_t>(cli.get_int("n", 1000));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   const double factor = cli.get_double("radius-factor", 1.6);
   const std::string format = cli.get("format", "text");
+  sim::FaultModel faults;
+  faults.loss = cli.get_double("loss", 0.0);
+  if (cli.has("fault-seed"))
+    faults.seed = static_cast<std::uint64_t>(cli.get_int("fault-seed", 0));
+  sim::ArqOptions arq;
+  arq.enabled = cli.get_int("arq", 0) != 0;
 
   std::vector<std::string> algos;
   {
@@ -121,7 +156,7 @@ int main(int argc, char** argv) {
   std::vector<Record> records;
   records.reserve(algos.size());
   for (const std::string& algo : algos)
-    records.push_back(run_one(algo, topo, points, reference));
+    records.push_back(run_one(algo, topo, points, reference, faults, arq));
 
   if (format == "json") {
     support::JsonWriter json(std::cout);

@@ -31,6 +31,15 @@ fi
 echo
 echo "wrote $OUT"
 
+# Exit non-zero on malformed JSON (a truncated file committed as the tracked
+# perf record would silently poison the trajectory).
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool "$OUT" > /dev/null || {
+    echo "error: malformed JSON: $OUT" >&2
+    exit 1
+  }
+fi
+
 # Headline ratio (legacy / calendar) per workload, when python3 is around.
 if command -v python3 >/dev/null 2>&1; then
   python3 - "$OUT" <<'EOF'

@@ -38,6 +38,17 @@ fi
 
 mkdir -p "$RESULTS_DIR"
 
+# Exit non-zero on malformed JSON — a truncated or half-written artifact
+# committed as a tracked result would silently poison the trajectory.
+validate_json() {
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool "$1" > /dev/null || {
+      echo "error: malformed JSON: $1" >&2
+      exit 1
+    }
+  fi
+}
+
 for name in "${benches[@]}"; do
   bench="$BUILD_DIR/bench/$name"
   case "$name" in
@@ -46,6 +57,14 @@ for name in "${benches[@]}"; do
       # Older google-benchmark releases take a plain double; newer ones also
       # accept the "0.05s" form.
       "$bench" --benchmark_min_time=0.05 | tee "$RESULTS_DIR/$name.txt"
+      ;;
+    robustness_faults)
+      echo "== $name"
+      # Also refreshes the tracked fault-overhead curve at the repo root.
+      "$bench" --csv="$RESULTS_DIR/$name.csv" \
+        --json="$REPO_ROOT/BENCH_faults.json" | tee "$RESULTS_DIR/$name.txt"
+      validate_json "$REPO_ROOT/BENCH_faults.json"
+      cp "$REPO_ROOT/BENCH_faults.json" "$RESULTS_DIR/BENCH_faults.json"
       ;;
     *)
       echo "== $name"

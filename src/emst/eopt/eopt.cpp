@@ -30,6 +30,11 @@ EoptResult run_eopt(const sim::Topology& topo, const EoptOptions& options,
 
   sim::EnergyMeter total(options.pathloss);
 
+  // One fault session for the whole run: Step 1, the census and Step 2
+  // share the loss RNG, burst states and crash clock (docs/ROBUSTNESS.md).
+  sim::FaultInjector fault_session(options.faults);
+  const bool faulty = fault_session.enabled() || options.arq.enabled;
+
   // --- Step 1: modified GHS in the percolation regime --------------------
   ghs::SyncGhsOptions step1;
   step1.radius = result.radius1;
@@ -38,6 +43,8 @@ EoptResult run_eopt(const sim::Topology& topo, const EoptOptions& options,
   step1.announce_min_power = options.announce_min_power;
   step1.track_per_node_energy = options.track_per_node_energy;
   step1.announce_initial = true;
+  step1.arq = options.arq;
+  if (faulty) step1.fault_session = &fault_session;
   const std::optional<ghs::FragmentForest> initial =
       seed != nullptr ? std::optional<ghs::FragmentForest>(*seed)
                       : std::nullopt;
@@ -50,8 +57,10 @@ EoptResult run_eopt(const sim::Topology& topo, const EoptOptions& options,
   const sim::Accounting before_census = total.totals();
   sim::EnergyMeter census_meter(options.pathloss);
   if (options.track_per_node_energy) census_meter.enable_per_node(n);
-  const std::vector<std::size_t> sizes =
-      ghs::fragment_census(topo, stage1.final_forest, census_meter);
+  sim::ArqLink census_link(&fault_session, options.arq);
+  const std::vector<std::size_t> sizes = ghs::fragment_census(
+      topo, stage1.final_forest, census_meter,
+      faulty ? &census_link : nullptr);
   total.absorb(census_meter.totals());
   result.census = total.totals() - before_census;
 
@@ -83,6 +92,8 @@ EoptResult run_eopt(const sim::Topology& topo, const EoptOptions& options,
   step2.track_per_node_energy = options.track_per_node_energy;
   // Caches were filled at r₁; the radius grew, so everyone re-announces once.
   step2.announce_initial = true;
+  step2.arq = options.arq;
+  if (faulty) step2.fault_session = &fault_session;
   if (options.giant_passive && result.giant_found)
     step2.passive_fragments.push_back(giant);
   step2.retain_passive_id = options.giant_keeps_id;
@@ -96,6 +107,11 @@ EoptResult run_eopt(const sim::Topology& topo, const EoptOptions& options,
   result.run.totals = total.totals();
   result.run.phases = stage1.run.phases + stage2.run.phases;
   result.run.fragments = stage2.run.fragments;
+  result.arq = stage1.arq;
+  result.arq += census_link.stats();
+  result.arq += stage2.arq;
+  result.fault_stats = fault_session.stats();
+  result.hit_phase_cap = stage1.hit_phase_cap || stage2.hit_phase_cap;
   if (options.track_per_node_energy) {
     result.per_node_energy.assign(n, 0.0);
     auto accumulate = [&](const std::vector<double>& ledger) {

@@ -51,6 +51,12 @@ struct EoptOptions {
   bool announce_min_power = false;
   /// Fill EoptResult::per_node_energy (summed over both steps + census).
   bool track_per_node_energy = false;
+  /// Channel faults (docs/ROBUSTNESS.md). ONE fault session spans Step 1 →
+  /// census → Step 2: loss draws and the crash clock continue across the
+  /// stage boundaries. Default: disabled (the paper's reliable model).
+  sim::FaultModel faults{};
+  /// Stop-and-wait ARQ for every unicast in all three stages.
+  sim::ArqOptions arq{};
 };
 
 struct EoptResult {
@@ -66,6 +72,13 @@ struct EoptResult {
   double radius1 = 0.0;
   double radius2 = 0.0;
   std::vector<double> per_node_energy;  ///< empty unless tracking enabled
+  /// ARQ counters summed over Step 1 + census + Step 2 (zero when off).
+  sim::ArqStats arq{};
+  /// Fault-layer drop counters for the whole run (zero when faults off).
+  sim::FaultStats fault_stats{};
+  /// Some stage stopped at its phase cap (fault mode only; the tree is then
+  /// a partial forest rather than the full MST).
+  bool hit_phase_cap = false;
 };
 
 /// Run EOPT on a topology whose max radius is ≥ r₂ (build it with

@@ -20,6 +20,14 @@ constexpr NodeId kNone = graph::kNoNode;
 /// meter for every message the distributed execution would send; the only
 /// state a node may consult is state the message flow actually delivered to
 /// it (its own fragment id, its neighbor cache, probe replies).
+///
+/// Fault mode (docs/ROBUSTNESS.md): every driver unicast becomes a
+/// stop-and-wait ARQ session (sim::ArqLink), so the meter pays for every
+/// retransmission and every ACK; a session that gives up means the payload
+/// never arrived, and the affected fragment aborts its MOE selection for
+/// the phase rather than commit to partial information. Crash repair runs
+/// at phase boundaries. With faults and ARQ both off, every branch below
+/// reduces to the fault-free engine — byte-identical energy and rounds.
 class SyncGhsEngine {
  public:
   SyncGhsEngine(const sim::Topology& topo, const SyncGhsOptions& options,
@@ -27,7 +35,15 @@ class SyncGhsEngine {
       : topo_(topo),
         opts_(options),
         radius_(options.radius > 0.0 ? options.radius : topo.max_radius()),
-        meter_(options.pathloss) {
+        meter_(options.pathloss),
+        own_session_(options.fault_session != nullptr
+                         ? sim::FaultInjector()
+                         : sim::FaultInjector(options.faults)),
+        fault_(options.fault_session != nullptr ? options.fault_session
+                                                : &own_session_),
+        link_(fault_, options.arq),
+        faulty_(fault_->enabled() || options.arq.enabled),
+        start_fault_stats_(fault_->stats()) {
     EMST_ASSERT(radius_ <= topo_.max_radius() * (1.0 + 1e-12));
     const std::size_t n = topo_.node_count();
     frag_.resize(n);
@@ -35,6 +51,7 @@ class SyncGhsEngine {
     cache_.assign(n, {});
     in_tree_.assign(topo_.graph().edge_count(), false);
     rejected_.assign(topo_.graph().edge_count(), false);
+    was_crashed_.assign(n, false);
     if (seed) {
       EMST_ASSERT(seed->leader.size() == n);
       frag_ = seed->leader;
@@ -44,11 +61,14 @@ class SyncGhsEngine {
     }
     for (NodeId p : opts_.passive_fragments) passive_.insert(p);
     if (opts_.track_per_node_energy) meter_.enable_per_node(n);
+    // Fault-mode runs burn phases on stalls and repairs, so the automatic
+    // cap gets headroom; explicit caps are honored as given.
     max_phases_ = opts_.max_phases > 0
                       ? opts_.max_phases
-                      : static_cast<std::size_t>(
-                            4.0 * std::log2(static_cast<double>(n) + 2.0)) +
-                            16;
+                      : (static_cast<std::size_t>(
+                             4.0 * std::log2(static_cast<double>(n) + 2.0)) +
+                         16) *
+                            (faulty_ ? 4 : 1);
   }
 
   SyncGhsResult run() {
@@ -58,7 +78,15 @@ class SyncGhsEngine {
     for (;;) {
       trajectory.push_back(fragment_count());
       if (!run_phase()) break;
-      EMST_ASSERT_MSG(++phases <= max_phases_, "sync GHS exceeded phase cap");
+      ++phases;
+      if (phases > max_phases_) {
+        // Fault-free runs treat the cap as a hard invariant; under faults a
+        // permanently dead neighborhood can legitimately starve a fragment,
+        // so stop gracefully and report the partial forest.
+        EMST_ASSERT_MSG(faulty_, "sync GHS exceeded phase cap");
+        hit_phase_cap_ = true;
+        break;
+      }
     }
     SyncGhsResult result;
     result.run.tree = tree_;
@@ -70,6 +98,13 @@ class SyncGhsEngine {
     result.final_forest.tree = result.run.tree;
     result.fragments_per_phase = std::move(trajectory);
     result.run.per_node_energy = meter_.per_node();
+    result.arq = link_.stats();
+    result.faults.lost = fault_->stats().lost - start_fault_stats_.lost;
+    result.faults.dropped_crashed =
+        fault_->stats().dropped_crashed - start_fault_stats_.dropped_crashed;
+    result.faults.suppressed =
+        fault_->stats().suppressed - start_fault_stats_.suppressed;
+    result.hit_phase_cap = hit_phase_cap_;
     return result;
   }
 
@@ -87,6 +122,14 @@ class SyncGhsEngine {
     NodeId to = kNone;
   };
 
+  /// Result of one member's MOE scan. `conclusive == false` means some edge
+  /// cheaper than `best` could not be classified (probe gave up, neighbor
+  /// down) — the fragment must not trust `best` this phase.
+  struct MoeScan {
+    Candidate best;
+    bool conclusive = true;
+  };
+
   void add_tree_edge(const graph::Edge& e) {
     tree_adj_[e.u].push_back(e.v);
     tree_adj_[e.v].push_back(e.u);
@@ -99,20 +142,32 @@ class SyncGhsEngine {
     return topo_.neighbors(u)[neighbor_slot(topo_, u, v)].edge_index;
   }
 
-  void charge_unicast(NodeId u, NodeId v) {
-    meter_.charge_unicast(u, topo_.distance(u, v));
-    if (opts_.transmission_log != nullptr) {
-      batch_.push_back({u, v, topo_.distance(u, v), false});
-    }
+  /// Advance simulated time on the meter AND the fault clock together.
+  void tick(std::uint64_t k) {
+    meter_.tick_rounds(k);
+    if (faulty_) fault_->advance_rounds(k);
   }
 
-  /// Charge a unicast into a specific wave buffer (for per-wave batching of
-  /// the interference log); equals charge_unicast when not logging.
-  void charge_wave(TxBatch& wave, NodeId u, NodeId v) {
-    meter_.charge_unicast(u, topo_.distance(u, v));
-    if (opts_.transmission_log != nullptr) {
-      wave.push_back({u, v, topo_.distance(u, v), false});
+  /// Charge one logical unicast into a wave buffer (for per-wave batching
+  /// of the interference log). In fault mode the message runs a full ARQ
+  /// session; the return value says whether the payload reached v.
+  /// Fault-free mode always delivers.
+  bool charge_wave(TxBatch& wave, NodeId u, NodeId v) {
+    const double d = topo_.distance(u, v);
+    if (!faulty_) {
+      meter_.charge_unicast(u, d);
+      if (opts_.transmission_log != nullptr) wave.push_back({u, v, d, false});
+      return true;
     }
+    const sim::ArqOutcome out = link_.transmit(meter_, u, v, d);
+    phase_extra_rounds_ += out.extra_rounds;
+    if (opts_.transmission_log != nullptr) {
+      for (std::uint32_t i = 0; i < out.data_attempts; ++i)
+        wave.push_back({u, v, d, false});
+      for (std::uint32_t i = 0; i < out.ack_attempts; ++i)
+        wave.push_back({v, u, d, false});
+    }
+    return out.delivered;
   }
 
   /// Close the current concurrency batch (no-op when not logging or empty).
@@ -126,7 +181,14 @@ class SyncGhsEngine {
   /// cached entry for u. With announce_min_power the transmit power shrinks
   /// to the farthest neighbour's distance — identical receiver set, less
   /// energy (neighbours are sorted ascending, so .back() is the farthest).
+  /// Announcements carry NO ARQ (they are broadcasts): in fault mode each
+  /// receiver independently draws a channel fate, and missed updates are
+  /// repaired lazily by the reliable TEST path in local_moe.
   void announce(NodeId u) {
+    if (fault_->enabled() && fault_->crashed(u)) {
+      ++fault_->stats().suppressed;
+      return;
+    }
     const auto receivers = neighbors_within(topo_, u, radius_);
     const double power = opts_.announce_min_power
                              ? (receivers.empty() ? 0.0 : receivers.back().w)
@@ -135,13 +197,45 @@ class SyncGhsEngine {
     if (opts_.transmission_log != nullptr) {
       batch_.push_back({u, u, power, true});
     }
-    for (const graph::Neighbor& nb : receivers) cache_[nb.id][u] = frag_[u];
+    for (const graph::Neighbor& nb : receivers) {
+      if (fault_->enabled()) {
+        if (fault_->drop(u, nb.id)) {
+          ++fault_->stats().lost;
+          continue;
+        }
+        if (fault_->crashed(nb.id)) {
+          ++fault_->stats().dropped_crashed;
+          continue;
+        }
+      }
+      cache_[nb.id][u] = frag_[u];
+    }
+  }
+
+  /// Repair-time announcement (the modeled failure detector): charged like
+  /// a regular announcement, but delivered to every live neighbor — the
+  /// repair channel keeps retrying until the neighborhood agrees. This is
+  /// what restores the containment argument for stale "same fragment"
+  /// cache hits after a split (docs/ROBUSTNESS.md).
+  void announce_repair(NodeId u) {
+    if (fault_->crashed(u)) return;  // dead nodes stay silent
+    const auto receivers = neighbors_within(topo_, u, radius_);
+    const double power = opts_.announce_min_power
+                             ? (receivers.empty() ? 0.0 : receivers.back().w)
+                             : radius_;
+    meter_.charge_broadcast(u, power, receivers.size());
+    if (opts_.transmission_log != nullptr) {
+      batch_.push_back({u, u, power, true});
+    }
+    for (const graph::Neighbor& nb : receivers) {
+      if (!fault_->crashed(nb.id)) cache_[nb.id][u] = frag_[u];
+    }
   }
 
   void announce_all() {
     for (NodeId u = 0; u < topo_.node_count(); ++u) announce(u);
     flush_batch();
-    meter_.tick_round();
+    tick(1);
   }
 
   /// BFS parents/order of one fragment from its leader over tree edges.
@@ -177,35 +271,157 @@ class SyncGhsEngine {
   /// Local MOE of node u: cheapest incident edge leaving the fragment, found
   /// by cache lookup (modified) or TEST probing (classic). Probing charges
   /// 2 messages per probe and permanently rejects intra-fragment edges.
-  [[nodiscard]] Candidate local_moe(NodeId u, std::size_t& probes,
-                                    TxBatch& probe_wave) {
-    Candidate best;
+  ///
+  /// Fault mode: a cached id EQUAL to our own is trusted even if stale
+  /// (between repairs fragments only merge, and repairs re-announce, so the
+  /// containment argument applies — docs/ROBUSTNESS.md). A missing or
+  /// differing entry is only a hint and is confirmed with a reliable TEST
+  /// exchange before the edge may become the MOE; an exchange that gives up
+  /// leaves the edge undecided and the scan inconclusive. Neighbors the
+  /// failure detector knows are permanently dead are skipped outright.
+  [[nodiscard]] MoeScan local_moe(NodeId u, std::size_t& probes,
+                                  TxBatch& probe_wave) {
+    MoeScan scan;
     for (const graph::Neighbor& nb : neighbors_within(topo_, u, radius_)) {
       if (opts_.neighbor_cache) {
         const auto it = cache_[u].find(nb.id);
-        EMST_ASSERT_MSG(it != cache_[u].end(),
-                        "modified GHS: neighbor cache must be complete");
-        if (it->second == frag_[u]) continue;
-        best = {nb.edge_index, u, nb.id};
-        break;  // neighbors ascend by weight: first hit is the minimum
+        if (!faulty_) {
+          EMST_ASSERT_MSG(it != cache_[u].end(),
+                          "modified GHS: neighbor cache must be complete");
+          if (it->second == frag_[u]) continue;
+          scan.best = {nb.edge_index, u, nb.id};
+          break;  // neighbors ascend by weight: first hit is the minimum
+        }
+        if (it != cache_[u].end() && it->second == frag_[u]) continue;
+        if (fault_->crashed_forever(nb.id)) continue;
+        ++probes;
+        const bool test_ok = charge_wave(probe_wave, u, nb.id);   // TEST
+        const bool reply_ok =
+            test_ok && charge_wave(probe_wave, nb.id, u);  // id reply
+        if (!reply_ok) {
+          scan.conclusive = false;  // undecided edge: nothing past it counts
+          break;
+        }
+        // TEST replies carry both fragment ids: refresh both caches.
+        cache_[u][nb.id] = frag_[nb.id];
+        cache_[nb.id][u] = frag_[u];
+        if (frag_[nb.id] == frag_[u]) continue;
+        scan.best = {nb.edge_index, u, nb.id};
+        break;
       }
       // Classic probing: skip branch (tree) and rejected edges, TEST the rest.
       if (in_tree_[nb.edge_index] || rejected_[nb.edge_index]) continue;
-      charge_wave(probe_wave, u, nb.id);  // TEST
-      charge_wave(probe_wave, nb.id, u);  // ACCEPT or REJECT
+      if (faulty_ && fault_->crashed_forever(nb.id)) continue;
+      const bool test_ok = charge_wave(probe_wave, u, nb.id);  // TEST
+      const bool reply_ok =
+          test_ok && charge_wave(probe_wave, nb.id, u);  // ACCEPT or REJECT
       ++probes;
+      if (faulty_ && !reply_ok) {
+        scan.conclusive = false;
+        break;
+      }
       if (frag_[nb.id] == frag_[u]) {
         rejected_[nb.edge_index] = true;
         continue;
       }
-      best = {nb.edge_index, u, nb.id};
+      scan.best = {nb.edge_index, u, nb.id};
       break;
     }
-    return best;
+    return scan;
   }
 
-  /// Execute one phase. Returns false when no active fragment remains.
+  /// Phase-boundary crash repair (docs/ROBUSTNESS.md): drop tree edges
+  /// incident to nodes that went down since the last repair, split their
+  /// fragments back into consistent pieces with deterministically
+  /// re-elected leaders (the surviving old leader where possible, else the
+  /// minimum live member id), and let recovered nodes rejoin as singletons
+  /// with wiped caches.
+  void repair_crashes() {
+    if (!fault_->enabled()) return;
+    const std::size_t n = topo_.node_count();
+    bool any_down_new = false;
+    std::vector<NodeId> recovered;
+    for (NodeId u = 0; u < n; ++u) {
+      const bool down = fault_->crashed(u);
+      if (down && !was_crashed_[u]) any_down_new = true;
+      if (!down && was_crashed_[u]) recovered.push_back(u);
+      was_crashed_[u] = down;
+    }
+    if (!any_down_new && recovered.empty()) return;
+
+    std::vector<NodeId> reannounce;
+    if (any_down_new) {
+      // Remove tree edges touching a down node; rebuild the forest.
+      std::vector<graph::Edge> kept;
+      kept.reserve(tree_.size());
+      for (const graph::Edge& e : tree_) {
+        if (was_crashed_[e.u] || was_crashed_[e.v]) {
+          in_tree_[edge_index_of(e.u, e.v)] = false;
+        } else {
+          kept.push_back(e);
+        }
+      }
+      tree_ = std::move(kept);
+      for (auto& adj : tree_adj_) adj.clear();
+      for (const graph::Edge& e : tree_) {
+        tree_adj_[e.u].push_back(e.v);
+        tree_adj_[e.v].push_back(e.u);
+      }
+      graph::UnionFind dsu(n);
+      for (const graph::Edge& e : tree_) dsu.unite(e.u, e.v);
+      // Surviving components are subsets of single old fragments, so every
+      // live member of a component agrees on the old leader.
+      std::unordered_map<NodeId, NodeId> comp_leader;
+      for (NodeId u = 0; u < n; ++u) {
+        if (was_crashed_[u]) continue;
+        auto [it, inserted] = comp_leader.try_emplace(dsu.find(u), u);
+        if (!inserted && u < it->second) it->second = u;
+      }
+      for (NodeId u = 0; u < n; ++u) {
+        if (was_crashed_[u]) continue;
+        const NodeId old = frag_[u];
+        if (!was_crashed_[old] && dsu.find(old) == dsu.find(u))
+          comp_leader[dsu.find(u)] = old;
+      }
+      for (NodeId u = 0; u < n; ++u) {
+        const NodeId nl = was_crashed_[u] ? u : comp_leader.at(dsu.find(u));
+        if (nl == frag_[u]) continue;
+        frag_[u] = nl;
+        if (!was_crashed_[u]) reannounce.push_back(u);
+      }
+      // Fragment membership changed: finished flags and probe rejections
+      // may no longer hold, and a dead giant loses its passivity.
+      finished_.clear();
+      std::fill(rejected_.begin(), rejected_.end(), false);
+      for (auto it = passive_.begin(); it != passive_.end();) {
+        if (was_crashed_[*it]) {
+          it = passive_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    for (NodeId u : recovered) {
+      // A rebooted node knows it rebooted: wipe its stale cache and
+      // re-introduce itself (it is its own singleton fragment).
+      cache_[u].clear();
+      reannounce.push_back(u);
+    }
+    if (opts_.neighbor_cache && !reannounce.empty()) {
+      std::sort(reannounce.begin(), reannounce.end());
+      reannounce.erase(std::unique(reannounce.begin(), reannounce.end()),
+                       reannounce.end());
+      for (NodeId u : reannounce) announce_repair(u);
+      flush_batch();
+      tick(1);
+    }
+  }
+
+  /// Execute one phase. Returns false when the run is complete (every
+  /// fragment finished, passive, or — under faults — permanently dead).
   bool run_phase() {
+    if (faulty_) repair_crashes();
+
     // Group members by fragment leader.
     std::unordered_map<NodeId, std::vector<NodeId>> members;
     for (NodeId u = 0; u < topo_.node_count(); ++u) members[frag_[u]].push_back(u);
@@ -219,43 +435,82 @@ class SyncGhsEngine {
     TxBatch changeroot_wave;
     std::size_t max_depth = 0;
     std::size_t max_probes = 0;
+    phase_extra_rounds_ = 0;
     for (const auto& [leader, nodes] : members) {
       if (passive_.count(leader) > 0 || finished_.count(leader) > 0) continue;
+      // Crashed nodes sit out as dormant singletons until they recover
+      // (repair guarantees multi-node fragments start each phase all-alive).
+      if (faulty_ && fault_->crashed(leader)) continue;
       const FragmentView view = view_fragment(leader);
       EMST_ASSERT_MSG(view.order.size() == nodes.size(),
                       "fragment tree must span exactly the fragment members");
       max_depth = std::max(max_depth, view.max_depth);
 
-      // INITIATE flood: one unicast per tree edge, leader to leaves.
+      // INITIATE flood: one unicast per tree edge, leader to leaves. In
+      // fault mode, track which members the flood actually reached — a node
+      // that never heard INITIATE neither probes nor reports, and the
+      // fragment must not commit to an MOE chosen from partial information.
+      bool intact = true;
+      std::unordered_set<NodeId> reached;
+      if (faulty_) reached.insert(leader);
       for (NodeId v : view.order) {
-        if (view.parent.at(v) != kNone)
-          charge_wave(initiate_wave, view.parent.at(v), v);
+        const NodeId p = view.parent.at(v);
+        if (p == kNone) continue;
+        if (!faulty_) {
+          charge_wave(initiate_wave, p, v);
+          continue;
+        }
+        if (reached.count(p) == 0) {
+          intact = false;  // parent has nothing to forward: no transmission
+          continue;
+        }
+        if (charge_wave(initiate_wave, p, v)) {
+          reached.insert(v);
+        } else {
+          intact = false;
+        }
       }
+
       // Local MOEs + REPORT convergecast (one unicast per tree edge).
       Candidate best;
+      bool conclusive = true;
       std::size_t probes = 0;
       for (NodeId v : view.order) {
-        const Candidate c = local_moe(v, probes, probe_wave);
-        if (c.edge_index < best.edge_index) best = c;
-        if (view.parent.at(v) != kNone)
-          charge_wave(report_wave, v, view.parent.at(v));
+        if (faulty_ && reached.count(v) == 0) continue;
+        const MoeScan scan = local_moe(v, probes, probe_wave);
+        if (!scan.conclusive) conclusive = false;
+        if (scan.best.edge_index < best.edge_index) best = scan.best;
+        if (view.parent.at(v) != kNone) {
+          if (!charge_wave(report_wave, v, view.parent.at(v))) intact = false;
+        }
       }
       max_probes = std::max(max_probes, probes);
+      // Commit only with complete information: intact waves and conclusive
+      // scans guarantee `best` is the fragment's true MOE, which is what
+      // keeps the selected-edge graph cycle-free (mutual picks aside).
+      if (faulty_ && (!intact || !conclusive)) continue;
       if (best.edge_index == kInfEdge) {
         finished_.insert(leader);  // fragment spans its whole component
         continue;
       }
       // CHANGE-ROOT down the tree path leader→owner, then CONNECT over MOE.
+      // The chain is sequential: a lost hop means no CONNECT this phase and
+      // the fragment simply retries next phase.
       NodeId hop = best.from;
       std::vector<NodeId> path;
       while (hop != kNone) {
         path.push_back(hop);
         hop = view.parent.at(hop);
       }
-      for (std::size_t i = path.size(); i-- > 1;)
-        charge_wave(changeroot_wave, path[i], path[i - 1]);
-      charge_wave(changeroot_wave, best.from, best.to);  // CONNECT
-      selected[leader] = best;
+      bool chain_ok = true;
+      for (std::size_t i = path.size(); i-- > 1;) {
+        if (!charge_wave(changeroot_wave, path[i], path[i - 1])) {
+          chain_ok = false;
+          break;
+        }
+      }
+      if (chain_ok) chain_ok = charge_wave(changeroot_wave, best.from, best.to);  // CONNECT
+      if (chain_ok) selected[leader] = best;
     }
     if (opts_.transmission_log != nullptr) {
       for (TxBatch* wave :
@@ -264,13 +519,30 @@ class SyncGhsEngine {
       }
     }
     // Synchronous-time estimate for this phase: initiate flood + report
-    // convergecast (depth each), the probe sequence, change-root + connect.
-    meter_.tick_rounds(2 * max_depth + 2 * max_probes + 2);
+    // convergecast (depth each), the probe sequence, change-root + connect,
+    // plus whatever the ARQ sessions spent waiting on timeouts.
+    tick(2 * max_depth + 2 * max_probes + 2 + phase_extra_rounds_);
+    phase_extra_rounds_ = 0;
 
-    if (selected.empty()) return false;
-
-    merge(selected);
-    return true;
+    if (!selected.empty()) {
+      merge(selected);
+      return true;
+    }
+    if (!faulty_) return false;
+    // No fragment committed an MOE. The run is over only when nothing is
+    // left to do; otherwise this phase stalled on faults — go again.
+    for (const auto& [leader, nodes] : members) {
+      if (passive_.count(leader) > 0 || finished_.count(leader) > 0) continue;
+      bool dormant = true;
+      for (NodeId u : nodes) {
+        if (!fault_->crashed_forever(u)) {
+          dormant = false;
+          break;
+        }
+      }
+      if (!dormant) return true;
+    }
+    return false;
   }
 
   /// Borůvka contraction of the selected MOEs, with the paper's passive-id
@@ -346,7 +618,7 @@ class SyncGhsEngine {
     if (opts_.neighbor_cache) {
       for (NodeId u : changed) announce(u);
       flush_batch();
-      if (!changed.empty()) meter_.tick_round();
+      if (!changed.empty()) tick(1);
     }
   }
 
@@ -354,6 +626,11 @@ class SyncGhsEngine {
   SyncGhsOptions opts_;
   double radius_;
   sim::EnergyMeter meter_;
+  sim::FaultInjector own_session_;     ///< used unless opts_.fault_session
+  sim::FaultInjector* fault_;          ///< the active fault session
+  sim::ArqLink link_;                  ///< ARQ simulator over fault_
+  bool faulty_;                        ///< any fault/ARQ machinery active
+  sim::FaultStats start_fault_stats_;  ///< shared-session counters at entry
 
   std::vector<NodeId> frag_;                    // fragment leader per node
   std::vector<std::vector<NodeId>> tree_adj_;   // fragment tree adjacency
@@ -361,9 +638,12 @@ class SyncGhsEngine {
   std::vector<std::unordered_map<NodeId, NodeId>> cache_;  // neighbor -> frag
   std::vector<bool> in_tree_;    // per global edge index
   std::vector<bool> rejected_;   // per global edge index (probe mode)
+  std::vector<bool> was_crashed_;  // crash state at the last repair
   std::unordered_set<NodeId> passive_;
   std::unordered_set<NodeId> finished_;
   std::size_t max_phases_ = 0;
+  std::uint64_t phase_extra_rounds_ = 0;  // ARQ timeout rounds this phase
+  bool hit_phase_cap_ = false;
   TxBatch batch_;  // open announcement batch (when logging)
 };
 
@@ -380,7 +660,8 @@ SyncGhsResult run_sync_ghs(const sim::Topology& topo, const SyncGhsOptions& opti
 
 std::vector<std::size_t> fragment_census(const sim::Topology& topo,
                                          const FragmentForest& forest,
-                                         sim::EnergyMeter& meter) {
+                                         sim::EnergyMeter& meter,
+                                         sim::ArqLink* link) {
   const std::size_t n = topo.node_count();
   EMST_ASSERT(forest.leader.size() == n);
   // "One broadcast and one convergecast" (§V): the leader floods a size
@@ -396,11 +677,11 @@ std::vector<std::size_t> fragment_census(const sim::Topology& topo,
   // Size query down (payload irrelevant; the message must still be paid).
   (void)sim::tree_broadcast<std::uint8_t>(
       topo, parent, schedule, std::vector<std::uint8_t>(n, 0),
-      [](std::uint8_t v, NodeId) { return v; }, meter);
+      [](std::uint8_t v, NodeId) { return v; }, meter, link);
   // Member counts up.
   const auto subtree = sim::tree_convergecast<std::size_t>(
       topo, parent, schedule, std::vector<std::size_t>(n, 1),
-      [](std::size_t a, std::size_t b) { return a + b; }, meter);
+      [](std::size_t a, std::size_t b) { return a + b; }, meter, link);
   std::vector<std::size_t> out(n);
   for (NodeId u = 0; u < n; ++u) out[u] = subtree[forest.leader[u]];
   return out;

@@ -24,12 +24,26 @@
 //
 // The run can be seeded with an existing fragment forest (EOPT Step 2
 // continues from the Step-1 fragments).
+//
+// Fault-aware mode (docs/ROBUSTNESS.md): with a `FaultModel` and/or ARQ
+// enabled, every driver-charged unicast becomes a stop-and-wait ARQ session
+// (`sim::ArqLink`), announcements suffer per-receiver drops, crashed nodes
+// go silent, and each phase only commits a fragment's MOE when the fragment
+// had complete information (intact waves, no inconclusive probes) — a
+// fragment with any give-up simply retries next phase. Crash repair runs at
+// phase boundaries: tree edges incident to crashed nodes are removed, the
+// surviving components re-elect leaders deterministically and re-announce
+// (the modeled failure detector). With faults and ARQ both disabled every
+// code path, energy total, and round count is byte-identical to the
+// fault-free engine.
 #pragma once
 
 #include <optional>
 
 #include "emst/geometry/pathloss.hpp"
 #include "emst/ghs/common.hpp"
+#include "emst/sim/fault.hpp"
+#include "emst/sim/reliable.hpp"
 
 namespace emst::ghs {
 
@@ -71,6 +85,15 @@ struct SyncGhsOptions {
   /// MOE probes, report wave, change-root+connect, merge announcements) —
   /// the input to mac::replay_log for end-to-end interference accounting.
   TxLog* transmission_log = nullptr;
+  /// Channel faults (loss / burst loss / crashes). Default: disabled.
+  sim::FaultModel faults{};
+  /// Stop-and-wait ARQ for driver unicasts. Default: disabled (one
+  /// unreliable attempt per message).
+  sim::ArqOptions arq{};
+  /// Share a fault session across runs (EOPT threads ONE injector through
+  /// Step 1 → census → Step 2 so loss draws and the crash clock continue
+  /// across stages). When non-null, `faults` above is ignored.
+  sim::FaultInjector* fault_session = nullptr;
 };
 
 struct SyncGhsResult {
@@ -78,8 +101,16 @@ struct SyncGhsResult {
   FragmentForest final_forest; ///< fragmentation when the run stopped
   /// Fragment count before each phase (Borůvka trajectory: every phase at
   /// least halves the number of active fragments, so the series is
-  /// geometric — tested).
+  /// geometric — tested). Under faults, stalled phases repeat counts.
   std::vector<std::size_t> fragments_per_phase;
+  /// ARQ traffic counters for this run (all zero when faults + ARQ off).
+  sim::ArqStats arq{};
+  /// Fault-layer drop counters observed during this run.
+  sim::FaultStats faults{};
+  /// Fault-mode runs stop (instead of aborting) at the phase cap when
+  /// permanent losses leave fragments unable to finish; true if that
+  /// happened and `final_forest` is a partial result.
+  bool hit_phase_cap = false;
 };
 
 /// Run phase-synchronous (modified) GHS. `seed` continues from an existing
@@ -93,9 +124,11 @@ struct SyncGhsResult {
 
 /// Fragment-size census (EOPT Step 2 preamble): one broadcast down and one
 /// convergecast up each fragment tree. Returns per-node size of its own
-/// fragment; charges 2 unicasts per tree edge to `meter`.
+/// fragment; charges 2 unicasts per tree edge to `meter`. With `link`, each
+/// tree message runs through the ARQ session simulator instead (give-ups
+/// leave that subtree uncounted — the census degrades, it never wedges).
 [[nodiscard]] std::vector<std::size_t> fragment_census(
     const sim::Topology& topo, const FragmentForest& forest,
-    sim::EnergyMeter& meter);
+    sim::EnergyMeter& meter, sim::ArqLink* link = nullptr);
 
 }  // namespace emst::ghs

@@ -6,6 +6,13 @@
 // Both primitives charge exactly one unicast per non-root node (i.e. one
 // message per tree edge) and tick the meter by the forest depth — the
 // synchronous schedule where each tree level acts in one round.
+//
+// Fault-aware mode (docs/ROBUSTNESS.md): pass an `ArqLink*` and every tree
+// message runs a full stop-and-wait ARQ session instead of one ideal
+// unicast. A session that gives up (retry budget exhausted, or an endpoint
+// crashed) leaves the child/parent value untouched — the collective still
+// completes, but its result is only as accurate as the deliveries that got
+// through. Timeout rounds spent on retries are added to the meter's clock.
 #pragma once
 
 #include <algorithm>
@@ -15,6 +22,7 @@
 
 #include "emst/graph/edge.hpp"
 #include "emst/sim/meter.hpp"
+#include "emst/sim/reliable.hpp"
 #include "emst/sim/topology.hpp"
 #include "emst/support/assert.hpp"
 
@@ -74,15 +82,25 @@ template <typename T, typename Fn>
                                             const std::vector<graph::NodeId>& parent,
                                             const TreeSchedule& schedule,
                                             std::vector<T> values, Fn&& fn,
-                                            EnergyMeter& meter) {
+                                            EnergyMeter& meter,
+                                            ArqLink* link = nullptr) {
   EMST_ASSERT(parent.size() == topo.node_count());
   EMST_ASSERT(values.size() == topo.node_count());
+  std::uint64_t extra_rounds = 0;
   for (const NodeId u : schedule.top_down) {
     if (parent[u] == graph::kNoNode) continue;
-    meter.charge_unicast(parent[u], topo.distance(parent[u], u));
+    if (link != nullptr) {
+      const ArqOutcome out =
+          link->transmit(meter, parent[u], u, topo.distance(parent[u], u));
+      extra_rounds += out.extra_rounds;
+      if (!out.delivered) continue;  // child keeps its stale/initial value
+    } else {
+      meter.charge_unicast(parent[u], topo.distance(parent[u], u));
+    }
     values[u] = fn(values[parent[u]], u);
   }
-  meter.tick_rounds(schedule.max_depth);
+  meter.tick_rounds(schedule.max_depth + extra_rounds);
+  if (link != nullptr) link->advance_rounds(schedule.max_depth + extra_rounds);
   return values;
 }
 
@@ -93,18 +111,27 @@ template <typename T, typename Combine>
 [[nodiscard]] std::vector<T> tree_convergecast(
     const Topology& topo, const std::vector<graph::NodeId>& parent,
     const TreeSchedule& schedule, std::vector<T> values, Combine&& combine,
-    EnergyMeter& meter) {
+    EnergyMeter& meter, ArqLink* link = nullptr) {
   EMST_ASSERT(parent.size() == topo.node_count());
   EMST_ASSERT(values.size() == topo.node_count());
+  std::uint64_t extra_rounds = 0;
   // Leaves-first: iterate the top-down order backwards.
   for (auto it = schedule.top_down.rbegin(); it != schedule.top_down.rend();
        ++it) {
     const NodeId u = *it;
     if (parent[u] == graph::kNoNode) continue;
-    meter.charge_unicast(u, topo.distance(u, parent[u]));
+    if (link != nullptr) {
+      const ArqOutcome out =
+          link->transmit(meter, u, parent[u], topo.distance(u, parent[u]));
+      extra_rounds += out.extra_rounds;
+      if (!out.delivered) continue;  // parent never folds this subtree in
+    } else {
+      meter.charge_unicast(u, topo.distance(u, parent[u]));
+    }
     values[parent[u]] = combine(values[parent[u]], values[u]);
   }
-  meter.tick_rounds(schedule.max_depth);
+  meter.tick_rounds(schedule.max_depth + extra_rounds);
+  if (link != nullptr) link->advance_rounds(schedule.max_depth + extra_rounds);
   return values;
 }
 

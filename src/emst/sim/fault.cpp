@@ -1,0 +1,55 @@
+#include "emst/sim/fault.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace emst::sim {
+
+FaultInjector::FaultInjector(const FaultModel& model)
+    : model_(model), enabled_(model.enabled()), rng_(model.seed) {
+  for (const CrashWindow& w : model_.crashes)
+    max_crash_node_ = std::max(max_crash_node_, w.node);
+  if (!model_.crashes.empty()) {
+    windows_by_node_.resize(static_cast<std::size_t>(max_crash_node_) + 1);
+    for (const CrashWindow& w : model_.crashes)
+      windows_by_node_[w.node].push_back(w);
+  }
+}
+
+bool FaultInjector::crashed_at(graph::NodeId u,
+                               std::uint64_t round) const noexcept {
+  if (u >= windows_by_node_.size()) return false;
+  for (const CrashWindow& w : windows_by_node_[u]) {
+    if (w.from <= round && round < w.until) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::crashed_forever(graph::NodeId u) const noexcept {
+  if (u >= windows_by_node_.size()) return false;
+  for (const CrashWindow& w : windows_by_node_[u]) {
+    if (w.from <= round_ && w.until == std::numeric_limits<std::uint64_t>::max())
+      return true;
+  }
+  return false;
+}
+
+bool FaultInjector::drop(graph::NodeId u, graph::NodeId v) {
+  if (!enabled_) return false;
+  bool lost = false;
+  if (model_.loss > 0.0) lost = rng_.uniform() < model_.loss;
+  if (model_.use_gilbert) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(u) << 32) | static_cast<std::uint64_t>(v);
+    const auto slot = ge_state_.find_or_insert(key, 0);  // links start Good
+    const bool bad = *slot.value != 0;
+    const double p_loss = bad ? model_.ge_loss_bad : model_.ge_loss_good;
+    if (p_loss > 0.0 && rng_.uniform() < p_loss) lost = true;
+    // Advance the chain once per transmission on this link.
+    const double p_flip = bad ? model_.ge_bad_to_good : model_.ge_good_to_bad;
+    if (p_flip > 0.0 && rng_.uniform() < p_flip) *slot.value = bad ? 0 : 1;
+  }
+  return lost;
+}
+
+}  // namespace emst::sim

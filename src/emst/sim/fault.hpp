@@ -1,0 +1,126 @@
+// Fault injection for the simulator (docs/ROBUSTNESS.md).
+//
+// The paper's model (§II) assumes every transmission succeeds. Real sensor
+// radios lose packets and whole nodes fail; this module is the departure
+// point from the paper's reliable-delivery assumption. A `FaultModel`
+// describes, deterministically from a seed:
+//
+//  - i.i.d. Bernoulli message loss (`loss`): every physical transmission is
+//    dropped independently with this probability;
+//  - per-link Gilbert–Elliott burst loss (`use_gilbert`): each directed link
+//    carries a two-state Markov chain (Good/Bad) advanced once per
+//    transmission on that link, with state-dependent loss probabilities —
+//    the standard model for bursty wireless channels;
+//  - scheduled node crash/recovery windows (`crashes`): a node is down for
+//    every round r with `from <= r < until`; while down it neither sends
+//    (its transmissions are suppressed, uncharged — a dead radio emits
+//    nothing) nor receives (in-flight messages addressed to it are dropped
+//    at delivery time).
+//
+// Energy accounting rule (the paper's cost model, applied honestly): a LOST
+// message still charges the sender — the radio transmitted, the channel ate
+// the packet. Only suppressed sends from crashed nodes are free.
+//
+// `FaultInjector` is the runtime: it owns the RNG, the per-link
+// Gilbert–Elliott states (in a FlatMap64, keyed by packed directed edge) and
+// the fault clock. Both network engines (`Network`, `ReferenceNetwork`)
+// consume draws in global send order, so two engines driven by the same
+// schedule see identical fault sequences — the differential tests rely on
+// this.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "emst/graph/adjacency.hpp"
+#include "emst/support/flat_map.hpp"
+#include "emst/support/rng.hpp"
+
+namespace emst::sim {
+
+/// Node `node` is down for rounds [from, until). Overlapping windows for the
+/// same node are allowed (union semantics).
+struct CrashWindow {
+  graph::NodeId node = 0;
+  std::uint64_t from = 0;
+  std::uint64_t until = 0;
+};
+
+struct FaultModel {
+  /// i.i.d. Bernoulli loss probability per physical transmission.
+  double loss = 0.0;
+  /// Enable the per-link Gilbert–Elliott chain (composes with `loss`: a
+  /// message is dropped if EITHER mechanism fires).
+  bool use_gilbert = false;
+  double ge_good_to_bad = 0.05;  ///< P(Good→Bad) per transmission
+  double ge_bad_to_good = 0.3;   ///< P(Bad→Good) per transmission
+  double ge_loss_good = 0.0;     ///< loss probability while Good
+  double ge_loss_bad = 0.8;      ///< loss probability while Bad
+  std::vector<CrashWindow> crashes;
+  std::uint64_t seed = 0xFA011AULL;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return loss > 0.0 || use_gilbert || !crashes.empty();
+  }
+};
+
+struct FaultStats {
+  std::uint64_t lost = 0;           ///< dropped by the channel (charged)
+  std::uint64_t dropped_crashed = 0;///< receiver down at delivery (charged)
+  std::uint64_t suppressed = 0;     ///< sender down: no transmission (free)
+};
+
+/// Deterministic runtime for one FaultModel. Holds the fault clock (advanced
+/// by whoever simulates time: `Network::collect_round` or the sync-GHS
+/// driver's round ticks), the loss RNG, and per-link burst state. One
+/// injector can span several protocol stages (EOPT shares one across Step 1,
+/// the census and Step 2 so crash windows live on a single clock).
+class FaultInjector {
+ public:
+  FaultInjector() = default;  ///< disabled: never drops, never crashes
+  explicit FaultInjector(const FaultModel& model);
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  [[nodiscard]] const FaultModel& model() const noexcept { return model_; }
+
+  /// Fault clock. `advance_to` is monotone (never rewinds).
+  void advance_to(std::uint64_t round) noexcept {
+    if (round > round_) round_ = round;
+  }
+  void advance_rounds(std::uint64_t k) noexcept { round_ += k; }
+  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+
+  /// Is `u` down at the current fault clock?
+  [[nodiscard]] bool crashed(graph::NodeId u) const noexcept {
+    return crashed_at(u, round_);
+  }
+  [[nodiscard]] bool crashed_at(graph::NodeId u,
+                                std::uint64_t round) const noexcept;
+  /// Is `u` down at every round >= the current clock? (Permanent loss —
+  /// drivers may garbage-collect state for such nodes.)
+  [[nodiscard]] bool crashed_forever(graph::NodeId u) const noexcept;
+
+  /// Draw the channel fate of one physical transmission u→v. Advances the
+  /// RNG (and the link's Gilbert–Elliott state). Returns true if the
+  /// message is LOST. Does not consider crashes — callers check those
+  /// separately because crash drops happen at delivery time, not send time.
+  [[nodiscard]] bool drop(graph::NodeId u, graph::NodeId v);
+
+  FaultStats& stats() noexcept { return stats_; }
+  [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
+
+ private:
+  FaultModel model_;
+  bool enabled_ = false;
+  support::Rng rng_{0};
+  std::uint64_t round_ = 0;
+  /// Per-directed-link Gilbert–Elliott state: key = (u<<32)|v (never 0 since
+  /// u != v), value = 1 while Bad. Grows only — FlatMap64 territory.
+  support::FlatMap64 ge_state_;
+  /// Crash windows bucketed per node (built once; queried per message).
+  std::vector<std::vector<CrashWindow>> windows_by_node_;
+  std::uint32_t max_crash_node_ = 0;
+  FaultStats stats_;
+};
+
+}  // namespace emst::sim

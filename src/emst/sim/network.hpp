@@ -10,7 +10,14 @@
 //    Co-NNT's doubling probes, whose analysis caps ρ at the diameter √2).
 //  - Delivery order within a round is deterministic: sorted by receiver,
 //    then by global send sequence — which also preserves per-edge FIFO.
-//  - No collisions/interference: each transmission succeeds (§II).
+//  - No collisions/interference: each transmission succeeds (§II) — UNLESS a
+//    `FaultModel` is supplied (docs/ROBUSTNESS.md). Then: transmissions from
+//    a crashed sender are suppressed (free — a dead radio emits nothing);
+//    channel losses are drawn at send time in global send order (so the
+//    reference engine sees identical fates) but, like messages addressed to
+//    a receiver that is down when they arrive, are removed at DELIVERY time
+//    — the sender was charged, the round advances, and `pending()` drains
+//    normally, so drivers that loop on it never wedge on doomed messages.
 //
 // Engine (docs/PERF.md has the full story): in-flight messages live in a
 // *calendar queue* — a ring of per-round buckets keyed by due round. With
@@ -32,6 +39,7 @@
 #include <utility>
 #include <vector>
 
+#include "emst/sim/fault.hpp"
 #include "emst/sim/meter.hpp"
 #include "emst/sim/topology.hpp"
 #include "emst/support/assert.hpp"
@@ -64,12 +72,14 @@ template <typename Msg>
 class Network {
  public:
   Network(const Topology& topo, geometry::PathLoss model = {},
-          bool unbounded_broadcast = false, DelayModel delays = {})
+          bool unbounded_broadcast = false, DelayModel delays = {},
+          FaultModel faults = {})
       : topo_(topo),
         meter_(model),
         unbounded_broadcast_(unbounded_broadcast),
         delays_(delays),
         delay_rng_(delays.seed),
+        faults_(faults),
         buckets_(delays.max_extra_delay + 1) {}
 
   /// Send m from u to v; delivered next round. Charges d(u,v)^α.
@@ -82,6 +92,10 @@ class Network {
     EMST_ASSERT_MSG(unbounded_broadcast_ ||
                         d <= topo_.max_radius() * (1.0 + 1e-12),
                     "unicast beyond the maximum transmission radius");
+    if (faults_.enabled() && faults_.crashed(u)) {
+      ++faults_.stats().suppressed;
+      return;
+    }
     meter_.charge_unicast(u, d);
     enqueue(u, v, d, std::move(m));
   }
@@ -109,10 +123,26 @@ class Network {
     // for the round that just became due.
     std::vector<Item>& bucket = buckets_[head_];
     head_ = head_ + 1 == buckets_.size() ? 0 : head_ + 1;
+    inflight_count_ -= bucket.size();
+    if (faults_.enabled()) {
+      faults_.advance_to(now_);
+      // Channel losses (drawn at send time) and messages to a receiver that
+      // is down NOW are dropped here, at delivery time.
+      std::erase_if(bucket, [&](const Item& item) {
+        if (item.lost) {
+          ++faults_.stats().lost;
+          return true;
+        }
+        if (faults_.crashed(item.to)) {
+          ++faults_.stats().dropped_crashed;
+          return true;
+        }
+        return false;
+      });
+    }
     std::vector<Delivery<Msg>> out;
     out.reserve(bucket.size());
     drain_by_receiver(bucket, out);
-    inflight_count_ -= bucket.size();
     bucket.clear();
     return out;
   }
@@ -120,6 +150,10 @@ class Network {
   [[nodiscard]] const Topology& topology() const noexcept { return topo_; }
   [[nodiscard]] EnergyMeter& meter() noexcept { return meter_; }
   [[nodiscard]] const EnergyMeter& meter() const noexcept { return meter_; }
+  [[nodiscard]] FaultInjector& faults() noexcept { return faults_; }
+  [[nodiscard]] const FaultStats& fault_stats() const noexcept {
+    return faults_.stats();
+  }
 
  private:
   struct Item {
@@ -127,6 +161,7 @@ class Network {
     NodeId to;
     double distance;
     Msg msg;
+    bool lost;  ///< channel fate, drawn at send time (fault layer)
     // No seq / due fields: the bucket index encodes the due round and the
     // append order within a bucket IS the send-sequence order.
   };
@@ -138,6 +173,10 @@ class Network {
     if (!unbounded_broadcast_) {
       EMST_ASSERT_MSG(radius <= topo_.max_radius() * (1.0 + 1e-12),
                       "broadcast beyond the maximum transmission radius");
+    }
+    if (faults_.enabled() && faults_.crashed(u)) {
+      ++faults_.stats().suppressed;
+      return;
     }
     receivers_.clear();
     if (radius <= topo_.max_radius()) {
@@ -164,6 +203,9 @@ class Network {
   }
 
   void enqueue(NodeId u, NodeId v, double d, Msg m) {
+    // Channel fate is drawn here, in global send order — identical between
+    // this engine and ReferenceNetwork — but enforced at delivery time.
+    const bool lost = faults_.enabled() && faults_.drop(u, v);
     std::uint64_t due = now_ + 1;
     if (delays_.max_extra_delay > 0) {
       due += delay_rng_.uniform_int(delays_.max_extra_delay + 1);
@@ -182,7 +224,7 @@ class Network {
     // conditional wrap suffices.
     std::size_t idx = head_ + static_cast<std::size_t>(due - now_ - 1);
     if (idx >= buckets_.size()) idx -= buckets_.size();
-    buckets_[idx].push_back({u, v, d, std::move(m)});
+    buckets_[idx].push_back({u, v, d, std::move(m), lost});
     ++inflight_count_;
   }
 
@@ -247,6 +289,7 @@ class Network {
   bool unbounded_broadcast_;
   DelayModel delays_;
   support::Rng delay_rng_;
+  FaultInjector faults_;
   std::vector<std::vector<Item>> buckets_;  ///< ring keyed by due round
   std::size_t head_ = 0;  ///< bucket holding messages due at round now_+1
   std::size_t inflight_count_ = 0;

@@ -30,12 +30,14 @@ template <typename Msg>
 class ReferenceNetwork {
  public:
   ReferenceNetwork(const Topology& topo, geometry::PathLoss model = {},
-                   bool unbounded_broadcast = false, DelayModel delays = {})
+                   bool unbounded_broadcast = false, DelayModel delays = {},
+                   FaultModel faults = {})
       : topo_(topo),
         meter_(model),
         unbounded_broadcast_(unbounded_broadcast),
         delays_(delays),
-        delay_rng_(delays.seed) {}
+        delay_rng_(delays.seed),
+        faults_(faults) {}
 
   /// Send m from u to v; delivered next round. Charges d(u,v)^α.
   void unicast(NodeId u, NodeId v, Msg m) {
@@ -44,6 +46,10 @@ class ReferenceNetwork {
     EMST_ASSERT_MSG(unbounded_broadcast_ ||
                         d <= topo_.max_radius() * (1.0 + 1e-12),
                     "unicast beyond the maximum transmission radius");
+    if (faults_.enabled() && faults_.crashed(u)) {
+      ++faults_.stats().suppressed;
+      return;
+    }
     meter_.charge_unicast(u, d);
     enqueue(u, v, d, std::move(m));
   }
@@ -55,6 +61,10 @@ class ReferenceNetwork {
     if (!unbounded_broadcast_) {
       EMST_ASSERT_MSG(radius <= topo_.max_radius() * (1.0 + 1e-12),
                       "broadcast beyond the maximum transmission radius");
+    }
+    if (faults_.enabled() && faults_.crashed(u)) {
+      ++faults_.stats().suppressed;
+      return;
     }
     std::vector<NodeId> receivers;
     if (radius <= topo_.max_radius()) {
@@ -78,6 +88,7 @@ class ReferenceNetwork {
   [[nodiscard]] std::vector<Delivery<Msg>> collect_round() {
     meter_.tick_round();
     ++now_;
+    faults_.advance_to(now_);
     std::sort(inflight_.begin(), inflight_.end(),
               [](const Item& a, const Item& b) {
                 if (a.due != b.due) return a.due < b.due;
@@ -88,8 +99,17 @@ class ReferenceNetwork {
     std::size_t consumed = 0;
     for (Item& item : inflight_) {
       if (item.due > now_) break;
-      out.push_back({item.from, item.to, item.distance, std::move(item.msg)});
       ++consumed;
+      // Same delivery-time drop rule as Network (see network.hpp).
+      if (item.lost) {
+        ++faults_.stats().lost;
+        continue;
+      }
+      if (faults_.enabled() && faults_.crashed(item.to)) {
+        ++faults_.stats().dropped_crashed;
+        continue;
+      }
+      out.push_back({item.from, item.to, item.distance, std::move(item.msg)});
     }
     inflight_.erase(inflight_.begin(),
                     inflight_.begin() + static_cast<std::ptrdiff_t>(consumed));
@@ -99,6 +119,10 @@ class ReferenceNetwork {
   [[nodiscard]] const Topology& topology() const noexcept { return topo_; }
   [[nodiscard]] EnergyMeter& meter() noexcept { return meter_; }
   [[nodiscard]] const EnergyMeter& meter() const noexcept { return meter_; }
+  [[nodiscard]] FaultInjector& faults() noexcept { return faults_; }
+  [[nodiscard]] const FaultStats& fault_stats() const noexcept {
+    return faults_.stats();
+  }
 
  private:
   struct Item {
@@ -108,9 +132,11 @@ class ReferenceNetwork {
     Msg msg;
     std::uint64_t seq;
     std::uint64_t due;  ///< round at which the message arrives
+    bool lost = false;  ///< channel fate, drawn at send time
   };
 
   void enqueue(NodeId u, NodeId v, double d, Msg m) {
+    const bool lost = faults_.enabled() && faults_.drop(u, v);
     std::uint64_t due = now_ + 1;
     if (delays_.max_extra_delay > 0) {
       due += delay_rng_.uniform_int(delays_.max_extra_delay + 1);
@@ -124,7 +150,7 @@ class ReferenceNetwork {
         it->second = due;
       }
     }
-    inflight_.push_back({u, v, d, std::move(m), next_seq_++, due});
+    inflight_.push_back({u, v, d, std::move(m), next_seq_++, due, lost});
   }
 
   const Topology& topo_;
@@ -132,6 +158,7 @@ class ReferenceNetwork {
   bool unbounded_broadcast_;
   DelayModel delays_;
   support::Rng delay_rng_;
+  FaultInjector faults_;
   std::vector<Item> inflight_;
   std::unordered_map<std::uint64_t, std::uint64_t> last_due_;
   std::uint64_t next_seq_ = 0;

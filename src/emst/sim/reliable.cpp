@@ -1,0 +1,66 @@
+#include "emst/sim/reliable.hpp"
+
+namespace emst::sim {
+
+ArqOutcome ArqLink::transmit(EnergyMeter& meter, graph::NodeId u,
+                             graph::NodeId v, double distance) {
+  ArqOutcome out;
+  if (injector_ != nullptr && injector_->crashed(u)) {
+    ++injector_->stats().suppressed;  // a dead radio transmits nothing
+    return out;
+  }
+  const std::uint32_t attempts = arq_.enabled ? arq_.max_retries + 1 : 1;
+  std::uint32_t rto = arq_.rto_rounds;
+  for (std::uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    ++out.data_attempts;
+    if (attempt == 0) {
+      ++stats_.data_sent;
+    } else {
+      ++stats_.retransmissions;
+    }
+    meter.charge_unicast(u, distance);  // lost or not, the radio transmitted
+    bool data_ok = true;
+    if (injector_ != nullptr) {
+      if (injector_->drop(u, v)) {
+        data_ok = false;
+        ++injector_->stats().lost;
+      } else if (injector_->crashed(v)) {
+        data_ok = false;
+        ++injector_->stats().dropped_crashed;
+      }
+    }
+    if (data_ok) {
+      if (out.delivered) ++stats_.duplicates;
+      out.delivered = true;
+      if (!arq_.enabled) break;
+      // Stop-and-wait: the receiver confirms every copy it hears.
+      ++out.ack_attempts;
+      ++stats_.acks_sent;
+      meter.charge_unicast(v, distance);
+      bool ack_ok = true;
+      if (injector_ != nullptr) {
+        if (injector_->drop(v, u)) {
+          ack_ok = false;
+          ++injector_->stats().lost;
+        } else if (injector_->crashed(u)) {
+          ack_ok = false;
+          ++injector_->stats().dropped_crashed;
+        }
+      }
+      if (ack_ok) {
+        out.acked = true;
+        break;
+      }
+    }
+    if (attempt + 1 < attempts) {
+      out.extra_rounds += rto;
+      rto = std::min(rto * arq_.backoff, ArqOptions::kRtoCap);
+    }
+  }
+  if (arq_.enabled && !out.acked) ++stats_.give_ups;
+  if (out.delivered) ++stats_.delivered;
+  stats_.timeout_rounds += out.extra_rounds;
+  return out;
+}
+
+}  // namespace emst::sim

@@ -1,0 +1,279 @@
+// Reliable delivery over lossy channels (docs/ROBUSTNESS.md).
+//
+// Two faces of the same stop-and-wait ARQ protocol:
+//
+//  - `ReliableChannel<Msg>`: a message-level adapter over `Network<Msg>` for
+//    actor-style drivers. Every logical send opens (or queues behind) a
+//    stop-and-wait session on its directed link: DATA(seq) → ACK(seq), with
+//    a retransmission timeout, exponential backoff, and a bounded retry
+//    budget. Receivers suppress duplicate seqs (at-least-once delivery from
+//    the channel becomes exactly-once toward the application, per link, in
+//    send order). Every physical frame — retransmissions and ACKs included —
+//    goes through the underlying Network, so it is charged to the meter and
+//    exposed to the fault layer like any other transmission.
+//
+//  - `ArqLink`: the closed-form twin for the *driver*-based engines
+//    (phase-synchronous GHS, tree collectives), which charge the meter
+//    directly instead of exchanging real messages. `transmit()` simulates
+//    one complete ARQ session for one logical unicast — drawing channel
+//    fates from the shared `FaultInjector`, charging every DATA attempt and
+//    every ACK at d^α — and reports whether the payload got through. The
+//    per-attempt energy bill is identical to what ReliableChannel would pay
+//    on the same fate sequence.
+//
+// Retry-state bookkeeping keys directed links into a FlatMap64 (same packed
+// (u,v) scheme as the network's FIFO tracker).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "emst/sim/fault.hpp"
+#include "emst/sim/meter.hpp"
+#include "emst/sim/network.hpp"
+#include "emst/support/assert.hpp"
+#include "emst/support/flat_map.hpp"
+
+namespace emst::sim {
+
+struct ArqOptions {
+  bool enabled = false;
+  /// Retransmissions allowed after the first attempt before giving up.
+  std::uint32_t max_retries = 10;
+  /// Initial retransmission timeout, in rounds. Must exceed the 2-round
+  /// DATA+ACK round trip of the synchronous model.
+  std::uint32_t rto_rounds = 3;
+  /// Timeout multiplier per retry (capped at kRtoCap).
+  std::uint32_t backoff = 2;
+
+  static constexpr std::uint32_t kRtoCap = 64;
+};
+
+struct ArqStats {
+  std::uint64_t data_sent = 0;        ///< first attempts
+  std::uint64_t retransmissions = 0;  ///< timeout-driven re-sends
+  std::uint64_t acks_sent = 0;
+  std::uint64_t duplicates = 0;       ///< receiver-side suppressed re-deliveries
+  std::uint64_t delivered = 0;        ///< payloads that reached the receiver
+  std::uint64_t give_ups = 0;         ///< sessions that exhausted the budget
+  std::uint64_t timeout_rounds = 0;   ///< rounds spent waiting on lost frames
+
+  ArqStats& operator+=(const ArqStats& rhs) noexcept {
+    data_sent += rhs.data_sent;
+    retransmissions += rhs.retransmissions;
+    acks_sent += rhs.acks_sent;
+    duplicates += rhs.duplicates;
+    delivered += rhs.delivered;
+    give_ups += rhs.give_ups;
+    timeout_rounds += rhs.timeout_rounds;
+    return *this;
+  }
+};
+
+/// Outcome of one simulated ARQ session (one logical unicast).
+struct ArqOutcome {
+  bool delivered = false;  ///< payload reached the receiver at least once
+  bool acked = false;      ///< sender received a confirmation
+  std::uint32_t data_attempts = 0;
+  std::uint32_t ack_attempts = 0;
+  std::uint32_t extra_rounds = 0;  ///< timeout rounds beyond the ideal trip
+};
+
+/// Driver-side ARQ simulator; see the header comment. With `arq.enabled ==
+/// false` it degrades to a single unreliable attempt; with a null/disabled
+/// injector AND arq off it is exactly one charged unicast — the zero-cost
+/// path the differential tests pin down.
+class ArqLink {
+ public:
+  ArqLink() = default;
+  ArqLink(FaultInjector* injector, ArqOptions arq)
+      : injector_(injector != nullptr && injector->enabled() ? injector
+                                                             : nullptr),
+        arq_(arq) {}
+
+  /// Simulate the full ARQ session for one logical unicast u→v over
+  /// `distance`, charging every physical transmission to `meter`.
+  ArqOutcome transmit(EnergyMeter& meter, graph::NodeId u, graph::NodeId v,
+                      double distance);
+
+  /// Forward driver round ticks to the shared fault clock.
+  void advance_rounds(std::uint64_t k) noexcept {
+    if (injector_ != nullptr) injector_->advance_rounds(k);
+  }
+
+  [[nodiscard]] const ArqStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] FaultInjector* injector() const noexcept { return injector_; }
+  [[nodiscard]] const ArqOptions& options() const noexcept { return arq_; }
+
+ private:
+  FaultInjector* injector_ = nullptr;
+  ArqOptions arq_{};
+  ArqStats stats_;
+};
+
+/// Message-level reliable channel over `Network<Msg>`; see the header
+/// comment. The API mirrors Network: send / collect_round / pending, with
+/// `collect_round` returning application payloads (ACK traffic and duplicate
+/// copies are consumed internally).
+template <typename Msg>
+class ReliableChannel {
+ public:
+  struct Frame {
+    bool ack = false;
+    std::uint32_t seq = 0;
+    Msg payload{};  ///< default-constructed for ACK frames
+  };
+
+  ReliableChannel(const Topology& topo, geometry::PathLoss model = {},
+                  DelayModel delays = {}, FaultModel faults = {},
+                  ArqOptions arq = {})
+      : net_(topo, model, /*unbounded_broadcast=*/false, delays, faults),
+        arq_(arq) {
+    EMST_ASSERT_MSG(arq.rto_rounds >= 2 + delays.max_extra_delay,
+                    "RTO must exceed the DATA+ACK round trip or every "
+                    "message retransmits spuriously");
+  }
+
+  /// Reliably send m from u to v. Messages on the same directed link are
+  /// delivered in send order; across links no order is guaranteed.
+  void send(graph::NodeId u, graph::NodeId v, Msg m) {
+    Link& link = link_state(u, v);
+    link.queue.push_back(std::move(m));
+    if (!link.in_flight.has_value()) start_next(link);
+  }
+
+  /// Un-ACKed sessions (with remaining budget) or in-flight frames exist.
+  [[nodiscard]] bool pending() const noexcept {
+    return net_.pending() || active_sessions_ > 0;
+  }
+
+  /// Advance one round: pump the underlying network, consume protocol
+  /// frames, fire retransmission timeouts, and return the new application
+  /// deliveries (in the underlying network's deterministic order).
+  [[nodiscard]] std::vector<Delivery<Msg>> collect_round() {
+    ++now_;
+    std::vector<Delivery<Msg>> out;
+    for (Delivery<Frame>& d : net_.collect_round()) {
+      if (d.msg.ack) {
+        on_ack(d.to, d.from, d.msg.seq);
+      } else {
+        on_data(d, out);
+      }
+    }
+    fire_timeouts();
+    return out;
+  }
+
+  [[nodiscard]] const ArqStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] EnergyMeter& meter() noexcept { return net_.meter(); }
+  [[nodiscard]] const EnergyMeter& meter() const noexcept {
+    return net_.meter();
+  }
+  [[nodiscard]] Network<Frame>& raw() noexcept { return net_; }
+
+ private:
+  struct Link {
+    graph::NodeId from = 0;
+    graph::NodeId to = 0;
+    // Sender half (frames we originate on this directed link).
+    std::vector<Msg> queue;      ///< not-yet-started messages (FIFO)
+    std::size_t queue_head = 0;
+    std::optional<Msg> in_flight;
+    std::uint32_t send_seq = 0;  ///< seq of the in-flight message
+    std::uint32_t next_seq = 0;  ///< seq to assign to the next message
+    std::uint32_t retries = 0;
+    std::uint32_t rto = 0;
+    std::uint64_t deadline = 0;
+    // Receiver half (frames arriving over this directed link).
+    std::uint32_t next_expected = 0;
+  };
+
+  Link& link_state(graph::NodeId u, graph::NodeId v) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(u) << 32) | static_cast<std::uint64_t>(v);
+    const auto slot = links_index_.find_or_insert(key, links_.size());
+    if (slot.inserted) {
+      links_.emplace_back();
+      links_.back().from = u;
+      links_.back().to = v;
+    }
+    return links_[*slot.value];
+  }
+
+  void start_next(Link& link) {
+    if (link.queue_head >= link.queue.size()) {
+      link.queue.clear();
+      link.queue_head = 0;
+      return;
+    }
+    link.in_flight = std::move(link.queue[link.queue_head++]);
+    link.send_seq = link.next_seq++;
+    link.retries = 0;
+    link.rto = arq_.rto_rounds;
+    link.deadline = now_ + link.rto;
+    ++active_sessions_;
+    ++stats_.data_sent;
+    net_.unicast(link.from, link.to,
+                 Frame{false, link.send_seq, *link.in_flight});
+  }
+
+  void finish_session(Link& link) {
+    link.in_flight.reset();
+    EMST_ASSERT(active_sessions_ > 0);
+    --active_sessions_;
+    start_next(link);
+  }
+
+  void on_data(Delivery<Frame>& d, std::vector<Delivery<Msg>>& out) {
+    // The receiver ACKs every copy (the sender may be retrying because the
+    // previous ACK was lost) but hands at most one to the application.
+    Link& link = link_state(d.from, d.to);  // keyed by the DATA direction
+    ++stats_.acks_sent;
+    net_.unicast(d.to, d.from, Frame{true, d.msg.seq, Msg{}});
+    if (d.msg.seq < link.next_expected) {
+      ++stats_.duplicates;
+      return;
+    }
+    // seq gaps happen only when the sender gave up on an earlier message;
+    // the survivor is still new — deliver it.
+    link.next_expected = d.msg.seq + 1;
+    ++stats_.delivered;
+    out.push_back({d.from, d.to, d.distance, std::move(d.msg.payload)});
+  }
+
+  void on_ack(graph::NodeId at, graph::NodeId from, std::uint32_t seq) {
+    Link& link = link_state(at, from);  // our sender half toward `from`
+    if (!link.in_flight.has_value() || seq != link.send_seq) return;  // stale
+    finish_session(link);
+  }
+
+  void fire_timeouts() {
+    for (Link& link : links_) {
+      if (!link.in_flight.has_value() || now_ < link.deadline) continue;
+      if (link.retries >= arq_.max_retries) {
+        ++stats_.give_ups;
+        finish_session(link);
+        continue;
+      }
+      ++link.retries;
+      ++stats_.retransmissions;
+      stats_.timeout_rounds += link.rto;
+      link.rto = std::min(link.rto * arq_.backoff, ArqOptions::kRtoCap);
+      link.deadline = now_ + link.rto;
+      net_.unicast(link.from, link.to,
+                   Frame{false, link.send_seq, *link.in_flight});
+    }
+  }
+
+  Network<Frame> net_;
+  ArqOptions arq_;
+  ArqStats stats_;
+  support::FlatMap64 links_index_;  ///< packed directed link → links_ slot
+  std::vector<Link> links_;
+  std::size_t active_sessions_ = 0;
+  std::uint64_t now_ = 0;
+};
+
+}  // namespace emst::sim

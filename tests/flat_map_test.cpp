@@ -77,5 +77,94 @@ TEST(FlatMap64, ZeroKeyIsRejected) {
   EXPECT_DEATH((void)map.find_or_insert(0, 1), "empty-slot sentinel");
 }
 
+TEST(FlatMap64, ZeroKeyRejectedEvenWhenTheTableIsFullOfCollisions) {
+  // The sentinel check must hold on a populated table too (a zero key
+  // reaching the probe loop would alias every empty slot).
+  FlatMap64 map;
+  for (std::uint64_t k = 1; k <= 100; ++k) map.find_or_insert(k, k);
+  EXPECT_DEATH((void)map.find_or_insert(0, 1), "empty-slot sentinel");
+}
+
+TEST(FlatMap64, PointersSurviveUntilTheNextInsertAcrossRehash) {
+  // Contract: FindResult::value is invalidated by the NEXT insert — so
+  // write-through-pointer immediately after lookup must stay correct even
+  // when the workload interleaves lookups of old keys with inserts that
+  // force rehashes. This is the per-edge FIFO tracker's exact access
+  // pattern (look up, clamp, overwrite, move on).
+  FlatMap64 map;
+  Rng rng(4242);
+  std::unordered_map<std::uint64_t, std::uint64_t> oracle;
+  std::uint64_t next_key = 1;
+  for (int step = 0; step < 30000; ++step) {
+    const bool insert_new = oracle.empty() || rng.uniform() < 0.4;
+    std::uint64_t key;
+    if (insert_new) {
+      key = next_key++;  // fresh key: may trigger growth mid-stream
+    } else {
+      key = rng.uniform_int(next_key - 1) + 1;  // revisit an existing key
+    }
+    auto r = map.find_or_insert(key, step);
+    auto [it, inserted] = oracle.try_emplace(key, step);
+    ASSERT_EQ(r.inserted, inserted) << "key " << key << " step " << step;
+    // Overwrite through the returned pointer before any further insert.
+    *r.value = static_cast<std::uint64_t>(step) * 2 + 1;
+    it->second = static_cast<std::uint64_t>(step) * 2 + 1;
+  }
+  ASSERT_EQ(map.size(), oracle.size());
+  for (const auto& [key, value] : oracle) {
+    auto r = map.find_or_insert(key, 0);
+    EXPECT_FALSE(r.inserted);
+    EXPECT_EQ(*r.value, value) << "key " << key << " lost across rehashes";
+  }
+}
+
+TEST(FlatMap64, AdversarialKeysCollideIntoOneProbeRunAndStillResolve) {
+  // Keys crafted so their mixed hashes can land anywhere but include long
+  // same-bucket runs after growth: the packed-edge pattern (u<<32)|v with a
+  // tiny v range exercises clustered probing. Also pins the no-erase
+  // contract: size() only grows, clear() is the only reset.
+  FlatMap64 map;
+  const std::size_t before = map.size();
+  EXPECT_EQ(before, 0u);
+  for (std::uint64_t u = 1; u <= 64; ++u) {
+    for (std::uint64_t v = 1; v <= 8; ++v) {
+      const std::uint64_t key = (u << 32) | v;
+      auto r = map.find_or_insert(key, u * 100 + v);
+      ASSERT_TRUE(r.inserted);
+    }
+  }
+  EXPECT_EQ(map.size(), 64u * 8u);
+  for (std::uint64_t u = 1; u <= 64; ++u) {
+    for (std::uint64_t v = 1; v <= 8; ++v) {
+      auto r = map.find_or_insert((u << 32) | v, 0);
+      ASSERT_FALSE(r.inserted);
+      ASSERT_EQ(*r.value, u * 100 + v);
+    }
+  }
+  // No shrink path exists: re-probing every key N times never changes size.
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::uint64_t u = 1; u <= 64; ++u)
+      (void)map.find_or_insert((u << 32) | 1, 0);
+    EXPECT_EQ(map.size(), 64u * 8u);
+  }
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  // Cleared slots are genuinely empty again (key 0 sentinel restored).
+  EXPECT_TRUE(map.find_or_insert((2ULL << 32) | 3, 9).inserted);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMap64, MaxKeyAndMaxValueRoundTrip) {
+  FlatMap64 map;
+  const std::uint64_t max64 = ~0ULL;
+  auto r = map.find_or_insert(max64, max64);
+  EXPECT_TRUE(r.inserted);
+  EXPECT_EQ(*map.find_or_insert(max64, 0).value, max64);
+  // Value 0 is NOT special — only key 0 is.
+  auto zero_val = map.find_or_insert(7, 0);
+  EXPECT_TRUE(zero_val.inserted);
+  EXPECT_EQ(*map.find_or_insert(7, 123).value, 0u);
+}
+
 }  // namespace
 }  // namespace emst::support
