@@ -1,15 +1,22 @@
 // emst_cli — run any of the library's algorithms on a random deployment and
 // emit one machine-readable record (text or JSON). The scripting entry
 // point: sweep drivers, notebooks, and CI smoke checks all shell out to
-// this.
+// this. Results flow through the unified `emst::RunReport` view
+// (docs/API_TOUR.md), so every algorithm shares one output path.
 //
 //   ./emst_cli --algo=eopt --n=2000 --seed=7 --format=json
 //   ./emst_cli --algo=ghs,eopt,connt --n=500 --format=text
 //   ./emst_cli --algo=eopt --n=1000 --loss=0.1 --arq=1   # lossy channel
+//   ./emst_cli --algo=eopt --breakdown=1                 # Thm 5.3 split
+//   ./emst_cli --algo=sync --trace=run.jsonl             # telemetry trace
 //
 // Algorithms: ghs | ghs-cached | sync | sync-probe | eopt | connt |
 //             connt-axis | kpnnt
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -25,6 +32,8 @@
 #include "emst/rgg/radii.hpp"
 #include "emst/sim/fault.hpp"
 #include "emst/sim/reliable.hpp"
+#include "emst/sim/telemetry.hpp"
+#include "emst/sim/trace_replay.hpp"
 #include "emst/support/cli.hpp"
 #include "emst/support/json.hpp"
 #include "emst/support/rng.hpp"
@@ -33,70 +42,111 @@ namespace {
 
 using namespace emst;
 
+/// Shared run knobs assembled from the flags once.
+struct RunSetup {
+  sim::FaultModel faults;
+  sim::ArqOptions arq;
+  bool per_node = false;
+  bool breakdown = false;
+  sim::Telemetry* telemetry = nullptr;  ///< non-null while tracing
+};
+
 struct Record {
   std::string algo;
   sim::Accounting totals;
   std::size_t phases = 0;
+  sim::FaultStats faults;
+  sim::ArqStats arq;
+  std::vector<double> per_node;
+  sim::EnergyBreakdown breakdown;
+  bool breakdown_recorded = false;
+  bool hit_phase_cap = false;
   double tree_len = 0.0;
   double tree_sq = 0.0;
   bool spanning = false;
   bool exact = false;
 };
 
+/// Copy the owned parts out of a (non-owning) report before the result that
+/// backs it goes out of scope.
+void fill_from_report(Record& record, const RunReport& report) {
+  record.totals = report.totals;
+  record.phases = report.phases;
+  record.faults = report.faults;
+  record.arq = report.arq;
+  record.hit_phase_cap = report.hit_phase_cap;
+  if (report.has_per_node()) record.per_node = *report.per_node_energy;
+  if (report.breakdown != nullptr) {
+    record.breakdown = *report.breakdown;
+    record.breakdown_recorded = true;
+  }
+}
+
+[[noreturn]] void reject_faulty(const std::string& algo) {
+  std::cerr << "--loss/--arq apply to the fault-aware engines only "
+               "(sync|sync-probe|eopt), not " << algo << '\n';
+  std::exit(2);
+}
+
 Record run_one(const std::string& algo, const sim::Topology& topo,
                const std::vector<geometry::Point2>& points,
                const std::vector<graph::Edge>& reference,
-               const sim::FaultModel& faults, const sim::ArqOptions& arq) {
+               const RunSetup& setup) {
   Record record;
   record.algo = algo;
   std::vector<graph::Edge> tree;
-  const bool faulty = faults.enabled() || arq.enabled;
+  const bool faulty = setup.faults.enabled() || setup.arq.enabled;
   if (algo == "ghs" || algo == "ghs-cached") {
-    if (faulty) {
-      std::cerr << "--loss/--arq apply to the fault-aware engines only "
-                   "(sync|sync-probe|eopt), not " << algo << '\n';
-      std::exit(2);
-    }
+    if (faulty) reject_faulty(algo);
     ghs::ClassicGhsOptions options;
     if (algo == "ghs-cached") options.moe = ghs::MoeStrategy::kCachedConfirm;
+    options.track_per_node_energy = setup.per_node;
+    options.record_breakdown = setup.breakdown;
+    options.telemetry = setup.telemetry;
     const auto run = ghs::run_classic_ghs(topo, options);
-    record.totals = run.totals;
-    record.phases = run.phases;
+    fill_from_report(record, run.report());
     tree = run.tree;
   } else if (algo == "sync" || algo == "sync-probe") {
     ghs::SyncGhsOptions options;
     options.neighbor_cache = algo == "sync";
-    options.faults = faults;
-    options.arq = arq;
+    options.faults = setup.faults;
+    options.arq = setup.arq;
+    options.track_per_node_energy = setup.per_node;
+    options.record_breakdown = setup.breakdown;
+    options.telemetry = setup.telemetry;
     const auto run = ghs::run_sync_ghs(topo, options);
-    record.totals = run.run.totals;
-    record.phases = run.run.phases;
+    fill_from_report(record, run.report());
     tree = run.run.tree;
   } else if (algo == "eopt") {
     eopt::EoptOptions options;
-    options.faults = faults;
-    options.arq = arq;
+    options.faults = setup.faults;
+    options.arq = setup.arq;
+    options.track_per_node_energy = setup.per_node;
+    options.record_breakdown = setup.breakdown;
+    options.telemetry = setup.telemetry;
     const auto run = eopt::run_eopt(topo, options);
-    record.totals = run.run.totals;
-    record.phases = run.run.phases;
+    fill_from_report(record, run.report());
     tree = run.run.tree;
   } else if (algo == "connt" || algo == "connt-axis") {
-    if (faulty) {
-      std::cerr << "--loss/--arq apply to the fault-aware engines only "
-                   "(sync|sync-probe|eopt), not " << algo << '\n';
-      std::exit(2);
-    }
+    if (faulty) reject_faulty(algo);
     nnt::CoNntOptions options;
     if (algo == "connt-axis") options.scheme = nnt::RankScheme::kAxis;
+    options.track_per_node_energy = setup.per_node;
+    options.record_breakdown = setup.breakdown;
+    options.telemetry = setup.telemetry;
     const auto run = nnt::run_connt(topo, options);
-    record.totals = run.totals;
+    fill_from_report(record, run.report());
     record.phases = run.max_probe_rounds;
     tree = run.tree;
   } else if (algo == "kpnnt") {
-    if (faulty) {
-      std::cerr << "--loss/--arq apply to the fault-aware engines only "
-                   "(sync|sync-probe|eopt), not " << algo << '\n';
+    if (faulty) reject_faulty(algo);
+    if (setup.telemetry != nullptr) {
+      std::cerr << "--trace is not supported for kpnnt\n";
       std::exit(2);
+    }
+    if (setup.per_node || setup.breakdown) {
+      std::cerr << "warning: --per-node/--breakdown not available for kpnnt; "
+                   "column omitted\n";
     }
     const auto run = nnt::run_kp_nnt(topo);
     record.totals = run.totals;
@@ -106,11 +156,77 @@ Record run_one(const std::string& algo, const sim::Topology& topo,
     std::cerr << "unknown algorithm: " << algo << '\n';
     std::exit(2);
   }
+  if (setup.per_node && record.per_node.empty() && algo != "kpnnt") {
+    std::cerr << "warning: per-node energy unavailable for " << algo << '\n';
+  }
   record.tree_len = graph::tree_cost(points, tree, 1.0);
   record.tree_sq = graph::tree_cost(points, tree, 2.0);
   record.spanning = graph::is_spanning_tree(points.size(), tree);
   record.exact = graph::same_edge_set(tree, reference);
   return record;
+}
+
+double hottest(const std::vector<double>& per_node) {
+  double worst = 0.0;
+  for (const double e : per_node) worst = std::max(worst, e);
+  return worst;
+}
+
+/// Phases that actually saw traffic or rounds (skip all-zero rows).
+std::vector<sim::PhaseTag> active_phases(const sim::EnergyBreakdown& matrix) {
+  std::vector<sim::PhaseTag> out;
+  for (std::size_t p = 0; p < sim::EnergyBreakdown::kPhases; ++p) {
+    const auto phase = static_cast<sim::PhaseTag>(p);
+    const sim::Accounting row = matrix.phase_total(phase);
+    if (row.messages() != 0 || row.rounds != 0) out.push_back(phase);
+  }
+  return out;
+}
+
+void json_breakdown(support::JsonWriter& json,
+                    const sim::EnergyBreakdown& matrix) {
+  json.key("breakdown").begin_object();
+  for (const sim::PhaseTag phase : active_phases(matrix)) {
+    const sim::Accounting row = matrix.phase_total(phase);
+    json.key(sim::phase_tag_name(phase)).begin_object();
+    json.key("energy").value(row.energy);
+    json.key("messages").value(row.messages());
+    json.key("rounds").value(row.rounds);
+    json.key("kinds").begin_object();
+    for (std::size_t k = 0; k < sim::EnergyBreakdown::kKinds; ++k) {
+      const auto kind = static_cast<sim::MsgKind>(k);
+      const auto& cell = matrix.cell(phase, kind);
+      if (cell.messages == 0) continue;
+      json.key(sim::msg_kind_name(kind)).begin_object();
+      json.key("energy").value(cell.energy);
+      json.key("messages").value(cell.messages);
+      json.end_object();
+    }
+    json.end_object();
+    json.end_object();
+  }
+  json.end_object();
+}
+
+void print_breakdown(const Record& record) {
+  std::printf("breakdown %s (energy / messages per phase x kind):\n",
+              record.algo.c_str());
+  for (const sim::PhaseTag phase : active_phases(record.breakdown)) {
+    const sim::Accounting row = record.breakdown.phase_total(phase);
+    std::printf("  %-7s %12.4f %8llu msgs %6llu rounds |",
+                std::string(sim::phase_tag_name(phase)).c_str(), row.energy,
+                static_cast<unsigned long long>(row.messages()),
+                static_cast<unsigned long long>(row.rounds));
+    for (std::size_t k = 0; k < sim::EnergyBreakdown::kKinds; ++k) {
+      const auto kind = static_cast<sim::MsgKind>(k);
+      const auto& cell = record.breakdown.cell(phase, kind);
+      if (cell.messages == 0) continue;
+      std::printf(" %s=%.4f/%llu",
+                  std::string(sim::msg_kind_name(kind)).c_str(), cell.energy,
+                  static_cast<unsigned long long>(cell.messages));
+    }
+    std::printf("\n");
+  }
 }
 
 }  // namespace
@@ -127,17 +243,25 @@ int main(int argc, char** argv) {
                 "sync|sync-probe|eopt only, see docs/ROBUSTNESS.md)"},
        {"fault-seed", "fault-layer RNG seed (default 0xFA011A)"},
        {"arq", "1 = stop-and-wait ARQ on every unicast (default 0)"},
+       {"per-node", "1 = per-node energy ledger (adds hottest-node column)"},
+       {"breakdown", "1 = per-phase x per-kind energy matrix "
+                     "(docs/TELEMETRY.md)"},
+       {"trace", "write a JSONL telemetry trace to this path "
+                 "(single algorithm only; validate with "
+                 "scripts/check_trace.py)"},
        {"format", "text | json (default text)"}});
   const auto n = static_cast<std::size_t>(cli.get_int("n", 1000));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   const double factor = cli.get_double("radius-factor", 1.6);
   const std::string format = cli.get("format", "text");
-  sim::FaultModel faults;
-  faults.loss = cli.get_double("loss", 0.0);
+  RunSetup setup;
+  setup.faults.loss = cli.get_double("loss", 0.0);
   if (cli.has("fault-seed"))
-    faults.seed = static_cast<std::uint64_t>(cli.get_int("fault-seed", 0));
-  sim::ArqOptions arq;
-  arq.enabled = cli.get_int("arq", 0) != 0;
+    setup.faults.seed = static_cast<std::uint64_t>(cli.get_int("fault-seed", 0));
+  setup.arq.enabled = cli.get_int("arq", 0) != 0;
+  setup.per_node = cli.get_int("per-node", 0) != 0;
+  setup.breakdown = cli.get_int("breakdown", 0) != 0;
+  const std::string trace_path = cli.get("trace", "");
 
   std::vector<std::string> algos;
   {
@@ -147,16 +271,41 @@ int main(int argc, char** argv) {
       if (!piece.empty()) algos.push_back(piece);
     }
   }
+  if (!trace_path.empty() && algos.size() != 1) {
+    std::cerr << "--trace records exactly one run; pass a single --algo\n";
+    return 2;
+  }
 
   support::Rng rng(seed);
   const auto points = geometry::uniform_points(n, rng);
   const sim::Topology topo(points, rgg::connectivity_radius(n, factor));
   const auto reference = graph::kruskal_msf(n, topo.graph().edges());
 
+  std::ofstream trace_file;
+  sim::Telemetry telemetry;
+  std::optional<sim::JsonlTraceSink> jsonl;
+  if (!trace_path.empty()) {
+    trace_file.open(trace_path);
+    if (!trace_file) {
+      std::cerr << "cannot open trace file: " << trace_path << '\n';
+      return 2;
+    }
+    jsonl.emplace(trace_file);
+    telemetry.set_sink(&*jsonl);
+    setup.telemetry = &telemetry;
+    sim::write_trace_header(trace_file, algos.front(), n, seed);
+  }
+
   std::vector<Record> records;
   records.reserve(algos.size());
   for (const std::string& algo : algos)
-    records.push_back(run_one(algo, topo, points, reference, faults, arq));
+    records.push_back(run_one(algo, topo, points, reference, setup));
+
+  if (jsonl.has_value()) {
+    const Record& traced = records.front();
+    sim::write_trace_summary(trace_file, traced.totals, traced.faults,
+                             traced.arq);
+  }
 
   if (format == "json") {
     support::JsonWriter json(std::cout);
@@ -182,6 +331,20 @@ int main(int argc, char** argv) {
       json.key("tree_sq").value(r.tree_sq);
       json.key("spanning").value(r.spanning);
       json.key("exact_mst").value(r.exact);
+      if (r.faults.lost + r.faults.dropped_crashed + r.faults.suppressed > 0) {
+        json.key("lost").value(r.faults.lost);
+        json.key("dropped_crashed").value(r.faults.dropped_crashed);
+        json.key("suppressed").value(r.faults.suppressed);
+      }
+      if (r.arq.data_sent > 0) {
+        json.key("arq_data").value(r.arq.data_sent);
+        json.key("arq_retransmissions").value(r.arq.retransmissions);
+        json.key("arq_give_ups").value(r.arq.give_ups);
+      }
+      if (r.hit_phase_cap) json.key("hit_phase_cap").value(true);
+      if (!r.per_node.empty())
+        json.key("hottest_node_energy").value(hottest(r.per_node));
+      if (r.breakdown_recorded) json_breakdown(json, r.breakdown);
       json.end_object();
     }
     json.end_array();
@@ -191,14 +354,27 @@ int main(int argc, char** argv) {
     std::printf("n=%zu seed=%llu radius=%.4f edges=%zu\n", n,
                 static_cast<unsigned long long>(seed), topo.max_radius(),
                 topo.graph().edge_count());
-    std::printf("%-12s %12s %10s %8s %10s %10s %6s\n", "algo", "energy",
-                "messages", "rounds", "sum|e|", "sum|e|^2", "exact");
+    const bool show_hot = setup.per_node;
+    std::printf("%-12s %12s %10s %8s %10s %10s %6s%s\n", "algo", "energy",
+                "messages", "rounds", "sum|e|", "sum|e|^2", "exact",
+                show_hot ? "    hottest" : "");
     for (const Record& r : records) {
-      std::printf("%-12s %12.4f %10llu %8llu %10.4f %10.5f %6s\n",
+      std::printf("%-12s %12.4f %10llu %8llu %10.4f %10.5f %6s",
                   r.algo.c_str(), r.totals.energy,
                   static_cast<unsigned long long>(r.totals.messages()),
                   static_cast<unsigned long long>(r.totals.rounds), r.tree_len,
                   r.tree_sq, r.exact ? "yes" : "no");
+      if (show_hot) {
+        if (r.per_node.empty()) {
+          std::printf("          -");
+        } else {
+          std::printf(" %10.5f", hottest(r.per_node));
+        }
+      }
+      std::printf("\n");
+    }
+    for (const Record& r : records) {
+      if (r.breakdown_recorded && setup.breakdown) print_breakdown(r);
     }
   }
   return 0;

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Validate an emst JSONL telemetry trace (docs/TELEMETRY.md).
+
+    scripts/check_trace.py run.jsonl [run2.jsonl ...]
+
+Checks, per file:
+  1. framing — first line is the {"trace":"emst",...} header, last line is
+     the {"summary":{...}} record, every line in between is one JSON object
+     with the required event fields and known enum names;
+  2. replay — re-derives energy/message/round totals, fault counters and
+     ARQ counters from the event stream alone (the same rules as
+     src/emst/sim/trace_replay.cpp) and compares them to the summary the
+     live run wrote. Counters must match exactly; energy must match to
+     1e-9 relative (bitwise in practice: %.17g round-trips doubles, and the
+     replayer adds in stream order), and any non-bitwise energy match is
+     reported as a warning.
+
+Exit status 0 iff every file passes. No dependencies beyond the standard
+library, so CI can run it straight after `emst_cli --trace`.
+"""
+from __future__ import annotations
+
+import json
+import sys
+
+EVENT_TYPES = {
+    "uni", "bcast", "loss", "crash", "sup", "adel", "adup", "agup", "atmo",
+    "round",
+}
+KINDS = {
+    "data", "connect", "initiate", "test", "accept", "reject", "report",
+    "change_root", "announce", "census", "request", "reply", "connection",
+    "arq_ack",
+}
+PHASES = {"run", "step1", "census", "step2"}
+FLAG_ARQ = 1
+FLAG_RETRANSMIT = 2
+
+SUMMARY_COUNTERS = (
+    "unicasts", "broadcasts", "deliveries", "rounds",
+    "lost", "dropped_crashed", "suppressed",
+    "data_sent", "retransmissions", "acks_sent", "duplicates", "delivered",
+    "give_ups", "timeout_rounds",
+)
+
+
+def fail(path: str, lineno: int, message: str) -> None:
+    print(f"{path}:{lineno}: error: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def count_arq_frame(event: dict, replay: dict) -> None:
+    """One ARQ-flagged frame attempt -> the matching send counter (applies
+    to charged unicasts and to flagged suppress events alike)."""
+    if event.get("flags", 0) & FLAG_RETRANSMIT:
+        replay["retransmissions"] += 1
+    elif event["kind"] == "arq_ack":
+        replay["acks_sent"] += 1
+    else:
+        replay["data_sent"] += 1
+
+
+def check_file(path: str) -> None:
+    with open(path, encoding="utf-8") as handle:
+        lines = [line.rstrip("\n") for line in handle if line.strip()]
+    if len(lines) < 2:
+        fail(path, 1, "trace needs at least a header and a summary line")
+
+    header = json.loads(lines[0])
+    if header.get("trace") != "emst":
+        fail(path, 1, "first line is not an emst trace header")
+    if header.get("version") != 1:
+        fail(path, 1, f"unsupported trace version {header.get('version')}")
+
+    summary_obj = json.loads(lines[-1])
+    if "summary" not in summary_obj:
+        fail(path, len(lines), "last line is not a summary record")
+    summary = summary_obj["summary"]
+
+    replay = {key: 0 for key in SUMMARY_COUNTERS}
+    replay_energy = 0.0
+    events = 0
+    for lineno, line in enumerate(lines[1:-1], start=2):
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as err:
+            fail(path, lineno, f"not valid JSON: {err}")
+        for field in ("ev", "kind", "phase", "round"):
+            if field not in event:
+                fail(path, lineno, f"event is missing required field {field!r}")
+        if event["ev"] not in EVENT_TYPES:
+            fail(path, lineno, f"unknown event type {event['ev']!r}")
+        if event["kind"] not in KINDS:
+            fail(path, lineno, f"unknown message kind {event['kind']!r}")
+        if event["phase"] not in PHASES:
+            fail(path, lineno, f"unknown phase {event['phase']!r}")
+        events += 1
+
+        ev = event["ev"]
+        if ev == "uni":
+            replay_energy += event.get("energy", 0.0)
+            replay["unicasts"] += 1
+            replay["deliveries"] += 1
+            if event.get("flags", 0) & FLAG_ARQ:
+                count_arq_frame(event, replay)
+        elif ev == "bcast":
+            replay_energy += event.get("energy", 0.0)
+            replay["broadcasts"] += 1
+            replay["deliveries"] += event.get("receivers", 0)
+        elif ev == "loss":
+            replay["lost"] += 1
+        elif ev == "crash":
+            replay["dropped_crashed"] += 1
+        elif ev == "sup":
+            replay["suppressed"] += 1
+            if event.get("flags", 0) & FLAG_ARQ:
+                count_arq_frame(event, replay)
+        elif ev == "adel":
+            replay["delivered"] += 1
+        elif ev == "adup":
+            replay["duplicates"] += 1
+        elif ev == "agup":
+            replay["give_ups"] += 1
+        elif ev == "atmo":
+            replay["timeout_rounds"] += event.get("value", 0)
+        elif ev == "round":
+            replay["rounds"] += event.get("value", 0)
+
+    for key in SUMMARY_COUNTERS:
+        if key not in summary:
+            fail(path, len(lines), f"summary is missing {key!r}")
+        if replay[key] != summary[key]:
+            fail(path, len(lines),
+                 f"replayed {key}={replay[key]} but the live run recorded "
+                 f"{summary[key]}")
+
+    live_energy = summary["energy"]
+    tolerance = 1e-9 * max(1.0, abs(live_energy))
+    if abs(replay_energy - live_energy) > tolerance:
+        fail(path, len(lines),
+             f"replayed energy {replay_energy!r} != recorded {live_energy!r}")
+    if replay_energy != live_energy:
+        print(f"{path}: warning: energy matches only approximately "
+              f"({replay_energy!r} vs {live_energy!r})", file=sys.stderr)
+
+    print(f"{path}: ok — {events} events, energy {live_energy:.6f}, "
+          f"{summary['unicasts']} unicasts / {summary['broadcasts']} "
+          f"broadcasts over {summary['rounds']} rounds")
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        check_file(path)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -66,6 +66,14 @@ for name in "${benches[@]}"; do
       validate_json "$REPO_ROOT/BENCH_faults.json"
       cp "$REPO_ROOT/BENCH_faults.json" "$RESULTS_DIR/BENCH_faults.json"
       ;;
+    telemetry_overhead)
+      echo "== $name"
+      # Refreshes the tracked observer-cost record at the repo root.
+      "$bench" --json="$REPO_ROOT/BENCH_telemetry.json" \
+        | tee "$RESULTS_DIR/$name.txt"
+      validate_json "$REPO_ROOT/BENCH_telemetry.json"
+      cp "$REPO_ROOT/BENCH_telemetry.json" "$RESULTS_DIR/BENCH_telemetry.json"
+      ;;
     *)
       echo "== $name"
       "$bench" --csv="$RESULTS_DIR/$name.csv" | tee "$RESULTS_DIR/$name.txt"
@@ -73,5 +81,19 @@ for name in "${benches[@]}"; do
   esac
   echo
 done
+
+# Telemetry trace round-trip: emit a JSONL trace per fault-aware driver and
+# replay-validate it (scripts/check_trace.py re-derives every counter from
+# the events and compares to the summary the live run wrote).
+if [ -x "$BUILD_DIR/examples/emst_cli" ] && command -v python3 >/dev/null 2>&1; then
+  echo "== telemetry traces"
+  for algo in sync eopt; do
+    "$BUILD_DIR/examples/emst_cli" --algo="$algo" --n=500 --seed=7 \
+      --trace="$RESULTS_DIR/trace_$algo.jsonl" --format=json \
+      > "$RESULTS_DIR/trace_$algo.run.json"
+    python3 "$REPO_ROOT/scripts/check_trace.py" "$RESULTS_DIR/trace_$algo.jsonl"
+  done
+  echo
+fi
 
 echo "all benches done — outputs in $RESULTS_DIR/"

@@ -28,7 +28,14 @@ EoptResult run_eopt(const sim::Topology& topo, const EoptOptions& options,
   // clamp so Step 1 degenerates gracefully into a single full-radius run.
   result.radius1 = std::min(result.radius1, result.radius2);
 
+  // ONE meter carries the whole run. Stages execute under phase scopes, so
+  // the per-phase × per-kind breakdown matrix is the single source of truth
+  // for the Thm 5.3 step shares — `phase_total` row sums, not per-stage
+  // snapshot subtraction, so the breakdown and the total cannot disagree.
   sim::EnergyMeter total(options.pathloss);
+  total.enable_breakdown();
+  if (options.track_per_node_energy) total.enable_per_node(n);
+  total.attach_telemetry(options.telemetry);
 
   // One fault session for the whole run: Step 1, the census and Step 2
   // share the loss RNG, burst states and crash clock (docs/ROBUSTNESS.md).
@@ -37,32 +44,31 @@ EoptResult run_eopt(const sim::Topology& topo, const EoptOptions& options,
 
   // --- Step 1: modified GHS in the percolation regime --------------------
   ghs::SyncGhsOptions step1;
+  static_cast<sim::RunConfig&>(step1) = options;  // pathloss/faults/arq/...
   step1.radius = result.radius1;
-  step1.pathloss = options.pathloss;
   step1.neighbor_cache = options.neighbor_cache;
   step1.announce_min_power = options.announce_min_power;
-  step1.track_per_node_energy = options.track_per_node_energy;
   step1.announce_initial = true;
-  step1.arq = options.arq;
   if (faulty) step1.fault_session = &fault_session;
   const std::optional<ghs::FragmentForest> initial =
       seed != nullptr ? std::optional<ghs::FragmentForest>(*seed)
                       : std::nullopt;
-  const ghs::SyncGhsResult stage1 = ghs::run_sync_ghs(topo, step1, initial, &total);
-  result.step1 = stage1.run.totals;
+  ghs::SyncGhsResult stage1;
+  {
+    const auto scope = total.scoped_phase(sim::PhaseTag::kStep1);
+    stage1 = ghs::run_sync_ghs(topo, step1, initial, &total);
+  }
   result.step1_fragments = stage1.run.fragments;
   result.step1_phases = stage1.run.phases;
 
   // --- Census: each fragment learns its size -----------------------------
-  const sim::Accounting before_census = total.totals();
-  sim::EnergyMeter census_meter(options.pathloss);
-  if (options.track_per_node_energy) census_meter.enable_per_node(n);
   sim::ArqLink census_link(&fault_session, options.arq);
-  const std::vector<std::size_t> sizes = ghs::fragment_census(
-      topo, stage1.final_forest, census_meter,
-      faulty ? &census_link : nullptr);
-  total.absorb(census_meter.totals());
-  result.census = total.totals() - before_census;
+  std::vector<std::size_t> sizes;
+  {
+    const auto scope = total.scoped_phase(sim::PhaseTag::kCensus);
+    sizes = ghs::fragment_census(topo, stage1.final_forest, total,
+                                 faulty ? &census_link : nullptr);
+  }
 
   // Fragments above β·ln²n declare themselves giant. Theorem 5.2 says WHP
   // exactly one does; if several exceed the threshold (possible at small n
@@ -85,44 +91,53 @@ EoptResult run_eopt(const sim::Topology& topo, const EoptOptions& options,
 
   // --- Step 2: modified GHS in the connectivity regime -------------------
   ghs::SyncGhsOptions step2;
+  static_cast<sim::RunConfig&>(step2) = options;
   step2.radius = result.radius2;
-  step2.pathloss = options.pathloss;
   step2.neighbor_cache = options.neighbor_cache;
   step2.announce_min_power = options.announce_min_power;
-  step2.track_per_node_energy = options.track_per_node_energy;
   // Caches were filled at r₁; the radius grew, so everyone re-announces once.
   step2.announce_initial = true;
-  step2.arq = options.arq;
   if (faulty) step2.fault_session = &fault_session;
   if (options.giant_passive && result.giant_found)
     step2.passive_fragments.push_back(giant);
   step2.retain_passive_id = options.giant_keeps_id;
-  const sim::Accounting before_step2 = total.totals();
-  const ghs::SyncGhsResult stage2 =
-      ghs::run_sync_ghs(topo, step2, stage1.final_forest, &total);
-  result.step2 = total.totals() - before_step2;
+  ghs::SyncGhsResult stage2;
+  {
+    const auto scope = total.scoped_phase(sim::PhaseTag::kStep2);
+    stage2 = ghs::run_sync_ghs(topo, step2, stage1.final_forest, &total);
+  }
   result.step2_phases = stage2.run.phases;
+
+  // Stage shares from the one matrix every charge landed in exactly once.
+  const sim::EnergyBreakdown& matrix = total.breakdown();
+  result.step1 = matrix.phase_total(sim::PhaseTag::kStep1);
+  result.census = matrix.phase_total(sim::PhaseTag::kCensus);
+  result.step2 = matrix.phase_total(sim::PhaseTag::kStep2);
 
   result.run.tree = stage2.run.tree;
   result.run.totals = total.totals();
   result.run.phases = stage1.run.phases + stage2.run.phases;
   result.run.fragments = stage2.run.fragments;
+  result.run.energy_breakdown = matrix;
+  result.run.breakdown_recorded = true;
+  result.run.telemetry = total.telemetry();
   result.arq = stage1.arq;
   result.arq += census_link.stats();
   result.arq += stage2.arq;
   result.fault_stats = fault_session.stats();
   result.hit_phase_cap = stage1.hit_phase_cap || stage2.hit_phase_cap;
   if (options.track_per_node_energy) {
-    result.per_node_energy.assign(n, 0.0);
-    auto accumulate = [&](const std::vector<double>& ledger) {
-      for (std::size_t u = 0; u < ledger.size(); ++u)
-        result.per_node_energy[u] += ledger[u];
-    };
-    accumulate(stage1.run.per_node_energy);
-    accumulate(census_meter.per_node());
-    accumulate(stage2.run.per_node_energy);
-    result.run.per_node_energy = result.per_node_energy;
+    result.per_node_energy = total.per_node();
+  } else if (total.telemetry() != nullptr && total.telemetry()->aggregating() &&
+             total.telemetry()->aggregate().node_energy.size() == n) {
+    // Fallback: the aggregating hub already carries the per-node ledger, so
+    // don't leave the column silently empty just because the meter-side
+    // toggle is off. (The aggregate spans the hub's lifetime — attach a
+    // fresh hub per run for strictly per-run numbers.)
+    result.per_node_energy = total.telemetry()->aggregate().node_energy;
   }
+  if (!result.per_node_energy.empty())
+    result.run.per_node_energy = result.per_node_energy;
   return result;
 }
 

@@ -32,14 +32,17 @@
 
 namespace emst::eopt {
 
-struct EoptOptions {
+/// Options embed the shared `sim::RunConfig` knobs (pathloss, faults, ARQ,
+/// per-node / breakdown / telemetry toggles). For faults, ONE session spans
+/// Step 1 → census → Step 2: loss draws and the crash clock continue across
+/// the stage boundaries (docs/ROBUSTNESS.md).
+struct EoptOptions : sim::RunConfig {
   /// Step-1 radius factor: r₁ = step1_factor·√(1/n). Paper experiments: 1.4.
   double step1_factor = 1.4;
   /// Step-2 radius factor: r₂ = step2_factor·√(ln n / n). Paper: 1.6.
   double step2_factor = 1.6;
   /// Giant threshold multiplier: a fragment is giant iff size > β·ln² n.
   double beta = 1.0;
-  geometry::PathLoss pathloss{};
   /// Ablation knobs (paper §V-A lists both as the Step-2 optimizations).
   bool giant_passive = true;
   bool giant_keeps_id = true;
@@ -49,18 +52,14 @@ struct EoptOptions {
   /// Power-adapt announcements to the farthest neighbour (see
   /// SyncGhsOptions::announce_min_power) — the §VIII coordinate lever.
   bool announce_min_power = false;
-  /// Fill EoptResult::per_node_energy (summed over both steps + census).
-  bool track_per_node_energy = false;
-  /// Channel faults (docs/ROBUSTNESS.md). ONE fault session spans Step 1 →
-  /// census → Step 2: loss draws and the crash clock continue across the
-  /// stage boundaries. Default: disabled (the paper's reliable model).
-  sim::FaultModel faults{};
-  /// Stop-and-wait ARQ for every unicast in all three stages.
-  sim::ArqOptions arq{};
 };
 
 struct EoptResult {
   ghs::MstRunResult run;          ///< final tree + totals over both steps
+  /// Thm 5.3 stage shares, derived from ONE source of truth: the telemetry
+  /// breakdown matrix (`run.energy_breakdown.phase_total(...)`), which every
+  /// charge lands in exactly once. step1+census+step2 therefore equals the
+  /// run total bit-for-bit — the two views cannot disagree (tested).
   sim::Accounting step1;          ///< Step-1 share (incl. initial announce)
   sim::Accounting census;         ///< fragment-size census share
   sim::Accounting step2;          ///< Step-2 share
@@ -71,7 +70,11 @@ struct EoptResult {
   std::size_t step2_phases = 0;
   double radius1 = 0.0;
   double radius2 = 0.0;
-  std::vector<double> per_node_energy;  ///< empty unless tracking enabled
+  /// Per-node transmit energy over all three stages. Filled when
+  /// `track_per_node_energy` is set, OR as a fallback when an aggregating
+  /// `telemetry` hub was attached (the aggregate ledger covers everything
+  /// the hub observed, so attach a fresh hub per run for per-run numbers).
+  std::vector<double> per_node_energy;
   /// ARQ counters summed over Step 1 + census + Step 2 (zero when off).
   sim::ArqStats arq{};
   /// Fault-layer drop counters for the whole run (zero when faults off).
@@ -79,6 +82,15 @@ struct EoptResult {
   /// Some stage stopped at its phase cap (fault mode only; the tree is then
   /// a partial forest rather than the full MST).
   bool hit_phase_cap = false;
+
+  /// The algorithm-independent view (docs/API_TOUR.md). Non-owning.
+  [[nodiscard]] RunReport report() const {
+    RunReport out = run.report();
+    out.faults = fault_stats;
+    out.arq = arq;
+    out.hit_phase_cap = hit_phase_cap;
+    return out;
+  }
 };
 
 /// Run EOPT on a topology whose max radius is ≥ r₂ (build it with

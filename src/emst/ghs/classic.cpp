@@ -5,6 +5,7 @@
 #include <variant>
 
 #include "emst/sim/network.hpp"
+#include "emst/sim/reference_network.hpp"
 #include "emst/support/assert.hpp"
 
 namespace emst::ghs {
@@ -70,6 +71,11 @@ struct NodeCtx {
   std::unordered_map<NodeId, EdgeIndex> cache;
 };
 
+/// The protocol driver, templated on the network engine so the calendar-
+/// queue `sim::Network` and the `sim::ReferenceNetwork` oracle execute the
+/// EXACT same protocol code — any divergence (accounting, telemetry stream,
+/// tree) is an engine bug, not a driver difference.
+template <typename Engine>
 class ClassicGhsRun {
  public:
   ClassicGhsRun(const sim::Topology& topo, const ClassicGhsOptions& options)
@@ -77,16 +83,19 @@ class ClassicGhsRun {
         radius_(options.radius > 0.0 ? options.radius : topo.max_radius()),
         moe_(options.moe),
         net_(topo, options.pathloss, /*unbounded_broadcast=*/false,
-             options.delays),
+             options.delays, /*faults=*/{}, options.telemetry),
         nodes_(topo.node_count()),
         starters_(options.spontaneous_wakeups) {
     EMST_ASSERT(radius_ <= topo.max_radius() * (1.0 + 1e-12));
+    EMST_ASSERT_MSG(!options.faults.enabled() && !options.arq.enabled,
+                    "classic GHS has no loss recovery; faults/ARQ unsupported");
     max_rounds_ = options.max_rounds > 0
                       ? options.max_rounds
                       : (50 * topo.node_count() + 1000) *
                             (options.delays.max_extra_delay + 1);
     if (options.track_per_node_energy)
       net_.meter().enable_per_node(topo.node_count());
+    if (options.record_breakdown) net_.meter().enable_breakdown();
     for (NodeId u = 0; u < topo_.node_count(); ++u) {
       nodes_[u].edge_state.assign(neighbors(u).size(), EdgeState::kBasic);
     }
@@ -148,7 +157,13 @@ class ClassicGhsRun {
   }
 
   void send(NodeId u, std::size_t slot, GhsMsg msg) {
-    tally(type_of(msg), neighbors(u)[slot].w);
+    const GhsMsgType type = type_of(msg);
+    tally(type, neighbors(u)[slot].w);
+    // Telemetry context rides on the meter: wire type + sender's fragment
+    // name (a core-edge index; kNoFragName == kNoEventNode, so unnamed
+    // nodes emit no fragment field).
+    net_.meter().set_kind(to_msg_kind(type));
+    net_.meter().set_fragment(nodes_[u].frag);
     net_.unicast(u, neighbors(u)[slot].id, std::move(msg));
   }
 
@@ -199,6 +214,8 @@ class ClassicGhsRun {
     // its whole neighbourhood with one local broadcast.
     if (moe_ == MoeStrategy::kCachedConfirm && renamed) {
       tally(GhsMsgType::kAnnounce, radius_);
+      net_.meter().set_kind(sim::MsgKind::kAnnounce);
+      net_.meter().set_fragment(m.frag);
       net_.broadcast(u, radius_, Announce{m.frag});
     }
     n.state = m.state;
@@ -374,13 +391,18 @@ class ClassicGhsRun {
     result.fragments = topo_.node_count() - result.tree.size();
     result.breakdown = breakdown_;
     result.per_node_energy = net_.meter().per_node();
+    if (net_.meter().breakdown_enabled()) {
+      result.energy_breakdown = net_.meter().breakdown();
+      result.breakdown_recorded = true;
+    }
+    result.telemetry = net_.meter().telemetry();
     return result;
   }
 
   const sim::Topology& topo_;
   double radius_;
   MoeStrategy moe_;
-  sim::Network<GhsMsg> net_;
+  Engine net_;
   std::vector<NodeCtx> nodes_;
   std::vector<NodeId> starters_;
   std::vector<Delivery> deferred_;
@@ -392,7 +414,10 @@ class ClassicGhsRun {
 
 MstRunResult run_classic_ghs(const sim::Topology& topo,
                              const ClassicGhsOptions& options) {
-  return ClassicGhsRun(topo, options).run();
+  if (options.use_reference_engine) {
+    return ClassicGhsRun<sim::ReferenceNetwork<GhsMsg>>(topo, options).run();
+  }
+  return ClassicGhsRun<sim::Network<GhsMsg>>(topo, options).run();
 }
 
 }  // namespace emst::ghs

@@ -20,6 +20,7 @@
 #include "emst/geometry/pathloss.hpp"
 #include "emst/ghs/common.hpp"
 #include "emst/sim/network.hpp"
+#include "emst/sim/run_config.hpp"
 
 namespace emst::ghs {
 
@@ -38,11 +39,13 @@ enum class MoeStrategy {
   kCachedConfirm,
 };
 
-struct ClassicGhsOptions {
+/// Options embed the shared `sim::RunConfig` knobs. Classic GHS supports
+/// pathloss / per-node / breakdown / telemetry; the fault and ARQ knobs must
+/// stay disabled (the 1983 protocol has no loss recovery — asserted).
+struct ClassicGhsOptions : sim::RunConfig {
   /// Operating transmission radius; edges longer than this are invisible.
   /// Must be ≤ the topology's max radius. <= 0 means "use max radius".
   double radius = 0.0;
-  geometry::PathLoss pathloss{};
   MoeStrategy moe = MoeStrategy::kTestAll;
   /// Message-delay model. The default is the paper's synchronous network;
   /// nonzero max_extra_delay exercises GHS's native asynchronous setting
@@ -53,8 +56,10 @@ struct ClassicGhsOptions {
   /// arrives — the lower bound's assumption (2) in §IV. Components with no
   /// spontaneous starter never participate.
   std::vector<NodeId> spontaneous_wakeups{};
-  /// Fill MstRunResult::per_node_energy (per-sender transmit ledger).
-  bool track_per_node_energy = false;
+  /// Run over `sim::ReferenceNetwork` instead of the calendar-queue engine.
+  /// Both engines honor the same delivery contract, so results must be
+  /// byte-identical — including the telemetry event stream (tested).
+  bool use_reference_engine = false;
   /// Safety cap on simulated rounds (defends against a driver bug turning
   /// into an infinite loop; generous — GHS needs O(n log n) rounds at most).
   std::size_t max_rounds = 0;  ///< 0 = automatic (50·n + 1000)

@@ -15,7 +15,9 @@
 #include <vector>
 
 #include "emst/graph/edge.hpp"
+#include "emst/run_report.hpp"
 #include "emst/sim/meter.hpp"
+#include "emst/sim/telemetry.hpp"
 #include "emst/sim/topology.hpp"
 
 namespace emst::ghs {
@@ -55,6 +57,23 @@ enum class GhsMsgType : std::uint8_t {
 
 [[nodiscard]] const char* ghs_msg_type_name(GhsMsgType type);
 
+/// Map a GHS wire type onto the telemetry message-kind vocabulary (they are
+/// 1:1; telemetry just adds the non-GHS kinds on top).
+[[nodiscard]] constexpr sim::MsgKind to_msg_kind(GhsMsgType type) {
+  switch (type) {
+    case GhsMsgType::kConnect: return sim::MsgKind::kConnect;
+    case GhsMsgType::kInitiate: return sim::MsgKind::kInitiate;
+    case GhsMsgType::kTest: return sim::MsgKind::kTest;
+    case GhsMsgType::kAccept: return sim::MsgKind::kAccept;
+    case GhsMsgType::kReject: return sim::MsgKind::kReject;
+    case GhsMsgType::kReport: return sim::MsgKind::kReport;
+    case GhsMsgType::kChangeRoot: return sim::MsgKind::kChangeRoot;
+    case GhsMsgType::kAnnounce: return sim::MsgKind::kAnnounce;
+    case GhsMsgType::kTypeCount: break;
+  }
+  return sim::MsgKind::kData;
+}
+
 /// Per-type message and energy tallies (classic GHS fills this in; the
 /// interesting split is TEST/ACCEPT/REJECT = Θ(|E|) discovery traffic vs
 /// the Θ(n log n) INITIATE/REPORT control traffic).
@@ -86,6 +105,25 @@ struct MstRunResult {
   /// Per-node transmit-energy ledger (empty unless the run options enabled
   /// tracking). max element = the network-lifetime bound.
   std::vector<double> per_node_energy;
+  /// Per-phase × per-kind matrix (valid iff `record_breakdown` was set).
+  sim::EnergyBreakdown energy_breakdown;
+  bool breakdown_recorded = false;
+  /// The telemetry hub the run was configured with (null if none).
+  sim::Telemetry* telemetry = nullptr;
+
+  /// The algorithm-independent view (docs/API_TOUR.md). Non-owning: keep
+  /// this result alive while using the report.
+  [[nodiscard]] RunReport report() const {
+    RunReport out;
+    out.tree = &tree;
+    out.totals = totals;
+    out.phases = phases;
+    out.fragments = fragments;
+    if (!per_node_energy.empty()) out.per_node_energy = &per_node_energy;
+    if (breakdown_recorded) out.breakdown = &energy_breakdown;
+    out.telemetry = telemetry;
+    return out;
+  }
 };
 
 /// Neighbors of u within `radius`, ascending (weight, id) — the prefix of the

@@ -31,11 +31,14 @@ constexpr NodeId kNone = graph::kNoNode;
 class SyncGhsEngine {
  public:
   SyncGhsEngine(const sim::Topology& topo, const SyncGhsOptions& options,
-                const std::optional<FragmentForest>& seed)
+                const std::optional<FragmentForest>& seed,
+                sim::EnergyMeter* external_meter)
       : topo_(topo),
         opts_(options),
         radius_(options.radius > 0.0 ? options.radius : topo.max_radius()),
-        meter_(options.pathloss),
+        own_meter_(options.pathloss),
+        meter_(external_meter != nullptr ? *external_meter : own_meter_),
+        start_totals_(meter_.snapshot()),
         own_session_(options.fault_session != nullptr
                          ? sim::FaultInjector()
                          : sim::FaultInjector(options.faults)),
@@ -60,7 +63,12 @@ class SyncGhsEngine {
       for (NodeId u = 0; u < n; ++u) frag_[u] = u;
     }
     for (NodeId p : opts_.passive_fragments) passive_.insert(p);
-    if (opts_.track_per_node_energy) meter_.enable_per_node(n);
+    // Shared-meter runs (EOPT stages) must not wipe ledgers or detach
+    // telemetry the caller already configured — guard every toggle.
+    if (opts_.track_per_node_energy && meter_.per_node().size() != n)
+      meter_.enable_per_node(n);
+    if (opts_.record_breakdown) meter_.enable_breakdown();
+    if (opts_.telemetry != nullptr) meter_.attach_telemetry(opts_.telemetry);
     // Fault-mode runs burn phases on stalls and repairs, so the automatic
     // cap gets headroom; explicit caps are honored as given.
     max_phases_ = opts_.max_phases > 0
@@ -91,13 +99,21 @@ class SyncGhsEngine {
     SyncGhsResult result;
     result.run.tree = tree_;
     graph::sort_edges(result.run.tree);
-    result.run.totals = meter_.totals();
+    // Delta against entry so shared-meter (EOPT stage) runs report only
+    // their own traffic; standalone runs start from zero, so x - 0 == x
+    // bitwise and nothing changes for them.
+    result.run.totals = meter_.totals() - start_totals_;
     result.run.phases = phases;
     result.run.fragments = fragment_count();
     result.final_forest.leader = frag_;
     result.final_forest.tree = result.run.tree;
     result.fragments_per_phase = std::move(trajectory);
     result.run.per_node_energy = meter_.per_node();
+    if (meter_.breakdown_enabled()) {
+      result.run.energy_breakdown = meter_.breakdown();
+      result.run.breakdown_recorded = true;
+    }
+    result.run.telemetry = meter_.telemetry();
     result.arq = link_.stats();
     result.faults.lost = fault_->stats().lost - start_fault_stats_.lost;
     result.faults.dropped_crashed =
@@ -149,13 +165,16 @@ class SyncGhsEngine {
   }
 
   /// Charge one logical unicast into a wave buffer (for per-wave batching
-  /// of the interference log). In fault mode the message runs a full ARQ
-  /// session; the return value says whether the payload reached v.
+  /// of the interference log), tagged with its protocol message type for
+  /// telemetry / breakdown attribution. In fault mode the message runs a
+  /// full ARQ session; the return value says whether the payload reached v.
   /// Fault-free mode always delivers.
-  bool charge_wave(TxBatch& wave, NodeId u, NodeId v) {
+  bool charge_wave(TxBatch& wave, NodeId u, NodeId v, GhsMsgType type) {
     const double d = topo_.distance(u, v);
+    meter_.set_kind(to_msg_kind(type));
+    meter_.set_fragment(frag_[u]);
     if (!faulty_) {
-      meter_.charge_unicast(u, d);
+      meter_.charge_unicast(u, v, d);
       if (opts_.transmission_log != nullptr) wave.push_back({u, v, d, false});
       return true;
     }
@@ -185,8 +204,12 @@ class SyncGhsEngine {
   /// receiver independently draws a channel fate, and missed updates are
   /// repaired lazily by the reliable TEST path in local_moe.
   void announce(NodeId u) {
+    meter_.set_kind(sim::MsgKind::kAnnounce);
+    meter_.set_fragment(frag_[u]);
     if (fault_->enabled() && fault_->crashed(u)) {
       ++fault_->stats().suppressed;
+      meter_.note_event(sim::EventType::kSuppress, u, sim::kNoEventNode,
+                        radius_);
       return;
     }
     const auto receivers = neighbors_within(topo_, u, radius_);
@@ -201,10 +224,12 @@ class SyncGhsEngine {
       if (fault_->enabled()) {
         if (fault_->drop(u, nb.id)) {
           ++fault_->stats().lost;
+          meter_.note_event(sim::EventType::kLoss, u, nb.id, nb.w);
           continue;
         }
         if (fault_->crashed(nb.id)) {
           ++fault_->stats().dropped_crashed;
+          meter_.note_event(sim::EventType::kCrashDrop, u, nb.id, nb.w);
           continue;
         }
       }
@@ -219,6 +244,8 @@ class SyncGhsEngine {
   /// cache hits after a split (docs/ROBUSTNESS.md).
   void announce_repair(NodeId u) {
     if (fault_->crashed(u)) return;  // dead nodes stay silent
+    meter_.set_kind(sim::MsgKind::kAnnounce);
+    meter_.set_fragment(frag_[u]);
     const auto receivers = neighbors_within(topo_, u, radius_);
     const double power = opts_.announce_min_power
                              ? (receivers.empty() ? 0.0 : receivers.back().w)
@@ -295,9 +322,13 @@ class SyncGhsEngine {
         if (it != cache_[u].end() && it->second == frag_[u]) continue;
         if (fault_->crashed_forever(nb.id)) continue;
         ++probes;
-        const bool test_ok = charge_wave(probe_wave, u, nb.id);   // TEST
+        const bool test_ok =
+            charge_wave(probe_wave, u, nb.id, GhsMsgType::kTest);  // TEST
         const bool reply_ok =
-            test_ok && charge_wave(probe_wave, nb.id, u);  // id reply
+            test_ok && charge_wave(probe_wave, nb.id, u,
+                                   frag_[nb.id] == frag_[u]
+                                       ? GhsMsgType::kReject
+                                       : GhsMsgType::kAccept);  // id reply
         if (!reply_ok) {
           scan.conclusive = false;  // undecided edge: nothing past it counts
           break;
@@ -312,9 +343,13 @@ class SyncGhsEngine {
       // Classic probing: skip branch (tree) and rejected edges, TEST the rest.
       if (in_tree_[nb.edge_index] || rejected_[nb.edge_index]) continue;
       if (faulty_ && fault_->crashed_forever(nb.id)) continue;
-      const bool test_ok = charge_wave(probe_wave, u, nb.id);  // TEST
+      const bool test_ok =
+          charge_wave(probe_wave, u, nb.id, GhsMsgType::kTest);  // TEST
       const bool reply_ok =
-          test_ok && charge_wave(probe_wave, nb.id, u);  // ACCEPT or REJECT
+          test_ok && charge_wave(probe_wave, nb.id, u,
+                                 frag_[nb.id] == frag_[u]
+                                     ? GhsMsgType::kReject
+                                     : GhsMsgType::kAccept);  // ACCEPT/REJECT
       ++probes;
       if (faulty_ && !reply_ok) {
         scan.conclusive = false;
@@ -457,14 +492,14 @@ class SyncGhsEngine {
         const NodeId p = view.parent.at(v);
         if (p == kNone) continue;
         if (!faulty_) {
-          charge_wave(initiate_wave, p, v);
+          charge_wave(initiate_wave, p, v, GhsMsgType::kInitiate);
           continue;
         }
         if (reached.count(p) == 0) {
           intact = false;  // parent has nothing to forward: no transmission
           continue;
         }
-        if (charge_wave(initiate_wave, p, v)) {
+        if (charge_wave(initiate_wave, p, v, GhsMsgType::kInitiate)) {
           reached.insert(v);
         } else {
           intact = false;
@@ -481,7 +516,10 @@ class SyncGhsEngine {
         if (!scan.conclusive) conclusive = false;
         if (scan.best.edge_index < best.edge_index) best = scan.best;
         if (view.parent.at(v) != kNone) {
-          if (!charge_wave(report_wave, v, view.parent.at(v))) intact = false;
+          if (!charge_wave(report_wave, v, view.parent.at(v),
+                           GhsMsgType::kReport)) {
+            intact = false;
+          }
         }
       }
       max_probes = std::max(max_probes, probes);
@@ -504,12 +542,16 @@ class SyncGhsEngine {
       }
       bool chain_ok = true;
       for (std::size_t i = path.size(); i-- > 1;) {
-        if (!charge_wave(changeroot_wave, path[i], path[i - 1])) {
+        if (!charge_wave(changeroot_wave, path[i], path[i - 1],
+                         GhsMsgType::kChangeRoot)) {
           chain_ok = false;
           break;
         }
       }
-      if (chain_ok) chain_ok = charge_wave(changeroot_wave, best.from, best.to);  // CONNECT
+      if (chain_ok) {
+        chain_ok = charge_wave(changeroot_wave, best.from, best.to,
+                               GhsMsgType::kConnect);  // CONNECT
+      }
       if (chain_ok) selected[leader] = best;
     }
     if (opts_.transmission_log != nullptr) {
@@ -625,7 +667,9 @@ class SyncGhsEngine {
   const sim::Topology& topo_;
   SyncGhsOptions opts_;
   double radius_;
-  sim::EnergyMeter meter_;
+  sim::EnergyMeter own_meter_;         ///< used unless an external meter
+  sim::EnergyMeter& meter_;            ///< the meter every charge lands on
+  sim::Accounting start_totals_;       ///< shared-meter totals at entry
   sim::FaultInjector own_session_;     ///< used unless opts_.fault_session
   sim::FaultInjector* fault_;          ///< the active fault session
   sim::ArqLink link_;                  ///< ARQ simulator over fault_
@@ -652,10 +696,8 @@ class SyncGhsEngine {
 SyncGhsResult run_sync_ghs(const sim::Topology& topo, const SyncGhsOptions& options,
                            const std::optional<FragmentForest>& seed,
                            sim::EnergyMeter* external_meter) {
-  SyncGhsEngine engine(topo, options, seed);
-  SyncGhsResult result = engine.run();
-  if (external_meter != nullptr) external_meter->absorb(result.run.totals);
-  return result;
+  SyncGhsEngine engine(topo, options, seed, external_meter);
+  return engine.run();
 }
 
 std::vector<std::size_t> fragment_census(const sim::Topology& topo,
@@ -674,6 +716,9 @@ std::vector<std::size_t> fragment_census(const sim::Topology& topo,
   }
   const auto parent = sim::forest_parents(n, forest.tree, leaders);
   const auto schedule = sim::make_schedule(parent);
+  const sim::MsgKind saved_kind = meter.kind();
+  meter.set_kind(sim::MsgKind::kCensus);
+  meter.clear_fragment();
   // Size query down (payload irrelevant; the message must still be paid).
   (void)sim::tree_broadcast<std::uint8_t>(
       topo, parent, schedule, std::vector<std::uint8_t>(n, 0),
@@ -682,6 +727,7 @@ std::vector<std::size_t> fragment_census(const sim::Topology& topo,
   const auto subtree = sim::tree_convergecast<std::size_t>(
       topo, parent, schedule, std::vector<std::size_t>(n, 1),
       [](std::size_t a, std::size_t b) { return a + b; }, meter, link);
+  meter.set_kind(saved_kind);
   std::vector<std::size_t> out(n);
   for (NodeId u = 0; u < n; ++u) out[u] = subtree[forest.leader[u]];
   return out;

@@ -44,6 +44,7 @@
 #include "emst/ghs/common.hpp"
 #include "emst/sim/fault.hpp"
 #include "emst/sim/reliable.hpp"
+#include "emst/sim/run_config.hpp"
 
 namespace emst::ghs {
 
@@ -54,10 +55,12 @@ struct FragmentForest {
   std::vector<graph::Edge> tree;    ///< edges of all fragment trees
 };
 
-struct SyncGhsOptions {
+/// Options embed the shared `sim::RunConfig` knobs (pathloss, faults, ARQ,
+/// per-node / breakdown / telemetry toggles) — `options.pathloss = ...`
+/// etc. keeps compiling exactly as before the RunConfig extraction.
+struct SyncGhsOptions : sim::RunConfig {
   /// Operating transmission radius (≤ topology max radius; <= 0 → max).
   double radius = 0.0;
-  geometry::PathLoss pathloss{};
   /// true = modified GHS (neighbor cache + announcements);
   /// false = classic TEST/ACCEPT/REJECT probing.
   bool neighbor_cache = true;
@@ -78,18 +81,11 @@ struct SyncGhsOptions {
   bool retain_passive_id = true;
   /// Safety cap on phases (0 = automatic: 4·log2(n) + 16).
   std::size_t max_phases = 0;
-  /// Fill MstRunResult::per_node_energy (per-sender transmit ledger).
-  bool track_per_node_energy = false;
   /// When non-null, every transmission is also appended to this log, one
   /// batch per protocol wave (initial announce; per phase: initiate wave,
   /// MOE probes, report wave, change-root+connect, merge announcements) —
   /// the input to mac::replay_log for end-to-end interference accounting.
   TxLog* transmission_log = nullptr;
-  /// Channel faults (loss / burst loss / crashes). Default: disabled.
-  sim::FaultModel faults{};
-  /// Stop-and-wait ARQ for driver unicasts. Default: disabled (one
-  /// unreliable attempt per message).
-  sim::ArqOptions arq{};
   /// Share a fault session across runs (EOPT threads ONE injector through
   /// Step 1 → census → Step 2 so loss draws and the crash clock continue
   /// across stages). When non-null, `faults` above is ignored.
@@ -111,12 +107,23 @@ struct SyncGhsResult {
   /// permanent losses leave fragments unable to finish; true if that
   /// happened and `final_forest` is a partial result.
   bool hit_phase_cap = false;
+
+  /// The algorithm-independent view (docs/API_TOUR.md). Non-owning.
+  [[nodiscard]] RunReport report() const {
+    RunReport out = run.report();
+    out.faults = faults;
+    out.arq = arq;
+    out.hit_phase_cap = hit_phase_cap;
+    return out;
+  }
 };
 
 /// Run phase-synchronous (modified) GHS. `seed` continues from an existing
 /// fragment forest; nullopt starts from singletons. `external_meter`, when
-/// non-null, accumulates across calls (EOPT charges Step 1 + census + Step 2
-/// to one meter).
+/// non-null, is charged DIRECTLY — all transmissions, breakdown cells and
+/// telemetry events land on the caller's meter (EOPT charges Step 1 +
+/// census + Step 2 to one meter under per-step phase scopes), and the
+/// result's totals report this run's delta.
 [[nodiscard]] SyncGhsResult run_sync_ghs(
     const sim::Topology& topo, const SyncGhsOptions& options,
     const std::optional<FragmentForest>& seed = std::nullopt,

@@ -36,8 +36,12 @@ CoNntResult run_connt(const sim::Topology& topo, const CoNntOptions& options) {
 
   CoNntResult result;
   result.parent.assign(n, graph::kNoNode);
+  EMST_ASSERT_MSG(!options.faults.enabled() && !options.arq.enabled,
+                  "Co-NNT has no loss recovery; faults/ARQ unsupported");
   sim::EnergyMeter meter(options.pathloss);
   if (options.track_per_node_energy) meter.enable_per_node(n);
+  if (options.record_breakdown) meter.enable_breakdown();
+  meter.attach_telemetry(options.telemetry);
 
   std::vector<graph::NodeId> unresolved(n);
   for (graph::NodeId u = 0; u < n; ++u) unresolved[u] = u;
@@ -52,14 +56,16 @@ CoNntResult run_connt(const sim::Topology& topo, const CoNntOptions& options) {
       const double radius = ProbePlan::radius(round, n_est);
       // REQUEST: one local broadcast carrying u's coordinates.
       const std::vector<sim::NodeId> heard = topo.nodes_within(u, radius);
+      meter.set_kind(sim::MsgKind::kRequest);
       meter.charge_broadcast(u, radius, heard.size());
       // REPLIES from every higher-ranked node in range.
+      meter.set_kind(sim::MsgKind::kReply);
       graph::NodeId best = graph::kNoNode;
       double best_d = 0.0;
       for (const sim::NodeId v : heard) {
         if (!rank_less(options.scheme, points, u, v)) continue;
         const double d = topo.distance(v, u);
-        meter.charge_unicast(v, d);
+        meter.charge_unicast(v, u, d);
         if (best == graph::kNoNode || d < best_d || (d == best_d && v < best)) {
           best = v;
           best_d = d;
@@ -70,7 +76,8 @@ CoNntResult run_connt(const sim::Topology& topo, const CoNntOptions& options) {
         continue;
       }
       // CONNECTION to the nearest replier.
-      meter.charge_unicast(u, best_d);
+      meter.set_kind(sim::MsgKind::kConnection);
+      meter.charge_unicast(u, best, best_d);
       result.parent[u] = best;
       result.tree.push_back(graph::Edge{u, best, best_d}.canonical());
       result.max_connect_distance = std::max(result.max_connect_distance, best_d);
@@ -84,6 +91,11 @@ CoNntResult run_connt(const sim::Topology& topo, const CoNntOptions& options) {
   graph::sort_edges(result.tree);
   result.totals = meter.totals();
   result.per_node_energy = meter.per_node();
+  if (meter.breakdown_enabled()) {
+    result.energy_breakdown = meter.breakdown();
+    result.breakdown_recorded = true;
+  }
+  result.telemetry = meter.telemetry();
   return result;
 }
 
@@ -99,8 +111,12 @@ CoNntResult run_connt_actor(const sim::Topology& topo,
     enum class Kind : std::uint8_t { kRequest, kReply, kConnect };
     Kind kind = Kind::kRequest;
   };
-  sim::Network<Msg> net(topo, options.pathloss, /*unbounded_broadcast=*/true);
+  EMST_ASSERT_MSG(!options.faults.enabled() && !options.arq.enabled,
+                  "Co-NNT has no loss recovery; faults/ARQ unsupported");
+  sim::Network<Msg> net(topo, options.pathloss, /*unbounded_broadcast=*/true,
+                        /*delays=*/{}, /*faults=*/{}, options.telemetry);
   if (options.track_per_node_energy) net.meter().enable_per_node(n);
+  if (options.record_breakdown) net.meter().enable_breakdown();
 
   CoNntResult result;
   result.parent.assign(n, graph::kNoNode);
@@ -109,6 +125,7 @@ CoNntResult run_connt_actor(const sim::Topology& topo,
 
   for (std::size_t round = 1; !unresolved.empty(); ++round) {
     // Phase step 1: every still-searching node broadcasts a REQUEST.
+    net.meter().set_kind(sim::MsgKind::kRequest);
     std::vector<graph::NodeId> searching;
     for (const graph::NodeId u : unresolved) {
       const ProbePlan plan(options.scheme, points[u], n_est);
@@ -117,6 +134,7 @@ CoNntResult run_connt_actor(const sim::Topology& topo,
       searching.push_back(u);
     }
     // Phase step 2: higher-ranked hearers REPLY.
+    net.meter().set_kind(sim::MsgKind::kReply);
     for (const auto& d : net.collect_round()) {
       EMST_ASSERT(d.msg.kind == Msg::Kind::kRequest);
       if (rank_less(options.scheme, points, d.from, d.to)) {
@@ -137,6 +155,7 @@ CoNntResult run_connt_actor(const sim::Topology& topo,
         b = {d.from, d.distance};
       }
     }
+    net.meter().set_kind(sim::MsgKind::kConnection);
     std::vector<graph::NodeId> still_unresolved;
     for (const graph::NodeId u : searching) {
       const Best& b = best[u];
@@ -158,6 +177,11 @@ CoNntResult run_connt_actor(const sim::Topology& topo,
   graph::sort_edges(result.tree);
   result.totals = net.meter().totals();
   result.per_node_energy = net.meter().per_node();
+  if (net.meter().breakdown_enabled()) {
+    result.energy_breakdown = net.meter().breakdown();
+    result.breakdown_recorded = true;
+  }
+  result.telemetry = net.meter().telemetry();
   return result;
 }
 

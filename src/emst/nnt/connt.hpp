@@ -20,17 +20,18 @@
 #include "emst/geometry/pathloss.hpp"
 #include "emst/ghs/common.hpp"
 #include "emst/nnt/rank.hpp"
+#include "emst/sim/run_config.hpp"
 
 namespace emst::nnt {
 
-struct CoNntOptions {
+/// Options embed the shared `sim::RunConfig` knobs. Co-NNT supports
+/// pathloss / per-node / breakdown / telemetry; the fault and ARQ knobs must
+/// stay disabled (the protocol has no loss recovery — asserted).
+struct CoNntOptions : sim::RunConfig {
   RankScheme scheme = RankScheme::kDiagonal;
-  geometry::PathLoss pathloss{};
   /// Assumed network-size knowledge: the protocol needs only a Θ(n)
   /// estimate (Thm 6.2); scale the true n to emulate estimation error.
   double n_estimate_factor = 1.0;
-  /// Fill CoNntResult::per_node_energy (per-sender transmit ledger).
-  bool track_per_node_energy = false;
 };
 
 struct CoNntResult {
@@ -40,6 +41,23 @@ struct CoNntResult {
   std::size_t max_probe_rounds = 0;   ///< deepest doubling sequence used
   double max_connect_distance = 0.0;  ///< longest tree edge (Lemma 6.3 check)
   std::vector<double> per_node_energy;  ///< empty unless tracking enabled
+  /// Per-phase × per-kind matrix (valid iff `record_breakdown` was set);
+  /// Co-NNT splits into kRequest / kReply / kConnection kinds.
+  sim::EnergyBreakdown energy_breakdown;
+  bool breakdown_recorded = false;
+  sim::Telemetry* telemetry = nullptr;
+
+  /// The algorithm-independent view (docs/API_TOUR.md). Non-owning.
+  [[nodiscard]] RunReport report() const {
+    RunReport out;
+    out.tree = &tree;
+    out.totals = totals;
+    out.fragments = parent.size() - tree.size();
+    if (!per_node_energy.empty()) out.per_node_energy = &per_node_energy;
+    if (breakdown_recorded) out.breakdown = &energy_breakdown;
+    out.telemetry = telemetry;
+    return out;
+  }
 };
 
 /// Run the distributed Co-NNT construction. Probe radii may exceed the

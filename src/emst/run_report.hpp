@@ -1,0 +1,42 @@
+// Uniform view over every algorithm's result (docs/API_TOUR.md).
+//
+// `SyncGhsResult`, `EoptResult`, `ClassicGhsRun`'s `MstRunResult` and
+// `CoNntResult` keep their algorithm-specific fields, but each exposes
+// `report()` returning this common shape, so the CLI, benches and harness
+// scripts handle all algorithms through one code path. Pointer members
+// reference the underlying result — the report is a non-owning view; keep
+// the result alive while using it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "emst/graph/edge.hpp"
+#include "emst/sim/fault.hpp"
+#include "emst/sim/meter.hpp"
+#include "emst/sim/reliable.hpp"
+#include "emst/sim/telemetry.hpp"
+
+namespace emst {
+
+struct RunReport {
+  const std::vector<graph::Edge>* tree = nullptr;  ///< never null in practice
+  sim::Accounting totals;
+  std::size_t phases = 0;
+  std::size_t fragments = 0;  ///< 0 when the algorithm doesn't report it
+  sim::FaultStats faults;     ///< all-zero for fault-free algorithms
+  sim::ArqStats arq;          ///< all-zero without ARQ
+  /// Per-node transmit energy; null when tracking was off.
+  const std::vector<double>* per_node_energy = nullptr;
+  /// Per-phase × per-kind matrix; null unless `record_breakdown` was set.
+  const sim::EnergyBreakdown* breakdown = nullptr;
+  /// The telemetry hub the run was configured with (null if none).
+  sim::Telemetry* telemetry = nullptr;
+  bool hit_phase_cap = false;
+
+  [[nodiscard]] bool has_per_node() const noexcept {
+    return per_node_energy != nullptr && !per_node_energy->empty();
+  }
+};
+
+}  // namespace emst

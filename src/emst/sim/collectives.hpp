@@ -95,7 +95,7 @@ template <typename T, typename Fn>
       extra_rounds += out.extra_rounds;
       if (!out.delivered) continue;  // child keeps its stale/initial value
     } else {
-      meter.charge_unicast(parent[u], topo.distance(parent[u], u));
+      meter.charge_unicast(parent[u], u, topo.distance(parent[u], u));
     }
     values[u] = fn(values[parent[u]], u);
   }
@@ -126,7 +126,7 @@ template <typename T, typename Combine>
       extra_rounds += out.extra_rounds;
       if (!out.delivered) continue;  // parent never folds this subtree in
     } else {
-      meter.charge_unicast(u, topo.distance(u, parent[u]));
+      meter.charge_unicast(u, parent[u], topo.distance(u, parent[u]));
     }
     values[parent[u]] = combine(values[parent[u]], values[u]);
   }

@@ -7,14 +7,22 @@
 //    number of receivers (the radio/wireless feature the paper highlights).
 // The meter also counts messages (message complexity) and synchronous rounds
 // (time complexity) so benches can report all three classical measures.
+//
+// The meter is additionally the single chokepoint for structured telemetry
+// (telemetry.hpp): it carries the current phase/kind/fragment context, folds
+// every charge into the per-phase × per-kind `EnergyBreakdown` matrix when
+// enabled, and stamps `TelemetryEvent`s into an attached `Telemetry`. All of
+// it is opt-in; disabled meters behave exactly like the seed meter.
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "emst/geometry/pathloss.hpp"
+#include "emst/sim/telemetry.hpp"
 
 namespace emst::sim {
 
@@ -61,22 +69,96 @@ struct Accounting {
   }
 };
 
+/// Per-phase × per-kind energy/message matrix plus per-phase round counts —
+/// the measurable form of the paper's Thm 5.3 breakdown and §V-A message-
+/// class attributions. Cells accumulate in charge order, so a matrix rebuilt
+/// by replaying the telemetry event stream is bitwise identical (tested).
+struct EnergyBreakdown {
+  static constexpr std::size_t kPhases =
+      static_cast<std::size_t>(PhaseTag::kCount);
+  static constexpr std::size_t kKinds =
+      static_cast<std::size_t>(MsgKind::kCount);
+
+  struct Cell {
+    double energy = 0.0;
+    std::uint64_t messages = 0;
+    [[nodiscard]] bool operator==(const Cell&) const = default;
+  };
+
+  std::array<std::array<Cell, kKinds>, kPhases> cells{};
+  std::array<std::uint64_t, kPhases> unicasts{};
+  std::array<std::uint64_t, kPhases> broadcasts{};
+  std::array<std::uint64_t, kPhases> deliveries{};
+  std::array<std::uint64_t, kPhases> rounds{};
+
+  [[nodiscard]] Cell& cell(PhaseTag phase, MsgKind kind) {
+    return cells[static_cast<std::size_t>(phase)]
+                [static_cast<std::size_t>(kind)];
+  }
+  [[nodiscard]] const Cell& cell(PhaseTag phase, MsgKind kind) const {
+    return cells[static_cast<std::size_t>(phase)]
+                [static_cast<std::size_t>(kind)];
+  }
+
+  /// THE definition of a phase's accounting: energy is the row sum over
+  /// kinds, in kind order. Every consumer (EoptResult step totals, the CLI
+  /// --breakdown matrix footer) derives from this one function, so the
+  /// reported breakdowns cannot disagree — not even in the last ulp.
+  [[nodiscard]] Accounting phase_total(PhaseTag phase) const {
+    const std::size_t p = static_cast<std::size_t>(phase);
+    Accounting out;
+    for (const Cell& c : cells[p]) out.energy += c.energy;
+    out.unicasts = unicasts[p];
+    out.broadcasts = broadcasts[p];
+    out.deliveries = deliveries[p];
+    out.rounds = rounds[p];
+    return out;
+  }
+
+  [[nodiscard]] bool operator==(const EnergyBreakdown&) const = default;
+};
+
 class EnergyMeter {
  public:
   explicit EnergyMeter(geometry::PathLoss model = {}) : model_(model) {}
 
   void charge_unicast(double distance) {
-    charge_unicast(kAnonymousSender, distance);
+    charge_unicast(kAnonymousSender, kAnonymousSender, distance);
   }
 
   /// Sender-attributed unicast: also feeds the per-node ledger when enabled.
   void charge_unicast(std::uint32_t from, double distance) {
+    charge_unicast(from, kAnonymousSender, distance);
+  }
+
+  /// Fully-attributed unicast: sender, receiver, distance. The receiver is
+  /// telemetry-only (awake-round tracking, trace records); prefer this
+  /// overload wherever the callsite knows who it is talking to.
+  void charge_unicast(std::uint32_t from, std::uint32_t to, double distance) {
     const double cost = model_.cost(distance);
     totals_.energy += cost;
     ++totals_.unicasts;
     ++totals_.deliveries;
     attribute(from, cost);
     if (tracing_) trace_.push_back({TraceEvent::Kind::kUnicast, distance, 1});
+    if (breakdown_on_) {
+      EnergyBreakdown::Cell& c = breakdown_.cell(phase_, kind_);
+      c.energy += cost;
+      ++c.messages;
+      const std::size_t p = static_cast<std::size_t>(phase_);
+      ++breakdown_.unicasts[p];
+      ++breakdown_.deliveries[p];
+    }
+    if (telemetry_ != nullptr) {
+      TelemetryEvent event;
+      event.type = EventType::kUnicast;
+      stamp(event);
+      event.from = from;
+      event.to = to;
+      event.reach = distance;
+      event.energy = cost;
+      telemetry_->record(event);
+    }
   }
 
   void charge_broadcast(double radius, std::size_t receivers) {
@@ -94,6 +176,40 @@ class EnergyMeter {
       trace_.push_back({TraceEvent::Kind::kBroadcast, radius,
                         static_cast<std::uint32_t>(receivers)});
     }
+    if (breakdown_on_) {
+      EnergyBreakdown::Cell& c = breakdown_.cell(phase_, kind_);
+      c.energy += cost;
+      ++c.messages;
+      const std::size_t p = static_cast<std::size_t>(phase_);
+      ++breakdown_.broadcasts[p];
+      breakdown_.deliveries[p] += receivers;
+    }
+    if (telemetry_ != nullptr) {
+      TelemetryEvent event;
+      event.type = EventType::kBroadcast;
+      stamp(event);
+      event.from = from;
+      event.receivers = static_cast<std::uint32_t>(receivers);
+      event.reach = radius;
+      event.energy = cost;
+      telemetry_->record(event);
+    }
+  }
+
+  /// Record a non-charge event (drop, suppression, ARQ bookkeeping) with the
+  /// meter's current phase/kind/fragment/round context. No-op without
+  /// attached telemetry; never touches Accounting or the breakdown.
+  void note_event(EventType type, std::uint32_t from, std::uint32_t to,
+                  double reach = 0.0, std::uint64_t value = 0) {
+    if (telemetry_ == nullptr) return;
+    TelemetryEvent event;
+    event.type = type;
+    stamp(event);
+    event.from = from;
+    event.to = to;
+    event.reach = reach;
+    event.value = value;
+    telemetry_->record(event);
   }
 
   /// Track each node's transmit-energy ledger (the paper's motivation is
@@ -125,8 +241,78 @@ class EnergyMeter {
     return energy;
   }
 
-  void tick_round() noexcept { ++totals_.rounds; }
-  void tick_rounds(std::uint64_t k) noexcept { totals_.rounds += k; }
+  // -- Telemetry context ---------------------------------------------------
+
+  /// Accumulate the per-phase × per-kind matrix (off by default; ~1 KiB of
+  /// meter state plus a few adds per charge when on).
+  void enable_breakdown() { breakdown_on_ = true; }
+  [[nodiscard]] bool breakdown_enabled() const noexcept {
+    return breakdown_on_;
+  }
+  [[nodiscard]] const EnergyBreakdown& breakdown() const noexcept {
+    return breakdown_;
+  }
+
+  /// Attach an event hub. Inert telemetry (no sink, no aggregation) is
+  /// dropped here so charge paths only ever test one pointer.
+  void attach_telemetry(Telemetry* telemetry) noexcept {
+    telemetry_ = (telemetry != nullptr && telemetry->active()) ? telemetry
+                                                               : nullptr;
+  }
+  [[nodiscard]] Telemetry* telemetry() const noexcept { return telemetry_; }
+
+  void set_phase(PhaseTag phase) noexcept { phase_ = phase; }
+  [[nodiscard]] PhaseTag phase() const noexcept { return phase_; }
+  void set_kind(MsgKind kind) noexcept { kind_ = kind; }
+  [[nodiscard]] MsgKind kind() const noexcept { return kind_; }
+  void set_fragment(std::uint32_t fragment) noexcept { fragment_ = fragment; }
+  void clear_fragment() noexcept { fragment_ = kNoEventNode; }
+
+  /// Tag the next charges as ARQ-managed frames (retransmit = timeout
+  /// re-send rather than first attempt). Only ArqLink / ReliableChannel set
+  /// these; the replay validator keys ArqStats reconstruction off them.
+  void set_arq_frame(bool retransmit) noexcept {
+    flags_ = static_cast<std::uint8_t>(
+        kEventFlagArq | (retransmit ? kEventFlagRetransmit : 0));
+  }
+  void clear_arq_frame() noexcept { flags_ = 0; }
+
+  /// RAII phase setter: restores the previous phase on scope exit, so
+  /// nested stages compose and early returns can't leak a stale tag.
+  class PhaseScope {
+   public:
+    PhaseScope(EnergyMeter& meter, PhaseTag phase)
+        : meter_(meter), saved_(meter.phase()) {
+      meter_.set_phase(phase);
+    }
+    ~PhaseScope() { meter_.set_phase(saved_); }
+    PhaseScope(const PhaseScope&) = delete;
+    PhaseScope& operator=(const PhaseScope&) = delete;
+
+   private:
+    EnergyMeter& meter_;
+    PhaseTag saved_;
+  };
+  [[nodiscard]] PhaseScope scoped_phase(PhaseTag phase) {
+    return PhaseScope(*this, phase);
+  }
+
+  // ------------------------------------------------------------------------
+
+  void tick_round() { tick_rounds(1); }
+  void tick_rounds(std::uint64_t k) {
+    if (k == 0) return;  // no event either — replay sees the same stream
+    totals_.rounds += k;
+    if (breakdown_on_)
+      breakdown_.rounds[static_cast<std::size_t>(phase_)] += k;
+    if (telemetry_ != nullptr) {
+      TelemetryEvent event;
+      event.type = EventType::kRound;
+      stamp(event);  // round stamped after the increment: clock-final value
+      event.value = k;
+      telemetry_->record(event);
+    }
+  }
 
   /// Fold another accounting into this meter (per-step meters → run total).
   void absorb(const Accounting& other) noexcept { totals_ += other; }
@@ -145,11 +331,29 @@ class EnergyMeter {
     if (from < per_node_.size()) per_node_[from] += cost;
   }
 
+  /// Copy the ambient context (phase/kind/flags/fragment/clock) into event.
+  void stamp(TelemetryEvent& event) const noexcept {
+    event.kind = kind_;
+    event.phase = phase_;
+    event.flags = flags_;
+    event.fragment = fragment_;
+    event.round = totals_.rounds;
+  }
+
   geometry::PathLoss model_;
   Accounting totals_;
   bool tracing_ = false;
   std::vector<TraceEvent> trace_;
   std::vector<double> per_node_;
+
+  // Telemetry context (all inert unless opted into).
+  bool breakdown_on_ = false;
+  EnergyBreakdown breakdown_{};
+  Telemetry* telemetry_ = nullptr;
+  PhaseTag phase_ = PhaseTag::kRun;
+  MsgKind kind_ = MsgKind::kData;
+  std::uint8_t flags_ = 0;
+  std::uint32_t fragment_ = kNoEventNode;
 };
 
 }  // namespace emst::sim

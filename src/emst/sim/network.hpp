@@ -73,14 +73,16 @@ class Network {
  public:
   Network(const Topology& topo, geometry::PathLoss model = {},
           bool unbounded_broadcast = false, DelayModel delays = {},
-          FaultModel faults = {})
+          FaultModel faults = {}, Telemetry* telemetry = nullptr)
       : topo_(topo),
         meter_(model),
         unbounded_broadcast_(unbounded_broadcast),
         delays_(delays),
         delay_rng_(delays.seed),
         faults_(faults),
-        buckets_(delays.max_extra_delay + 1) {}
+        buckets_(delays.max_extra_delay + 1) {
+    meter_.attach_telemetry(telemetry);
+  }
 
   /// Send m from u to v; delivered next round. Charges d(u,v)^α.
   /// With `unbounded_broadcast` (power-adaptive radios, e.g. Co-NNT), the
@@ -94,9 +96,10 @@ class Network {
                     "unicast beyond the maximum transmission radius");
     if (faults_.enabled() && faults_.crashed(u)) {
       ++faults_.stats().suppressed;
+      meter_.note_event(EventType::kSuppress, u, v, d);
       return;
     }
-    meter_.charge_unicast(u, d);
+    meter_.charge_unicast(u, v, d);
     enqueue(u, v, d, std::move(m));
   }
 
@@ -124,22 +127,7 @@ class Network {
     std::vector<Item>& bucket = buckets_[head_];
     head_ = head_ + 1 == buckets_.size() ? 0 : head_ + 1;
     inflight_count_ -= bucket.size();
-    if (faults_.enabled()) {
-      faults_.advance_to(now_);
-      // Channel losses (drawn at send time) and messages to a receiver that
-      // is down NOW are dropped here, at delivery time.
-      std::erase_if(bucket, [&](const Item& item) {
-        if (item.lost) {
-          ++faults_.stats().lost;
-          return true;
-        }
-        if (faults_.crashed(item.to)) {
-          ++faults_.stats().dropped_crashed;
-          return true;
-        }
-        return false;
-      });
-    }
+    if (faults_.enabled()) faults_.advance_to(now_);
     std::vector<Delivery<Msg>> out;
     out.reserve(bucket.size());
     drain_by_receiver(bucket, out);
@@ -176,6 +164,7 @@ class Network {
     }
     if (faults_.enabled() && faults_.crashed(u)) {
       ++faults_.stats().suppressed;
+      meter_.note_event(EventType::kSuppress, u, kNoEventNode, radius);
       return;
     }
     receivers_.clear();
@@ -228,6 +217,29 @@ class Network {
     ++inflight_count_;
   }
 
+  /// Final emit step for one ordered item: drop doomed messages (recording
+  /// the fault stat + telemetry event) or hand the survivor out. Fault
+  /// filtering happens HERE, after receiver ordering, so drop events appear
+  /// in the same (receiver, sequence) order the reference engine emits them
+  /// — survivors are unaffected (stable ordering of the full bucket equals
+  /// stable ordering of the survivors).
+  void deliver(Item& item, std::vector<Delivery<Msg>>& out) {
+    if (faults_.enabled()) {
+      if (item.lost) {
+        ++faults_.stats().lost;
+        meter_.note_event(EventType::kLoss, item.from, item.to, item.distance);
+        return;
+      }
+      if (faults_.crashed(item.to)) {
+        ++faults_.stats().dropped_crashed;
+        meter_.note_event(EventType::kCrashDrop, item.from, item.to,
+                          item.distance);
+        return;
+      }
+    }
+    out.push_back({item.from, item.to, item.distance, std::move(item.msg)});
+  }
+
   /// Move the bucket's items into `out` ordered by (receiver, send
   /// sequence). Three strategies, cheapest first: the bucket is often
   /// already in receiver order (single sender walking its neighbor list);
@@ -246,8 +258,7 @@ class Network {
       }
     }
     if (in_order) {
-      for (Item& item : bucket)
-        out.push_back({item.from, item.to, item.distance, std::move(item.msg)});
+      for (Item& item : bucket) deliver(item, out);
       return;
     }
     order_.resize(b);
@@ -276,10 +287,7 @@ class Network {
         order_[recv_slot_[bucket[i].to]++] = static_cast<std::uint32_t>(i);
       for (const NodeId r : touched_) recv_slot_[r] = 0;
     }
-    for (const std::uint32_t idx : order_) {
-      Item& item = bucket[idx];
-      out.push_back({item.from, item.to, item.distance, std::move(item.msg)});
-    }
+    for (const std::uint32_t idx : order_) deliver(bucket[idx], out);
   }
 
   static constexpr std::size_t kSmallBucket = 48;

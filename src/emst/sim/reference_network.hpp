@@ -31,13 +31,15 @@ class ReferenceNetwork {
  public:
   ReferenceNetwork(const Topology& topo, geometry::PathLoss model = {},
                    bool unbounded_broadcast = false, DelayModel delays = {},
-                   FaultModel faults = {})
+                   FaultModel faults = {}, Telemetry* telemetry = nullptr)
       : topo_(topo),
         meter_(model),
         unbounded_broadcast_(unbounded_broadcast),
         delays_(delays),
         delay_rng_(delays.seed),
-        faults_(faults) {}
+        faults_(faults) {
+    meter_.attach_telemetry(telemetry);
+  }
 
   /// Send m from u to v; delivered next round. Charges d(u,v)^α.
   void unicast(NodeId u, NodeId v, Msg m) {
@@ -48,9 +50,10 @@ class ReferenceNetwork {
                     "unicast beyond the maximum transmission radius");
     if (faults_.enabled() && faults_.crashed(u)) {
       ++faults_.stats().suppressed;
+      meter_.note_event(EventType::kSuppress, u, v, d);
       return;
     }
-    meter_.charge_unicast(u, d);
+    meter_.charge_unicast(u, v, d);
     enqueue(u, v, d, std::move(m));
   }
 
@@ -64,6 +67,7 @@ class ReferenceNetwork {
     }
     if (faults_.enabled() && faults_.crashed(u)) {
       ++faults_.stats().suppressed;
+      meter_.note_event(EventType::kSuppress, u, kNoEventNode, radius);
       return;
     }
     std::vector<NodeId> receivers;
@@ -103,10 +107,13 @@ class ReferenceNetwork {
       // Same delivery-time drop rule as Network (see network.hpp).
       if (item.lost) {
         ++faults_.stats().lost;
+        meter_.note_event(EventType::kLoss, item.from, item.to, item.distance);
         continue;
       }
       if (faults_.enabled() && faults_.crashed(item.to)) {
         ++faults_.stats().dropped_crashed;
+        meter_.note_event(EventType::kCrashDrop, item.from, item.to,
+                          item.distance);
         continue;
       }
       out.push_back({item.from, item.to, item.distance, std::move(item.msg)});

@@ -6,9 +6,16 @@ ArqOutcome ArqLink::transmit(EnergyMeter& meter, graph::NodeId u,
                              graph::NodeId v, double distance) {
   ArqOutcome out;
   if (injector_ != nullptr && injector_->crashed(u)) {
+    // Flags are clear here, so the replayer does NOT count this toward
+    // data_sent — matching the live stats, which skip the whole session.
     ++injector_->stats().suppressed;  // a dead radio transmits nothing
+    meter.note_event(EventType::kSuppress, u, v, distance);
     return out;
   }
+  // Every frame this session charges is flagged as ARQ-managed (even the
+  // single-attempt degenerate mode): the replay validator reconstructs
+  // data_sent / retransmissions / acks_sent from exactly these flags.
+  const MsgKind payload_kind = meter.kind();
   const std::uint32_t attempts = arq_.enabled ? arq_.max_retries + 1 : 1;
   std::uint32_t rto = arq_.rto_rounds;
   for (std::uint32_t attempt = 0; attempt < attempts; ++attempt) {
@@ -18,33 +25,44 @@ ArqOutcome ArqLink::transmit(EnergyMeter& meter, graph::NodeId u,
     } else {
       ++stats_.retransmissions;
     }
-    meter.charge_unicast(u, distance);  // lost or not, the radio transmitted
+    meter.set_arq_frame(/*retransmit=*/attempt != 0);
+    meter.charge_unicast(u, v, distance);  // lost or not, the radio transmitted
     bool data_ok = true;
     if (injector_ != nullptr) {
       if (injector_->drop(u, v)) {
         data_ok = false;
         ++injector_->stats().lost;
+        meter.note_event(EventType::kLoss, u, v, distance);
       } else if (injector_->crashed(v)) {
         data_ok = false;
         ++injector_->stats().dropped_crashed;
+        meter.note_event(EventType::kCrashDrop, u, v, distance);
       }
     }
     if (data_ok) {
-      if (out.delivered) ++stats_.duplicates;
+      if (out.delivered) {
+        ++stats_.duplicates;
+        meter.note_event(EventType::kArqDuplicate, v, u);
+      }
       out.delivered = true;
       if (!arq_.enabled) break;
       // Stop-and-wait: the receiver confirms every copy it hears.
       ++out.ack_attempts;
       ++stats_.acks_sent;
-      meter.charge_unicast(v, distance);
+      meter.set_arq_frame(/*retransmit=*/false);
+      meter.set_kind(MsgKind::kArqAck);
+      meter.charge_unicast(v, u, distance);
+      meter.set_kind(payload_kind);
       bool ack_ok = true;
       if (injector_ != nullptr) {
         if (injector_->drop(v, u)) {
           ack_ok = false;
           ++injector_->stats().lost;
+          meter.note_event(EventType::kLoss, v, u, distance);
         } else if (injector_->crashed(u)) {
           ack_ok = false;
           ++injector_->stats().dropped_crashed;
+          meter.note_event(EventType::kCrashDrop, v, u, distance);
         }
       }
       if (ack_ok) {
@@ -57,9 +75,18 @@ ArqOutcome ArqLink::transmit(EnergyMeter& meter, graph::NodeId u,
       rto = std::min(rto * arq_.backoff, ArqOptions::kRtoCap);
     }
   }
-  if (arq_.enabled && !out.acked) ++stats_.give_ups;
-  if (out.delivered) ++stats_.delivered;
+  meter.clear_arq_frame();
+  if (arq_.enabled && !out.acked) {
+    ++stats_.give_ups;
+    meter.note_event(EventType::kArqGiveUp, u, v);
+  }
+  if (out.delivered) {
+    ++stats_.delivered;
+    meter.note_event(EventType::kArqDeliver, u, v);
+  }
   stats_.timeout_rounds += out.extra_rounds;
+  if (out.extra_rounds > 0)
+    meter.note_event(EventType::kArqTimeout, u, v, 0.0, out.extra_rounds);
   return out;
 }
 

@@ -128,8 +128,9 @@ class ReliableChannel {
 
   ReliableChannel(const Topology& topo, geometry::PathLoss model = {},
                   DelayModel delays = {}, FaultModel faults = {},
-                  ArqOptions arq = {})
-      : net_(topo, model, /*unbounded_broadcast=*/false, delays, faults),
+                  ArqOptions arq = {}, Telemetry* telemetry = nullptr)
+      : net_(topo, model, /*unbounded_broadcast=*/false, delays, faults,
+             telemetry),
         arq_(arq) {
     EMST_ASSERT_MSG(arq.rto_rounds >= 2 + delays.max_extra_delay,
                     "RTO must exceed the DATA+ACK round trip or every "
@@ -215,8 +216,13 @@ class ReliableChannel {
     link.deadline = now_ + link.rto;
     ++active_sessions_;
     ++stats_.data_sent;
+    // Frames are flagged so the replayer can rebuild data_sent /
+    // retransmissions / acks_sent; a suppressed send (crashed sender) still
+    // counts because its kSuppress event carries the same flags.
+    net_.meter().set_arq_frame(/*retransmit=*/false);
     net_.unicast(link.from, link.to,
                  Frame{false, link.send_seq, *link.in_flight});
+    net_.meter().clear_arq_frame();
   }
 
   void finish_session(Link& link) {
@@ -231,15 +237,23 @@ class ReliableChannel {
     // previous ACK was lost) but hands at most one to the application.
     Link& link = link_state(d.from, d.to);  // keyed by the DATA direction
     ++stats_.acks_sent;
+    EnergyMeter& meter = net_.meter();
+    const MsgKind payload_kind = meter.kind();
+    meter.set_arq_frame(/*retransmit=*/false);
+    meter.set_kind(MsgKind::kArqAck);
     net_.unicast(d.to, d.from, Frame{true, d.msg.seq, Msg{}});
+    meter.set_kind(payload_kind);
+    meter.clear_arq_frame();
     if (d.msg.seq < link.next_expected) {
       ++stats_.duplicates;
+      meter.note_event(EventType::kArqDuplicate, d.from, d.to);
       return;
     }
     // seq gaps happen only when the sender gave up on an earlier message;
     // the survivor is still new — deliver it.
     link.next_expected = d.msg.seq + 1;
     ++stats_.delivered;
+    meter.note_event(EventType::kArqDeliver, d.from, d.to);
     out.push_back({d.from, d.to, d.distance, std::move(d.msg.payload)});
   }
 
@@ -254,16 +268,21 @@ class ReliableChannel {
       if (!link.in_flight.has_value() || now_ < link.deadline) continue;
       if (link.retries >= arq_.max_retries) {
         ++stats_.give_ups;
+        net_.meter().note_event(EventType::kArqGiveUp, link.from, link.to);
         finish_session(link);
         continue;
       }
       ++link.retries;
       ++stats_.retransmissions;
       stats_.timeout_rounds += link.rto;
+      net_.meter().note_event(EventType::kArqTimeout, link.from, link.to, 0.0,
+                              link.rto);
       link.rto = std::min(link.rto * arq_.backoff, ArqOptions::kRtoCap);
       link.deadline = now_ + link.rto;
+      net_.meter().set_arq_frame(/*retransmit=*/true);
       net_.unicast(link.from, link.to,
                    Frame{false, link.send_seq, *link.in_flight});
+      net_.meter().clear_arq_frame();
     }
   }
 

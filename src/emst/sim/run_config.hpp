@@ -1,0 +1,36 @@
+// Shared run configuration (docs/API_TOUR.md).
+//
+// The four algorithm drivers (sync GHS, EOPT, classic GHS, Co-NNT) used to
+// carry their own copies of the same knobs — path loss, fault model, ARQ,
+// per-node tracking — and benches/CLI special-cased each. `RunConfig` is the
+// common base every options struct embeds (by inheritance, so existing
+// `options.pathloss = ...` field access compiles unchanged), and the single
+// place a caller wires telemetry into a run.
+#pragma once
+
+#include "emst/geometry/pathloss.hpp"
+#include "emst/sim/fault.hpp"
+#include "emst/sim/reliable.hpp"
+#include "emst/sim/telemetry.hpp"
+
+namespace emst::sim {
+
+struct RunConfig {
+  /// Energy cost model d^α (paper §II).
+  geometry::PathLoss pathloss{};
+  /// Message-loss / crash schedule. `faults.enabled()` gates all fault-path
+  /// work; a default model costs nothing. Classic GHS and Co-NNT do not
+  /// implement the fault protocol and reject enabled faults.
+  FaultModel faults{};
+  /// Stop-and-wait ARQ on logical unicasts (sync GHS / EOPT / census only).
+  ArqOptions arq{};
+  /// Maintain the per-node transmit-energy ledger (network-lifetime bound).
+  bool track_per_node_energy = false;
+  /// Accumulate the per-phase × per-kind EnergyBreakdown matrix.
+  bool record_breakdown = false;
+  /// Optional event hub; configure its sink/aggregation BEFORE the run (the
+  /// meter snapshots activity at attach time). Null or inert = zero cost.
+  Telemetry* telemetry = nullptr;
+};
+
+}  // namespace emst::sim

@@ -1,0 +1,128 @@
+#include "emst/sim/telemetry.hpp"
+
+#include <cstdio>
+
+namespace emst::sim {
+
+std::string_view phase_tag_name(PhaseTag phase) {
+  switch (phase) {
+    case PhaseTag::kRun: return "run";
+    case PhaseTag::kStep1: return "step1";
+    case PhaseTag::kCensus: return "census";
+    case PhaseTag::kStep2: return "step2";
+    case PhaseTag::kCount: break;
+  }
+  return "?";
+}
+
+std::string_view msg_kind_name(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kData: return "data";
+    case MsgKind::kConnect: return "connect";
+    case MsgKind::kInitiate: return "initiate";
+    case MsgKind::kTest: return "test";
+    case MsgKind::kAccept: return "accept";
+    case MsgKind::kReject: return "reject";
+    case MsgKind::kReport: return "report";
+    case MsgKind::kChangeRoot: return "change_root";
+    case MsgKind::kAnnounce: return "announce";
+    case MsgKind::kCensus: return "census";
+    case MsgKind::kRequest: return "request";
+    case MsgKind::kReply: return "reply";
+    case MsgKind::kConnection: return "connection";
+    case MsgKind::kArqAck: return "arq_ack";
+    case MsgKind::kCount: break;
+  }
+  return "?";
+}
+
+std::string_view event_type_name(EventType type) {
+  switch (type) {
+    case EventType::kUnicast: return "uni";
+    case EventType::kBroadcast: return "bcast";
+    case EventType::kLoss: return "loss";
+    case EventType::kCrashDrop: return "crash";
+    case EventType::kSuppress: return "sup";
+    case EventType::kArqDeliver: return "adel";
+    case EventType::kArqDuplicate: return "adup";
+    case EventType::kArqGiveUp: return "agup";
+    case EventType::kArqTimeout: return "atmo";
+    case EventType::kRound: return "round";
+    case EventType::kCount: break;
+  }
+  return "?";
+}
+
+void JsonlTraceSink::on_event(const TelemetryEvent& event) {
+  // One snprintf per event into a stack buffer: optional fields are elided
+  // when at their defaults so idle-heavy traces stay small, and %.17g keeps
+  // doubles exact across a JSONL round-trip (scripts/check_trace.py replays
+  // the file and demands bitwise-equal energy totals).
+  char buf[512];
+  int len = std::snprintf(buf, sizeof(buf),
+                          "{\"ev\":\"%.*s\",\"kind\":\"%.*s\","
+                          "\"phase\":\"%.*s\",\"round\":%llu",
+                          static_cast<int>(event_type_name(event.type).size()),
+                          event_type_name(event.type).data(),
+                          static_cast<int>(msg_kind_name(event.kind).size()),
+                          msg_kind_name(event.kind).data(),
+                          static_cast<int>(phase_tag_name(event.phase).size()),
+                          phase_tag_name(event.phase).data(),
+                          static_cast<unsigned long long>(event.round));
+  auto append = [&](const char* fmt, auto... args) {
+    if (len < 0 || len >= static_cast<int>(sizeof(buf))) return;
+    const int wrote = std::snprintf(buf + len, sizeof(buf) - len, fmt, args...);
+    if (wrote > 0) len += wrote;
+  };
+  if (event.from != kNoEventNode)
+    append(",\"from\":%u", static_cast<unsigned>(event.from));
+  if (event.to != kNoEventNode)
+    append(",\"to\":%u", static_cast<unsigned>(event.to));
+  if (event.receivers != 0)
+    append(",\"receivers\":%u", static_cast<unsigned>(event.receivers));
+  if (event.fragment != kNoEventNode)
+    append(",\"fragment\":%u", static_cast<unsigned>(event.fragment));
+  if (event.flags != 0)
+    append(",\"flags\":%u", static_cast<unsigned>(event.flags));
+  if (event.value != 0)
+    append(",\"value\":%llu", static_cast<unsigned long long>(event.value));
+  if (event.reach != 0.0) append(",\"reach\":%.17g", event.reach);
+  if (event.energy != 0.0) append(",\"energy\":%.17g", event.energy);
+  append("}");
+  if (len > 0 && len < static_cast<int>(sizeof(buf))) {
+    out_.write(buf, len);
+    out_.put('\n');
+  }
+}
+
+void TelemetryAggregate::touch(std::uint32_t node, std::uint64_t round) {
+  // last_active_ stores round+1 so 0 can mean "never active".
+  if (node >= last_active_.size()) return;
+  if (last_active_[node] != round + 1) {
+    last_active_[node] = round + 1;
+    ++awake_rounds[node];
+  }
+}
+
+void TelemetryAggregate::apply(const TelemetryEvent& event) {
+  switch (event.type) {
+    case EventType::kUnicast:
+      if (event.from < node_energy.size()) node_energy[event.from] += event.energy;
+      touch(event.from, event.round);
+      touch(event.to, event.round);
+      break;
+    case EventType::kBroadcast:
+      // Broadcast listeners are NOT awake: receiving costs nothing in the
+      // paper's model (§II), only the sender spends the round transmitting.
+      if (event.from < node_energy.size()) node_energy[event.from] += event.energy;
+      touch(event.from, event.round);
+      break;
+    case EventType::kRound:
+      rounds += event.value;
+      break;
+    default:
+      break;  // fault / ARQ meta events carry no energy or activity
+  }
+}
+
+}  // namespace emst::sim

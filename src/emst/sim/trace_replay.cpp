@@ -1,0 +1,126 @@
+#include "emst/sim/trace_replay.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace emst::sim {
+
+namespace {
+
+/// One ARQ-flagged frame attempt → the matching ArqStats send counter.
+/// Applied to kUnicast charges AND to flagged kSuppress events: a crashed
+/// sender's attempt is uncharged but the live stats still counted it.
+void count_arq_frame(const TelemetryEvent& e, ArqStats& arq) {
+  if ((e.flags & kEventFlagRetransmit) != 0) {
+    ++arq.retransmissions;
+  } else if (e.kind == MsgKind::kArqAck) {
+    ++arq.acks_sent;
+  } else {
+    ++arq.data_sent;
+  }
+}
+
+}  // namespace
+
+ReplayTotals replay_events(std::span<const TelemetryEvent> events) {
+  ReplayTotals out;
+  for (const TelemetryEvent& e : events) {
+    const std::size_t p = static_cast<std::size_t>(e.phase);
+    switch (e.type) {
+      case EventType::kUnicast: {
+        out.totals.energy += e.energy;
+        ++out.totals.unicasts;
+        ++out.totals.deliveries;
+        EnergyBreakdown::Cell& c = out.breakdown.cell(e.phase, e.kind);
+        c.energy += e.energy;
+        ++c.messages;
+        ++out.breakdown.unicasts[p];
+        ++out.breakdown.deliveries[p];
+        if ((e.flags & kEventFlagArq) != 0) count_arq_frame(e, out.arq);
+        break;
+      }
+      case EventType::kBroadcast: {
+        out.totals.energy += e.energy;
+        ++out.totals.broadcasts;
+        out.totals.deliveries += e.receivers;
+        EnergyBreakdown::Cell& c = out.breakdown.cell(e.phase, e.kind);
+        c.energy += e.energy;
+        ++c.messages;
+        ++out.breakdown.broadcasts[p];
+        out.breakdown.deliveries[p] += e.receivers;
+        break;
+      }
+      case EventType::kLoss:
+        ++out.faults.lost;
+        break;
+      case EventType::kCrashDrop:
+        ++out.faults.dropped_crashed;
+        break;
+      case EventType::kSuppress:
+        ++out.faults.suppressed;
+        if ((e.flags & kEventFlagArq) != 0) count_arq_frame(e, out.arq);
+        break;
+      case EventType::kArqDeliver:
+        ++out.arq.delivered;
+        break;
+      case EventType::kArqDuplicate:
+        ++out.arq.duplicates;
+        break;
+      case EventType::kArqGiveUp:
+        ++out.arq.give_ups;
+        break;
+      case EventType::kArqTimeout:
+        out.arq.timeout_rounds += e.value;
+        break;
+      case EventType::kRound:
+        out.totals.rounds += e.value;
+        out.breakdown.rounds[p] += e.value;
+        break;
+      case EventType::kCount:
+        break;
+    }
+  }
+  return out;
+}
+
+void write_trace_header(std::ostream& out, std::string_view algo,
+                        std::size_t n, std::uint64_t seed) {
+  char buf[256];
+  const int len = std::snprintf(
+      buf, sizeof(buf), "{\"trace\":\"emst\",\"version\":1,\"algo\":\"%.*s\","
+                        "\"n\":%zu,\"seed\":%llu}\n",
+      static_cast<int>(algo.size()), algo.data(), n,
+      static_cast<unsigned long long>(seed));
+  if (len > 0 && len < static_cast<int>(sizeof(buf))) out.write(buf, len);
+}
+
+void write_trace_summary(std::ostream& out, const Accounting& totals,
+                         const FaultStats& faults, const ArqStats& arq) {
+  char buf[768];
+  const int len = std::snprintf(
+      buf, sizeof(buf),
+      "{\"summary\":{"
+      "\"energy\":%.17g,\"unicasts\":%llu,\"broadcasts\":%llu,"
+      "\"deliveries\":%llu,\"rounds\":%llu,"
+      "\"lost\":%llu,\"dropped_crashed\":%llu,\"suppressed\":%llu,"
+      "\"data_sent\":%llu,\"retransmissions\":%llu,\"acks_sent\":%llu,"
+      "\"duplicates\":%llu,\"delivered\":%llu,\"give_ups\":%llu,"
+      "\"timeout_rounds\":%llu}}\n",
+      totals.energy, static_cast<unsigned long long>(totals.unicasts),
+      static_cast<unsigned long long>(totals.broadcasts),
+      static_cast<unsigned long long>(totals.deliveries),
+      static_cast<unsigned long long>(totals.rounds),
+      static_cast<unsigned long long>(faults.lost),
+      static_cast<unsigned long long>(faults.dropped_crashed),
+      static_cast<unsigned long long>(faults.suppressed),
+      static_cast<unsigned long long>(arq.data_sent),
+      static_cast<unsigned long long>(arq.retransmissions),
+      static_cast<unsigned long long>(arq.acks_sent),
+      static_cast<unsigned long long>(arq.duplicates),
+      static_cast<unsigned long long>(arq.delivered),
+      static_cast<unsigned long long>(arq.give_ups),
+      static_cast<unsigned long long>(arq.timeout_rounds));
+  if (len > 0 && len < static_cast<int>(sizeof(buf))) out.write(buf, len);
+}
+
+}  // namespace emst::sim

@@ -1,0 +1,574 @@
+// Tests for the structured telemetry subsystem (docs/TELEMETRY.md): the
+// meter's event emission and context stamping, the per-phase × per-kind
+// breakdown matrix, and the replay invariant — `replay_events` must rebuild
+// Accounting / FaultStats / ArqStats / the breakdown bit-for-bit from the
+// event stream alone, for every driver, on both engines, with and without
+// faults + ARQ. Also pins the unified RunReport views and the guarantee
+// that attaching telemetry never perturbs a run's results.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "emst/eopt/eopt.hpp"
+#include "emst/geometry/sampling.hpp"
+#include "emst/ghs/classic.hpp"
+#include "emst/ghs/sync.hpp"
+#include "emst/nnt/connt.hpp"
+#include "emst/rgg/radii.hpp"
+#include "emst/sim/meter.hpp"
+#include "emst/sim/reliable.hpp"
+#include "emst/sim/telemetry.hpp"
+#include "emst/sim/trace_replay.hpp"
+#include "emst/support/rng.hpp"
+
+namespace emst {
+namespace {
+
+using sim::EventType;
+using sim::MsgKind;
+using sim::PhaseTag;
+
+sim::Topology random_topology(std::size_t n, std::uint64_t seed) {
+  support::Rng rng(seed);
+  return sim::Topology(geometry::uniform_points(n, rng),
+                       rgg::connectivity_radius(n));
+}
+
+// Bitwise comparisons: the replay invariant is exact, so no tolerances.
+void expect_accounting_eq(const sim::Accounting& a, const sim::Accounting& b) {
+  EXPECT_EQ(a.energy, b.energy);
+  EXPECT_EQ(a.unicasts, b.unicasts);
+  EXPECT_EQ(a.broadcasts, b.broadcasts);
+  EXPECT_EQ(a.deliveries, b.deliveries);
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+// Cross-derivation comparisons (a kind-bucketed row sum vs the sequential
+// total): integers exact, energy to an ulp-scale bound — splitting one
+// accumulation into per-kind cells reassociates the double sum.
+void expect_accounting_near(const sim::Accounting& a, const sim::Accounting& b) {
+  EXPECT_NEAR(a.energy, b.energy, 1e-12 * std::max(1.0, b.energy));
+  EXPECT_EQ(a.unicasts, b.unicasts);
+  EXPECT_EQ(a.broadcasts, b.broadcasts);
+  EXPECT_EQ(a.deliveries, b.deliveries);
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+void expect_faults_eq(const sim::FaultStats& a, const sim::FaultStats& b) {
+  EXPECT_EQ(a.lost, b.lost);
+  EXPECT_EQ(a.dropped_crashed, b.dropped_crashed);
+  EXPECT_EQ(a.suppressed, b.suppressed);
+}
+
+void expect_arq_eq(const sim::ArqStats& a, const sim::ArqStats& b) {
+  EXPECT_EQ(a.data_sent, b.data_sent);
+  EXPECT_EQ(a.retransmissions, b.retransmissions);
+  EXPECT_EQ(a.acks_sent, b.acks_sent);
+  EXPECT_EQ(a.duplicates, b.duplicates);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.give_ups, b.give_ups);
+  EXPECT_EQ(a.timeout_rounds, b.timeout_rounds);
+}
+
+sim::FaultModel lossy_model(std::uint64_t seed) {
+  sim::FaultModel model;
+  model.loss = 0.1;
+  model.seed = seed;
+  model.crashes = {{3, 4, 9}, {7, 6, 12}};
+  return model;
+}
+
+sim::ArqOptions arq_on() {
+  sim::ArqOptions arq;
+  arq.enabled = true;
+  arq.max_retries = 6;
+  return arq;
+}
+
+// ------------------------------------------------------------------- meter
+
+TEST(TelemetryMeter, EventsCarryTheAmbientContext) {
+  sim::MemoryTraceSink sink;
+  sim::Telemetry telemetry(&sink);
+  sim::EnergyMeter meter;
+  meter.attach_telemetry(&telemetry);
+
+  meter.set_phase(PhaseTag::kStep1);
+  meter.set_kind(MsgKind::kConnect);
+  meter.set_fragment(42);
+  meter.charge_unicast(3, 5, 0.25);
+  meter.set_kind(MsgKind::kAnnounce);
+  meter.charge_broadcast(3, 0.5, 7);
+  meter.tick_rounds(2);
+  meter.note_event(EventType::kLoss, 1, 2, 0.125);
+
+  ASSERT_EQ(sink.events().size(), 4u);
+  const sim::TelemetryEvent& uni = sink.events()[0];
+  EXPECT_EQ(uni.type, EventType::kUnicast);
+  EXPECT_EQ(uni.kind, MsgKind::kConnect);
+  EXPECT_EQ(uni.phase, PhaseTag::kStep1);
+  EXPECT_EQ(uni.from, 3u);
+  EXPECT_EQ(uni.to, 5u);
+  EXPECT_EQ(uni.fragment, 42u);
+  EXPECT_EQ(uni.reach, 0.25);
+  EXPECT_EQ(uni.energy, meter.model().cost(0.25));
+  EXPECT_EQ(uni.round, 0u);
+
+  const sim::TelemetryEvent& bcast = sink.events()[1];
+  EXPECT_EQ(bcast.type, EventType::kBroadcast);
+  EXPECT_EQ(bcast.kind, MsgKind::kAnnounce);
+  EXPECT_EQ(bcast.receivers, 7u);
+  EXPECT_EQ(bcast.to, sim::kNoEventNode);
+
+  const sim::TelemetryEvent& round = sink.events()[2];
+  EXPECT_EQ(round.type, EventType::kRound);
+  EXPECT_EQ(round.value, 2u);
+  EXPECT_EQ(round.round, 2u);  // stamped after the increment: clock-final
+
+  const sim::TelemetryEvent& loss = sink.events()[3];
+  EXPECT_EQ(loss.type, EventType::kLoss);
+  EXPECT_EQ(loss.energy, 0.0);
+  EXPECT_EQ(loss.reach, 0.125);
+}
+
+TEST(TelemetryMeter, InertHubIsDroppedAtAttach) {
+  sim::Telemetry inert;  // no sink, no aggregation
+  sim::EnergyMeter meter;
+  meter.attach_telemetry(&inert);
+  EXPECT_EQ(meter.telemetry(), nullptr);
+  meter.attach_telemetry(nullptr);
+  EXPECT_EQ(meter.telemetry(), nullptr);
+
+  sim::MemoryTraceSink sink;
+  sim::Telemetry live(&sink);
+  meter.attach_telemetry(&live);
+  EXPECT_EQ(meter.telemetry(), &live);
+}
+
+TEST(TelemetryMeter, PhaseScopeRestoresOnExit) {
+  sim::EnergyMeter meter;
+  EXPECT_EQ(meter.phase(), PhaseTag::kRun);
+  {
+    const auto outer = meter.scoped_phase(PhaseTag::kStep1);
+    EXPECT_EQ(meter.phase(), PhaseTag::kStep1);
+    {
+      const auto inner = meter.scoped_phase(PhaseTag::kCensus);
+      EXPECT_EQ(meter.phase(), PhaseTag::kCensus);
+    }
+    EXPECT_EQ(meter.phase(), PhaseTag::kStep1);
+  }
+  EXPECT_EQ(meter.phase(), PhaseTag::kRun);
+}
+
+TEST(TelemetryMeter, ZeroRoundTickEmitsNothing) {
+  sim::MemoryTraceSink sink;
+  sim::Telemetry telemetry(&sink);
+  sim::EnergyMeter meter;
+  meter.attach_telemetry(&telemetry);
+  meter.tick_rounds(0);
+  EXPECT_TRUE(sink.events().empty());
+  EXPECT_EQ(meter.totals().rounds, 0u);
+}
+
+TEST(TelemetryMeter, BreakdownRowSumsMatchTotals) {
+  sim::EnergyMeter meter;
+  meter.enable_breakdown();
+  meter.set_kind(MsgKind::kTest);
+  meter.charge_unicast(0, 1, 0.1);
+  meter.set_kind(MsgKind::kAccept);
+  meter.charge_unicast(1, 0, 0.2);
+  meter.charge_broadcast(0, 0.3, 4);
+  meter.tick_rounds(5);
+
+  // Single-phase run: the kRun row covers the totals.
+  const sim::Accounting row = meter.breakdown().phase_total(PhaseTag::kRun);
+  expect_accounting_near(row, meter.totals());
+  EXPECT_EQ(meter.breakdown().cell(PhaseTag::kRun, MsgKind::kTest).messages,
+            1u);
+  EXPECT_EQ(meter.breakdown().cell(PhaseTag::kRun, MsgKind::kAccept).messages,
+            2u);  // unicast + broadcast, both charged under kAccept
+}
+
+// ------------------------------------------------------------------ replay
+
+TEST(TelemetryReplay, ManualStreamRebuildsTheMeter) {
+  sim::MemoryTraceSink sink;
+  sim::Telemetry telemetry(&sink);
+  sim::EnergyMeter meter;
+  meter.attach_telemetry(&telemetry);
+  meter.enable_breakdown();
+
+  support::Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    meter.set_kind(static_cast<MsgKind>(
+        rng.uniform_int(static_cast<std::uint64_t>(MsgKind::kCount))));
+    if (rng.uniform() < 0.7) {
+      meter.charge_unicast(i % 17, (i + 1) % 17, rng.uniform());
+    } else {
+      meter.charge_broadcast(i % 17, rng.uniform(),
+                             static_cast<std::size_t>(i % 5));
+    }
+    if (i % 13 == 0) meter.tick_round();
+  }
+
+  const sim::ReplayTotals replay = sim::replay_events(sink.events());
+  expect_accounting_eq(replay.totals, meter.totals());
+  EXPECT_TRUE(replay.breakdown == meter.breakdown());
+}
+
+TEST(TelemetryReplay, SyncGhsFaultFreeIsExactAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const sim::Topology topo = random_topology(72, seed);
+    sim::MemoryTraceSink sink;
+    sim::Telemetry telemetry(&sink);
+    ghs::SyncGhsOptions options;
+    options.telemetry = &telemetry;
+    options.record_breakdown = true;
+    const ghs::SyncGhsResult result = ghs::run_sync_ghs(topo, options);
+
+    const sim::ReplayTotals replay = sim::replay_events(sink.events());
+    expect_accounting_eq(replay.totals, result.run.totals);
+    expect_faults_eq(replay.faults, result.faults);
+    expect_arq_eq(replay.arq, result.arq);
+    ASSERT_TRUE(result.run.breakdown_recorded);
+    EXPECT_TRUE(replay.breakdown == result.run.energy_breakdown);
+  }
+}
+
+TEST(TelemetryReplay, SyncGhsUnderFaultsAndArqIsExactAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const sim::Topology topo = random_topology(64, seed);
+    sim::MemoryTraceSink sink;
+    sim::Telemetry telemetry(&sink);
+    ghs::SyncGhsOptions options;
+    options.telemetry = &telemetry;
+    options.record_breakdown = true;
+    options.faults = lossy_model(seed * 101);
+    options.arq = arq_on();
+    const ghs::SyncGhsResult result = ghs::run_sync_ghs(topo, options);
+
+    const sim::ReplayTotals replay = sim::replay_events(sink.events());
+    expect_accounting_eq(replay.totals, result.run.totals);
+    expect_faults_eq(replay.faults, result.faults);
+    expect_arq_eq(replay.arq, result.arq);
+    EXPECT_TRUE(replay.breakdown == result.run.energy_breakdown);
+    // Under 10% loss something must actually have happened, or the test
+    // proves nothing.
+    EXPECT_GT(result.faults.lost, 0u);
+    EXPECT_GT(result.arq.retransmissions, 0u);
+  }
+}
+
+TEST(TelemetryReplay, EoptIsExactAcrossSeedsWithAndWithoutFaults) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    for (const bool faulty : {false, true}) {
+      support::Rng rng(seed);
+      const eopt::EoptOptions base;
+      const sim::Topology topo =
+          eopt::eopt_topology(geometry::uniform_points(80, rng), base);
+      sim::MemoryTraceSink sink;
+      sim::Telemetry telemetry(&sink);
+      eopt::EoptOptions options;
+      options.telemetry = &telemetry;
+      if (faulty) {
+        options.faults = lossy_model(seed * 31);
+        options.arq = arq_on();
+      }
+      const eopt::EoptResult result = eopt::run_eopt(topo, options);
+
+      const sim::ReplayTotals replay = sim::replay_events(sink.events());
+      expect_accounting_eq(replay.totals, result.run.totals);
+      expect_faults_eq(replay.faults, result.fault_stats);
+      expect_arq_eq(replay.arq, result.arq);
+      ASSERT_TRUE(result.run.breakdown_recorded);
+      EXPECT_TRUE(replay.breakdown == result.run.energy_breakdown);
+    }
+  }
+}
+
+TEST(TelemetryReplay, EoptStepSharesAreThePhaseRows) {
+  const sim::Topology topo = random_topology(90, 5);
+  eopt::EoptOptions options;
+  const eopt::EoptResult result = eopt::run_eopt(topo, options);
+
+  // The Thm 5.3 stage shares ARE phase_total of the recorded matrix — one
+  // definition, so any other consumer of the matrix agrees bit-for-bit.
+  ASSERT_TRUE(result.run.breakdown_recorded);
+  const sim::EnergyBreakdown& matrix = result.run.energy_breakdown;
+  expect_accounting_eq(result.step1, matrix.phase_total(PhaseTag::kStep1));
+  expect_accounting_eq(result.census, matrix.phase_total(PhaseTag::kCensus));
+  expect_accounting_eq(result.step2, matrix.phase_total(PhaseTag::kStep2));
+
+  // Integer counters split exactly across stages; energy to an ulp bound
+  // (double sums reassociate across rows).
+  EXPECT_EQ(result.step1.unicasts + result.census.unicasts +
+                result.step2.unicasts,
+            result.run.totals.unicasts);
+  EXPECT_EQ(result.step1.broadcasts + result.census.broadcasts +
+                result.step2.broadcasts,
+            result.run.totals.broadcasts);
+  EXPECT_EQ(result.step1.rounds + result.census.rounds + result.step2.rounds,
+            result.run.totals.rounds);
+  const double sum =
+      result.step1.energy + result.census.energy + result.step2.energy;
+  EXPECT_NEAR(sum, result.run.totals.energy,
+              1e-12 * result.run.totals.energy);
+
+  // The census stage is exactly the kCensus message class.
+  expect_accounting_eq(result.census,
+                       [&] {
+                         sim::Accounting census_kind;
+                         const auto& cell =
+                             matrix.cell(PhaseTag::kCensus, MsgKind::kCensus);
+                         census_kind.energy = cell.energy;
+                         census_kind.unicasts = cell.messages;
+                         census_kind.deliveries = cell.messages;
+                         census_kind.rounds = result.census.rounds;
+                         return census_kind;
+                       }());
+}
+
+TEST(TelemetryReplay, ClassicGhsCrossEngineStreamsAreIdentical) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const sim::Topology topo = random_topology(48, seed);
+    auto run = [&](bool reference) {
+      auto sink = std::make_unique<sim::MemoryTraceSink>();
+      sim::Telemetry telemetry(sink.get());
+      ghs::ClassicGhsOptions options;
+      options.moe = ghs::MoeStrategy::kCachedConfirm;
+      options.telemetry = &telemetry;
+      options.record_breakdown = true;
+      options.use_reference_engine = reference;
+      ghs::MstRunResult result = ghs::run_classic_ghs(topo, options);
+      return std::pair(std::move(sink), std::move(result));
+    };
+    const auto [calendar_sink, calendar] = run(false);
+    const auto [reference_sink, reference] = run(true);
+
+    // Same delivery contract ⇒ same protocol execution ⇒ the same events in
+    // the same order — the strongest form of engine equivalence we test.
+    EXPECT_EQ(calendar_sink->events(), reference_sink->events());
+    expect_accounting_eq(calendar.totals, reference.totals);
+    EXPECT_EQ(calendar.tree, reference.tree);
+
+    const sim::ReplayTotals replay =
+        sim::replay_events(calendar_sink->events());
+    expect_accounting_eq(replay.totals, calendar.totals);
+    ASSERT_TRUE(calendar.breakdown_recorded);
+    EXPECT_TRUE(replay.breakdown == calendar.energy_breakdown);
+  }
+}
+
+TEST(TelemetryReplay, ReliableChannelRebuildsArqAndFaultStats) {
+  const sim::Topology topo = random_topology(24, 9);
+  sim::MemoryTraceSink sink;
+  sim::Telemetry telemetry(&sink);
+  sim::FaultModel faults = lossy_model(77);
+  faults.loss = 0.25;
+  sim::ReliableChannel<int> channel(topo, {}, {}, faults, arq_on(),
+                                    &telemetry);
+
+  support::Rng rng(3);
+  std::size_t delivered = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto u = static_cast<graph::NodeId>(rng.uniform_int(24));
+    const std::vector<sim::NodeId> near =
+        topo.nodes_within(u, topo.max_radius());
+    if (near.empty()) continue;  // isolated node: nothing to send along
+    const sim::NodeId v = near[rng.uniform_int(near.size())];
+    channel.send(u, v, i);
+    delivered += channel.collect_round().size();
+  }
+  std::size_t guard = 0;
+  while (channel.pending()) {
+    ASSERT_LT(++guard, 10000u);
+    delivered += channel.collect_round().size();
+  }
+
+  const sim::ReplayTotals replay = sim::replay_events(sink.events());
+  expect_accounting_eq(replay.totals, channel.meter().totals());
+  expect_arq_eq(replay.arq, channel.stats());
+  expect_faults_eq(replay.faults, channel.raw().fault_stats());
+  EXPECT_EQ(delivered, channel.stats().delivered);
+  EXPECT_GT(channel.stats().retransmissions, 0u);
+}
+
+// -------------------------------------------------------------- aggregates
+
+TEST(TelemetryAggregate, NodeLedgerMatchesTheMeterBitForBit) {
+  const sim::Topology topo = random_topology(60, 11);
+  sim::Telemetry telemetry;
+  telemetry.enable_aggregation(topo.node_count());
+  ghs::SyncGhsOptions options;
+  options.telemetry = &telemetry;
+  options.track_per_node_energy = true;
+  const ghs::SyncGhsResult result = ghs::run_sync_ghs(topo, options);
+
+  // Both ledgers add the same costs in the same order — bitwise equal.
+  ASSERT_EQ(telemetry.aggregate().node_energy.size(),
+            result.run.per_node_energy.size());
+  for (std::size_t u = 0; u < topo.node_count(); ++u) {
+    EXPECT_EQ(telemetry.aggregate().node_energy[u],
+              result.run.per_node_energy[u])
+        << "node " << u;
+  }
+}
+
+TEST(TelemetryAggregate, AwakeRoundsCountDistinctActiveRounds) {
+  sim::Telemetry telemetry;
+  telemetry.enable_aggregation(3);
+  sim::EnergyMeter meter;
+  meter.attach_telemetry(&telemetry);
+
+  meter.charge_unicast(0, 1, 0.1);  // round 0: 0 and 1 awake
+  meter.charge_unicast(0, 1, 0.1);  // same round: no double count
+  meter.tick_round();
+  meter.charge_broadcast(2, 0.2, 2);  // round 1: only the SENDER is awake
+  meter.tick_round();
+
+  const sim::TelemetryAggregate& agg = telemetry.aggregate();
+  EXPECT_EQ(agg.rounds, 2u);
+  EXPECT_EQ(agg.awake_rounds[0], 1u);
+  EXPECT_EQ(agg.awake_rounds[1], 1u);
+  EXPECT_EQ(agg.awake_rounds[2], 1u);  // broadcast listeners stay idle
+  EXPECT_EQ(agg.idle_rounds(0), 1u);
+  EXPECT_EQ(agg.idle_rounds(2), 1u);
+}
+
+TEST(TelemetryAggregate, EoptPerNodeFallsBackToTheAggregate) {
+  const sim::Topology topo = random_topology(70, 13);
+  sim::Telemetry telemetry;
+  telemetry.enable_aggregation(topo.node_count());
+  eopt::EoptOptions options;
+  options.telemetry = &telemetry;
+  options.track_per_node_energy = false;  // the old silently-empty case
+  const eopt::EoptResult result = eopt::run_eopt(topo, options);
+
+  ASSERT_EQ(result.per_node_energy.size(), topo.node_count());
+  double total = 0.0;
+  for (const double e : result.per_node_energy) total += e;
+  EXPECT_NEAR(total, result.run.totals.energy,
+              1e-12 * result.run.totals.energy);
+  ASSERT_TRUE(result.report().has_per_node());
+}
+
+// ------------------------------------------------------------------- jsonl
+
+TEST(TelemetryJsonl, OneParseableLinePerEventPlusFraming) {
+  const sim::Topology topo = random_topology(40, 17);
+  std::ostringstream out;
+  sim::JsonlTraceSink jsonl(out);
+  sim::MemoryTraceSink memory;
+  // Write the trace while also buffering, to compare counts.
+  sim::write_trace_header(out, "sync_ghs", topo.node_count(), 17);
+  sim::Telemetry telemetry(&jsonl);
+  ghs::SyncGhsOptions options;
+  options.telemetry = &telemetry;
+  const ghs::SyncGhsResult result = ghs::run_sync_ghs(topo, options);
+  sim::write_trace_summary(out, result.run.totals, result.faults, result.arq);
+
+  sim::Telemetry buffered(&memory);
+  ghs::SyncGhsOptions again = options;
+  again.telemetry = &buffered;
+  (void)ghs::run_sync_ghs(topo, again);
+
+  const std::string text = out.str();
+  std::size_t lines = 0;
+  for (const char c : text) lines += c == '\n';
+  EXPECT_EQ(lines, memory.events().size() + 2);  // header + events + summary
+  EXPECT_NE(text.find("{\"trace\":\"emst\""), std::string::npos);
+  EXPECT_NE(text.find("\"algo\":\"sync_ghs\""), std::string::npos);
+  EXPECT_NE(text.find("{\"summary\":"), std::string::npos);
+  EXPECT_NE(text.find("\"ev\":\"uni\""), std::string::npos);
+  EXPECT_NE(text.find("\"ev\":\"bcast\""), std::string::npos);
+  // Every line is a JSON object.
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+}
+
+// --------------------------------------------------------------- run report
+
+TEST(RunReport, UnifiesAllFourDrivers) {
+  const sim::Topology topo = random_topology(64, 23);
+
+  ghs::SyncGhsOptions sync_options;
+  sync_options.track_per_node_energy = true;
+  sync_options.record_breakdown = true;
+  const ghs::SyncGhsResult sync_result = ghs::run_sync_ghs(topo, sync_options);
+  const RunReport sync_report = sync_result.report();
+  EXPECT_EQ(sync_report.tree, &sync_result.run.tree);
+  expect_accounting_eq(sync_report.totals, sync_result.run.totals);
+  EXPECT_TRUE(sync_report.has_per_node());
+  ASSERT_NE(sync_report.breakdown, nullptr);
+  expect_accounting_near(sync_report.breakdown->phase_total(PhaseTag::kRun),
+                         sync_result.run.totals);
+
+  eopt::EoptOptions eopt_options;
+  const eopt::EoptResult eopt_result = eopt::run_eopt(topo, eopt_options);
+  const RunReport eopt_report = eopt_result.report();
+  EXPECT_EQ(eopt_report.tree, &eopt_result.run.tree);
+  EXPECT_NE(eopt_report.breakdown, nullptr);  // EOPT always records
+  EXPECT_FALSE(eopt_report.hit_phase_cap);
+
+  ghs::ClassicGhsOptions classic_options;
+  const ghs::MstRunResult classic_result =
+      ghs::run_classic_ghs(topo, classic_options);
+  const RunReport classic_report = classic_result.report();
+  EXPECT_EQ(classic_report.tree, &classic_result.tree);
+  EXPECT_EQ(classic_report.breakdown, nullptr);  // not requested
+  EXPECT_FALSE(classic_report.has_per_node());
+
+  nnt::CoNntOptions connt_options;
+  connt_options.record_breakdown = true;
+  const nnt::CoNntResult connt_result = nnt::run_connt(topo, connt_options);
+  const RunReport connt_report = connt_result.report();
+  EXPECT_EQ(connt_report.tree, &connt_result.tree);
+  ASSERT_NE(connt_report.breakdown, nullptr);
+  // Co-NNT traffic splits over exactly its three message classes.
+  const auto& matrix = *connt_report.breakdown;
+  EXPECT_GT(matrix.cell(PhaseTag::kRun, MsgKind::kRequest).messages, 0u);
+  EXPECT_GT(matrix.cell(PhaseTag::kRun, MsgKind::kReply).messages, 0u);
+  EXPECT_GT(matrix.cell(PhaseTag::kRun, MsgKind::kConnection).messages, 0u);
+  EXPECT_EQ(matrix.cell(PhaseTag::kRun, MsgKind::kData).messages, 0u);
+  expect_accounting_near(matrix.phase_total(PhaseTag::kRun),
+                         connt_result.totals);
+}
+
+// ----------------------------------------------------------- no-perturbation
+
+TEST(TelemetryOff, AttachingTelemetryNeverChangesResults) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const sim::Topology topo = random_topology(56, seed);
+    ghs::SyncGhsOptions plain;
+    plain.faults = lossy_model(seed);
+    plain.arq = arq_on();
+    const ghs::SyncGhsResult base = ghs::run_sync_ghs(topo, plain);
+
+    sim::MemoryTraceSink sink;
+    sim::Telemetry telemetry(&sink);
+    ghs::SyncGhsOptions instrumented = plain;
+    instrumented.telemetry = &telemetry;
+    instrumented.record_breakdown = true;
+    const ghs::SyncGhsResult traced = ghs::run_sync_ghs(topo, instrumented);
+
+    EXPECT_EQ(base.run.tree, traced.run.tree);
+    expect_accounting_eq(base.run.totals, traced.run.totals);
+    expect_faults_eq(base.faults, traced.faults);
+    expect_arq_eq(base.arq, traced.arq);
+    EXPECT_EQ(base.fragments_per_phase, traced.fragments_per_phase);
+  }
+}
+
+}  // namespace
+}  // namespace emst
