@@ -1,0 +1,258 @@
+// Strong scaling of the sharded engine (docs/PARALLEL.md).
+//
+// Fixed total work — the perf_sim pump workload at n ∈ {10k, 100k, 1M}
+// messages on the delayed-collect scenario — timed on the serial calendar
+// engine (`sim::Network`) and on `sim::ShardedNetwork` at thread counts
+// {1, 2, 4, 8}. Results go to the console table and to the tracked
+// BENCH_parallel.json at the repo root, which records the host's
+// `hardware_concurrency` alongside every timing: a speedup number is
+// meaningless without knowing how many cores were actually available
+// (see docs/PERF.md — the reference record was produced on a 1-core CI
+// host, where the sharded engine can only show its overhead, not its
+// scaling; re-run `scripts/bench_perf.sh` on a multi-core machine for
+// real strong-scaling numbers).
+//
+// Every timed run is also a determinism check: the sharded engine must
+// deliver exactly the sent message count and reproduce the serial engine's
+// energy total bit-for-bit at every thread count. A mismatch exits non-zero
+// — a "fast but different" engine would invalidate every experiment built
+// on it.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "emst/geometry/sampling.hpp"
+#include "emst/rgg/radii.hpp"
+#include "emst/sim/network.hpp"
+#include "emst/sim/sharded_network.hpp"
+#include "emst/support/cli.hpp"
+#include "emst/support/json.hpp"
+#include "emst/support/rng.hpp"
+#include "emst/support/stats.hpp"
+#include "emst/support/table.hpp"
+
+namespace {
+
+using namespace emst;
+
+using Payload = std::uint64_t;
+constexpr std::size_t kSendRounds = 32;
+
+struct World {
+  sim::Topology topo;
+  std::vector<std::pair<sim::NodeId, sim::NodeId>> sched;  ///< in-range pairs
+};
+
+World make_world(std::size_t nodes, std::size_t max_messages,
+                 std::uint64_t seed) {
+  support::Rng rng(seed);
+  const auto points = geometry::uniform_points(nodes, rng);
+  sim::Topology topo(points, rgg::connectivity_radius(nodes));
+  std::vector<std::pair<sim::NodeId, sim::NodeId>> sched;
+  sched.reserve(max_messages);
+  while (sched.size() < max_messages) {
+    const auto u = static_cast<sim::NodeId>(rng.uniform_int(nodes));
+    const auto nbs = topo.neighbors(u);
+    if (nbs.empty()) continue;
+    sched.emplace_back(u, nbs[rng.uniform_int(nbs.size())].id);
+  }
+  return World{std::move(topo), std::move(sched)};
+}
+
+struct Sample {
+  double millis = 0.0;
+  std::size_t delivered = 0;
+  double energy = 0.0;  ///< cross-engine identity check
+};
+
+using Clock = std::chrono::steady_clock;
+
+/// The perf_sim steady-state pump: send over kSendRounds rounds, collecting
+/// each round, then drain. Construction is timed too — shard partitioning
+/// and worker start-up are real costs of using the parallel engine.
+template <typename Net, typename... Extra>
+Sample run_pump(const World& w, std::size_t messages, std::uint32_t delay,
+                Extra... extra) {
+  const std::size_t per_round = (messages + kSendRounds - 1) / kSendRounds;
+  const auto start = Clock::now();
+  Net net(w.topo, {}, /*unbounded_broadcast=*/false,
+          sim::DelayModel{delay, 0xbe7cULL}, {}, nullptr, extra...);
+  std::size_t sent = 0;
+  Sample out;
+  while (sent < messages || net.pending()) {
+    const std::size_t stop = std::min(messages, sent + per_round);
+    for (; sent < stop; ++sent)
+      net.unicast(w.sched[sent].first, w.sched[sent].second, sent);
+    out.delivered += net.collect_round().size();
+  }
+  out.millis =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  out.energy = net.meter().totals().energy;
+  return out;
+}
+
+struct Timing {
+  support::RunningStats ms;
+  bool checks_ok = true;
+};
+
+struct Scenario {
+  std::size_t messages = 0;
+  Timing serial;
+  std::vector<Timing> sharded;  ///< one per entry in the thread sweep
+  double serial_energy = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const support::Cli cli(
+      argc, argv,
+      {{"nodes", "deployment size for the pump topology (default 4096)"},
+       {"messages", "comma list of message counts (default 10000,100000,1000000)"},
+       {"threads", "comma list of shard/thread counts (default 1,2,4,8)"},
+       {"delay", "max extra delay D for the delayed-collect scenario (default 5)"},
+       {"trials", "timed repetitions per engine config (default 3)"},
+       {"seed", "master seed (default 2026)"},
+       {"json", "output JSON path (default BENCH_parallel.json)"},
+       {"quick", "1 = CI-sized run (20k/100k messages, 2 trials)"}});
+  const bool quick = cli.get_int("quick", 0) != 0;
+  const auto nodes =
+      static_cast<std::size_t>(cli.get_int("nodes", quick ? 1024 : 4096));
+  const auto message_counts = cli.get_int_list(
+      "messages", quick ? std::vector<std::int64_t>{20000, 100000}
+                        : std::vector<std::int64_t>{10000, 100000, 1000000});
+  const auto thread_counts =
+      cli.get_int_list("threads", {1, 2, 4, 8});
+  const auto delay = static_cast<std::uint32_t>(cli.get_int("delay", 5));
+  const auto trials =
+      static_cast<std::size_t>(cli.get_int("trials", quick ? 2 : 3));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 2026));
+  const std::string json_path = cli.get("json", "BENCH_parallel.json");
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::size_t max_messages = 0;
+  for (const auto m : message_counts)
+    max_messages = std::max(max_messages, static_cast<std::size_t>(m));
+
+  std::printf("parallel scaling: pump at n(nodes)=%zu, D=%u, %zu trials, "
+              "host hardware_concurrency=%u\n\n",
+              nodes, delay, trials, hw);
+  const World w = make_world(nodes, max_messages, seed);
+
+  std::vector<Scenario> scenarios;
+  for (const auto m : message_counts) {
+    Scenario sc;
+    sc.messages = static_cast<std::size_t>(m);
+    sc.sharded.resize(thread_counts.size());
+
+    // Untimed warm-up, and the energy reference for the identity check.
+    sc.serial_energy =
+        run_pump<sim::Network<Payload>>(w, sc.messages, delay).energy;
+
+    for (std::size_t t = 0; t < trials; ++t) {
+      const Sample s = run_pump<sim::Network<Payload>>(w, sc.messages, delay);
+      sc.serial.ms.add(s.millis);
+      sc.serial.checks_ok &=
+          s.delivered == sc.messages && s.energy == sc.serial_energy;
+      for (std::size_t ti = 0; ti < thread_counts.size(); ++ti) {
+        const auto threads = static_cast<std::size_t>(thread_counts[ti]);
+        const Sample p = run_pump<sim::ShardedNetwork<Payload>>(
+            w, sc.messages, delay, threads);
+        sc.sharded[ti].ms.add(p.millis);
+        // The whole point: same count, bitwise-same energy, at every width.
+        sc.sharded[ti].checks_ok &=
+            p.delivered == sc.messages && p.energy == sc.serial_energy;
+      }
+    }
+    scenarios.push_back(std::move(sc));
+  }
+
+  std::vector<std::string> header = {"messages", "serial_ms"};
+  for (const auto t : thread_counts) {
+    // Built by append: `"t" + std::to_string(t) + "_speedup"` trips GCC 12's
+    // -Wrestrict false positive at -O2 under -Werror.
+    std::string col = "t";
+    col += std::to_string(t);
+    col += "_speedup";
+    header.push_back(std::move(col));
+  }
+  header.emplace_back("identical");
+  support::Table table(header);
+  bool all_ok = true;
+  for (const Scenario& sc : scenarios) {
+    std::vector<support::Cell> row = {
+        static_cast<long long>(sc.messages), sc.serial.ms.mean()};
+    bool ok = sc.serial.checks_ok;
+    for (const Timing& timing : sc.sharded) {
+      row.emplace_back(sc.serial.ms.mean() / timing.ms.mean());
+      ok &= timing.checks_ok;
+    }
+    row.emplace_back(std::string(ok ? "yes" : "NO"));
+    all_ok &= ok;
+    table.add_row(row);
+  }
+  table.print(std::cout);
+
+  {
+    std::ofstream os(json_path);
+    if (!os) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    support::JsonWriter json(os);
+    json.begin_object();
+    json.key("bench").value("parallel_scaling");
+    json.key("hardware_concurrency").value(static_cast<std::uint64_t>(hw));
+    json.key("nodes").value(static_cast<std::uint64_t>(nodes));
+    json.key("max_extra_delay").value(static_cast<std::uint64_t>(delay));
+    json.key("trials").value(static_cast<std::uint64_t>(trials));
+    json.key("seed").value(seed);
+    json.key("identical").value(all_ok);
+    json.key("scenarios").begin_array();
+    for (const Scenario& sc : scenarios) {
+      json.begin_object();
+      json.key("messages").value(static_cast<std::uint64_t>(sc.messages));
+      json.key("serial_ms").begin_object();
+      json.key("mean").value(sc.serial.ms.mean());
+      json.key("stddev").value(sc.serial.ms.stddev());
+      json.end_object();
+      json.key("sharded").begin_array();
+      for (std::size_t ti = 0; ti < thread_counts.size(); ++ti) {
+        json.begin_object();
+        json.key("threads").value(
+            static_cast<std::uint64_t>(thread_counts[ti]));
+        json.key("mean_ms").value(sc.sharded[ti].ms.mean());
+        json.key("stddev_ms").value(sc.sharded[ti].ms.stddev());
+        json.key("speedup_vs_serial")
+            .value(sc.serial.ms.mean() / sc.sharded[ti].ms.mean());
+        json.end_object();
+      }
+      json.end_array();
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    os << '\n';
+  }
+  std::printf("\nwrote %s\n", json_path.c_str());
+  std::printf("\nreading guide: tN_speedup is serial wall-time divided by the "
+              "sharded engine's at N threads; > 1 is a win. Interpret against "
+              "hardware_concurrency=%u — with fewer cores than threads the "
+              "sharded numbers measure barrier+mailbox overhead, not scaling. "
+              "'identical' confirms the sharded engine reproduced the serial "
+              "delivery count and energy bit-for-bit at every width.\n",
+              hw);
+  if (!all_ok) {
+    std::fprintf(stderr, "error: sharded engine diverged from the serial "
+                         "reference — determinism contract violated\n");
+    return 1;
+  }
+  return 0;
+}

@@ -48,6 +48,7 @@ struct RunSetup {
   sim::ArqOptions arq;
   bool per_node = false;
   bool breakdown = false;
+  std::size_t threads = 0;  ///< worker threads (0/1 = single-threaded)
   sim::Telemetry* telemetry = nullptr;  ///< non-null while tracing
 };
 
@@ -102,6 +103,7 @@ Record run_one(const std::string& algo, const sim::Topology& topo,
     if (algo == "ghs-cached") options.moe = ghs::MoeStrategy::kCachedConfirm;
     options.track_per_node_energy = setup.per_node;
     options.record_breakdown = setup.breakdown;
+    options.threads = setup.threads;
     options.telemetry = setup.telemetry;
     const auto run = ghs::run_classic_ghs(topo, options);
     fill_from_report(record, run.report());
@@ -113,6 +115,7 @@ Record run_one(const std::string& algo, const sim::Topology& topo,
     options.arq = setup.arq;
     options.track_per_node_energy = setup.per_node;
     options.record_breakdown = setup.breakdown;
+    options.threads = setup.threads;
     options.telemetry = setup.telemetry;
     const auto run = ghs::run_sync_ghs(topo, options);
     fill_from_report(record, run.report());
@@ -123,6 +126,7 @@ Record run_one(const std::string& algo, const sim::Topology& topo,
     options.arq = setup.arq;
     options.track_per_node_energy = setup.per_node;
     options.record_breakdown = setup.breakdown;
+    options.threads = setup.threads;
     options.telemetry = setup.telemetry;
     const auto run = eopt::run_eopt(topo, options);
     fill_from_report(record, run.report());
@@ -133,6 +137,7 @@ Record run_one(const std::string& algo, const sim::Topology& topo,
     if (algo == "connt-axis") options.scheme = nnt::RankScheme::kAxis;
     options.track_per_node_energy = setup.per_node;
     options.record_breakdown = setup.breakdown;
+    options.threads = setup.threads;
     options.telemetry = setup.telemetry;
     const auto run = nnt::run_connt(topo, options);
     fill_from_report(record, run.report());
@@ -249,6 +254,8 @@ int main(int argc, char** argv) {
        {"trace", "write a JSONL telemetry trace to this path "
                  "(single algorithm only; validate with "
                  "scripts/check_trace.py)"},
+       {"threads", "worker threads (default 1); results are bitwise "
+                   "identical for every value (docs/PARALLEL.md)"},
        {"format", "text | json (default text)"}});
   const auto n = static_cast<std::size_t>(cli.get_int("n", 1000));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
@@ -261,6 +268,7 @@ int main(int argc, char** argv) {
   setup.arq.enabled = cli.get_int("arq", 0) != 0;
   setup.per_node = cli.get_int("per-node", 0) != 0;
   setup.breakdown = cli.get_int("breakdown", 0) != 0;
+  setup.threads = static_cast<std::size_t>(cli.get_int("threads", 0));
   const std::string trace_path = cli.get("trace", "");
 
   std::vector<std::string> algos;
@@ -293,7 +301,7 @@ int main(int argc, char** argv) {
     jsonl.emplace(trace_file);
     telemetry.set_sink(&*jsonl);
     setup.telemetry = &telemetry;
-    sim::write_trace_header(trace_file, algos.front(), n, seed);
+    sim::write_trace_header(trace_file, algos.front(), n, seed, setup.threads);
   }
 
   std::vector<Record> records;

@@ -1,25 +1,35 @@
 #!/usr/bin/env bash
 # Run the simulator-engine microbench and record the result as BENCH_sim.json
-# at the repo root, so the perf trajectory is tracked in git from PR to PR.
+# at the repo root, plus the sharded-engine strong-scaling bench as
+# BENCH_parallel.json, so the perf trajectory is tracked in git from PR to PR.
 #
-#   scripts/bench_perf.sh [build_dir] [output_json]
+#   scripts/bench_perf.sh [build_dir] [output_json] [threads]
 #
-# The JSON is google-benchmark's format: one entry per benchmark run.
+# `threads` is a comma list passed to parallel_scaling (default 1,2,4,8);
+# pick it to match the machine — tracked numbers embed hardware_concurrency
+# so a 1-core CI record is not mistaken for a scaling claim.
+#
+# BENCH_sim.json is google-benchmark's format: one entry per benchmark run.
 # BM_CalendarPump/BM_LegacyPump are the collect_round-dominated steady-state
 # workload; BM_CalendarEnqueue/BM_LegacyEnqueue isolate enqueue. Args are
-# /<messages>/<max_extra_delay>. See docs/PERF.md for how to read it.
+# /<messages>/<max_extra_delay>. See docs/PERF.md for how to read both files.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${1:-$REPO_ROOT/build}"
 OUT="${2:-$REPO_ROOT/BENCH_sim.json}"
+THREADS="${3:-1,2,4,8}"
 BIN="$BUILD_DIR/bench/perf_sim"
+SCALING_BIN="$BUILD_DIR/bench/parallel_scaling"
+SCALING_OUT="$REPO_ROOT/BENCH_parallel.json"
 
-if [ ! -x "$BIN" ]; then
-  echo "error: $BIN not found or not executable — build first:" >&2
-  echo "  cmake -B $BUILD_DIR -S $REPO_ROOT && cmake --build $BUILD_DIR -j" >&2
-  exit 1
-fi
+for bin in "$BIN" "$SCALING_BIN"; do
+  if [ ! -x "$bin" ]; then
+    echo "error: $bin not found or not executable — build first:" >&2
+    echo "  cmake -B $BUILD_DIR -S $REPO_ROOT && cmake --build $BUILD_DIR -j" >&2
+    exit 1
+  fi
+done
 
 # Plain-double min_time: the "0.1s" spelling needs a newer google-benchmark
 # than the oldest this repo supports (see reproduce_all.sh).
@@ -36,6 +46,21 @@ echo "wrote $OUT"
 if command -v python3 >/dev/null 2>&1; then
   python3 -m json.tool "$OUT" > /dev/null || {
     echo "error: malformed JSON: $OUT" >&2
+    exit 1
+  }
+fi
+
+# Strong scaling of the sharded engine: serial Network vs ShardedNetwork at
+# the requested thread counts. The binary exits non-zero if any width fails
+# the bitwise delivery/energy identity check, so a racy engine can't leave a
+# plausible-looking record behind.
+echo
+"$SCALING_BIN" --threads="$THREADS" --json="$SCALING_OUT"
+echo
+echo "wrote $SCALING_OUT"
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool "$SCALING_OUT" > /dev/null || {
+    echo "error: malformed JSON: $SCALING_OUT" >&2
     exit 1
   }
 fi

@@ -15,6 +15,13 @@ Checks, per file:
      replayer adds in stream order), and any non-bitwise energy match is
      reported as a warning.
 
+Traces from multi-threaded runs (`emst_cli --threads=N`, N > 1) are first-
+class: the header then carries "threads":N, and events may carry an optional
+"shard" id. The sharded engine's contract is that neither changes anything
+observable — replay here deliberately derives every counter and the energy
+sum without looking at "shard", so a trace that only passes *with* shard
+information would be a determinism bug, not a valid trace.
+
 Exit status 0 iff every file passes. No dependencies beyond the standard
 library, so CI can run it straight after `emst_cli --trace`.
 """
@@ -71,6 +78,9 @@ def check_file(path: str) -> None:
         fail(path, 1, "first line is not an emst trace header")
     if header.get("version") != 1:
         fail(path, 1, f"unsupported trace version {header.get('version')}")
+    threads = header.get("threads", 1)
+    if not isinstance(threads, int) or threads < 1:
+        fail(path, 1, f"invalid thread count in header: {threads!r}")
 
     summary_obj = json.loads(lines[-1])
     if "summary" not in summary_obj:
@@ -94,6 +104,9 @@ def check_file(path: str) -> None:
             fail(path, lineno, f"unknown message kind {event['kind']!r}")
         if event["phase"] not in PHASES:
             fail(path, lineno, f"unknown phase {event['phase']!r}")
+        if "shard" in event and (not isinstance(event["shard"], int)
+                                 or event["shard"] < 0):
+            fail(path, lineno, f"invalid shard id {event['shard']!r}")
         events += 1
 
         ev = event["ev"]
@@ -143,9 +156,10 @@ def check_file(path: str) -> None:
         print(f"{path}: warning: energy matches only approximately "
               f"({replay_energy!r} vs {live_energy!r})", file=sys.stderr)
 
+    threads_note = f", {threads} threads" if threads > 1 else ""
     print(f"{path}: ok — {events} events, energy {live_energy:.6f}, "
           f"{summary['unicasts']} unicasts / {summary['broadcasts']} "
-          f"broadcasts over {summary['rounds']} rounds")
+          f"broadcasts over {summary['rounds']} rounds{threads_note}")
 
 
 def main(argv: list[str]) -> int:

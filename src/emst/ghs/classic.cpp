@@ -4,8 +4,10 @@
 #include <unordered_map>
 #include <variant>
 
+#include "emst/sim/engine_factory.hpp"
 #include "emst/sim/network.hpp"
 #include "emst/sim/reference_network.hpp"
+#include "emst/sim/sharded_network.hpp"
 #include "emst/support/assert.hpp"
 
 namespace emst::ghs {
@@ -82,8 +84,10 @@ class ClassicGhsRun {
       : topo_(topo),
         radius_(options.radius > 0.0 ? options.radius : topo.max_radius()),
         moe_(options.moe),
-        net_(topo, options.pathloss, /*unbounded_broadcast=*/false,
-             options.delays, /*faults=*/{}, options.telemetry),
+        net_(sim::make_engine<Engine>(topo, options.pathloss,
+                                      /*unbounded_broadcast=*/false,
+                                      options.delays, /*faults=*/{},
+                                      options.telemetry, options.threads)),
         nodes_(topo.node_count()),
         starters_(options.spontaneous_wakeups) {
     EMST_ASSERT(radius_ <= topo.max_radius() * (1.0 + 1e-12));
@@ -416,6 +420,9 @@ MstRunResult run_classic_ghs(const sim::Topology& topo,
                              const ClassicGhsOptions& options) {
   if (options.use_reference_engine) {
     return ClassicGhsRun<sim::ReferenceNetwork<GhsMsg>>(topo, options).run();
+  }
+  if (options.threads > 1) {
+    return ClassicGhsRun<sim::ShardedNetwork<GhsMsg>>(topo, options).run();
   }
   return ClassicGhsRun<sim::Network<GhsMsg>>(topo, options).run();
 }

@@ -9,6 +9,7 @@
 #include "emst/graph/union_find.hpp"
 #include "emst/sim/collectives.hpp"
 #include "emst/support/assert.hpp"
+#include "emst/support/parallel.hpp"
 
 namespace emst::ghs {
 namespace {
@@ -471,12 +472,28 @@ class SyncGhsEngine {
     std::size_t max_depth = 0;
     std::size_t max_probes = 0;
     phase_extra_rounds_ = 0;
+    // Collect the phase's active fragments first (in `members` order, so
+    // nothing observable changes), then build all fragment views in
+    // parallel when the run asks for threads: the BFS reads only tree_adj_
+    // and each task writes its own slot, so every charge below still
+    // happens in the exact single-threaded order.
+    std::vector<std::pair<NodeId, const std::vector<NodeId>*>> active;
     for (const auto& [leader, nodes] : members) {
       if (passive_.count(leader) > 0 || finished_.count(leader) > 0) continue;
       // Crashed nodes sit out as dormant singletons until they recover
       // (repair guarantees multi-node fragments start each phase all-alive).
       if (faulty_ && fault_->crashed(leader)) continue;
-      const FragmentView view = view_fragment(leader);
+      active.emplace_back(leader, &nodes);
+    }
+    std::vector<FragmentView> views(active.size());
+    support::parallel_for(
+        active.size(),
+        [&](std::size_t i) { views[i] = view_fragment(active[i].first); },
+        opts_.threads > 1 ? opts_.threads : 1);
+    for (std::size_t ai = 0; ai < active.size(); ++ai) {
+      const NodeId leader = active[ai].first;
+      const std::vector<NodeId>& nodes = *active[ai].second;
+      const FragmentView& view = views[ai];
       EMST_ASSERT_MSG(view.order.size() == nodes.size(),
                       "fragment tree must span exactly the fragment members");
       max_depth = std::max(max_depth, view.max_depth);

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include "emst/sim/engine_factory.hpp"
 #include "emst/sim/network.hpp"
+#include "emst/sim/sharded_network.hpp"
 #include "emst/support/assert.hpp"
+#include "emst/support/parallel.hpp"
 
 namespace emst::nnt {
 namespace {
@@ -26,95 +29,27 @@ struct ProbePlan {
   }
 };
 
-}  // namespace
+struct ActorMsg {
+  enum class Kind : std::uint8_t { kRequest, kReply, kConnect };
+  Kind kind = Kind::kRequest;
+};
 
-CoNntResult run_connt(const sim::Topology& topo, const CoNntOptions& options) {
-  const std::size_t n = topo.node_count();
-  EMST_ASSERT(n >= 1);
-  const double n_est = std::max(2.0, static_cast<double>(n) * options.n_estimate_factor);
-  const auto points = std::span<const geometry::Point2>(topo.points());
-
-  CoNntResult result;
-  result.parent.assign(n, graph::kNoNode);
-  EMST_ASSERT_MSG(!options.faults.enabled() && !options.arq.enabled,
-                  "Co-NNT has no loss recovery; faults/ARQ unsupported");
-  sim::EnergyMeter meter(options.pathloss);
-  if (options.track_per_node_energy) meter.enable_per_node(n);
-  if (options.record_breakdown) meter.enable_breakdown();
-  meter.attach_telemetry(options.telemetry);
-
-  std::vector<graph::NodeId> unresolved(n);
-  for (graph::NodeId u = 0; u < n; ++u) unresolved[u] = u;
-
-  for (std::size_t round = 1; !unresolved.empty(); ++round) {
-    std::vector<graph::NodeId> still_unresolved;
-    for (const graph::NodeId u : unresolved) {
-      // m = ⌈lg(n·L_u²)⌉ probes suffice to cover the potential region.
-      const ProbePlan plan(options.scheme, points[u], n_est);
-      if (round > plan.max_rounds) continue;  // top-ranked node: terminate
-
-      const double radius = ProbePlan::radius(round, n_est);
-      // REQUEST: one local broadcast carrying u's coordinates.
-      const std::vector<sim::NodeId> heard = topo.nodes_within(u, radius);
-      meter.set_kind(sim::MsgKind::kRequest);
-      meter.charge_broadcast(u, radius, heard.size());
-      // REPLIES from every higher-ranked node in range.
-      meter.set_kind(sim::MsgKind::kReply);
-      graph::NodeId best = graph::kNoNode;
-      double best_d = 0.0;
-      for (const sim::NodeId v : heard) {
-        if (!rank_less(options.scheme, points, u, v)) continue;
-        const double d = topo.distance(v, u);
-        meter.charge_unicast(v, u, d);
-        if (best == graph::kNoNode || d < best_d || (d == best_d && v < best)) {
-          best = v;
-          best_d = d;
-        }
-      }
-      if (best == graph::kNoNode) {
-        still_unresolved.push_back(u);
-        continue;
-      }
-      // CONNECTION to the nearest replier.
-      meter.set_kind(sim::MsgKind::kConnection);
-      meter.charge_unicast(u, best, best_d);
-      result.parent[u] = best;
-      result.tree.push_back(graph::Edge{u, best, best_d}.canonical());
-      result.max_connect_distance = std::max(result.max_connect_distance, best_d);
-      result.max_probe_rounds = std::max(result.max_probe_rounds, round);
-    }
-    // One request round, one reply round, one connection round.
-    meter.tick_rounds(3);
-    unresolved = std::move(still_unresolved);
-  }
-
-  graph::sort_edges(result.tree);
-  result.totals = meter.totals();
-  result.per_node_energy = meter.per_node();
-  if (meter.breakdown_enabled()) {
-    result.energy_breakdown = meter.breakdown();
-    result.breakdown_recorded = true;
-  }
-  result.telemetry = meter.telemetry();
-  return result;
-}
-
-CoNntResult run_connt_actor(const sim::Topology& topo,
-                            const CoNntOptions& options) {
+template <typename Engine>
+CoNntResult run_connt_actor_impl(const sim::Topology& topo,
+                                 const CoNntOptions& options) {
   const std::size_t n = topo.node_count();
   EMST_ASSERT(n >= 1);
   const double n_est =
       std::max(2.0, static_cast<double>(n) * options.n_estimate_factor);
   const auto points = std::span<const geometry::Point2>(topo.points());
 
-  struct Msg {
-    enum class Kind : std::uint8_t { kRequest, kReply, kConnect };
-    Kind kind = Kind::kRequest;
-  };
+  using Msg = ActorMsg;
   EMST_ASSERT_MSG(!options.faults.enabled() && !options.arq.enabled,
                   "Co-NNT has no loss recovery; faults/ARQ unsupported");
-  sim::Network<Msg> net(topo, options.pathloss, /*unbounded_broadcast=*/true,
-                        /*delays=*/{}, /*faults=*/{}, options.telemetry);
+  Engine net(sim::make_engine<Engine>(topo, options.pathloss,
+                                      /*unbounded_broadcast=*/true,
+                                      /*delays=*/{}, /*faults=*/{},
+                                      options.telemetry, options.threads));
   if (options.track_per_node_energy) net.meter().enable_per_node(n);
   if (options.record_breakdown) net.meter().enable_breakdown();
 
@@ -183,6 +118,110 @@ CoNntResult run_connt_actor(const sim::Topology& topo,
   }
   result.telemetry = net.meter().telemetry();
   return result;
+}
+
+}  // namespace
+
+CoNntResult run_connt(const sim::Topology& topo, const CoNntOptions& options) {
+  const std::size_t n = topo.node_count();
+  EMST_ASSERT(n >= 1);
+  const double n_est = std::max(2.0, static_cast<double>(n) * options.n_estimate_factor);
+  const auto points = std::span<const geometry::Point2>(topo.points());
+
+  CoNntResult result;
+  result.parent.assign(n, graph::kNoNode);
+  EMST_ASSERT_MSG(!options.faults.enabled() && !options.arq.enabled,
+                  "Co-NNT has no loss recovery; faults/ARQ unsupported");
+  sim::EnergyMeter meter(options.pathloss);
+  if (options.track_per_node_energy) meter.enable_per_node(n);
+  if (options.record_breakdown) meter.enable_breakdown();
+  meter.attach_telemetry(options.telemetry);
+
+  std::vector<graph::NodeId> unresolved(n);
+  for (graph::NodeId u = 0; u < n; ++u) unresolved[u] = u;
+
+  // Per-round probe precompute, parallelized when options.threads > 1. The
+  // geometry query (nodes_within) dominates the round; each slot is written
+  // by exactly one task, so the serial charge loop below sees identical
+  // inputs for every thread count.
+  struct Probe {
+    bool active = false;
+    double radius = 0.0;
+    std::vector<sim::NodeId> heard;
+  };
+  std::vector<Probe> probes;
+  const std::size_t workers = options.threads > 1 ? options.threads : 1;
+
+  for (std::size_t round = 1; !unresolved.empty(); ++round) {
+    probes.assign(unresolved.size(), Probe{});
+    support::parallel_for(
+        unresolved.size(),
+        [&](std::size_t i) {
+          const graph::NodeId u = unresolved[i];
+          // m = ⌈lg(n·L_u²)⌉ probes suffice to cover the potential region.
+          const ProbePlan plan(options.scheme, points[u], n_est);
+          if (round > plan.max_rounds) return;  // top-ranked node: terminate
+          Probe& probe = probes[i];
+          probe.active = true;
+          probe.radius = ProbePlan::radius(round, n_est);
+          probe.heard = topo.nodes_within(u, probe.radius);
+        },
+        workers);
+    std::vector<graph::NodeId> still_unresolved;
+    for (std::size_t i = 0; i < unresolved.size(); ++i) {
+      const graph::NodeId u = unresolved[i];
+      const Probe& probe = probes[i];
+      if (!probe.active) continue;
+      // REQUEST: one local broadcast carrying u's coordinates.
+      meter.set_kind(sim::MsgKind::kRequest);
+      meter.charge_broadcast(u, probe.radius, probe.heard.size());
+      // REPLIES from every higher-ranked node in range.
+      meter.set_kind(sim::MsgKind::kReply);
+      graph::NodeId best = graph::kNoNode;
+      double best_d = 0.0;
+      for (const sim::NodeId v : probe.heard) {
+        if (!rank_less(options.scheme, points, u, v)) continue;
+        const double d = topo.distance(v, u);
+        meter.charge_unicast(v, u, d);
+        if (best == graph::kNoNode || d < best_d || (d == best_d && v < best)) {
+          best = v;
+          best_d = d;
+        }
+      }
+      if (best == graph::kNoNode) {
+        still_unresolved.push_back(u);
+        continue;
+      }
+      // CONNECTION to the nearest replier.
+      meter.set_kind(sim::MsgKind::kConnection);
+      meter.charge_unicast(u, best, best_d);
+      result.parent[u] = best;
+      result.tree.push_back(graph::Edge{u, best, best_d}.canonical());
+      result.max_connect_distance = std::max(result.max_connect_distance, best_d);
+      result.max_probe_rounds = std::max(result.max_probe_rounds, round);
+    }
+    // One request round, one reply round, one connection round.
+    meter.tick_rounds(3);
+    unresolved = std::move(still_unresolved);
+  }
+
+  graph::sort_edges(result.tree);
+  result.totals = meter.totals();
+  result.per_node_energy = meter.per_node();
+  if (meter.breakdown_enabled()) {
+    result.energy_breakdown = meter.breakdown();
+    result.breakdown_recorded = true;
+  }
+  result.telemetry = meter.telemetry();
+  return result;
+}
+
+CoNntResult run_connt_actor(const sim::Topology& topo,
+                            const CoNntOptions& options) {
+  if (options.threads > 1) {
+    return run_connt_actor_impl<sim::ShardedNetwork<ActorMsg>>(topo, options);
+  }
+  return run_connt_actor_impl<sim::Network<ActorMsg>>(topo, options);
 }
 
 }  // namespace emst::nnt

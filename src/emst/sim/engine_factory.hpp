@@ -1,0 +1,41 @@
+// Engine-generic construction for the engine-templated drivers.
+//
+// The drivers (classic GHS, the Co-NNT actor) are templated on the network
+// engine so the calendar-queue `Network`, the `ReferenceNetwork` oracle and
+// the sharded parallel engine all execute the exact same protocol code. The
+// engines differ in one constructor parameter — `ShardedNetwork` takes a
+// thread count — and `make_engine` papers over that: the threads argument is
+// forwarded only to engines whose constructor accepts it. Guaranteed copy
+// elision makes this work even for non-movable engines (`ShardedNetwork`
+// owns a worker pool): the returned prvalue materializes directly into the
+// driver's member.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+
+#include "emst/sim/fault.hpp"
+#include "emst/sim/network.hpp"
+#include "emst/sim/telemetry.hpp"
+#include "emst/sim/topology.hpp"
+
+namespace emst::sim {
+
+template <typename Engine>
+[[nodiscard]] Engine make_engine(const Topology& topo,
+                                 geometry::PathLoss pathloss,
+                                 bool unbounded_broadcast, DelayModel delays,
+                                 FaultModel faults, Telemetry* telemetry,
+                                 std::size_t threads) {
+  if constexpr (std::is_constructible_v<Engine, const Topology&,
+                                        geometry::PathLoss, bool, DelayModel,
+                                        FaultModel, Telemetry*, std::size_t>) {
+    return Engine(topo, pathloss, unbounded_broadcast, delays, faults,
+                  telemetry, threads);
+  } else {
+    return Engine(topo, pathloss, unbounded_broadcast, delays, faults,
+                  telemetry);
+  }
+}
+
+}  // namespace emst::sim

@@ -6,7 +6,7 @@
 namespace emst::sim {
 
 FaultInjector::FaultInjector(const FaultModel& model)
-    : model_(model), enabled_(model.enabled()), rng_(model.seed) {
+    : model_(model), enabled_(model.enabled()) {
   for (const CrashWindow& w : model_.crashes)
     max_crash_node_ = std::max(max_crash_node_, w.node);
   if (!model_.crashes.empty()) {
@@ -34,20 +34,26 @@ bool FaultInjector::crashed_forever(graph::NodeId u) const noexcept {
   return false;
 }
 
-bool FaultInjector::drop(graph::NodeId u, graph::NodeId v) {
+bool FaultInjector::drop_at(std::uint64_t seq, graph::NodeId u,
+                            graph::NodeId v, support::FlatMap64& ge_state) {
   if (!enabled_) return false;
+  // Per-message stream: every draw this transmission needs comes from an
+  // independent generator keyed by (seed, seq). No draw here reads or
+  // advances shared RNG state, so the fate of transmission k is a pure
+  // function of (model, k, link burst state) — evaluable on any thread.
+  support::Rng draw(support::Rng::stream_seed(model_.seed, seq));
   bool lost = false;
-  if (model_.loss > 0.0) lost = rng_.uniform() < model_.loss;
+  if (model_.loss > 0.0) lost = draw.uniform() < model_.loss;
   if (model_.use_gilbert) {
     const std::uint64_t key =
         (static_cast<std::uint64_t>(u) << 32) | static_cast<std::uint64_t>(v);
-    const auto slot = ge_state_.find_or_insert(key, 0);  // links start Good
+    const auto slot = ge_state.find_or_insert(key, 0);  // links start Good
     const bool bad = *slot.value != 0;
     const double p_loss = bad ? model_.ge_loss_bad : model_.ge_loss_good;
-    if (p_loss > 0.0 && rng_.uniform() < p_loss) lost = true;
+    if (p_loss > 0.0 && draw.uniform() < p_loss) lost = true;
     // Advance the chain once per transmission on this link.
     const double p_flip = bad ? model_.ge_bad_to_good : model_.ge_good_to_bad;
-    if (p_flip > 0.0 && rng_.uniform() < p_flip) *slot.value = bad ? 0 : 1;
+    if (p_flip > 0.0 && draw.uniform() < p_flip) *slot.value = bad ? 0 : 1;
   }
   return lost;
 }

@@ -21,12 +21,17 @@
 // message still charges the sender — the radio transmitted, the channel ate
 // the packet. Only suppressed sends from crashed nodes are free.
 //
-// `FaultInjector` is the runtime: it owns the RNG, the per-link
-// Gilbert–Elliott states (in a FlatMap64, keyed by packed directed edge) and
-// the fault clock. Both network engines (`Network`, `ReferenceNetwork`)
-// consume draws in global send order, so two engines driven by the same
-// schedule see identical fault sequences — the differential tests rely on
-// this.
+// `FaultInjector` is the runtime: it owns the per-link Gilbert–Elliott
+// states (in a FlatMap64, keyed by packed directed edge) and the fault
+// clock. Channel fates are *counter-based*: the k-th physical transmission
+// draws from an independent RNG stream derived from (seed, k) rather than
+// from one shared sequential generator. Engines that process sends in
+// global send order (`Network`, `ReferenceNetwork`) simply count calls;
+// the sharded engine (`ShardedNetwork`) assigns the same global sequence
+// numbers at the round barrier and evaluates the fates on worker threads —
+// same (seed, k) pairs, same fates, regardless of thread count. Only the
+// per-link burst chains are stateful, and per-link send order is preserved
+// by every engine (FIFO links), so the chains advance identically too.
 #pragma once
 
 #include <cstdint>
@@ -100,11 +105,28 @@ class FaultInjector {
   /// drivers may garbage-collect state for such nodes.)
   [[nodiscard]] bool crashed_forever(graph::NodeId u) const noexcept;
 
-  /// Draw the channel fate of one physical transmission u→v. Advances the
-  /// RNG (and the link's Gilbert–Elliott state). Returns true if the
-  /// message is LOST. Does not consider crashes — callers check those
-  /// separately because crash drops happen at delivery time, not send time.
-  [[nodiscard]] bool drop(graph::NodeId u, graph::NodeId v);
+  /// Draw the channel fate of the next physical transmission u→v, in global
+  /// send order (advances the internal message counter and the link's
+  /// Gilbert–Elliott state). Returns true if the message is LOST. Does not
+  /// consider crashes — callers check those separately because crash drops
+  /// happen at delivery time, not send time.
+  [[nodiscard]] bool drop(graph::NodeId u, graph::NodeId v) {
+    if (!enabled_) return false;
+    return drop_at(seq_++, u, v, ge_state_);
+  }
+
+  /// Counter-based form: the fate of global transmission number `seq` on
+  /// link u→v, with the per-link burst state held in `ge_state` (callers
+  /// that partition links across threads pass their own map; every link
+  /// must consistently live in exactly one map). Draws come from an RNG
+  /// stream derived from (model seed, seq), so evaluation only needs the
+  /// sequence number — not the history of other links' draws. Thread-safe
+  /// for concurrent calls with distinct `ge_state` maps.
+  [[nodiscard]] bool drop_at(std::uint64_t seq, graph::NodeId u,
+                             graph::NodeId v, support::FlatMap64& ge_state);
+
+  /// The internal send counter (next sequence number `drop` will consume).
+  [[nodiscard]] std::uint64_t next_seq() const noexcept { return seq_; }
 
   FaultStats& stats() noexcept { return stats_; }
   [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
@@ -112,7 +134,7 @@ class FaultInjector {
  private:
   FaultModel model_;
   bool enabled_ = false;
-  support::Rng rng_{0};
+  std::uint64_t seq_ = 0;  ///< global transmission counter (drop() calls)
   std::uint64_t round_ = 0;
   /// Per-directed-link Gilbert–Elliott state: key = (u<<32)|v (never 0 since
   /// u != v), value = 1 while Bad. Grows only — FlatMap64 territory.

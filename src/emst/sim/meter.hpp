@@ -267,6 +267,14 @@ class EnergyMeter {
   [[nodiscard]] MsgKind kind() const noexcept { return kind_; }
   void set_fragment(std::uint32_t fragment) noexcept { fragment_ = fragment; }
   void clear_fragment() noexcept { fragment_ = kNoEventNode; }
+  [[nodiscard]] std::uint32_t fragment() const noexcept { return fragment_; }
+
+  /// Raw flag byte (kEventFlagArq | kEventFlagRetransmit). The getter/raw
+  /// setter exist for engines that capture the ambient context at send time
+  /// and replay it later (ShardedNetwork's round-barrier charge replay) —
+  /// drivers should keep using set_arq_frame / clear_arq_frame.
+  [[nodiscard]] std::uint8_t flags() const noexcept { return flags_; }
+  void set_flags(std::uint8_t flags) noexcept { flags_ = flags; }
 
   /// Tag the next charges as ARQ-managed frames (retransmit = timeout
   /// re-send rather than first attempt). Only ArqLink / ReliableChannel set

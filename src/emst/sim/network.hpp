@@ -210,7 +210,12 @@ class Network {
     }
     // Ring indexing without the 64-bit modulo (it showed up per enqueue):
     // head_ is the bucket for round now_+1 and due - (now_+1) <= D, so one
-    // conditional wrap suffices.
+    // conditional wrap suffices. The window invariant (drawn due lies in
+    // [now+1, now+1+D]; the FIFO clamp only raises it to another due that
+    // was itself in the window) is what keeps D+1 buckets alias-free —
+    // checked here so a future delay model that widens the window trips
+    // loudly instead of aliasing buckets (tests/calendar_ring_test.cpp).
+    EMST_ASSERT(due > now_ && due - now_ - 1 <= delays_.max_extra_delay);
     std::size_t idx = head_ + static_cast<std::size_t>(due - now_ - 1);
     if (idx >= buckets_.size()) idx -= buckets_.size();
     buckets_[idx].push_back({u, v, d, std::move(m), lost});

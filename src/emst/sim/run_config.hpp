@@ -31,6 +31,11 @@ struct RunConfig {
   /// Optional event hub; configure its sink/aggregation BEFORE the run (the
   /// meter snapshots activity at attach time). Null or inert = zero cost.
   Telemetry* telemetry = nullptr;
+  /// Worker threads for the run. 0 or 1 = single-threaded. Drivers that run
+  /// over a network engine pick `sim::ShardedNetwork` when threads > 1;
+  /// meter-direct drivers parallelize their pure-compute stages. Results are
+  /// bitwise-identical across thread counts (docs/PARALLEL.md).
+  std::size_t threads = 0;
 };
 
 }  // namespace emst::sim

@@ -1,0 +1,159 @@
+// Ring-wrap audit for the calendar-queue engines (satellite of the sharding
+// work; see the invariant comment in Network::enqueue).
+//
+// The calendar ring has exactly D+1 buckets for max_extra_delay = D. The
+// safety argument: a message sent at clock t draws due ∈ [t+1, t+1+D], and
+// the per-edge FIFO clamp can only *raise* a due to the due of an earlier
+// message on the same link — which was itself ≤ t'+1+D ≤ t+1+D for send
+// clock t' ≤ t. So every live due lies within a window of D+1 consecutive
+// rounds and the ring never aliases. These tests drive the boundary of that
+// window hard — maximum draws, clamp pile-ups at the window edge, heads
+// that wrap the ring many times — against the seed engine, which keeps
+// explicit (seq, due) pairs and a full sort instead of a ring (so it cannot
+// alias by construction). An always-on assert in enqueue/ingest backs this
+// up in every other test and in production runs.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "emst/sim/network.hpp"
+#include "emst/sim/reference_network.hpp"
+#include "emst/sim/sharded_network.hpp"
+#include "emst/support/rng.hpp"
+
+namespace emst::sim {
+namespace {
+
+using Msg = std::uint64_t;
+
+/// A two-node topology concentrates every message on one directed link, the
+/// worst case for the FIFO clamp: dues pile up at the top of the window and
+/// stay pinned there round after round.
+Topology two_nodes() { return Topology({{0.25, 0.5}, {0.75, 0.5}}, 1.0); }
+
+/// Burst B messages per round onto one link for many rounds, with B large
+/// against the ring so the clamp drives dues to (and keeps them at) the
+/// window's upper boundary while the head wraps the ring repeatedly.
+void expect_boundary_equivalence(std::uint32_t max_extra_delay,
+                                 std::size_t burst, int send_rounds) {
+  const Topology topo = two_nodes();
+  const DelayModel delays{max_extra_delay, 0xabcdULL + max_extra_delay};
+  Network<Msg> calendar(topo, {}, false, delays);
+  ReferenceNetwork<Msg> reference(topo, {}, false, delays);
+  ShardedNetwork<Msg> sharded(topo, {}, false, delays, {}, nullptr, 2);
+
+  std::uint64_t payload = 0;
+  std::uint64_t last_seen = 0;
+  bool any = false;
+  std::size_t delivered = 0;
+  for (int round = 0; round < send_rounds + 3 * (int)max_extra_delay + 5;
+       ++round) {
+    if (round < send_rounds) {
+      for (std::size_t k = 0; k < burst; ++k) {
+        calendar.unicast(0, 1, payload);
+        reference.unicast(0, 1, payload);
+        sharded.unicast(0, 1, payload);
+        ++payload;
+      }
+    }
+    const auto want = reference.collect_round();
+    const auto got = calendar.collect_round();
+    const auto got_sharded = sharded.collect_round();
+    ASSERT_EQ(got.size(), want.size()) << "round " << round;
+    ASSERT_EQ(got_sharded.size(), want.size()) << "round " << round;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i].msg, want[i].msg) << "round " << round << " pos " << i;
+      ASSERT_EQ(got_sharded[i].msg, want[i].msg)
+          << "round " << round << " pos " << i;
+      // Single-link FIFO: payloads are strictly increasing globally.
+      if (any) ASSERT_GT(got[i].msg, last_seen) << "FIFO violated";
+      last_seen = got[i].msg;
+      any = true;
+    }
+    delivered += got.size();
+  }
+  // Conservation at the boundary: nothing aliased into a wrong bucket (which
+  // would deliver early/late or vanish past the drain horizon).
+  EXPECT_EQ(delivered, payload);
+  EXPECT_FALSE(calendar.pending());
+  EXPECT_FALSE(reference.pending());
+  EXPECT_FALSE(sharded.pending());
+}
+
+TEST(CalendarRing, SynchronousBurst) { expect_boundary_equivalence(0, 40, 30); }
+
+TEST(CalendarRing, TinyRingHeavyClamp) {
+  // D = 1: a two-bucket ring, the tightest possible. Any off-by-one in the
+  // wrap arithmetic aliases immediately.
+  expect_boundary_equivalence(1, 24, 60);
+}
+
+TEST(CalendarRing, ClampPinsDuesAtWindowEdge) {
+  // D = 4 with 16 messages per round: far more messages than rounds in the
+  // window, so the clamp pins most dues at now+1+D — the exact bucket that
+  // wraps — every single round.
+  expect_boundary_equivalence(4, 16, 80);
+}
+
+TEST(CalendarRing, LongRunManyWraps) {
+  // D = 7 (8 buckets) over 300 send rounds: the head wraps the ring ~37
+  // times; every bucket index is exercised in both pre- and post-wrap form.
+  expect_boundary_equivalence(7, 6, 300);
+}
+
+TEST(CalendarRing, MaxDelayDrawLandsInLastBucket) {
+  // Deterministic pin of the due = now+1+D boundary itself: find a seed
+  // whose FIRST delay draw is exactly D, then verify the message arrives in
+  // round D+1, i.e. from the bucket farthest from the head. This fails if
+  // the ring had D buckets instead of D+1, or if the wrap dropped the last
+  // residue.
+  const std::uint32_t d = 5;
+  std::uint64_t seed = 1;
+  for (; seed < 10000; ++seed) {
+    support::Rng probe(seed);
+    if (probe.uniform_int(d + 1) == d) break;
+  }
+  ASSERT_LT(seed, 10000u) << "no seed with a maximum first draw found";
+
+  const Topology topo = two_nodes();
+  Network<Msg> net(topo, {}, false, {d, seed});
+  net.unicast(0, 1, 42);
+  for (std::uint32_t round = 1; round <= d; ++round) {
+    EXPECT_TRUE(net.pending());
+    EXPECT_TRUE(net.collect_round().empty()) << "early delivery at " << round;
+  }
+  const auto batch = net.collect_round();  // round d+1: due exactly now+1+d
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].msg, 42u);
+  EXPECT_FALSE(net.pending());
+}
+
+TEST(CalendarRing, WrapAfterIdleRounds) {
+  // Idle rounds advance the head without deliveries; a send issued just
+  // before the head wraps must still land in the correct (wrapped) bucket.
+  const std::uint32_t d = 3;
+  const Topology topo = two_nodes();
+  const DelayModel delays{d, 0x1234ULL};
+  Network<Msg> calendar(topo, {}, false, delays);
+  ReferenceNetwork<Msg> reference(topo, {}, false, delays);
+  std::uint64_t payload = 0;
+  for (int burst = 0; burst < 10; ++burst) {
+    // One send, then enough idle rounds that the head passes the wrap point.
+    calendar.unicast(0, 1, payload);
+    reference.unicast(0, 1, payload);
+    ++payload;
+    for (std::uint32_t idle = 0; idle < d + 2; ++idle) {
+      const auto want = reference.collect_round();
+      const auto got = calendar.collect_round();
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t i = 0; i < got.size(); ++i)
+        ASSERT_EQ(got[i].msg, want[i].msg);
+    }
+    ASSERT_FALSE(calendar.pending());
+  }
+  EXPECT_EQ(payload, 10u);
+}
+
+}  // namespace
+}  // namespace emst::sim
