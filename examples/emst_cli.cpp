@@ -249,6 +249,8 @@ int main(int argc, char** argv) {
        {"fault-seed", "fault-layer RNG seed (default 0xFA011A)"},
        {"arq", "1 = stop-and-wait ARQ on every unicast (default 0)"},
        {"per-node", "1 = per-node energy ledger (adds hottest-node column)"},
+       {"bits", "1 = bits-on-air column (proto wire codec sizes; zero for "
+                "algorithms without a wire format)"},
        {"breakdown", "1 = per-phase x per-kind energy matrix "
                      "(docs/TELEMETRY.md)"},
        {"trace", "write a JSONL telemetry trace to this path "
@@ -267,6 +269,7 @@ int main(int argc, char** argv) {
     setup.faults.seed = static_cast<std::uint64_t>(cli.get_int("fault-seed", 0));
   setup.arq.enabled = cli.get_int("arq", 0) != 0;
   setup.per_node = cli.get_int("per-node", 0) != 0;
+  const bool show_bits = cli.get_int("bits", 0) != 0;
   setup.breakdown = cli.get_int("breakdown", 0) != 0;
   setup.threads = static_cast<std::size_t>(cli.get_int("threads", 0));
   const std::string trace_path = cli.get("trace", "");
@@ -334,6 +337,7 @@ int main(int argc, char** argv) {
       json.key("unicasts").value(r.totals.unicasts);
       json.key("broadcasts").value(r.totals.broadcasts);
       json.key("rounds").value(r.totals.rounds);
+      json.key("bits").value(r.totals.bits);
       json.key("phases").value(r.phases);
       json.key("tree_len").value(r.tree_len);
       json.key("tree_sq").value(r.tree_sq);
@@ -348,6 +352,8 @@ int main(int argc, char** argv) {
         json.key("arq_data").value(r.arq.data_sent);
         json.key("arq_retransmissions").value(r.arq.retransmissions);
         json.key("arq_give_ups").value(r.arq.give_ups);
+        json.key("arq_data_bits").value(r.arq.data_bits);
+        json.key("arq_ack_bits").value(r.arq.ack_bits);
       }
       if (r.hit_phase_cap) json.key("hit_phase_cap").value(true);
       if (!r.per_node.empty())
@@ -363,15 +369,19 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(seed), topo.max_radius(),
                 topo.graph().edge_count());
     const bool show_hot = setup.per_node;
-    std::printf("%-12s %12s %10s %8s %10s %10s %6s%s\n", "algo", "energy",
-                "messages", "rounds", "sum|e|", "sum|e|^2", "exact",
-                show_hot ? "    hottest" : "");
+    std::printf("%-12s %12s %10s %8s%s %10s %10s %6s%s\n", "algo", "energy",
+                "messages", "rounds", show_bits ? "         bits" : "",
+                "sum|e|", "sum|e|^2", "exact", show_hot ? "    hottest" : "");
     for (const Record& r : records) {
-      std::printf("%-12s %12.4f %10llu %8llu %10.4f %10.5f %6s",
-                  r.algo.c_str(), r.totals.energy,
+      std::printf("%-12s %12.4f %10llu %8llu", r.algo.c_str(), r.totals.energy,
                   static_cast<unsigned long long>(r.totals.messages()),
-                  static_cast<unsigned long long>(r.totals.rounds), r.tree_len,
-                  r.tree_sq, r.exact ? "yes" : "no");
+                  static_cast<unsigned long long>(r.totals.rounds));
+      if (show_bits) {
+        std::printf(" %12llu",
+                    static_cast<unsigned long long>(r.totals.bits));
+      }
+      std::printf(" %10.4f %10.5f %6s", r.tree_len, r.tree_sq,
+                  r.exact ? "yes" : "no");
       if (show_hot) {
         if (r.per_node.empty()) {
           std::printf("          -");

@@ -41,13 +41,11 @@ done
 echo
 echo "wrote $OUT"
 
-# Exit non-zero on malformed JSON (a truncated file committed as the tracked
-# perf record would silently poison the trajectory).
+# Schema + self-check validation (shared with reproduce_all.sh and CI): a
+# truncated or silently-failing record committed as the tracked artifact
+# would poison the trajectory.
 if command -v python3 >/dev/null 2>&1; then
-  python3 -m json.tool "$OUT" > /dev/null || {
-    echo "error: malformed JSON: $OUT" >&2
-    exit 1
-  }
+  python3 "$REPO_ROOT/scripts/validate_bench.py" "$OUT"
 fi
 
 # Strong scaling of the sharded engine: serial Network vs ShardedNetwork at
@@ -59,10 +57,7 @@ echo
 echo
 echo "wrote $SCALING_OUT"
 if command -v python3 >/dev/null 2>&1; then
-  python3 -m json.tool "$SCALING_OUT" > /dev/null || {
-    echo "error: malformed JSON: $SCALING_OUT" >&2
-    exit 1
-  }
+  python3 "$REPO_ROOT/scripts/validate_bench.py" "$SCALING_OUT"
 fi
 
 # Headline ratio (legacy / calendar) per workload, when python3 is around.

@@ -7,13 +7,20 @@ Checks, per file:
   1. framing — first line is the {"trace":"emst",...} header, last line is
      the {"summary":{...}} record, every line in between is one JSON object
      with the required event fields and known enum names;
-  2. replay — re-derives energy/message/round totals, fault counters and
-     ARQ counters from the event stream alone (the same rules as
-     src/emst/sim/trace_replay.cpp) and compares them to the summary the
-     live run wrote. Counters must match exactly; energy must match to
-     1e-9 relative (bitwise in practice: %.17g round-trips doubles, and the
-     replayer adds in stream order), and any non-bitwise energy match is
-     reported as a warning.
+  2. replay — re-derives energy/message/round totals, wire-bit totals,
+     fault counters and ARQ counters from the event stream alone (the same
+     rules as src/emst/sim/trace_replay.cpp) and compares them to the
+     summary the live run wrote. Counters must match exactly; energy must
+     match to 1e-9 relative (bitwise in practice: %.17g round-trips
+     doubles, and the replayer adds in stream order), and any non-bitwise
+     energy match is reported as a warning.
+
+Wire-bit rules (the proto codec, docs/TELEMETRY.md): "bits" on a charge
+event is the encoded size of that frame — 0 means the sender had no codec,
+never "empty message". Round events must not carry bits, and an ARQ-flagged
+charged frame that *is* measured can never be smaller than the 17-bit ARQ
+header. Summary "bits" must equal the replayed sum over uni/bcast charges;
+"data_bits"/"ack_bits" must equal the replayed split over ARQ frames.
 
 Traces from multi-threaded runs (`emst_cli --threads=N`, N > 1) are first-
 class: the header then carries "threads":N, and events may carry an optional
@@ -42,12 +49,13 @@ KINDS = {
 PHASES = {"run", "step1", "census", "step2"}
 FLAG_ARQ = 1
 FLAG_RETRANSMIT = 2
+ARQ_HEADER_BITS = 17  # sim/wire.hpp kArqHeaderBits
 
 SUMMARY_COUNTERS = (
-    "unicasts", "broadcasts", "deliveries", "rounds",
+    "unicasts", "broadcasts", "deliveries", "rounds", "bits",
     "lost", "dropped_crashed", "suppressed",
     "data_sent", "retransmissions", "acks_sent", "duplicates", "delivered",
-    "give_ups", "timeout_rounds",
+    "give_ups", "timeout_rounds", "data_bits", "ack_bits",
 )
 
 
@@ -58,13 +66,18 @@ def fail(path: str, lineno: int, message: str) -> None:
 
 def count_arq_frame(event: dict, replay: dict) -> None:
     """One ARQ-flagged frame attempt -> the matching send counter (applies
-    to charged unicasts and to flagged suppress events alike)."""
+    to charged unicasts and to flagged suppress events alike). Frame bits
+    split the same way: ACK frames -> ack_bits, DATA frames -> data_bits."""
+    bits = event.get("bits", 0)
     if event.get("flags", 0) & FLAG_RETRANSMIT:
         replay["retransmissions"] += 1
+        replay["data_bits"] += bits
     elif event["kind"] == "arq_ack":
         replay["acks_sent"] += 1
+        replay["ack_bits"] += bits
     else:
         replay["data_sent"] += 1
+        replay["data_bits"] += bits
 
 
 def check_file(path: str) -> None:
@@ -107,19 +120,31 @@ def check_file(path: str) -> None:
         if "shard" in event and (not isinstance(event["shard"], int)
                                  or event["shard"] < 0):
             fail(path, lineno, f"invalid shard id {event['shard']!r}")
+        bits = event.get("bits", 0)
+        if not isinstance(bits, int) or bits < 0:
+            fail(path, lineno, f"invalid bits value {bits!r}")
         events += 1
 
         ev = event["ev"]
+        if ev == "round" and bits != 0:
+            fail(path, lineno, "round events must not carry wire bits")
+        if (ev == "uni" and event.get("flags", 0) & FLAG_ARQ
+                and 0 < bits < ARQ_HEADER_BITS):
+            fail(path, lineno,
+                 f"ARQ frame carries {bits} bits — smaller than its own "
+                 f"{ARQ_HEADER_BITS}-bit header")
         if ev == "uni":
             replay_energy += event.get("energy", 0.0)
             replay["unicasts"] += 1
             replay["deliveries"] += 1
+            replay["bits"] += bits
             if event.get("flags", 0) & FLAG_ARQ:
                 count_arq_frame(event, replay)
         elif ev == "bcast":
             replay_energy += event.get("energy", 0.0)
             replay["broadcasts"] += 1
             replay["deliveries"] += event.get("receivers", 0)
+            replay["bits"] += bits
         elif ev == "loss":
             replay["lost"] += 1
         elif ev == "crash":
@@ -159,7 +184,8 @@ def check_file(path: str) -> None:
     threads_note = f", {threads} threads" if threads > 1 else ""
     print(f"{path}: ok — {events} events, energy {live_energy:.6f}, "
           f"{summary['unicasts']} unicasts / {summary['broadcasts']} "
-          f"broadcasts over {summary['rounds']} rounds{threads_note}")
+          f"broadcasts / {summary['bits']} bits over {summary['rounds']} "
+          f"rounds{threads_note}")
 
 
 def main(argv: list[str]) -> int:

@@ -41,14 +41,13 @@ fi
 
 mkdir -p "$RESULTS_DIR"
 
-# Exit non-zero on malformed JSON — a truncated or half-written artifact
-# committed as a tracked result would silently poison the trajectory.
+# Exit non-zero on a malformed or self-check-failing record — a truncated
+# or half-written artifact committed as a tracked result would silently
+# poison the trajectory. Schemas live in scripts/validate_bench.py (shared
+# with bench_perf.sh and CI).
 validate_json() {
   if command -v python3 >/dev/null 2>&1; then
-    python3 -m json.tool "$1" > /dev/null || {
-      echo "error: malformed JSON: $1" >&2
-      exit 1
-    }
+    python3 "$REPO_ROOT/scripts/validate_bench.py" "$1"
   fi
 }
 
@@ -85,6 +84,15 @@ for name in "${benches[@]}"; do
         | tee "$RESULTS_DIR/$name.txt"
       validate_json "$REPO_ROOT/BENCH_telemetry.json"
       cp "$REPO_ROOT/BENCH_telemetry.json" "$RESULTS_DIR/BENCH_telemetry.json"
+      ;;
+    wire_overhead)
+      echo "== $name"
+      # Refreshes the tracked message-size record; the binary exits
+      # non-zero if any encoded frame exceeds the c*log2(n) bound.
+      "$bench" --json="$REPO_ROOT/BENCH_wire.json" \
+        | tee "$RESULTS_DIR/$name.txt"
+      validate_json "$REPO_ROOT/BENCH_wire.json"
+      cp "$REPO_ROOT/BENCH_wire.json" "$RESULTS_DIR/BENCH_wire.json"
       ;;
     *)
       echo "== $name"

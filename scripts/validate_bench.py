@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Validate tracked BENCH_*.json records (shared by bench_perf.sh,
+reproduce_all.sh and CI).
+
+    scripts/validate_bench.py BENCH_file.json [more.json ...]
+
+Every tracked perf/quality record at the repo root goes through the same
+gate before it can be committed: the file must parse, match the schema its
+producing bench writes, and — where the record embeds a self-check — that
+check must have passed. A truncated, half-written or silently-failing
+artifact committed as a tracked record would poison the trajectory the
+repo's BENCH files exist to show.
+
+Known records (matched by filename):
+  BENCH_sim.json        google-benchmark output of bench/perf_sim
+  BENCH_parallel.json   sharded-engine strong scaling; `identical` must be
+                        true (the bitwise-determinism contract)
+  BENCH_faults.json     loss-sweep energy overhead of ARQ over lossy links
+  BENCH_telemetry.json  observer cost of the telemetry sinks;
+                        `energy_identical` must be true
+  BENCH_wire.json       max/mean encoded message size vs c*log2(n);
+                        `all_within_bound` must be true and every sweep row
+                        must respect its bound
+
+Unknown BENCH files fail loudly: add a schema here when adding a record.
+Exit status 0 iff every file passes. Standard library only.
+"""
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+
+def fail(path: str, message: str) -> None:
+    print(f"{path}: error: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def require(path: str, record: dict, fields: tuple[str, ...],
+            where: str = "record") -> None:
+    for field in fields:
+        if field not in record:
+            fail(path, f"{where} is missing {field!r}")
+
+
+def check_sim(path: str, doc: dict) -> str:
+    require(path, doc, ("context", "benchmarks"))
+    benches = doc["benchmarks"]
+    if not benches:
+        fail(path, "no benchmark entries")
+    for bench in benches:
+        require(path, bench, ("name", "real_time", "cpu_time", "iterations"),
+                where=f"benchmark {bench.get('name', '?')!r}")
+        if bench.get("run_type", "iteration") == "iteration" \
+                and bench["iterations"] <= 0:
+            fail(path, f"benchmark {bench['name']!r} ran 0 iterations")
+    return f"{len(benches)} benchmark entries"
+
+
+def check_parallel(path: str, doc: dict) -> str:
+    require(path, doc, ("hardware_concurrency", "nodes", "trials", "seed",
+                        "identical", "scenarios"))
+    if doc["identical"] is not True:
+        fail(path, "sharded engine diverged from the serial engine "
+                   "(identical != true) — this record must never be committed")
+    if not doc["scenarios"]:
+        fail(path, "no scenarios")
+    for scenario in doc["scenarios"]:
+        require(path, scenario, ("messages", "serial_ms", "sharded"),
+                where="scenario")
+    return f"{len(doc['scenarios'])} scenarios, bitwise identical"
+
+
+def check_faults(path: str, doc: dict) -> str:
+    require(path, doc, ("n", "trials", "seed", "arq", "baseline", "sweep"))
+    if not doc["sweep"]:
+        fail(path, "empty loss sweep")
+    for row in doc["sweep"]:
+        require(path, row, ("loss", "eopt", "ghs"), where="sweep row")
+    return f"{len(doc['sweep'])} loss points"
+
+
+def check_telemetry(path: str, doc: dict) -> str:
+    require(path, doc, ("n", "trials", "seed", "energy_identical",
+                        "workloads"))
+    if doc["energy_identical"] is not True:
+        fail(path, "telemetry observers changed the energy figure "
+                   "(energy_identical != true)")
+    if not doc["workloads"]:
+        fail(path, "no workloads")
+    for workload in doc["workloads"]:
+        require(path, workload, ("workload", "off"), where="workload")
+    return f"{len(doc['workloads'])} workloads, observers energy-neutral"
+
+
+def check_wire(path: str, doc: dict) -> str:
+    require(path, doc, ("seed", "c_bound", "all_within_bound", "sweep"))
+    if doc["all_within_bound"] is not True:
+        fail(path, "a message exceeded the c*log2(n) bound "
+                   "(all_within_bound != true)")
+    if not doc["sweep"]:
+        fail(path, "empty deployment sweep")
+    algos = 0
+    for row in doc["sweep"]:
+        require(path, row, ("n", "edges", "bound_bits", "algos"),
+                where="sweep row")
+        if not row["algos"]:
+            fail(path, f"n={row['n']}: no algorithms recorded")
+        for sample in row["algos"]:
+            require(path, sample,
+                    ("algo", "frames", "max_bits", "mean_bits",
+                     "within_bound"),
+                    where=f"n={row['n']} algo record")
+            if sample["frames"] <= 0:
+                fail(path, f"n={row['n']} {sample['algo']}: no frames "
+                           "charged — the wire measurement saw nothing")
+            if sample["max_bits"] > row["bound_bits"]:
+                fail(path, f"n={row['n']} {sample['algo']}: max_bits "
+                           f"{sample['max_bits']} exceeds the bound "
+                           f"{row['bound_bits']:.1f}")
+            if sample["within_bound"] is not True:
+                fail(path, f"n={row['n']} {sample['algo']}: within_bound "
+                           "is false")
+            if not 0 < sample["mean_bits"] <= sample["max_bits"]:
+                fail(path, f"n={row['n']} {sample['algo']}: mean_bits "
+                           f"{sample['mean_bits']} outside (0, max_bits]")
+            algos += 1
+    return f"{len(doc['sweep'])} deployment sizes x {algos} records in bound"
+
+
+CHECKS = {
+    "BENCH_sim.json": check_sim,
+    "BENCH_parallel.json": check_parallel,
+    "BENCH_faults.json": check_faults,
+    "BENCH_telemetry.json": check_telemetry,
+    "BENCH_wire.json": check_wire,
+}
+
+
+def check_file(path: str) -> None:
+    name = os.path.basename(path)
+    if name not in CHECKS:
+        fail(path, f"no schema registered for {name!r} — add one to "
+                   "scripts/validate_bench.py when adding a tracked record")
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(path, f"not readable JSON: {err}")
+    if not isinstance(doc, dict):
+        fail(path, "top-level JSON value is not an object")
+    detail = CHECKS[name](path, doc)
+    print(f"{path}: ok — {detail}")
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        check_file(path)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -14,38 +14,23 @@ namespace emst::ghs {
 namespace {
 
 // ---------------------------------------------------------------------------
-// Message types (Gallager, Humblet & Spira 1983, §3).
-// Fragment names are edge indices of the core edge; levels are integers.
+// Message types (Gallager, Humblet & Spira 1983, §3) — the wire structs and
+// their codecs live in the proto layer; fragment names are edge indices of
+// the core edge, levels are integers.
 // ---------------------------------------------------------------------------
 
-enum class NodeState : std::uint8_t { kSleeping, kFind, kFound };
+using NodeState = proto::GhsNodeState;
 enum class EdgeState : std::uint8_t { kBasic, kBranch, kRejected };
 
-struct Connect {
-  std::uint32_t level;
-};
-struct Initiate {
-  std::uint32_t level;
-  EdgeIndex frag;
-  NodeState state;
-};
-struct Test {
-  std::uint32_t level;
-  EdgeIndex frag;
-};
-struct Accept {};
-struct Reject {};
-struct Report {
-  std::uint64_t best;  ///< edge index of subtree MOE, or kInfEdge
-};
-struct ChangeRoot {};
-/// §V-A modification: local broadcast of a node's (new) fragment name.
-struct Announce {
-  EdgeIndex frag;
-};
-
-using GhsMsg = std::variant<Connect, Initiate, Test, Accept, Reject, Report,
-                            ChangeRoot, Announce>;
+using Connect = proto::GhsConnect;
+using Initiate = proto::GhsInitiate;
+using Test = proto::GhsTest;
+using Accept = proto::GhsAccept;
+using Reject = proto::GhsReject;
+using Report = proto::GhsReport;
+using ChangeRoot = proto::GhsChangeRoot;
+using Announce = proto::GhsAnnounce;
+using GhsMsg = proto::GhsMsg;
 
 constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
 constexpr EdgeIndex kNoFragName = static_cast<EdgeIndex>(-1);
@@ -97,6 +82,10 @@ class ClassicGhsRun {
                       ? options.max_rounds
                       : (50 * topo.node_count() + 1000) *
                             (options.delays.max_extra_delay + 1);
+    // Codec hook: the engine measures every message through the proto wire
+    // format once the field widths are derived from the topology.
+    net_.wire_format().ctx = proto::WireContext::for_topology(
+        topo.node_count(), topo.graph().edges().size());
     if (options.track_per_node_energy)
       net_.meter().enable_per_node(topo.node_count());
     if (options.record_breakdown) net_.meter().enable_breakdown();
@@ -139,19 +128,7 @@ class ClassicGhsRun {
   }
 
   [[nodiscard]] static GhsMsgType type_of(const GhsMsg& msg) {
-    return std::visit(
-        [](const auto& m) {
-          using T = std::decay_t<decltype(m)>;
-          if constexpr (std::is_same_v<T, Connect>) return GhsMsgType::kConnect;
-          else if constexpr (std::is_same_v<T, Initiate>) return GhsMsgType::kInitiate;
-          else if constexpr (std::is_same_v<T, Test>) return GhsMsgType::kTest;
-          else if constexpr (std::is_same_v<T, Accept>) return GhsMsgType::kAccept;
-          else if constexpr (std::is_same_v<T, Reject>) return GhsMsgType::kReject;
-          else if constexpr (std::is_same_v<T, Report>) return GhsMsgType::kReport;
-          else if constexpr (std::is_same_v<T, Announce>) return GhsMsgType::kAnnounce;
-          else return GhsMsgType::kChangeRoot;
-        },
-        msg);
+    return proto::type_of(msg);
   }
 
   void tally(GhsMsgType type, double reach) {

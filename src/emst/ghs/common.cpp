@@ -7,21 +7,6 @@
 
 namespace emst::ghs {
 
-const char* ghs_msg_type_name(GhsMsgType type) {
-  switch (type) {
-    case GhsMsgType::kConnect: return "connect";
-    case GhsMsgType::kInitiate: return "initiate";
-    case GhsMsgType::kTest: return "test";
-    case GhsMsgType::kAccept: return "accept";
-    case GhsMsgType::kReject: return "reject";
-    case GhsMsgType::kReport: return "report";
-    case GhsMsgType::kChangeRoot: return "change-root";
-    case GhsMsgType::kAnnounce: return "announce";
-    case GhsMsgType::kTypeCount: break;
-  }
-  return "?";
-}
-
 std::span<const graph::Neighbor> neighbors_within(const sim::Topology& topo,
                                                   NodeId u, double radius) {
   const auto all = topo.neighbors(u);

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "emst/graph/edge.hpp"
+#include "emst/proto/ghs_wire.hpp"
 #include "emst/run_report.hpp"
 #include "emst/sim/meter.hpp"
 #include "emst/sim/telemetry.hpp"
@@ -23,8 +24,11 @@
 namespace emst::ghs {
 
 using NodeId = sim::NodeId;
-using EdgeIndex = std::uint32_t;
-inline constexpr std::uint64_t kInfEdge = std::numeric_limits<std::uint64_t>::max();
+// The edge-index vocabulary and wire message types moved to the proto layer
+// (emst/proto/ghs_wire.hpp) so engines and drivers can share one codec;
+// aliases keep every existing ghs:: spelling working.
+using EdgeIndex = proto::EdgeIndex;
+inline constexpr std::uint64_t kInfEdge = proto::kInfEdge;
 
 /// One logical transmission recorded by an engine for interference replay
 /// (mac::replay_log): unicast (to, distance-as-radius) or local broadcast.
@@ -42,37 +46,11 @@ using TxBatch = std::vector<TxRecord>;
 using TxLog = std::vector<TxBatch>;
 
 /// Message types of the classical GHS protocol (plus the §V-A announcement),
-/// for per-type accounting.
-enum class GhsMsgType : std::uint8_t {
-  kConnect,
-  kInitiate,
-  kTest,
-  kAccept,
-  kReject,
-  kReport,
-  kChangeRoot,
-  kAnnounce,
-  kTypeCount,
-};
-
-[[nodiscard]] const char* ghs_msg_type_name(GhsMsgType type);
-
-/// Map a GHS wire type onto the telemetry message-kind vocabulary (they are
-/// 1:1; telemetry just adds the non-GHS kinds on top).
-[[nodiscard]] constexpr sim::MsgKind to_msg_kind(GhsMsgType type) {
-  switch (type) {
-    case GhsMsgType::kConnect: return sim::MsgKind::kConnect;
-    case GhsMsgType::kInitiate: return sim::MsgKind::kInitiate;
-    case GhsMsgType::kTest: return sim::MsgKind::kTest;
-    case GhsMsgType::kAccept: return sim::MsgKind::kAccept;
-    case GhsMsgType::kReject: return sim::MsgKind::kReject;
-    case GhsMsgType::kReport: return sim::MsgKind::kReport;
-    case GhsMsgType::kChangeRoot: return sim::MsgKind::kChangeRoot;
-    case GhsMsgType::kAnnounce: return sim::MsgKind::kAnnounce;
-    case GhsMsgType::kTypeCount: break;
-  }
-  return sim::MsgKind::kData;
-}
+/// for per-type accounting — defined in the proto layer next to their wire
+/// codecs.
+using GhsMsgType = proto::GhsMsgType;
+using proto::ghs_msg_type_name;
+using proto::to_msg_kind;
 
 /// Per-type message and energy tallies (classic GHS fills this in; the
 /// interesting split is TEST/ACCEPT/REJECT = Θ(|E|) discovery traffic vs

@@ -1,13 +1,12 @@
 #include "emst/ghs/sync.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
-#include <queue>
 #include <unordered_map>
 #include <unordered_set>
 
-#include "emst/graph/union_find.hpp"
-#include "emst/sim/collectives.hpp"
+#include "emst/proto/fragment.hpp"
 #include "emst/support/assert.hpp"
 #include "emst/support/parallel.hpp"
 
@@ -47,23 +46,29 @@ class SyncGhsEngine {
                                                 : &own_session_),
         link_(fault_, options.arq),
         faulty_(fault_->enabled() || options.arq.enabled),
-        start_fault_stats_(fault_->stats()) {
+        start_fault_stats_(fault_->stats()),
+        frags_(topo.node_count(), topo.graph().edge_count()) {
     EMST_ASSERT(radius_ <= topo_.max_radius() * (1.0 + 1e-12));
     const std::size_t n = topo_.node_count();
-    frag_.resize(n);
-    tree_adj_.assign(n, {});
     cache_.assign(n, {});
-    in_tree_.assign(topo_.graph().edge_count(), false);
     rejected_.assign(topo_.graph().edge_count(), false);
     was_crashed_.assign(n, false);
     if (seed) {
       EMST_ASSERT(seed->leader.size() == n);
-      frag_ = seed->leader;
-      for (const graph::Edge& e : seed->tree) add_tree_edge(e);
-    } else {
-      for (NodeId u = 0; u < n; ++u) frag_[u] = u;
+      frags_.assign_leaders(seed->leader);
+      for (const graph::Edge& e : seed->tree)
+        frags_.add_tree_edge(e, edge_index_of(e.u, e.v));
     }
     for (NodeId p : opts_.passive_fragments) passive_.insert(p);
+    // Wire sizing: this driver names fragments by leader id, so fragment
+    // fields are id-width; the choreographed charges bill each message type
+    // at its worst-case encoded size (a real transmitter cannot shrink a
+    // frame it has not built yet).
+    wire_ctx_ = proto::WireContext::for_topology(n, topo.graph().edge_count());
+    wire_ctx_.frag_bits = wire_ctx_.id_bits;
+    for (std::size_t t = 0; t < type_bits_.size(); ++t)
+      type_bits_[t] =
+          proto::max_encoded_bits(static_cast<GhsMsgType>(t), wire_ctx_);
     // Shared-meter runs (EOPT stages) must not wipe ledgers or detach
     // telemetry the caller already configured — guard every toggle.
     if (opts_.track_per_node_energy && meter_.per_node().size() != n)
@@ -98,7 +103,7 @@ class SyncGhsEngine {
       }
     }
     SyncGhsResult result;
-    result.run.tree = tree_;
+    result.run.tree = frags_.tree();
     graph::sort_edges(result.run.tree);
     // Delta against entry so shared-meter (EOPT stage) runs report only
     // their own traffic; standalone runs start from zero, so x - 0 == x
@@ -106,7 +111,7 @@ class SyncGhsEngine {
     result.run.totals = meter_.totals() - start_totals_;
     result.run.phases = phases;
     result.run.fragments = fragment_count();
-    result.final_forest.leader = frag_;
+    result.final_forest.leader = frags_.leaders();
     result.final_forest.tree = result.run.tree;
     result.fragments_per_phase = std::move(trajectory);
     result.run.per_node_energy = meter_.per_node();
@@ -126,18 +131,13 @@ class SyncGhsEngine {
   }
 
   [[nodiscard]] std::size_t fragment_count() const {
-    const std::unordered_set<NodeId> leaders(frag_.begin(), frag_.end());
-    return leaders.size();
+    return frags_.fragment_count();
   }
 
   [[nodiscard]] const sim::EnergyMeter& meter() const noexcept { return meter_; }
 
  private:
-  struct Candidate {
-    std::uint64_t edge_index = kInfEdge;
-    NodeId from = kNone;
-    NodeId to = kNone;
-  };
+  using Candidate = proto::FragmentSet::MergeCandidate;
 
   /// Result of one member's MOE scan. `conclusive == false` means some edge
   /// cheaper than `best` could not be classified (probe gave up, neighbor
@@ -147,12 +147,8 @@ class SyncGhsEngine {
     bool conclusive = true;
   };
 
-  void add_tree_edge(const graph::Edge& e) {
-    tree_adj_[e.u].push_back(e.v);
-    tree_adj_[e.v].push_back(e.u);
-    tree_.push_back(e.canonical());
-    // Mark by global edge index so the probe walk can skip tree edges.
-    in_tree_[edge_index_of(e.u, e.v)] = true;
+  [[nodiscard]] std::uint32_t bits_of(GhsMsgType type) const noexcept {
+    return type_bits_[static_cast<std::size_t>(type)];
   }
 
   [[nodiscard]] EdgeIndex edge_index_of(NodeId u, NodeId v) const {
@@ -173,13 +169,19 @@ class SyncGhsEngine {
   bool charge_wave(TxBatch& wave, NodeId u, NodeId v, GhsMsgType type) {
     const double d = topo_.distance(u, v);
     meter_.set_kind(to_msg_kind(type));
-    meter_.set_fragment(frag_[u]);
+    meter_.set_fragment(frags_.leader(u));
+    // The choreographed driver never materialises a frame, so it bills the
+    // type's worst-case wire size; the ARQ link reads the same ambient bits
+    // as the session payload.
+    meter_.set_bits(bits_of(type));
     if (!faulty_) {
       meter_.charge_unicast(u, v, d);
+      meter_.clear_bits();
       if (opts_.transmission_log != nullptr) wave.push_back({u, v, d, false});
       return true;
     }
     const sim::ArqOutcome out = link_.transmit(meter_, u, v, d);
+    meter_.clear_bits();
     phase_extra_rounds_ += out.extra_rounds;
     if (opts_.transmission_log != nullptr) {
       for (std::uint32_t i = 0; i < out.data_attempts; ++i)
@@ -206,11 +208,13 @@ class SyncGhsEngine {
   /// repaired lazily by the reliable TEST path in local_moe.
   void announce(NodeId u) {
     meter_.set_kind(sim::MsgKind::kAnnounce);
-    meter_.set_fragment(frag_[u]);
+    meter_.set_fragment(frags_.leader(u));
+    meter_.set_bits(bits_of(GhsMsgType::kAnnounce));
     if (fault_->enabled() && fault_->crashed(u)) {
       ++fault_->stats().suppressed;
       meter_.note_event(sim::EventType::kSuppress, u, sim::kNoEventNode,
                         radius_);
+      meter_.clear_bits();
       return;
     }
     const auto receivers = neighbors_within(topo_, u, radius_);
@@ -234,8 +238,9 @@ class SyncGhsEngine {
           continue;
         }
       }
-      cache_[nb.id][u] = frag_[u];
+      cache_[nb.id][u] = frags_.leader(u);
     }
+    meter_.clear_bits();
   }
 
   /// Repair-time announcement (the modeled failure detector): charged like
@@ -246,7 +251,8 @@ class SyncGhsEngine {
   void announce_repair(NodeId u) {
     if (fault_->crashed(u)) return;  // dead nodes stay silent
     meter_.set_kind(sim::MsgKind::kAnnounce);
-    meter_.set_fragment(frag_[u]);
+    meter_.set_fragment(frags_.leader(u));
+    meter_.set_bits(bits_of(GhsMsgType::kAnnounce));
     const auto receivers = neighbors_within(topo_, u, radius_);
     const double power = opts_.announce_min_power
                              ? (receivers.empty() ? 0.0 : receivers.back().w)
@@ -256,44 +262,15 @@ class SyncGhsEngine {
       batch_.push_back({u, u, power, true});
     }
     for (const graph::Neighbor& nb : receivers) {
-      if (!fault_->crashed(nb.id)) cache_[nb.id][u] = frag_[u];
+      if (!fault_->crashed(nb.id)) cache_[nb.id][u] = frags_.leader(u);
     }
+    meter_.clear_bits();
   }
 
   void announce_all() {
     for (NodeId u = 0; u < topo_.node_count(); ++u) announce(u);
     flush_batch();
     tick(1);
-  }
-
-  /// BFS parents/order of one fragment from its leader over tree edges.
-  struct FragmentView {
-    std::vector<NodeId> order;          // BFS order, order[0] = leader
-    std::unordered_map<NodeId, NodeId> parent;
-    std::unordered_map<NodeId, std::size_t> depth;
-    std::size_t max_depth = 0;
-  };
-
-  [[nodiscard]] FragmentView view_fragment(NodeId leader) const {
-    FragmentView view;
-    view.order.push_back(leader);
-    view.parent[leader] = kNone;
-    view.depth[leader] = 0;
-    std::queue<NodeId> frontier;
-    frontier.push(leader);
-    while (!frontier.empty()) {
-      const NodeId u = frontier.front();
-      frontier.pop();
-      for (NodeId v : tree_adj_[u]) {
-        if (view.parent.count(v) > 0) continue;
-        view.parent[v] = u;
-        view.depth[v] = view.depth[u] + 1;
-        view.max_depth = std::max(view.max_depth, view.depth[v]);
-        view.order.push_back(v);
-        frontier.push(v);
-      }
-    }
-    return view;
   }
 
   /// Local MOE of node u: cheapest incident edge leaving the fragment, found
@@ -316,18 +293,18 @@ class SyncGhsEngine {
         if (!faulty_) {
           EMST_ASSERT_MSG(it != cache_[u].end(),
                           "modified GHS: neighbor cache must be complete");
-          if (it->second == frag_[u]) continue;
+          if (it->second == frags_.leader(u)) continue;
           scan.best = {nb.edge_index, u, nb.id};
           break;  // neighbors ascend by weight: first hit is the minimum
         }
-        if (it != cache_[u].end() && it->second == frag_[u]) continue;
+        if (it != cache_[u].end() && it->second == frags_.leader(u)) continue;
         if (fault_->crashed_forever(nb.id)) continue;
         ++probes;
         const bool test_ok =
             charge_wave(probe_wave, u, nb.id, GhsMsgType::kTest);  // TEST
         const bool reply_ok =
             test_ok && charge_wave(probe_wave, nb.id, u,
-                                   frag_[nb.id] == frag_[u]
+                                   frags_.leader(nb.id) == frags_.leader(u)
                                        ? GhsMsgType::kReject
                                        : GhsMsgType::kAccept);  // id reply
         if (!reply_ok) {
@@ -335,20 +312,21 @@ class SyncGhsEngine {
           break;
         }
         // TEST replies carry both fragment ids: refresh both caches.
-        cache_[u][nb.id] = frag_[nb.id];
-        cache_[nb.id][u] = frag_[u];
-        if (frag_[nb.id] == frag_[u]) continue;
+        cache_[u][nb.id] = frags_.leader(nb.id);
+        cache_[nb.id][u] = frags_.leader(u);
+        if (frags_.leader(nb.id) == frags_.leader(u)) continue;
         scan.best = {nb.edge_index, u, nb.id};
         break;
       }
       // Classic probing: skip branch (tree) and rejected edges, TEST the rest.
-      if (in_tree_[nb.edge_index] || rejected_[nb.edge_index]) continue;
+      if (frags_.edge_in_tree(nb.edge_index) || rejected_[nb.edge_index])
+        continue;
       if (faulty_ && fault_->crashed_forever(nb.id)) continue;
       const bool test_ok =
           charge_wave(probe_wave, u, nb.id, GhsMsgType::kTest);  // TEST
       const bool reply_ok =
           test_ok && charge_wave(probe_wave, nb.id, u,
-                                 frag_[nb.id] == frag_[u]
+                                 frags_.leader(nb.id) == frags_.leader(u)
                                      ? GhsMsgType::kReject
                                      : GhsMsgType::kAccept);  // ACCEPT/REJECT
       ++probes;
@@ -356,7 +334,7 @@ class SyncGhsEngine {
         scan.conclusive = false;
         break;
       }
-      if (frag_[nb.id] == frag_[u]) {
+      if (frags_.leader(nb.id) == frags_.leader(u)) {
         rejected_[nb.edge_index] = true;
         continue;
       }
@@ -387,44 +365,10 @@ class SyncGhsEngine {
 
     std::vector<NodeId> reannounce;
     if (any_down_new) {
-      // Remove tree edges touching a down node; rebuild the forest.
-      std::vector<graph::Edge> kept;
-      kept.reserve(tree_.size());
-      for (const graph::Edge& e : tree_) {
-        if (was_crashed_[e.u] || was_crashed_[e.v]) {
-          in_tree_[edge_index_of(e.u, e.v)] = false;
-        } else {
-          kept.push_back(e);
-        }
-      }
-      tree_ = std::move(kept);
-      for (auto& adj : tree_adj_) adj.clear();
-      for (const graph::Edge& e : tree_) {
-        tree_adj_[e.u].push_back(e.v);
-        tree_adj_[e.v].push_back(e.u);
-      }
-      graph::UnionFind dsu(n);
-      for (const graph::Edge& e : tree_) dsu.unite(e.u, e.v);
-      // Surviving components are subsets of single old fragments, so every
-      // live member of a component agrees on the old leader.
-      std::unordered_map<NodeId, NodeId> comp_leader;
-      for (NodeId u = 0; u < n; ++u) {
-        if (was_crashed_[u]) continue;
-        auto [it, inserted] = comp_leader.try_emplace(dsu.find(u), u);
-        if (!inserted && u < it->second) it->second = u;
-      }
-      for (NodeId u = 0; u < n; ++u) {
-        if (was_crashed_[u]) continue;
-        const NodeId old = frag_[u];
-        if (!was_crashed_[old] && dsu.find(old) == dsu.find(u))
-          comp_leader[dsu.find(u)] = old;
-      }
-      for (NodeId u = 0; u < n; ++u) {
-        const NodeId nl = was_crashed_[u] ? u : comp_leader.at(dsu.find(u));
-        if (nl == frag_[u]) continue;
-        frag_[u] = nl;
-        if (!was_crashed_[u]) reannounce.push_back(u);
-      }
+      // Tree surgery + leader re-election is shared protocol bookkeeping.
+      reannounce = frags_.repair(
+          was_crashed_,
+          [this](NodeId u, NodeId v) { return edge_index_of(u, v); });
       // Fragment membership changed: finished flags and probe rejections
       // may no longer hold, and a dead giant loses its passivity.
       finished_.clear();
@@ -460,7 +404,8 @@ class SyncGhsEngine {
 
     // Group members by fragment leader.
     std::unordered_map<NodeId, std::vector<NodeId>> members;
-    for (NodeId u = 0; u < topo_.node_count(); ++u) members[frag_[u]].push_back(u);
+    for (NodeId u = 0; u < topo_.node_count(); ++u)
+      members[frags_.leader(u)].push_back(u);
 
     // Active fragments select their MOEs. When logging, the phase's
     // messages group into four concurrency waves across all fragments.
@@ -485,15 +430,15 @@ class SyncGhsEngine {
       if (faulty_ && fault_->crashed(leader)) continue;
       active.emplace_back(leader, &nodes);
     }
-    std::vector<FragmentView> views(active.size());
+    std::vector<proto::FragmentView> views(active.size());
     support::parallel_for(
         active.size(),
-        [&](std::size_t i) { views[i] = view_fragment(active[i].first); },
+        [&](std::size_t i) { views[i] = frags_.view(active[i].first); },
         opts_.threads > 1 ? opts_.threads : 1);
     for (std::size_t ai = 0; ai < active.size(); ++ai) {
       const NodeId leader = active[ai].first;
       const std::vector<NodeId>& nodes = *active[ai].second;
-      const FragmentView& view = views[ai];
+      const proto::FragmentView& view = views[ai];
       EMST_ASSERT_MSG(view.order.size() == nodes.size(),
                       "fragment tree must span exactly the fragment members");
       max_depth = std::max(max_depth, view.max_depth);
@@ -604,76 +549,12 @@ class SyncGhsEngine {
     return false;
   }
 
-  /// Borůvka contraction of the selected MOEs, with the paper's passive-id
-  /// retention, followed by the modified-GHS announcements.
+  /// Borůvka contraction of the selected MOEs (shared bookkeeping in
+  /// proto::FragmentSet, with the paper's passive-id retention), followed by
+  /// the modified-GHS announcements of every relabeled node.
   void merge(const std::unordered_map<NodeId, Candidate>& selected) {
-    // Union fragments over chosen edges (union-find over node ids; every
-    // node of both fragments is already united through tree edges... use a
-    // dedicated DSU over fragment leaders via their node ids).
-    graph::UnionFind dsu(topo_.node_count());
-    // First unite members with their leader so leader sets represent groups.
-    for (NodeId u = 0; u < topo_.node_count(); ++u) dsu.unite(u, frag_[u]);
-    for (const auto& [leader, c] : selected) dsu.unite(c.from, c.to);
-
-    // Collect groups: representative -> fragment leaders inside.
-    std::unordered_map<NodeId, std::vector<NodeId>> group_leaders;
-    {
-      std::unordered_set<NodeId> leaders(frag_.begin(), frag_.end());
-      for (NodeId l : leaders) group_leaders[dsu.find(l)].push_back(l);
-    }
-
-    // Decide each group's new leader.
-    std::unordered_map<NodeId, NodeId> new_leader_of_rep;
-    for (auto& [rep, leaders] : group_leaders) {
-      if (leaders.size() == 1) {
-        new_leader_of_rep[rep] = leaders[0];
-        continue;
-      }
-      NodeId chosen = kNone;
-      for (NodeId l : leaders) {
-        if (passive_.count(l) > 0) {
-          EMST_ASSERT_MSG(chosen == kNone, "at most one passive fragment per group");
-          chosen = l;
-        }
-      }
-      const bool has_passive = chosen != kNone;
-      if (!has_passive || !opts_.retain_passive_id) {
-        // Core edge = minimum selected edge inside the group (it is the
-        // mutual MOE); the new leader is its higher-id endpoint.
-        Candidate core;
-        for (NodeId l : leaders) {
-          const auto it = selected.find(l);
-          if (it != selected.end() && it->second.edge_index < core.edge_index)
-            core = it->second;
-        }
-        EMST_ASSERT(core.edge_index != kInfEdge);
-        chosen = std::max(core.from, core.to);
-      }
-      new_leader_of_rep[rep] = chosen;
-      if (has_passive) {
-        // Passivity survives the merge (the giant keeps only accepting).
-        for (NodeId l : leaders) passive_.erase(l);
-        passive_.insert(chosen);
-      }
-    }
-
-    // Add the chosen MOE edges to the forest (dedupe mutual picks).
-    std::unordered_set<std::uint64_t> added;
-    for (const auto& [leader, c] : selected) {
-      if (!added.insert(c.edge_index).second) continue;
-      const graph::Edge e = topo_.graph().edges()[c.edge_index];
-      add_tree_edge(e);
-    }
-
-    // Relabel nodes; changed nodes announce their new fragment id.
-    std::vector<NodeId> changed;
-    for (NodeId u = 0; u < topo_.node_count(); ++u) {
-      const NodeId nl = new_leader_of_rep.at(dsu.find(frag_[u]));
-      if (nl != frag_[u]) {
-        frag_[u] = nl;
-        changed.push_back(u);
-      }
-    }
+    const std::vector<NodeId> changed = frags_.merge(
+        selected, passive_, opts_.retain_passive_id, topo_.graph().edges());
     if (opts_.neighbor_cache) {
       for (NodeId u : changed) announce(u);
       flush_batch();
@@ -693,11 +574,13 @@ class SyncGhsEngine {
   bool faulty_;                        ///< any fault/ARQ machinery active
   sim::FaultStats start_fault_stats_;  ///< shared-session counters at entry
 
-  std::vector<NodeId> frag_;                    // fragment leader per node
-  std::vector<std::vector<NodeId>> tree_adj_;   // fragment tree adjacency
-  std::vector<graph::Edge> tree_;
+  proto::FragmentSet frags_;  // fragment identity + forest bookkeeping
+  proto::WireContext wire_ctx_;  // field widths for this topology
+  /// Worst-case encoded size per message type — what the choreographed
+  /// charges bill (the actor driver bills exact per-message sizes).
+  std::array<std::uint32_t, static_cast<std::size_t>(GhsMsgType::kTypeCount)>
+      type_bits_{};
   std::vector<std::unordered_map<NodeId, NodeId>> cache_;  // neighbor -> frag
-  std::vector<bool> in_tree_;    // per global edge index
   std::vector<bool> rejected_;   // per global edge index (probe mode)
   std::vector<bool> was_crashed_;  // crash state at the last repair
   std::unordered_set<NodeId> passive_;
@@ -721,33 +604,13 @@ std::vector<std::size_t> fragment_census(const sim::Topology& topo,
                                          const FragmentForest& forest,
                                          sim::EnergyMeter& meter,
                                          sim::ArqLink* link) {
-  const std::size_t n = topo.node_count();
-  EMST_ASSERT(forest.leader.size() == n);
-  // "One broadcast and one convergecast" (§V): the leader floods a size
-  // query down its tree, then member counts fold back up — one unicast per
-  // tree edge in each direction.
-  std::vector<NodeId> leaders;
-  {
-    std::unordered_set<NodeId> unique(forest.leader.begin(), forest.leader.end());
-    leaders.assign(unique.begin(), unique.end());
-  }
-  const auto parent = sim::forest_parents(n, forest.tree, leaders);
-  const auto schedule = sim::make_schedule(parent);
-  const sim::MsgKind saved_kind = meter.kind();
-  meter.set_kind(sim::MsgKind::kCensus);
-  meter.clear_fragment();
-  // Size query down (payload irrelevant; the message must still be paid).
-  (void)sim::tree_broadcast<std::uint8_t>(
-      topo, parent, schedule, std::vector<std::uint8_t>(n, 0),
-      [](std::uint8_t v, NodeId) { return v; }, meter, link);
-  // Member counts up.
-  const auto subtree = sim::tree_convergecast<std::size_t>(
-      topo, parent, schedule, std::vector<std::size_t>(n, 1),
-      [](std::size_t a, std::size_t b) { return a + b; }, meter, link);
-  meter.set_kind(saved_kind);
-  std::vector<std::size_t> out(n);
-  for (NodeId u = 0; u < n; ++u) out[u] = subtree[forest.leader[u]];
-  return out;
+  // Delegates to the shared proto collective; fragment names here are
+  // leader ids, so size the count field from the node-id width.
+  proto::WireContext ctx = proto::WireContext::for_topology(
+      topo.node_count(), topo.graph().edge_count());
+  ctx.frag_bits = ctx.id_bits;
+  return proto::fragment_census(topo, forest.leader, forest.tree, meter, ctx,
+                                link);
 }
 
 }  // namespace emst::ghs

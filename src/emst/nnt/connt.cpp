@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <variant>
 
+#include "emst/proto/connt_wire.hpp"
 #include "emst/sim/engine_factory.hpp"
 #include "emst/sim/network.hpp"
 #include "emst/sim/sharded_network.hpp"
@@ -29,11 +31,6 @@ struct ProbePlan {
   }
 };
 
-struct ActorMsg {
-  enum class Kind : std::uint8_t { kRequest, kReply, kConnect };
-  Kind kind = Kind::kRequest;
-};
-
 template <typename Engine>
 CoNntResult run_connt_actor_impl(const sim::Topology& topo,
                                  const CoNntOptions& options) {
@@ -43,13 +40,17 @@ CoNntResult run_connt_actor_impl(const sim::Topology& topo,
       std::max(2.0, static_cast<double>(n) * options.n_estimate_factor);
   const auto points = std::span<const geometry::Point2>(topo.points());
 
-  using Msg = ActorMsg;
   EMST_ASSERT_MSG(!options.faults.enabled() && !options.arq.enabled,
                   "Co-NNT has no loss recovery; faults/ARQ unsupported");
   Engine net(sim::make_engine<Engine>(topo, options.pathloss,
                                       /*unbounded_broadcast=*/true,
                                       /*delays=*/{}, /*faults=*/{},
                                       options.telemetry, options.threads));
+  // Codec hook: requests and replies carry grid-quantized coordinates, the
+  // connect message a bare tag; widths come from the topology size.
+  net.wire_format().ctx = proto::WireContext::for_topology(
+      n, topo.graph().edge_count());
+  const proto::WireContext& ctx = net.wire_format().ctx;
   if (options.track_per_node_energy) net.meter().enable_per_node(n);
   if (options.record_breakdown) net.meter().enable_breakdown();
 
@@ -65,15 +66,17 @@ CoNntResult run_connt_actor_impl(const sim::Topology& topo,
     for (const graph::NodeId u : unresolved) {
       const ProbePlan plan(options.scheme, points[u], n_est);
       if (round > plan.max_rounds) continue;  // top-ranked node: done
-      net.broadcast(u, ProbePlan::radius(round, n_est), Msg{Msg::Kind::kRequest});
+      net.broadcast(u, ProbePlan::radius(round, n_est),
+                    proto::ConntMsg{proto::ConntRequest::from_point(points[u], ctx)});
       searching.push_back(u);
     }
     // Phase step 2: higher-ranked hearers REPLY.
     net.meter().set_kind(sim::MsgKind::kReply);
     for (const auto& d : net.collect_round()) {
-      EMST_ASSERT(d.msg.kind == Msg::Kind::kRequest);
+      EMST_ASSERT(std::holds_alternative<proto::ConntRequest>(d.msg));
       if (rank_less(options.scheme, points, d.from, d.to)) {
-        net.unicast(d.to, d.from, Msg{Msg::Kind::kReply});
+        net.unicast(d.to, d.from,
+                    proto::ConntMsg{proto::ConntReply::from_point(points[d.to], ctx)});
       }
     }
     // Phase step 3: requesters CONNECT to their nearest replier.
@@ -83,7 +86,7 @@ CoNntResult run_connt_actor_impl(const sim::Topology& topo,
     };
     std::vector<Best> best(n);
     for (const auto& d : net.collect_round()) {
-      EMST_ASSERT(d.msg.kind == Msg::Kind::kReply);
+      EMST_ASSERT(std::holds_alternative<proto::ConntReply>(d.msg));
       Best& b = best[d.to];
       if (b.node == graph::kNoNode || d.distance < b.distance ||
           (d.distance == b.distance && d.from < b.node)) {
@@ -98,7 +101,7 @@ CoNntResult run_connt_actor_impl(const sim::Topology& topo,
         still_unresolved.push_back(u);
         continue;
       }
-      net.unicast(u, b.node, Msg{Msg::Kind::kConnect});
+      net.unicast(u, b.node, proto::ConntMsg{proto::ConntConnect{}});
       result.parent[u] = b.node;
       result.tree.push_back(graph::Edge{u, b.node, b.distance}.canonical());
       result.max_connect_distance =
@@ -136,6 +139,15 @@ CoNntResult run_connt(const sim::Topology& topo, const CoNntOptions& options) {
   if (options.track_per_node_energy) meter.enable_per_node(n);
   if (options.record_breakdown) meter.enable_breakdown();
   meter.attach_telemetry(options.telemetry);
+  // All three Co-NNT message types have fixed widths for a given topology,
+  // so the choreographed charges bill exactly what the actor codec bills.
+  const proto::WireContext wire_ctx =
+      proto::WireContext::for_topology(n, topo.graph().edge_count());
+  const std::uint32_t request_bits =
+      proto::ConntRequest{}.encoded_bits(wire_ctx);
+  const std::uint32_t reply_bits = proto::ConntReply{}.encoded_bits(wire_ctx);
+  const std::uint32_t connect_bits =
+      proto::ConntConnect{}.encoded_bits(wire_ctx);
 
   std::vector<graph::NodeId> unresolved(n);
   for (graph::NodeId u = 0; u < n; ++u) unresolved[u] = u;
@@ -174,9 +186,11 @@ CoNntResult run_connt(const sim::Topology& topo, const CoNntOptions& options) {
       if (!probe.active) continue;
       // REQUEST: one local broadcast carrying u's coordinates.
       meter.set_kind(sim::MsgKind::kRequest);
+      meter.set_bits(request_bits);
       meter.charge_broadcast(u, probe.radius, probe.heard.size());
       // REPLIES from every higher-ranked node in range.
       meter.set_kind(sim::MsgKind::kReply);
+      meter.set_bits(reply_bits);
       graph::NodeId best = graph::kNoNode;
       double best_d = 0.0;
       for (const sim::NodeId v : probe.heard) {
@@ -194,6 +208,7 @@ CoNntResult run_connt(const sim::Topology& topo, const CoNntOptions& options) {
       }
       // CONNECTION to the nearest replier.
       meter.set_kind(sim::MsgKind::kConnection);
+      meter.set_bits(connect_bits);
       meter.charge_unicast(u, best, best_d);
       result.parent[u] = best;
       result.tree.push_back(graph::Edge{u, best, best_d}.canonical());
@@ -201,6 +216,7 @@ CoNntResult run_connt(const sim::Topology& topo, const CoNntOptions& options) {
       result.max_probe_rounds = std::max(result.max_probe_rounds, round);
     }
     // One request round, one reply round, one connection round.
+    meter.clear_bits();
     meter.tick_rounds(3);
     unresolved = std::move(still_unresolved);
   }
@@ -219,9 +235,10 @@ CoNntResult run_connt(const sim::Topology& topo, const CoNntOptions& options) {
 CoNntResult run_connt_actor(const sim::Topology& topo,
                             const CoNntOptions& options) {
   if (options.threads > 1) {
-    return run_connt_actor_impl<sim::ShardedNetwork<ActorMsg>>(topo, options);
+    return run_connt_actor_impl<sim::ShardedNetwork<proto::ConntMsg>>(topo,
+                                                                      options);
   }
-  return run_connt_actor_impl<sim::Network<ActorMsg>>(topo, options);
+  return run_connt_actor_impl<sim::Network<proto::ConntMsg>>(topo, options);
 }
 
 }  // namespace emst::nnt

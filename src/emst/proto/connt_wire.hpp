@@ -1,0 +1,141 @@
+// Co-NNT message vocabulary with a compact POD wire codec (paper §VI).
+//
+// Three message types: REQUEST (a searching node broadcasts its quantized
+// coordinates), REPLY (a higher-ranked hearer answers with its own
+// coordinates — what the requester needs to measure the distance), and
+// CONNECT (a bare "you are my parent" notification). Coordinates quantize
+// onto a 2^coord_bits × 2^coord_bits grid over the unit square; with
+// `WireContext::for_topology` the pitch is ≈ 1/(2n), far below the Θ(1/√n)
+// node spacing, so quantization never changes which neighbor is nearest.
+//
+// The `sim::WireFormat<ConntMsg>` specialization at the bottom is the
+// engine codec hook for the actor execution; the choreographed driver
+// bills the same fixed per-type sizes via ambient meter bits, so both
+// executions produce identical telemetry.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+
+#include "emst/geometry/point.hpp"
+#include "emst/proto/wire.hpp"
+#include "emst/sim/wire.hpp"
+
+namespace emst::proto {
+
+/// 3 message types fit a 2-bit tag.
+inline constexpr std::uint32_t kConntTagBits = 2;
+
+/// Quantize a unit-square coordinate onto the ctx grid (clamped: sampling
+/// guarantees [0,1], but replies must stay in-range for any input).
+[[nodiscard]] inline std::uint32_t quantize_coord(
+    double coord, const WireContext& ctx) noexcept {
+  const auto cells = static_cast<double>(std::uint64_t{1} << ctx.coord_bits);
+  double scaled = coord * cells;
+  if (scaled < 0.0) scaled = 0.0;
+  if (scaled > cells - 1.0) scaled = cells - 1.0;
+  return static_cast<std::uint32_t>(scaled);
+}
+
+struct ConntRequest {
+  std::uint32_t x = 0;  ///< quantized sender coordinates
+  std::uint32_t y = 0;
+
+  [[nodiscard]] static ConntRequest from_point(geometry::Point2 p,
+                                               const WireContext& ctx) {
+    return {quantize_coord(p.x, ctx), quantize_coord(p.y, ctx)};
+  }
+  [[nodiscard]] std::uint32_t encoded_bits(
+      const WireContext& ctx) const noexcept {
+    return kConntTagBits + 2 * ctx.coord_bits;
+  }
+  void encode(BitWriter& w, const WireContext& ctx) const {
+    w.write(x, ctx.coord_bits);
+    w.write(y, ctx.coord_bits);
+  }
+  [[nodiscard]] static ConntRequest decode(BitReader& r,
+                                           const WireContext& ctx) {
+    ConntRequest m;
+    m.x = static_cast<std::uint32_t>(r.read(ctx.coord_bits));
+    m.y = static_cast<std::uint32_t>(r.read(ctx.coord_bits));
+    return m;
+  }
+  [[nodiscard]] bool operator==(const ConntRequest&) const = default;
+};
+
+struct ConntReply {
+  std::uint32_t x = 0;  ///< quantized replier coordinates
+  std::uint32_t y = 0;
+
+  [[nodiscard]] static ConntReply from_point(geometry::Point2 p,
+                                             const WireContext& ctx) {
+    return {quantize_coord(p.x, ctx), quantize_coord(p.y, ctx)};
+  }
+  [[nodiscard]] std::uint32_t encoded_bits(
+      const WireContext& ctx) const noexcept {
+    return kConntTagBits + 2 * ctx.coord_bits;
+  }
+  void encode(BitWriter& w, const WireContext& ctx) const {
+    w.write(x, ctx.coord_bits);
+    w.write(y, ctx.coord_bits);
+  }
+  [[nodiscard]] static ConntReply decode(BitReader& r, const WireContext& ctx) {
+    ConntReply m;
+    m.x = static_cast<std::uint32_t>(r.read(ctx.coord_bits));
+    m.y = static_cast<std::uint32_t>(r.read(ctx.coord_bits));
+    return m;
+  }
+  [[nodiscard]] bool operator==(const ConntReply&) const = default;
+};
+
+struct ConntConnect {
+  [[nodiscard]] std::uint32_t encoded_bits(const WireContext&) const noexcept {
+    return kConntTagBits;
+  }
+  void encode(BitWriter&, const WireContext&) const {}
+  [[nodiscard]] static ConntConnect decode(BitReader&, const WireContext&) {
+    return {};
+  }
+  [[nodiscard]] bool operator==(const ConntConnect&) const = default;
+};
+
+/// Alternative order == wire tag.
+using ConntMsg = std::variant<ConntRequest, ConntReply, ConntConnect>;
+
+[[nodiscard]] inline std::uint32_t encoded_bits(
+    const ConntMsg& m, const WireContext& ctx) noexcept {
+  return std::visit([&](const auto& p) { return p.encoded_bits(ctx); }, m);
+}
+
+inline void encode(const ConntMsg& m, BitWriter& w, const WireContext& ctx) {
+  w.write(m.index(), kConntTagBits);
+  std::visit([&](const auto& p) { p.encode(w, ctx); }, m);
+}
+
+[[nodiscard]] inline ConntMsg decode_connt(BitReader& r,
+                                           const WireContext& ctx) {
+  switch (r.read(kConntTagBits)) {
+    case 0: return ConntRequest::decode(r, ctx);
+    case 1: return ConntReply::decode(r, ctx);
+    case 2: return ConntConnect::decode(r, ctx);
+    default: break;
+  }
+  EMST_ASSERT_MSG(false, "corrupt Co-NNT wire tag");
+  return ConntConnect{};
+}
+
+}  // namespace emst::proto
+
+namespace emst::sim {
+
+/// Engine codec hook for the actor execution (sim/wire.hpp).
+template <>
+struct WireFormat<proto::ConntMsg> {
+  static constexpr bool kMeasured = true;
+  proto::WireContext ctx{};
+  [[nodiscard]] std::uint32_t bits(const proto::ConntMsg& m) const noexcept {
+    return proto::encoded_bits(m, ctx);
+  }
+};
+
+}  // namespace emst::sim

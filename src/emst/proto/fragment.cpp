@@ -1,0 +1,219 @@
+#include "emst/proto/fragment.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "emst/graph/union_find.hpp"
+#include "emst/support/assert.hpp"
+
+namespace emst::proto {
+
+namespace {
+constexpr NodeId kNone = graph::kNoNode;
+}  // namespace
+
+FragmentSet::FragmentSet(std::size_t nodes, std::size_t edges) {
+  frag_.resize(nodes);
+  for (NodeId u = 0; u < nodes; ++u) frag_[u] = u;
+  tree_adj_.assign(nodes, {});
+  in_tree_.assign(edges, false);
+}
+
+void FragmentSet::assign_leaders(const std::vector<NodeId>& leader) {
+  EMST_ASSERT(leader.size() == frag_.size());
+  frag_ = leader;
+}
+
+void FragmentSet::add_tree_edge(const graph::Edge& e,
+                                std::uint64_t edge_index) {
+  tree_adj_[e.u].push_back(e.v);
+  tree_adj_[e.v].push_back(e.u);
+  tree_.push_back(e.canonical());
+  in_tree_[edge_index] = true;
+}
+
+FragmentView FragmentSet::view(NodeId leader) const {
+  FragmentView view;
+  view.order.push_back(leader);
+  view.parent[leader] = kNone;
+  view.depth[leader] = 0;
+  std::queue<NodeId> frontier;
+  frontier.push(leader);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v : tree_adj_[u]) {
+      if (view.parent.count(v) > 0) continue;
+      view.parent[v] = u;
+      view.depth[v] = view.depth[u] + 1;
+      view.max_depth = std::max(view.max_depth, view.depth[v]);
+      view.order.push_back(v);
+      frontier.push(v);
+    }
+  }
+  return view;
+}
+
+std::size_t FragmentSet::fragment_count() const {
+  const std::unordered_set<NodeId> leaders(frag_.begin(), frag_.end());
+  return leaders.size();
+}
+
+std::vector<NodeId> FragmentSet::merge(
+    const std::unordered_map<NodeId, MergeCandidate>& selected,
+    std::unordered_set<NodeId>& passive, bool retain_passive_id,
+    std::span<const graph::Edge> edges) {
+  const std::size_t n = frag_.size();
+  // Union fragments over chosen edges (union-find over node ids; first
+  // unite members with their leader so leader sets represent groups).
+  graph::UnionFind dsu(n);
+  for (NodeId u = 0; u < n; ++u) dsu.unite(u, frag_[u]);
+  for (const auto& [leader, c] : selected) dsu.unite(c.from, c.to);
+
+  // Collect groups: representative -> fragment leaders inside.
+  std::unordered_map<NodeId, std::vector<NodeId>> group_leaders;
+  {
+    std::unordered_set<NodeId> leaders(frag_.begin(), frag_.end());
+    for (NodeId l : leaders) group_leaders[dsu.find(l)].push_back(l);
+  }
+
+  // Decide each group's new leader.
+  std::unordered_map<NodeId, NodeId> new_leader_of_rep;
+  for (auto& [rep, leaders] : group_leaders) {
+    if (leaders.size() == 1) {
+      new_leader_of_rep[rep] = leaders[0];
+      continue;
+    }
+    NodeId chosen = kNone;
+    for (NodeId l : leaders) {
+      if (passive.count(l) > 0) {
+        EMST_ASSERT_MSG(chosen == kNone,
+                        "at most one passive fragment per group");
+        chosen = l;
+      }
+    }
+    const bool has_passive = chosen != kNone;
+    if (!has_passive || !retain_passive_id) {
+      // Core edge = minimum selected edge inside the group (it is the
+      // mutual MOE); the new leader is its higher-id endpoint.
+      MergeCandidate core;
+      for (NodeId l : leaders) {
+        const auto it = selected.find(l);
+        if (it != selected.end() && it->second.edge_index < core.edge_index)
+          core = it->second;
+      }
+      EMST_ASSERT(core.edge_index != kInfEdge);
+      chosen = std::max(core.from, core.to);
+    }
+    new_leader_of_rep[rep] = chosen;
+    if (has_passive) {
+      // Passivity survives the merge (the giant keeps only accepting).
+      for (NodeId l : leaders) passive.erase(l);
+      passive.insert(chosen);
+    }
+  }
+
+  // Add the chosen MOE edges to the forest (dedupe mutual picks).
+  std::unordered_set<std::uint64_t> added;
+  for (const auto& [leader, c] : selected) {
+    if (!added.insert(c.edge_index).second) continue;
+    add_tree_edge(edges[c.edge_index], c.edge_index);
+  }
+
+  // Relabel nodes; the caller announces the changed ones.
+  std::vector<NodeId> changed;
+  for (NodeId u = 0; u < n; ++u) {
+    const NodeId nl = new_leader_of_rep.at(dsu.find(frag_[u]));
+    if (nl != frag_[u]) {
+      frag_[u] = nl;
+      changed.push_back(u);
+    }
+  }
+  return changed;
+}
+
+std::vector<NodeId> FragmentSet::repair(
+    const std::vector<bool>& down,
+    const std::function<std::uint64_t(NodeId, NodeId)>& edge_index_of) {
+  const std::size_t n = frag_.size();
+  // Remove tree edges touching a down node; rebuild the forest.
+  std::vector<graph::Edge> kept;
+  kept.reserve(tree_.size());
+  for (const graph::Edge& e : tree_) {
+    if (down[e.u] || down[e.v]) {
+      in_tree_[edge_index_of(e.u, e.v)] = false;
+    } else {
+      kept.push_back(e);
+    }
+  }
+  tree_ = std::move(kept);
+  for (auto& adj : tree_adj_) adj.clear();
+  for (const graph::Edge& e : tree_) {
+    tree_adj_[e.u].push_back(e.v);
+    tree_adj_[e.v].push_back(e.u);
+  }
+  graph::UnionFind dsu(n);
+  for (const graph::Edge& e : tree_) dsu.unite(e.u, e.v);
+  // Surviving components are subsets of single old fragments, so every
+  // live member of a component agrees on the old leader.
+  std::unordered_map<NodeId, NodeId> comp_leader;
+  for (NodeId u = 0; u < n; ++u) {
+    if (down[u]) continue;
+    auto [it, inserted] = comp_leader.try_emplace(dsu.find(u), u);
+    if (!inserted && u < it->second) it->second = u;
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    if (down[u]) continue;
+    const NodeId old = frag_[u];
+    if (!down[old] && dsu.find(old) == dsu.find(u))
+      comp_leader[dsu.find(u)] = old;
+  }
+  std::vector<NodeId> changed;
+  for (NodeId u = 0; u < n; ++u) {
+    const NodeId nl = down[u] ? u : comp_leader.at(dsu.find(u));
+    if (nl == frag_[u]) continue;
+    frag_[u] = nl;
+    if (!down[u]) changed.push_back(u);
+  }
+  return changed;
+}
+
+std::vector<std::size_t> fragment_census(const sim::Topology& topo,
+                                         const std::vector<NodeId>& leader,
+                                         const std::vector<graph::Edge>& tree,
+                                         sim::EnergyMeter& meter,
+                                         const WireContext& ctx,
+                                         sim::ArqLink* link) {
+  const std::size_t n = topo.node_count();
+  EMST_ASSERT(leader.size() == n);
+  // "One broadcast and one convergecast" (§V): the leader floods a size
+  // query down its tree, then member counts fold back up — one unicast per
+  // tree edge in each direction.
+  std::vector<NodeId> leaders;
+  {
+    std::unordered_set<NodeId> unique(leader.begin(), leader.end());
+    leaders.assign(unique.begin(), unique.end());
+  }
+  const auto parent = sim::forest_parents(n, tree, leaders);
+  const auto schedule = sim::make_schedule(parent);
+  const sim::MsgKind saved_kind = meter.kind();
+  meter.set_kind(sim::MsgKind::kCensus);
+  meter.clear_fragment();
+  // Size query down: a bare tag on the wire, but the message must be paid.
+  meter.set_bits(census_query_bits(ctx));
+  (void)sim::tree_broadcast<std::uint8_t>(
+      topo, parent, schedule, std::vector<std::uint8_t>(n, 0),
+      [](std::uint8_t v, NodeId) { return v; }, meter, link);
+  // Member counts up.
+  meter.set_bits(census_count_bits(ctx));
+  const auto subtree = sim::tree_convergecast<std::size_t>(
+      topo, parent, schedule, std::vector<std::size_t>(n, 1),
+      [](std::size_t a, std::size_t b) { return a + b; }, meter, link);
+  meter.clear_bits();
+  meter.set_kind(saved_kind);
+  std::vector<std::size_t> out(n);
+  for (NodeId u = 0; u < n; ++u) out[u] = subtree[leader[u]];
+  return out;
+}
+
+}  // namespace emst::proto

@@ -1,0 +1,141 @@
+// Shared fragment runtime for the GHS-family drivers.
+//
+// Extracted from the phase-synchronous GHS engine: the per-node fragment
+// identity (leader array), the fragment forest (tree edges + adjacency +
+// per-edge membership bits), BFS fragment views, the Borůvka merge with the
+// paper's passive-id retention (§V-A), and the deterministic crash-repair
+// re-election (docs/ROBUSTNESS.md). Drivers own the *protocol* — what gets
+// charged, announced and retried — while this class owns the *bookkeeping*
+// every GHS variant repeats.
+//
+// The fragment-size census (paper §V: "one broadcast and one convergecast")
+// also lives here, built on `sim::collectives` and carrying census wire
+// sizes (`census_query_bits` / `census_count_bits`) as ambient meter bits;
+// `ghs::fragment_census` is a thin delegating wrapper.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "emst/graph/edge.hpp"
+#include "emst/proto/ghs_wire.hpp"
+#include "emst/proto/wire.hpp"
+#include "emst/sim/collectives.hpp"
+#include "emst/sim/reliable.hpp"
+
+namespace emst::proto {
+
+using NodeId = graph::NodeId;
+
+/// BFS parents/order of one fragment from its leader over tree edges.
+struct FragmentView {
+  std::vector<NodeId> order;  ///< BFS order, order[0] = leader
+  std::unordered_map<NodeId, NodeId> parent;
+  std::unordered_map<NodeId, std::size_t> depth;
+  std::size_t max_depth = 0;
+};
+
+class FragmentSet {
+ public:
+  /// Start from singletons: every node leads its own fragment.
+  FragmentSet(std::size_t nodes, std::size_t edges);
+
+  /// Replace the leader array wholesale (seeding from a prior run's
+  /// forest); tree edges are added separately via `add_tree_edge`.
+  void assign_leaders(const std::vector<NodeId>& leader);
+
+  [[nodiscard]] NodeId leader(NodeId u) const noexcept { return frag_[u]; }
+  void set_leader(NodeId u, NodeId l) noexcept { frag_[u] = l; }
+  [[nodiscard]] const std::vector<NodeId>& leaders() const noexcept {
+    return frag_;
+  }
+
+  /// Record a new fragment-tree edge; `edge_index` is its position in the
+  /// topology's canonical edge list (marks the edge internal forever).
+  void add_tree_edge(const graph::Edge& e, std::uint64_t edge_index);
+
+  [[nodiscard]] const std::vector<graph::Edge>& tree() const noexcept {
+    return tree_;
+  }
+  [[nodiscard]] bool edge_in_tree(std::uint64_t edge_index) const {
+    return in_tree_[edge_index];
+  }
+  [[nodiscard]] const std::vector<std::vector<NodeId>>& tree_adjacency()
+      const noexcept {
+    return tree_adj_;
+  }
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return frag_.size(); }
+
+  /// BFS view of the fragment led by `leader` (order, parents, depths).
+  [[nodiscard]] FragmentView view(NodeId leader) const;
+
+  /// Number of distinct fragment leaders.
+  [[nodiscard]] std::size_t fragment_count() const;
+
+  /// One fragment's committed minimum outgoing edge for a merge round.
+  struct MergeCandidate {
+    std::uint64_t edge_index = kInfEdge;
+    NodeId from = graph::kNoNode;
+    NodeId to = graph::kNoNode;
+  };
+
+  /// Borůvka contraction of the selected MOEs with the paper's passive-id
+  /// retention: fragments linked by chosen edges merge; a group containing
+  /// a passive fragment keeps the passive leader (asserted unique) when
+  /// `retain_passive_id`, otherwise the new leader is the higher-id
+  /// endpoint of the group's core (minimum selected) edge. `passive` is
+  /// updated in place; `edges` is the topology's canonical edge list.
+  /// Returns the nodes whose leader changed (the modified-GHS re-announce
+  /// set), in node-id order.
+  [[nodiscard]] std::vector<NodeId> merge(
+      const std::unordered_map<NodeId, MergeCandidate>& selected,
+      std::unordered_set<NodeId>& passive, bool retain_passive_id,
+      std::span<const graph::Edge> edges);
+
+  /// Crash repair (docs/ROBUSTNESS.md): drop tree edges incident to down
+  /// nodes, split their fragments into consistent pieces with
+  /// deterministically re-elected leaders (the surviving old leader where
+  /// possible, else the minimum live member id); down nodes become dormant
+  /// singletons. `edge_index_of` maps a tree edge's endpoints to its
+  /// canonical index (needed to clear the internal-edge bit). Returns the
+  /// LIVE nodes whose leader changed — the re-announce set.
+  [[nodiscard]] std::vector<NodeId> repair(
+      const std::vector<bool>& down,
+      const std::function<std::uint64_t(NodeId, NodeId)>& edge_index_of);
+
+ private:
+  std::vector<NodeId> frag_;                   ///< fragment leader per node
+  std::vector<std::vector<NodeId>> tree_adj_;  ///< fragment tree adjacency
+  std::vector<graph::Edge> tree_;
+  std::vector<bool> in_tree_;  ///< per global edge index
+};
+
+/// Wire sizes of the census collective: the size query flooding down is a
+/// bare protocol tag; the convergecast reply carries a subtree size.
+[[nodiscard]] inline std::uint32_t census_query_bits(
+    const WireContext&) noexcept {
+  return kGhsTagBits;
+}
+[[nodiscard]] inline std::uint32_t census_count_bits(
+    const WireContext& ctx) noexcept {
+  return kGhsTagBits + ctx.count_bits;
+}
+
+/// Fragment-size census (paper §V): the leader floods a size query down its
+/// tree, member counts fold back up — one unicast per tree edge each way,
+/// charged to `meter` under kind kCensus with census wire bits. With
+/// `link`, each tree message runs through the ARQ session simulator
+/// (give-ups leave that subtree uncounted — the census degrades, it never
+/// wedges). Returns per-node size of its own fragment.
+[[nodiscard]] std::vector<std::size_t> fragment_census(
+    const sim::Topology& topo, const std::vector<NodeId>& leader,
+    const std::vector<graph::Edge>& tree, sim::EnergyMeter& meter,
+    const WireContext& ctx, sim::ArqLink* link = nullptr);
+
+}  // namespace emst::proto

@@ -1,0 +1,101 @@
+#include "emst/proto/ghs_wire.hpp"
+
+#include <algorithm>
+
+namespace emst::proto {
+
+// The wire tag is the variant index is the enum value — one order, three
+// views. A reorder in any of them is a silent protocol break; pin it here.
+static_assert(std::variant_size_v<GhsMsg> ==
+              static_cast<std::size_t>(GhsMsgType::kTypeCount));
+static_assert(std::is_same_v<std::variant_alternative_t<
+                                 static_cast<std::size_t>(GhsMsgType::kConnect),
+                                 GhsMsg>,
+                             GhsConnect>);
+static_assert(
+    std::is_same_v<std::variant_alternative_t<
+                       static_cast<std::size_t>(GhsMsgType::kInitiate), GhsMsg>,
+                   GhsInitiate>);
+static_assert(std::is_same_v<std::variant_alternative_t<
+                                 static_cast<std::size_t>(GhsMsgType::kTest),
+                                 GhsMsg>,
+                             GhsTest>);
+static_assert(std::is_same_v<std::variant_alternative_t<
+                                 static_cast<std::size_t>(GhsMsgType::kAccept),
+                                 GhsMsg>,
+                             GhsAccept>);
+static_assert(std::is_same_v<std::variant_alternative_t<
+                                 static_cast<std::size_t>(GhsMsgType::kReject),
+                                 GhsMsg>,
+                             GhsReject>);
+static_assert(std::is_same_v<std::variant_alternative_t<
+                                 static_cast<std::size_t>(GhsMsgType::kReport),
+                                 GhsMsg>,
+                             GhsReport>);
+static_assert(
+    std::is_same_v<
+        std::variant_alternative_t<
+            static_cast<std::size_t>(GhsMsgType::kChangeRoot), GhsMsg>,
+        GhsChangeRoot>);
+static_assert(
+    std::is_same_v<std::variant_alternative_t<
+                       static_cast<std::size_t>(GhsMsgType::kAnnounce), GhsMsg>,
+                   GhsAnnounce>);
+static_assert((std::size_t{1} << kGhsTagBits) >=
+              static_cast<std::size_t>(GhsMsgType::kTypeCount));
+
+const char* ghs_msg_type_name(GhsMsgType type) {
+  switch (type) {
+    case GhsMsgType::kConnect: return "connect";
+    case GhsMsgType::kInitiate: return "initiate";
+    case GhsMsgType::kTest: return "test";
+    case GhsMsgType::kAccept: return "accept";
+    case GhsMsgType::kReject: return "reject";
+    case GhsMsgType::kReport: return "report";
+    case GhsMsgType::kChangeRoot: return "change-root";
+    case GhsMsgType::kAnnounce: return "announce";
+    case GhsMsgType::kTypeCount: break;
+  }
+  return "?";
+}
+
+void encode(const GhsMsg& m, BitWriter& w, const WireContext& ctx) {
+  w.write(m.index(), kGhsTagBits);
+  std::visit([&](const auto& p) { p.encode(w, ctx); }, m);
+}
+
+GhsMsg decode_ghs(BitReader& r, const WireContext& ctx) {
+  switch (static_cast<GhsMsgType>(r.read(kGhsTagBits))) {
+    case GhsMsgType::kConnect: return GhsConnect::decode(r, ctx);
+    case GhsMsgType::kInitiate: return GhsInitiate::decode(r, ctx);
+    case GhsMsgType::kTest: return GhsTest::decode(r, ctx);
+    case GhsMsgType::kAccept: return GhsAccept::decode(r, ctx);
+    case GhsMsgType::kReject: return GhsReject::decode(r, ctx);
+    case GhsMsgType::kReport: return GhsReport::decode(r, ctx);
+    case GhsMsgType::kChangeRoot: return GhsChangeRoot::decode(r, ctx);
+    case GhsMsgType::kAnnounce: return GhsAnnounce::decode(r, ctx);
+    case GhsMsgType::kTypeCount: break;
+  }
+  EMST_ASSERT_MSG(false, "corrupt GHS wire tag");
+  return GhsAccept{};
+}
+
+std::uint32_t max_encoded_bits(GhsMsgType type,
+                               const WireContext& ctx) noexcept {
+  switch (type) {
+    case GhsMsgType::kConnect: return GhsConnect{}.encoded_bits(ctx);
+    case GhsMsgType::kInitiate: return GhsInitiate{}.encoded_bits(ctx);
+    case GhsMsgType::kTest: return GhsTest{}.encoded_bits(ctx);
+    case GhsMsgType::kAccept: return GhsAccept{}.encoded_bits(ctx);
+    case GhsMsgType::kReject: return GhsReject{}.encoded_bits(ctx);
+    case GhsMsgType::kReport:
+      // Presence flag + index: the worst case is "MOE found".
+      return GhsReport{0}.encoded_bits(ctx);
+    case GhsMsgType::kChangeRoot: return GhsChangeRoot{}.encoded_bits(ctx);
+    case GhsMsgType::kAnnounce: return GhsAnnounce{}.encoded_bits(ctx);
+    case GhsMsgType::kTypeCount: break;
+  }
+  return 0;
+}
+
+}  // namespace emst::proto

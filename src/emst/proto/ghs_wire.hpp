@@ -1,0 +1,262 @@
+// GHS message vocabulary with a compact POD wire codec.
+//
+// The eight message types of Gallager–Humblet–Spira (1983, §3) plus the
+// paper's §V-A announcement, shared by every GHS-family driver: the
+// asynchronous classic driver sends them as real in-flight `GhsMsg` values
+// through the engines; the phase-synchronous choreographed driver bills
+// their worst-case sizes per logical message (`max_encoded_bits`).
+//
+// Every message knows its encoded size under a `WireContext`
+// (`encoded_bits`, tag included) and can round-trip through BitWriter /
+// BitReader (`encode` writes the payload — the 3-bit type tag is written
+// by the variant-level `encode(GhsMsg)`; `decode` mirrors it). Field
+// widths:
+//   CONNECT      tag + level
+//   INITIATE     tag + level + fragment + state
+//   TEST         tag + level + fragment
+//   ACCEPT / REJECT / CHANGE-ROOT   tag only
+//   REPORT       tag + presence flag [+ edge index]  (kInfEdge ⇒ absent)
+//   ANNOUNCE     tag + fragment
+// Fragment names use `ctx.frag_bits`: core-edge indices (edge_bits) in the
+// classic protocol, leader node ids (id_bits) in the sync protocol.
+//
+// The `sim::WireFormat<GhsMsg>` specialization at the bottom is the engine
+// codec hook: drivers configure `net.wire_format().ctx` once per run and
+// every send is measured automatically (sim/wire.hpp).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <variant>
+
+#include "emst/proto/wire.hpp"
+#include "emst/sim/telemetry.hpp"
+#include "emst/sim/wire.hpp"
+
+namespace emst::proto {
+
+/// Edges are identified by their index in the topology's canonical edge
+/// list; comparing indices is the canonical total order on weights.
+using EdgeIndex = std::uint32_t;
+inline constexpr std::uint64_t kInfEdge =
+    std::numeric_limits<std::uint64_t>::max();
+
+/// Message types of the classical GHS protocol (plus the §V-A announcement),
+/// for per-type accounting. Values double as the wire tag and as the
+/// `GhsMsg` variant index — keep all three orders in sync.
+enum class GhsMsgType : std::uint8_t {
+  kConnect,
+  kInitiate,
+  kTest,
+  kAccept,
+  kReject,
+  kReport,
+  kChangeRoot,
+  kAnnounce,
+  kTypeCount,
+};
+
+[[nodiscard]] const char* ghs_msg_type_name(GhsMsgType type);
+
+/// Map a GHS wire type onto the telemetry message-kind vocabulary (they are
+/// 1:1; telemetry just adds the non-GHS kinds on top).
+[[nodiscard]] constexpr sim::MsgKind to_msg_kind(GhsMsgType type) {
+  switch (type) {
+    case GhsMsgType::kConnect: return sim::MsgKind::kConnect;
+    case GhsMsgType::kInitiate: return sim::MsgKind::kInitiate;
+    case GhsMsgType::kTest: return sim::MsgKind::kTest;
+    case GhsMsgType::kAccept: return sim::MsgKind::kAccept;
+    case GhsMsgType::kReject: return sim::MsgKind::kReject;
+    case GhsMsgType::kReport: return sim::MsgKind::kReport;
+    case GhsMsgType::kChangeRoot: return sim::MsgKind::kChangeRoot;
+    case GhsMsgType::kAnnounce: return sim::MsgKind::kAnnounce;
+    case GhsMsgType::kTypeCount: break;
+  }
+  return sim::MsgKind::kData;
+}
+
+/// 8 message types fit a 3-bit tag.
+inline constexpr std::uint32_t kGhsTagBits = 3;
+/// Node state rides in INITIATE (kFind / kFound reachable on the wire).
+inline constexpr std::uint32_t kGhsStateBits = 2;
+
+enum class GhsNodeState : std::uint8_t { kSleeping, kFind, kFound };
+
+struct GhsConnect {
+  std::uint32_t level = 0;
+
+  [[nodiscard]] std::uint32_t encoded_bits(
+      const WireContext& ctx) const noexcept {
+    return kGhsTagBits + ctx.level_bits;
+  }
+  void encode(BitWriter& w, const WireContext& ctx) const {
+    w.write(level, ctx.level_bits);
+  }
+  [[nodiscard]] static GhsConnect decode(BitReader& r, const WireContext& ctx) {
+    return {static_cast<std::uint32_t>(r.read(ctx.level_bits))};
+  }
+  [[nodiscard]] bool operator==(const GhsConnect&) const = default;
+};
+
+struct GhsInitiate {
+  std::uint32_t level = 0;
+  EdgeIndex frag = 0;
+  GhsNodeState state = GhsNodeState::kFind;
+
+  [[nodiscard]] std::uint32_t encoded_bits(
+      const WireContext& ctx) const noexcept {
+    return kGhsTagBits + ctx.level_bits + ctx.frag_bits + kGhsStateBits;
+  }
+  void encode(BitWriter& w, const WireContext& ctx) const {
+    w.write(level, ctx.level_bits);
+    w.write(frag, ctx.frag_bits);
+    w.write(static_cast<std::uint64_t>(state), kGhsStateBits);
+  }
+  [[nodiscard]] static GhsInitiate decode(BitReader& r,
+                                          const WireContext& ctx) {
+    GhsInitiate m;
+    m.level = static_cast<std::uint32_t>(r.read(ctx.level_bits));
+    m.frag = static_cast<EdgeIndex>(r.read(ctx.frag_bits));
+    m.state = static_cast<GhsNodeState>(r.read(kGhsStateBits));
+    return m;
+  }
+  [[nodiscard]] bool operator==(const GhsInitiate&) const = default;
+};
+
+struct GhsTest {
+  std::uint32_t level = 0;
+  EdgeIndex frag = 0;
+
+  [[nodiscard]] std::uint32_t encoded_bits(
+      const WireContext& ctx) const noexcept {
+    return kGhsTagBits + ctx.level_bits + ctx.frag_bits;
+  }
+  void encode(BitWriter& w, const WireContext& ctx) const {
+    w.write(level, ctx.level_bits);
+    w.write(frag, ctx.frag_bits);
+  }
+  [[nodiscard]] static GhsTest decode(BitReader& r, const WireContext& ctx) {
+    GhsTest m;
+    m.level = static_cast<std::uint32_t>(r.read(ctx.level_bits));
+    m.frag = static_cast<EdgeIndex>(r.read(ctx.frag_bits));
+    return m;
+  }
+  [[nodiscard]] bool operator==(const GhsTest&) const = default;
+};
+
+struct GhsAccept {
+  [[nodiscard]] std::uint32_t encoded_bits(const WireContext&) const noexcept {
+    return kGhsTagBits;
+  }
+  void encode(BitWriter&, const WireContext&) const {}
+  [[nodiscard]] static GhsAccept decode(BitReader&, const WireContext&) {
+    return {};
+  }
+  [[nodiscard]] bool operator==(const GhsAccept&) const = default;
+};
+
+struct GhsReject {
+  [[nodiscard]] std::uint32_t encoded_bits(const WireContext&) const noexcept {
+    return kGhsTagBits;
+  }
+  void encode(BitWriter&, const WireContext&) const {}
+  [[nodiscard]] static GhsReject decode(BitReader&, const WireContext&) {
+    return {};
+  }
+  [[nodiscard]] bool operator==(const GhsReject&) const = default;
+};
+
+struct GhsReport {
+  std::uint64_t best = kInfEdge;  ///< edge index of subtree MOE, or kInfEdge
+
+  [[nodiscard]] std::uint32_t encoded_bits(
+      const WireContext& ctx) const noexcept {
+    return kGhsTagBits + 1 + (best != kInfEdge ? ctx.edge_bits : 0);
+  }
+  void encode(BitWriter& w, const WireContext& ctx) const {
+    if (best != kInfEdge) {
+      w.write(1, 1);
+      w.write(best, ctx.edge_bits);
+    } else {
+      w.write(0, 1);  // "no outgoing edge" needs no index field
+    }
+  }
+  [[nodiscard]] static GhsReport decode(BitReader& r, const WireContext& ctx) {
+    GhsReport m;
+    m.best = r.read(1) != 0 ? r.read(ctx.edge_bits) : kInfEdge;
+    return m;
+  }
+  [[nodiscard]] bool operator==(const GhsReport&) const = default;
+};
+
+struct GhsChangeRoot {
+  [[nodiscard]] std::uint32_t encoded_bits(const WireContext&) const noexcept {
+    return kGhsTagBits;
+  }
+  void encode(BitWriter&, const WireContext&) const {}
+  [[nodiscard]] static GhsChangeRoot decode(BitReader&, const WireContext&) {
+    return {};
+  }
+  [[nodiscard]] bool operator==(const GhsChangeRoot&) const = default;
+};
+
+/// §V-A modification: local broadcast of a node's (new) fragment name.
+struct GhsAnnounce {
+  EdgeIndex frag = 0;
+
+  [[nodiscard]] std::uint32_t encoded_bits(
+      const WireContext& ctx) const noexcept {
+    return kGhsTagBits + ctx.frag_bits;
+  }
+  void encode(BitWriter& w, const WireContext& ctx) const {
+    w.write(frag, ctx.frag_bits);
+  }
+  [[nodiscard]] static GhsAnnounce decode(BitReader& r,
+                                          const WireContext& ctx) {
+    return {static_cast<EdgeIndex>(r.read(ctx.frag_bits))};
+  }
+  [[nodiscard]] bool operator==(const GhsAnnounce&) const = default;
+};
+
+/// Alternative order == GhsMsgType order == wire tag (static_asserted in
+/// ghs_wire.cpp).
+using GhsMsg = std::variant<GhsConnect, GhsInitiate, GhsTest, GhsAccept,
+                            GhsReject, GhsReport, GhsChangeRoot, GhsAnnounce>;
+
+[[nodiscard]] inline GhsMsgType type_of(const GhsMsg& m) noexcept {
+  return static_cast<GhsMsgType>(m.index());
+}
+
+/// Whole-frame size (tag + payload) of a concrete message.
+[[nodiscard]] inline std::uint32_t encoded_bits(
+    const GhsMsg& m, const WireContext& ctx) noexcept {
+  return std::visit([&](const auto& p) { return p.encoded_bits(ctx); }, m);
+}
+
+/// Serialize tag + payload; `decode_ghs` mirrors it exactly.
+void encode(const GhsMsg& m, BitWriter& w, const WireContext& ctx);
+[[nodiscard]] GhsMsg decode_ghs(BitReader& r, const WireContext& ctx);
+
+/// Worst-case whole-frame size of a message type under `ctx` — what the
+/// phase-synchronous choreographed driver bills per logical message (it
+/// never materializes payloads, so it cannot use the REPORT presence
+/// optimization the actor driver gets for free).
+[[nodiscard]] std::uint32_t max_encoded_bits(GhsMsgType type,
+                                             const WireContext& ctx) noexcept;
+
+}  // namespace emst::proto
+
+namespace emst::sim {
+
+/// Engine codec hook (sim/wire.hpp): set `ctx` on the engine's
+/// `wire_format()` once per run; every unicast/broadcast is then measured.
+template <>
+struct WireFormat<proto::GhsMsg> {
+  static constexpr bool kMeasured = true;
+  proto::WireContext ctx{};
+  [[nodiscard]] std::uint32_t bits(const proto::GhsMsg& m) const noexcept {
+    return proto::encoded_bits(m, ctx);
+  }
+};
+
+}  // namespace emst::sim

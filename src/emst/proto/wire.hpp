@@ -1,0 +1,136 @@
+// Compact POD wire codec substrate (docs/ARCHITECTURE.md, proto layer).
+//
+// The paper charges every message as if it were O(log n) bits (§II); this
+// module makes that assumption *measurable*. Every driver message gets a
+// fixed-width field layout derived from the topology — node ids in
+// ⌈lg n⌉ bits, edge indices in ⌈lg m⌉ bits, and so on — so the encoded
+// size of any protocol frame is a deterministic function of (message,
+// WireContext), computable without materializing bytes. `BitWriter` /
+// `BitReader` provide the actual bit-packed encoding used by the
+// round-trip tests (tests/proto_wire_test.cpp) to prove `encoded_bits()`
+// tells the truth: encode() must emit exactly that many bits and decode()
+// must read them back to an equal value.
+//
+// Layering: proto sits between the sim engines and the drivers. The
+// engines only know the `sim::WireFormat<Msg>` customization point
+// (sim/wire.hpp); this layer specializes it for the concrete message
+// vocabularies (ghs_wire.hpp, connt_wire.hpp). Bits are telemetry-only
+// context — they NEVER affect the energy math (sim/meter.hpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "emst/support/assert.hpp"
+
+namespace emst::proto {
+
+/// Number of bits needed to represent `v` (0 for v == 0); the classic
+/// position-of-highest-set-bit, constexpr so field widths fold at compile
+/// time where the topology size is static.
+[[nodiscard]] constexpr std::uint32_t bit_width(std::uint64_t v) noexcept {
+  std::uint32_t w = 0;
+  while (v != 0) {
+    ++w;
+    v >>= 1;
+  }
+  return w;
+}
+
+/// Fixed field widths shared by every codec of one deployment. Derived once
+/// per run from the topology (`for_topology`); drivers may then override
+/// `frag_bits` for their fragment-naming scheme (classic GHS names
+/// fragments by core-edge index, sync GHS by leader node id).
+struct WireContext {
+  std::uint32_t id_bits = 1;     ///< node id ∈ [0, n)
+  std::uint32_t edge_bits = 1;   ///< global edge index ∈ [0, m)
+  std::uint32_t level_bits = 1;  ///< GHS level ≤ ⌊lg n⌋
+  std::uint32_t count_bits = 2;  ///< subtree / fragment size ∈ [0, n]
+  std::uint32_t coord_bits = 2;  ///< one quantized unit-square coordinate
+  std::uint32_t frag_bits = 1;   ///< fragment name (edge index by default)
+
+  /// Derive the widths for an n-node, m-edge deployment:
+  ///  - id_bits    = ⌈lg n⌉              (max id is n-1)
+  ///  - edge_bits  = ⌈lg m⌉              (max index is m-1)
+  ///  - level_bits = ⌈lg(id_bits + 1)⌉   (GHS levels never exceed ⌊lg n⌋)
+  ///  - count_bits = id_bits + 1         (sizes go up to n inclusive)
+  ///  - coord_bits = id_bits + 1         (grid pitch ≈ 1/(2n) ≪ the Θ(1/√n)
+  ///                                      node spacing, so quantized
+  ///                                      coordinates stay distinguishable)
+  ///  - frag_bits  = edge_bits           (classic GHS core-edge naming;
+  ///                                      sync drivers reset it to id_bits)
+  /// Every width is at least 1 so degenerate topologies still produce
+  /// well-formed (nonzero) frame sizes.
+  [[nodiscard]] static WireContext for_topology(std::size_t nodes,
+                                                std::size_t edges) noexcept {
+    WireContext ctx;
+    ctx.id_bits = nodes > 1 ? bit_width(nodes - 1) : 1;
+    ctx.edge_bits = edges > 1 ? bit_width(edges - 1) : 1;
+    ctx.level_bits = bit_width(ctx.id_bits);
+    ctx.count_bits = ctx.id_bits + 1;
+    ctx.coord_bits = ctx.id_bits + 1;
+    ctx.frag_bits = ctx.edge_bits;
+    return ctx;
+  }
+};
+
+/// MSB-first bit packer. Fields are appended most-significant-bit first
+/// into a byte vector, so a dump of the buffer reads like the field layout.
+class BitWriter {
+ public:
+  /// Append the low `width` bits of `value`. The value must fit (asserted):
+  /// a silently truncated field would make encoded_bits() a lie.
+  void write(std::uint64_t value, std::uint32_t width) {
+    EMST_ASSERT(width <= 64);
+    EMST_ASSERT_MSG(width == 64 || value < (std::uint64_t{1} << width),
+                    "wire field overflow: value does not fit its width");
+    for (std::uint32_t i = width; i-- > 0;) {
+      const std::size_t byte = static_cast<std::size_t>(bits_ >> 3);
+      if (byte == bytes_.size()) bytes_.push_back(0);
+      const std::uint32_t off = 7 - static_cast<std::uint32_t>(bits_ & 7);
+      bytes_[byte] |= static_cast<std::uint8_t>(((value >> i) & 1) << off);
+      ++bits_;
+    }
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept {
+    return bytes_;
+  }
+  [[nodiscard]] std::uint64_t bit_count() const noexcept { return bits_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::uint64_t bits_ = 0;
+};
+
+/// The matching MSB-first reader. Reading past the buffer is an assert —
+/// decoders consume exactly `encoded_bits()` bits (round-trip tested).
+class BitReader {
+ public:
+  explicit BitReader(const std::vector<std::uint8_t>& bytes) noexcept
+      : bytes_(&bytes) {}
+
+  [[nodiscard]] std::uint64_t read(std::uint32_t width) {
+    EMST_ASSERT(width <= 64);
+    std::uint64_t value = 0;
+    for (std::uint32_t i = 0; i < width; ++i) {
+      const std::size_t byte = static_cast<std::size_t>(bits_ >> 3);
+      EMST_ASSERT_MSG(byte < bytes_->size(), "wire decode past end of buffer");
+      const std::uint32_t off = 7 - static_cast<std::uint32_t>(bits_ & 7);
+      value = (value << 1) | (((*bytes_)[byte] >> off) & 1);
+      ++bits_;
+    }
+    return value;
+  }
+
+  /// Bits consumed so far — the round-trip tests compare this against
+  /// `encoded_bits()` after every decode.
+  [[nodiscard]] std::uint64_t bit_count() const noexcept { return bits_; }
+
+ private:
+  const std::vector<std::uint8_t>* bytes_;
+  std::uint64_t bits_ = 0;
+};
+
+}  // namespace emst::proto

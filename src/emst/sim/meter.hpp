@@ -43,6 +43,11 @@ struct Accounting {
   std::uint64_t broadcasts = 0;
   std::uint64_t deliveries = 0;  ///< receiver-side count (broadcast fan-out)
   std::uint64_t rounds = 0;
+  /// Bits-on-air across all charged transmissions. Populated only when the
+  /// sending engine has a `WireFormat` for the message type (wire.hpp);
+  /// 0 means "unmeasured", not "empty messages". Bits never influence the
+  /// energy figure — the paper charges d^α per message regardless of size.
+  std::uint64_t bits = 0;
 
   [[nodiscard]] std::uint64_t messages() const noexcept {
     return unicasts + broadcasts;
@@ -56,6 +61,7 @@ struct Accounting {
     out.broadcasts = broadcasts - rhs.broadcasts;
     out.deliveries = deliveries - rhs.deliveries;
     out.rounds = rounds - rhs.rounds;
+    out.bits = bits - rhs.bits;
     return out;
   }
 
@@ -65,6 +71,7 @@ struct Accounting {
     broadcasts += rhs.broadcasts;
     deliveries += rhs.deliveries;
     rounds += rhs.rounds;
+    bits += rhs.bits;
     return *this;
   }
 };
@@ -82,6 +89,7 @@ struct EnergyBreakdown {
   struct Cell {
     double energy = 0.0;
     std::uint64_t messages = 0;
+    std::uint64_t bits = 0;  ///< wire bits, when the sender had a codec
     [[nodiscard]] bool operator==(const Cell&) const = default;
   };
 
@@ -107,7 +115,10 @@ struct EnergyBreakdown {
   [[nodiscard]] Accounting phase_total(PhaseTag phase) const {
     const std::size_t p = static_cast<std::size_t>(phase);
     Accounting out;
-    for (const Cell& c : cells[p]) out.energy += c.energy;
+    for (const Cell& c : cells[p]) {
+      out.energy += c.energy;
+      out.bits += c.bits;
+    }
     out.unicasts = unicasts[p];
     out.broadcasts = broadcasts[p];
     out.deliveries = deliveries[p];
@@ -139,12 +150,14 @@ class EnergyMeter {
     totals_.energy += cost;
     ++totals_.unicasts;
     ++totals_.deliveries;
+    totals_.bits += bits_;
     attribute(from, cost);
     if (tracing_) trace_.push_back({TraceEvent::Kind::kUnicast, distance, 1});
     if (breakdown_on_) {
       EnergyBreakdown::Cell& c = breakdown_.cell(phase_, kind_);
       c.energy += cost;
       ++c.messages;
+      c.bits += bits_;
       const std::size_t p = static_cast<std::size_t>(phase_);
       ++breakdown_.unicasts[p];
       ++breakdown_.deliveries[p];
@@ -171,6 +184,7 @@ class EnergyMeter {
     totals_.energy += cost;
     ++totals_.broadcasts;
     totals_.deliveries += receivers;
+    totals_.bits += bits_;
     attribute(from, cost);
     if (tracing_) {
       trace_.push_back({TraceEvent::Kind::kBroadcast, radius,
@@ -180,6 +194,7 @@ class EnergyMeter {
       EnergyBreakdown::Cell& c = breakdown_.cell(phase_, kind_);
       c.energy += cost;
       ++c.messages;
+      c.bits += bits_;
       const std::size_t p = static_cast<std::size_t>(phase_);
       ++breakdown_.broadcasts[p];
       breakdown_.deliveries[p] += receivers;
@@ -276,6 +291,16 @@ class EnergyMeter {
   [[nodiscard]] std::uint8_t flags() const noexcept { return flags_; }
   void set_flags(std::uint8_t flags) noexcept { flags_ = flags; }
 
+  /// Wire size of the next charged transmission(s), in bits. Engines set
+  /// this from their `WireFormat<Msg>` immediately before each charge;
+  /// ArqLink adds frame headers on top of the ambient payload size. 0 (the
+  /// default and the no-codec value) means "unmeasured" and is elided from
+  /// traces. Like kind/flags, this is ambient context — it never affects
+  /// the energy math.
+  [[nodiscard]] std::uint32_t bits() const noexcept { return bits_; }
+  void set_bits(std::uint32_t bits) noexcept { bits_ = bits; }
+  void clear_bits() noexcept { bits_ = 0; }
+
   /// Tag the next charges as ARQ-managed frames (retransmit = timeout
   /// re-send rather than first attempt). Only ArqLink / ReliableChannel set
   /// these; the replay validator keys ArqStats reconstruction off them.
@@ -317,6 +342,7 @@ class EnergyMeter {
       TelemetryEvent event;
       event.type = EventType::kRound;
       stamp(event);  // round stamped after the increment: clock-final value
+      event.bits = 0;  // clock ticks carry no frame, whatever is ambient
       event.value = k;
       telemetry_->record(event);
     }
@@ -339,12 +365,14 @@ class EnergyMeter {
     if (from < per_node_.size()) per_node_[from] += cost;
   }
 
-  /// Copy the ambient context (phase/kind/flags/fragment/clock) into event.
+  /// Copy the ambient context (phase/kind/flags/fragment/bits/clock) into
+  /// event.
   void stamp(TelemetryEvent& event) const noexcept {
     event.kind = kind_;
     event.phase = phase_;
     event.flags = flags_;
     event.fragment = fragment_;
+    event.bits = bits_;
     event.round = totals_.rounds;
   }
 
@@ -362,6 +390,7 @@ class EnergyMeter {
   MsgKind kind_ = MsgKind::kData;
   std::uint8_t flags_ = 0;
   std::uint32_t fragment_ = kNoEventNode;
+  std::uint32_t bits_ = 0;
 };
 
 }  // namespace emst::sim

@@ -42,6 +42,7 @@
 #include "emst/sim/fault.hpp"
 #include "emst/sim/meter.hpp"
 #include "emst/sim/topology.hpp"
+#include "emst/sim/wire.hpp"
 #include "emst/support/assert.hpp"
 #include "emst/support/flat_map.hpp"
 #include "emst/support/rng.hpp"
@@ -94,13 +95,20 @@ class Network {
     EMST_ASSERT_MSG(unbounded_broadcast_ ||
                         d <= topo_.max_radius() * (1.0 + 1e-12),
                     "unicast beyond the maximum transmission radius");
+    // Wire size is stamped before the suppress check so a crashed sender's
+    // kSuppress event still records how many bits never made it to air —
+    // the replayer relies on this to rebuild ARQ data_bits exactly.
+    const std::uint32_t bits = wire_.bits(m);
+    meter_.set_bits(bits);
     if (faults_.enabled() && faults_.crashed(u)) {
       ++faults_.stats().suppressed;
       meter_.note_event(EventType::kSuppress, u, v, d);
+      meter_.clear_bits();
       return;
     }
     meter_.charge_unicast(u, v, d);
-    enqueue(u, v, d, std::move(m));
+    meter_.clear_bits();
+    enqueue(u, v, d, bits, std::move(m));
   }
 
   /// Locally broadcast m from u at power radius `radius`; every node within
@@ -142,6 +150,13 @@ class Network {
   [[nodiscard]] const FaultStats& fault_stats() const noexcept {
     return faults_.stats();
   }
+  /// The engine's message codec (wire.hpp). The default-constructed format
+  /// measures nothing; drivers with a real codec configure it here (e.g.
+  /// seed a proto::WireContext) before sending.
+  [[nodiscard]] WireFormat<Msg>& wire_format() noexcept { return wire_; }
+  [[nodiscard]] const WireFormat<Msg>& wire_format() const noexcept {
+    return wire_;
+  }
 
  private:
   struct Item {
@@ -150,6 +165,7 @@ class Network {
     double distance;
     Msg msg;
     bool lost;  ///< channel fate, drawn at send time (fault layer)
+    std::uint32_t bits;  ///< wire size, stamped on delivery-time drop events
     // No seq / due fields: the bucket index encodes the due round and the
     // append order within a bucket IS the send-sequence order.
   };
@@ -162,9 +178,12 @@ class Network {
       EMST_ASSERT_MSG(radius <= topo_.max_radius() * (1.0 + 1e-12),
                       "broadcast beyond the maximum transmission radius");
     }
+    const std::uint32_t bits = wire_.bits(m);
+    meter_.set_bits(bits);
     if (faults_.enabled() && faults_.crashed(u)) {
       ++faults_.stats().suppressed;
       meter_.note_event(EventType::kSuppress, u, kNoEventNode, radius);
+      meter_.clear_bits();
       return;
     }
     receivers_.clear();
@@ -182,16 +201,17 @@ class Network {
       receivers_ = topo_.nodes_within(u, radius);
     }
     meter_.charge_broadcast(u, radius, receivers_.size());
+    meter_.clear_bits();
     if (receivers_.empty()) return;
     for (std::size_t i = 0; i + 1 < receivers_.size(); ++i) {
       const NodeId v = receivers_[i];
-      enqueue(u, v, topo_.distance(u, v), Msg(m));
+      enqueue(u, v, topo_.distance(u, v), bits, Msg(m));
     }
     const NodeId v = receivers_.back();
-    enqueue(u, v, topo_.distance(u, v), Msg(std::forward<M>(m)));
+    enqueue(u, v, topo_.distance(u, v), bits, Msg(std::forward<M>(m)));
   }
 
-  void enqueue(NodeId u, NodeId v, double d, Msg m) {
+  void enqueue(NodeId u, NodeId v, double d, std::uint32_t bits, Msg m) {
     // Channel fate is drawn here, in global send order — identical between
     // this engine and ReferenceNetwork — but enforced at delivery time.
     const bool lost = faults_.enabled() && faults_.drop(u, v);
@@ -218,7 +238,7 @@ class Network {
     EMST_ASSERT(due > now_ && due - now_ - 1 <= delays_.max_extra_delay);
     std::size_t idx = head_ + static_cast<std::size_t>(due - now_ - 1);
     if (idx >= buckets_.size()) idx -= buckets_.size();
-    buckets_[idx].push_back({u, v, d, std::move(m), lost});
+    buckets_[idx].push_back({u, v, d, std::move(m), lost, bits});
     ++inflight_count_;
   }
 
@@ -232,13 +252,17 @@ class Network {
     if (faults_.enabled()) {
       if (item.lost) {
         ++faults_.stats().lost;
+        meter_.set_bits(item.bits);
         meter_.note_event(EventType::kLoss, item.from, item.to, item.distance);
+        meter_.clear_bits();
         return;
       }
       if (faults_.crashed(item.to)) {
         ++faults_.stats().dropped_crashed;
+        meter_.set_bits(item.bits);
         meter_.note_event(EventType::kCrashDrop, item.from, item.to,
                           item.distance);
+        meter_.clear_bits();
         return;
       }
     }
@@ -299,6 +323,7 @@ class Network {
 
   const Topology& topo_;
   EnergyMeter meter_;
+  WireFormat<Msg> wire_{};
   bool unbounded_broadcast_;
   DelayModel delays_;
   support::Rng delay_rng_;

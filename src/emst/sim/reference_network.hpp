@@ -21,6 +21,7 @@
 #include "emst/sim/meter.hpp"
 #include "emst/sim/network.hpp"
 #include "emst/sim/topology.hpp"
+#include "emst/sim/wire.hpp"
 #include "emst/support/assert.hpp"
 #include "emst/support/rng.hpp"
 
@@ -48,13 +49,17 @@ class ReferenceNetwork {
     EMST_ASSERT_MSG(unbounded_broadcast_ ||
                         d <= topo_.max_radius() * (1.0 + 1e-12),
                     "unicast beyond the maximum transmission radius");
+    const std::uint32_t bits = wire_.bits(m);
+    meter_.set_bits(bits);
     if (faults_.enabled() && faults_.crashed(u)) {
       ++faults_.stats().suppressed;
       meter_.note_event(EventType::kSuppress, u, v, d);
+      meter_.clear_bits();
       return;
     }
     meter_.charge_unicast(u, v, d);
-    enqueue(u, v, d, std::move(m));
+    meter_.clear_bits();
+    enqueue(u, v, d, bits, std::move(m));
   }
 
   /// Locally broadcast m from u at power radius `radius`. Charges radius^α.
@@ -65,9 +70,12 @@ class ReferenceNetwork {
       EMST_ASSERT_MSG(radius <= topo_.max_radius() * (1.0 + 1e-12),
                       "broadcast beyond the maximum transmission radius");
     }
+    const std::uint32_t bits = wire_.bits(m);
+    meter_.set_bits(bits);
     if (faults_.enabled() && faults_.crashed(u)) {
       ++faults_.stats().suppressed;
       meter_.note_event(EventType::kSuppress, u, kNoEventNode, radius);
+      meter_.clear_bits();
       return;
     }
     std::vector<NodeId> receivers;
@@ -82,7 +90,9 @@ class ReferenceNetwork {
       receivers = topo_.nodes_within(u, radius);
     }
     meter_.charge_broadcast(u, radius, receivers.size());
-    for (NodeId v : receivers) enqueue(u, v, topo_.distance(u, v), Msg(m));
+    meter_.clear_bits();
+    for (NodeId v : receivers)
+      enqueue(u, v, topo_.distance(u, v), bits, Msg(m));
   }
 
   [[nodiscard]] bool pending() const noexcept { return !inflight_.empty(); }
@@ -107,13 +117,17 @@ class ReferenceNetwork {
       // Same delivery-time drop rule as Network (see network.hpp).
       if (item.lost) {
         ++faults_.stats().lost;
+        meter_.set_bits(item.bits);
         meter_.note_event(EventType::kLoss, item.from, item.to, item.distance);
+        meter_.clear_bits();
         continue;
       }
       if (faults_.enabled() && faults_.crashed(item.to)) {
         ++faults_.stats().dropped_crashed;
+        meter_.set_bits(item.bits);
         meter_.note_event(EventType::kCrashDrop, item.from, item.to,
                           item.distance);
+        meter_.clear_bits();
         continue;
       }
       out.push_back({item.from, item.to, item.distance, std::move(item.msg)});
@@ -130,6 +144,10 @@ class ReferenceNetwork {
   [[nodiscard]] const FaultStats& fault_stats() const noexcept {
     return faults_.stats();
   }
+  [[nodiscard]] WireFormat<Msg>& wire_format() noexcept { return wire_; }
+  [[nodiscard]] const WireFormat<Msg>& wire_format() const noexcept {
+    return wire_;
+  }
 
  private:
   struct Item {
@@ -140,9 +158,10 @@ class ReferenceNetwork {
     std::uint64_t seq;
     std::uint64_t due;  ///< round at which the message arrives
     bool lost = false;  ///< channel fate, drawn at send time
+    std::uint32_t bits = 0;
   };
 
-  void enqueue(NodeId u, NodeId v, double d, Msg m) {
+  void enqueue(NodeId u, NodeId v, double d, std::uint32_t bits, Msg m) {
     const bool lost = faults_.enabled() && faults_.drop(u, v);
     std::uint64_t due = now_ + 1;
     if (delays_.max_extra_delay > 0) {
@@ -157,11 +176,12 @@ class ReferenceNetwork {
         it->second = due;
       }
     }
-    inflight_.push_back({u, v, d, std::move(m), next_seq_++, due, lost});
+    inflight_.push_back({u, v, d, std::move(m), next_seq_++, due, lost, bits});
   }
 
   const Topology& topo_;
   EnergyMeter meter_;
+  WireFormat<Msg> wire_{};
   bool unbounded_broadcast_;
   DelayModel delays_;
   support::Rng delay_rng_;

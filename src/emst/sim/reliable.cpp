@@ -15,7 +15,17 @@ ArqOutcome ArqLink::transmit(EnergyMeter& meter, graph::NodeId u,
   // Every frame this session charges is flagged as ARQ-managed (even the
   // single-attempt degenerate mode): the replay validator reconstructs
   // data_sent / retransmissions / acks_sent from exactly these flags.
+  //
+  // Bits: the ambient meter value is the *payload* size the driver set for
+  // this logical message. Each physical frame adds the ARQ header on top —
+  // payload+header for DATA, header alone for ACKs — exactly what
+  // ReliableChannel's frame codec bills for the same fate sequence. An
+  // unmeasured payload (0 bits) leaves the whole session unmeasured.
   const MsgKind payload_kind = meter.kind();
+  const std::uint32_t payload_bits = meter.bits();
+  const std::uint32_t data_bits =
+      payload_bits != 0 ? payload_bits + kArqHeaderBits : 0;
+  const std::uint32_t ack_bits = payload_bits != 0 ? kArqHeaderBits : 0;
   const std::uint32_t attempts = arq_.enabled ? arq_.max_retries + 1 : 1;
   std::uint32_t rto = arq_.rto_rounds;
   for (std::uint32_t attempt = 0; attempt < attempts; ++attempt) {
@@ -25,7 +35,9 @@ ArqOutcome ArqLink::transmit(EnergyMeter& meter, graph::NodeId u,
     } else {
       ++stats_.retransmissions;
     }
+    stats_.data_bits += data_bits;
     meter.set_arq_frame(/*retransmit=*/attempt != 0);
+    meter.set_bits(data_bits);
     meter.charge_unicast(u, v, distance);  // lost or not, the radio transmitted
     bool data_ok = true;
     if (injector_ != nullptr) {
@@ -49,10 +61,13 @@ ArqOutcome ArqLink::transmit(EnergyMeter& meter, graph::NodeId u,
       // Stop-and-wait: the receiver confirms every copy it hears.
       ++out.ack_attempts;
       ++stats_.acks_sent;
+      stats_.ack_bits += ack_bits;
       meter.set_arq_frame(/*retransmit=*/false);
       meter.set_kind(MsgKind::kArqAck);
+      meter.set_bits(ack_bits);
       meter.charge_unicast(v, u, distance);
       meter.set_kind(payload_kind);
+      meter.set_bits(data_bits);
       bool ack_ok = true;
       if (injector_ != nullptr) {
         if (injector_->drop(v, u)) {
@@ -76,6 +91,7 @@ ArqOutcome ArqLink::transmit(EnergyMeter& meter, graph::NodeId u,
     }
   }
   meter.clear_arq_frame();
+  meter.set_bits(payload_bits);  // restore the driver's ambient payload size
   if (arq_.enabled && !out.acked) {
     ++stats_.give_ups;
     meter.note_event(EventType::kArqGiveUp, u, v);

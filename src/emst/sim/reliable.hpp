@@ -33,6 +33,7 @@
 #include "emst/sim/fault.hpp"
 #include "emst/sim/meter.hpp"
 #include "emst/sim/network.hpp"
+#include "emst/sim/wire.hpp"
 #include "emst/support/assert.hpp"
 #include "emst/support/flat_map.hpp"
 
@@ -59,6 +60,12 @@ struct ArqStats {
   std::uint64_t delivered = 0;        ///< payloads that reached the receiver
   std::uint64_t give_ups = 0;         ///< sessions that exhausted the budget
   std::uint64_t timeout_rounds = 0;   ///< rounds spent waiting on lost frames
+  /// Wire bits of every DATA frame attempt (first sends and retransmissions;
+  /// payload + kArqHeaderBits each) and of every ACK (header only). 0 when
+  /// the payload type has no WireFormat — retry overhead is only measurable
+  /// for messages with a codec.
+  std::uint64_t data_bits = 0;
+  std::uint64_t ack_bits = 0;
 
   ArqStats& operator+=(const ArqStats& rhs) noexcept {
     data_sent += rhs.data_sent;
@@ -68,6 +75,8 @@ struct ArqStats {
     delivered += rhs.delivered;
     give_ups += rhs.give_ups;
     timeout_rounds += rhs.timeout_rounds;
+    data_bits += rhs.data_bits;
+    ack_bits += rhs.ack_bits;
     return *this;
   }
 };
@@ -113,6 +122,35 @@ class ArqLink {
   ArqStats stats_;
 };
 
+/// One physical stop-and-wait frame on the wire: a header (ack flag +
+/// sequence number = kArqHeaderBits) plus, for DATA frames, the payload.
+/// Namespace-scope (rather than nested in ReliableChannel) so that
+/// `WireFormat<ArqFrame<Msg>>` can be partially specialized — a nested
+/// class is a non-deduced context.
+template <typename Msg>
+struct ArqFrame {
+  bool ack = false;
+  std::uint32_t seq = 0;
+  Msg payload{};  ///< default-constructed for ACK frames
+};
+
+/// Frames of a measured payload type are measured too: header + payload for
+/// DATA, header alone for ACKs. Unmeasured payloads leave the whole frame
+/// unmeasured (0 bits), so ARQ over codec-less messages stays bit-silent.
+template <typename Msg>
+struct WireFormat<ArqFrame<Msg>> {
+  static constexpr bool kMeasured = WireFormat<Msg>::kMeasured;
+  WireFormat<Msg> payload{};
+
+  [[nodiscard]] std::uint32_t bits(const ArqFrame<Msg>& frame) const noexcept {
+    if constexpr (!kMeasured) {
+      return 0;
+    } else {
+      return kArqHeaderBits + (frame.ack ? 0 : payload.bits(frame.payload));
+    }
+  }
+};
+
 /// Message-level reliable channel over `Network<Msg>`; see the header
 /// comment. The API mirrors Network: send / collect_round / pending, with
 /// `collect_round` returning application payloads (ACK traffic and duplicate
@@ -120,11 +158,7 @@ class ArqLink {
 template <typename Msg>
 class ReliableChannel {
  public:
-  struct Frame {
-    bool ack = false;
-    std::uint32_t seq = 0;
-    Msg payload{};  ///< default-constructed for ACK frames
-  };
+  using Frame = ArqFrame<Msg>;
 
   ReliableChannel(const Topology& topo, geometry::PathLoss model = {},
                   DelayModel delays = {}, FaultModel faults = {},
@@ -173,6 +207,11 @@ class ReliableChannel {
     return net_.meter();
   }
   [[nodiscard]] Network<Frame>& raw() noexcept { return net_; }
+  /// The payload's codec. Configure this (not the frame format) with the
+  /// run's WireContext; the frame format adds the ARQ header on top.
+  [[nodiscard]] WireFormat<Msg>& payload_wire_format() noexcept {
+    return net_.wire_format().payload;
+  }
 
  private:
   struct Link {
@@ -218,10 +257,11 @@ class ReliableChannel {
     ++stats_.data_sent;
     // Frames are flagged so the replayer can rebuild data_sent /
     // retransmissions / acks_sent; a suppressed send (crashed sender) still
-    // counts because its kSuppress event carries the same flags.
+    // counts because its kSuppress event carries the same flags (and bits).
+    Frame frame{false, link.send_seq, *link.in_flight};
+    stats_.data_bits += net_.wire_format().bits(frame);
     net_.meter().set_arq_frame(/*retransmit=*/false);
-    net_.unicast(link.from, link.to,
-                 Frame{false, link.send_seq, *link.in_flight});
+    net_.unicast(link.from, link.to, std::move(frame));
     net_.meter().clear_arq_frame();
   }
 
@@ -237,11 +277,13 @@ class ReliableChannel {
     // previous ACK was lost) but hands at most one to the application.
     Link& link = link_state(d.from, d.to);  // keyed by the DATA direction
     ++stats_.acks_sent;
+    Frame ack{true, d.msg.seq, Msg{}};
+    stats_.ack_bits += net_.wire_format().bits(ack);
     EnergyMeter& meter = net_.meter();
     const MsgKind payload_kind = meter.kind();
     meter.set_arq_frame(/*retransmit=*/false);
     meter.set_kind(MsgKind::kArqAck);
-    net_.unicast(d.to, d.from, Frame{true, d.msg.seq, Msg{}});
+    net_.unicast(d.to, d.from, std::move(ack));
     meter.set_kind(payload_kind);
     meter.clear_arq_frame();
     if (d.msg.seq < link.next_expected) {
@@ -279,9 +321,10 @@ class ReliableChannel {
                               link.rto);
       link.rto = std::min(link.rto * arq_.backoff, ArqOptions::kRtoCap);
       link.deadline = now_ + link.rto;
+      Frame frame{false, link.send_seq, *link.in_flight};
+      stats_.data_bits += net_.wire_format().bits(frame);
       net_.meter().set_arq_frame(/*retransmit=*/true);
-      net_.unicast(link.from, link.to,
-                   Frame{false, link.send_seq, *link.in_flight});
+      net_.unicast(link.from, link.to, std::move(frame));
       net_.meter().clear_arq_frame();
     }
   }

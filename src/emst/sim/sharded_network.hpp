@@ -57,6 +57,7 @@
 #include "emst/sim/meter.hpp"
 #include "emst/sim/network.hpp"
 #include "emst/sim/topology.hpp"
+#include "emst/sim/wire.hpp"
 #include "emst/support/assert.hpp"
 #include "emst/support/flat_map.hpp"
 #include "emst/support/parallel.hpp"
@@ -131,12 +132,15 @@ class ShardedNetwork {
 
   /// Meter context captured with each staged send, plus the Mode-B merge
   /// key (frontend sends keep key 0 — their staging order is already the
-  /// issue order).
+  /// issue order). `bits` is NOT ambient meter state: it is computed from
+  /// the engine's WireFormat at stage time (same place Network computes it)
+  /// and replayed through `set_bits` at the barrier.
   struct SendContext {
     MsgKind kind = MsgKind::kData;
     PhaseTag phase = PhaseTag::kRun;
     std::uint8_t flags = 0;
     std::uint32_t fragment = kNoEventNode;
+    std::uint32_t bits = 0;
     std::uint64_t key = 0;
   };
 
@@ -240,6 +244,13 @@ class ShardedNetwork {
   [[nodiscard]] std::size_t shard_of(NodeId u) const {
     return node_shard_[u];
   }
+  /// The engine's message codec (wire.hpp) — same contract as
+  /// Network::wire_format(). Configure before sending; staged sends capture
+  /// their size at issue time.
+  [[nodiscard]] WireFormat<Msg>& wire_format() noexcept { return wire_; }
+  [[nodiscard]] const WireFormat<Msg>& wire_format() const noexcept {
+    return wire_;
+  }
 
  private:
   static constexpr std::uint8_t kFateDeliver = 0;
@@ -272,6 +283,7 @@ class ShardedNetwork {
     NodeId from;
     NodeId to;
     double distance;
+    std::uint32_t bits;  ///< wire size, stamped on delivery-time drop events
     Msg msg;
   };
 
@@ -279,6 +291,7 @@ class ShardedNetwork {
     NodeId from;
     NodeId to;
     double distance;
+    std::uint32_t bits;
     Msg msg;
     bool lost;  ///< counter-based channel fate, evaluated at ingest
   };
@@ -290,6 +303,7 @@ class ShardedNetwork {
     NodeId from;
     NodeId to;
     double distance;
+    std::uint32_t bits;
     std::uint8_t fate;
     Msg msg;
   };
@@ -347,6 +361,7 @@ class ShardedNetwork {
                      Msg m) {
     StagedOp op;
     op.ctx = ctx;
+    op.ctx.bits = wire_.bits(m);
     op.from = u;
     op.reach = d;
     op.first = static_cast<std::uint32_t>(targets.size());
@@ -370,6 +385,7 @@ class ShardedNetwork {
     }
     StagedOp op;
     op.ctx = ctx;
+    op.ctx.bits = wire_.bits(m);
     op.from = u;
     op.reach = radius;
     op.first = static_cast<std::uint32_t>(targets.size());
@@ -421,6 +437,7 @@ class ShardedNetwork {
       meter_.set_phase(op.ctx.phase);
       meter_.set_flags(op.ctx.flags);
       meter_.set_fragment(op.ctx.fragment);
+      meter_.set_bits(op.ctx.bits);
       if (op.suppressed) {
         ++faults_.stats().suppressed;
         meter_.note_event(EventType::kSuppress, op.from,
@@ -434,25 +451,29 @@ class ShardedNetwork {
         if (op.count == 0) continue;
         const std::uint32_t last = op.first + op.count - 1;
         for (std::uint32_t i = op.first; i < last; ++i)
-          route(op.from, targets_[i].to, targets_[i].distance, Msg(op.msg));
+          route(op.from, targets_[i].to, targets_[i].distance, op.ctx.bits,
+                Msg(op.msg));
         route(op.from, targets_[last].to, targets_[last].distance,
-              std::move(op.msg));
+              op.ctx.bits, std::move(op.msg));
       } else {
         const Target& t = targets_[op.first];
         meter_.charge_unicast(op.from, t.to, t.distance);
-        route(op.from, t.to, t.distance, std::move(op.msg));
+        route(op.from, t.to, t.distance, op.ctx.bits, std::move(op.msg));
       }
     }
     meter_.set_kind(kind0);
     meter_.set_phase(phase0);
     meter_.set_flags(flags0);
     meter_.set_fragment(fragment0);
+    // Network clears ambient bits after every send; end the replay in the
+    // same state so later note_events stamp identically.
+    meter_.clear_bits();
     ops_.clear();
     targets_.clear();
     staged_live_ = 0;
   }
 
-  void route(NodeId u, NodeId v, double d, Msg m) {
+  void route(NodeId u, NodeId v, double d, std::uint32_t bits, Msg m) {
     // Sequential draws, one per routed message, in global send order — the
     // exact stream Network::enqueue consumes. The FIFO clamp is applied
     // shard-side (per-link state lives with the receiver's shard).
@@ -460,7 +481,7 @@ class ShardedNetwork {
     if (delays_.max_extra_delay > 0)
       due += delay_rng_.uniform_int(delays_.max_extra_delay + 1);
     Shard& shard = shards_[node_shard_[v]];
-    shard.inbox.push_back({seq_++, due, u, v, d, std::move(m)});
+    shard.inbox.push_back({seq_++, due, u, v, d, bits, std::move(m)});
     ++inflight_;
   }
 
@@ -506,8 +527,8 @@ class ShardedNetwork {
       EMST_ASSERT(due >= now_ && due - now_ <= max_delay);
       std::size_t idx = shard.head + static_cast<std::size_t>(due - now_);
       if (idx >= shard.buckets.size()) idx -= shard.buckets.size();
-      shard.buckets[idx].push_back(
-          {wire.from, wire.to, wire.distance, std::move(wire.msg), lost});
+      shard.buckets[idx].push_back({wire.from, wire.to, wire.distance,
+                                    wire.bits, std::move(wire.msg), lost});
     }
     shard.inbox.clear();
     std::vector<Item>& bucket = shard.buckets[shard.head];
@@ -524,8 +545,8 @@ class ShardedNetwork {
       else if (faults_.crashed(item.to))
         fate = kFateCrashed;
     }
-    shard.drained.push_back(
-        {item.from, item.to, item.distance, fate, std::move(item.msg)});
+    shard.drained.push_back({item.from, item.to, item.distance, item.bits,
+                             fate, std::move(item.msg)});
   }
 
   /// Same three-strategy ordering as Network::drain_by_receiver — append
@@ -605,13 +626,17 @@ class ShardedNetwork {
       switch (item.fate) {
         case kFateLost:
           ++faults_.stats().lost;
+          meter_.set_bits(item.bits);
           meter_.note_event(EventType::kLoss, item.from, item.to,
                             item.distance);
+          meter_.clear_bits();
           break;
         case kFateCrashed:
           ++faults_.stats().dropped_crashed;
+          meter_.set_bits(item.bits);
           meter_.note_event(EventType::kCrashDrop, item.from, item.to,
                             item.distance);
+          meter_.clear_bits();
           break;
         default:
           if (assign_ranks) next->ranks.push_back(rank);
@@ -656,6 +681,7 @@ class ShardedNetwork {
 
   const Topology& topo_;
   EnergyMeter meter_;
+  WireFormat<Msg> wire_{};
   bool unbounded_broadcast_;
   DelayModel delays_;
   support::Rng delay_rng_;

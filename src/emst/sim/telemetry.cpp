@@ -84,6 +84,8 @@ void JsonlTraceSink::on_event(const TelemetryEvent& event) {
     append(",\"fragment\":%u", static_cast<unsigned>(event.fragment));
   if (event.flags != 0)
     append(",\"flags\":%u", static_cast<unsigned>(event.flags));
+  if (event.bits != 0)
+    append(",\"bits\":%u", static_cast<unsigned>(event.bits));
   if (event.value != 0)
     append(",\"value\":%llu", static_cast<unsigned long long>(event.value));
   if (event.reach != 0.0) append(",\"reach\":%.17g", event.reach);

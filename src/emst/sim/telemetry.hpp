@@ -96,6 +96,7 @@ struct TelemetryEvent {
   std::uint32_t to = kNoEventNode;  ///< receiver (unicast) or kNoEventNode
   std::uint32_t receivers = 0;      ///< broadcast fan-out
   std::uint32_t fragment = kNoEventNode;  ///< sender's fragment id, if known
+  std::uint32_t bits = 0;   ///< wire size of the frame; 0 = unmeasured
   std::uint64_t round = 0;  ///< meter clock when the event was recorded
   std::uint64_t value = 0;  ///< rounds (kRound, kArqTimeout)
   double reach = 0.0;       ///< distance (unicast) or power radius (broadcast)

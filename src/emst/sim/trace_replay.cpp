@@ -10,13 +10,18 @@ namespace {
 /// One ARQ-flagged frame attempt → the matching ArqStats send counter.
 /// Applied to kUnicast charges AND to flagged kSuppress events: a crashed
 /// sender's attempt is uncharged but the live stats still counted it.
+/// Frame bits split the same way: ACK frames → ack_bits, DATA frames (first
+/// attempts and retransmissions alike) → data_bits.
 void count_arq_frame(const TelemetryEvent& e, ArqStats& arq) {
   if ((e.flags & kEventFlagRetransmit) != 0) {
     ++arq.retransmissions;
+    arq.data_bits += e.bits;
   } else if (e.kind == MsgKind::kArqAck) {
     ++arq.acks_sent;
+    arq.ack_bits += e.bits;
   } else {
     ++arq.data_sent;
+    arq.data_bits += e.bits;
   }
 }
 
@@ -31,9 +36,11 @@ ReplayTotals replay_events(std::span<const TelemetryEvent> events) {
         out.totals.energy += e.energy;
         ++out.totals.unicasts;
         ++out.totals.deliveries;
+        out.totals.bits += e.bits;
         EnergyBreakdown::Cell& c = out.breakdown.cell(e.phase, e.kind);
         c.energy += e.energy;
         ++c.messages;
+        c.bits += e.bits;
         ++out.breakdown.unicasts[p];
         ++out.breakdown.deliveries[p];
         if ((e.flags & kEventFlagArq) != 0) count_arq_frame(e, out.arq);
@@ -43,9 +50,11 @@ ReplayTotals replay_events(std::span<const TelemetryEvent> events) {
         out.totals.energy += e.energy;
         ++out.totals.broadcasts;
         out.totals.deliveries += e.receivers;
+        out.totals.bits += e.bits;
         EnergyBreakdown::Cell& c = out.breakdown.cell(e.phase, e.kind);
         c.energy += e.energy;
         ++c.messages;
+        c.bits += e.bits;
         ++out.breakdown.broadcasts[p];
         out.breakdown.deliveries[p] += e.receivers;
         break;
@@ -112,15 +121,16 @@ void write_trace_summary(std::ostream& out, const Accounting& totals,
       buf, sizeof(buf),
       "{\"summary\":{"
       "\"energy\":%.17g,\"unicasts\":%llu,\"broadcasts\":%llu,"
-      "\"deliveries\":%llu,\"rounds\":%llu,"
+      "\"deliveries\":%llu,\"rounds\":%llu,\"bits\":%llu,"
       "\"lost\":%llu,\"dropped_crashed\":%llu,\"suppressed\":%llu,"
       "\"data_sent\":%llu,\"retransmissions\":%llu,\"acks_sent\":%llu,"
       "\"duplicates\":%llu,\"delivered\":%llu,\"give_ups\":%llu,"
-      "\"timeout_rounds\":%llu}}\n",
+      "\"timeout_rounds\":%llu,\"data_bits\":%llu,\"ack_bits\":%llu}}\n",
       totals.energy, static_cast<unsigned long long>(totals.unicasts),
       static_cast<unsigned long long>(totals.broadcasts),
       static_cast<unsigned long long>(totals.deliveries),
       static_cast<unsigned long long>(totals.rounds),
+      static_cast<unsigned long long>(totals.bits),
       static_cast<unsigned long long>(faults.lost),
       static_cast<unsigned long long>(faults.dropped_crashed),
       static_cast<unsigned long long>(faults.suppressed),
@@ -130,7 +140,9 @@ void write_trace_summary(std::ostream& out, const Accounting& totals,
       static_cast<unsigned long long>(arq.duplicates),
       static_cast<unsigned long long>(arq.delivered),
       static_cast<unsigned long long>(arq.give_ups),
-      static_cast<unsigned long long>(arq.timeout_rounds));
+      static_cast<unsigned long long>(arq.timeout_rounds),
+      static_cast<unsigned long long>(arq.data_bits),
+      static_cast<unsigned long long>(arq.ack_bits));
   if (len > 0 && len < static_cast<int>(sizeof(buf))) out.write(buf, len);
 }
 

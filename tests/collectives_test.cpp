@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 
 #include "emst/geometry/sampling.hpp"
 #include "emst/rgg/radii.hpp"
@@ -133,6 +135,97 @@ TEST(MeterTrace, OffByDefault) {
   EnergyMeter meter;
   meter.charge_unicast(0.5);
   EXPECT_TRUE(meter.trace().empty());
+}
+
+TEST(CollectivesEdgeCases, AllSingletonForestMovesNothing) {
+  // Every node is its own root: no tree edges, so neither collective sends
+  // a message, ticks a round, or touches any value.
+  support::Rng rng(7);
+  const auto points = geometry::uniform_points(6, rng);
+  const Topology topo(points, 0.5);
+  const std::vector<graph::NodeId> parent(6, graph::kNoNode);
+  const TreeSchedule schedule = make_schedule(parent);
+  EXPECT_EQ(schedule.max_depth, 0u);
+  EnergyMeter meter;
+  const std::vector<int> init = {0, 1, 2, 3, 4, 5};
+  const auto down = tree_broadcast<int>(
+      topo, parent, schedule, init,
+      [](int v, graph::NodeId) { return v + 100; }, meter);
+  EXPECT_EQ(down, init);
+  const auto up = tree_convergecast<int>(
+      topo, parent, schedule, init, [](int a, int b) { return a + b; }, meter);
+  EXPECT_EQ(up, init);
+  EXPECT_EQ(meter.totals().messages(), 0u);
+  EXPECT_EQ(meter.totals().rounds, 0u);
+  EXPECT_DOUBLE_EQ(meter.totals().energy, 0.0);
+}
+
+TEST(CollectivesEdgeCases, RootOnlyTree) {
+  // A one-node deployment is a root-only tree: both collectives are no-ops
+  // that return the root's own value.
+  const Topology topo({{0.5, 0.5}}, 0.1);
+  const auto parent = forest_parents(1, {}, {0});
+  const TreeSchedule schedule = make_schedule(parent);
+  EnergyMeter meter;
+  const auto down = tree_broadcast<int>(
+      topo, parent, schedule, {42},
+      [](int v, graph::NodeId) { return v; }, meter);
+  EXPECT_EQ(down, (std::vector<int>{42}));
+  const auto up = tree_convergecast<std::size_t>(
+      topo, parent, schedule, {1},
+      [](std::size_t a, std::size_t b) { return a + b; }, meter);
+  EXPECT_EQ(up, (std::vector<std::size_t>{1}));
+  EXPECT_EQ(meter.totals().messages(), 0u);
+}
+
+TEST(CollectivesEdgeCases, ConvergecastSkipsCrashedInteriorSubtree) {
+  // Path root 0 <- 1 <- 2 with interior node 1 down for the whole run: the
+  // leaf burns its retry budget against a dead receiver, the interior
+  // node's own send is suppressed, and the root only ever counts itself.
+  const Topology topo({{0.1, 0.5}, {0.2, 0.5}, {0.3, 0.5}}, 0.15);
+  const std::vector<graph::NodeId> parent = {graph::kNoNode, 0, 1};
+  const TreeSchedule schedule = make_schedule(parent);
+  FaultModel faults;
+  faults.crashes = {{1, 0, std::numeric_limits<std::uint64_t>::max()}};
+  FaultInjector injector(faults);
+  ArqOptions arq;
+  arq.enabled = true;
+  arq.max_retries = 2;
+  ArqLink link(&injector, arq);
+  EnergyMeter meter;
+  const auto subtree = tree_convergecast<std::size_t>(
+      topo, parent, schedule, std::vector<std::size_t>(3, 1),
+      [](std::size_t a, std::size_t b) { return a + b; }, meter, &link);
+  EXPECT_EQ(subtree, (std::vector<std::size_t>{1, 1, 1}));
+  // Leaf 2 charges max_retries+1 DATA attempts; node 1's session is free.
+  EXPECT_EQ(meter.totals().unicasts, 3u);
+  EXPECT_EQ(link.stats().give_ups, 1u);
+  EXPECT_EQ(link.stats().delivered, 0u);
+  EXPECT_EQ(injector.stats().dropped_crashed, 3u);
+  EXPECT_EQ(injector.stats().suppressed, 1u);
+}
+
+TEST(CollectivesEdgeCases, BroadcastLeavesCrashedSubtreeStale) {
+  // Same path, broadcasting down: the crashed interior never receives the
+  // root value and never forwards it, so the whole subtree stays stale.
+  const Topology topo({{0.1, 0.5}, {0.2, 0.5}, {0.3, 0.5}}, 0.15);
+  const std::vector<graph::NodeId> parent = {graph::kNoNode, 0, 1};
+  const TreeSchedule schedule = make_schedule(parent);
+  FaultModel faults;
+  faults.crashes = {{1, 0, std::numeric_limits<std::uint64_t>::max()}};
+  FaultInjector injector(faults);
+  ArqOptions arq;
+  arq.enabled = true;
+  arq.max_retries = 1;
+  ArqLink link(&injector, arq);
+  EnergyMeter meter;
+  const auto values = tree_broadcast<int>(
+      topo, parent, schedule, {42, -1, -1},
+      [](int from_parent, graph::NodeId) { return from_parent; }, meter,
+      &link);
+  EXPECT_EQ(values, (std::vector<int>{42, -1, -1}));
+  EXPECT_EQ(link.stats().delivered, 0u);
+  EXPECT_EQ(injector.stats().suppressed, 1u);
 }
 
 TEST(MeterTrace, NetworkChargesAreTraced) {

@@ -1,0 +1,214 @@
+// Tests for the shared fragment runtime (src/emst/proto/fragment.hpp):
+// identity bookkeeping, BFS views, the Borůvka merge with passive-id
+// retention, deterministic crash repair, and the census collective's size
+// and bit accounting.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "emst/graph/edge.hpp"
+#include "emst/proto/fragment.hpp"
+#include "emst/sim/meter.hpp"
+#include "emst/sim/topology.hpp"
+
+namespace emst::proto {
+namespace {
+
+using Candidate = FragmentSet::MergeCandidate;
+
+TEST(FragmentSet, StartsAsSingletons) {
+  const FragmentSet frags(4, 6);
+  EXPECT_EQ(frags.node_count(), 4u);
+  EXPECT_EQ(frags.fragment_count(), 4u);
+  for (NodeId u = 0; u < 4; ++u) EXPECT_EQ(frags.leader(u), u);
+  EXPECT_TRUE(frags.tree().empty());
+  for (std::uint64_t i = 0; i < 6; ++i) EXPECT_FALSE(frags.edge_in_tree(i));
+}
+
+TEST(FragmentSet, AssignAndSetLeaders) {
+  FragmentSet frags(3, 3);
+  frags.assign_leaders({2, 2, 2});
+  EXPECT_EQ(frags.fragment_count(), 1u);
+  EXPECT_EQ(frags.leaders(), (std::vector<NodeId>{2, 2, 2}));
+  frags.set_leader(0, 0);
+  EXPECT_EQ(frags.leader(0), 0u);
+  EXPECT_EQ(frags.fragment_count(), 2u);
+}
+
+TEST(FragmentSet, AddTreeEdgeTracksAdjacencyAndMembership) {
+  FragmentSet frags(3, 3);
+  frags.add_tree_edge({2, 1, 0.5}, 1);
+  ASSERT_EQ(frags.tree().size(), 1u);
+  // Stored canonically (u < v) regardless of the argument's orientation.
+  EXPECT_EQ(frags.tree()[0].u, 1u);
+  EXPECT_EQ(frags.tree()[0].v, 2u);
+  EXPECT_TRUE(frags.edge_in_tree(1));
+  EXPECT_FALSE(frags.edge_in_tree(0));
+  EXPECT_EQ(frags.tree_adjacency()[1], (std::vector<NodeId>{2}));
+  EXPECT_EQ(frags.tree_adjacency()[2], (std::vector<NodeId>{1}));
+}
+
+TEST(FragmentSet, ViewIsBfsFromTheLeader) {
+  // Path 0-1-2-3 led by node 1: depths fan out from the leader.
+  FragmentSet frags(4, 3);
+  frags.assign_leaders({1, 1, 1, 1});
+  frags.add_tree_edge({0, 1, 1.0}, 0);
+  frags.add_tree_edge({1, 2, 1.0}, 1);
+  frags.add_tree_edge({2, 3, 1.0}, 2);
+  const FragmentView view = frags.view(1);
+  ASSERT_EQ(view.order.size(), 4u);
+  EXPECT_EQ(view.order[0], 1u);
+  EXPECT_EQ(view.parent.at(1), graph::kNoNode);
+  EXPECT_EQ(view.parent.at(0), 1u);
+  EXPECT_EQ(view.parent.at(2), 1u);
+  EXPECT_EQ(view.parent.at(3), 2u);
+  EXPECT_EQ(view.depth.at(3), 2u);
+  EXPECT_EQ(view.max_depth, 2u);
+}
+
+TEST(FragmentSet, MergeDeduplicatesMutualPicksAndElectsCoreEndpoint) {
+  // Fragments {0,1} (leader 0) and {2,3} (leader 2) both choose edge 1-2.
+  const std::vector<graph::Edge> edges = {
+      {0, 1, 0.1}, {1, 2, 0.2}, {2, 3, 0.3}};
+  FragmentSet frags(4, edges.size());
+  frags.assign_leaders({0, 0, 2, 2});
+  frags.add_tree_edge(edges[0], 0);
+  frags.add_tree_edge(edges[2], 2);
+
+  const std::unordered_map<NodeId, Candidate> selected = {
+      {0, Candidate{1, 1, 2}}, {2, Candidate{1, 2, 1}}};
+  std::unordered_set<NodeId> passive;
+  const std::vector<NodeId> changed =
+      frags.merge(selected, passive, /*retain_passive_id=*/true, edges);
+
+  // The mutual pick lands in the forest exactly once.
+  EXPECT_EQ(frags.tree().size(), 3u);
+  EXPECT_TRUE(frags.edge_in_tree(1));
+  EXPECT_EQ(frags.fragment_count(), 1u);
+  // New leader = higher-id endpoint of the core edge (1,2) -> node 2; only
+  // the old fragment of 0 changes identity.
+  EXPECT_EQ(frags.leaders(), (std::vector<NodeId>{2, 2, 2, 2}));
+  EXPECT_EQ(changed, (std::vector<NodeId>{0, 1}));
+}
+
+TEST(FragmentSet, MergeRetainsThePassiveLeader) {
+  // Passive singleton {0} is absorbed by {1,2}; the group keeps id 0.
+  const std::vector<graph::Edge> edges = {{0, 1, 0.1}, {1, 2, 0.2}};
+  FragmentSet frags(3, edges.size());
+  frags.assign_leaders({0, 2, 2});
+  frags.add_tree_edge(edges[1], 1);
+
+  const std::unordered_map<NodeId, Candidate> selected = {
+      {2, Candidate{0, 1, 0}}};
+  std::unordered_set<NodeId> passive = {0};
+  const std::vector<NodeId> changed =
+      frags.merge(selected, passive, /*retain_passive_id=*/true, edges);
+
+  EXPECT_EQ(frags.leaders(), (std::vector<NodeId>{0, 0, 0}));
+  EXPECT_EQ(changed, (std::vector<NodeId>{1, 2}));
+  // Passivity survives under the retained id.
+  EXPECT_EQ(passive, (std::unordered_set<NodeId>{0}));
+}
+
+TEST(FragmentSet, MergeWithoutRetentionUsesTheCoreEdge) {
+  const std::vector<graph::Edge> edges = {{0, 1, 0.1}, {1, 2, 0.2}};
+  FragmentSet frags(3, edges.size());
+  frags.assign_leaders({0, 2, 2});
+  frags.add_tree_edge(edges[1], 1);
+
+  const std::unordered_map<NodeId, Candidate> selected = {
+      {2, Candidate{0, 1, 0}}};
+  std::unordered_set<NodeId> passive = {0};
+  const std::vector<NodeId> changed =
+      frags.merge(selected, passive, /*retain_passive_id=*/false, edges);
+
+  // Core edge (1,0) -> higher endpoint 1 leads; every node changes.
+  EXPECT_EQ(frags.leaders(), (std::vector<NodeId>{1, 1, 1}));
+  EXPECT_EQ(changed, (std::vector<NodeId>{0, 1, 2}));
+  // The merged fragment is still the passive one, under its new name.
+  EXPECT_EQ(passive, (std::unordered_set<NodeId>{1}));
+}
+
+/// Canonical edge list of a 5-node path, plus its index lookup.
+struct PathFixture {
+  std::vector<graph::Edge> edges;
+  [[nodiscard]] std::uint64_t index_of(NodeId u, NodeId v) const {
+    for (std::uint64_t i = 0; i < edges.size(); ++i) {
+      if (edges[i] == graph::Edge{u, v, 0.0}) return i;
+    }
+    ADD_FAILURE() << "unknown edge " << u << "-" << v;
+    return 0;
+  }
+};
+
+TEST(FragmentSet, RepairSplitsAroundDownNodes) {
+  // Path 0-1-2-3-4 all led by 0; node 2 crashes.
+  PathFixture fix;
+  for (NodeId u = 0; u + 1 < 5; ++u) fix.edges.push_back({u, u + 1, 0.1});
+  FragmentSet frags(5, fix.edges.size());
+  frags.assign_leaders({0, 0, 0, 0, 0});
+  for (std::uint64_t i = 0; i < fix.edges.size(); ++i)
+    frags.add_tree_edge(fix.edges[i], i);
+
+  const std::vector<bool> down = {false, false, true, false, false};
+  const std::vector<NodeId> changed = frags.repair(
+      down, [&](NodeId u, NodeId v) { return fix.index_of(u, v); });
+
+  // Edges incident to the crash are gone from the forest.
+  EXPECT_EQ(frags.tree().size(), 2u);
+  EXPECT_FALSE(frags.edge_in_tree(fix.index_of(1, 2)));
+  EXPECT_FALSE(frags.edge_in_tree(fix.index_of(2, 3)));
+  EXPECT_TRUE(frags.edge_in_tree(fix.index_of(0, 1)));
+  // {0,1} keeps the surviving old leader; {3,4} re-elects its minimum live
+  // member; the down node becomes a dormant singleton.
+  EXPECT_EQ(frags.leaders(), (std::vector<NodeId>{0, 0, 2, 3, 3}));
+  // Only LIVE nodes whose identity changed are returned for re-announce.
+  EXPECT_EQ(changed, (std::vector<NodeId>{3, 4}));
+}
+
+TEST(FragmentSet, RepairKeepsAnInteriorLeaderAlive) {
+  // Path 0-1-2 led by the middle node 1; crashing 2 leaves the old leader
+  // inside the surviving component, so nothing live changes identity.
+  PathFixture fix;
+  fix.edges = {{0, 1, 0.1}, {1, 2, 0.2}};
+  FragmentSet frags(3, fix.edges.size());
+  frags.assign_leaders({1, 1, 1});
+  frags.add_tree_edge(fix.edges[0], 0);
+  frags.add_tree_edge(fix.edges[1], 1);
+
+  const std::vector<bool> down = {false, false, true};
+  const std::vector<NodeId> changed = frags.repair(
+      down, [&](NodeId u, NodeId v) { return fix.index_of(u, v); });
+
+  EXPECT_EQ(frags.leaders(), (std::vector<NodeId>{1, 1, 2}));
+  EXPECT_TRUE(changed.empty());
+}
+
+TEST(FragmentCensus, CountsFragmentsAndBillsCensusBits) {
+  // Two 2-node fragments; the census answers each node with its fragment's
+  // size and bills one query + one count per tree edge.
+  const sim::Topology topo(
+      {{0.1, 0.5}, {0.2, 0.5}, {0.6, 0.5}, {0.7, 0.5}}, 0.15);
+  ASSERT_EQ(topo.graph().edge_count(), 2u);
+  const std::vector<NodeId> leader = {0, 0, 2, 2};
+  const std::vector<graph::Edge> tree = {{0, 1, 0.1}, {2, 3, 0.1}};
+  const WireContext ctx =
+      WireContext::for_topology(topo.node_count(), topo.graph().edge_count());
+
+  sim::EnergyMeter meter;
+  const std::vector<std::size_t> sizes =
+      fragment_census(topo, leader, tree, meter, ctx);
+
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{2, 2, 2, 2}));
+  const sim::Accounting totals = meter.totals();
+  // One query down + one count up per tree edge.
+  EXPECT_EQ(totals.unicasts, 4u);
+  EXPECT_EQ(totals.bits,
+            2 * census_query_bits(ctx) + 2 * census_count_bits(ctx));
+}
+
+}  // namespace
+}  // namespace emst::proto
