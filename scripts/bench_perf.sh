@@ -15,6 +15,20 @@
 # /<messages>/<max_extra_delay>. See docs/PERF.md for how to read both files.
 set -euo pipefail
 
+# --allow-debug (anywhere in the args) lets a non-Release build produce a
+# record anyway; the record is then marked `"untracked": true` and the
+# validator refuses it as a tracked artifact. Positional args are unchanged.
+ALLOW_DEBUG=0
+ARGS=()
+for arg in "$@"; do
+  if [ "$arg" = "--allow-debug" ]; then
+    ALLOW_DEBUG=1
+  else
+    ARGS+=("$arg")
+  fi
+done
+set -- "${ARGS[@]:-}"
+
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${1:-$REPO_ROOT/build}"
 OUT="${2:-$REPO_ROOT/BENCH_sim.json}"
@@ -26,10 +40,50 @@ SCALING_OUT="$REPO_ROOT/BENCH_parallel.json"
 for bin in "$BIN" "$SCALING_BIN"; do
   if [ ! -x "$bin" ]; then
     echo "error: $bin not found or not executable — build first:" >&2
-    echo "  cmake -B $BUILD_DIR -S $REPO_ROOT && cmake --build $BUILD_DIR -j" >&2
+    echo "  cmake -B $BUILD_DIR -S $REPO_ROOT -DCMAKE_BUILD_TYPE=Release && cmake --build $BUILD_DIR -j" >&2
     exit 1
   fi
 done
+
+# Tracked records come from Release builds only: a debug-built bench binary
+# measures assertion overhead, not the engine, and one committed record from
+# it poisons the whole perf trajectory. The build type is read from the
+# build tree's own cache, not guessed from the binary.
+BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt" 2>/dev/null || true)"
+BUILD_TYPE_LOWER="$(printf '%s' "$BUILD_TYPE" | tr '[:upper:]' '[:lower:]')"
+UNTRACKED=0
+if [ "$BUILD_TYPE_LOWER" != "release" ]; then
+  if [ "$ALLOW_DEBUG" -ne 1 ]; then
+    echo "error: $BUILD_DIR is configured as '${BUILD_TYPE:-unspecified}', not Release." >&2
+    echo "A tracked BENCH record from a non-Release build is meaningless." >&2
+    echo "Reconfigure with -DCMAKE_BUILD_TYPE=Release, or pass --allow-debug" >&2
+    echo "to produce a record marked \"untracked\": true." >&2
+    exit 1
+  fi
+  UNTRACKED=1
+  echo "warning: non-Release build (${BUILD_TYPE:-unspecified}) — records will be marked untracked" >&2
+fi
+
+# Stamp the record in place with the *repo's* build type (google-benchmark's
+# own `context.library_build_type` reports how the system libbenchmark was
+# compiled, which this repo does not control), plus the untracked marker when
+# the --allow-debug override produced it.
+stamp_record() {
+  python3 - "$1" "$BUILD_TYPE" "$UNTRACKED" <<'EOF'
+import json, sys
+path, build_type, untracked = sys.argv[1], sys.argv[2], sys.argv[3] == "1"
+with open(path, encoding="utf-8") as handle:
+    doc = json.load(handle)
+doc["repo_build_type"] = build_type
+if untracked:
+    doc["untracked"] = True
+with open(path, "w", encoding="utf-8") as handle:
+    json.dump(doc, handle, indent=2)
+    handle.write("\n")
+tag = " (untracked)" if untracked else ""
+print(f"stamped {path} repo_build_type={build_type}{tag}")
+EOF
+}
 
 # Plain-double min_time: the "0.1s" spelling needs a newer google-benchmark
 # than the oldest this repo supports (see reproduce_all.sh).
@@ -40,12 +94,16 @@ done
 
 echo
 echo "wrote $OUT"
+stamp_record "$OUT"
 
 # Schema + self-check validation (shared with reproduce_all.sh and CI): a
 # truncated or silently-failing record committed as the tracked artifact
-# would poison the trajectory.
+# would poison the trajectory. Untracked (debug-build) records pass only
+# with the explicit override.
+VALIDATE_FLAGS=()
+if [ "$UNTRACKED" -eq 1 ]; then VALIDATE_FLAGS+=(--allow-untracked); fi
 if command -v python3 >/dev/null 2>&1; then
-  python3 "$REPO_ROOT/scripts/validate_bench.py" "$OUT"
+  python3 "$REPO_ROOT/scripts/validate_bench.py" ${VALIDATE_FLAGS[@]:+"${VALIDATE_FLAGS[@]}"} "$OUT"
 fi
 
 # Strong scaling of the sharded engine: serial Network vs ShardedNetwork at
@@ -56,8 +114,9 @@ echo
 "$SCALING_BIN" --threads="$THREADS" --json="$SCALING_OUT"
 echo
 echo "wrote $SCALING_OUT"
+stamp_record "$SCALING_OUT"
 if command -v python3 >/dev/null 2>&1; then
-  python3 "$REPO_ROOT/scripts/validate_bench.py" "$SCALING_OUT"
+  python3 "$REPO_ROOT/scripts/validate_bench.py" ${VALIDATE_FLAGS[@]:+"${VALIDATE_FLAGS[@]}"} "$SCALING_OUT"
 fi
 
 # Headline ratio (legacy / calendar) per workload, when python3 is around.

@@ -12,7 +12,10 @@ artifact committed as a tracked record would poison the trajectory the
 repo's BENCH files exist to show.
 
 Known records (matched by filename):
-  BENCH_sim.json        google-benchmark output of bench/perf_sim
+  BENCH_sim.json        google-benchmark output of bench/perf_sim;
+                        `repo_build_type` (stamped by bench_perf.sh) must be
+                        Release — the upstream `context.library_build_type`
+                        describes the system libbenchmark, not this repo
   BENCH_parallel.json   sharded-engine strong scaling; `identical` must be
                         true (the bitwise-determinism contract)
   BENCH_faults.json     loss-sweep energy overhead of ARQ over lossy links
@@ -21,6 +24,14 @@ Known records (matched by filename):
   BENCH_wire.json       max/mean encoded message size vs c*log2(n);
                         `all_within_bound` must be true and every sweep row
                         must respect its bound
+  BENCH_scale.json      memory/scale sweep of the topology backends; every
+                        completed row must carry peak RSS, the n grid must be
+                        strictly increasing per (algo, backend), and where
+                        both backends ran the results must be `identical`
+
+Records carrying `"untracked": true` (produced by a non-Release build via
+the --allow-debug override) are refused unless --allow-untracked is passed:
+they exist for local inspection, never for committing.
 
 Unknown BENCH files fail loudly: add a schema here when adding a record.
 Exit status 0 iff every file passes. Standard library only.
@@ -45,7 +56,14 @@ def require(path: str, record: dict, fields: tuple[str, ...],
 
 
 def check_sim(path: str, doc: dict) -> str:
-    require(path, doc, ("context", "benchmarks"))
+    require(path, doc, ("context", "benchmarks", "repo_build_type"))
+    # google-benchmark's own context.library_build_type describes the system
+    # libbenchmark, not this repo; bench_perf.sh stamps the build type that
+    # actually matters. Only the --allow-debug override may be non-Release.
+    if doc["repo_build_type"].lower() != "release" \
+            and doc.get("untracked") is not True:
+        fail(path, f"repo_build_type {doc['repo_build_type']!r} is not "
+                   "Release and the record is not marked untracked")
     benches = doc["benchmarks"]
     if not benches:
         fail(path, "no benchmark entries")
@@ -129,16 +147,60 @@ def check_wire(path: str, doc: dict) -> str:
     return f"{len(doc['sweep'])} deployment sizes x {algos} records in bound"
 
 
+def check_scale(path: str, doc: dict) -> str:
+    require(path, doc, ("bench", "build_type", "seed", "mem_budget_bytes",
+                        "identical", "rows"))
+    if doc["identical"] is not True:
+        fail(path, "the two topology backends diverged (identical != true) "
+                   "— this record must never be committed")
+    rows = doc["rows"]
+    if not rows:
+        fail(path, "no sweep rows")
+    completed = 0
+    grids: dict[tuple[str, str], list[int]] = {}
+    for row in rows:
+        require(path, row, ("algo", "backend", "n", "status"),
+                where="sweep row")
+        where = f"{row['algo']}/{row['backend']} n={row['n']}"
+        grids.setdefault((row["algo"], row["backend"]), []).append(row["n"])
+        if row["status"] == "ok":
+            # peak_rss_bytes is the record's reason to exist: a completed
+            # row without it is a broken measurement, not a smaller one.
+            require(path, row, ("wall_ms", "peak_rss_bytes", "energy",
+                                "tree_edges"), where=where)
+            if row["peak_rss_bytes"] <= 0:
+                fail(path, f"{where}: peak_rss_bytes must be positive")
+            if row["wall_ms"] <= 0:
+                fail(path, f"{where}: wall_ms must be positive")
+            completed += 1
+        elif row["status"] == "skipped":
+            require(path, row, ("projected_bytes",), where=where)
+            if row["projected_bytes"] <= doc["mem_budget_bytes"]:
+                fail(path, f"{where}: skipped but projected_bytes within "
+                           "budget — the skip is unjustified")
+        else:
+            fail(path, f"{where}: status {row['status']!r} — a failed run "
+                       "must never be committed as a tracked record")
+    if completed == 0:
+        fail(path, "no completed rows")
+    for (algo, backend), ns in grids.items():
+        if any(b <= a for a, b in zip(ns, ns[1:])):
+            fail(path, f"{algo}/{backend}: n grid {ns} is not strictly "
+                       "increasing")
+    return f"{len(rows)} rows ({completed} completed), backends identical"
+
+
 CHECKS = {
     "BENCH_sim.json": check_sim,
     "BENCH_parallel.json": check_parallel,
     "BENCH_faults.json": check_faults,
     "BENCH_telemetry.json": check_telemetry,
     "BENCH_wire.json": check_wire,
+    "BENCH_scale.json": check_scale,
 }
 
 
-def check_file(path: str) -> None:
+def check_file(path: str, allow_untracked: bool = False) -> None:
     name = os.path.basename(path)
     if name not in CHECKS:
         fail(path, f"no schema registered for {name!r} — add one to "
@@ -150,16 +212,24 @@ def check_file(path: str) -> None:
         fail(path, f"not readable JSON: {err}")
     if not isinstance(doc, dict):
         fail(path, "top-level JSON value is not an object")
+    if doc.get("untracked") is True and not allow_untracked:
+        fail(path, "record is marked \"untracked\": true (non-Release "
+                   "build) — it must not be committed as a tracked record; "
+                   "pass --allow-untracked to inspect it anyway")
     detail = CHECKS[name](path, doc)
-    print(f"{path}: ok — {detail}")
+    tag = " [UNTRACKED]" if doc.get("untracked") is True else ""
+    print(f"{path}: ok{tag} — {detail}")
 
 
 def main(argv: list[str]) -> int:
-    if len(argv) < 2:
+    args = argv[1:]
+    allow_untracked = "--allow-untracked" in args
+    paths = [a for a in args if a != "--allow-untracked"]
+    if not paths:
         print(__doc__, file=sys.stderr)
         return 2
-    for path in argv[1:]:
-        check_file(path)
+    for path in paths:
+        check_file(path, allow_untracked)
     return 0
 
 

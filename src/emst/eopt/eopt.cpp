@@ -16,7 +16,16 @@ sim::Topology eopt_topology(std::vector<geometry::Point2> points,
   return sim::Topology(std::move(points), r2);
 }
 
-EoptResult run_eopt(const sim::Topology& topo, const EoptOptions& options,
+sim::ImplicitTopology eopt_implicit_topology(
+    std::vector<geometry::Point2> points, const EoptOptions& options) {
+  const std::size_t n = points.size();
+  EMST_ASSERT(n >= 2);
+  const double r2 = rgg::connectivity_radius(n, options.step2_factor);
+  return sim::ImplicitTopology(std::move(points), r2);
+}
+
+template <typename Topo>
+EoptResult run_eopt(const Topo& topo, const EoptOptions& options,
                     const ghs::FragmentForest* seed) {
   const std::size_t n = topo.node_count();
   EMST_ASSERT(n >= 2);
@@ -140,5 +149,12 @@ EoptResult run_eopt(const sim::Topology& topo, const EoptOptions& options,
     result.run.per_node_energy = result.per_node_energy;
   return result;
 }
+
+template EoptResult run_eopt<sim::Topology>(const sim::Topology&,
+                                            const EoptOptions&,
+                                            const ghs::FragmentForest*);
+template EoptResult run_eopt<sim::ImplicitTopology>(const sim::ImplicitTopology&,
+                                                    const EoptOptions&,
+                                                    const ghs::FragmentForest*);
 
 }  // namespace emst::eopt

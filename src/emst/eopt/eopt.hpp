@@ -29,6 +29,7 @@
 #include "emst/geometry/pathloss.hpp"
 #include "emst/ghs/common.hpp"
 #include "emst/ghs/sync.hpp"
+#include "emst/sim/implicit_topology.hpp"
 
 namespace emst::eopt {
 
@@ -94,7 +95,7 @@ struct EoptResult {
 };
 
 /// Run EOPT on a topology whose max radius is ≥ r₂ (build it with
-/// `eopt_topology`, which uses exactly r₂).
+/// `eopt_topology` or `eopt_implicit_topology`, which use exactly r₂).
 ///
 /// `seed` (optional) starts Step 1 from an existing fragment forest instead
 /// of singletons — the *repair* use case: after node failures, feed the
@@ -102,7 +103,14 @@ struct EoptResult {
 /// MST, still exploiting the cheap percolation-radius regime. The seed must
 /// be a subset of the target MST (surviving MST edges always are, by the
 /// cycle property).
-[[nodiscard]] EoptResult run_eopt(const sim::Topology& topo,
+///
+/// Templated over the topology backend (`sim::Topology` or
+/// `sim::ImplicitTopology`; defined in eopt.cpp, explicitly instantiated
+/// for both). The implicit backend is the ten-million-node path: EOPT's
+/// per-node state is O(n), so peak memory is the points plus the grid
+/// (docs/PERF.md).
+template <typename Topo>
+[[nodiscard]] EoptResult run_eopt(const Topo& topo,
                                   const EoptOptions& options = {},
                                   const ghs::FragmentForest* seed = nullptr);
 
@@ -110,5 +118,10 @@ struct EoptResult {
 /// r₂ = step2_factor·√(ln n / n).
 [[nodiscard]] sim::Topology eopt_topology(std::vector<geometry::Point2> points,
                                           const EoptOptions& options = {});
+
+/// The memory-lean variant: same r₂, but neighbourhoods are regenerated on
+/// demand from the cell grid instead of materialized into a CSR.
+[[nodiscard]] sim::ImplicitTopology eopt_implicit_topology(
+    std::vector<geometry::Point2> points, const EoptOptions& options = {});
 
 }  // namespace emst::eopt

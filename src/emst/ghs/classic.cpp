@@ -5,6 +5,7 @@
 #include <variant>
 
 #include "emst/sim/engine_factory.hpp"
+#include "emst/sim/implicit_topology.hpp"
 #include "emst/sim/network.hpp"
 #include "emst/sim/reference_network.hpp"
 #include "emst/sim/sharded_network.hpp"
@@ -61,11 +62,14 @@ struct NodeCtx {
 /// The protocol driver, templated on the network engine so the calendar-
 /// queue `sim::Network` and the `sim::ReferenceNetwork` oracle execute the
 /// EXACT same protocol code — any divergence (accounting, telemetry stream,
-/// tree) is an engine bug, not a driver difference.
-template <typename Engine>
+/// tree) is an engine bug, not a driver difference. Also templated on the
+/// topology backend: fragment names are canonical edge indices, which the
+/// implicit backend serves from its edge-rank table (built up front by
+/// `prepare_edge_indices`), so the wire traffic is identical either way.
+template <typename Engine, typename Topo>
 class ClassicGhsRun {
  public:
-  ClassicGhsRun(const sim::Topology& topo, const ClassicGhsOptions& options)
+  ClassicGhsRun(const Topo& topo, const ClassicGhsOptions& options)
       : topo_(topo),
         radius_(options.radius > 0.0 ? options.radius : topo.max_radius()),
         moe_(options.moe),
@@ -82,10 +86,14 @@ class ClassicGhsRun {
                       ? options.max_rounds
                       : (50 * topo.node_count() + 1000) *
                             (options.delays.max_extra_delay + 1);
+    // Fragment names are edge indices: the materialized backend carries
+    // them natively, the implicit one builds its rank table now (no-op for
+    // sim::Topology).
+    prepare_edge_indices(topo_);
     // Codec hook: the engine measures every message through the proto wire
     // format once the field widths are derived from the topology.
     net_.wire_format().ctx = proto::WireContext::for_topology(
-        topo.node_count(), topo.graph().edges().size());
+        topo.node_count(), topo.edge_count());
     if (options.track_per_node_energy)
       net_.meter().enable_per_node(topo.node_count());
     if (options.record_breakdown) net_.meter().enable_breakdown();
@@ -352,21 +360,26 @@ class ClassicGhsRun {
 
   MstRunResult harvest() {
     MstRunResult result;
-    const auto& edges = topo_.graph().edges();
-    std::vector<bool> in_tree(edges.size(), false);
     std::uint32_t max_level = 0;
+    // Collect Branch slots as endpoint edges: a tree edge appears once per
+    // endpoint that marked it Branch (usually both), so sort canonically
+    // and drop adjacent endpoint duplicates — no global edge list needed.
     for (NodeId u = 0; u < topo_.node_count(); ++u) {
       const NodeCtx& n = nodes_[u];
       max_level = std::max(max_level, n.level);
       const auto nbs = neighbors(u);
       for (std::size_t i = 0; i < n.edge_state.size(); ++i) {
-        if (n.edge_state[i] == EdgeState::kBranch) in_tree[nbs[i].edge_index] = true;
+        if (n.edge_state[i] != EdgeState::kBranch) continue;
+        result.tree.push_back(graph::Edge{u, nbs[i].id, nbs[i].w}.canonical());
       }
     }
-    for (std::size_t e = 0; e < edges.size(); ++e) {
-      if (in_tree[e]) result.tree.push_back(edges[e].canonical());
-    }
     graph::sort_edges(result.tree);
+    result.tree.erase(
+        std::unique(result.tree.begin(), result.tree.end(),
+                    [](const graph::Edge& a, const graph::Edge& b) {
+                      return a.u == b.u && a.v == b.v;
+                    }),
+        result.tree.end());
     result.totals = net_.meter().totals();
     result.phases = max_level;
     result.fragments = topo_.node_count() - result.tree.size();
@@ -380,7 +393,7 @@ class ClassicGhsRun {
     return result;
   }
 
-  const sim::Topology& topo_;
+  const Topo& topo_;
   double radius_;
   MoeStrategy moe_;
   Engine net_;
@@ -393,15 +406,24 @@ class ClassicGhsRun {
 
 }  // namespace
 
-MstRunResult run_classic_ghs(const sim::Topology& topo,
+template <typename Topo>
+MstRunResult run_classic_ghs(const Topo& topo,
                              const ClassicGhsOptions& options) {
   if (options.use_reference_engine) {
-    return ClassicGhsRun<sim::ReferenceNetwork<GhsMsg>>(topo, options).run();
+    return ClassicGhsRun<sim::ReferenceNetwork<GhsMsg, Topo>, Topo>(topo,
+                                                                    options)
+        .run();
   }
   if (options.threads > 1) {
-    return ClassicGhsRun<sim::ShardedNetwork<GhsMsg>>(topo, options).run();
+    return ClassicGhsRun<sim::ShardedNetwork<GhsMsg, Topo>, Topo>(topo, options)
+        .run();
   }
-  return ClassicGhsRun<sim::Network<GhsMsg>>(topo, options).run();
+  return ClassicGhsRun<sim::Network<GhsMsg, Topo>, Topo>(topo, options).run();
 }
+
+template MstRunResult run_classic_ghs<sim::Topology>(const sim::Topology&,
+                                                     const ClassicGhsOptions&);
+template MstRunResult run_classic_ghs<sim::ImplicitTopology>(
+    const sim::ImplicitTopology&, const ClassicGhsOptions&);
 
 }  // namespace emst::ghs

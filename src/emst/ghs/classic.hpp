@@ -68,7 +68,15 @@ struct ClassicGhsOptions : sim::RunConfig {
 /// Run classical GHS on `topo`. On a disconnected visibility graph, each
 /// component (with a spontaneous starter) computes its own MST; with the
 /// default wake-everyone setting the result is the minimum spanning forest.
-[[nodiscard]] MstRunResult run_classic_ghs(const sim::Topology& topo,
+///
+/// Templated over the topology backend (`sim::Topology` or
+/// `sim::ImplicitTopology`; defined in classic.cpp, explicitly instantiated
+/// for both). The protocol names fragments by canonical edge index, so the
+/// implicit backend materialises its edge-rank table on first use
+/// (`prepare_edge_indices`) — classic GHS keeps its Θ(m) identity on either
+/// backend; the memory-lean path is the modified/EOPT family.
+template <typename Topo>
+[[nodiscard]] MstRunResult run_classic_ghs(const Topo& topo,
                                            const ClassicGhsOptions& options = {});
 
 }  // namespace emst::ghs

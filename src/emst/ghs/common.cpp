@@ -1,54 +1,5 @@
 #include "emst/ghs/common.hpp"
 
-#include <algorithm>
-#include <unordered_set>
-
-#include "emst/support/assert.hpp"
-
-namespace emst::ghs {
-
-std::span<const graph::Neighbor> neighbors_within(const sim::Topology& topo,
-                                                  NodeId u, double radius) {
-  const auto all = topo.neighbors(u);
-  // Neighbors are sorted by weight; find the first strictly beyond radius.
-  const auto end = std::upper_bound(
-      all.begin(), all.end(), radius,
-      [](double r, const graph::Neighbor& nb) { return r < nb.w; });
-  return all.first(static_cast<std::size_t>(end - all.begin()));
-}
-
-std::size_t distinct_pairs_used(const sim::Topology& topo, const TxLog& log) {
-  std::unordered_set<std::uint64_t> pairs;
-  auto key = [](NodeId a, NodeId b) {
-    if (a > b) std::swap(a, b);
-    return (static_cast<std::uint64_t>(a) << 32) | b;
-  };
-  for (const TxBatch& batch : log) {
-    for (const TxRecord& record : batch) {
-      if (record.is_broadcast) {
-        for (const graph::Neighbor& nb :
-             neighbors_within(topo, record.from, record.power_radius)) {
-          pairs.insert(key(record.from, nb.id));
-        }
-      } else {
-        pairs.insert(key(record.from, record.to));
-      }
-    }
-  }
-  return pairs.size();
-}
-
-std::size_t neighbor_slot(const sim::Topology& topo, NodeId u, NodeId v) {
-  const auto all = topo.neighbors(u);
-  const double w = topo.distance(u, v);
-  // Find the first neighbor with weight >= w, then scan the (tiny) run of
-  // equal weights for the id.
-  auto it = std::lower_bound(
-      all.begin(), all.end(), w,
-      [](const graph::Neighbor& nb, double r) { return nb.w < r; });
-  while (it != all.end() && it->id != v) ++it;
-  EMST_ASSERT_MSG(it != all.end(), "neighbor_slot: (u,v) is not a topology edge");
-  return static_cast<std::size_t>(it - all.begin());
-}
-
-}  // namespace emst::ghs
+// The neighbor helpers moved into the header as templates over the topology
+// backend (materialized vs implicit); this TU remains so the build target's
+// source list stays stable.

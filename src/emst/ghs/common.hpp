@@ -8,10 +8,12 @@
 // comparison with Kruskal.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <limits>
 #include <span>
+#include <unordered_set>
 #include <vector>
 
 #include "emst/graph/edge.hpp"
@@ -20,6 +22,7 @@
 #include "emst/sim/meter.hpp"
 #include "emst/sim/telemetry.hpp"
 #include "emst/sim/topology.hpp"
+#include "emst/support/assert.hpp"
 
 namespace emst::ghs {
 
@@ -104,14 +107,32 @@ struct MstRunResult {
   }
 };
 
-/// Neighbors of u within `radius`, ascending (weight, id) — the prefix of the
-/// topology's sorted neighbor span (the paper's adaptive power control).
+/// Neighbors of u within `radius`, ascending (weight, id) — the paper's
+/// adaptive power control. Delegates to the backend: the materialized
+/// topology returns the weight-bounded prefix of its sorted neighbor span,
+/// the implicit one regenerates the filtered neighbourhood (span into
+/// thread-local scratch — same lifetime rules as Topo::neighbors_within).
+template <typename Topo>
 [[nodiscard]] std::span<const graph::Neighbor> neighbors_within(
-    const sim::Topology& topo, NodeId u, double radius);
+    const Topo& topo, NodeId u, double radius) {
+  return topo.neighbors_within(u, radius);
+}
 
 /// Position of neighbor v in u's sorted neighbor span (binary search by
 /// (weight, id)). Aborts if (u,v) is not an edge of the topology.
-[[nodiscard]] std::size_t neighbor_slot(const sim::Topology& topo, NodeId u, NodeId v);
+template <typename Topo>
+[[nodiscard]] std::size_t neighbor_slot(const Topo& topo, NodeId u, NodeId v) {
+  const auto all = topo.neighbors(u);
+  const double w = topo.distance(u, v);
+  // Find the first neighbor with weight >= w, then scan the (tiny) run of
+  // equal weights for the id.
+  auto it = std::lower_bound(
+      all.begin(), all.end(), w,
+      [](const graph::Neighbor& nb, double r) { return nb.w < r; });
+  while (it != all.end() && it->id != v) ++it;
+  EMST_ASSERT_MSG(it != all.end(), "neighbor_slot: (u,v) is not a topology edge");
+  return static_cast<std::size_t>(it - all.begin());
+}
 
 /// Count the DISTINCT undirected communication pairs a transmission log
 /// exercises (a broadcast contributes one pair per receiver within its power
@@ -119,7 +140,27 @@ struct MstRunResult {
 /// bounds: any spanning-tree / leader-election algorithm must use
 /// Ω(n log n) distinct edges, which Lemma 4.1 then converts into Ω(log n)
 /// energy.
-[[nodiscard]] std::size_t distinct_pairs_used(const sim::Topology& topo,
-                                              const TxLog& log);
+template <typename Topo>
+[[nodiscard]] std::size_t distinct_pairs_used(const Topo& topo,
+                                              const TxLog& log) {
+  std::unordered_set<std::uint64_t> pairs;
+  auto key = [](NodeId a, NodeId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  };
+  for (const TxBatch& batch : log) {
+    for (const TxRecord& record : batch) {
+      if (record.is_broadcast) {
+        for (const graph::Neighbor& nb :
+             neighbors_within(topo, record.from, record.power_radius)) {
+          pairs.insert(key(record.from, nb.id));
+        }
+      } else {
+        pairs.insert(key(record.from, record.to));
+      }
+    }
+  }
+  return pairs.size();
+}
 
 }  // namespace emst::ghs

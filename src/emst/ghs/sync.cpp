@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "emst/proto/fragment.hpp"
+#include "emst/sim/implicit_topology.hpp"
 #include "emst/support/assert.hpp"
 #include "emst/support/parallel.hpp"
 
@@ -14,12 +18,27 @@ namespace emst::ghs {
 namespace {
 
 constexpr NodeId kNone = graph::kNoNode;
+constexpr std::uint32_t kNoSlot = static_cast<std::uint32_t>(-1);
 
 /// Driver for one phase-synchronous GHS run. The protocol choreography is
 /// deterministic, so the driver walks fragment trees itself and charges the
 /// meter for every message the distributed execution would send; the only
 /// state a node may consult is state the message flow actually delivered to
 /// it (its own fragment id, its neighbor cache, probe replies).
+///
+/// Templated over the topology backend: the engine only asks for
+/// neighbourhoods (`neighbors_within`), distances and counts, all of which
+/// both the materialized and the implicit topology serve in the same
+/// canonical order — so both backends produce bitwise-identical runs.
+///
+/// Memory model (docs/PERF.md): per-node state is sparse, per the paper's
+/// modified GHS. The fault-free cached flavour holds only the fragment
+/// leader array — a complete, current neighbor cache is semantically
+/// identical to "look up the neighbour's leader", so the cache itself is
+/// never materialised. The explicit per-node cache maps exist only under
+/// faults (where entries can go stale) and the per-node rejected sets only
+/// in probe mode. Nothing in the engine is Θ(m) or indexed by a global
+/// edge list.
 ///
 /// Fault mode (docs/ROBUSTNESS.md): every driver unicast becomes a
 /// stop-and-wait ARQ session (sim::ArqLink), so the meter pays for every
@@ -28,9 +47,10 @@ constexpr NodeId kNone = graph::kNoNode;
 /// the phase rather than commit to partial information. Crash repair runs
 /// at phase boundaries. With faults and ARQ both off, every branch below
 /// reduces to the fault-free engine — byte-identical energy and rounds.
+template <typename Topo>
 class SyncGhsEngine {
  public:
-  SyncGhsEngine(const sim::Topology& topo, const SyncGhsOptions& options,
+  SyncGhsEngine(const Topo& topo, const SyncGhsOptions& options,
                 const std::optional<FragmentForest>& seed,
                 sim::EnergyMeter* external_meter)
       : topo_(topo),
@@ -47,24 +67,26 @@ class SyncGhsEngine {
         link_(fault_, options.arq),
         faulty_(fault_->enabled() || options.arq.enabled),
         start_fault_stats_(fault_->stats()),
-        frags_(topo.node_count(), topo.graph().edge_count()) {
+        frags_(topo.node_count()) {
     EMST_ASSERT(radius_ <= topo_.max_radius() * (1.0 + 1e-12));
     const std::size_t n = topo_.node_count();
-    cache_.assign(n, {});
-    rejected_.assign(topo_.graph().edge_count(), false);
-    was_crashed_.assign(n, false);
+    // Sparse per-node state: the explicit cache only under faults (stale
+    // entries are then possible, so it carries real information), the
+    // rejected sets only in probe mode.
+    if (faulty_ && opts_.neighbor_cache) cache_.assign(n, {});
+    if (!opts_.neighbor_cache) rejected_.assign(n, {});
+    if (fault_->enabled()) was_crashed_.assign(n, false);
     if (seed) {
       EMST_ASSERT(seed->leader.size() == n);
       frags_.assign_leaders(seed->leader);
-      for (const graph::Edge& e : seed->tree)
-        frags_.add_tree_edge(e, edge_index_of(e.u, e.v));
+      for (const graph::Edge& e : seed->tree) frags_.add_tree_edge(e);
     }
     for (NodeId p : opts_.passive_fragments) passive_.insert(p);
     // Wire sizing: this driver names fragments by leader id, so fragment
     // fields are id-width; the choreographed charges bill each message type
     // at its worst-case encoded size (a real transmitter cannot shrink a
     // frame it has not built yet).
-    wire_ctx_ = proto::WireContext::for_topology(n, topo.graph().edge_count());
+    wire_ctx_ = proto::WireContext::for_topology(n, topo.edge_count());
     wire_ctx_.frag_bits = wire_ctx_.id_bits;
     for (std::size_t t = 0; t < type_bits_.size(); ++t)
       type_bits_[t] =
@@ -147,12 +169,16 @@ class SyncGhsEngine {
     bool conclusive = true;
   };
 
+  /// BFS order of one fragment (order[0] = leader) plus its depth; parents
+  /// live in the engine-wide flat `parent_` array (fragments are disjoint
+  /// node sets, so the array is shared without conflicts).
+  struct FlatView {
+    std::vector<NodeId> order;
+    std::size_t max_depth = 0;
+  };
+
   [[nodiscard]] std::uint32_t bits_of(GhsMsgType type) const noexcept {
     return type_bits_[static_cast<std::size_t>(type)];
-  }
-
-  [[nodiscard]] EdgeIndex edge_index_of(NodeId u, NodeId v) const {
-    return topo_.neighbors(u)[neighbor_slot(topo_, u, v)].edge_index;
   }
 
   /// Advance simulated time on the meter AND the fault clock together.
@@ -205,7 +231,9 @@ class SyncGhsEngine {
   /// energy (neighbours are sorted ascending, so .back() is the farthest).
   /// Announcements carry NO ARQ (they are broadcasts): in fault mode each
   /// receiver independently draws a channel fate, and missed updates are
-  /// repaired lazily by the reliable TEST path in local_moe.
+  /// repaired lazily by the reliable TEST path in local_moe. Fault-free
+  /// runs skip the receiver bookkeeping entirely (the leader array already
+  /// holds what a complete cache would) — the charges are identical.
   void announce(NodeId u) {
     meter_.set_kind(sim::MsgKind::kAnnounce);
     meter_.set_fragment(frags_.leader(u));
@@ -225,20 +253,22 @@ class SyncGhsEngine {
     if (opts_.transmission_log != nullptr) {
       batch_.push_back({u, u, power, true});
     }
-    for (const graph::Neighbor& nb : receivers) {
-      if (fault_->enabled()) {
-        if (fault_->drop(u, nb.id)) {
-          ++fault_->stats().lost;
-          meter_.note_event(sim::EventType::kLoss, u, nb.id, nb.w);
-          continue;
+    if (!cache_.empty()) {
+      for (const graph::Neighbor& nb : receivers) {
+        if (fault_->enabled()) {
+          if (fault_->drop(u, nb.id)) {
+            ++fault_->stats().lost;
+            meter_.note_event(sim::EventType::kLoss, u, nb.id, nb.w);
+            continue;
+          }
+          if (fault_->crashed(nb.id)) {
+            ++fault_->stats().dropped_crashed;
+            meter_.note_event(sim::EventType::kCrashDrop, u, nb.id, nb.w);
+            continue;
+          }
         }
-        if (fault_->crashed(nb.id)) {
-          ++fault_->stats().dropped_crashed;
-          meter_.note_event(sim::EventType::kCrashDrop, u, nb.id, nb.w);
-          continue;
-        }
+        cache_[nb.id][u] = frags_.leader(u);
       }
-      cache_[nb.id][u] = frags_.leader(u);
     }
     meter_.clear_bits();
   }
@@ -277,6 +307,12 @@ class SyncGhsEngine {
   /// by cache lookup (modified) or TEST probing (classic). Probing charges
   /// 2 messages per probe and permanently rejects intra-fragment edges.
   ///
+  /// Fault-free cached mode consults the fragment-leader array directly: a
+  /// complete, current cache entry for v is by definition v's leader (every
+  /// id change re-announces before the next scan), so the lookup answers —
+  /// and the messages charged (none) — are identical to a materialised
+  /// cache without storing Θ(n·deg) state.
+  ///
   /// Fault mode: a cached id EQUAL to our own is trusted even if stale
   /// (between repairs fragments only merge, and repairs re-announce, so the
   /// containment argument applies — docs/ROBUSTNESS.md). A missing or
@@ -289,14 +325,14 @@ class SyncGhsEngine {
     MoeScan scan;
     for (const graph::Neighbor& nb : neighbors_within(topo_, u, radius_)) {
       if (opts_.neighbor_cache) {
-        const auto it = cache_[u].find(nb.id);
         if (!faulty_) {
-          EMST_ASSERT_MSG(it != cache_[u].end(),
+          EMST_ASSERT_MSG(opts_.announce_initial,
                           "modified GHS: neighbor cache must be complete");
-          if (it->second == frags_.leader(u)) continue;
-          scan.best = {nb.edge_index, u, nb.id};
+          if (frags_.leader(nb.id) == frags_.leader(u)) continue;
+          scan.best = {nb.w, u, nb.id};
           break;  // neighbors ascend by weight: first hit is the minimum
         }
+        const auto it = cache_[u].find(nb.id);
         if (it != cache_[u].end() && it->second == frags_.leader(u)) continue;
         if (fault_->crashed_forever(nb.id)) continue;
         ++probes;
@@ -315,11 +351,11 @@ class SyncGhsEngine {
         cache_[u][nb.id] = frags_.leader(nb.id);
         cache_[nb.id][u] = frags_.leader(u);
         if (frags_.leader(nb.id) == frags_.leader(u)) continue;
-        scan.best = {nb.edge_index, u, nb.id};
+        scan.best = {nb.w, u, nb.id};
         break;
       }
       // Classic probing: skip branch (tree) and rejected edges, TEST the rest.
-      if (frags_.edge_in_tree(nb.edge_index) || rejected_[nb.edge_index])
+      if (frags_.edge_in_tree(u, nb.id) || rejected_[u].count(nb.id) > 0)
         continue;
       if (faulty_ && fault_->crashed_forever(nb.id)) continue;
       const bool test_ok =
@@ -335,10 +371,12 @@ class SyncGhsEngine {
         break;
       }
       if (frags_.leader(nb.id) == frags_.leader(u)) {
-        rejected_[nb.edge_index] = true;
+        // Rejection is per undirected edge: both endpoints skip it forever.
+        rejected_[u].insert(nb.id);
+        rejected_[nb.id].insert(u);
         continue;
       }
-      scan.best = {nb.edge_index, u, nb.id};
+      scan.best = {nb.w, u, nb.id};
       break;
     }
     return scan;
@@ -366,13 +404,11 @@ class SyncGhsEngine {
     std::vector<NodeId> reannounce;
     if (any_down_new) {
       // Tree surgery + leader re-election is shared protocol bookkeeping.
-      reannounce = frags_.repair(
-          was_crashed_,
-          [this](NodeId u, NodeId v) { return edge_index_of(u, v); });
+      reannounce = frags_.repair(was_crashed_);
       // Fragment membership changed: finished flags and probe rejections
       // may no longer hold, and a dead giant loses its passivity.
       finished_.clear();
-      std::fill(rejected_.begin(), rejected_.end(), false);
+      for (auto& r : rejected_) r.clear();
       for (auto it = passive_.begin(); it != passive_.end();) {
         if (was_crashed_[*it]) {
           it = passive_.erase(it);
@@ -384,7 +420,7 @@ class SyncGhsEngine {
     for (NodeId u : recovered) {
       // A rebooted node knows it rebooted: wipe its stale cache and
       // re-introduce itself (it is its own singleton fragment).
-      cache_[u].clear();
+      if (!cache_.empty()) cache_[u].clear();
       reannounce.push_back(u);
     }
     if (opts_.neighbor_cache && !reannounce.empty()) {
@@ -397,19 +433,59 @@ class SyncGhsEngine {
     }
   }
 
+  /// BFS one fragment's tree into `view` (level-synchronous, which equals
+  /// queue order) and record parents in the flat array. A tree needs no
+  /// visited set: from u, every tree neighbor except parent_[u] is an
+  /// undiscovered child.
+  void build_view(NodeId leader, FlatView& view) {
+    view.order.clear();
+    view.max_depth = 0;
+    parent_[leader] = kNone;
+    view.order.push_back(leader);
+    const auto& adj = frags_.tree_adjacency();
+    std::size_t level_begin = 0;
+    while (level_begin < view.order.size()) {
+      const std::size_t level_end = view.order.size();
+      for (std::size_t i = level_begin; i < level_end; ++i) {
+        const NodeId u = view.order[i];
+        for (const NodeId v : adj[u]) {
+          if (v == parent_[u]) continue;
+          parent_[v] = u;
+          view.order.push_back(v);
+        }
+      }
+      if (view.order.size() > level_end) ++view.max_depth;
+      level_begin = level_end;
+    }
+  }
+
   /// Execute one phase. Returns false when the run is complete (every
   /// fragment finished, passive, or — under faults — permanently dead).
   bool run_phase() {
     if (faulty_) repair_crashes();
 
-    // Group members by fragment leader.
-    std::unordered_map<NodeId, std::vector<NodeId>> members;
-    for (NodeId u = 0; u < topo_.node_count(); ++u)
-      members[frags_.leader(u)].push_back(u);
+    const std::size_t n = topo_.node_count();
+    // Group members by fragment leader, fragments ordered by their minimum
+    // member id (first occurrence in a node-id scan): deterministic across
+    // runs and across topology backends — the per-fragment charge order
+    // below follows this grouping.
+    leaders_.clear();
+    member_slot_.assign(n, kNoSlot);
+    for (NodeId u = 0; u < n; ++u) {
+      const NodeId l = frags_.leader(u);
+      if (member_slot_[l] == kNoSlot) {
+        member_slot_[l] = static_cast<std::uint32_t>(leaders_.size());
+        leaders_.push_back(l);
+      }
+    }
+    if (members_.size() < leaders_.size()) members_.resize(leaders_.size());
+    for (std::size_t i = 0; i < leaders_.size(); ++i) members_[i].clear();
+    for (NodeId u = 0; u < n; ++u)
+      members_[member_slot_[frags_.leader(u)]].push_back(u);
 
     // Active fragments select their MOEs. When logging, the phase's
     // messages group into four concurrency waves across all fragments.
-    std::unordered_map<NodeId, Candidate> selected;
+    std::vector<std::pair<NodeId, Candidate>> selected;
     TxBatch initiate_wave;
     TxBatch probe_wave;
     TxBatch report_wave;
@@ -417,28 +493,30 @@ class SyncGhsEngine {
     std::size_t max_depth = 0;
     std::size_t max_probes = 0;
     phase_extra_rounds_ = 0;
-    // Collect the phase's active fragments first (in `members` order, so
-    // nothing observable changes), then build all fragment views in
-    // parallel when the run asks for threads: the BFS reads only tree_adj_
-    // and each task writes its own slot, so every charge below still
-    // happens in the exact single-threaded order.
+    // Collect the phase's active fragments first, then build all fragment
+    // views in parallel when the run asks for threads: the BFS reads only
+    // the tree adjacency and each task writes its own order vector plus
+    // disjoint parent_ entries, so every charge below still happens in the
+    // exact single-threaded order.
     std::vector<std::pair<NodeId, const std::vector<NodeId>*>> active;
-    for (const auto& [leader, nodes] : members) {
+    for (std::size_t i = 0; i < leaders_.size(); ++i) {
+      const NodeId leader = leaders_[i];
       if (passive_.count(leader) > 0 || finished_.count(leader) > 0) continue;
       // Crashed nodes sit out as dormant singletons until they recover
       // (repair guarantees multi-node fragments start each phase all-alive).
       if (faulty_ && fault_->crashed(leader)) continue;
-      active.emplace_back(leader, &nodes);
+      active.emplace_back(leader, &members_[i]);
     }
-    std::vector<proto::FragmentView> views(active.size());
+    if (parent_.size() < n) parent_.assign(n, kNone);
+    std::vector<FlatView> views(active.size());
     support::parallel_for(
         active.size(),
-        [&](std::size_t i) { views[i] = frags_.view(active[i].first); },
+        [&](std::size_t i) { build_view(active[i].first, views[i]); },
         opts_.threads > 1 ? opts_.threads : 1);
     for (std::size_t ai = 0; ai < active.size(); ++ai) {
       const NodeId leader = active[ai].first;
       const std::vector<NodeId>& nodes = *active[ai].second;
-      const proto::FragmentView& view = views[ai];
+      const FlatView& view = views[ai];
       EMST_ASSERT_MSG(view.order.size() == nodes.size(),
                       "fragment tree must span exactly the fragment members");
       max_depth = std::max(max_depth, view.max_depth);
@@ -451,7 +529,7 @@ class SyncGhsEngine {
       std::unordered_set<NodeId> reached;
       if (faulty_) reached.insert(leader);
       for (NodeId v : view.order) {
-        const NodeId p = view.parent.at(v);
+        const NodeId p = parent_[v];
         if (p == kNone) continue;
         if (!faulty_) {
           charge_wave(initiate_wave, p, v, GhsMsgType::kInitiate);
@@ -476,10 +554,10 @@ class SyncGhsEngine {
         if (faulty_ && reached.count(v) == 0) continue;
         const MoeScan scan = local_moe(v, probes, probe_wave);
         if (!scan.conclusive) conclusive = false;
-        if (scan.best.edge_index < best.edge_index) best = scan.best;
-        if (view.parent.at(v) != kNone) {
-          if (!charge_wave(report_wave, v, view.parent.at(v),
-                           GhsMsgType::kReport)) {
+        if (proto::FragmentSet::candidate_less(scan.best, best))
+          best = scan.best;
+        if (parent_[v] != kNone) {
+          if (!charge_wave(report_wave, v, parent_[v], GhsMsgType::kReport)) {
             intact = false;
           }
         }
@@ -489,7 +567,7 @@ class SyncGhsEngine {
       // scans guarantee `best` is the fragment's true MOE, which is what
       // keeps the selected-edge graph cycle-free (mutual picks aside).
       if (faulty_ && (!intact || !conclusive)) continue;
-      if (best.edge_index == kInfEdge) {
+      if (!best.valid()) {
         finished_.insert(leader);  // fragment spans its whole component
         continue;
       }
@@ -500,7 +578,7 @@ class SyncGhsEngine {
       std::vector<NodeId> path;
       while (hop != kNone) {
         path.push_back(hop);
-        hop = view.parent.at(hop);
+        hop = parent_[hop];
       }
       bool chain_ok = true;
       for (std::size_t i = path.size(); i-- > 1;) {
@@ -514,7 +592,7 @@ class SyncGhsEngine {
         chain_ok = charge_wave(changeroot_wave, best.from, best.to,
                                GhsMsgType::kConnect);  // CONNECT
       }
-      if (chain_ok) selected[leader] = best;
+      if (chain_ok) selected.emplace_back(leader, best);
     }
     if (opts_.transmission_log != nullptr) {
       for (TxBatch* wave :
@@ -535,10 +613,11 @@ class SyncGhsEngine {
     if (!faulty_) return false;
     // No fragment committed an MOE. The run is over only when nothing is
     // left to do; otherwise this phase stalled on faults — go again.
-    for (const auto& [leader, nodes] : members) {
+    for (std::size_t i = 0; i < leaders_.size(); ++i) {
+      const NodeId leader = leaders_[i];
       if (passive_.count(leader) > 0 || finished_.count(leader) > 0) continue;
       bool dormant = true;
-      for (NodeId u : nodes) {
+      for (NodeId u : members_[i]) {
         if (!fault_->crashed_forever(u)) {
           dormant = false;
           break;
@@ -552,9 +631,12 @@ class SyncGhsEngine {
   /// Borůvka contraction of the selected MOEs (shared bookkeeping in
   /// proto::FragmentSet, with the paper's passive-id retention), followed by
   /// the modified-GHS announcements of every relabeled node.
-  void merge(const std::unordered_map<NodeId, Candidate>& selected) {
-    const std::vector<NodeId> changed = frags_.merge(
-        selected, passive_, opts_.retain_passive_id, topo_.graph().edges());
+  void merge(std::vector<std::pair<NodeId, Candidate>>& selected) {
+    // FragmentSet::merge wants the commitments sorted ascending by leader.
+    std::sort(selected.begin(), selected.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    const std::vector<NodeId> changed =
+        frags_.merge(selected, passive_, opts_.retain_passive_id);
     if (opts_.neighbor_cache) {
       for (NodeId u : changed) announce(u);
       flush_batch();
@@ -562,7 +644,7 @@ class SyncGhsEngine {
     }
   }
 
-  const sim::Topology& topo_;
+  const Topo& topo_;
   SyncGhsOptions opts_;
   double radius_;
   sim::EnergyMeter own_meter_;         ///< used unless an external meter
@@ -580,8 +662,12 @@ class SyncGhsEngine {
   /// charges bill (the actor driver bills exact per-message sizes).
   std::array<std::uint32_t, static_cast<std::size_t>(GhsMsgType::kTypeCount)>
       type_bits_{};
-  std::vector<std::unordered_map<NodeId, NodeId>> cache_;  // neighbor -> frag
-  std::vector<bool> rejected_;   // per global edge index (probe mode)
+  /// neighbor -> frag, fault-mode modified GHS only (empty otherwise): a
+  /// fault-free cache is always complete and current, so the leader array
+  /// substitutes for it exactly.
+  std::vector<std::unordered_map<NodeId, NodeId>> cache_;
+  /// Per-node rejected neighbors (probe mode only, empty otherwise).
+  std::vector<std::unordered_set<NodeId>> rejected_;
   std::vector<bool> was_crashed_;  // crash state at the last repair
   std::unordered_set<NodeId> passive_;
   std::unordered_set<NodeId> finished_;
@@ -589,28 +675,29 @@ class SyncGhsEngine {
   std::uint64_t phase_extra_rounds_ = 0;  // ARQ timeout rounds this phase
   bool hit_phase_cap_ = false;
   TxBatch batch_;  // open announcement batch (when logging)
+  // Per-phase scratch, reused across phases so the grouping pass allocates
+  // nothing in steady state.
+  std::vector<NodeId> leaders_;             ///< fragments, by min member id
+  std::vector<std::uint32_t> member_slot_;  ///< leader id -> leaders_ slot
+  std::vector<std::vector<NodeId>> members_;  ///< parallel to leaders_
+  std::vector<NodeId> parent_;  ///< flat BFS parents (active fragments)
 };
 
 }  // namespace
 
-SyncGhsResult run_sync_ghs(const sim::Topology& topo, const SyncGhsOptions& options,
+template <typename Topo>
+SyncGhsResult run_sync_ghs(const Topo& topo, const SyncGhsOptions& options,
                            const std::optional<FragmentForest>& seed,
                            sim::EnergyMeter* external_meter) {
-  SyncGhsEngine engine(topo, options, seed, external_meter);
+  SyncGhsEngine<Topo> engine(topo, options, seed, external_meter);
   return engine.run();
 }
 
-std::vector<std::size_t> fragment_census(const sim::Topology& topo,
-                                         const FragmentForest& forest,
-                                         sim::EnergyMeter& meter,
-                                         sim::ArqLink* link) {
-  // Delegates to the shared proto collective; fragment names here are
-  // leader ids, so size the count field from the node-id width.
-  proto::WireContext ctx = proto::WireContext::for_topology(
-      topo.node_count(), topo.graph().edge_count());
-  ctx.frag_bits = ctx.id_bits;
-  return proto::fragment_census(topo, forest.leader, forest.tree, meter, ctx,
-                                link);
-}
+template SyncGhsResult run_sync_ghs<sim::Topology>(
+    const sim::Topology&, const SyncGhsOptions&,
+    const std::optional<FragmentForest>&, sim::EnergyMeter*);
+template SyncGhsResult run_sync_ghs<sim::ImplicitTopology>(
+    const sim::ImplicitTopology&, const SyncGhsOptions&,
+    const std::optional<FragmentForest>&, sim::EnergyMeter*);
 
 }  // namespace emst::ghs

@@ -42,6 +42,7 @@
 
 #include "emst/geometry/pathloss.hpp"
 #include "emst/ghs/common.hpp"
+#include "emst/proto/fragment.hpp"
 #include "emst/sim/fault.hpp"
 #include "emst/sim/reliable.hpp"
 #include "emst/sim/run_config.hpp"
@@ -124,8 +125,14 @@ struct SyncGhsResult {
 /// telemetry events land on the caller's meter (EOPT charges Step 1 +
 /// census + Step 2 to one meter under per-step phase scopes), and the
 /// result's totals report this run's delta.
+///
+/// Templated over the topology backend (`sim::Topology` or
+/// `sim::ImplicitTopology`); defined in sync.cpp and explicitly
+/// instantiated for both. Results are bitwise-identical across backends —
+/// both enumerate neighbourhoods in the same canonical (weight, id) order.
+template <typename Topo>
 [[nodiscard]] SyncGhsResult run_sync_ghs(
-    const sim::Topology& topo, const SyncGhsOptions& options,
+    const Topo& topo, const SyncGhsOptions& options,
     const std::optional<FragmentForest>& seed = std::nullopt,
     sim::EnergyMeter* external_meter = nullptr);
 
@@ -134,8 +141,17 @@ struct SyncGhsResult {
 /// fragment; charges 2 unicasts per tree edge to `meter`. With `link`, each
 /// tree message runs through the ARQ session simulator instead (give-ups
 /// leave that subtree uncounted — the census degrades, it never wedges).
+template <typename Topo>
 [[nodiscard]] std::vector<std::size_t> fragment_census(
-    const sim::Topology& topo, const FragmentForest& forest,
-    sim::EnergyMeter& meter, sim::ArqLink* link = nullptr);
+    const Topo& topo, const FragmentForest& forest, sim::EnergyMeter& meter,
+    sim::ArqLink* link = nullptr) {
+  // Delegates to the shared proto collective; fragment names here are
+  // leader ids, so size the count field from the node-id width.
+  proto::WireContext ctx =
+      proto::WireContext::for_topology(topo.node_count(), topo.edge_count());
+  ctx.frag_bits = ctx.id_bits;
+  return proto::fragment_census(topo, forest.leader, forest.tree, meter, ctx,
+                                link);
+}
 
 }  // namespace emst::ghs

@@ -13,11 +13,18 @@
 
 namespace emst::graph {
 
+/// Sentinel edge_index for Neighbor entries produced by a backend that has
+/// not materialized a global edge list (sim::ImplicitTopology before
+/// ensure_edge_ranks()). Algorithms that name fragments by edge index
+/// (classic GHS) must call prepare_edge_indices(topo) first.
+inline constexpr std::uint32_t kNoEdgeIndex = static_cast<std::uint32_t>(-1);
+
 struct Neighbor {
   NodeId id = 0;
   double w = 0.0;
   /// Index of this (u,v) pair in the owning graph's canonical edge list;
   /// identical for both directions, so per-edge state can live in one array.
+  /// kNoEdgeIndex when the producing backend has no edge ranks built.
   std::uint32_t edge_index = 0;
 };
 

@@ -6,6 +6,7 @@
 
 #include "emst/proto/connt_wire.hpp"
 #include "emst/sim/engine_factory.hpp"
+#include "emst/sim/implicit_topology.hpp"
 #include "emst/sim/network.hpp"
 #include "emst/sim/sharded_network.hpp"
 #include "emst/support/assert.hpp"
@@ -31,8 +32,8 @@ struct ProbePlan {
   }
 };
 
-template <typename Engine>
-CoNntResult run_connt_actor_impl(const sim::Topology& topo,
+template <typename Engine, typename Topo>
+CoNntResult run_connt_actor_impl(const Topo& topo,
                                  const CoNntOptions& options) {
   const std::size_t n = topo.node_count();
   EMST_ASSERT(n >= 1);
@@ -48,8 +49,7 @@ CoNntResult run_connt_actor_impl(const sim::Topology& topo,
                                       options.telemetry, options.threads));
   // Codec hook: requests and replies carry grid-quantized coordinates, the
   // connect message a bare tag; widths come from the topology size.
-  net.wire_format().ctx = proto::WireContext::for_topology(
-      n, topo.graph().edge_count());
+  net.wire_format().ctx = proto::WireContext::for_topology(n, topo.edge_count());
   const proto::WireContext& ctx = net.wire_format().ctx;
   if (options.track_per_node_energy) net.meter().enable_per_node(n);
   if (options.record_breakdown) net.meter().enable_breakdown();
@@ -125,7 +125,8 @@ CoNntResult run_connt_actor_impl(const sim::Topology& topo,
 
 }  // namespace
 
-CoNntResult run_connt(const sim::Topology& topo, const CoNntOptions& options) {
+template <typename Topo>
+CoNntResult run_connt(const Topo& topo, const CoNntOptions& options) {
   const std::size_t n = topo.node_count();
   EMST_ASSERT(n >= 1);
   const double n_est = std::max(2.0, static_cast<double>(n) * options.n_estimate_factor);
@@ -142,7 +143,7 @@ CoNntResult run_connt(const sim::Topology& topo, const CoNntOptions& options) {
   // All three Co-NNT message types have fixed widths for a given topology,
   // so the choreographed charges bill exactly what the actor codec bills.
   const proto::WireContext wire_ctx =
-      proto::WireContext::for_topology(n, topo.graph().edge_count());
+      proto::WireContext::for_topology(n, topo.edge_count());
   const std::uint32_t request_bits =
       proto::ConntRequest{}.encoded_bits(wire_ctx);
   const std::uint32_t reply_bits = proto::ConntReply{}.encoded_bits(wire_ctx);
@@ -232,13 +233,23 @@ CoNntResult run_connt(const sim::Topology& topo, const CoNntOptions& options) {
   return result;
 }
 
-CoNntResult run_connt_actor(const sim::Topology& topo,
-                            const CoNntOptions& options) {
+template <typename Topo>
+CoNntResult run_connt_actor(const Topo& topo, const CoNntOptions& options) {
   if (options.threads > 1) {
-    return run_connt_actor_impl<sim::ShardedNetwork<proto::ConntMsg>>(topo,
-                                                                      options);
+    return run_connt_actor_impl<sim::ShardedNetwork<proto::ConntMsg, Topo>,
+                                Topo>(topo, options);
   }
-  return run_connt_actor_impl<sim::Network<proto::ConntMsg>>(topo, options);
+  return run_connt_actor_impl<sim::Network<proto::ConntMsg, Topo>, Topo>(
+      topo, options);
 }
+
+template CoNntResult run_connt<sim::Topology>(const sim::Topology&,
+                                              const CoNntOptions&);
+template CoNntResult run_connt<sim::ImplicitTopology>(
+    const sim::ImplicitTopology&, const CoNntOptions&);
+template CoNntResult run_connt_actor<sim::Topology>(const sim::Topology&,
+                                                    const CoNntOptions&);
+template CoNntResult run_connt_actor<sim::ImplicitTopology>(
+    const sim::ImplicitTopology&, const CoNntOptions&);
 
 }  // namespace emst::nnt

@@ -62,8 +62,12 @@ struct CoNntResult {
 
 /// Run the distributed Co-NNT construction. Probe radii may exceed the
 /// topology's max radius (power-adaptive transmission; the spatial index
-/// resolves deliveries).
-[[nodiscard]] CoNntResult run_connt(const sim::Topology& topo,
+/// resolves deliveries). Templated over the topology backend
+/// (`sim::Topology` or `sim::ImplicitTopology`; defined in connt.cpp,
+/// explicitly instantiated for both) — the protocol only needs coordinates
+/// and `nodes_within` probes, which both backends answer identically.
+template <typename Topo>
+[[nodiscard]] CoNntResult run_connt(const Topo& topo,
                                     const CoNntOptions& options = {});
 
 /// The same protocol executed as a message-driven actor system over
@@ -71,7 +75,8 @@ struct CoNntResult {
 /// real in-flight messages). Cross-validates `run_connt`: identical parents,
 /// energy, and message counts (tested); `run_connt` is the faster harness
 /// path.
-[[nodiscard]] CoNntResult run_connt_actor(const sim::Topology& topo,
+template <typename Topo>
+[[nodiscard]] CoNntResult run_connt_actor(const Topo& topo,
                                           const CoNntOptions& options = {});
 
 }  // namespace emst::nnt

@@ -10,13 +10,18 @@ namespace emst::proto {
 
 namespace {
 constexpr NodeId kNone = graph::kNoNode;
+
+[[nodiscard]] constexpr std::uint64_t pack_pair(NodeId u, NodeId v) noexcept {
+  const NodeId lo = u < v ? u : v;
+  const NodeId hi = u < v ? v : u;
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
 }  // namespace
 
-FragmentSet::FragmentSet(std::size_t nodes, std::size_t edges) {
+FragmentSet::FragmentSet(std::size_t nodes) {
   frag_.resize(nodes);
   for (NodeId u = 0; u < nodes; ++u) frag_[u] = u;
   tree_adj_.assign(nodes, {});
-  in_tree_.assign(edges, false);
 }
 
 void FragmentSet::assign_leaders(const std::vector<NodeId>& leader) {
@@ -24,12 +29,10 @@ void FragmentSet::assign_leaders(const std::vector<NodeId>& leader) {
   frag_ = leader;
 }
 
-void FragmentSet::add_tree_edge(const graph::Edge& e,
-                                std::uint64_t edge_index) {
+void FragmentSet::add_tree_edge(const graph::Edge& e) {
   tree_adj_[e.u].push_back(e.v);
   tree_adj_[e.v].push_back(e.u);
   tree_.push_back(e.canonical());
-  in_tree_[edge_index] = true;
 }
 
 FragmentView FragmentSet::view(NodeId leader) const {
@@ -55,75 +58,117 @@ FragmentView FragmentSet::view(NodeId leader) const {
 }
 
 std::size_t FragmentSet::fragment_count() const {
-  const std::unordered_set<NodeId> leaders(frag_.begin(), frag_.end());
-  return leaders.size();
+  // Bitmap scan instead of hashing every node's leader: O(n) with a
+  // touched-only reset, no allocation after the first call.
+  const std::size_t n = frag_.size();
+  if (seen_.size() < n) seen_.assign(n, 0);
+  std::size_t count = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    if (seen_[frag_[u]] == 0) {
+      seen_[frag_[u]] = 1;
+      ++count;
+    }
+  }
+  for (NodeId u = 0; u < n; ++u) seen_[frag_[u]] = 0;
+  return count;
 }
 
 std::vector<NodeId> FragmentSet::merge(
-    const std::unordered_map<NodeId, MergeCandidate>& selected,
-    std::unordered_set<NodeId>& passive, bool retain_passive_id,
-    std::span<const graph::Edge> edges) {
+    std::span<const std::pair<NodeId, MergeCandidate>> selected,
+    std::unordered_set<NodeId>& passive, bool retain_passive_id) {
   const std::size_t n = frag_.size();
   // Union fragments over chosen edges (union-find over node ids; first
   // unite members with their leader so leader sets represent groups).
   graph::UnionFind dsu(n);
   for (NodeId u = 0; u < n; ++u) dsu.unite(u, frag_[u]);
-  for (const auto& [leader, c] : selected) dsu.unite(c.from, c.to);
-
-  // Collect groups: representative -> fragment leaders inside.
-  std::unordered_map<NodeId, std::vector<NodeId>> group_leaders;
-  {
-    std::unordered_set<NodeId> leaders(frag_.begin(), frag_.end());
-    for (NodeId l : leaders) group_leaders[dsu.find(l)].push_back(l);
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    EMST_ASSERT_MSG(i == 0 || selected[i - 1].first < selected[i].first,
+                    "selected candidates must be sorted by leader");
+    EMST_ASSERT(selected[i].second.valid());
+    dsu.unite(selected[i].second.from, selected[i].second.to);
   }
 
-  // Decide each group's new leader.
-  std::unordered_map<NodeId, NodeId> new_leader_of_rep;
-  for (auto& [rep, leaders] : group_leaders) {
-    if (leaders.size() == 1) {
-      new_leader_of_rep[rep] = leaders[0];
+  // Distinct old leaders in first-occurrence (node-id) order — the group
+  // walk below is deterministic without hashing the whole leader array.
+  if (seen_.size() < n) seen_.assign(n, 0);
+  std::vector<NodeId> old_leaders;
+  for (NodeId u = 0; u < n; ++u) {
+    const NodeId l = frag_[u];
+    if (seen_[l] == 0) {
+      seen_[l] = 1;
+      old_leaders.push_back(l);
+    }
+  }
+  for (const NodeId l : old_leaders) seen_[l] = 0;
+
+  // Per-group bookkeeping, keyed by dsu representative. Group count is at
+  // most the fragment count, so the maps stay small; they are only ever
+  // probed (never iterated), so hash order cannot leak into results.
+  struct Group {
+    std::uint32_t members = 0;     ///< old fragments in the group
+    NodeId passive_leader = kNone;
+    NodeId chosen = kNone;
+    MergeCandidate core{};         ///< minimum selected edge in the group
+  };
+  std::unordered_map<NodeId, Group> groups;
+  groups.reserve(old_leaders.size());
+  for (const NodeId l : old_leaders) ++groups[dsu.find(l)].members;
+  for (const auto& [leader, c] : selected) {
+    Group& g = groups[dsu.find(c.from)];
+    if (candidate_less(c, g.core)) g.core = c;
+  }
+  for (const NodeId l : old_leaders) {
+    if (passive.count(l) == 0) continue;
+    Group& g = groups[dsu.find(l)];
+    if (g.members > 1) {
+      EMST_ASSERT_MSG(g.passive_leader == kNone,
+                      "at most one passive fragment per group");
+    }
+    g.passive_leader = l;
+  }
+
+  // Decide each group's new leader (first-leader visit decides; later
+  // visits see chosen already set).
+  std::vector<std::pair<NodeId, NodeId>> passive_transfers;  // old → new
+  for (const NodeId l : old_leaders) {
+    Group& g = groups[dsu.find(l)];
+    if (g.chosen != kNone) continue;
+    if (g.members == 1) {
+      // Unmerged fragment: leader (and passivity) unchanged.
+      g.chosen = l;
       continue;
     }
-    NodeId chosen = kNone;
-    for (NodeId l : leaders) {
-      if (passive.count(l) > 0) {
-        EMST_ASSERT_MSG(chosen == kNone,
-                        "at most one passive fragment per group");
-        chosen = l;
-      }
-    }
-    const bool has_passive = chosen != kNone;
-    if (!has_passive || !retain_passive_id) {
+    NodeId chosen = g.passive_leader;
+    if (chosen == kNone || !retain_passive_id) {
       // Core edge = minimum selected edge inside the group (it is the
       // mutual MOE); the new leader is its higher-id endpoint.
-      MergeCandidate core;
-      for (NodeId l : leaders) {
-        const auto it = selected.find(l);
-        if (it != selected.end() && it->second.edge_index < core.edge_index)
-          core = it->second;
-      }
-      EMST_ASSERT(core.edge_index != kInfEdge);
-      chosen = std::max(core.from, core.to);
+      EMST_ASSERT(g.core.valid());
+      chosen = std::max(g.core.from, g.core.to);
     }
-    new_leader_of_rep[rep] = chosen;
-    if (has_passive) {
+    g.chosen = chosen;
+    if (g.passive_leader != kNone && g.passive_leader != chosen) {
       // Passivity survives the merge (the giant keeps only accepting).
-      for (NodeId l : leaders) passive.erase(l);
-      passive.insert(chosen);
+      passive_transfers.emplace_back(g.passive_leader, chosen);
     }
   }
+  for (const auto& [old_leader, new_leader] : passive_transfers) {
+    passive.erase(old_leader);
+    passive.insert(new_leader);
+  }
 
-  // Add the chosen MOE edges to the forest (dedupe mutual picks).
+  // Add the chosen MOE edges to the forest (dedupe mutual picks by
+  // canonical endpoint pair).
   std::unordered_set<std::uint64_t> added;
+  added.reserve(selected.size());
   for (const auto& [leader, c] : selected) {
-    if (!added.insert(c.edge_index).second) continue;
-    add_tree_edge(edges[c.edge_index], c.edge_index);
+    if (!added.insert(pack_pair(c.from, c.to)).second) continue;
+    add_tree_edge(graph::Edge{c.from, c.to, c.w}.canonical());
   }
 
   // Relabel nodes; the caller announces the changed ones.
   std::vector<NodeId> changed;
   for (NodeId u = 0; u < n; ++u) {
-    const NodeId nl = new_leader_of_rep.at(dsu.find(frag_[u]));
+    const NodeId nl = groups.at(dsu.find(frag_[u])).chosen;
     if (nl != frag_[u]) {
       frag_[u] = nl;
       changed.push_back(u);
@@ -132,19 +177,13 @@ std::vector<NodeId> FragmentSet::merge(
   return changed;
 }
 
-std::vector<NodeId> FragmentSet::repair(
-    const std::vector<bool>& down,
-    const std::function<std::uint64_t(NodeId, NodeId)>& edge_index_of) {
+std::vector<NodeId> FragmentSet::repair(const std::vector<bool>& down) {
   const std::size_t n = frag_.size();
   // Remove tree edges touching a down node; rebuild the forest.
   std::vector<graph::Edge> kept;
   kept.reserve(tree_.size());
   for (const graph::Edge& e : tree_) {
-    if (down[e.u] || down[e.v]) {
-      in_tree_[edge_index_of(e.u, e.v)] = false;
-    } else {
-      kept.push_back(e);
-    }
+    if (!down[e.u] && !down[e.v]) kept.push_back(e);
   }
   tree_ = std::move(kept);
   for (auto& adj : tree_adj_) adj.clear();
@@ -176,44 +215,6 @@ std::vector<NodeId> FragmentSet::repair(
     if (!down[u]) changed.push_back(u);
   }
   return changed;
-}
-
-std::vector<std::size_t> fragment_census(const sim::Topology& topo,
-                                         const std::vector<NodeId>& leader,
-                                         const std::vector<graph::Edge>& tree,
-                                         sim::EnergyMeter& meter,
-                                         const WireContext& ctx,
-                                         sim::ArqLink* link) {
-  const std::size_t n = topo.node_count();
-  EMST_ASSERT(leader.size() == n);
-  // "One broadcast and one convergecast" (§V): the leader floods a size
-  // query down its tree, then member counts fold back up — one unicast per
-  // tree edge in each direction.
-  std::vector<NodeId> leaders;
-  {
-    std::unordered_set<NodeId> unique(leader.begin(), leader.end());
-    leaders.assign(unique.begin(), unique.end());
-  }
-  const auto parent = sim::forest_parents(n, tree, leaders);
-  const auto schedule = sim::make_schedule(parent);
-  const sim::MsgKind saved_kind = meter.kind();
-  meter.set_kind(sim::MsgKind::kCensus);
-  meter.clear_fragment();
-  // Size query down: a bare tag on the wire, but the message must be paid.
-  meter.set_bits(census_query_bits(ctx));
-  (void)sim::tree_broadcast<std::uint8_t>(
-      topo, parent, schedule, std::vector<std::uint8_t>(n, 0),
-      [](std::uint8_t v, NodeId) { return v; }, meter, link);
-  // Member counts up.
-  meter.set_bits(census_count_bits(ctx));
-  const auto subtree = sim::tree_convergecast<std::size_t>(
-      topo, parent, schedule, std::vector<std::size_t>(n, 1),
-      [](std::size_t a, std::size_t b) { return a + b; }, meter, link);
-  meter.clear_bits();
-  meter.set_kind(saved_kind);
-  std::vector<std::size_t> out(n);
-  for (NodeId u = 0; u < n; ++u) out[u] = subtree[leader[u]];
-  return out;
 }
 
 }  // namespace emst::proto

@@ -1,12 +1,22 @@
 // Shared fragment runtime for the GHS-family drivers.
 //
 // Extracted from the phase-synchronous GHS engine: the per-node fragment
-// identity (leader array), the fragment forest (tree edges + adjacency +
-// per-edge membership bits), BFS fragment views, the Borůvka merge with the
-// paper's passive-id retention (§V-A), and the deterministic crash-repair
-// re-election (docs/ROBUSTNESS.md). Drivers own the *protocol* — what gets
-// charged, announced and retried — while this class owns the *bookkeeping*
-// every GHS variant repeats.
+// identity (leader array), the fragment forest (tree edges + adjacency),
+// BFS fragment views, the Borůvka merge with the paper's passive-id
+// retention (§V-A), and the deterministic crash-repair re-election
+// (docs/ROBUSTNESS.md). Drivers own the *protocol* — what gets charged,
+// announced and retried — while this class owns the *bookkeeping* every GHS
+// variant repeats.
+//
+// Index-free by design: fragment state is keyed by node ids and edge
+// endpoints, never by positions in a global edge list, so the same runtime
+// serves the materialized topology backend and the implicit one (which has
+// no edge list at all). Merge candidates order by (weight, canonical
+// endpoints) — the repository's single edge tie-break rule — which is
+// exactly the order global edge indices used to encode. Per-node state
+// stays sparse, per the paper's modified-GHS device: a node caches only the
+// fragment-id/distance pairs it actually probed, not its whole
+// neighbourhood.
 //
 // The fragment-size census (paper §V: "one broadcast and one convergecast")
 // also lives here, built on `sim::collectives` and carrying census wire
@@ -16,10 +26,11 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <limits>
 #include <span>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "emst/graph/edge.hpp"
@@ -27,6 +38,7 @@
 #include "emst/proto/wire.hpp"
 #include "emst/sim/collectives.hpp"
 #include "emst/sim/reliable.hpp"
+#include "emst/support/assert.hpp"
 
 namespace emst::proto {
 
@@ -43,7 +55,7 @@ struct FragmentView {
 class FragmentSet {
  public:
   /// Start from singletons: every node leads its own fragment.
-  FragmentSet(std::size_t nodes, std::size_t edges);
+  explicit FragmentSet(std::size_t nodes);
 
   /// Replace the leader array wholesale (seeding from a prior run's
   /// forest); tree edges are added separately via `add_tree_edge`.
@@ -55,15 +67,18 @@ class FragmentSet {
     return frag_;
   }
 
-  /// Record a new fragment-tree edge; `edge_index` is its position in the
-  /// topology's canonical edge list (marks the edge internal forever).
-  void add_tree_edge(const graph::Edge& e, std::uint64_t edge_index);
+  /// Record a new fragment-tree edge (kept in canonical u < v form).
+  void add_tree_edge(const graph::Edge& e);
 
   [[nodiscard]] const std::vector<graph::Edge>& tree() const noexcept {
     return tree_;
   }
-  [[nodiscard]] bool edge_in_tree(std::uint64_t edge_index) const {
-    return in_tree_[edge_index];
+  /// Whether (u,v) is a recorded tree edge — a scan of u's tree adjacency,
+  /// whose degree is bounded by the fragment tree's branching.
+  [[nodiscard]] bool edge_in_tree(NodeId u, NodeId v) const {
+    for (const NodeId x : tree_adj_[u])
+      if (x == v) return true;
+    return false;
   }
   [[nodiscard]] const std::vector<std::vector<NodeId>>& tree_adjacency()
       const noexcept {
@@ -79,41 +94,56 @@ class FragmentSet {
   [[nodiscard]] std::size_t fragment_count() const;
 
   /// One fragment's committed minimum outgoing edge for a merge round.
+  /// Default-constructed = "no outgoing edge" (infinite weight, no
+  /// endpoints); ranks after every real candidate under candidate_less.
   struct MergeCandidate {
-    std::uint64_t edge_index = kInfEdge;
+    double w = std::numeric_limits<double>::infinity();
     NodeId from = graph::kNoNode;
     NodeId to = graph::kNoNode;
+
+    [[nodiscard]] bool valid() const noexcept { return from != graph::kNoNode; }
   };
+
+  /// Total order on candidates mirroring graph::edge_less — (weight,
+  /// canonical endpoints) — the same order global edge indices encode, so
+  /// index-free MOE selection picks identical edges.
+  [[nodiscard]] static bool candidate_less(const MergeCandidate& a,
+                                           const MergeCandidate& b) noexcept {
+    if (a.w != b.w) return a.w < b.w;
+    const NodeId au = a.from < a.to ? a.from : a.to;
+    const NodeId av = a.from < a.to ? a.to : a.from;
+    const NodeId bu = b.from < b.to ? b.from : b.to;
+    const NodeId bv = b.from < b.to ? b.to : b.from;
+    if (au != bu) return au < bu;
+    return av < bv;
+  }
 
   /// Borůvka contraction of the selected MOEs with the paper's passive-id
   /// retention: fragments linked by chosen edges merge; a group containing
   /// a passive fragment keeps the passive leader (asserted unique) when
   /// `retain_passive_id`, otherwise the new leader is the higher-id
   /// endpoint of the group's core (minimum selected) edge. `passive` is
-  /// updated in place; `edges` is the topology's canonical edge list.
-  /// Returns the nodes whose leader changed (the modified-GHS re-announce
-  /// set), in node-id order.
+  /// updated in place. `selected` is one (leader, candidate) entry per
+  /// committing fragment, sorted ascending by leader. Returns the nodes
+  /// whose leader changed (the modified-GHS re-announce set), in node-id
+  /// order.
   [[nodiscard]] std::vector<NodeId> merge(
-      const std::unordered_map<NodeId, MergeCandidate>& selected,
-      std::unordered_set<NodeId>& passive, bool retain_passive_id,
-      std::span<const graph::Edge> edges);
+      std::span<const std::pair<NodeId, MergeCandidate>> selected,
+      std::unordered_set<NodeId>& passive, bool retain_passive_id);
 
   /// Crash repair (docs/ROBUSTNESS.md): drop tree edges incident to down
   /// nodes, split their fragments into consistent pieces with
   /// deterministically re-elected leaders (the surviving old leader where
   /// possible, else the minimum live member id); down nodes become dormant
-  /// singletons. `edge_index_of` maps a tree edge's endpoints to its
-  /// canonical index (needed to clear the internal-edge bit). Returns the
-  /// LIVE nodes whose leader changed — the re-announce set.
-  [[nodiscard]] std::vector<NodeId> repair(
-      const std::vector<bool>& down,
-      const std::function<std::uint64_t(NodeId, NodeId)>& edge_index_of);
+  /// singletons. Returns the LIVE nodes whose leader changed — the
+  /// re-announce set.
+  [[nodiscard]] std::vector<NodeId> repair(const std::vector<bool>& down);
 
  private:
   std::vector<NodeId> frag_;                   ///< fragment leader per node
   std::vector<std::vector<NodeId>> tree_adj_;  ///< fragment tree adjacency
   std::vector<graph::Edge> tree_;
-  std::vector<bool> in_tree_;  ///< per global edge index
+  mutable std::vector<char> seen_;  ///< scratch bitmap (leader scans)
 };
 
 /// Wire sizes of the census collective: the size query flooding down is a
@@ -132,10 +162,53 @@ class FragmentSet {
 /// charged to `meter` under kind kCensus with census wire bits. With
 /// `link`, each tree message runs through the ARQ session simulator
 /// (give-ups leave that subtree uncounted — the census degrades, it never
-/// wedges). Returns per-node size of its own fragment.
+/// wedges). Returns per-node size of its own fragment. Templated over the
+/// topology backend (only distance() and node_count() are used).
+template <typename Topo>
 [[nodiscard]] std::vector<std::size_t> fragment_census(
-    const sim::Topology& topo, const std::vector<NodeId>& leader,
+    const Topo& topo, const std::vector<NodeId>& leader,
     const std::vector<graph::Edge>& tree, sim::EnergyMeter& meter,
-    const WireContext& ctx, sim::ArqLink* link = nullptr);
+    const WireContext& ctx, sim::ArqLink* link = nullptr) {
+  const std::size_t n = topo.node_count();
+  EMST_ASSERT(leader.size() == n);
+  // "One broadcast and one convergecast" (§V): the leader floods a size
+  // query down its tree, then member counts fold back up — one unicast per
+  // tree edge in each direction.
+  //
+  // Distinct leaders in first-occurrence order: deterministic and O(n),
+  // and forest_parents is insensitive to root order (parents within a tree
+  // are unique regardless of traversal interleaving).
+  std::vector<NodeId> leaders;
+  {
+    std::vector<char> seen(n, 0);
+    for (NodeId u = 0; u < n; ++u) {
+      const NodeId l = leader[u];
+      if (seen[l] == 0) {
+        seen[l] = 1;
+        leaders.push_back(l);
+      }
+    }
+  }
+  const auto parent = sim::forest_parents(n, tree, leaders);
+  const auto schedule = sim::make_schedule(parent);
+  const sim::MsgKind saved_kind = meter.kind();
+  meter.set_kind(sim::MsgKind::kCensus);
+  meter.clear_fragment();
+  // Size query down: a bare tag on the wire, but the message must be paid.
+  meter.set_bits(census_query_bits(ctx));
+  (void)sim::tree_broadcast<std::uint8_t>(
+      topo, parent, schedule, std::vector<std::uint8_t>(n, 0),
+      [](std::uint8_t v, NodeId) { return v; }, meter, link);
+  // Member counts up.
+  meter.set_bits(census_count_bits(ctx));
+  const auto subtree = sim::tree_convergecast<std::size_t>(
+      topo, parent, schedule, std::vector<std::size_t>(n, 1),
+      [](std::size_t a, std::size_t b) { return a + b; }, meter, link);
+  meter.clear_bits();
+  meter.set_kind(saved_kind);
+  std::vector<std::size_t> out(n);
+  for (NodeId u = 0; u < n; ++u) out[u] = subtree[leader[u]];
+  return out;
+}
 
 }  // namespace emst::proto

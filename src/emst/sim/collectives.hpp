@@ -77,8 +77,8 @@ struct TreeSchedule {
 /// Broadcast a value down the forest: every non-root receives its parent's
 /// (transformed) value. `fn(parent_value, child)` produces the child value.
 /// Returns the per-node values; roots keep their entry from `root_values`.
-template <typename T, typename Fn>
-[[nodiscard]] std::vector<T> tree_broadcast(const Topology& topo,
+template <typename T, typename Topo, typename Fn>
+[[nodiscard]] std::vector<T> tree_broadcast(const Topo& topo,
                                             const std::vector<graph::NodeId>& parent,
                                             const TreeSchedule& schedule,
                                             std::vector<T> values, Fn&& fn,
@@ -107,9 +107,9 @@ template <typename T, typename Fn>
 /// Convergecast up the forest: every non-root sends its aggregated subtree
 /// value to its parent, which folds it with `combine(parent_acc, child_acc)`.
 /// Returns per-node subtree aggregates (roots hold their tree's total).
-template <typename T, typename Combine>
+template <typename T, typename Topo, typename Combine>
 [[nodiscard]] std::vector<T> tree_convergecast(
-    const Topology& topo, const std::vector<graph::NodeId>& parent,
+    const Topo& topo, const std::vector<graph::NodeId>& parent,
     const TreeSchedule& schedule, std::vector<T> values, Combine&& combine,
     EnergyMeter& meter, ArqLink* link = nullptr) {
   EMST_ASSERT(parent.size() == topo.node_count());

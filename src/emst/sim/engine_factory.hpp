@@ -21,13 +21,13 @@
 
 namespace emst::sim {
 
-template <typename Engine>
-[[nodiscard]] Engine make_engine(const Topology& topo,
+template <typename Engine, typename Topo = Topology>
+[[nodiscard]] Engine make_engine(const Topo& topo,
                                  geometry::PathLoss pathloss,
                                  bool unbounded_broadcast, DelayModel delays,
                                  FaultModel faults, Telemetry* telemetry,
                                  std::size_t threads) {
-  if constexpr (std::is_constructible_v<Engine, const Topology&,
+  if constexpr (std::is_constructible_v<Engine, const Topo&,
                                         geometry::PathLoss, bool, DelayModel,
                                         FaultModel, Telemetry*, std::size_t>) {
     return Engine(topo, pathloss, unbounded_broadcast, delays, faults,

@@ -1,0 +1,117 @@
+// Implicit (memory-lean) topology backend.
+//
+// Same surface as sim::Topology, but neighbourhoods are regenerated on
+// demand from the cell grid instead of being stored: the only O(n)-sized
+// state is the point array and the grid's CSR buckets, so a 10^7-node
+// unit-disk instance fits where the materialized Θ(n log n)-entry adjacency
+// cannot allocate (docs/PERF.md, "Scaling to ten million nodes").
+//
+// Bitwise-identity contract with the materialized backend:
+//  * membership — pair (u,v) is a neighbour iff
+//    distance_sq(points[v], points[u]) <= fl(max_radius²), the exact
+//    predicate rgg::build_rgg's grid query evaluates (distance_sq is
+//    bitwise symmetric, so querying from either endpoint agrees);
+//  * weights — w = distance(points[u], points[v]) = sqrt(distance_sq),
+//    identical to the stored CSR weight;
+//  * order — enumeration is sorted ascending (weight, id), the canonical
+//    neighbour order AdjacencyList guarantees;
+//  * sub-radius — neighbors_within(u, r) applies BOTH predicates
+//    (membership ∧ w <= r), matching the materialized prefix that
+//    upper-bounds on w. The two-predicate rule matters at the radius
+//    boundary, where sqrt rounding can put w a ulp above max_radius.
+//
+// neighbors()/neighbors_within() return spans into a thread-local scratch
+// buffer: valid until the next neighbour query on the same thread. Every
+// engine and driver call site either copies the span out (Network's
+// receiver staging) or finishes with it before the next query; the sharded
+// engine stages broadcasts from worker threads, which is why the scratch is
+// thread-local rather than per-topology.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "emst/geometry/point.hpp"
+#include "emst/graph/adjacency.hpp"
+#include "emst/spatial/cell_grid.hpp"
+
+namespace emst::sim {
+
+using NodeId = graph::NodeId;
+
+class ImplicitTopology {
+ public:
+  /// Index `points` with maximum transmission radius `max_radius`. The grid
+  /// cell size mirrors Topology's (cell = max_radius, clamped), so
+  /// nodes_within() enumerates candidates in the identical grid order.
+  ImplicitTopology(std::vector<geometry::Point2> points, double max_radius);
+
+  ImplicitTopology(ImplicitTopology&&) noexcept = default;
+  ImplicitTopology& operator=(ImplicitTopology&&) noexcept = default;
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return points_.size(); }
+  [[nodiscard]] double max_radius() const noexcept { return max_radius_; }
+  [[nodiscard]] const std::vector<geometry::Point2>& points() const noexcept {
+    return points_;
+  }
+  [[nodiscard]] geometry::Point2 position(NodeId u) const { return points_[u]; }
+
+  [[nodiscard]] double distance(NodeId u, NodeId v) const {
+    return geometry::distance(points_[u], points_[v]);
+  }
+
+  /// Neighbors of u within the max radius, ascending (weight, id).
+  /// Span into thread-local scratch — valid until the next neighbour query
+  /// on this thread.
+  [[nodiscard]] std::span<const graph::Neighbor> neighbors(NodeId u) const;
+
+  /// Neighbors of u with w <= radius, ascending (weight, id). Same scratch
+  /// lifetime as neighbors().
+  [[nodiscard]] std::span<const graph::Neighbor> neighbors_within(
+      NodeId u, double radius) const;
+
+  /// All nodes (other than u) within Euclidean `radius` of u, in grid
+  /// enumeration order — identical to Topology::nodes_within.
+  [[nodiscard]] std::vector<NodeId> nodes_within(NodeId u, double radius) const;
+
+  /// Number of undirected edges at the max radius. Computed exactly by one
+  /// counting sweep on first call (O(n·deg)), then cached. First call is
+  /// not thread-safe; drivers take it during single-threaded setup.
+  [[nodiscard]] std::size_t edge_count() const;
+
+  /// Build the global canonical edge-rank table so Neighbor::edge_index is
+  /// populated (classic GHS names fragments by edge index). Materializes
+  /// O(m) keys — call only where the materialized backend would fit anyway.
+  void ensure_edge_ranks() const;
+  [[nodiscard]] bool has_edge_ranks() const noexcept {
+    return !edge_ranks_.empty();
+  }
+
+  /// Rank of canonical pair (u,v) in the (weight, u, v)-sorted edge order.
+  /// Requires ensure_edge_ranks().
+  [[nodiscard]] std::uint32_t edge_rank(NodeId u, NodeId v) const;
+
+ private:
+  std::vector<geometry::Point2> points_;
+  double max_radius_ = 0.0;
+  double rmax_sq_ = 0.0;
+  std::unique_ptr<spatial::CellGrid> grid_;  // indexes points_
+  mutable std::size_t edge_count_ = kUnknownEdgeCount;
+  mutable std::vector<std::uint64_t> edge_ranks_;  // packed (u<<32)|v, sorted
+
+  static constexpr std::size_t kUnknownEdgeCount = static_cast<std::size_t>(-1);
+
+  [[nodiscard]] std::span<const graph::Neighbor> fill_scratch(
+      NodeId u, double radius, bool filter_by_weight) const;
+};
+
+/// Customization point used by drivers that need Neighbor::edge_index.
+/// No-op for the materialized backend (the CSR already carries indices).
+inline void prepare_edge_indices(const ImplicitTopology& topo) {
+  topo.ensure_edge_ranks();
+}
+
+}  // namespace emst::sim

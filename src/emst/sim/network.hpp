@@ -69,10 +69,14 @@ struct DelayModel {
   std::uint64_t seed = 0x5eedULL;
 };
 
-template <typename Msg>
+/// Topo is either sim::Topology (materialized CSR adjacency) or
+/// sim::ImplicitTopology (grid-backed, neighbours regenerated on demand);
+/// both enumerate neighbours in the identical (weight, id) order, so engine
+/// behaviour is bitwise-independent of the backend.
+template <typename Msg, typename Topo = Topology>
 class Network {
  public:
-  Network(const Topology& topo, geometry::PathLoss model = {},
+  Network(const Topo& topo, geometry::PathLoss model = {},
           bool unbounded_broadcast = false, DelayModel delays = {},
           FaultModel faults = {}, Telemetry* telemetry = nullptr)
       : topo_(topo),
@@ -143,7 +147,7 @@ class Network {
     return out;
   }
 
-  [[nodiscard]] const Topology& topology() const noexcept { return topo_; }
+  [[nodiscard]] const Topo& topology() const noexcept { return topo_; }
   [[nodiscard]] EnergyMeter& meter() noexcept { return meter_; }
   [[nodiscard]] const EnergyMeter& meter() const noexcept { return meter_; }
   [[nodiscard]] FaultInjector& faults() noexcept { return faults_; }
@@ -321,7 +325,7 @@ class Network {
 
   static constexpr std::size_t kSmallBucket = 48;
 
-  const Topology& topo_;
+  const Topo& topo_;
   EnergyMeter meter_;
   WireFormat<Msg> wire_{};
   bool unbounded_broadcast_;

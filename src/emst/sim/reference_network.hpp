@@ -27,10 +27,10 @@
 
 namespace emst::sim {
 
-template <typename Msg>
+template <typename Msg, typename Topo = Topology>
 class ReferenceNetwork {
  public:
-  ReferenceNetwork(const Topology& topo, geometry::PathLoss model = {},
+  ReferenceNetwork(const Topo& topo, geometry::PathLoss model = {},
                    bool unbounded_broadcast = false, DelayModel delays = {},
                    FaultModel faults = {}, Telemetry* telemetry = nullptr)
       : topo_(topo),
@@ -137,7 +137,7 @@ class ReferenceNetwork {
     return out;
   }
 
-  [[nodiscard]] const Topology& topology() const noexcept { return topo_; }
+  [[nodiscard]] const Topo& topology() const noexcept { return topo_; }
   [[nodiscard]] EnergyMeter& meter() noexcept { return meter_; }
   [[nodiscard]] const EnergyMeter& meter() const noexcept { return meter_; }
   [[nodiscard]] FaultInjector& faults() noexcept { return faults_; }
@@ -179,7 +179,7 @@ class ReferenceNetwork {
     inflight_.push_back({u, v, d, std::move(m), next_seq_++, due, lost, bits});
   }
 
-  const Topology& topo_;
+  const Topo& topo_;
   EnergyMeter meter_;
   WireFormat<Msg> wire_{};
   bool unbounded_broadcast_;

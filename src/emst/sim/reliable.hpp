@@ -155,12 +155,12 @@ struct WireFormat<ArqFrame<Msg>> {
 /// comment. The API mirrors Network: send / collect_round / pending, with
 /// `collect_round` returning application payloads (ACK traffic and duplicate
 /// copies are consumed internally).
-template <typename Msg>
+template <typename Msg, typename Topo = Topology>
 class ReliableChannel {
  public:
   using Frame = ArqFrame<Msg>;
 
-  ReliableChannel(const Topology& topo, geometry::PathLoss model = {},
+  ReliableChannel(const Topo& topo, geometry::PathLoss model = {},
                   DelayModel delays = {}, FaultModel faults = {},
                   ArqOptions arq = {}, Telemetry* telemetry = nullptr)
       : net_(topo, model, /*unbounded_broadcast=*/false, delays, faults,
@@ -206,7 +206,7 @@ class ReliableChannel {
   [[nodiscard]] const EnergyMeter& meter() const noexcept {
     return net_.meter();
   }
-  [[nodiscard]] Network<Frame>& raw() noexcept { return net_; }
+  [[nodiscard]] Network<Frame, Topo>& raw() noexcept { return net_; }
   /// The payload's codec. Configure this (not the frame format) with the
   /// run's WireContext; the frame format adds the ARQ header on top.
   [[nodiscard]] WireFormat<Msg>& payload_wire_format() noexcept {
@@ -329,7 +329,7 @@ class ReliableChannel {
     }
   }
 
-  Network<Frame> net_;
+  Network<Frame, Topo> net_;
   ArqOptions arq_;
   ArqStats stats_;
   support::FlatMap64 links_index_;  ///< packed directed link → links_ slot

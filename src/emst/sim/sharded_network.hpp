@@ -65,10 +65,14 @@
 
 namespace emst::sim {
 
-template <typename Msg>
+/// Topo is either sim::Topology or sim::ImplicitTopology (see topology.hpp).
+/// The implicit backend's neighbour spans live in thread-local scratch,
+/// which is exactly why stage_broadcast can run on worker threads in Mode B:
+/// each worker enumerates into its own buffer.
+template <typename Msg, typename Topo = Topology>
 class ShardedNetwork {
  public:
-  ShardedNetwork(const Topology& topo, geometry::PathLoss model = {},
+  ShardedNetwork(const Topo& topo, geometry::PathLoss model = {},
                  bool unbounded_broadcast = false, DelayModel delays = {},
                  FaultModel faults = {}, Telemetry* telemetry = nullptr,
                  std::size_t threads = 1)
@@ -231,7 +235,7 @@ class ShardedNetwork {
 
   // -- Accessors (Network-compatible) -------------------------------------
 
-  [[nodiscard]] const Topology& topology() const noexcept { return topo_; }
+  [[nodiscard]] const Topo& topology() const noexcept { return topo_; }
   [[nodiscard]] EnergyMeter& meter() noexcept { return meter_; }
   [[nodiscard]] const EnergyMeter& meter() const noexcept { return meter_; }
   [[nodiscard]] FaultInjector& faults() noexcept { return faults_; }
@@ -679,7 +683,7 @@ class ShardedNetwork {
     }
   }
 
-  const Topology& topo_;
+  const Topo& topo_;
   EnergyMeter meter_;
   WireFormat<Msg> wire_{};
   bool unbounded_broadcast_;

@@ -1,12 +1,29 @@
-// Physical network topology for the simulator.
+// Physical network topology for the simulator (materialized backend).
 //
 // Owns node positions, the adjacency at the *maximum* transmission radius an
 // algorithm is allowed to use, and a spatial index for power-adaptive local
 // broadcasts. Algorithms that operate below the maximum radius (EOPT Step 1)
 // simply filter neighbours by distance — the paper's "nodes set the power
 // level adaptively" capability (§II).
+//
+// This is one of two interchangeable topology backends (see
+// docs/ARCHITECTURE.md): Topology stores the full Θ(n log n)-entry CSR
+// adjacency, while sim::ImplicitTopology regenerates neighbourhoods on
+// demand from the cell grid in O(n) memory. Engines and drivers are
+// templated over the backend; both expose the same surface —
+//
+//   node_count() / max_radius() / points() / position(u) / distance(u, v)
+//   neighbors(u)              — ascending (weight, id), all within max radius
+//   neighbors_within(u, r)    — the prefix of neighbors(u) with w <= r
+//   nodes_within(u, r)        — spatial-index query, any radius, grid order
+//   edge_count()              — |E| at the max radius
+//
+// and the canonical-order guarantee: neighbors(u) is sorted ascending by
+// (weight, id), identically for both backends, so every driver decision that
+// breaks ties by enumeration order is bitwise-reproducible across backends.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -51,6 +68,23 @@ class Topology {
     return graph_.neighbors(u);
   }
 
+  /// Neighbors of u within `radius` (<= max radius), ascending (weight, id).
+  /// The weight-sorted invariant makes this the prefix of neighbors(u) up to
+  /// the last weight <= radius.
+  [[nodiscard]] std::span<const graph::Neighbor> neighbors_within(
+      NodeId u, double radius) const {
+    const auto nbs = graph_.neighbors(u);
+    const auto end = std::upper_bound(
+        nbs.begin(), nbs.end(), radius,
+        [](double r, const graph::Neighbor& nb) { return r < nb.w; });
+    return nbs.first(static_cast<std::size_t>(end - nbs.begin()));
+  }
+
+  /// Number of undirected edges at the max radius.
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    return graph_.edge_count();
+  }
+
   /// All nodes (other than u) within Euclidean `radius` of u. Unlike
   /// neighbors(), this consults the spatial index, so it works for radii
   /// beyond max_radius (Co-NNT's unbounded doubling probe).
@@ -62,5 +96,11 @@ class Topology {
   graph::AdjacencyList graph_;
   std::unique_ptr<spatial::CellGrid> grid_;  // indexes points_
 };
+
+/// Customization point used by drivers that need Neighbor::edge_index
+/// (classic GHS names fragments by global edge index). The CSR backend
+/// already carries indices, so this is a no-op; the implicit backend's
+/// overload builds its lazy rank table.
+inline void prepare_edge_indices(const Topology&) {}
 
 }  // namespace emst::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <numbers>
 
 #include "emst/support/assert.hpp"
 
@@ -55,30 +56,17 @@ std::span<const PointIndex> CellGrid::cell_members(std::size_t cx,
   return {members_.data() + offsets_[c], offsets_[c + 1] - offsets_[c]};
 }
 
-void CellGrid::for_each_within(geometry::Point2 p, double r,
-                               const std::function<void(PointIndex)>& fn) const {
-  EMST_ASSERT(r >= 0.0);
-  const double r_sq = r * r;
-  auto clamp_cell = [&](double v, double lo) {
-    double c = std::floor((v - lo) / cell_);
-    return static_cast<long>(std::clamp(c, 0.0, static_cast<double>(side_ - 1)));
-  };
-  const long x_lo = clamp_cell(p.x - r, region_.lo.x);
-  const long x_hi = clamp_cell(p.x + r, region_.lo.x);
-  const long y_lo = clamp_cell(p.y - r, region_.lo.y);
-  const long y_hi = clamp_cell(p.y + r, region_.lo.y);
-  for (long cy = y_lo; cy <= y_hi; ++cy) {
-    for (long cx = x_lo; cx <= x_hi; ++cx) {
-      for (PointIndex i : cell_members(static_cast<std::size_t>(cx),
-                                       static_cast<std::size_t>(cy))) {
-        if (geometry::distance_sq(points_[i], p) <= r_sq) fn(i);
-      }
-    }
-  }
-}
-
 std::vector<PointIndex> CellGrid::within(geometry::Point2 p, double r) const {
   std::vector<PointIndex> out;
+  // Reserve for the expected hit count under uniform density (πr²/area of
+  // the indexed points), padded a little so typical queries never regrow.
+  const double area = region_.width() * region_.height();
+  if (area > 0.0) {
+    const double frac = std::min(1.0, std::numbers::pi * r * r / area);
+    out.reserve(static_cast<std::size_t>(
+                    frac * static_cast<double>(points_.size()) * 1.25) +
+                8);
+  }
   for_each_within(p, r, [&](PointIndex i) { out.push_back(i); });
   return out;
 }
@@ -93,6 +81,7 @@ std::vector<PointIndex> CellGrid::k_nearest(geometry::Point2 p, std::size_t k,
   double r = cell_;
   const double extent = std::hypot(region_.width(), region_.height());
   std::vector<std::pair<double, PointIndex>> candidates;
+  candidates.reserve(2 * k + 16);
   for (;;) {
     candidates.clear();
     for_each_within(p, r, [&](PointIndex i) {

@@ -7,9 +7,10 @@
 // cells.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <span>
 #include <vector>
 
@@ -34,8 +35,35 @@ class CellGrid {
 
   /// Invoke fn(index) for every indexed point with distance(p, point) <= r
   /// (Euclidean). Includes the query point itself if it is indexed.
-  void for_each_within(geometry::Point2 p, double r,
-                       const std::function<void(PointIndex)>& fn) const;
+  /// Templated on the callable so the per-point distance test inlines: this
+  /// is the hot path of every implicit neighbor walk, where a std::function
+  /// hop per candidate would dominate the scan.
+  template <typename Fn>
+  void for_each_within(geometry::Point2 p, double r, Fn&& fn) const {
+    const double r_sq = r * r;
+    auto clamp_cell = [&](double v, double lo) noexcept {
+      const double c = std::floor((v - lo) / cell_);
+      return static_cast<std::size_t>(
+          std::clamp(c, 0.0, static_cast<double>(side_ - 1)));
+    };
+    const std::size_t x_lo = clamp_cell(p.x - r, region_.lo.x);
+    const std::size_t x_hi = clamp_cell(p.x + r, region_.lo.x);
+    const std::size_t y_lo = clamp_cell(p.y - r, region_.lo.y);
+    const std::size_t y_hi = clamp_cell(p.y + r, region_.lo.y);
+    for (std::size_t cy = y_lo; cy <= y_hi; ++cy) {
+      // Cells [x_lo..x_hi] of one row are adjacent in the CSR, so the row's
+      // members form a single contiguous slice — one scan per row instead of
+      // a span fetch per cell. Visit order (row-major cells, CSR order within
+      // each) is unchanged.
+      const std::size_t row = cy * side_;
+      const std::size_t begin = offsets_[row + x_lo];
+      const std::size_t end = offsets_[row + x_hi + 1];
+      for (std::size_t s = begin; s < end; ++s) {
+        const PointIndex i = members_[s];
+        if (geometry::distance_sq(points_[i], p) <= r_sq) fn(i);
+      }
+    }
+  }
 
   /// Indices of all points within Euclidean distance r of p.
   [[nodiscard]] std::vector<PointIndex> within(geometry::Point2 p, double r) const;

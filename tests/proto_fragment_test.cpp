@@ -1,10 +1,12 @@
 // Tests for the shared fragment runtime (src/emst/proto/fragment.hpp):
 // identity bookkeeping, BFS views, the Borůvka merge with passive-id
 // retention, deterministic crash repair, and the census collective's size
-// and bit accounting.
+// and bit accounting. The runtime is index-free (keyed by node ids and edge
+// endpoints, never by positions in a global edge list), so the same tests
+// cover what both topology backends rely on.
 #include <cstdint>
-#include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -18,18 +20,20 @@ namespace emst::proto {
 namespace {
 
 using Candidate = FragmentSet::MergeCandidate;
+using Selected = std::vector<std::pair<NodeId, Candidate>>;
 
 TEST(FragmentSet, StartsAsSingletons) {
-  const FragmentSet frags(4, 6);
+  const FragmentSet frags(4);
   EXPECT_EQ(frags.node_count(), 4u);
   EXPECT_EQ(frags.fragment_count(), 4u);
   for (NodeId u = 0; u < 4; ++u) EXPECT_EQ(frags.leader(u), u);
   EXPECT_TRUE(frags.tree().empty());
-  for (std::uint64_t i = 0; i < 6; ++i) EXPECT_FALSE(frags.edge_in_tree(i));
+  for (NodeId u = 0; u < 4; ++u)
+    for (NodeId v = 0; v < 4; ++v) EXPECT_FALSE(frags.edge_in_tree(u, v));
 }
 
 TEST(FragmentSet, AssignAndSetLeaders) {
-  FragmentSet frags(3, 3);
+  FragmentSet frags(3);
   frags.assign_leaders({2, 2, 2});
   EXPECT_EQ(frags.fragment_count(), 1u);
   EXPECT_EQ(frags.leaders(), (std::vector<NodeId>{2, 2, 2}));
@@ -39,25 +43,42 @@ TEST(FragmentSet, AssignAndSetLeaders) {
 }
 
 TEST(FragmentSet, AddTreeEdgeTracksAdjacencyAndMembership) {
-  FragmentSet frags(3, 3);
-  frags.add_tree_edge({2, 1, 0.5}, 1);
+  FragmentSet frags(3);
+  frags.add_tree_edge({2, 1, 0.5});
   ASSERT_EQ(frags.tree().size(), 1u);
   // Stored canonically (u < v) regardless of the argument's orientation.
   EXPECT_EQ(frags.tree()[0].u, 1u);
   EXPECT_EQ(frags.tree()[0].v, 2u);
-  EXPECT_TRUE(frags.edge_in_tree(1));
-  EXPECT_FALSE(frags.edge_in_tree(0));
+  EXPECT_TRUE(frags.edge_in_tree(1, 2));
+  EXPECT_TRUE(frags.edge_in_tree(2, 1));
+  EXPECT_FALSE(frags.edge_in_tree(0, 1));
   EXPECT_EQ(frags.tree_adjacency()[1], (std::vector<NodeId>{2}));
   EXPECT_EQ(frags.tree_adjacency()[2], (std::vector<NodeId>{1}));
 }
 
+TEST(FragmentSet, CandidateOrderMirrorsTheCanonicalEdgeOrder) {
+  // (weight, canonical endpoints) — orientation of (from, to) is irrelevant,
+  // and the default candidate (no outgoing edge) ranks after everything.
+  const Candidate a{0.1, 3, 1};
+  const Candidate b{0.2, 0, 1};
+  const Candidate c{0.2, 2, 0};
+  EXPECT_TRUE(FragmentSet::candidate_less(a, b));
+  EXPECT_TRUE(FragmentSet::candidate_less(b, c));   // same w: (0,1) < (0,2)
+  EXPECT_FALSE(FragmentSet::candidate_less(c, b));
+  EXPECT_FALSE(FragmentSet::candidate_less(a, Candidate{0.1, 1, 3}));
+  const Candidate none;
+  EXPECT_FALSE(none.valid());
+  EXPECT_TRUE(FragmentSet::candidate_less(a, none));
+  EXPECT_FALSE(FragmentSet::candidate_less(none, a));
+}
+
 TEST(FragmentSet, ViewIsBfsFromTheLeader) {
   // Path 0-1-2-3 led by node 1: depths fan out from the leader.
-  FragmentSet frags(4, 3);
+  FragmentSet frags(4);
   frags.assign_leaders({1, 1, 1, 1});
-  frags.add_tree_edge({0, 1, 1.0}, 0);
-  frags.add_tree_edge({1, 2, 1.0}, 1);
-  frags.add_tree_edge({2, 3, 1.0}, 2);
+  frags.add_tree_edge({0, 1, 1.0});
+  frags.add_tree_edge({1, 2, 1.0});
+  frags.add_tree_edge({2, 3, 1.0});
   const FragmentView view = frags.view(1);
   ASSERT_EQ(view.order.size(), 4u);
   EXPECT_EQ(view.order[0], 1u);
@@ -71,22 +92,20 @@ TEST(FragmentSet, ViewIsBfsFromTheLeader) {
 
 TEST(FragmentSet, MergeDeduplicatesMutualPicksAndElectsCoreEndpoint) {
   // Fragments {0,1} (leader 0) and {2,3} (leader 2) both choose edge 1-2.
-  const std::vector<graph::Edge> edges = {
-      {0, 1, 0.1}, {1, 2, 0.2}, {2, 3, 0.3}};
-  FragmentSet frags(4, edges.size());
+  FragmentSet frags(4);
   frags.assign_leaders({0, 0, 2, 2});
-  frags.add_tree_edge(edges[0], 0);
-  frags.add_tree_edge(edges[2], 2);
+  frags.add_tree_edge({0, 1, 0.1});
+  frags.add_tree_edge({2, 3, 0.3});
 
-  const std::unordered_map<NodeId, Candidate> selected = {
-      {0, Candidate{1, 1, 2}}, {2, Candidate{1, 2, 1}}};
+  const Selected selected = {{0, Candidate{0.2, 1, 2}},
+                             {2, Candidate{0.2, 2, 1}}};
   std::unordered_set<NodeId> passive;
   const std::vector<NodeId> changed =
-      frags.merge(selected, passive, /*retain_passive_id=*/true, edges);
+      frags.merge(selected, passive, /*retain_passive_id=*/true);
 
   // The mutual pick lands in the forest exactly once.
   EXPECT_EQ(frags.tree().size(), 3u);
-  EXPECT_TRUE(frags.edge_in_tree(1));
+  EXPECT_TRUE(frags.edge_in_tree(1, 2));
   EXPECT_EQ(frags.fragment_count(), 1u);
   // New leader = higher-id endpoint of the core edge (1,2) -> node 2; only
   // the old fragment of 0 changes identity.
@@ -96,16 +115,14 @@ TEST(FragmentSet, MergeDeduplicatesMutualPicksAndElectsCoreEndpoint) {
 
 TEST(FragmentSet, MergeRetainsThePassiveLeader) {
   // Passive singleton {0} is absorbed by {1,2}; the group keeps id 0.
-  const std::vector<graph::Edge> edges = {{0, 1, 0.1}, {1, 2, 0.2}};
-  FragmentSet frags(3, edges.size());
+  FragmentSet frags(3);
   frags.assign_leaders({0, 2, 2});
-  frags.add_tree_edge(edges[1], 1);
+  frags.add_tree_edge({1, 2, 0.2});
 
-  const std::unordered_map<NodeId, Candidate> selected = {
-      {2, Candidate{0, 1, 0}}};
+  const Selected selected = {{2, Candidate{0.1, 1, 0}}};
   std::unordered_set<NodeId> passive = {0};
   const std::vector<NodeId> changed =
-      frags.merge(selected, passive, /*retain_passive_id=*/true, edges);
+      frags.merge(selected, passive, /*retain_passive_id=*/true);
 
   EXPECT_EQ(frags.leaders(), (std::vector<NodeId>{0, 0, 0}));
   EXPECT_EQ(changed, (std::vector<NodeId>{1, 2}));
@@ -114,16 +131,14 @@ TEST(FragmentSet, MergeRetainsThePassiveLeader) {
 }
 
 TEST(FragmentSet, MergeWithoutRetentionUsesTheCoreEdge) {
-  const std::vector<graph::Edge> edges = {{0, 1, 0.1}, {1, 2, 0.2}};
-  FragmentSet frags(3, edges.size());
+  FragmentSet frags(3);
   frags.assign_leaders({0, 2, 2});
-  frags.add_tree_edge(edges[1], 1);
+  frags.add_tree_edge({1, 2, 0.2});
 
-  const std::unordered_map<NodeId, Candidate> selected = {
-      {2, Candidate{0, 1, 0}}};
+  const Selected selected = {{2, Candidate{0.1, 1, 0}}};
   std::unordered_set<NodeId> passive = {0};
   const std::vector<NodeId> changed =
-      frags.merge(selected, passive, /*retain_passive_id=*/false, edges);
+      frags.merge(selected, passive, /*retain_passive_id=*/false);
 
   // Core edge (1,0) -> higher endpoint 1 leads; every node changes.
   EXPECT_EQ(frags.leaders(), (std::vector<NodeId>{1, 1, 1}));
@@ -132,36 +147,21 @@ TEST(FragmentSet, MergeWithoutRetentionUsesTheCoreEdge) {
   EXPECT_EQ(passive, (std::unordered_set<NodeId>{1}));
 }
 
-/// Canonical edge list of a 5-node path, plus its index lookup.
-struct PathFixture {
-  std::vector<graph::Edge> edges;
-  [[nodiscard]] std::uint64_t index_of(NodeId u, NodeId v) const {
-    for (std::uint64_t i = 0; i < edges.size(); ++i) {
-      if (edges[i] == graph::Edge{u, v, 0.0}) return i;
-    }
-    ADD_FAILURE() << "unknown edge " << u << "-" << v;
-    return 0;
-  }
-};
-
 TEST(FragmentSet, RepairSplitsAroundDownNodes) {
   // Path 0-1-2-3-4 all led by 0; node 2 crashes.
-  PathFixture fix;
-  for (NodeId u = 0; u + 1 < 5; ++u) fix.edges.push_back({u, u + 1, 0.1});
-  FragmentSet frags(5, fix.edges.size());
+  FragmentSet frags(5);
   frags.assign_leaders({0, 0, 0, 0, 0});
-  for (std::uint64_t i = 0; i < fix.edges.size(); ++i)
-    frags.add_tree_edge(fix.edges[i], i);
+  for (NodeId u = 0; u + 1 < 5; ++u) frags.add_tree_edge({u, u + 1, 0.1});
 
   const std::vector<bool> down = {false, false, true, false, false};
-  const std::vector<NodeId> changed = frags.repair(
-      down, [&](NodeId u, NodeId v) { return fix.index_of(u, v); });
+  const std::vector<NodeId> changed = frags.repair(down);
 
   // Edges incident to the crash are gone from the forest.
   EXPECT_EQ(frags.tree().size(), 2u);
-  EXPECT_FALSE(frags.edge_in_tree(fix.index_of(1, 2)));
-  EXPECT_FALSE(frags.edge_in_tree(fix.index_of(2, 3)));
-  EXPECT_TRUE(frags.edge_in_tree(fix.index_of(0, 1)));
+  EXPECT_FALSE(frags.edge_in_tree(1, 2));
+  EXPECT_FALSE(frags.edge_in_tree(2, 3));
+  EXPECT_TRUE(frags.edge_in_tree(0, 1));
+  EXPECT_TRUE(frags.edge_in_tree(3, 4));
   // {0,1} keeps the surviving old leader; {3,4} re-elects its minimum live
   // member; the down node becomes a dormant singleton.
   EXPECT_EQ(frags.leaders(), (std::vector<NodeId>{0, 0, 2, 3, 3}));
@@ -172,16 +172,13 @@ TEST(FragmentSet, RepairSplitsAroundDownNodes) {
 TEST(FragmentSet, RepairKeepsAnInteriorLeaderAlive) {
   // Path 0-1-2 led by the middle node 1; crashing 2 leaves the old leader
   // inside the surviving component, so nothing live changes identity.
-  PathFixture fix;
-  fix.edges = {{0, 1, 0.1}, {1, 2, 0.2}};
-  FragmentSet frags(3, fix.edges.size());
+  FragmentSet frags(3);
   frags.assign_leaders({1, 1, 1});
-  frags.add_tree_edge(fix.edges[0], 0);
-  frags.add_tree_edge(fix.edges[1], 1);
+  frags.add_tree_edge({0, 1, 0.1});
+  frags.add_tree_edge({1, 2, 0.2});
 
   const std::vector<bool> down = {false, false, true};
-  const std::vector<NodeId> changed = frags.repair(
-      down, [&](NodeId u, NodeId v) { return fix.index_of(u, v); });
+  const std::vector<NodeId> changed = frags.repair(down);
 
   EXPECT_EQ(frags.leaders(), (std::vector<NodeId>{1, 1, 2}));
   EXPECT_TRUE(changed.empty());

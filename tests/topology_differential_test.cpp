@@ -1,0 +1,323 @@
+// Backend differential: implicit vs materialized topology (docs/PERF.md).
+//
+// The contract: `sim::ImplicitTopology` is a drop-in for `sim::Topology`.
+// For the same point set and radius, every driver (classic GHS, sync GHS,
+// EOPT, Co-NNT) must produce the SAME observable result on both backends —
+// tree (weights bitwise), accounting (float energy bitwise), phases,
+// fault/ARQ counters, per-node ledger, breakdown matrix, and the complete
+// telemetry event stream — at every thread count, with and without
+// faults+ARQ. Equality assertions, not tolerances: one flipped bit fails.
+//
+// The enumeration layer is pinned separately: `neighbors`, `neighbors_within`
+// and `nodes_within` must yield identical sequences (ids in order, weights
+// bitwise), which is what makes the driver-level identity possible at all.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "emst/eopt/eopt.hpp"
+#include "emst/geometry/sampling.hpp"
+#include "emst/ghs/classic.hpp"
+#include "emst/ghs/sync.hpp"
+#include "emst/nnt/connt.hpp"
+#include "emst/rgg/radii.hpp"
+#include "emst/run_report.hpp"
+#include "emst/sim/implicit_topology.hpp"
+#include "emst/sim/topology.hpp"
+#include "emst/support/rng.hpp"
+
+namespace emst {
+namespace {
+
+constexpr std::size_t kNodes = 160;
+constexpr std::size_t kSeeds = 10;
+constexpr std::size_t kThreadCounts[] = {1, 2, 4};
+
+std::vector<geometry::Point2> make_points(std::uint64_t seed,
+                                          std::size_t n = kNodes) {
+  support::Rng rng(seed);
+  return geometry::uniform_points(n, rng);
+}
+
+// --- Enumeration-layer equivalence ---------------------------------------
+
+TEST(TopologyBackends, NeighborEnumerationIsIdentical) {
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const auto points = make_points(seed);
+    const double radius = rgg::connectivity_radius(kNodes);
+    const sim::Topology mat(points, radius);
+    const sim::ImplicitTopology imp(points, radius);
+    ASSERT_EQ(mat.node_count(), imp.node_count());
+    EXPECT_EQ(mat.edge_count(), imp.edge_count());
+    for (sim::NodeId u = 0; u < mat.node_count(); ++u) {
+      const auto want = mat.neighbors(u);
+      const auto got = imp.neighbors(u);
+      ASSERT_EQ(got.size(), want.size()) << "node " << u << " seed " << seed;
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(got[i].id, want[i].id) << "node " << u << " slot " << i;
+        EXPECT_EQ(got[i].w, want[i].w) << "node " << u << " slot " << i;
+      }
+    }
+  }
+}
+
+TEST(TopologyBackends, SubRadiusQueriesAreIdentical) {
+  // Sub-radius enumeration (the EOPT Step-1 path) and the Co-NNT probe
+  // query must agree too, including exactly at the topology radius.
+  const auto points = make_points(3);
+  const double radius = rgg::connectivity_radius(kNodes);
+  const sim::Topology mat(points, radius);
+  const sim::ImplicitTopology imp(points, radius);
+  const double radii[] = {radius / 4, radius / 2, radius * 0.99, radius};
+  for (const double r : radii) {
+    for (sim::NodeId u = 0; u < mat.node_count(); ++u) {
+      const auto want = mat.neighbors_within(u, r);
+      const auto got = imp.neighbors_within(u, r);
+      ASSERT_EQ(got.size(), want.size()) << "node " << u << " r " << r;
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(got[i].id, want[i].id);
+        EXPECT_EQ(got[i].w, want[i].w);
+      }
+      EXPECT_EQ(imp.nodes_within(u, r), mat.nodes_within(u, r));
+    }
+  }
+}
+
+TEST(TopologyBackends, EdgeRanksMatchTheCsrEdgeIndex) {
+  // Classic GHS relies on a stable edge identity; the implicit backend's
+  // lazily-built rank table must reproduce the CSR's edge_index exactly.
+  const auto points = make_points(5);
+  const double radius = rgg::connectivity_radius(kNodes);
+  const sim::Topology mat(points, radius);
+  const sim::ImplicitTopology imp(points, radius);
+  imp.ensure_edge_ranks();
+  for (sim::NodeId u = 0; u < mat.node_count(); ++u) {
+    const auto want = mat.neighbors(u);
+    const auto got = imp.neighbors(u);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(imp.edge_rank(u, want[i].id), want[i].edge_index);
+      EXPECT_EQ(got[i].edge_index, want[i].edge_index);
+    }
+  }
+}
+
+// --- Driver-level equivalence --------------------------------------------
+
+/// Everything observable about one run, copied out of the report.
+struct Observed {
+  std::vector<graph::Edge> tree;
+  sim::Accounting totals;
+  std::size_t phases = 0;
+  std::size_t fragments = 0;
+  sim::FaultStats faults;
+  sim::ArqStats arq;
+  std::vector<double> per_node;
+  sim::EnergyBreakdown breakdown;
+  bool hit_phase_cap = false;
+  std::vector<sim::TelemetryEvent> events;
+};
+
+Observed observe(const RunReport& report, const std::vector<graph::Edge>& tree,
+                 const sim::MemoryTraceSink& sink) {
+  Observed out;
+  out.tree = tree;
+  out.totals = report.totals;
+  out.phases = report.phases;
+  out.fragments = report.fragments;
+  out.faults = report.faults;
+  out.arq = report.arq;
+  if (report.per_node_energy != nullptr) out.per_node = *report.per_node_energy;
+  if (report.breakdown != nullptr) out.breakdown = *report.breakdown;
+  out.hit_phase_cap = report.hit_phase_cap;
+  out.events = sink.events();
+  return out;
+}
+
+void expect_observed_equal(const Observed& got, const Observed& want,
+                           const char* label, std::uint64_t seed,
+                           std::size_t threads) {
+  SCOPED_TRACE(testing::Message() << label << " seed=" << seed
+                                  << " threads=" << threads);
+  ASSERT_EQ(got.tree.size(), want.tree.size());
+  for (std::size_t i = 0; i < got.tree.size(); ++i) {
+    EXPECT_EQ(got.tree[i].u, want.tree[i].u);
+    EXPECT_EQ(got.tree[i].v, want.tree[i].v);
+    EXPECT_EQ(got.tree[i].w, want.tree[i].w);  // bitwise
+  }
+  EXPECT_EQ(got.totals.energy, want.totals.energy);  // bitwise, no NEAR
+  EXPECT_EQ(got.totals.unicasts, want.totals.unicasts);
+  EXPECT_EQ(got.totals.broadcasts, want.totals.broadcasts);
+  EXPECT_EQ(got.totals.deliveries, want.totals.deliveries);
+  EXPECT_EQ(got.totals.bits, want.totals.bits);
+  EXPECT_EQ(got.totals.rounds, want.totals.rounds);
+  EXPECT_EQ(got.phases, want.phases);
+  EXPECT_EQ(got.fragments, want.fragments);
+  EXPECT_EQ(got.faults.lost, want.faults.lost);
+  EXPECT_EQ(got.faults.dropped_crashed, want.faults.dropped_crashed);
+  EXPECT_EQ(got.faults.suppressed, want.faults.suppressed);
+  EXPECT_EQ(got.arq.data_sent, want.arq.data_sent);
+  EXPECT_EQ(got.arq.retransmissions, want.arq.retransmissions);
+  EXPECT_EQ(got.arq.acks_sent, want.arq.acks_sent);
+  EXPECT_EQ(got.arq.delivered, want.arq.delivered);
+  EXPECT_EQ(got.arq.give_ups, want.arq.give_ups);
+  EXPECT_EQ(got.arq.timeout_rounds, want.arq.timeout_rounds);
+  EXPECT_EQ(got.per_node, want.per_node);  // element-wise bitwise
+  EXPECT_EQ(got.breakdown, want.breakdown);
+  EXPECT_EQ(got.hit_phase_cap, want.hit_phase_cap);
+  ASSERT_EQ(got.events.size(), want.events.size());
+  for (std::size_t i = 0; i < got.events.size(); ++i) {
+    ASSERT_EQ(got.events[i], want.events[i]) << "event " << i;
+  }
+}
+
+sim::FaultModel faulty_model() {
+  sim::FaultModel faults;
+  faults.loss = 0.08;
+  faults.use_gilbert = true;
+  faults.crashes.push_back({7, 4, 18});
+  faults.crashes.push_back({23, 0, 12});
+  return faults;
+}
+
+template <typename Options>
+void configure(Options& options, std::size_t threads,
+               sim::Telemetry* telemetry) {
+  options.track_per_node_energy = true;
+  options.record_breakdown = true;
+  options.threads = threads;
+  options.telemetry = telemetry;
+}
+
+/// Runs `run_at(topo, seed, threads)` on both backends over the full seed ×
+/// thread matrix and asserts the Observed results are identical.
+template <typename RunFn>
+void expect_backend_invariant(const char* label, double radius_factor,
+                              RunFn&& run_at) {
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const auto points = make_points(seed);
+    const double radius = rgg::connectivity_radius(kNodes, radius_factor);
+    const sim::Topology mat(points, radius);
+    const sim::ImplicitTopology imp(points, radius);
+    for (const std::size_t threads : kThreadCounts) {
+      const Observed want = run_at(mat, seed, threads);
+      const Observed got = run_at(imp, seed, threads);
+      EXPECT_FALSE(want.tree.empty())
+          << label << " seed " << seed << ": empty tree";
+      expect_observed_equal(got, want, label, seed, threads);
+    }
+  }
+}
+
+TEST(BackendDifferential, ClassicGhs) {
+  expect_backend_invariant(
+      "ghs", 1.6, [](const auto& topo, std::uint64_t, std::size_t threads) {
+        sim::MemoryTraceSink sink;
+        sim::Telemetry telemetry(&sink);
+        ghs::ClassicGhsOptions options;
+        configure(options, threads, &telemetry);
+        const auto run = ghs::run_classic_ghs(topo, options);
+        return observe(run.report(), run.tree, sink);
+      });
+}
+
+TEST(BackendDifferential, ClassicGhsCachedWithDelays) {
+  expect_backend_invariant(
+      "ghs-cached", 1.6,
+      [](const auto& topo, std::uint64_t seed, std::size_t threads) {
+        sim::MemoryTraceSink sink;
+        sim::Telemetry telemetry(&sink);
+        ghs::ClassicGhsOptions options;
+        options.moe = ghs::MoeStrategy::kCachedConfirm;
+        options.delays = {3, 0xabc0ULL + seed};
+        configure(options, threads, &telemetry);
+        const auto run = ghs::run_classic_ghs(topo, options);
+        return observe(run.report(), run.tree, sink);
+      });
+}
+
+TEST(BackendDifferential, SyncGhs) {
+  expect_backend_invariant(
+      "sync", 1.6, [](const auto& topo, std::uint64_t, std::size_t threads) {
+        sim::MemoryTraceSink sink;
+        sim::Telemetry telemetry(&sink);
+        ghs::SyncGhsOptions options;
+        configure(options, threads, &telemetry);
+        const auto run = ghs::run_sync_ghs(topo, options);
+        return observe(run.report(), run.run.tree, sink);
+      });
+}
+
+TEST(BackendDifferential, SyncGhsProbeFaultyArq) {
+  expect_backend_invariant(
+      "sync-probe+faults", 1.6,
+      [](const auto& topo, std::uint64_t seed, std::size_t threads) {
+        sim::MemoryTraceSink sink;
+        sim::Telemetry telemetry(&sink);
+        ghs::SyncGhsOptions options;
+        options.neighbor_cache = false;
+        options.faults = faulty_model();
+        options.faults.seed += seed;
+        options.arq.enabled = true;
+        configure(options, threads, &telemetry);
+        const auto run = ghs::run_sync_ghs(topo, options);
+        return observe(run.report(), run.run.tree, sink);
+      });
+}
+
+TEST(BackendDifferential, Eopt) {
+  expect_backend_invariant(
+      "eopt", 1.6, [](const auto& topo, std::uint64_t, std::size_t threads) {
+        sim::MemoryTraceSink sink;
+        sim::Telemetry telemetry(&sink);
+        eopt::EoptOptions options;
+        configure(options, threads, &telemetry);
+        const auto run = eopt::run_eopt(topo, options);
+        return observe(run.report(), run.run.tree, sink);
+      });
+}
+
+TEST(BackendDifferential, EoptFaultyArq) {
+  expect_backend_invariant(
+      "eopt+faults", 1.6,
+      [](const auto& topo, std::uint64_t seed, std::size_t threads) {
+        sim::MemoryTraceSink sink;
+        sim::Telemetry telemetry(&sink);
+        eopt::EoptOptions options;
+        options.faults = faulty_model();
+        options.faults.seed += seed;
+        options.arq.enabled = true;
+        configure(options, threads, &telemetry);
+        const auto run = eopt::run_eopt(topo, options);
+        return observe(run.report(), run.run.tree, sink);
+      });
+}
+
+TEST(BackendDifferential, CoNnt) {
+  expect_backend_invariant(
+      "connt", 1.6, [](const auto& topo, std::uint64_t, std::size_t threads) {
+        sim::MemoryTraceSink sink;
+        sim::Telemetry telemetry(&sink);
+        nnt::CoNntOptions options;
+        configure(options, threads, &telemetry);
+        const auto run = nnt::run_connt(topo, options);
+        return observe(run.report(), run.tree, sink);
+      });
+}
+
+TEST(BackendDifferential, CoNntActor) {
+  expect_backend_invariant(
+      "connt-actor", 1.6,
+      [](const auto& topo, std::uint64_t, std::size_t threads) {
+        sim::MemoryTraceSink sink;
+        sim::Telemetry telemetry(&sink);
+        nnt::CoNntOptions options;
+        configure(options, threads, &telemetry);
+        const auto run = nnt::run_connt_actor(topo, options);
+        return observe(run.report(), run.tree, sink);
+      });
+}
+
+}  // namespace
+}  // namespace emst
