@@ -1,0 +1,317 @@
+// Chaos campaign: adversarial crash strategies vs every driver
+// (docs/ROBUSTNESS.md).
+//
+// For each driver (EOPT, single-phase GHS, classic GHS, Co-NNT) and each
+// shipped chaos strategy (kill_leader, sever_core_edge, partition_half,
+// crash_wave) the campaign runs `trials` seeded fields with the adversarial
+// fault controller attached and the invariant oracle on, then reports:
+//
+//   survival  — fraction of nodes still alive at termination (the strategies
+//               kill permanently, budget-capped at 20% of n);
+//   exact     — fraction of trials whose output matched the survivor-subgraph
+//               recomputation (Kruskal MSF over the edges with both endpoints
+//               alive; for Co-NNT the nearest higher-ranked surviving node
+//               within the protocol's doubling-radius cap). The fail-stop
+//               contract says this must be 1.0 — enforced by
+//               scripts/validate_bench.py on the tracked BENCH_chaos.json;
+//   overhead  — energy vs the same driver's fault-free run on the same field
+//               (the price of crash repair / epoch restarts);
+//   kills     — mean nodes the strategy killed;
+//   oracle_violations — runtime invariant failures (must stay 0).
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "emst/eopt/eopt.hpp"
+#include "emst/geometry/sampling.hpp"
+#include "emst/ghs/classic.hpp"
+#include "emst/ghs/sync.hpp"
+#include "emst/graph/mst.hpp"
+#include "emst/graph/tree_utils.hpp"
+#include "emst/nnt/connt.hpp"
+#include "emst/sim/chaos.hpp"
+#include "emst/sim/oracle.hpp"
+#include "emst/support/cli.hpp"
+#include "emst/support/json.hpp"
+#include "emst/support/rng.hpp"
+#include "emst/support/stats.hpp"
+#include "emst/support/table.hpp"
+
+namespace {
+
+using namespace emst;
+
+constexpr std::array<std::string_view, 4> kDrivers = {
+    "eopt", "sync_ghs", "classic_ghs", "connt"};
+
+/// One chaos run: output tree/parents + accounting + the crash record.
+struct RunOut {
+  std::vector<graph::Edge> tree;
+  std::vector<graph::NodeId> parent;  ///< connt only
+  double energy = 0.0;
+  std::vector<sim::CrashWindow> injected;
+  std::size_t kills = 0;
+  std::size_t epochs = 1;
+};
+
+/// Per-node alive mask from a permanent-kill injection record.
+std::vector<char> alive_mask(std::size_t n,
+                             std::span<const sim::CrashWindow> injected) {
+  std::vector<char> alive(n, 1);
+  for (const sim::CrashWindow& w : injected) {
+    if (w.until == sim::kCrashForever && w.node < n) alive[w.node] = 0;
+  }
+  return alive;
+}
+
+/// Survivor-subgraph MSF: Kruskal over the edges with both endpoints alive —
+/// the oracle every MST driver's chaos output is checked against.
+std::vector<graph::Edge> survivor_msf(const sim::Topology& topo,
+                                      const std::vector<char>& alive) {
+  std::vector<graph::Edge> edges;
+  for (const graph::Edge& e : topo.graph().edges()) {
+    if (alive[e.u] && alive[e.v]) edges.push_back(e);
+  }
+  return graph::kruskal_msf(topo.node_count(), std::move(edges));
+}
+
+/// The Co-NNT contract under fail-stop: every survivor connects to its
+/// nearest higher-ranked survivor within the doubling schedule's terminal
+/// radius (the protocol stops doubling after m = ceil(lg(n_est * L_u^2))
+/// rounds, so a node whose higher-ranked neighbours all died beyond that
+/// radius legitimately terminates as a root). Dead nodes stay parentless.
+std::vector<graph::NodeId> survivor_nnt_parents(
+    std::span<const geometry::Point2> points, const std::vector<char>& alive,
+    nnt::RankScheme scheme) {
+  const std::size_t n = points.size();
+  const double n_est = std::max(2.0, static_cast<double>(n));
+  std::vector<graph::NodeId> parent(n, graph::kNoNode);
+  for (graph::NodeId u = 0; u < n; ++u) {
+    if (!alive[u]) continue;
+    const double lu = nnt::potential_distance(scheme, points[u]);
+    const double m =
+        std::max(1.0, std::ceil(std::log2(std::max(2.0, n_est * lu * lu))));
+    const double cap = std::min(std::sqrt(std::pow(2.0, m) / n_est),
+                                std::sqrt(2.0));
+    graph::NodeId best = graph::kNoNode;
+    double best_d = 0.0;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (v == u || !alive[v]) continue;
+      if (!nnt::rank_less(scheme, points, u, v)) continue;
+      const double d = geometry::distance(points[u], points[v]);
+      if (d > cap) continue;
+      if (best == graph::kNoNode || d < best_d || (d == best_d && v < best)) {
+        best = v;
+        best_d = d;
+      }
+    }
+    parent[u] = best;
+  }
+  return parent;
+}
+
+RunOut run_driver(std::string_view driver, const sim::Topology& topo,
+                  sim::FaultController* controller, std::uint64_t fault_seed,
+                  sim::InvariantOracle* oracle) {
+  sim::FaultModel faults;
+  faults.controller = controller;
+  faults.seed = fault_seed;
+  RunOut out;
+  if (driver == "eopt") {
+    eopt::EoptOptions opt;
+    opt.faults = faults;
+    opt.oracle = oracle;
+    auto res = eopt::run_eopt(topo, opt);
+    out.tree = std::move(res.run.tree);
+    out.energy = res.run.totals.energy;
+    out.injected = std::move(res.run.injected_crashes);
+  } else if (driver == "sync_ghs") {
+    ghs::SyncGhsOptions opt;
+    opt.faults = faults;
+    opt.oracle = oracle;
+    auto res = ghs::run_sync_ghs(topo, opt);
+    out.tree = std::move(res.run.tree);
+    out.energy = res.run.totals.energy;
+    out.injected = std::move(res.injected_crashes);
+  } else if (driver == "classic_ghs") {
+    ghs::ClassicGhsOptions opt;
+    opt.faults = faults;
+    opt.oracle = oracle;
+    auto res = ghs::run_classic_ghs(topo, opt);
+    out.tree = std::move(res.tree);
+    out.energy = res.totals.energy;
+    out.injected = std::move(res.injected_crashes);
+    out.epochs = res.epochs;
+  } else {
+    nnt::CoNntOptions opt;
+    opt.faults = faults;
+    opt.oracle = oracle;
+    auto res = nnt::run_connt(topo, opt);
+    out.tree = std::move(res.tree);
+    out.parent = std::move(res.parent);
+    out.energy = res.totals.energy;
+    out.injected = std::move(res.injected_crashes);
+    out.epochs = res.epochs;
+  }
+  return out;
+}
+
+double baseline_energy(std::string_view driver, const sim::Topology& topo) {
+  if (driver == "eopt") return eopt::run_eopt(topo).run.totals.energy;
+  if (driver == "sync_ghs")
+    return ghs::run_sync_ghs(topo, {}).run.totals.energy;
+  if (driver == "classic_ghs")
+    return ghs::run_classic_ghs(topo, {}).totals.energy;
+  return nnt::run_connt(topo, {}).totals.energy;
+}
+
+struct Cell {
+  support::RunningStats survival, overhead, kills, epochs;
+  std::size_t exact = 0;
+  std::uint64_t oracle_violations = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const support::Cli cli(
+      argc, argv,
+      {{"n", "node count (default 192)"},
+       {"trials", "trials per (driver, strategy) cell (default 5)"},
+       {"seed", "master seed (default 2008)"},
+       {"json", "output JSON path (default BENCH_chaos.json)"},
+       {"csv", "write CSV to this path"}});
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 192));
+  const auto trials = static_cast<std::size_t>(cli.get_int("trials", 5));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 2008));
+  const std::string json_path = cli.get("json", "BENCH_chaos.json");
+
+  const auto strategies = sim::shipped_strategies();
+  std::printf("chaos campaign at n=%zu: %zu drivers x %zu strategies x %zu "
+              "trials, invariant oracle on\n\n",
+              n, kDrivers.size(), strategies.size(), trials);
+
+  // One field + per-driver fault-free baseline per trial, shared by every
+  // strategy so overhead factors compare like with like.
+  std::vector<sim::Topology> fields;
+  fields.reserve(trials);
+  std::vector<std::array<double, kDrivers.size()>> baselines(trials);
+  for (std::size_t t = 0; t < trials; ++t) {
+    support::Rng rng(support::Rng::stream_seed(seed, t));
+    fields.push_back(eopt::eopt_topology(geometry::uniform_points(n, rng)));
+    for (std::size_t di = 0; di < kDrivers.size(); ++di) {
+      baselines[t][di] = baseline_energy(kDrivers[di], fields[t]);
+    }
+  }
+
+  std::vector<std::vector<Cell>> cells(
+      kDrivers.size(), std::vector<Cell>(strategies.size()));
+  for (std::size_t di = 0; di < kDrivers.size(); ++di) {
+    for (std::size_t si = 0; si < strategies.size(); ++si) {
+      Cell& cell = cells[di][si];
+      for (std::size_t t = 0; t < trials; ++t) {
+        const auto controller = sim::make_controller(strategies[si]);
+        sim::InvariantOracle oracle;
+        const RunOut out = run_driver(
+            kDrivers[di], fields[t], controller.get(),
+            support::Rng::stream_seed(seed ^ 0xC4A05ULL, t), &oracle);
+        const std::vector<char> alive = alive_mask(n, out.injected);
+        const auto dead =
+            static_cast<std::size_t>(std::count(alive.begin(), alive.end(), 0));
+        bool exact;
+        if (kDrivers[di] == "connt") {
+          exact = out.parent ==
+                  survivor_nnt_parents(fields[t].points(), alive,
+                                       nnt::RankScheme::kDiagonal);
+        } else {
+          exact = graph::same_edge_set(out.tree, survivor_msf(fields[t], alive));
+        }
+        cell.survival.add(static_cast<double>(n - dead) /
+                          static_cast<double>(n));
+        cell.overhead.add(out.energy / baselines[t][di]);
+        cell.kills.add(static_cast<double>(controller->kills()));
+        cell.epochs.add(static_cast<double>(out.epochs));
+        if (exact) ++cell.exact;
+        cell.oracle_violations += oracle.violations().size();
+      }
+    }
+  }
+
+  support::Table table({"driver", "strategy", "survival", "exact", "overhead",
+                        "kills", "epochs", "oracle"});
+  table.set_precision(2, 3);
+  table.set_precision(4, 3);
+  for (std::size_t di = 0; di < kDrivers.size(); ++di) {
+    for (std::size_t si = 0; si < strategies.size(); ++si) {
+      const Cell& cell = cells[di][si];
+      table.add_row({std::string(kDrivers[di]), std::string(strategies[si]),
+                     cell.survival.mean(),
+                     std::string(std::to_string(cell.exact) + "/" +
+                                 std::to_string(trials)),
+                     cell.overhead.mean(), cell.kills.mean(),
+                     cell.epochs.mean(),
+                     static_cast<double>(cell.oracle_violations)});
+    }
+  }
+  table.print(std::cout);
+  if (cli.has("csv")) table.save_csv(cli.get("csv", ""));
+
+  {
+    std::ofstream os(json_path);
+    if (!os) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    support::JsonWriter json(os);
+    json.begin_object();
+    json.key("n").value(static_cast<std::uint64_t>(n));
+    json.key("trials").value(static_cast<std::uint64_t>(trials));
+    json.key("seed").value(seed);
+    json.key("max_kill_fraction").value(0.2);
+    json.key("campaign").begin_array();
+    for (std::size_t di = 0; di < kDrivers.size(); ++di) {
+      for (std::size_t si = 0; si < strategies.size(); ++si) {
+        const Cell& cell = cells[di][si];
+        json.begin_object();
+        json.key("driver").value(kDrivers[di]);
+        json.key("strategy").value(strategies[si]);
+        json.key("survival").value(cell.survival.mean());
+        json.key("exact").value(static_cast<double>(cell.exact) /
+                                static_cast<double>(trials));
+        json.key("energy_overhead").value(cell.overhead.mean());
+        json.key("kills").value(cell.kills.mean());
+        json.key("epochs").value(cell.epochs.mean());
+        json.key("oracle_violations").value(cell.oracle_violations);
+        json.end_object();
+      }
+    }
+    json.end_array();
+    json.end_object();
+    os << '\n';
+  }
+  std::printf("\nwrote %s\n", json_path.c_str());
+
+  bool all_exact = true;
+  for (const auto& row : cells) {
+    for (const Cell& cell : row) {
+      if (cell.exact != trials || cell.oracle_violations != 0)
+        all_exact = false;
+    }
+  }
+  if (!all_exact) {
+    std::fprintf(stderr, "\nFAIL: some cells missed the per-component "
+                         "exactness contract or tripped the oracle\n");
+    return 1;
+  }
+  std::printf("\nevery cell met the fail-stop contract: exact MSF of each "
+              "surviving component, zero oracle violations.\n");
+  return 0;
+}

@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -30,7 +31,9 @@
 #include "emst/nnt/connt.hpp"
 #include "emst/nnt/kp_nnt.hpp"
 #include "emst/rgg/radii.hpp"
+#include "emst/sim/chaos.hpp"
 #include "emst/sim/fault.hpp"
+#include "emst/sim/oracle.hpp"
 #include "emst/sim/reliable.hpp"
 #include "emst/sim/telemetry.hpp"
 #include "emst/sim/trace_replay.hpp"
@@ -50,6 +53,7 @@ struct RunSetup {
   bool breakdown = false;
   std::size_t threads = 0;  ///< worker threads (0/1 = single-threaded)
   sim::Telemetry* telemetry = nullptr;  ///< non-null while tracing
+  sim::InvariantOracle* oracle = nullptr;  ///< non-null with --oracle=1
 };
 
 struct Record {
@@ -66,6 +70,7 @@ struct Record {
   double tree_sq = 0.0;
   bool spanning = false;
   bool exact = false;
+  std::size_t injected_crashes = 0;  ///< chaos-controller kills this run
 };
 
 /// Copy the owned parts out of a (non-owning) report before the result that
@@ -84,8 +89,9 @@ void fill_from_report(Record& record, const RunReport& report) {
 }
 
 [[noreturn]] void reject_faulty(const std::string& algo) {
-  std::cerr << "--loss/--arq apply to the fault-aware engines only "
-               "(sync|sync-probe|eopt), not " << algo << '\n';
+  std::cerr << "--loss/--arq apply to the loss-recovering engines only "
+               "(sync|sync-probe|eopt), not " << algo
+            << " (crash-only --chaos works everywhere but kpnnt)\n";
   std::exit(2);
 }
 
@@ -97,44 +103,57 @@ Record run_one(const std::string& algo, const sim::Topology& topo,
   record.algo = algo;
   std::vector<graph::Edge> tree;
   const bool faulty = setup.faults.enabled() || setup.arq.enabled;
+  // Classic GHS and Co-NNT survive crash-only (fail-stop) models via epoch
+  // restart; message loss / ARQ still needs the sync drivers' recovery.
+  const bool lossy = setup.faults.loss > 0.0 || setup.faults.use_gilbert ||
+                     setup.arq.enabled;
   if (algo == "ghs" || algo == "ghs-cached") {
-    if (faulty) reject_faulty(algo);
+    if (lossy) reject_faulty(algo);
     ghs::ClassicGhsOptions options;
     if (algo == "ghs-cached") options.moe = ghs::MoeStrategy::kCachedConfirm;
+    options.faults = setup.faults;
+    options.oracle = setup.oracle;
     options.track_per_node_energy = setup.per_node;
     options.record_breakdown = setup.breakdown;
     options.threads = setup.threads;
     options.telemetry = setup.telemetry;
     const auto run = ghs::run_classic_ghs(topo, options);
     fill_from_report(record, run.report());
+    record.injected_crashes = run.injected_crashes.size();
     tree = run.tree;
   } else if (algo == "sync" || algo == "sync-probe") {
     ghs::SyncGhsOptions options;
     options.neighbor_cache = algo == "sync";
     options.faults = setup.faults;
     options.arq = setup.arq;
+    options.oracle = setup.oracle;
     options.track_per_node_energy = setup.per_node;
     options.record_breakdown = setup.breakdown;
     options.threads = setup.threads;
     options.telemetry = setup.telemetry;
     const auto run = ghs::run_sync_ghs(topo, options);
     fill_from_report(record, run.report());
+    record.injected_crashes = run.injected_crashes.size();
     tree = run.run.tree;
   } else if (algo == "eopt") {
     eopt::EoptOptions options;
     options.faults = setup.faults;
     options.arq = setup.arq;
+    options.oracle = setup.oracle;
     options.track_per_node_energy = setup.per_node;
     options.record_breakdown = setup.breakdown;
     options.threads = setup.threads;
     options.telemetry = setup.telemetry;
     const auto run = eopt::run_eopt(topo, options);
     fill_from_report(record, run.report());
+    record.injected_crashes = run.run.injected_crashes.size();
     tree = run.run.tree;
   } else if (algo == "connt" || algo == "connt-axis") {
-    if (faulty) reject_faulty(algo);
+    if (lossy) reject_faulty(algo);
     nnt::CoNntOptions options;
     if (algo == "connt-axis") options.scheme = nnt::RankScheme::kAxis;
+    options.faults = setup.faults;
+    options.oracle = setup.oracle;
     options.track_per_node_energy = setup.per_node;
     options.record_breakdown = setup.breakdown;
     options.threads = setup.threads;
@@ -142,6 +161,7 @@ Record run_one(const std::string& algo, const sim::Topology& topo,
     const auto run = nnt::run_connt(topo, options);
     fill_from_report(record, run.report());
     record.phases = run.max_probe_rounds;
+    record.injected_crashes = run.injected_crashes.size();
     tree = run.tree;
   } else if (algo == "kpnnt") {
     if (faulty) reject_faulty(algo);
@@ -248,6 +268,11 @@ int main(int argc, char** argv) {
                 "sync|sync-probe|eopt only, see docs/ROBUSTNESS.md)"},
        {"fault-seed", "fault-layer RNG seed (default 0xFA011A)"},
        {"arq", "1 = stop-and-wait ARQ on every unicast (default 0)"},
+       {"chaos", "adversarial crash strategy (kill_leader|sever_core_edge|"
+                 "partition_half|crash_wave); crash-only fail-stop, "
+                 "any algorithm except kpnnt (docs/ROBUSTNESS.md)"},
+       {"oracle", "1 = runtime invariant oracle; exits 1 on any violation "
+                  "(docs/ROBUSTNESS.md)"},
        {"per-node", "1 = per-node energy ledger (adds hottest-node column)"},
        {"bits", "1 = bits-on-air column (proto wire codec sizes; zero for "
                 "algorithms without a wire format)"},
@@ -268,6 +293,19 @@ int main(int argc, char** argv) {
   if (cli.has("fault-seed"))
     setup.faults.seed = static_cast<std::uint64_t>(cli.get_int("fault-seed", 0));
   setup.arq.enabled = cli.get_int("arq", 0) != 0;
+  std::unique_ptr<sim::BudgetedController> chaos_controller;
+  if (cli.has("chaos")) {
+    chaos_controller = sim::make_controller(cli.get("chaos", ""));
+    if (chaos_controller == nullptr) {
+      std::cerr << "unknown chaos strategy: " << cli.get("chaos", "")
+                << " (try kill_leader|sever_core_edge|partition_half|"
+                   "crash_wave)\n";
+      return 2;
+    }
+    setup.faults.controller = chaos_controller.get();
+  }
+  sim::InvariantOracle oracle;
+  if (cli.get_int("oracle", 0) != 0) setup.oracle = &oracle;
   setup.per_node = cli.get_int("per-node", 0) != 0;
   const bool show_bits = cli.get_int("bits", 0) != 0;
   setup.breakdown = cli.get_int("breakdown", 0) != 0;
@@ -284,6 +322,11 @@ int main(int argc, char** argv) {
   }
   if (!trace_path.empty() && algos.size() != 1) {
     std::cerr << "--trace records exactly one run; pass a single --algo\n";
+    return 2;
+  }
+  if (chaos_controller != nullptr && algos.size() != 1) {
+    std::cerr << "--chaos attaches one adversary (one kill budget) to one "
+                 "run; pass a single --algo\n";
     return 2;
   }
 
@@ -356,6 +399,10 @@ int main(int argc, char** argv) {
         json.key("arq_ack_bits").value(r.arq.ack_bits);
       }
       if (r.hit_phase_cap) json.key("hit_phase_cap").value(true);
+      if (r.injected_crashes > 0)
+        json.key("injected_crashes").value(r.injected_crashes);
+      if (setup.oracle != nullptr)
+        json.key("oracle_violations").value(oracle.violations().size());
       if (!r.per_node.empty())
         json.key("hottest_node_energy").value(hottest(r.per_node));
       if (r.breakdown_recorded) json_breakdown(json, r.breakdown);
@@ -394,6 +441,19 @@ int main(int argc, char** argv) {
     for (const Record& r : records) {
       if (r.breakdown_recorded && setup.breakdown) print_breakdown(r);
     }
+    if (chaos_controller != nullptr) {
+      std::printf("chaos: strategy=%s kills=%zu\n",
+                  std::string(chaos_controller->name()).c_str(),
+                  chaos_controller->kills());
+    }
+  }
+  if (setup.oracle != nullptr && !oracle.ok()) {
+    for (const sim::OracleViolation& v : oracle.violations()) {
+      std::fprintf(stderr, "oracle violation [%s] round %llu: %s\n",
+                   v.invariant.c_str(),
+                   static_cast<unsigned long long>(v.round), v.detail.c_str());
+    }
+    return 1;
   }
   return 0;
 }

@@ -39,7 +39,7 @@ import sys
 
 EVENT_TYPES = {
     "uni", "bcast", "loss", "crash", "sup", "adel", "adup", "agup", "atmo",
-    "round",
+    "round", "cinj", "oinv",
 }
 KINDS = {
     "data", "connect", "initiate", "test", "accept", "reject", "report",
@@ -128,6 +128,13 @@ def check_file(path: str) -> None:
         ev = event["ev"]
         if ev == "round" and bits != 0:
             fail(path, lineno, "round events must not carry wire bits")
+        if ev in ("cinj", "oinv"):
+            # Chaos/oracle meta events: a crash injection ("cinj", value =
+            # the window's until-round) and an oracle violation ("oinv",
+            # value = the violation index) never transmit anything.
+            if bits != 0 or event.get("energy", 0.0) != 0.0:
+                fail(path, lineno,
+                     f"{ev} events must not carry wire bits or energy")
         if (ev == "uni" and event.get("flags", 0) & FLAG_ARQ
                 and 0 < bits < ARQ_HEADER_BITS):
             fail(path, lineno,

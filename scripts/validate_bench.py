@@ -19,6 +19,10 @@ Known records (matched by filename):
   BENCH_parallel.json   sharded-engine strong scaling; `identical` must be
                         true (the bitwise-determinism contract)
   BENCH_faults.json     loss-sweep energy overhead of ARQ over lossy links
+  BENCH_chaos.json      adversarial chaos campaign (drivers x strategies);
+                        every cell's `exact` must be 1.0 (the fail-stop
+                        per-component exactness contract) with zero
+                        oracle violations
   BENCH_telemetry.json  observer cost of the telemetry sinks;
                         `energy_identical` must be true
   BENCH_wire.json       max/mean encoded message size vs c*log2(n);
@@ -97,6 +101,41 @@ def check_faults(path: str, doc: dict) -> str:
     for row in doc["sweep"]:
         require(path, row, ("loss", "eopt", "ghs"), where="sweep row")
     return f"{len(doc['sweep'])} loss points"
+
+
+def check_chaos(path: str, doc: dict) -> str:
+    require(path, doc, ("n", "trials", "seed", "max_kill_fraction",
+                        "campaign"))
+    if not doc["campaign"]:
+        fail(path, "empty campaign")
+    if not 0 < doc["max_kill_fraction"] <= 1:
+        fail(path, f"max_kill_fraction {doc['max_kill_fraction']} outside "
+                   "(0, 1]")
+    for cell in doc["campaign"]:
+        require(path, cell, ("driver", "strategy", "survival", "exact",
+                             "energy_overhead", "kills", "epochs",
+                             "oracle_violations"), where="campaign cell")
+        where = f"{cell.get('driver', '?')} x {cell.get('strategy', '?')}"
+        if not 0 <= cell["survival"] <= 1:
+            fail(path, f"{where}: survival {cell['survival']} outside "
+                       "[0, 1]")
+        if cell["survival"] < 1 - doc["max_kill_fraction"] - 1e-9:
+            fail(path, f"{where}: survival {cell['survival']} below the "
+                       "kill-budget floor — a strategy exceeded its budget")
+        if cell["exact"] != 1.0:
+            # The graceful-degradation contract: every trial must end with
+            # the exact MST of each surviving component. A record violating
+            # it must never be committed.
+            fail(path, f"{where}: exact {cell['exact']} != 1.0 — the "
+                       "per-component exactness contract failed")
+        if cell["oracle_violations"] != 0:
+            fail(path, f"{where}: {cell['oracle_violations']} oracle "
+                       "violations — a corrupt run must never be committed")
+        if cell["epochs"] < 1:
+            fail(path, f"{where}: epochs {cell['epochs']} < 1")
+        if cell["energy_overhead"] <= 0:
+            fail(path, f"{where}: energy_overhead must be positive")
+    return f"{len(doc['campaign'])} cells, all exact, oracle silent"
 
 
 def check_telemetry(path: str, doc: dict) -> str:
@@ -194,6 +233,7 @@ CHECKS = {
     "BENCH_sim.json": check_sim,
     "BENCH_parallel.json": check_parallel,
     "BENCH_faults.json": check_faults,
+    "BENCH_chaos.json": check_chaos,
     "BENCH_telemetry.json": check_telemetry,
     "BENCH_wire.json": check_wire,
     "BENCH_scale.json": check_scale,

@@ -134,6 +134,8 @@ EoptResult run_eopt(const Topo& topo, const EoptOptions& options,
   result.arq += census_link.stats();
   result.arq += stage2.arq;
   result.fault_stats = fault_session.stats();
+  result.run.fault_stats = fault_session.stats();
+  result.run.injected_crashes = fault_session.injected_schedule();
   result.hit_phase_cap = stage1.hit_phase_cap || stage2.hit_phase_cap;
   if (options.track_per_node_energy) {
     result.per_node_energy = total.per_node();

@@ -75,13 +75,20 @@ class ClassicGhsRun {
         moe_(options.moe),
         net_(sim::make_engine<Engine>(topo, options.pathloss,
                                       /*unbounded_broadcast=*/false,
-                                      options.delays, /*faults=*/{},
+                                      options.delays, options.faults,
                                       options.telemetry, options.threads)),
         nodes_(topo.node_count()),
-        starters_(options.spontaneous_wakeups) {
+        starters_(options.spontaneous_wakeups),
+        faulty_(options.faults.enabled()) {
     EMST_ASSERT(radius_ <= topo.max_radius() * (1.0 + 1e-12));
-    EMST_ASSERT_MSG(!options.faults.enabled() && !options.arq.enabled,
-                    "classic GHS has no loss recovery; faults/ARQ unsupported");
+    // Fail-stop only: the 1983 protocol has no loss recovery, so lossy
+    // channels stay unsupported — crashes are survived by epoch restart
+    // (docs/ROBUSTNESS.md), losses would need the sync drivers' ARQ.
+    EMST_ASSERT_MSG(!options.arq.enabled, "classic GHS has no ARQ layer");
+    EMST_ASSERT_MSG(options.faults.loss == 0.0 && !options.faults.use_gilbert,
+                    "classic GHS accepts crash-only (fail-stop) fault models; "
+                    "message loss needs ARQ recovery (sync GHS / EOPT)");
+    if (options.oracle != nullptr) net_.attach_oracle(options.oracle);
     max_rounds_ = options.max_rounds > 0
                       ? options.max_rounds
                       : (50 * topo.node_count() + 1000) *
@@ -104,28 +111,106 @@ class ClassicGhsRun {
 
   MstRunResult run() {
     if (starters_.empty()) {
-      for (NodeId u = 0; u < topo_.node_count(); ++u) wakeup(u);
+      for (NodeId u = 0; u < topo_.node_count(); ++u) {
+        if (!faulty_ || !net_.faults().crashed(u)) wakeup(u);
+      }
     } else {
-      for (NodeId u : starters_) wakeup(u);
+      for (NodeId u : starters_) {
+        if (!faulty_ || !net_.faults().crashed(u)) wakeup(u);
+      }
     }
-    std::size_t rounds = 0;
-    while (net_.pending() || !deferred_.empty()) {
-      EMST_ASSERT_MSG(++rounds <= max_rounds_, "classic GHS exceeded round cap");
-      auto batch = net_.collect_round();
-      // Retry messages deferred in earlier rounds first (they are older).
-      auto retry = std::move(deferred_);
-      deferred_.clear();
-      for (auto& d : retry) dispatch(d);
-      for (auto& d : batch) dispatch(d);
-      // If only deferred messages remain and nothing is in flight, the run
-      // would spin; GHS guarantees an enabling message is always in flight,
-      // so this state means the round cap will eventually trip (bug guard).
+    // Fail-stop epochs (docs/ROBUSTNESS.md): run the 1983 protocol to
+    // quiescence; if any crash touched the epoch (a send suppressed, a
+    // delivery dropped on a dead receiver, or the crashed set changed), the
+    // epoch's state is untrusted — discard it, mark edges to dead neighbors
+    // Rejected (the modeled neighbor-timeout failure detector), and restart
+    // among the survivors. The final epoch is crash-free by construction, so
+    // the original GHS proof applies verbatim to the survivor subgraph.
+    // Permanent windows bound the epoch count; the cap is a bug guard.
+    std::vector<char> dead = dead_snapshot();
+    std::uint64_t activity = crash_activity();
+    const std::size_t max_epochs = faulty_ ? topo_.node_count() + 2 : 1;
+    while (true) {
+      run_epoch();
+      if (!faulty_) break;
+      std::vector<char> now_dead = dead_snapshot();
+      const std::uint64_t now_activity = crash_activity();
+      if (now_dead == dead && now_activity == activity) break;  // clean epoch
+      dead = std::move(now_dead);
+      activity = now_activity;
+      EMST_ASSERT_MSG(++epochs_ <= max_epochs,
+                      "classic GHS exceeded fail-stop epoch cap");
+      restart_epoch();
     }
     return harvest();
   }
 
  private:
   using Delivery = sim::Delivery<GhsMsg>;
+
+  /// Drive the protocol until quiescence: nothing in flight and nothing
+  /// deferred — or, under faults, a stall: nothing in flight and a round of
+  /// redispatching the deferred queue changed nothing (every enabler died
+  /// with a crashed node; fault-free GHS always keeps an enabling message in
+  /// flight, so the stall exit can only fire in fault mode).
+  void run_epoch() {
+    while (net_.pending() || !deferred_.empty()) {
+      EMST_ASSERT_MSG(++rounds_ <= max_rounds_,
+                      "classic GHS exceeded round cap");
+      auto batch = net_.collect_round();
+      // Retry messages deferred in earlier rounds first (they are older).
+      auto retry = std::move(deferred_);
+      deferred_.clear();
+      for (auto& d : retry) dispatch(d);
+      for (auto& d : batch) dispatch(d);
+      if (faulty_ && batch.empty() && !net_.pending() &&
+          deferred_.size() == retry.size()) {
+        return;  // stalled: only re-deferred messages remain
+      }
+    }
+  }
+
+  /// Per-node crashed bitmap at the current fault clock.
+  [[nodiscard]] std::vector<char> dead_snapshot() {
+    std::vector<char> dead(topo_.node_count(), 0);
+    if (!faulty_) return dead;
+    for (NodeId u = 0; u < topo_.node_count(); ++u) {
+      dead[u] = net_.faults().crashed(u) ? 1 : 0;
+    }
+    return dead;
+  }
+
+  /// Crash-related event count so far — any change across an epoch means a
+  /// dead node absorbed or suppressed protocol traffic during it.
+  [[nodiscard]] std::uint64_t crash_activity() const {
+    const sim::FaultStats& s = net_.fault_stats();
+    return s.dropped_crashed + s.suppressed;
+  }
+
+  /// Discard all protocol state and start over among the survivors. Edges to
+  /// permanently dead neighbors are marked Rejected up front — that is the
+  /// failure detector: after the stall timeout every survivor knows which
+  /// neighbors are gone and runs plain GHS on the survivor subgraph.
+  /// Temporarily crashed nodes keep their edges Basic; probing them drops
+  /// messages, which flags the epoch unclean and forces another restart
+  /// after they recover.
+  void restart_epoch() {
+    deferred_.clear();
+    rounds_ = 0;  // the round cap is per epoch; epochs_ bounds the restarts
+    for (NodeId u = 0; u < topo_.node_count(); ++u) {
+      NodeCtx& n = nodes_[u];
+      const auto nbs = neighbors(u);
+      n = NodeCtx{};
+      n.edge_state.assign(nbs.size(), EdgeState::kBasic);
+      for (std::size_t i = 0; i < nbs.size(); ++i) {
+        if (net_.faults().crashed_forever(nbs[i].id))
+          n.edge_state[i] = EdgeState::kRejected;
+      }
+    }
+    for (NodeId u = 0; u < topo_.node_count(); ++u) {
+      if (!net_.faults().crashed(u)) wakeup(u);
+    }
+  }
 
   [[nodiscard]] std::span<const graph::Neighbor> neighbors(NodeId u) const {
     return neighbors_within(topo_, u, radius_);
@@ -161,19 +246,28 @@ class ClassicGhsRun {
   // --- GHS procedures (numbered as in the 1983 paper) ---------------------
 
   /// (2) Spontaneous wakeup: mark the minimum-weight edge Branch and send
-  /// CONNECT(0) over it. Isolated nodes halt immediately.
+  /// CONNECT(0) over it. Isolated nodes halt immediately. After a fail-stop
+  /// restart, edges to dead neighbors are pre-Rejected, so the minimum edge
+  /// is the cheapest surviving one (slot 0 in the fault-free run).
   void wakeup(NodeId u) {
     NodeCtx& n = nodes_[u];
     if (n.state != NodeState::kSleeping) return;
     n.state = NodeState::kFound;
     n.level = 0;
     n.find_count = 0;
-    if (neighbors(u).empty()) {
-      n.halted = true;  // isolated node: its own (trivial) fragment
+    std::size_t first = kNoSlot;
+    for (std::size_t i = 0; i < n.edge_state.size(); ++i) {
+      if (n.edge_state[i] == EdgeState::kBasic) {
+        first = i;
+        break;
+      }
+    }
+    if (first == kNoSlot) {
+      n.halted = true;  // isolated node (or all neighbors dead)
       return;
     }
-    n.edge_state[0] = EdgeState::kBranch;  // slot 0 = minimum-weight edge
-    send(u, 0, Connect{0});
+    n.edge_state[first] = EdgeState::kBranch;
+    send(u, first, Connect{0});
   }
 
   /// (3) Receiving CONNECT(L) on edge j.
@@ -390,6 +484,9 @@ class ClassicGhsRun {
       result.breakdown_recorded = true;
     }
     result.telemetry = net_.meter().telemetry();
+    result.fault_stats = net_.fault_stats();
+    result.epochs = epochs_;
+    result.injected_crashes = net_.faults().injected_schedule();
     return result;
   }
 
@@ -399,8 +496,11 @@ class ClassicGhsRun {
   Engine net_;
   std::vector<NodeCtx> nodes_;
   std::vector<NodeId> starters_;
+  bool faulty_ = false;
   std::vector<Delivery> deferred_;
   std::size_t max_rounds_ = 0;
+  std::size_t rounds_ = 0;
+  std::size_t epochs_ = 1;
   GhsMessageBreakdown breakdown_;
 };
 

@@ -19,6 +19,7 @@
 #include "emst/graph/edge.hpp"
 #include "emst/proto/ghs_wire.hpp"
 #include "emst/run_report.hpp"
+#include "emst/sim/fault.hpp"
 #include "emst/sim/meter.hpp"
 #include "emst/sim/telemetry.hpp"
 #include "emst/sim/topology.hpp"
@@ -91,6 +92,16 @@ struct MstRunResult {
   bool breakdown_recorded = false;
   /// The telemetry hub the run was configured with (null if none).
   sim::Telemetry* telemetry = nullptr;
+  /// Fault-layer drop counters (all zero for fault-free runs).
+  sim::FaultStats fault_stats{};
+  /// Protocol epochs executed. Fail-stop drivers (classic GHS) restart from
+  /// scratch among survivors when a crash invalidates the running epoch
+  /// (docs/ROBUSTNESS.md); 1 = the run finished without a restart.
+  std::size_t epochs = 1;
+  /// Crash windows a chaos controller injected during the run, in injection
+  /// order — replaying them as a static `FaultModel::crashes` schedule
+  /// reproduces the adversarial run.
+  std::vector<sim::CrashWindow> injected_crashes;
 
   /// The algorithm-independent view (docs/API_TOUR.md). Non-owning: keep
   /// this result alive while using the report.
@@ -100,6 +111,7 @@ struct MstRunResult {
     out.totals = totals;
     out.phases = phases;
     out.fragments = fragments;
+    out.faults = fault_stats;
     if (!per_node_energy.empty()) out.per_node_energy = &per_node_energy;
     if (breakdown_recorded) out.breakdown = &energy_breakdown;
     out.telemetry = telemetry;

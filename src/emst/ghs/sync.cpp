@@ -11,6 +11,7 @@
 
 #include "emst/proto/fragment.hpp"
 #include "emst/sim/implicit_topology.hpp"
+#include "emst/sim/oracle.hpp"
 #include "emst/support/assert.hpp"
 #include "emst/support/parallel.hpp"
 
@@ -93,6 +94,7 @@ class SyncGhsEngine {
           proto::max_encoded_bits(static_cast<GhsMsgType>(t), wire_ctx_);
     // Shared-meter runs (EOPT stages) must not wipe ledgers or detach
     // telemetry the caller already configured — guard every toggle.
+    if (fault_->enabled()) fault_->set_chaos_env(n, topo_.points());
     if (opts_.track_per_node_energy && meter_.per_node().size() != n)
       meter_.enable_per_node(n);
     if (opts_.record_breakdown) meter_.enable_breakdown();
@@ -148,6 +150,7 @@ class SyncGhsEngine {
         fault_->stats().dropped_crashed - start_fault_stats_.dropped_crashed;
     result.faults.suppressed =
         fault_->stats().suppressed - start_fault_stats_.suppressed;
+    result.injected_crashes = fault_->injected_schedule();
     result.hit_phase_cap = hit_phase_cap_;
     return result;
   }
@@ -181,10 +184,20 @@ class SyncGhsEngine {
     return type_bits_[static_cast<std::size_t>(type)];
   }
 
-  /// Advance simulated time on the meter AND the fault clock together.
+  /// Advance simulated time on the meter AND the fault clock together. This
+  /// is the driver's round barrier: chaos-controller consults happen inside
+  /// advance_rounds (one per round), injections are mirrored into the
+  /// telemetry stream here, and the invariant oracle's per-round hook runs.
   void tick(std::uint64_t k) {
     meter_.tick_rounds(k);
-    if (faulty_) fault_->advance_rounds(k);
+    if (faulty_) {
+      fault_->advance_rounds(k);
+      for (const sim::CrashWindow& w : fault_->take_new_injections())
+        meter_.note_event(sim::EventType::kCrashInject, w.node,
+                          sim::kNoEventNode, 0.0, w.until);
+    }
+    if (opts_.oracle != nullptr)
+      opts_.oracle->on_round(meter_.totals().rounds, meter_);
   }
 
   /// Charge one logical unicast into a wave buffer (for per-wave batching
@@ -463,6 +476,22 @@ class SyncGhsEngine {
   /// fragment finished, passive, or — under faults — permanently dead).
   bool run_phase() {
     if (faulty_) repair_crashes();
+    if (fault_->enabled()) {
+      // Publish the phase-boundary census to the chaos controller. The
+      // injector keeps spans, and FragmentSet's vectors reallocate across
+      // merges, so the snapshot lives in engine-owned buffers that stay
+      // stable until the next publish.
+      fault_->note_phase_boundary();
+      chaos_leaders_ = frags_.leaders();
+      chaos_tree_ = frags_.tree();
+      fault_->publish_fragments(chaos_leaders_, chaos_tree_);
+    }
+    if (opts_.oracle != nullptr) {
+      const std::uint64_t round = meter_.totals().rounds;
+      opts_.oracle->check_fragments(round, frags_.leaders(), frags_.tree(),
+                                    &meter_);
+      opts_.oracle->check_energy_deep(round, meter_);
+    }
 
     const std::size_t n = topo_.node_count();
     // Group members by fragment leader, fragments ordered by their minimum
@@ -669,6 +698,10 @@ class SyncGhsEngine {
   /// Per-node rejected neighbors (probe mode only, empty otherwise).
   std::vector<std::unordered_set<NodeId>> rejected_;
   std::vector<bool> was_crashed_;  // crash state at the last repair
+  // Chaos census snapshots: stable storage behind the spans the fault
+  // injector hands the controller (refreshed at every phase boundary).
+  std::vector<NodeId> chaos_leaders_;
+  std::vector<graph::Edge> chaos_tree_;
   std::unordered_set<NodeId> passive_;
   std::unordered_set<NodeId> finished_;
   std::size_t max_phases_ = 0;

@@ -104,6 +104,11 @@ struct SyncGhsResult {
   sim::ArqStats arq{};
   /// Fault-layer drop counters observed during this run.
   sim::FaultStats faults{};
+  /// Crash windows a chaos controller injected on the fault session, in
+  /// injection order (session-cumulative when `fault_session` is shared —
+  /// EOPT stages see the whole adversarial schedule). Replaying them as a
+  /// static `FaultModel::crashes` list reproduces the adversarial run.
+  std::vector<sim::CrashWindow> injected_crashes;
   /// Fault-mode runs stop (instead of aborting) at the phase cap when
   /// permanent losses leave fragments unable to finish; true if that
   /// happened and `final_forest` is a partial result.

@@ -41,12 +41,18 @@ CoNntResult run_connt_actor_impl(const Topo& topo,
       std::max(2.0, static_cast<double>(n) * options.n_estimate_factor);
   const auto points = std::span<const geometry::Point2>(topo.points());
 
-  EMST_ASSERT_MSG(!options.faults.enabled() && !options.arq.enabled,
-                  "Co-NNT has no loss recovery; faults/ARQ unsupported");
+  // Fail-stop only (docs/ROBUSTNESS.md): crashes are survived by epoch
+  // restart; message loss would need an ARQ layer Co-NNT doesn't have.
+  const bool faulty = options.faults.enabled();
+  EMST_ASSERT_MSG(!options.arq.enabled, "Co-NNT has no ARQ layer");
+  EMST_ASSERT_MSG(options.faults.loss == 0.0 && !options.faults.use_gilbert,
+                  "Co-NNT accepts crash-only (fail-stop) fault models; "
+                  "message loss needs ARQ recovery (sync GHS / EOPT)");
   Engine net(sim::make_engine<Engine>(topo, options.pathloss,
                                       /*unbounded_broadcast=*/true,
-                                      /*delays=*/{}, /*faults=*/{},
+                                      /*delays=*/{}, options.faults,
                                       options.telemetry, options.threads));
+  if (options.oracle != nullptr) net.attach_oracle(options.oracle);
   // Codec hook: requests and replies carry grid-quantized coordinates, the
   // connect message a bare tag; widths come from the topology size.
   net.wire_format().ctx = proto::WireContext::for_topology(n, topo.edge_count());
@@ -55,65 +61,115 @@ CoNntResult run_connt_actor_impl(const Topo& topo,
   if (options.record_breakdown) net.meter().enable_breakdown();
 
   CoNntResult result;
-  result.parent.assign(n, graph::kNoNode);
-  std::vector<graph::NodeId> unresolved(n);
-  for (graph::NodeId u = 0; u < n; ++u) unresolved[u] = u;
 
-  for (std::size_t round = 1; !unresolved.empty(); ++round) {
-    // Phase step 1: every still-searching node broadcasts a REQUEST.
-    net.meter().set_kind(sim::MsgKind::kRequest);
-    std::vector<graph::NodeId> searching;
-    for (const graph::NodeId u : unresolved) {
-      const ProbePlan plan(options.scheme, points[u], n_est);
-      if (round > plan.max_rounds) continue;  // top-ranked node: done
-      net.broadcast(u, ProbePlan::radius(round, n_est),
-                    proto::ConntMsg{proto::ConntRequest::from_point(points[u], ctx)});
-      searching.push_back(u);
+  // Fail-stop epochs: an epoch excludes the nodes crashed when it starts and
+  // runs the full doubling protocol among the rest. If the crashed set ever
+  // deviates from that exclusion snapshot mid-epoch (a participant died, or
+  // an excluded node came back and replied), replies may have been lost and
+  // the epoch's tree is untrusted — discard it and restart among the current
+  // survivors. A clean epoch saw every participant alive throughout and
+  // every dead node silent throughout, so it computes exactly the NNT of the
+  // survivor sub-topology. Permanent windows bound the epoch count.
+  std::vector<char> excluded(n, 0);
+  bool dirty = false;
+  auto snapshot_excluded = [&] {
+    for (graph::NodeId u = 0; u < n; ++u) {
+      excluded[u] = net.faults().crashed(u) ? 1 : 0;
     }
-    // Phase step 2: higher-ranked hearers REPLY.
-    net.meter().set_kind(sim::MsgKind::kReply);
-    for (const auto& d : net.collect_round()) {
-      EMST_ASSERT(std::holds_alternative<proto::ConntRequest>(d.msg));
-      if (rank_less(options.scheme, points, d.from, d.to)) {
-        net.unicast(d.to, d.from,
-                    proto::ConntMsg{proto::ConntReply::from_point(points[d.to], ctx)});
+  };
+  auto scan_dirty = [&] {
+    if (!faulty || dirty) return;
+    for (graph::NodeId u = 0; u < n; ++u) {
+      if ((net.faults().crashed(u) ? 1 : 0) != excluded[u]) {
+        dirty = true;
+        return;
       }
     }
-    // Phase step 3: requesters CONNECT to their nearest replier.
-    struct Best {
-      graph::NodeId node = graph::kNoNode;
-      double distance = 0.0;
-    };
-    std::vector<Best> best(n);
-    for (const auto& d : net.collect_round()) {
-      EMST_ASSERT(std::holds_alternative<proto::ConntReply>(d.msg));
-      Best& b = best[d.to];
-      if (b.node == graph::kNoNode || d.distance < b.distance ||
-          (d.distance == b.distance && d.from < b.node)) {
-        b = {d.from, d.distance};
-      }
+  };
+  const std::size_t max_epochs = faulty ? n + 2 : 1;
+  while (true) {
+    result.parent.assign(n, graph::kNoNode);
+    result.tree.clear();
+    result.max_probe_rounds = 0;
+    result.max_connect_distance = 0.0;
+    dirty = false;
+    if (faulty) snapshot_excluded();
+    std::vector<graph::NodeId> unresolved;
+    unresolved.reserve(n);
+    for (graph::NodeId u = 0; u < n; ++u) {
+      if (!faulty || excluded[u] == 0) unresolved.push_back(u);
     }
-    net.meter().set_kind(sim::MsgKind::kConnection);
-    std::vector<graph::NodeId> still_unresolved;
-    for (const graph::NodeId u : searching) {
-      const Best& b = best[u];
-      if (b.node == graph::kNoNode) {
-        still_unresolved.push_back(u);
-        continue;
+
+    for (std::size_t round = 1; !unresolved.empty(); ++round) {
+      // Each doubling round is a protocol phase boundary for the chaos
+      // controller (CrashWaveAtPhaseBoundary keys on this).
+      if (faulty) net.faults().note_phase_boundary();
+      // Phase step 1: every still-searching node broadcasts a REQUEST.
+      net.meter().set_kind(sim::MsgKind::kRequest);
+      std::vector<graph::NodeId> searching;
+      for (const graph::NodeId u : unresolved) {
+        const ProbePlan plan(options.scheme, points[u], n_est);
+        if (round > plan.max_rounds) continue;  // top-ranked node: done
+        net.broadcast(u, ProbePlan::radius(round, n_est),
+                      proto::ConntMsg{proto::ConntRequest::from_point(points[u], ctx)});
+        searching.push_back(u);
       }
-      net.unicast(u, b.node, proto::ConntMsg{proto::ConntConnect{}});
-      result.parent[u] = b.node;
-      result.tree.push_back(graph::Edge{u, b.node, b.distance}.canonical());
-      result.max_connect_distance =
-          std::max(result.max_connect_distance, b.distance);
-      result.max_probe_rounds = std::max(result.max_probe_rounds, round);
+      // Phase step 2: higher-ranked hearers REPLY.
+      net.meter().set_kind(sim::MsgKind::kReply);
+      auto requests = net.collect_round();
+      scan_dirty();
+      for (const auto& d : requests) {
+        EMST_ASSERT(std::holds_alternative<proto::ConntRequest>(d.msg));
+        if (rank_less(options.scheme, points, d.from, d.to)) {
+          net.unicast(d.to, d.from,
+                      proto::ConntMsg{proto::ConntReply::from_point(points[d.to], ctx)});
+        }
+      }
+      // Phase step 3: requesters CONNECT to their nearest replier.
+      struct Best {
+        graph::NodeId node = graph::kNoNode;
+        double distance = 0.0;
+      };
+      std::vector<Best> best(n);
+      auto replies = net.collect_round();
+      scan_dirty();
+      for (const auto& d : replies) {
+        EMST_ASSERT(std::holds_alternative<proto::ConntReply>(d.msg));
+        Best& b = best[d.to];
+        if (b.node == graph::kNoNode || d.distance < b.distance ||
+            (d.distance == b.distance && d.from < b.node)) {
+          b = {d.from, d.distance};
+        }
+      }
+      net.meter().set_kind(sim::MsgKind::kConnection);
+      std::vector<graph::NodeId> still_unresolved;
+      for (const graph::NodeId u : searching) {
+        const Best& b = best[u];
+        if (b.node == graph::kNoNode) {
+          still_unresolved.push_back(u);
+          continue;
+        }
+        net.unicast(u, b.node, proto::ConntMsg{proto::ConntConnect{}});
+        result.parent[u] = b.node;
+        result.tree.push_back(graph::Edge{u, b.node, b.distance}.canonical());
+        result.max_connect_distance =
+            std::max(result.max_connect_distance, b.distance);
+        result.max_probe_rounds = std::max(result.max_probe_rounds, round);
+      }
+      (void)net.collect_round();  // drain CONNECT deliveries
+      scan_dirty();
+      unresolved = std::move(still_unresolved);
     }
-    (void)net.collect_round();  // drain CONNECT deliveries
-    unresolved = std::move(still_unresolved);
+
+    if (!faulty || !dirty) break;
+    EMST_ASSERT_MSG(++result.epochs <= max_epochs,
+                    "Co-NNT exceeded fail-stop epoch cap");
   }
 
   graph::sort_edges(result.tree);
   result.totals = net.meter().totals();
+  result.fault_stats = net.fault_stats();
+  result.injected_crashes = net.faults().injected_schedule();
   result.per_node_energy = net.meter().per_node();
   if (net.meter().breakdown_enabled()) {
     result.energy_breakdown = net.meter().breakdown();
@@ -127,6 +183,10 @@ CoNntResult run_connt_actor_impl(const Topo& topo,
 
 template <typename Topo>
 CoNntResult run_connt(const Topo& topo, const CoNntOptions& options) {
+  // Fault-aware runs need real in-flight messages (suppression, crash drops,
+  // the epoch-restart loop) — delegate to the actor execution, which models
+  // them; the choreographed fast path below stays the fault-free harness.
+  if (options.faults.enabled()) return run_connt_actor(topo, options);
   const std::size_t n = topo.node_count();
   EMST_ASSERT(n >= 1);
   const double n_est = std::max(2.0, static_cast<double>(n) * options.n_estimate_factor);
@@ -134,8 +194,8 @@ CoNntResult run_connt(const Topo& topo, const CoNntOptions& options) {
 
   CoNntResult result;
   result.parent.assign(n, graph::kNoNode);
-  EMST_ASSERT_MSG(!options.faults.enabled() && !options.arq.enabled,
-                  "Co-NNT has no loss recovery; faults/ARQ unsupported");
+  EMST_ASSERT_MSG(!options.arq.enabled,
+                  "Co-NNT has no loss recovery; ARQ unsupported");
   sim::EnergyMeter meter(options.pathloss);
   if (options.track_per_node_energy) meter.enable_per_node(n);
   if (options.record_breakdown) meter.enable_breakdown();

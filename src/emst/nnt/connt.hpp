@@ -25,8 +25,11 @@
 namespace emst::nnt {
 
 /// Options embed the shared `sim::RunConfig` knobs. Co-NNT supports
-/// pathloss / per-node / breakdown / telemetry; the fault and ARQ knobs must
-/// stay disabled (the protocol has no loss recovery — asserted).
+/// pathloss / per-node / breakdown / telemetry. Crash-only (fail-stop)
+/// fault models are survived by epoch restart on the actor execution
+/// (docs/ROBUSTNESS.md) — `run_connt` forwards to the actor path when
+/// faults are enabled; message-loss models stay unsupported (asserted),
+/// the protocol has no loss recovery.
 struct CoNntOptions : sim::RunConfig {
   RankScheme scheme = RankScheme::kDiagonal;
   /// Assumed network-size knowledge: the protocol needs only a Θ(n)
@@ -46,6 +49,12 @@ struct CoNntResult {
   sim::EnergyBreakdown energy_breakdown;
   bool breakdown_recorded = false;
   sim::Telemetry* telemetry = nullptr;
+  /// Fault-layer drop counters (all zero for fault-free runs).
+  sim::FaultStats fault_stats{};
+  /// Protocol epochs executed (fail-stop restarts; 1 = clean run).
+  std::size_t epochs = 1;
+  /// Chaos-controller injections, in injection order (replayable).
+  std::vector<sim::CrashWindow> injected_crashes;
 
   /// The algorithm-independent view (docs/API_TOUR.md). Non-owning.
   [[nodiscard]] RunReport report() const {
@@ -53,6 +62,7 @@ struct CoNntResult {
     out.tree = &tree;
     out.totals = totals;
     out.fragments = parent.size() - tree.size();
+    out.faults = fault_stats;
     if (!per_node_energy.empty()) out.per_node_energy = &per_node_energy;
     if (breakdown_recorded) out.breakdown = &energy_breakdown;
     out.telemetry = telemetry;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "emst/sim/chaos.hpp"
+
 namespace emst::sim {
 
 FaultInjector::FaultInjector(const FaultModel& model)
@@ -32,6 +34,39 @@ bool FaultInjector::crashed_forever(graph::NodeId u) const noexcept {
       return true;
   }
   return false;
+}
+
+void FaultInjector::add_crash_window(const CrashWindow& w) {
+  if (w.node >= windows_by_node_.size())
+    windows_by_node_.resize(static_cast<std::size_t>(w.node) + 1);
+  max_crash_node_ = std::max(max_crash_node_, w.node);
+  windows_by_node_[w.node].push_back(w);
+}
+
+void FaultInjector::poll_controller() {
+  FaultController* controller = model_.controller;
+  if (controller == nullptr) return;
+  ChaosView view;
+  view.round = round_;
+  view.at_phase_boundary = at_phase_boundary_;
+  at_phase_boundary_ = false;
+  view.node_count = chaos_nodes_;
+  view.points = chaos_points_;
+  view.leaders = chaos_leaders_;
+  view.tree = chaos_tree_;
+  view.in_flight = in_flight_;
+  view.injector = this;
+  controller_scratch_.clear();
+  controller->on_round(view, controller_scratch_);
+  for (CrashWindow w : controller_scratch_) {
+    // An injected window starts no earlier than the round it was injected
+    // in — the past already happened — and applies to real nodes only.
+    if (chaos_nodes_ != 0 && w.node >= chaos_nodes_) continue;
+    w.from = std::max(w.from, round_);
+    if (w.until <= w.from) continue;
+    add_crash_window(w);
+    injected_.push_back(w);
+  }
 }
 
 bool FaultInjector::drop_at(std::uint64_t seq, graph::NodeId u,

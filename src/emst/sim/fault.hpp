@@ -35,16 +35,27 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
+#include <span>
 #include <vector>
 
+#include "emst/geometry/point.hpp"
 #include "emst/graph/adjacency.hpp"
+#include "emst/graph/edge.hpp"
 #include "emst/support/flat_map.hpp"
 #include "emst/support/rng.hpp"
 
 namespace emst::sim {
 
+class FaultController;  // chaos.hpp — adversarial, state-aware crash injection
+
+/// `CrashWindow::until` value meaning "never recovers": permanent fail-stop.
+inline constexpr std::uint64_t kCrashForever =
+    std::numeric_limits<std::uint64_t>::max();
+
 /// Node `node` is down for rounds [from, until). Overlapping windows for the
-/// same node are allowed (union semantics).
+/// same node are allowed (union semantics); `until == from` is an empty
+/// window (never down); `until == kCrashForever` is permanent fail-stop.
 struct CrashWindow {
   graph::NodeId node = 0;
   std::uint64_t from = 0;
@@ -62,10 +73,16 @@ struct FaultModel {
   double ge_loss_good = 0.0;     ///< loss probability while Good
   double ge_loss_bad = 0.8;      ///< loss probability while Bad
   std::vector<CrashWindow> crashes;
+  /// Adversarial strategy (chaos.hpp) consulted as the fault clock advances;
+  /// windows it injects behave exactly like entries of `crashes` and are
+  /// recorded in `FaultInjector::injected_schedule()` so every adversarial
+  /// run replays as a plain crash list. Non-owning; must outlive the run.
+  FaultController* controller = nullptr;
   std::uint64_t seed = 0xFA011AULL;
 
   [[nodiscard]] bool enabled() const noexcept {
-    return loss > 0.0 || use_gilbert || !crashes.empty();
+    return loss > 0.0 || use_gilbert || !crashes.empty() ||
+           controller != nullptr;
   }
 };
 
@@ -88,12 +105,74 @@ class FaultInjector {
   [[nodiscard]] bool enabled() const noexcept { return enabled_; }
   [[nodiscard]] const FaultModel& model() const noexcept { return model_; }
 
-  /// Fault clock. `advance_to` is monotone (never rewinds).
-  void advance_to(std::uint64_t round) noexcept {
-    if (round > round_) round_ = round;
+  /// Fault clock. `advance_to` is monotone (never rewinds). With a chaos
+  /// controller attached, every round the clock steps through consults it
+  /// exactly once — always from the serial section that owns the clock
+  /// (round barriers, driver ticks), so injection order is deterministic
+  /// for every engine and thread count.
+  void advance_to(std::uint64_t round) {
+    if (model_.controller == nullptr) {
+      if (round > round_) round_ = round;
+      return;
+    }
+    while (round_ < round) {
+      ++round_;
+      poll_controller();
+    }
   }
-  void advance_rounds(std::uint64_t k) noexcept { round_ += k; }
+  void advance_rounds(std::uint64_t k) {
+    if (model_.controller == nullptr) {
+      round_ += k;
+      return;
+    }
+    while (k-- > 0) {
+      ++round_;
+      poll_controller();
+    }
+  }
   [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+
+  // -- Chaos-controller runtime (chaos.hpp, docs/ROBUSTNESS.md) ------------
+
+  /// Ambient deployment facts for the controller's ChaosView. Engines (and
+  /// the meter-direct sync-GHS driver) set these once before the run.
+  void set_chaos_env(std::size_t node_count,
+                     std::span<const geometry::Point2> points) noexcept {
+    chaos_nodes_ = node_count;
+    chaos_points_ = points;
+  }
+  /// Drivers that maintain explicit fragment state publish it here whenever
+  /// it changes (sync GHS republishes at every phase boundary). Spans must
+  /// stay valid until the next publish; drivers without fragment state
+  /// simply never call this and strategies degrade deterministically.
+  void publish_fragments(std::span<const graph::NodeId> leaders,
+                         std::span<const graph::Edge> tree) noexcept {
+    chaos_leaders_ = leaders;
+    chaos_tree_ = tree;
+  }
+  /// Mark the next controller consult as a protocol phase boundary.
+  void note_phase_boundary() noexcept { at_phase_boundary_ = true; }
+  /// Engines report the in-flight message count before advancing the clock.
+  void set_in_flight(std::size_t n) noexcept { in_flight_ = n; }
+
+  /// Apply a crash window at runtime. Controller injections land here; the
+  /// window takes effect for every `crashed_at` query from now on.
+  void add_crash_window(const CrashWindow& w);
+
+  /// Every window the controller injected, in injection order. Feeding this
+  /// list back as a plain `FaultModel::crashes` schedule (or through a
+  /// `ReplaySchedule` controller) reproduces the adversarial run (tested).
+  [[nodiscard]] const std::vector<CrashWindow>& injected_schedule()
+      const noexcept {
+    return injected_;
+  }
+  /// Injected windows not yet consumed by the telemetry emitter (engines
+  /// emit one kCrashInject event per window at the round barrier).
+  [[nodiscard]] std::span<const CrashWindow> take_new_injections() noexcept {
+    const std::size_t first = injection_emit_cursor_;
+    injection_emit_cursor_ = injected_.size();
+    return std::span<const CrashWindow>(injected_).subspan(first);
+  }
 
   /// Is `u` down at the current fault clock?
   [[nodiscard]] bool crashed(graph::NodeId u) const noexcept {
@@ -132,6 +211,10 @@ class FaultInjector {
   [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
 
  private:
+  /// Consult the controller for the round the clock just reached (fault.cpp
+  /// — needs the ChaosView definition from chaos.hpp).
+  void poll_controller();
+
   FaultModel model_;
   bool enabled_ = false;
   std::uint64_t seq_ = 0;  ///< global transmission counter (drop() calls)
@@ -139,10 +222,21 @@ class FaultInjector {
   /// Per-directed-link Gilbert–Elliott state: key = (u<<32)|v (never 0 since
   /// u != v), value = 1 while Bad. Grows only — FlatMap64 territory.
   support::FlatMap64 ge_state_;
-  /// Crash windows bucketed per node (built once; queried per message).
+  /// Crash windows bucketed per node (built from the model; controller
+  /// injections are appended at runtime; queried per message).
   std::vector<std::vector<CrashWindow>> windows_by_node_;
   std::uint32_t max_crash_node_ = 0;
   FaultStats stats_;
+  // Chaos-controller state (all inert without a controller).
+  std::size_t chaos_nodes_ = 0;
+  std::span<const geometry::Point2> chaos_points_{};
+  std::span<const graph::NodeId> chaos_leaders_{};
+  std::span<const graph::Edge> chaos_tree_{};
+  bool at_phase_boundary_ = false;
+  std::size_t in_flight_ = 0;
+  std::vector<CrashWindow> injected_;
+  std::size_t injection_emit_cursor_ = 0;
+  std::vector<CrashWindow> controller_scratch_;
 };
 
 }  // namespace emst::sim

@@ -41,6 +41,7 @@
 
 #include "emst/sim/fault.hpp"
 #include "emst/sim/meter.hpp"
+#include "emst/sim/oracle.hpp"
 #include "emst/sim/topology.hpp"
 #include "emst/sim/wire.hpp"
 #include "emst/support/assert.hpp"
@@ -87,6 +88,8 @@ class Network {
         faults_(faults),
         buckets_(delays.max_extra_delay + 1) {
     meter_.attach_telemetry(telemetry);
+    if (faults_.enabled())
+      faults_.set_chaos_env(topo_.node_count(), topo_.points());
   }
 
   /// Send m from u to v; delivered next round. Charges d(u,v)^α.
@@ -138,8 +141,18 @@ class Network {
     // for the round that just became due.
     std::vector<Item>& bucket = buckets_[head_];
     head_ = head_ + 1 == buckets_.size() ? 0 : head_ + 1;
+    if (faults_.enabled()) {
+      // The chaos controller sees the pre-drain in-flight count (messages
+      // enqueued and not yet delivered) — the same value ShardedNetwork
+      // reports at its barrier, so strategies inject identically on both.
+      faults_.set_in_flight(inflight_count_);
+      faults_.advance_to(now_);
+      for (const CrashWindow& w : faults_.take_new_injections())
+        meter_.note_event(EventType::kCrashInject, w.node, kNoEventNode, 0.0,
+                          w.until);
+    }
     inflight_count_ -= bucket.size();
-    if (faults_.enabled()) faults_.advance_to(now_);
+    if (oracle_ != nullptr) oracle_->on_round(now_, meter_);
     std::vector<Delivery<Msg>> out;
     out.reserve(bucket.size());
     drain_by_receiver(bucket, out);
@@ -154,6 +167,10 @@ class Network {
   [[nodiscard]] const FaultStats& fault_stats() const noexcept {
     return faults_.stats();
   }
+  /// Attach a runtime invariant oracle, checked at every round barrier.
+  /// Null (the default) costs one pointer test per round.
+  void attach_oracle(InvariantOracle* oracle) noexcept { oracle_ = oracle; }
+  [[nodiscard]] InvariantOracle* oracle() const noexcept { return oracle_; }
   /// The engine's message codec (wire.hpp). The default-constructed format
   /// measures nothing; drivers with a real codec configure it here (e.g.
   /// seed a proto::WireContext) before sending.
@@ -332,6 +349,7 @@ class Network {
   DelayModel delays_;
   support::Rng delay_rng_;
   FaultInjector faults_;
+  InvariantOracle* oracle_ = nullptr;
   std::vector<std::vector<Item>> buckets_;  ///< ring keyed by due round
   std::size_t head_ = 0;  ///< bucket holding messages due at round now_+1
   std::size_t inflight_count_ = 0;

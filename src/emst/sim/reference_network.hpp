@@ -40,6 +40,8 @@ class ReferenceNetwork {
         delay_rng_(delays.seed),
         faults_(faults) {
     meter_.attach_telemetry(telemetry);
+    if (faults_.enabled())
+      faults_.set_chaos_env(topo_.node_count(), topo_.points());
   }
 
   /// Send m from u to v; delivered next round. Charges d(u,v)^α.
@@ -102,7 +104,16 @@ class ReferenceNetwork {
   [[nodiscard]] std::vector<Delivery<Msg>> collect_round() {
     meter_.tick_round();
     ++now_;
-    faults_.advance_to(now_);
+    if (faults_.enabled()) {
+      faults_.set_in_flight(inflight_.size());
+      faults_.advance_to(now_);
+      for (const CrashWindow& w : faults_.take_new_injections())
+        meter_.note_event(EventType::kCrashInject, w.node, kNoEventNode, 0.0,
+                          w.until);
+    } else {
+      faults_.advance_to(now_);
+    }
+    if (oracle_ != nullptr) oracle_->on_round(now_, meter_);
     std::sort(inflight_.begin(), inflight_.end(),
               [](const Item& a, const Item& b) {
                 if (a.due != b.due) return a.due < b.due;
@@ -148,6 +159,9 @@ class ReferenceNetwork {
   [[nodiscard]] const WireFormat<Msg>& wire_format() const noexcept {
     return wire_;
   }
+  /// Oracle hook, same contract as Network::attach_oracle.
+  void attach_oracle(InvariantOracle* oracle) noexcept { oracle_ = oracle; }
+  [[nodiscard]] InvariantOracle* oracle() const noexcept { return oracle_; }
 
  private:
   struct Item {
@@ -186,6 +200,7 @@ class ReferenceNetwork {
   DelayModel delays_;
   support::Rng delay_rng_;
   FaultInjector faults_;
+  InvariantOracle* oracle_ = nullptr;
   std::vector<Item> inflight_;
   std::unordered_map<std::uint64_t, std::uint64_t> last_due_;
   std::uint64_t next_seq_ = 0;

@@ -207,6 +207,13 @@ class ReliableChannel {
     return net_.meter();
   }
   [[nodiscard]] Network<Frame, Topo>& raw() noexcept { return net_; }
+  /// Attach the invariant oracle: the underlying network checks its round
+  /// hooks, and every application-facing delivery here is checked for
+  /// per-link exactly-once (oracle.hpp).
+  void attach_oracle(InvariantOracle* oracle) noexcept {
+    oracle_ = oracle;
+    net_.attach_oracle(oracle);
+  }
   /// The payload's codec. Configure this (not the frame format) with the
   /// run's WireContext; the frame format adds the ARQ header on top.
   [[nodiscard]] WireFormat<Msg>& payload_wire_format() noexcept {
@@ -296,6 +303,8 @@ class ReliableChannel {
     link.next_expected = d.msg.seq + 1;
     ++stats_.delivered;
     meter.note_event(EventType::kArqDeliver, d.from, d.to);
+    if (oracle_ != nullptr)
+      oracle_->on_arq_deliver(d.from, d.to, d.msg.seq, &meter);
     out.push_back({d.from, d.to, d.distance, std::move(d.msg.payload)});
   }
 
@@ -332,6 +341,7 @@ class ReliableChannel {
   Network<Frame, Topo> net_;
   ArqOptions arq_;
   ArqStats stats_;
+  InvariantOracle* oracle_ = nullptr;
   support::FlatMap64 links_index_;  ///< packed directed link → links_ slot
   std::vector<Link> links_;
   std::size_t active_sessions_ = 0;

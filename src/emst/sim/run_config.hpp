@@ -15,12 +15,16 @@
 
 namespace emst::sim {
 
+class InvariantOracle;  // oracle.hpp — runtime invariant checks
+
 struct RunConfig {
   /// Energy cost model d^α (paper §II).
   geometry::PathLoss pathloss{};
-  /// Message-loss / crash schedule. `faults.enabled()` gates all fault-path
-  /// work; a default model costs nothing. Classic GHS and Co-NNT do not
-  /// implement the fault protocol and reject enabled faults.
+  /// Message-loss / crash schedule (plus an optional chaos controller,
+  /// chaos.hpp). `faults.enabled()` gates all fault-path work; a default
+  /// model costs nothing. Classic GHS and Co-NNT accept crash-only models
+  /// (fail-stop, survived by epoch restart — docs/ROBUSTNESS.md) and reject
+  /// message-loss faults, which need the ARQ machinery they don't speak.
   FaultModel faults{};
   /// Stop-and-wait ARQ on logical unicasts (sync GHS / EOPT / census only).
   ArqOptions arq{};
@@ -31,6 +35,10 @@ struct RunConfig {
   /// Optional event hub; configure its sink/aggregation BEFORE the run (the
   /// meter snapshots activity at attach time). Null or inert = zero cost.
   Telemetry* telemetry = nullptr;
+  /// Optional runtime invariant oracle (oracle.hpp): engines and drivers
+  /// call its hooks at round/phase barriers. Null = zero cost (one pointer
+  /// test per barrier); violations are recorded, never thrown.
+  InvariantOracle* oracle = nullptr;
   /// Worker threads for the run. 0 or 1 = single-threaded. Drivers that run
   /// over a network engine pick `sim::ShardedNetwork` when threads > 1;
   /// meter-direct drivers parallelize their pure-compute stages. Results are

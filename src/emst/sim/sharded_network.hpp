@@ -89,6 +89,8 @@ class ShardedNetwork {
     for (Shard& shard : shards_)
       shard.buckets.resize(delays.max_extra_delay + 1);
     build_partition();
+    if (faults_.enabled())
+      faults_.set_chaos_env(topo_.node_count(), topo_.points());
   }
 
   // -- Network facade ------------------------------------------------------
@@ -242,6 +244,10 @@ class ShardedNetwork {
   [[nodiscard]] const FaultStats& fault_stats() const noexcept {
     return faults_.stats();
   }
+  /// Attach a runtime invariant oracle, checked at every round barrier
+  /// (serial section). Null (the default) costs one pointer test per round.
+  void attach_oracle(InvariantOracle* oracle) noexcept { oracle_ = oracle; }
+  [[nodiscard]] InvariantOracle* oracle() const noexcept { return oracle_; }
   [[nodiscard]] std::size_t shard_count() const noexcept {
     return shard_count_;
   }
@@ -492,7 +498,18 @@ class ShardedNetwork {
   void begin_round() {
     meter_.tick_round();
     ++now_;
-    if (faults_.enabled()) faults_.advance_to(now_);
+    if (faults_.enabled()) {
+      // Serial section: the chaos controller consult (and its injections)
+      // happen before any worker runs. `inflight_` here counts routed,
+      // not-yet-delivered messages — Network's pre-drain count — so both
+      // engines show strategies the same view.
+      faults_.set_in_flight(inflight_);
+      faults_.advance_to(now_);
+      for (const CrashWindow& w : faults_.take_new_injections())
+        meter_.note_event(EventType::kCrashInject, w.node, kNoEventNode, 0.0,
+                          w.until);
+    }
+    if (oracle_ != nullptr) oracle_->on_round(now_, meter_);
   }
 
   // -- Parallel section: ingest + drain, one task per shard ----------------
@@ -690,6 +707,7 @@ class ShardedNetwork {
   DelayModel delays_;
   support::Rng delay_rng_;
   FaultInjector faults_;
+  InvariantOracle* oracle_ = nullptr;
   std::size_t shard_count_;
   std::vector<std::uint32_t> node_shard_;  ///< node → shard (tile % shards)
   std::vector<Shard> shards_;

@@ -48,6 +48,8 @@ std::string_view event_type_name(EventType type) {
     case EventType::kArqGiveUp: return "agup";
     case EventType::kArqTimeout: return "atmo";
     case EventType::kRound: return "round";
+    case EventType::kCrashInject: return "cinj";
+    case EventType::kOracleViolation: return "oinv";
     case EventType::kCount: break;
   }
   return "?";

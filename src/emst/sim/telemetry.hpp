@@ -73,6 +73,8 @@ enum class EventType : std::uint8_t {
   kArqGiveUp,     ///< ARQ session exhausted its retry budget
   kArqTimeout,    ///< `value` timeout rounds spent waiting on lost frames
   kRound,         ///< simulated clock advanced by `value` rounds
+  kCrashInject,   ///< chaos controller injected a crash window for `from`
+  kOracleViolation,  ///< invariant oracle recorded violation #`value`
   kCount,
 };
 

@@ -85,6 +85,11 @@ ReplayTotals replay_events(std::span<const TelemetryEvent> events) {
         out.totals.rounds += e.value;
         out.breakdown.rounds[p] += e.value;
         break;
+      case EventType::kCrashInject:
+      case EventType::kOracleViolation:
+        // Chaos/oracle markers: no charge, no counter — offline tooling
+        // reads them, the replayed totals must ignore them.
+        break;
       case EventType::kCount:
         break;
     }

@@ -68,6 +68,22 @@ TEST(FaultInjector, CrashWindowsFollowTheClock) {
   EXPECT_FALSE(injector.crashed(1000));  // out-of-range node never crashes
 }
 
+TEST(FaultInjector, OverlappingAndZeroLengthWindowsUnion) {
+  // Overlapping windows for one node union; `until == from` never fires.
+  sim::FaultModel model;
+  model.crashes = {{2, 3, 7}, {2, 5, 10}, {2, 12, 12}, {3, 0, 0}};
+  sim::FaultInjector injector(model);
+  EXPECT_TRUE(injector.enabled());
+  EXPECT_FALSE(injector.crashed_at(2, 2));
+  for (std::uint64_t r = 3; r < 10; ++r) {
+    EXPECT_TRUE(injector.crashed_at(2, r)) << "round " << r;  // the union
+  }
+  EXPECT_FALSE(injector.crashed_at(2, 10));
+  EXPECT_FALSE(injector.crashed_at(2, 12));  // zero-length: never down
+  EXPECT_FALSE(injector.crashed_forever(2));
+  EXPECT_FALSE(injector.crashed_at(3, 0));   // zero-length at round 0 too
+}
+
 TEST(FaultInjector, BernoulliLossMatchesTheRate) {
   sim::FaultModel model;
   model.loss = 0.2;
@@ -225,6 +241,128 @@ TEST(Network, RecoveryReopensDelivery) {
   ASSERT_EQ(round3.size(), 1u);
   EXPECT_EQ(round3[0].msg, 3);
   EXPECT_EQ(net.fault_stats().dropped_crashed, 2u);
+}
+
+// Drive one Gilbert–Elliott run where the sender is down for rounds 1–2.
+// When `send_while_down`, it attempts (suppressed) transmissions during the
+// outage; otherwise those sends simply don't happen. Everything else — the
+// warm-up burst, the clock advance, the post-recovery traffic — is identical.
+template <typename Net>
+std::vector<int> ge_fates_across_crash_window(bool send_while_down,
+                                              sim::FaultStats* stats_out) {
+  const sim::Topology topo = square_topology();
+  sim::FaultModel faults;
+  faults.use_gilbert = true;
+  faults.ge_good_to_bad = 0.4;  // busy chain: every draw matters
+  faults.ge_bad_to_good = 0.4;
+  faults.ge_loss_good = 0.0;
+  faults.ge_loss_bad = 1.0;
+  faults.seed = 0x6E2026;
+  faults.crashes = {{0, 1, 3}};  // sender down for delivery rounds 1 and 2
+  Net net(topo, {}, false, {}, faults);
+  std::vector<int> delivered;
+  const auto drain_round = [&] {
+    for (auto& d : net.collect_round()) delivered.push_back(d.msg);
+  };
+  for (int m = 0; m < 8; ++m) net.unicast(0, 1, m);  // round 0: warm the chain
+  drain_round();  // -> round 1: sender down
+  if (send_while_down) {
+    for (int m = 100; m < 105; ++m) net.unicast(0, 1, m);  // suppressed
+  }
+  drain_round();  // -> round 2: still down
+  if (send_while_down) {
+    for (int m = 200; m < 205; ++m) net.unicast(0, 1, m);  // suppressed
+  }
+  drain_round();  // -> round 3: recovered
+  for (int m = 300; m < 330; ++m) net.unicast(0, 1, m);
+  for (int r = 0; r < 10 && net.pending(); ++r) drain_round();
+  EXPECT_FALSE(net.pending());
+  if (stats_out != nullptr) *stats_out = net.fault_stats();
+  return delivered;
+}
+
+// Satellite pin: a dead radio emits nothing, so suppressed sends must
+// consume NEITHER the global fate counter NOR the per-link burst chain —
+// post-recovery channel fates are bitwise those of a run where the
+// suppressed sends never happened.
+template <typename Net>
+void expect_suppressed_sends_leave_burst_chains_untouched() {
+  sim::FaultStats with{};
+  sim::FaultStats without{};
+  const auto a = ge_fates_across_crash_window<Net>(true, &with);
+  const auto b = ge_fates_across_crash_window<Net>(false, &without);
+  EXPECT_EQ(a, b);  // identical per-message delivery fates
+  EXPECT_EQ(with.suppressed, 10u);
+  EXPECT_EQ(without.suppressed, 0u);
+  EXPECT_EQ(with.lost, without.lost);  // the chain never saw the outage
+  EXPECT_GT(with.lost, 0u);            // ... and it did drop something
+  EXPECT_EQ(with.dropped_crashed, 0u); // only the sender was ever down
+}
+
+TEST(Network, SuppressedSendsLeaveBurstChainsUntouched) {
+  expect_suppressed_sends_leave_burst_chains_untouched<sim::Network<int>>();
+}
+
+TEST(ReferenceNetwork, SuppressedSendsLeaveBurstChainsUntouched) {
+  expect_suppressed_sends_leave_burst_chains_untouched<
+      sim::ReferenceNetwork<int>>();
+}
+
+// Overlapping windows must behave as their union at delivery time.
+template <typename Net>
+void expect_overlapping_windows_union_at_delivery() {
+  const sim::Topology topo = square_topology();
+  sim::FaultModel faults;
+  faults.crashes = {{1, 1, 3}, {1, 2, 5}, {1, 4, 4}};  // union: down [1, 5)
+  Net net(topo, {}, false, {}, faults);
+  for (int r = 1; r <= 5; ++r) {
+    net.unicast(0, 1, r);
+    const auto out = net.collect_round();  // delivery round r
+    if (r < 5) {
+      EXPECT_TRUE(out.empty()) << "round " << r;
+    } else {
+      ASSERT_EQ(out.size(), 1u);
+      EXPECT_EQ(out[0].msg, 5);
+    }
+  }
+  EXPECT_EQ(net.fault_stats().dropped_crashed, 4u);
+}
+
+TEST(Network, OverlappingCrashWindowsUnionAtDelivery) {
+  expect_overlapping_windows_union_at_delivery<sim::Network<int>>();
+}
+
+TEST(ReferenceNetwork, OverlappingCrashWindowsUnionAtDelivery) {
+  expect_overlapping_windows_union_at_delivery<sim::ReferenceNetwork<int>>();
+}
+
+// A node crashed at round 0 is silent from birth: its sends are suppressed
+// (free) starting with the very first one, and traffic to it drops.
+template <typename Net>
+void expect_round_zero_crash_is_silent_from_birth() {
+  const sim::Topology topo = square_topology();
+  sim::FaultModel faults;
+  faults.crashes = {{0, 0, kForever}};
+  Net net(topo, {}, false, {}, faults);
+  net.unicast(0, 1, 1);        // suppressed
+  net.broadcast(0, 1.0, 2);    // suppressed
+  net.unicast(1, 0, 3);        // charged, drops at delivery
+  net.unicast(1, 2, 4);        // live link, delivered
+  const auto out = net.collect_round();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].msg, 4);
+  EXPECT_EQ(net.fault_stats().suppressed, 2u);
+  EXPECT_EQ(net.fault_stats().dropped_crashed, 1u);
+  EXPECT_EQ(net.meter().totals().unicasts, 2u);  // only node 1's sends
+  EXPECT_EQ(net.meter().totals().broadcasts, 0u);
+}
+
+TEST(Network, RoundZeroCrashIsSilentFromBirth) {
+  expect_round_zero_crash_is_silent_from_birth<sim::Network<int>>();
+}
+
+TEST(ReferenceNetwork, RoundZeroCrashIsSilentFromBirth) {
+  expect_round_zero_crash_is_silent_from_birth<sim::ReferenceNetwork<int>>();
 }
 
 // ----------------------------------------------------- fault-aware sync GHS
@@ -387,6 +525,26 @@ TEST(SyncGhsFaults, LeaderCrashTriggersReElection) {
   }
   EXPECT_TRUE(graph::same_edge_set(result.run.tree,
                                    graph::kruskal_msf(n, surviving_edges)));
+}
+
+TEST(SyncGhsFaults, NodeCrashedAtRoundZeroNeverJoins) {
+  // A node dead from birth must end as a dead singleton: the survivors build
+  // the exact MSF of the topology without it, from the very first round.
+  const std::size_t n = 48;
+  const sim::Topology topo = random_topology(n, 73);
+  const sim::NodeId victim = 11;
+  ghs::SyncGhsOptions options;
+  options.faults.crashes = {{victim, 0, kForever}};
+  const auto result = ghs::run_sync_ghs(topo, options);
+  expect_forest_consistent(topo, result.final_forest);
+  EXPECT_EQ(result.final_forest.leader[victim], victim);
+  std::vector<graph::Edge> surviving_edges;
+  for (const graph::Edge& e : topo.graph().edges()) {
+    if (e.u != victim && e.v != victim) surviving_edges.push_back(e);
+  }
+  EXPECT_TRUE(graph::same_edge_set(result.run.tree,
+                                   graph::kruskal_msf(n, surviving_edges)));
+  EXPECT_FALSE(result.hit_phase_cap);
 }
 
 TEST(SyncGhsFaults, TemporaryCrashRecoversToTheExactMst) {

@@ -11,7 +11,9 @@
 #include <vector>
 
 #include "emst/sim/fault.hpp"
+#include "emst/sim/oracle.hpp"
 #include "emst/sim/reliable.hpp"
+#include "emst/sim/telemetry.hpp"
 #include "emst/sim/topology.hpp"
 
 namespace emst {
@@ -141,6 +143,59 @@ TEST(ReliableChannel, CrashedReceiverExhaustsTheBudgetThenMovesOn) {
   EXPECT_EQ(delivered[0].to, 2u);
   EXPECT_EQ(channel.stats().give_ups, 1u);
   EXPECT_EQ(channel.raw().fault_stats().dropped_crashed, 4u);  // 1 + 3 retries
+}
+
+TEST(ReliableChannel, GiveUpPathIsFullyAccountedInTelemetryAndFaultStats) {
+  // The give-up path end to end: a receiver dead from birth exhausts two
+  // sessions' retry budgets while a healthy link delivers. Every leg must
+  // land in FaultStats AND in the telemetry event stream, and the oracle's
+  // exactly-once check must stay silent — bounded give-up is a contract,
+  // not a violation.
+  const sim::Topology topo = square_topology();
+  sim::FaultModel faults;
+  faults.crashes = {{1, 0, kForever}};
+  sim::ArqOptions arq;
+  arq.enabled = true;
+  arq.max_retries = 3;
+  sim::MemoryTraceSink sink;
+  sim::Telemetry telemetry(&sink);
+  Channel channel(topo, {}, {}, faults, arq, &telemetry);
+  sim::InvariantOracle oracle;
+  channel.attach_oracle(&oracle);
+  channel.send(0, 1, 7);  // doomed session #1
+  channel.send(0, 2, 8);  // healthy link
+  channel.send(0, 1, 9);  // doomed session #2, same link
+  const auto delivered = drain(channel);
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].msg, 8);
+  EXPECT_EQ(channel.stats().give_ups, 2u);
+  EXPECT_EQ(channel.stats().delivered, 1u);
+  EXPECT_EQ(channel.stats().retransmissions, 6u);  // 3 per doomed session
+  // Each doomed DATA frame (1 + 3 retries, twice) was charged and then
+  // dropped at the crashed receiver; nothing was suppressed (the sender
+  // is alive) or lost on the channel.
+  EXPECT_EQ(channel.raw().fault_stats().dropped_crashed, 8u);
+  EXPECT_EQ(channel.raw().fault_stats().suppressed, 0u);
+  EXPECT_EQ(channel.raw().fault_stats().lost, 0u);
+  // The event stream mirrors the stats one for one.
+  std::size_t give_ups = 0;
+  std::size_t timeouts = 0;
+  std::size_t arq_deliveries = 0;
+  std::size_t crash_drops = 0;
+  for (const sim::TelemetryEvent& e : sink.events()) {
+    switch (e.type) {
+      case sim::EventType::kArqGiveUp: ++give_ups; break;
+      case sim::EventType::kArqTimeout: ++timeouts; break;
+      case sim::EventType::kArqDeliver: ++arq_deliveries; break;
+      case sim::EventType::kCrashDrop: ++crash_drops; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(give_ups, channel.stats().give_ups);
+  EXPECT_EQ(arq_deliveries, channel.stats().delivered);
+  EXPECT_EQ(crash_drops, channel.raw().fault_stats().dropped_crashed);
+  EXPECT_GT(timeouts, 0u);
+  EXPECT_TRUE(oracle.ok());
 }
 
 TEST(ReliableChannel, RtoBelowTheRoundTripIsRejected) {
