@@ -16,6 +16,7 @@
 #include "emst/nnt/kp_nnt.hpp"
 #include "emst/rgg/radii.hpp"
 #include "emst/rgg/rgg.hpp"
+#include "emst/run.hpp"
 #include "emst/support/cli.hpp"
 #include "emst/support/parallel.hpp"
 #include "emst/support/rng.hpp"
@@ -48,7 +49,7 @@ int main(int argc, char** argv) {
     const auto points = geometry::uniform_points(n, rng);
     const sim::Topology topo(points, rgg::connectivity_radius(n));
     const auto mst = rgg::euclidean_mst(points);
-    const auto co = nnt::run_connt(topo).tree;
+    const auto co = run(topo, config_for(Driver::kCoNnt)).tree;
     nnt::KpNntOptions kp_opts;
     kp_opts.rank_seed = support::Rng::stream_seed(seed ^ 0x1234, t);
     const auto kp = nnt::run_kp_nnt(topo, kp_opts).tree;

@@ -12,6 +12,7 @@
 #include "emst/geometry/sampling.hpp"
 #include "emst/ghs/classic.hpp"
 #include "emst/rgg/radii.hpp"
+#include "emst/run.hpp"
 #include "emst/support/cli.hpp"
 #include "emst/support/parallel.hpp"
 #include "emst/support/rng.hpp"
@@ -71,43 +72,37 @@ int main(int argc, char** argv) {
       rows[t * kVariantCount + v] = {a.energy,
                                      static_cast<double>(a.messages())};
     };
-    record(kClassicGhs, ghs::run_classic_ghs(topo).totals);
+    record(kClassicGhs, run(topo, config_for(Driver::kClassicGhs)).totals);
+    // The cached-classic / probe-sync flavours are their own facade
+    // drivers; the EOPT ablation knobs ride in cfg.eopt (docs/API_TOUR.md).
+    record(kClassicCached, run(topo, config_for(Driver::kClassicGhsCached)).totals);
+    record(kSyncProbe, run(topo, config_for(Driver::kSyncGhsProbe)).totals);
+    record(kSyncCache, run(topo, config_for(Driver::kSyncGhs)).totals);
+    record(kEoptFull, run(topo, config_for(Driver::kEopt)).totals);
     {
-      ghs::ClassicGhsOptions o;
-      o.moe = ghs::MoeStrategy::kCachedConfirm;
-      record(kClassicCached, ghs::run_classic_ghs(topo, o).totals);
+      RunConfig cfg = config_for(Driver::kEopt);
+      cfg.eopt.giant_passive = false;
+      record(kEoptNoPassive, run(topo, cfg).totals);
     }
     {
-      ghs::SyncGhsOptions o;
-      o.neighbor_cache = false;
-      record(kSyncProbe, ghs::run_sync_ghs(topo, o).run.totals);
-    }
-    record(kSyncCache, ghs::run_sync_ghs(topo, {}).run.totals);
-    record(kEoptFull, eopt::run_eopt(topo).run.totals);
-    {
-      eopt::EoptOptions o;
-      o.giant_passive = false;
-      record(kEoptNoPassive, eopt::run_eopt(topo, o).run.totals);
+      RunConfig cfg = config_for(Driver::kEopt);
+      cfg.eopt.giant_keeps_id = false;
+      record(kEoptNoIdKeep, run(topo, cfg).totals);
     }
     {
-      eopt::EoptOptions o;
-      o.giant_keeps_id = false;
-      record(kEoptNoIdKeep, eopt::run_eopt(topo, o).run.totals);
+      RunConfig cfg = config_for(Driver::kEopt);
+      cfg.eopt.neighbor_cache = false;
+      record(kEoptProbe, run(topo, cfg).totals);
     }
     {
-      eopt::EoptOptions o;
-      o.neighbor_cache = false;
-      record(kEoptProbe, eopt::run_eopt(topo, o).run.totals);
+      RunConfig cfg = config_for(Driver::kEopt);
+      cfg.eopt.step1_factor = 1.0;
+      record(kEoptC1Small, run(topo, cfg).totals);
     }
     {
-      eopt::EoptOptions o;
-      o.step1_factor = 1.0;
-      record(kEoptC1Small, eopt::run_eopt(topo, o).run.totals);
-    }
-    {
-      eopt::EoptOptions o;
-      o.step1_factor = 2.0;
-      record(kEoptC1Large, eopt::run_eopt(topo, o).run.totals);
+      RunConfig cfg = config_for(Driver::kEopt);
+      cfg.eopt.step1_factor = 2.0;
+      record(kEoptC1Large, run(topo, cfg).totals);
     }
   });
 

@@ -18,6 +18,10 @@
 //               (the price of crash repair / epoch restarts);
 //   kills     — mean nodes the strategy killed;
 //   oracle_violations — runtime invariant failures (must stay 0).
+// The Co-NNT branch stays on the expert surface: the campaign's
+// degradation oracle walks CoNntResult::parent, which the emst::run
+// facade result does not carry.
+#define EMST_NO_DEPRECATE
 #include <algorithm>
 #include <array>
 #include <cmath>
@@ -39,6 +43,7 @@
 #include "emst/nnt/connt.hpp"
 #include "emst/sim/chaos.hpp"
 #include "emst/sim/oracle.hpp"
+#include "emst/run.hpp"
 #include "emst/support/cli.hpp"
 #include "emst/support/json.hpp"
 #include "emst/support/rng.hpp"
@@ -125,27 +130,14 @@ RunOut run_driver(std::string_view driver, const sim::Topology& topo,
   faults.controller = controller;
   faults.seed = fault_seed;
   RunOut out;
-  if (driver == "eopt") {
-    eopt::EoptOptions opt;
-    opt.faults = faults;
-    opt.oracle = oracle;
-    auto res = eopt::run_eopt(topo, opt);
-    out.tree = std::move(res.run.tree);
-    out.energy = res.run.totals.energy;
-    out.injected = std::move(res.run.injected_crashes);
-  } else if (driver == "sync_ghs") {
-    ghs::SyncGhsOptions opt;
-    opt.faults = faults;
-    opt.oracle = oracle;
-    auto res = ghs::run_sync_ghs(topo, opt);
-    out.tree = std::move(res.run.tree);
-    out.energy = res.run.totals.energy;
-    out.injected = std::move(res.injected_crashes);
-  } else if (driver == "classic_ghs") {
-    ghs::ClassicGhsOptions opt;
-    opt.faults = faults;
-    opt.oracle = oracle;
-    auto res = ghs::run_classic_ghs(topo, opt);
+  if (driver == "eopt" || driver == "sync_ghs" || driver == "classic_ghs") {
+    emst::RunConfig cfg = emst::config_for(
+        driver == "eopt" ? emst::Driver::kEopt
+        : driver == "sync_ghs" ? emst::Driver::kSyncGhs
+                               : emst::Driver::kClassicGhs);
+    cfg.faults = faults;
+    cfg.oracle = oracle;
+    emst::RunResult res = emst::run(topo, cfg);
     out.tree = std::move(res.tree);
     out.energy = res.totals.energy;
     out.injected = std::move(res.injected_crashes);
@@ -165,11 +157,14 @@ RunOut run_driver(std::string_view driver, const sim::Topology& topo,
 }
 
 double baseline_energy(std::string_view driver, const sim::Topology& topo) {
-  if (driver == "eopt") return eopt::run_eopt(topo).run.totals.energy;
+  if (driver == "eopt")
+    return emst::run(topo, emst::config_for(emst::Driver::kEopt)).totals.energy;
   if (driver == "sync_ghs")
-    return ghs::run_sync_ghs(topo, {}).run.totals.energy;
+    return emst::run(topo, emst::config_for(emst::Driver::kSyncGhs))
+        .totals.energy;
   if (driver == "classic_ghs")
-    return ghs::run_classic_ghs(topo, {}).totals.energy;
+    return emst::run(topo, emst::config_for(emst::Driver::kClassicGhs))
+        .totals.energy;
   return nnt::run_connt(topo, {}).totals.energy;
 }
 

@@ -20,6 +20,7 @@
 #include <iostream>
 
 #include "emst/eopt/eopt.hpp"
+#include "emst/run.hpp"
 #include "emst/geometry/sampling.hpp"
 #include "emst/graph/gabriel.hpp"
 #include "emst/graph/mst.hpp"
@@ -78,13 +79,13 @@ int main(int argc, char** argv) {
       const sim::Topology gabriel(points, r2, gabriel_edges);
 
       auto run = [&](Variant v, const sim::Topology& topo, bool min_power) {
-        eopt::EoptOptions options;
-        options.announce_min_power = min_power;
-        const auto result = eopt::run_eopt(topo, options);
-        outs[t].energy[v] = result.run.totals.energy;
+        emst::RunConfig cfg = emst::config_for(emst::Driver::kEopt);
+        cfg.eopt.announce_min_power = min_power;
+        const emst::RunResult result = emst::run(topo, cfg);
+        outs[t].energy[v] = result.totals.energy;
         outs[t].messages[v] =
-            static_cast<double>(result.run.totals.messages());
-        outs[t].exact[v] = graph::same_edge_set(result.run.tree, reference);
+            static_cast<double>(result.totals.messages());
+        outs[t].exact[v] = graph::same_edge_set(result.tree, reference);
       };
       run(kPlain, disk, false);
       run(kMinPower, disk, true);

@@ -17,6 +17,7 @@
 #include "emst/rgg/radii.hpp"
 #include "emst/rgg/rgg.hpp"
 #include "emst/spatial/cell_grid.hpp"
+#include "emst/run.hpp"
 #include "emst/support/rng.hpp"
 
 namespace {
@@ -99,7 +100,7 @@ void BM_ClassicGhs(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const sim::Topology topo(bench_points(n, 11), rgg::connectivity_radius(n));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(ghs::run_classic_ghs(topo));
+    benchmark::DoNotOptimize(run(topo, config_for(Driver::kClassicGhs)));
   }
 }
 BENCHMARK(BM_ClassicGhs)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
@@ -108,7 +109,7 @@ void BM_SyncGhsCached(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const sim::Topology topo(bench_points(n, 13), rgg::connectivity_radius(n));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(ghs::run_sync_ghs(topo, {}));
+    benchmark::DoNotOptimize(run(topo, config_for(Driver::kSyncGhs)));
   }
 }
 BENCHMARK(BM_SyncGhsCached)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
@@ -117,7 +118,7 @@ void BM_CoNnt(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const sim::Topology topo(bench_points(n, 17), rgg::connectivity_radius(n));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(nnt::run_connt(topo));
+    benchmark::DoNotOptimize(run(topo, config_for(Driver::kCoNnt)));
   }
 }
 BENCHMARK(BM_CoNnt)->Arg(500)->Arg(5000)->Unit(benchmark::kMillisecond);
@@ -178,7 +179,7 @@ void BM_Eopt(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const sim::Topology topo(bench_points(n, 41), rgg::connectivity_radius(n));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(eopt::run_eopt(topo));
+    benchmark::DoNotOptimize(run(topo, config_for(Driver::kEopt)));
   }
 }
 BENCHMARK(BM_Eopt)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);

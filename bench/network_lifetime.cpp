@@ -17,6 +17,7 @@
 #include "emst/ghs/classic.hpp"
 #include "emst/nnt/connt.hpp"
 #include "emst/rgg/radii.hpp"
+#include "emst/run.hpp"
 #include "emst/support/cli.hpp"
 #include "emst/support/parallel.hpp"
 #include "emst/support/rng.hpp"
@@ -67,23 +68,14 @@ int main(int argc, char** argv) {
         outs[t].p99[a] = support::quantile_sorted(ledger, 0.99);
         outs[t].imbalance[a] = mean > 0.0 ? hottest / mean : 0.0;
       };
-      {
-        ghs::ClassicGhsOptions options;
-        options.track_per_node_energy = true;
-        const auto run = ghs::run_classic_ghs(topo, options);
-        digest(kGhs, run.totals.energy, run.per_node_energy);
-      }
-      {
-        eopt::EoptOptions options;
-        options.track_per_node_energy = true;
-        const auto run = eopt::run_eopt(topo, options);
-        digest(kEopt, run.run.totals.energy, run.per_node_energy);
-      }
-      {
-        nnt::CoNntOptions options;
-        options.track_per_node_energy = true;
-        const auto run = nnt::run_connt(topo, options);
-        digest(kConnt, run.totals.energy, run.per_node_energy);
+      for (const auto [algo, driver] :
+           {std::pair{kGhs, Driver::kClassicGhs},
+            std::pair{kEopt, Driver::kEopt},
+            std::pair{kConnt, Driver::kCoNnt}}) {
+        RunConfig cfg = config_for(driver);
+        cfg.track_per_node_energy = true;
+        const RunResult res = run(topo, cfg);
+        digest(algo, res.totals.energy, res.per_node_energy);
       }
     });
     for (int a = 0; a < kAlgoCount; ++a) {

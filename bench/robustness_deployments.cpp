@@ -7,6 +7,9 @@
 //  - clustered fields percolate EARLIER locally but may strand clusters;
 //  - a coverage hole splits the giant or blocks connectivity entirely;
 //  - the density gradient stresses Co-NNT's diagonal ranking geometry.
+// The EOPT call stays on the expert surface: this bench reports the
+// giant-fragment share, which only eopt::EoptResult carries.
+#define EMST_NO_DEPRECATE
 #include <cstdio>
 #include <iostream>
 
@@ -17,6 +20,7 @@
 #include "emst/graph/tree_utils.hpp"
 #include "emst/nnt/connt.hpp"
 #include "emst/rgg/radii.hpp"
+#include "emst/run.hpp"
 #include "emst/support/cli.hpp"
 #include "emst/support/parallel.hpp"
 #include "emst/support/rng.hpp"
@@ -56,12 +60,12 @@ int main(int argc, char** argv) {
       const auto reference = graph::kruskal_msf(n, topo.graph().edges());
       Out& out = outs[t];
       out.connected = reference.size() == n - 1;
-      out.ghs = ghs::run_classic_ghs(topo).totals.energy;
+      out.ghs = run(topo, config_for(Driver::kClassicGhs)).totals.energy;
       const auto eo = eopt::run_eopt(topo);
       out.eopt = eo.run.totals.energy;
       out.exact = graph::same_edge_set(eo.run.tree, reference);
       out.giant = static_cast<double>(eo.giant_size) / static_cast<double>(n);
-      const auto co = nnt::run_connt(topo);
+      const auto co = run(topo, config_for(Driver::kCoNnt));
       out.connt = co.totals.energy;
       const double ref_len = graph::tree_cost(points, reference, 1.0);
       out.ratio = ref_len > 0.0

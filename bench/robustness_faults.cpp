@@ -26,6 +26,7 @@
 #include "emst/graph/mst.hpp"
 #include "emst/graph/tree_utils.hpp"
 #include "emst/rgg/radii.hpp"
+#include "emst/run.hpp"
 #include "emst/support/cli.hpp"
 #include "emst/support/json.hpp"
 #include "emst/support/parallel.hpp"
@@ -86,8 +87,9 @@ int main(int argc, char** argv) {
       support::Rng rng(support::Rng::stream_seed(seed, t));
       const sim::Topology topo =
           eopt::eopt_topology(geometry::uniform_points(n, rng));
-      outs[t].eopt.energy = eopt::run_eopt(topo).run.totals.energy;
-      outs[t].ghs.energy = ghs::run_sync_ghs(topo, {}).run.totals.energy;
+      outs[t].eopt.energy = run(topo, config_for(Driver::kEopt)).totals.energy;
+      outs[t].ghs.energy =
+          run(topo, config_for(Driver::kSyncGhs)).totals.energy;
     });
     for (const TrialOut& o : outs) {
       base_eopt.add(o.eopt.energy);
@@ -108,28 +110,28 @@ int main(int argc, char** argv) {
       const sim::Topology topo = eopt::eopt_topology(points);
       const auto reference = graph::kruskal_msf(n, topo.graph().edges());
 
-      eopt::EoptOptions eo;
+      RunConfig eo = config_for(Driver::kEopt);
       eo.faults.loss = loss;
       eo.faults.seed = support::Rng::stream_seed(seed ^ 0xFA17ULL, t);
       eo.arq.enabled = true;
-      const auto eres = eopt::run_eopt(topo, eo);
-      outs[t].eopt = {eres.run.totals.energy,
+      const RunResult eres = run(topo, eo);
+      outs[t].eopt = {eres.totals.energy,
                       static_cast<double>(eres.arq.retransmissions),
                       static_cast<double>(eres.arq.give_ups),
-                      static_cast<double>(eres.fault_stats.lost),
-                      graph::same_edge_set(eres.run.tree, reference),
+                      static_cast<double>(eres.faults.lost),
+                      graph::same_edge_set(eres.tree, reference),
                       eres.hit_phase_cap};
 
-      ghs::SyncGhsOptions go;
+      RunConfig go = config_for(Driver::kSyncGhs);
       go.faults.loss = loss;
       go.faults.seed = support::Rng::stream_seed(seed ^ 0x6B5ULL, t);
       go.arq.enabled = true;
-      const auto gres = ghs::run_sync_ghs(topo, go);
-      outs[t].ghs = {gres.run.totals.energy,
+      const RunResult gres = run(topo, go);
+      outs[t].ghs = {gres.totals.energy,
                      static_cast<double>(gres.arq.retransmissions),
                      static_cast<double>(gres.arq.give_ups),
                      static_cast<double>(gres.faults.lost),
-                     graph::same_edge_set(gres.run.tree, reference),
+                     graph::same_edge_set(gres.tree, reference),
                      gres.hit_phase_cap};
     });
     for (const TrialOut& o : outs) {

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "emst/eopt/eopt.hpp"
+#include "emst/run.hpp"
 #include "emst/geometry/sampling.hpp"
 #include "emst/ghs/sync.hpp"
 #include "emst/rgg/radii.hpp"
@@ -91,17 +92,13 @@ ChildReport run_one(Topo&& make_topo, const std::string& algo) {
   ChildReport out;
   const auto start = Clock::now();
   const auto topo = make_topo();  // topology build is part of the story
-  if (algo == "eopt") {
-    const eopt::EoptResult run = eopt::run_eopt(topo);
-    out.energy = run.run.totals.energy;
-    out.tree_edges = run.run.tree.size();
-    out.phases = run.step1_phases + run.step2_phases;
-  } else {
-    const ghs::SyncGhsResult run = ghs::run_sync_ghs(topo, {});
-    out.energy = run.run.totals.energy;
-    out.tree_edges = run.run.tree.size();
-    out.phases = run.run.phases;
-  }
+  // EOPT's facade phases are step1 + step2 (run.cpp absorbs the sum).
+  const emst::RunResult run = emst::run(
+      topo, emst::config_for(algo == "eopt" ? emst::Driver::kEopt
+                                            : emst::Driver::kSyncGhs));
+  out.energy = run.totals.energy;
+  out.tree_edges = run.tree.size();
+  out.phases = run.phases;
   out.wall_ms =
       std::chrono::duration<double, std::milli>(Clock::now() - start).count();
   return out;

@@ -10,9 +10,9 @@
 
 #include "emst/geometry/sampling.hpp"
 #include "emst/graph/tree_utils.hpp"
-#include "emst/nnt/connt.hpp"
 #include "emst/rgg/radii.hpp"
 #include "emst/rgg/rgg.hpp"
+#include "emst/run.hpp"
 #include "emst/support/cli.hpp"
 #include "emst/support/parallel.hpp"
 #include "emst/support/rng.hpp"
@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
       const auto points = geometry::uniform_points(n, rng);
       const auto mst = rgg::euclidean_mst(points);
       const sim::Topology topo(points, rgg::connectivity_radius(n));
-      const auto co = nnt::run_connt(topo).tree;
+      const auto co = run(topo, config_for(Driver::kCoNnt)).tree;
       const double sqrt_n = std::sqrt(static_cast<double>(n));
       outs[t] = {graph::tree_cost(points, mst, 1.0) / sqrt_n,
                  graph::tree_cost(points, co, 1.0) / sqrt_n,

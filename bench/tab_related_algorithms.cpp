@@ -19,6 +19,7 @@
 #include "emst/nnt/kp_nnt.hpp"
 #include "emst/rgg/radii.hpp"
 #include "emst/rgg/rgg.hpp"
+#include "emst/run.hpp"
 #include "emst/support/cli.hpp"
 #include "emst/support/parallel.hpp"
 #include "emst/support/rng.hpp"
@@ -68,15 +69,15 @@ int main(int argc, char** argv) {
         outs[t].ratio[a] = graph::tree_cost(points, tree, 1.0) / mst_len;
         outs[t].exact[a] = graph::same_edge_set(tree, mst);
       };
-      const auto ghs = ghs::run_classic_ghs(topo);
+      const auto ghs = run(topo, config_for(Driver::kClassicGhs));
       fill(kGhs, ghs.tree, ghs.totals);
-      const auto eo = eopt::run_eopt(topo);
-      fill(kEopt, eo.run.tree, eo.run.totals);
+      const auto eo = run(topo, config_for(Driver::kEopt));
+      fill(kEopt, eo.tree, eo.totals);
       nnt::KpNntOptions kp;
       kp.rank_seed = support::Rng::stream_seed(seed ^ 0xabcd, t);
       const auto kpr = nnt::run_kp_nnt(topo, kp);
       fill(kKp, kpr.tree, kpr.totals);
-      const auto co = nnt::run_connt(topo);
+      const auto co = run(topo, config_for(Driver::kCoNnt));
       fill(kConnt, co.tree, co.totals);
     });
     for (int a = 0; a < kAlgoCount; ++a) {

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "emst/eopt/eopt.hpp"
+#include "emst/run.hpp"
 #include "emst/geometry/sampling.hpp"
 #include "emst/ghs/sync.hpp"
 #include "emst/rgg/radii.hpp"
@@ -150,26 +151,26 @@ Sample run_pump(const sim::Topology& topo, std::size_t messages,
 Sample run_sync(const sim::Topology& topo, Variant variant) {
   Observer obs(variant, topo.node_count());
   const auto start = Clock::now();
-  ghs::SyncGhsOptions options;
-  options.telemetry = obs.hub;
-  options.record_breakdown = obs.breakdown;
-  const auto result = ghs::run_sync_ghs(topo, options);
+  emst::RunConfig cfg = emst::config_for(emst::Driver::kSyncGhs);
+  cfg.telemetry = obs.hub;
+  cfg.record_breakdown = obs.breakdown;
+  const emst::RunResult result = emst::run(topo, cfg);
   Sample out;
   out.millis = elapsed_ms(start);
-  out.energy = result.run.totals.energy;
+  out.energy = result.totals.energy;
   return out;
 }
 
 Sample run_eopt_once(const sim::Topology& topo, Variant variant) {
   Observer obs(variant, topo.node_count());
   const auto start = Clock::now();
-  eopt::EoptOptions options;
-  options.telemetry = obs.hub;
-  options.record_breakdown = obs.breakdown;
-  const auto result = eopt::run_eopt(topo, options);
+  emst::RunConfig cfg = emst::config_for(emst::Driver::kEopt);
+  cfg.telemetry = obs.hub;
+  cfg.record_breakdown = obs.breakdown;
+  const emst::RunResult result = emst::run(topo, cfg);
   Sample out;
   out.millis = elapsed_ms(start);
-  out.energy = result.run.totals.energy;
+  out.energy = result.totals.energy;
   return out;
 }
 

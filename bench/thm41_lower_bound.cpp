@@ -10,11 +10,15 @@
 //      packing constant),
 //  (b) L_MST = Σ d² over the exact MST (the trivial Ω(1) floor), and
 //  (c) the measured energies of GHS / EOPT against a·ln n for reference.
+// The KMZ pair-count below needs a ghs::TxLog, which only the direct
+// sync-GHS entry point can populate — that one call stays expert.
+#define EMST_NO_DEPRECATE
 #include <cmath>
 #include <cstdio>
 #include <iostream>
 
 #include "emst/eopt/eopt.hpp"
+#include "emst/run.hpp"
 #include "emst/geometry/sampling.hpp"
 #include "emst/ghs/classic.hpp"
 #include "emst/ghs/sync.hpp"
@@ -73,8 +77,11 @@ int main(int argc, char** argv) {
     const auto mst = rgg::euclidean_mst(points);
     trial_lmst[t] = graph::tree_cost(points, mst, 2.0);
     const sim::Topology topo(points, rgg::connectivity_radius(n));
-    trial_ghs[t] = ghs::run_classic_ghs(topo).totals.energy;
-    trial_eopt[t] = eopt::run_eopt(topo).run.totals.energy;
+    trial_ghs[t] =
+        emst::run(topo, emst::config_for(emst::Driver::kClassicGhs))
+            .totals.energy;
+    trial_eopt[t] =
+        emst::run(topo, emst::config_for(emst::Driver::kEopt)).totals.energy;
   });
   for (std::size_t t = 0; t < trials; ++t) {
     for (std::size_t i = 0; i < ks.size(); ++i) ndk2[i].add(trial_ndk2[t][i]);

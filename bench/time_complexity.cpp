@@ -16,6 +16,7 @@
 #include "emst/ghs/sync.hpp"
 #include "emst/nnt/connt.hpp"
 #include "emst/rgg/radii.hpp"
+#include "emst/run.hpp"
 #include "emst/support/cli.hpp"
 #include "emst/support/parallel.hpp"
 #include "emst/support/rng.hpp"
@@ -51,16 +52,16 @@ int main(int argc, char** argv) {
       support::Rng rng(support::Rng::stream_seed(seed ^ (n * 19), t));
       const sim::Topology topo(geometry::uniform_points(n, rng),
                                rgg::connectivity_radius(n));
-      const auto classic = ghs::run_classic_ghs(topo);
-      const auto sync = ghs::run_sync_ghs(topo, {});
-      const auto eo = eopt::run_eopt(topo);
-      const auto co = nnt::run_connt(topo);
+      const auto classic = run(topo, config_for(Driver::kClassicGhs));
+      const auto sync = run(topo, config_for(Driver::kSyncGhs));
+      const auto eo = run(topo, config_for(Driver::kEopt));
+      const auto co = run(topo, config_for(Driver::kCoNnt));
       outs[t] = {static_cast<double>(classic.totals.rounds),
-                 static_cast<double>(sync.run.totals.rounds),
-                 static_cast<double>(eo.run.totals.rounds),
+                 static_cast<double>(sync.totals.rounds),
+                 static_cast<double>(eo.totals.rounds),
                  static_cast<double>(co.totals.rounds),
                  static_cast<double>(classic.phases),
-                 static_cast<double>(eo.run.phases)};
+                 static_cast<double>(eo.phases)};
     });
     support::RunningStats ghs_r;
     support::RunningStats sync_r;

@@ -16,8 +16,8 @@
 #include <vector>
 
 #include "emst/apps/broadcast.hpp"
-#include "emst/eopt/eopt.hpp"
 #include "emst/geometry/sampling.hpp"
+#include "emst/run.hpp"
 #include "emst/rgg/radii.hpp"
 #include "emst/support/cli.hpp"
 #include "emst/support/rng.hpp"
@@ -35,9 +35,11 @@ int main(int argc, char** argv) {
   const sim::Topology topo(points, rgg::connectivity_radius(n));
   const graph::NodeId source = 0;
 
-  const auto eopt = eopt::run_eopt(topo);
+  RunConfig cfg;
+  cfg.driver = Driver::kEopt;
+  const RunResult eopt = run(topo, cfg);
   const apps::BroadcastPlan plan =
-      apps::plan_broadcast(topo, eopt.run.tree, source);
+      apps::plan_broadcast(topo, eopt.tree, source);
 
   // Execute the wireless-advantage schedule and verify coverage.
   sim::EnergyMeter meter;

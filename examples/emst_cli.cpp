@@ -1,8 +1,10 @@
 // emst_cli — run any of the library's algorithms on a random deployment and
 // emit one machine-readable record (text or JSON). The scripting entry
 // point: sweep drivers, notebooks, and CI smoke checks all shell out to
-// this. Results flow through the unified `emst::RunReport` view
-// (docs/API_TOUR.md), so every algorithm shares one output path.
+// this. Every algorithm dispatches through the `emst::run` facade
+// (docs/API_TOUR.md) and all run-configuration flags come from the parser
+// shared with `emst_serve` (emst/run_flags.hpp), so the two frontends
+// accept the same knobs with the same spellings.
 //
 //   ./emst_cli --algo=eopt --n=2000 --seed=7 --format=json
 //   ./emst_cli --algo=ghs,eopt,connt --n=500 --format=text
@@ -12,30 +14,21 @@
 //
 // Algorithms: ghs | ghs-cached | sync | sync-probe | eopt | connt |
 //             connt-axis | kpnnt
-#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
-#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "emst/eopt/eopt.hpp"
 #include "emst/geometry/sampling.hpp"
-#include "emst/ghs/classic.hpp"
-#include "emst/ghs/sync.hpp"
 #include "emst/graph/mst.hpp"
 #include "emst/graph/tree_utils.hpp"
-#include "emst/nnt/connt.hpp"
 #include "emst/nnt/kp_nnt.hpp"
 #include "emst/rgg/radii.hpp"
-#include "emst/sim/chaos.hpp"
-#include "emst/sim/fault.hpp"
-#include "emst/sim/oracle.hpp"
-#include "emst/sim/reliable.hpp"
-#include "emst/sim/telemetry.hpp"
+#include "emst/run.hpp"
+#include "emst/run_flags.hpp"
 #include "emst/sim/trace_replay.hpp"
 #include "emst/support/cli.hpp"
 #include "emst/support/json.hpp"
@@ -44,17 +37,6 @@
 namespace {
 
 using namespace emst;
-
-/// Shared run knobs assembled from the flags once.
-struct RunSetup {
-  sim::FaultModel faults;
-  sim::ArqOptions arq;
-  bool per_node = false;
-  bool breakdown = false;
-  std::size_t threads = 0;  ///< worker threads (0/1 = single-threaded)
-  sim::Telemetry* telemetry = nullptr;  ///< non-null while tracing
-  sim::InvariantOracle* oracle = nullptr;  ///< non-null with --oracle=1
-};
 
 struct Record {
   std::string algo;
@@ -73,103 +55,26 @@ struct Record {
   std::size_t injected_crashes = 0;  ///< chaos-controller kills this run
 };
 
-/// Copy the owned parts out of a (non-owning) report before the result that
-/// backs it goes out of scope.
-void fill_from_report(Record& record, const RunReport& report) {
-  record.totals = report.totals;
-  record.phases = report.phases;
-  record.faults = report.faults;
-  record.arq = report.arq;
-  record.hit_phase_cap = report.hit_phase_cap;
-  if (report.has_per_node()) record.per_node = *report.per_node_energy;
-  if (report.breakdown != nullptr) {
-    record.breakdown = *report.breakdown;
-    record.breakdown_recorded = true;
-  }
-}
-
-[[noreturn]] void reject_faulty(const std::string& algo) {
-  std::cerr << "--loss/--arq apply to the loss-recovering engines only "
-               "(sync|sync-probe|eopt), not " << algo
-            << " (crash-only --chaos works everywhere but kpnnt)\n";
-  std::exit(2);
-}
-
 Record run_one(const std::string& algo, const sim::Topology& topo,
                const std::vector<geometry::Point2>& points,
                const std::vector<graph::Edge>& reference,
-               const RunSetup& setup) {
+               const RunFlags& flags, sim::Telemetry* telemetry) {
   Record record;
   record.algo = algo;
   std::vector<graph::Edge> tree;
-  const bool faulty = setup.faults.enabled() || setup.arq.enabled;
-  // Classic GHS and Co-NNT survive crash-only (fail-stop) models via epoch
-  // restart; message loss / ARQ still needs the sync drivers' recovery.
-  const bool lossy = setup.faults.loss > 0.0 || setup.faults.use_gilbert ||
-                     setup.arq.enabled;
-  if (algo == "ghs" || algo == "ghs-cached") {
-    if (lossy) reject_faulty(algo);
-    ghs::ClassicGhsOptions options;
-    if (algo == "ghs-cached") options.moe = ghs::MoeStrategy::kCachedConfirm;
-    options.faults = setup.faults;
-    options.oracle = setup.oracle;
-    options.track_per_node_energy = setup.per_node;
-    options.record_breakdown = setup.breakdown;
-    options.threads = setup.threads;
-    options.telemetry = setup.telemetry;
-    const auto run = ghs::run_classic_ghs(topo, options);
-    fill_from_report(record, run.report());
-    record.injected_crashes = run.injected_crashes.size();
-    tree = run.tree;
-  } else if (algo == "sync" || algo == "sync-probe") {
-    ghs::SyncGhsOptions options;
-    options.neighbor_cache = algo == "sync";
-    options.faults = setup.faults;
-    options.arq = setup.arq;
-    options.oracle = setup.oracle;
-    options.track_per_node_energy = setup.per_node;
-    options.record_breakdown = setup.breakdown;
-    options.threads = setup.threads;
-    options.telemetry = setup.telemetry;
-    const auto run = ghs::run_sync_ghs(topo, options);
-    fill_from_report(record, run.report());
-    record.injected_crashes = run.injected_crashes.size();
-    tree = run.run.tree;
-  } else if (algo == "eopt") {
-    eopt::EoptOptions options;
-    options.faults = setup.faults;
-    options.arq = setup.arq;
-    options.oracle = setup.oracle;
-    options.track_per_node_energy = setup.per_node;
-    options.record_breakdown = setup.breakdown;
-    options.threads = setup.threads;
-    options.telemetry = setup.telemetry;
-    const auto run = eopt::run_eopt(topo, options);
-    fill_from_report(record, run.report());
-    record.injected_crashes = run.run.injected_crashes.size();
-    tree = run.run.tree;
-  } else if (algo == "connt" || algo == "connt-axis") {
-    if (lossy) reject_faulty(algo);
-    nnt::CoNntOptions options;
-    if (algo == "connt-axis") options.scheme = nnt::RankScheme::kAxis;
-    options.faults = setup.faults;
-    options.oracle = setup.oracle;
-    options.track_per_node_energy = setup.per_node;
-    options.record_breakdown = setup.breakdown;
-    options.threads = setup.threads;
-    options.telemetry = setup.telemetry;
-    const auto run = nnt::run_connt(topo, options);
-    fill_from_report(record, run.report());
-    record.phases = run.max_probe_rounds;
-    record.injected_crashes = run.injected_crashes.size();
-    tree = run.tree;
-  } else if (algo == "kpnnt") {
-    if (faulty) reject_faulty(algo);
-    if (setup.telemetry != nullptr) {
+  if (algo == "kpnnt") {
+    // KP-NNT predates the facade's driver set: comparison-only baseline,
+    // no faults, telemetry, or ledgers.
+    if (flags.faults.enabled() || flags.arq.enabled) {
+      std::cerr << "kpnnt supports no fault model (crash-only --chaos works "
+                   "everywhere else)\n";
+      std::exit(2);
+    }
+    if (telemetry != nullptr) {
       std::cerr << "--trace is not supported for kpnnt\n";
       std::exit(2);
     }
-    if (setup.per_node || setup.breakdown) {
+    if (flags.per_node || flags.breakdown) {
       std::cerr << "warning: --per-node/--breakdown not available for kpnnt; "
                    "column omitted\n";
     }
@@ -178,10 +83,27 @@ Record run_one(const std::string& algo, const sim::Topology& topo,
     record.phases = run.max_probe_rounds;
     tree = run.tree;
   } else {
-    std::cerr << "unknown algorithm: " << algo << '\n';
-    std::exit(2);
+    RunConfig cfg;
+    if (!parse_driver(algo, cfg.driver)) {
+      std::cerr << "unknown algorithm: " << algo << '\n';
+      std::exit(2);
+    }
+    reject_unsupported_faults(flags, cfg.driver);
+    flags.apply(cfg);
+    cfg.telemetry = telemetry;
+    RunResult run = emst::run(topo, cfg);
+    record.totals = run.totals;
+    record.phases = run.phases;
+    record.faults = run.faults;
+    record.arq = run.arq;
+    record.per_node = std::move(run.per_node_energy);
+    record.breakdown = run.breakdown;
+    record.breakdown_recorded = run.breakdown_recorded;
+    record.hit_phase_cap = run.hit_phase_cap;
+    record.injected_crashes = run.injected_crashes.size();
+    tree = std::move(run.tree);
   }
-  if (setup.per_node && record.per_node.empty() && algo != "kpnnt") {
+  if (flags.per_node && record.per_node.empty() && algo != "kpnnt") {
     std::cerr << "warning: per-node energy unavailable for " << algo << '\n';
   }
   record.tree_len = graph::tree_cost(points, tree, 1.0);
@@ -257,60 +179,23 @@ void print_breakdown(const Record& record) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const support::Cli cli(
-      argc, argv,
-      {{"algo", "comma-separated list (ghs|ghs-cached|sync|sync-probe|eopt|"
-                "connt|connt-axis|kpnnt); default eopt"},
-       {"n", "node count (default 1000)"},
-       {"seed", "deployment seed (default 1)"},
-       {"radius-factor", "connectivity radius factor (default 1.6)"},
-       {"loss", "Bernoulli message-loss probability (default 0; "
-                "sync|sync-probe|eopt only, see docs/ROBUSTNESS.md)"},
-       {"fault-seed", "fault-layer RNG seed (default 0xFA011A)"},
-       {"arq", "1 = stop-and-wait ARQ on every unicast (default 0)"},
-       {"chaos", "adversarial crash strategy (kill_leader|sever_core_edge|"
-                 "partition_half|crash_wave); crash-only fail-stop, "
-                 "any algorithm except kpnnt (docs/ROBUSTNESS.md)"},
-       {"oracle", "1 = runtime invariant oracle; exits 1 on any violation "
-                  "(docs/ROBUSTNESS.md)"},
-       {"per-node", "1 = per-node energy ledger (adds hottest-node column)"},
-       {"bits", "1 = bits-on-air column (proto wire codec sizes; zero for "
-                "algorithms without a wire format)"},
-       {"breakdown", "1 = per-phase x per-kind energy matrix "
-                     "(docs/TELEMETRY.md)"},
-       {"trace", "write a JSONL telemetry trace to this path "
-                 "(single algorithm only; validate with "
-                 "scripts/check_trace.py)"},
-       {"threads", "worker threads (default 1); results are bitwise "
-                   "identical for every value (docs/PARALLEL.md)"},
-       {"format", "text | json (default text)"}});
+  std::map<std::string, std::string> spec = {
+      {"algo", "comma-separated list (ghs|ghs-cached|sync|sync-probe|eopt|"
+               "connt|connt-axis|kpnnt); default eopt"},
+      {"n", "node count (default 1000)"},
+      {"seed", "deployment seed (default 1)"},
+      {"radius-factor", "connectivity radius factor (default 1.6)"},
+      {"bits", "1 = bits-on-air column (proto wire codec sizes; zero for "
+               "algorithms without a wire format)"},
+      {"format", "text | json (default text)"}};
+  merge_run_flag_spec(spec);
+  const support::Cli cli(argc, argv, std::move(spec));
   const auto n = static_cast<std::size_t>(cli.get_int("n", 1000));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   const double factor = cli.get_double("radius-factor", 1.6);
   const std::string format = cli.get("format", "text");
-  RunSetup setup;
-  setup.faults.loss = cli.get_double("loss", 0.0);
-  if (cli.has("fault-seed"))
-    setup.faults.seed = static_cast<std::uint64_t>(cli.get_int("fault-seed", 0));
-  setup.arq.enabled = cli.get_int("arq", 0) != 0;
-  std::unique_ptr<sim::BudgetedController> chaos_controller;
-  if (cli.has("chaos")) {
-    chaos_controller = sim::make_controller(cli.get("chaos", ""));
-    if (chaos_controller == nullptr) {
-      std::cerr << "unknown chaos strategy: " << cli.get("chaos", "")
-                << " (try kill_leader|sever_core_edge|partition_half|"
-                   "crash_wave)\n";
-      return 2;
-    }
-    setup.faults.controller = chaos_controller.get();
-  }
-  sim::InvariantOracle oracle;
-  if (cli.get_int("oracle", 0) != 0) setup.oracle = &oracle;
-  setup.per_node = cli.get_int("per-node", 0) != 0;
   const bool show_bits = cli.get_int("bits", 0) != 0;
-  setup.breakdown = cli.get_int("breakdown", 0) != 0;
-  setup.threads = static_cast<std::size_t>(cli.get_int("threads", 0));
-  const std::string trace_path = cli.get("trace", "");
+  const RunFlags flags = parse_run_flags(cli);
 
   std::vector<std::string> algos;
   {
@@ -320,11 +205,11 @@ int main(int argc, char** argv) {
       if (!piece.empty()) algos.push_back(piece);
     }
   }
-  if (!trace_path.empty() && algos.size() != 1) {
+  if (!flags.trace_path.empty() && algos.size() != 1) {
     std::cerr << "--trace records exactly one run; pass a single --algo\n";
     return 2;
   }
-  if (chaos_controller != nullptr && algos.size() != 1) {
+  if (flags.chaos_controller != nullptr && algos.size() != 1) {
     std::cerr << "--chaos attaches one adversary (one kill budget) to one "
                  "run; pass a single --algo\n";
     return 2;
@@ -338,22 +223,24 @@ int main(int argc, char** argv) {
   std::ofstream trace_file;
   sim::Telemetry telemetry;
   std::optional<sim::JsonlTraceSink> jsonl;
-  if (!trace_path.empty()) {
-    trace_file.open(trace_path);
+  sim::Telemetry* telemetry_ptr = nullptr;
+  if (!flags.trace_path.empty()) {
+    trace_file.open(flags.trace_path);
     if (!trace_file) {
-      std::cerr << "cannot open trace file: " << trace_path << '\n';
+      std::cerr << "cannot open trace file: " << flags.trace_path << '\n';
       return 2;
     }
     jsonl.emplace(trace_file);
     telemetry.set_sink(&*jsonl);
-    setup.telemetry = &telemetry;
-    sim::write_trace_header(trace_file, algos.front(), n, seed, setup.threads);
+    telemetry_ptr = &telemetry;
+    sim::write_trace_header(trace_file, algos.front(), n, seed, flags.threads);
   }
 
   std::vector<Record> records;
   records.reserve(algos.size());
   for (const std::string& algo : algos)
-    records.push_back(run_one(algo, topo, points, reference, setup));
+    records.push_back(run_one(algo, topo, points, reference, flags,
+                              telemetry_ptr));
 
   if (jsonl.has_value()) {
     const Record& traced = records.front();
@@ -401,8 +288,8 @@ int main(int argc, char** argv) {
       if (r.hit_phase_cap) json.key("hit_phase_cap").value(true);
       if (r.injected_crashes > 0)
         json.key("injected_crashes").value(r.injected_crashes);
-      if (setup.oracle != nullptr)
-        json.key("oracle_violations").value(oracle.violations().size());
+      if (flags.oracle != nullptr)
+        json.key("oracle_violations").value(flags.oracle->violations().size());
       if (!r.per_node.empty())
         json.key("hottest_node_energy").value(hottest(r.per_node));
       if (r.breakdown_recorded) json_breakdown(json, r.breakdown);
@@ -415,7 +302,7 @@ int main(int argc, char** argv) {
     std::printf("n=%zu seed=%llu radius=%.4f edges=%zu\n", n,
                 static_cast<unsigned long long>(seed), topo.max_radius(),
                 topo.graph().edge_count());
-    const bool show_hot = setup.per_node;
+    const bool show_hot = flags.per_node;
     std::printf("%-12s %12s %10s %8s%s %10s %10s %6s%s\n", "algo", "energy",
                 "messages", "rounds", show_bits ? "         bits" : "",
                 "sum|e|", "sum|e|^2", "exact", show_hot ? "    hottest" : "");
@@ -439,16 +326,16 @@ int main(int argc, char** argv) {
       std::printf("\n");
     }
     for (const Record& r : records) {
-      if (r.breakdown_recorded && setup.breakdown) print_breakdown(r);
+      if (r.breakdown_recorded && flags.breakdown) print_breakdown(r);
     }
-    if (chaos_controller != nullptr) {
+    if (flags.chaos_controller != nullptr) {
       std::printf("chaos: strategy=%s kills=%zu\n",
-                  std::string(chaos_controller->name()).c_str(),
-                  chaos_controller->kills());
+                  std::string(flags.chaos_controller->name()).c_str(),
+                  flags.chaos_controller->kills());
     }
   }
-  if (setup.oracle != nullptr && !oracle.ok()) {
-    for (const sim::OracleViolation& v : oracle.violations()) {
+  if (flags.oracle != nullptr && !flags.oracle->ok()) {
+    for (const sim::OracleViolation& v : flags.oracle->violations()) {
       std::fprintf(stderr, "oracle violation [%s] round %llu: %s\n",
                    v.invariant.c_str(),
                    static_cast<unsigned long long>(v.round), v.detail.c_str());

@@ -10,13 +10,11 @@
 //   4. print the three cost columns the paper is about.
 #include <cstdio>
 
-#include "emst/eopt/eopt.hpp"
 #include "emst/geometry/sampling.hpp"
-#include "emst/ghs/classic.hpp"
 #include "emst/graph/mst.hpp"
 #include "emst/graph/tree_utils.hpp"
-#include "emst/nnt/connt.hpp"
 #include "emst/rgg/radii.hpp"
+#include "emst/run.hpp"
 #include "emst/support/cli.hpp"
 #include "emst/support/rng.hpp"
 
@@ -36,18 +34,22 @@ int main(int argc, char** argv) {
   std::printf("deployed %zu sensors, radio range %.4f, %zu links\n", n,
               topo.max_radius(), topo.graph().edge_count());
 
-  // 2. The three §VII algorithms.
-  const auto ghs = ghs::run_classic_ghs(topo);
-  const auto eopt = eopt::run_eopt(topo);
-  const auto connt = nnt::run_connt(topo);
+  // 2. The three §VII algorithms, all through the one facade: pick a
+  //    driver, call emst::run (docs/API_TOUR.md).
+  RunConfig cfg;
+  cfg.driver = Driver::kClassicGhs;
+  const RunResult ghs = run(topo, cfg);
+  cfg.driver = Driver::kEopt;
+  const RunResult eopt = run(topo, cfg);
+  cfg.driver = Driver::kCoNnt;
+  const RunResult connt = run(topo, cfg);
 
   // 3. Verify exactness against Kruskal (unique MST by tie-broken order).
   const auto reference = graph::kruskal_msf(n, topo.graph().edges());
   std::printf("GHS  exact MST: %s\n",
               graph::same_edge_set(ghs.tree, reference) ? "yes" : "NO");
-  std::printf("EOPT exact MST: %s  (giant fragment: %zu nodes after step 1)\n",
-              graph::same_edge_set(eopt.run.tree, reference) ? "yes" : "NO",
-              eopt.giant_size);
+  std::printf("EOPT exact MST: %s\n",
+              graph::same_edge_set(eopt.tree, reference) ? "yes" : "NO");
   std::printf("Co-NNT spanning tree: %s (an O(1)-approximation, not exact)\n",
               graph::is_spanning_tree(n, connt.tree) ? "yes" : "NO");
 
@@ -64,14 +66,13 @@ int main(int argc, char** argv) {
   };
   row("GHS", ghs.totals.energy, ghs.totals.messages(), ghs.totals.rounds,
       ghs.tree);
-  row("EOPT", eopt.run.totals.energy, eopt.run.totals.messages(),
-      eopt.run.totals.rounds, eopt.run.tree);
+  row("EOPT", eopt.totals.energy, eopt.totals.messages(),
+      eopt.totals.rounds, eopt.tree);
   row("Co-NNT", connt.totals.energy, connt.totals.messages(),
       connt.totals.rounds, connt.tree);
 
-  std::printf("\nEOPT spent %.1f%% of GHS's energy "
-              "(step1 %.3f + census %.3f + step2 %.3f)\n",
-              100.0 * eopt.run.totals.energy / ghs.totals.energy,
-              eopt.step1.energy, eopt.census.energy, eopt.step2.energy);
+  std::printf("\nEOPT spent %.1f%% of GHS's energy (bench/eopt_step_breakdown"
+              " itemizes the Thm 5.3 stage shares)\n",
+              100.0 * eopt.totals.energy / ghs.totals.energy);
   return 0;
 }

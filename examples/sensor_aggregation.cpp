@@ -16,9 +16,8 @@
 #include <vector>
 
 #include "emst/apps/aggregation.hpp"
-#include "emst/eopt/eopt.hpp"
 #include "emst/geometry/sampling.hpp"
-#include "emst/nnt/connt.hpp"
+#include "emst/run.hpp"
 #include "emst/rgg/radii.hpp"
 #include "emst/support/cli.hpp"
 #include "emst/support/rng.hpp"
@@ -41,9 +40,12 @@ int main(int argc, char** argv) {
 
   // Backbone 1: exact MST via EOPT (pay the construction bill once).
   const sim::Topology topo(points, rgg::connectivity_radius(n));
-  const auto eopt = eopt::run_eopt(topo);
+  RunConfig cfg;
+  cfg.driver = Driver::kEopt;
+  const RunResult eopt = run(topo, cfg);
   // Backbone 2: Co-NNT approximate tree.
-  const auto connt = nnt::run_connt(topo);
+  cfg.driver = Driver::kCoNnt;
+  const RunResult connt = run(topo, cfg);
   // Backbone 3: direct transmission — a star centred at the sink (needs an
   // unbounded radio view, so its own wide topology).
   const sim::Topology open(points, 1.5);
@@ -51,7 +53,7 @@ int main(int argc, char** argv) {
   for (graph::NodeId u = 1; u < n; ++u)
     star.push_back({sink, u, geometry::distance(points[sink], points[u])});
 
-  const apps::AggregationTree mst_tree(topo, eopt.run.tree, sink);
+  const apps::AggregationTree mst_tree(topo, eopt.tree, sink);
   const apps::AggregationTree nnt_tree(topo, connt.tree, sink);
   const apps::AggregationTree star_tree(open, star, sink);
 
@@ -76,7 +78,7 @@ int main(int argc, char** argv) {
     std::printf("%-14s %16.3f %16.4f %14.3f %8zu\n", name, build, per_round,
                 build + static_cast<double>(rounds) * per_round, tree.depth());
   };
-  row("EOPT MST", eopt.run.totals.energy, mst_tree);
+  row("EOPT MST", eopt.totals.energy, mst_tree);
   row("Co-NNT", connt.totals.energy, nnt_tree);
   row("direct/star", 0.0, star_tree);
 

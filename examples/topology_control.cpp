@@ -17,11 +17,11 @@
 #include <queue>
 #include <vector>
 
-#include "emst/eopt/eopt.hpp"
 #include "emst/geometry/sampling.hpp"
 #include "emst/graph/tree_utils.hpp"
 #include "emst/rgg/radii.hpp"
 #include "emst/rgg/rgg.hpp"
+#include "emst/run.hpp"
 #include "emst/support/cli.hpp"
 #include "emst/support/rng.hpp"
 
@@ -74,7 +74,9 @@ int main(int argc, char** argv) {
   support::Rng rng(seed);
   const auto points = geometry::uniform_points(n, rng);
   const sim::Topology topo(points, rgg::connectivity_radius(n));
-  const auto eopt = eopt::run_eopt(topo);
+  RunConfig cfg;
+  cfg.driver = Driver::kEopt;
+  const RunResult eopt = run(topo, cfg);
 
   // Full-RGG stats.
   const double full_degree =
@@ -85,7 +87,7 @@ int main(int argc, char** argv) {
 
   // MST power assignment: each node's power = its longest tree edge.
   std::vector<double> power(n, 0.0);
-  for (const graph::Edge& e : eopt.run.tree) {
+  for (const graph::Edge& e : eopt.tree) {
     power[e.u] = std::max(power[e.u], e.w);
     power[e.v] = std::max(power[e.v], e.w);
   }
@@ -95,12 +97,12 @@ int main(int argc, char** argv) {
     mst_power += p * p;
     max_power = std::max(max_power, p);
   }
-  const double mst_degree = 2.0 * static_cast<double>(eopt.run.tree.size()) /
+  const double mst_degree = 2.0 * static_cast<double>(eopt.tree.size()) /
                             static_cast<double>(n);
 
   // Hop stretch MST vs RGG over random pairs.
   const auto rgg_adj = adjacency_of(n, topo.graph().edges());
-  const auto mst_adj = adjacency_of(n, eopt.run.tree);
+  const auto mst_adj = adjacency_of(n, eopt.tree);
   double stretch_total = 0.0;
   double stretch_worst = 0.0;
   std::size_t counted = 0;

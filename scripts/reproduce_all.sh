@@ -94,6 +94,15 @@ for name in "${benches[@]}"; do
       validate_json "$REPO_ROOT/BENCH_wire.json"
       cp "$REPO_ROOT/BENCH_wire.json" "$RESULTS_DIR/BENCH_wire.json"
       ;;
+    serve_throughput)
+      echo "== $name"
+      # Refreshes the tracked serve-session throughput record; the binary
+      # exits non-zero if any verified commit diverges from kruskal_msf.
+      "$bench" --json="$REPO_ROOT/BENCH_serve.json" \
+        | tee "$RESULTS_DIR/$name.txt"
+      validate_json "$REPO_ROOT/BENCH_serve.json"
+      cp "$REPO_ROOT/BENCH_serve.json" "$RESULTS_DIR/BENCH_serve.json"
+      ;;
     *)
       echo "== $name"
       "$bench" --csv="$RESULTS_DIR/$name.csv" | tee "$RESULTS_DIR/$name.txt"

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the emst_serve daemon over loopback TCP (shared by
+# ctest and CI):
+#
+#   scripts/serve_smoke.sh path/to/emst_serve [workdir]
+#
+# Starts a daemon on an ephemeral port, drives a full mutation session
+# through the scripted client (add / remove / move / commit / tree / stats),
+# shuts it down cleanly, and checks the daemon exited zero. Exits 77
+# (the ctest SKIP_RETURN_CODE) when the environment cannot bind a loopback
+# socket — sandboxed builds legitimately can't.
+set -euo pipefail
+
+SERVE_BIN="${1:?usage: serve_smoke.sh path/to/emst_serve [workdir]}"
+WORKDIR="${2:-$(mktemp -d)}"
+mkdir -p "$WORKDIR"
+PORT_FILE="$WORKDIR/port.txt"
+DAEMON_LOG="$WORKDIR/daemon.log"
+rm -f "$PORT_FILE"
+
+"$SERVE_BIN" --n=64 --seed=7 --algo=eopt --port=0 --port-file="$PORT_FILE" \
+  > "$DAEMON_LOG" 2>&1 &
+DAEMON_PID=$!
+
+# Wait for the daemon to publish its bound port (or die trying).
+for _ in $(seq 1 100); do
+  [ -s "$PORT_FILE" ] && break
+  if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+    if grep -qi "bind\|socket" "$DAEMON_LOG"; then
+      echo "serve_smoke: cannot bind a loopback socket here — skipping" >&2
+      cat "$DAEMON_LOG" >&2
+      exit 77
+    fi
+    echo "serve_smoke: daemon died before binding:" >&2
+    cat "$DAEMON_LOG" >&2
+    exit 1
+  fi
+  sleep 0.05
+done
+if [ ! -s "$PORT_FILE" ]; then
+  echo "serve_smoke: daemon never published a port" >&2
+  kill "$DAEMON_PID" 2>/dev/null || true
+  exit 1
+fi
+PORT="$(cat "$PORT_FILE")"
+
+SCRIPT="$WORKDIR/session.txt"
+cat > "$SCRIPT" <<'EOF'
+# One full serve session: grow, shrink, wander, then inspect.
+add 0.5 0.5
+add 0.25 0.75
+remove 3
+move 7 0.1 0.9
+commit
+tree
+stats
+shutdown
+EOF
+
+CLIENT_OUT="$WORKDIR/client.out"
+"$SERVE_BIN" --client --port="$PORT" --script="$SCRIPT" | tee "$CLIENT_OUT"
+
+# The commit must have admitted all four mutations and the session must
+# still hold a spanning tree over the mutated deployment (64 - 1 + 2).
+grep -q "commit admitted=4" "$CLIENT_OUT"
+grep -q "tree nodes=65" "$CLIENT_OUT"
+grep -q "shutdown ok" "$CLIENT_OUT"
+
+wait "$DAEMON_PID"
+echo "serve_smoke: ok (port $PORT)"

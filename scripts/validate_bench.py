@@ -32,6 +32,12 @@ Known records (matched by filename):
                         completed row must carry peak RSS, the n grid must be
                         strictly increasing per (algo, backend), and where
                         both backends ran the results must be `identical`
+  BENCH_serve.json      serve-session mutation throughput;
+                        `incremental_exact` must be true (every verified
+                        commit equalled kruskal_msf), requests/sec must be
+                        present and positive, and the incremental repair
+                        must actually be local (mean nodes touched per
+                        incremental commit well under the deployment size)
 
 Records carrying `"untracked": true` (produced by a non-Release build via
 the --allow-debug override) are refused unless --allow-untracked is passed:
@@ -229,6 +235,43 @@ def check_scale(path: str, doc: dict) -> str:
     return f"{len(rows)} rows ({completed} completed), backends identical"
 
 
+def check_serve(path: str, doc: dict) -> str:
+    require(path, doc, ("seed", "batches", "ops_per_batch",
+                        "incremental_exact", "verify", "timed"))
+    if doc["incremental_exact"] is not True:
+        fail(path, "the maintained tree diverged from kruskal_msf "
+                   "(incremental_exact != true) — this record must never "
+                   "be committed")
+    verify = doc["verify"]
+    require(path, verify, ("n", "commits", "rebuilds", "requests_per_sec",
+                           "mean_nodes_touched"), where="verify phase")
+    if verify["commits"] <= 0:
+        fail(path, "verify phase ran no commits — the exactness flag "
+                   "checked nothing")
+    timed = doc["timed"]
+    require(path, timed, ("n", "wall_ms", "admitted", "commits", "rebuilds",
+                          "requests_per_sec", "mean_nodes_touched",
+                          "incremental_commits",
+                          "mean_nodes_touched_incremental"),
+            where="timed phase")
+    if timed["admitted"] <= 0:
+        fail(path, "timed phase admitted no requests")
+    if timed["requests_per_sec"] <= 0:
+        fail(path, "requests_per_sec must be positive")
+    if timed["incremental_commits"] <= 0:
+        fail(path, "every timed commit fell back to a full rebuild — the "
+                   "incremental path never ran")
+    # The locality contract: a constant-size batch must touch o(n) nodes.
+    # Half the deployment is a generous ceiling for any sane batch size.
+    if timed["mean_nodes_touched_incremental"] >= timed["n"] / 2:
+        fail(path, f"incremental commits touched "
+                   f"{timed['mean_nodes_touched_incremental']:.1f} nodes on "
+                   f"average at n={timed['n']} — repair is not local")
+    return (f"{timed['requests_per_sec']:.0f} req/s at n={timed['n']}, "
+            f"{timed['mean_nodes_touched_incremental']:.1f} nodes/incr "
+            f"commit, exact")
+
+
 CHECKS = {
     "BENCH_sim.json": check_sim,
     "BENCH_parallel.json": check_parallel,
@@ -237,6 +280,7 @@ CHECKS = {
     "BENCH_telemetry.json": check_telemetry,
     "BENCH_wire.json": check_wire,
     "BENCH_scale.json": check_scale,
+    "BENCH_serve.json": check_serve,
 }
 
 

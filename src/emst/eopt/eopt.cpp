@@ -1,3 +1,6 @@
+// EOPT composes the other drivers internally (stage 2 runs sync GHS on
+// the giant); internal cross-calls are not deprecated usage.
+#define EMST_NO_DEPRECATE
 #include "emst/eopt/eopt.hpp"
 
 #include <algorithm>

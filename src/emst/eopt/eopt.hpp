@@ -30,6 +30,7 @@
 #include "emst/ghs/common.hpp"
 #include "emst/ghs/sync.hpp"
 #include "emst/sim/implicit_topology.hpp"
+#include "emst/support/deprecated.hpp"
 
 namespace emst::eopt {
 
@@ -110,6 +111,7 @@ struct EoptResult {
 /// per-node state is O(n), so peak memory is the points plus the grid
 /// (docs/PERF.md).
 template <typename Topo>
+EMST_DEPRECATED("use the emst::run facade (emst/run.hpp)")
 [[nodiscard]] EoptResult run_eopt(const Topo& topo,
                                   const EoptOptions& options = {},
                                   const ghs::FragmentForest* seed = nullptr);

@@ -1,3 +1,5 @@
+// Defines the entry point it declares.
+#define EMST_NO_DEPRECATE
 #include "emst/ghs/sync.hpp"
 
 #include <algorithm>

@@ -46,6 +46,7 @@
 #include "emst/sim/fault.hpp"
 #include "emst/sim/reliable.hpp"
 #include "emst/sim/run_config.hpp"
+#include "emst/support/deprecated.hpp"
 
 namespace emst::ghs {
 
@@ -136,6 +137,7 @@ struct SyncGhsResult {
 /// instantiated for both. Results are bitwise-identical across backends —
 /// both enumerate neighbourhoods in the same canonical (weight, id) order.
 template <typename Topo>
+EMST_DEPRECATED("use the emst::run facade (emst/run.hpp)")
 [[nodiscard]] SyncGhsResult run_sync_ghs(
     const Topo& topo, const SyncGhsOptions& options,
     const std::optional<FragmentForest>& seed = std::nullopt,

@@ -1,3 +1,5 @@
+// Defines (and internally composes) the entry points it declares.
+#define EMST_NO_DEPRECATE
 #include "emst/nnt/connt.hpp"
 
 #include <algorithm>

@@ -21,6 +21,7 @@
 #include "emst/ghs/common.hpp"
 #include "emst/nnt/rank.hpp"
 #include "emst/sim/run_config.hpp"
+#include "emst/support/deprecated.hpp"
 
 namespace emst::nnt {
 
@@ -77,6 +78,7 @@ struct CoNntResult {
 /// explicitly instantiated for both) — the protocol only needs coordinates
 /// and `nodes_within` probes, which both backends answer identically.
 template <typename Topo>
+EMST_DEPRECATED("use the emst::run facade (emst/run.hpp)")
 [[nodiscard]] CoNntResult run_connt(const Topo& topo,
                                     const CoNntOptions& options = {});
 

@@ -35,6 +35,24 @@ void FragmentSet::add_tree_edge(const graph::Edge& e) {
   tree_.push_back(e.canonical());
 }
 
+void FragmentSet::remove_tree_edge(NodeId u, NodeId v) {
+  auto drop_adj = [this](NodeId a, NodeId b) {
+    auto& adj = tree_adj_[a];
+    const auto it = std::find(adj.begin(), adj.end(), b);
+    EMST_ASSERT_MSG(it != adj.end(), "remove_tree_edge: edge not in forest");
+    adj.erase(it);
+  };
+  drop_adj(u, v);
+  drop_adj(v, u);
+  const NodeId lo = u < v ? u : v;
+  const NodeId hi = u < v ? v : u;
+  const auto it = std::find_if(
+      tree_.begin(), tree_.end(),
+      [&](const graph::Edge& e) { return e.u == lo && e.v == hi; });
+  EMST_ASSERT_MSG(it != tree_.end(), "remove_tree_edge: edge not in tree list");
+  tree_.erase(it);
+}
+
 FragmentView FragmentSet::view(NodeId leader) const {
   FragmentView view;
   view.order.push_back(leader);

@@ -70,6 +70,13 @@ class FragmentSet {
   /// Record a new fragment-tree edge (kept in canonical u < v form).
   void add_tree_edge(const graph::Edge& e);
 
+  /// Drop the (u,v) tree edge — the serve-layer cycle eviction: when an
+  /// inserted edge closes a cycle whose maximum edge it beats, that maximum
+  /// leaves the forest. Leaders are NOT touched (the component stays one
+  /// component after the caller adds the replacing edge); the edge must be
+  /// present (asserted).
+  void remove_tree_edge(NodeId u, NodeId v);
+
   [[nodiscard]] const std::vector<graph::Edge>& tree() const noexcept {
     return tree_;
   }

@@ -1,0 +1,163 @@
+#include "emst/proto/serve_wire.hpp"
+
+#include "emst/support/assert.hpp"
+
+namespace emst::proto {
+
+// The wire tag is the variant index is the enum value — one order, three
+// views. A reorder in any of them is a silent protocol break; pin it here.
+static_assert(std::variant_size_v<ServeReq> ==
+              static_cast<std::size_t>(ServeReqType::kTypeCount));
+static_assert(std::is_same_v<std::variant_alternative_t<
+                                 static_cast<std::size_t>(ServeReqType::kHello),
+                                 ServeReq>,
+                             ServeHello>);
+static_assert(
+    std::is_same_v<std::variant_alternative_t<
+                       static_cast<std::size_t>(ServeReqType::kAddNode),
+                       ServeReq>,
+                   ServeAddNode>);
+static_assert(
+    std::is_same_v<std::variant_alternative_t<
+                       static_cast<std::size_t>(ServeReqType::kRemoveNode),
+                       ServeReq>,
+                   ServeRemoveNode>);
+static_assert(
+    std::is_same_v<std::variant_alternative_t<
+                       static_cast<std::size_t>(ServeReqType::kMoveNode),
+                       ServeReq>,
+                   ServeMoveNode>);
+static_assert(
+    std::is_same_v<std::variant_alternative_t<
+                       static_cast<std::size_t>(ServeReqType::kCommit),
+                       ServeReq>,
+                   ServeCommit>);
+static_assert(
+    std::is_same_v<std::variant_alternative_t<
+                       static_cast<std::size_t>(ServeReqType::kQueryTree),
+                       ServeReq>,
+                   ServeQueryTree>);
+static_assert(
+    std::is_same_v<std::variant_alternative_t<
+                       static_cast<std::size_t>(ServeReqType::kQueryStats),
+                       ServeReq>,
+                   ServeQueryStats>);
+static_assert(
+    std::is_same_v<std::variant_alternative_t<
+                       static_cast<std::size_t>(ServeReqType::kShutdown),
+                       ServeReq>,
+                   ServeShutdown>);
+
+static_assert(std::variant_size_v<ServeResp> ==
+              static_cast<std::size_t>(ServeRespType::kTypeCount));
+static_assert(
+    std::is_same_v<std::variant_alternative_t<
+                       static_cast<std::size_t>(ServeRespType::kHelloOk),
+                       ServeResp>,
+                   ServeHelloOk>);
+static_assert(
+    std::is_same_v<std::variant_alternative_t<
+                       static_cast<std::size_t>(ServeRespType::kNodeAdded),
+                       ServeResp>,
+                   ServeNodeAdded>);
+static_assert(std::is_same_v<std::variant_alternative_t<
+                                 static_cast<std::size_t>(ServeRespType::kAck),
+                                 ServeResp>,
+                             ServeAck>);
+static_assert(
+    std::is_same_v<std::variant_alternative_t<
+                       static_cast<std::size_t>(ServeRespType::kError),
+                       ServeResp>,
+                   ServeErrorResp>);
+static_assert(
+    std::is_same_v<std::variant_alternative_t<
+                       static_cast<std::size_t>(ServeRespType::kCommitReport),
+                       ServeResp>,
+                   ServeCommitReport>);
+static_assert(
+    std::is_same_v<std::variant_alternative_t<
+                       static_cast<std::size_t>(ServeRespType::kTreeSummary),
+                       ServeResp>,
+                   ServeTreeSummary>);
+static_assert(
+    std::is_same_v<std::variant_alternative_t<
+                       static_cast<std::size_t>(ServeRespType::kStats),
+                       ServeResp>,
+                   ServeStats>);
+
+static_assert((std::size_t{1} << kServeTagBits) >=
+              static_cast<std::size_t>(ServeReqType::kTypeCount));
+static_assert((std::size_t{1} << kServeTagBits) >=
+              static_cast<std::size_t>(ServeRespType::kTypeCount));
+
+const char* serve_req_type_name(ServeReqType type) {
+  switch (type) {
+    case ServeReqType::kHello: return "hello";
+    case ServeReqType::kAddNode: return "add-node";
+    case ServeReqType::kRemoveNode: return "remove-node";
+    case ServeReqType::kMoveNode: return "move-node";
+    case ServeReqType::kCommit: return "commit";
+    case ServeReqType::kQueryTree: return "query-tree";
+    case ServeReqType::kQueryStats: return "query-stats";
+    case ServeReqType::kShutdown: return "shutdown";
+    case ServeReqType::kTypeCount: break;
+  }
+  return "?";
+}
+
+const char* serve_resp_type_name(ServeRespType type) {
+  switch (type) {
+    case ServeRespType::kHelloOk: return "hello-ok";
+    case ServeRespType::kNodeAdded: return "node-added";
+    case ServeRespType::kAck: return "ack";
+    case ServeRespType::kError: return "error";
+    case ServeRespType::kCommitReport: return "commit-report";
+    case ServeRespType::kTreeSummary: return "tree-summary";
+    case ServeRespType::kStats: return "stats";
+    case ServeRespType::kTypeCount: break;
+  }
+  return "?";
+}
+
+void encode(const ServeReq& m, BitWriter& w) {
+  w.write(m.index(), kServeTagBits);
+  std::visit([&](const auto& p) { p.encode(w); }, m);
+}
+
+void encode(const ServeResp& m, BitWriter& w) {
+  w.write(m.index(), kServeTagBits);
+  std::visit([&](const auto& p) { p.encode(w); }, m);
+}
+
+ServeReq decode_serve_req(BitReader& r) {
+  switch (static_cast<ServeReqType>(r.read(kServeTagBits))) {
+    case ServeReqType::kHello: return ServeHello::decode(r);
+    case ServeReqType::kAddNode: return ServeAddNode::decode(r);
+    case ServeReqType::kRemoveNode: return ServeRemoveNode::decode(r);
+    case ServeReqType::kMoveNode: return ServeMoveNode::decode(r);
+    case ServeReqType::kCommit: return ServeCommit::decode(r);
+    case ServeReqType::kQueryTree: return ServeQueryTree::decode(r);
+    case ServeReqType::kQueryStats: return ServeQueryStats::decode(r);
+    case ServeReqType::kShutdown: return ServeShutdown::decode(r);
+    case ServeReqType::kTypeCount: break;
+  }
+  EMST_ASSERT_MSG(false, "corrupt serve request wire tag");
+  return ServeCommit{};
+}
+
+ServeResp decode_serve_resp(BitReader& r) {
+  switch (static_cast<ServeRespType>(r.read(kServeTagBits))) {
+    case ServeRespType::kHelloOk: return ServeHelloOk::decode(r);
+    case ServeRespType::kNodeAdded: return ServeNodeAdded::decode(r);
+    case ServeRespType::kAck: return ServeAck::decode(r);
+    case ServeRespType::kError: return ServeErrorResp::decode(r);
+    case ServeRespType::kCommitReport: return ServeCommitReport::decode(r);
+    case ServeRespType::kTreeSummary: return ServeTreeSummary::decode(r);
+    case ServeRespType::kStats: return ServeStats::decode(r);
+    case ServeRespType::kTypeCount: break;
+  }
+  EMST_ASSERT_MSG(false, "corrupt serve response wire tag");
+  return ServeAck{};
+}
+
+}  // namespace emst::proto

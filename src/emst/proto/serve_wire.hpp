@@ -1,0 +1,384 @@
+// Serve protocol vocabulary with a compact POD wire codec (docs/SERVE.md).
+//
+// The request/response messages of the long-lived MST service
+// (`emst_serve`): a client keeps a deployment session open, streams
+// join/leave/move mutations, commits them in batches, and queries the
+// maintained tree. Requests and responses are separate variants — each
+// direction has its own tag space — and, unlike the GHS vocabulary, the
+// field widths are FIXED rather than topology-derived: a client speaks
+// before it knows the deployment size, and the deployment grows while the
+// session is open. Node ids are 32 bits, counts 64, coordinates full f64
+// (bit-cast to u64 — the service hands back exactly the doubles it was
+// given, no quantization).
+//
+// Every message knows its encoded size (`encoded_bits`, tag included) and
+// round-trips through BitWriter / BitReader exactly like the GHS codec
+// (tests/serve_wire_test.cpp mirrors tests/proto_wire_test.cpp). The
+// variant-level `encode` writes the 4-bit tag; `decode_serve_req` /
+// `decode_serve_resp` mirror it.
+//
+// Transport framing (the socket layer, serve/server.hpp): every message
+// travels in a frame of [u16 version | u32 payload-byte-length | payload]
+// with both header fields big-endian; the version is checked per frame, so
+// a speaker of a future revision fails fast instead of desynchronizing the
+// stream mid-session.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <variant>
+
+#include "emst/proto/wire.hpp"
+
+namespace emst::proto {
+
+/// Bumped on any wire-visible change; checked on every frame.
+inline constexpr std::uint16_t kServeProtocolVersion = 1;
+
+/// 8 request kinds / 7 response kinds fit a 4-bit tag with headroom.
+inline constexpr std::uint32_t kServeTagBits = 4;
+inline constexpr std::uint32_t kServeIdBits = 32;
+inline constexpr std::uint32_t kServeCountBits = 64;
+inline constexpr std::uint32_t kServeVersionBits = 16;
+inline constexpr std::uint32_t kServeErrorBits = 8;
+
+/// Values double as the wire tag and the `ServeReq` variant index — keep
+/// the three orders in sync (static_asserted in serve_wire.cpp).
+enum class ServeReqType : std::uint8_t {
+  kHello,
+  kAddNode,
+  kRemoveNode,
+  kMoveNode,
+  kCommit,
+  kQueryTree,
+  kQueryStats,
+  kShutdown,
+  kTypeCount,
+};
+
+/// Same contract for `ServeResp`.
+enum class ServeRespType : std::uint8_t {
+  kHelloOk,
+  kNodeAdded,
+  kAck,
+  kError,
+  kCommitReport,
+  kTreeSummary,
+  kStats,
+  kTypeCount,
+};
+
+[[nodiscard]] const char* serve_req_type_name(ServeReqType type);
+[[nodiscard]] const char* serve_resp_type_name(ServeRespType type);
+
+enum class ServeError : std::uint8_t {
+  kBadRequest = 0,      ///< malformed or out-of-order request
+  kUnknownNode = 1,     ///< id never assigned or already removed
+  kVersionMismatch = 2, ///< frame version != kServeProtocolVersion
+  kShuttingDown = 3,    ///< server is draining; no further requests
+};
+
+/// Full-precision coordinate on the wire: f64 bit-cast to u64, 64 bits.
+inline void write_f64(BitWriter& w, double v) {
+  w.write(std::bit_cast<std::uint64_t>(v), 64);
+}
+[[nodiscard]] inline double read_f64(BitReader& r) {
+  return std::bit_cast<double>(r.read(64));
+}
+
+// ---------------------------------------------------------------- requests
+
+/// Session opener; must be the first request on a connection.
+struct ServeHello {
+  std::uint16_t version = kServeProtocolVersion;
+
+  [[nodiscard]] std::uint32_t encoded_bits() const noexcept {
+    return kServeTagBits + kServeVersionBits;
+  }
+  void encode(BitWriter& w) const { w.write(version, kServeVersionBits); }
+  [[nodiscard]] static ServeHello decode(BitReader& r) {
+    return {static_cast<std::uint16_t>(r.read(kServeVersionBits))};
+  }
+  [[nodiscard]] bool operator==(const ServeHello&) const = default;
+};
+
+/// Join: admit a node at (x, y). The id is assigned immediately (the
+/// NodeAdded response); the node enters the tree at the next commit.
+struct ServeAddNode {
+  double x = 0.0;
+  double y = 0.0;
+
+  [[nodiscard]] std::uint32_t encoded_bits() const noexcept {
+    return kServeTagBits + 128;
+  }
+  void encode(BitWriter& w) const {
+    write_f64(w, x);
+    write_f64(w, y);
+  }
+  [[nodiscard]] static ServeAddNode decode(BitReader& r) {
+    ServeAddNode m;
+    m.x = read_f64(r);
+    m.y = read_f64(r);
+    return m;
+  }
+  [[nodiscard]] bool operator==(const ServeAddNode&) const = default;
+};
+
+/// Leave: remove a node. Takes effect at the next commit.
+struct ServeRemoveNode {
+  std::uint32_t id = 0;
+
+  [[nodiscard]] std::uint32_t encoded_bits() const noexcept {
+    return kServeTagBits + kServeIdBits;
+  }
+  void encode(BitWriter& w) const { w.write(id, kServeIdBits); }
+  [[nodiscard]] static ServeRemoveNode decode(BitReader& r) {
+    return {static_cast<std::uint32_t>(r.read(kServeIdBits))};
+  }
+  [[nodiscard]] bool operator==(const ServeRemoveNode&) const = default;
+};
+
+/// Move: re-place an existing node. Takes effect at the next commit.
+struct ServeMoveNode {
+  std::uint32_t id = 0;
+  double x = 0.0;
+  double y = 0.0;
+
+  [[nodiscard]] std::uint32_t encoded_bits() const noexcept {
+    return kServeTagBits + kServeIdBits + 128;
+  }
+  void encode(BitWriter& w) const {
+    w.write(id, kServeIdBits);
+    write_f64(w, x);
+    write_f64(w, y);
+  }
+  [[nodiscard]] static ServeMoveNode decode(BitReader& r) {
+    ServeMoveNode m;
+    m.id = static_cast<std::uint32_t>(r.read(kServeIdBits));
+    m.x = read_f64(r);
+    m.y = read_f64(r);
+    return m;
+  }
+  [[nodiscard]] bool operator==(const ServeMoveNode&) const = default;
+};
+
+/// Flush the admitted mutation batch into the maintained tree.
+struct ServeCommit {
+  [[nodiscard]] std::uint32_t encoded_bits() const noexcept {
+    return kServeTagBits;
+  }
+  void encode(BitWriter&) const {}
+  [[nodiscard]] static ServeCommit decode(BitReader&) { return {}; }
+  [[nodiscard]] bool operator==(const ServeCommit&) const = default;
+};
+
+struct ServeQueryTree {
+  [[nodiscard]] std::uint32_t encoded_bits() const noexcept {
+    return kServeTagBits;
+  }
+  void encode(BitWriter&) const {}
+  [[nodiscard]] static ServeQueryTree decode(BitReader&) { return {}; }
+  [[nodiscard]] bool operator==(const ServeQueryTree&) const = default;
+};
+
+struct ServeQueryStats {
+  [[nodiscard]] std::uint32_t encoded_bits() const noexcept {
+    return kServeTagBits;
+  }
+  void encode(BitWriter&) const {}
+  [[nodiscard]] static ServeQueryStats decode(BitReader&) { return {}; }
+  [[nodiscard]] bool operator==(const ServeQueryStats&) const = default;
+};
+
+/// Ask the daemon to commit any pending batch and exit cleanly.
+struct ServeShutdown {
+  [[nodiscard]] std::uint32_t encoded_bits() const noexcept {
+    return kServeTagBits;
+  }
+  void encode(BitWriter&) const {}
+  [[nodiscard]] static ServeShutdown decode(BitReader&) { return {}; }
+  [[nodiscard]] bool operator==(const ServeShutdown&) const = default;
+};
+
+// --------------------------------------------------------------- responses
+
+struct ServeHelloOk {
+  std::uint16_t version = kServeProtocolVersion;
+  std::uint64_t nodes = 0;  ///< resident deployment size at session open
+
+  [[nodiscard]] std::uint32_t encoded_bits() const noexcept {
+    return kServeTagBits + kServeVersionBits + kServeCountBits;
+  }
+  void encode(BitWriter& w) const {
+    w.write(version, kServeVersionBits);
+    w.write(nodes, kServeCountBits);
+  }
+  [[nodiscard]] static ServeHelloOk decode(BitReader& r) {
+    ServeHelloOk m;
+    m.version = static_cast<std::uint16_t>(r.read(kServeVersionBits));
+    m.nodes = r.read(kServeCountBits);
+    return m;
+  }
+  [[nodiscard]] bool operator==(const ServeHelloOk&) const = default;
+};
+
+struct ServeNodeAdded {
+  std::uint32_t id = 0;
+
+  [[nodiscard]] std::uint32_t encoded_bits() const noexcept {
+    return kServeTagBits + kServeIdBits;
+  }
+  void encode(BitWriter& w) const { w.write(id, kServeIdBits); }
+  [[nodiscard]] static ServeNodeAdded decode(BitReader& r) {
+    return {static_cast<std::uint32_t>(r.read(kServeIdBits))};
+  }
+  [[nodiscard]] bool operator==(const ServeNodeAdded&) const = default;
+};
+
+struct ServeAck {
+  [[nodiscard]] std::uint32_t encoded_bits() const noexcept {
+    return kServeTagBits;
+  }
+  void encode(BitWriter&) const {}
+  [[nodiscard]] static ServeAck decode(BitReader&) { return {}; }
+  [[nodiscard]] bool operator==(const ServeAck&) const = default;
+};
+
+struct ServeErrorResp {
+  ServeError code = ServeError::kBadRequest;
+
+  [[nodiscard]] std::uint32_t encoded_bits() const noexcept {
+    return kServeTagBits + kServeErrorBits;
+  }
+  void encode(BitWriter& w) const {
+    w.write(static_cast<std::uint64_t>(code), kServeErrorBits);
+  }
+  [[nodiscard]] static ServeErrorResp decode(BitReader& r) {
+    return {static_cast<ServeError>(r.read(kServeErrorBits))};
+  }
+  [[nodiscard]] bool operator==(const ServeErrorResp&) const = default;
+};
+
+/// What one commit did: how many mutations it admitted, how much of the
+/// deployment the repair touched, and whether it fell back to a rebuild.
+struct ServeCommitReport {
+  std::uint32_t admitted = 0;       ///< mutations in the batch
+  std::uint64_t nodes_touched = 0;  ///< repair's protocol footprint
+  bool rebuilt = false;             ///< fell back to a full rebuild
+  std::uint64_t tree_edges = 0;
+  double tree_len = 0.0;            ///< Σ|e| of the maintained tree
+
+  [[nodiscard]] std::uint32_t encoded_bits() const noexcept {
+    return kServeTagBits + kServeIdBits + kServeCountBits + 1 +
+           kServeCountBits + 64;
+  }
+  void encode(BitWriter& w) const {
+    w.write(admitted, kServeIdBits);
+    w.write(nodes_touched, kServeCountBits);
+    w.write(rebuilt ? 1 : 0, 1);
+    w.write(tree_edges, kServeCountBits);
+    write_f64(w, tree_len);
+  }
+  [[nodiscard]] static ServeCommitReport decode(BitReader& r) {
+    ServeCommitReport m;
+    m.admitted = static_cast<std::uint32_t>(r.read(kServeIdBits));
+    m.nodes_touched = r.read(kServeCountBits);
+    m.rebuilt = r.read(1) != 0;
+    m.tree_edges = r.read(kServeCountBits);
+    m.tree_len = read_f64(r);
+    return m;
+  }
+  [[nodiscard]] bool operator==(const ServeCommitReport&) const = default;
+};
+
+struct ServeTreeSummary {
+  std::uint64_t nodes = 0;  ///< alive nodes (committed state)
+  std::uint64_t edges = 0;
+  double total_len = 0.0;   ///< Σ|e|
+  double total_sq = 0.0;    ///< Σ|e|²
+
+  [[nodiscard]] std::uint32_t encoded_bits() const noexcept {
+    return kServeTagBits + 2 * kServeCountBits + 128;
+  }
+  void encode(BitWriter& w) const {
+    w.write(nodes, kServeCountBits);
+    w.write(edges, kServeCountBits);
+    write_f64(w, total_len);
+    write_f64(w, total_sq);
+  }
+  [[nodiscard]] static ServeTreeSummary decode(BitReader& r) {
+    ServeTreeSummary m;
+    m.nodes = r.read(kServeCountBits);
+    m.edges = r.read(kServeCountBits);
+    m.total_len = read_f64(r);
+    m.total_sq = read_f64(r);
+    return m;
+  }
+  [[nodiscard]] bool operator==(const ServeTreeSummary&) const = default;
+};
+
+/// Session-lifetime counters (cumulative since daemon start).
+struct ServeStats {
+  std::uint64_t commits = 0;
+  std::uint64_t rebuilds = 0;        ///< commits that fell back to rebuild
+  std::uint64_t admitted = 0;        ///< mutations admitted over all commits
+  std::uint64_t nodes_touched = 0;   ///< cumulative repair footprint
+  std::uint64_t nodes = 0;           ///< alive nodes now
+  std::uint64_t tree_edges = 0;
+
+  [[nodiscard]] std::uint32_t encoded_bits() const noexcept {
+    return kServeTagBits + 6 * kServeCountBits;
+  }
+  void encode(BitWriter& w) const {
+    w.write(commits, kServeCountBits);
+    w.write(rebuilds, kServeCountBits);
+    w.write(admitted, kServeCountBits);
+    w.write(nodes_touched, kServeCountBits);
+    w.write(nodes, kServeCountBits);
+    w.write(tree_edges, kServeCountBits);
+  }
+  [[nodiscard]] static ServeStats decode(BitReader& r) {
+    ServeStats m;
+    m.commits = r.read(kServeCountBits);
+    m.rebuilds = r.read(kServeCountBits);
+    m.admitted = r.read(kServeCountBits);
+    m.nodes_touched = r.read(kServeCountBits);
+    m.nodes = r.read(kServeCountBits);
+    m.tree_edges = r.read(kServeCountBits);
+    return m;
+  }
+  [[nodiscard]] bool operator==(const ServeStats&) const = default;
+};
+
+/// Alternative order == ServeReqType order == wire tag (static_asserted).
+using ServeReq =
+    std::variant<ServeHello, ServeAddNode, ServeRemoveNode, ServeMoveNode,
+                 ServeCommit, ServeQueryTree, ServeQueryStats, ServeShutdown>;
+
+/// Alternative order == ServeRespType order == wire tag (static_asserted).
+using ServeResp =
+    std::variant<ServeHelloOk, ServeNodeAdded, ServeAck, ServeErrorResp,
+                 ServeCommitReport, ServeTreeSummary, ServeStats>;
+
+[[nodiscard]] inline ServeReqType type_of(const ServeReq& m) noexcept {
+  return static_cast<ServeReqType>(m.index());
+}
+[[nodiscard]] inline ServeRespType type_of(const ServeResp& m) noexcept {
+  return static_cast<ServeRespType>(m.index());
+}
+
+/// Whole-frame payload size (tag + fields) of a concrete message.
+[[nodiscard]] inline std::uint32_t encoded_bits(const ServeReq& m) noexcept {
+  return std::visit([](const auto& p) { return p.encoded_bits(); }, m);
+}
+[[nodiscard]] inline std::uint32_t encoded_bits(const ServeResp& m) noexcept {
+  return std::visit([](const auto& p) { return p.encoded_bits(); }, m);
+}
+
+/// Serialize tag + payload; the decoders mirror exactly.
+void encode(const ServeReq& m, BitWriter& w);
+void encode(const ServeResp& m, BitWriter& w);
+[[nodiscard]] ServeReq decode_serve_req(BitReader& r);
+[[nodiscard]] ServeResp decode_serve_resp(BitReader& r);
+
+}  // namespace emst::proto

@@ -1,0 +1,175 @@
+// The facade is the one sanctioned caller of the legacy entry points: it
+// dispatches straight to them, so its results are bitwise-identical to
+// direct calls (tests/run_facade_test.cpp pins this).
+#define EMST_NO_DEPRECATE
+#include "emst/run.hpp"
+
+#include <utility>
+
+#include "emst/geometry/sampling.hpp"
+#include "emst/rgg/radii.hpp"
+#include "emst/support/assert.hpp"
+#include "emst/support/rng.hpp"
+
+namespace emst {
+
+const char* driver_name(Driver driver) noexcept {
+  switch (driver) {
+    case Driver::kClassicGhs: return "ghs";
+    case Driver::kClassicGhsCached: return "ghs-cached";
+    case Driver::kSyncGhs: return "sync";
+    case Driver::kSyncGhsProbe: return "sync-probe";
+    case Driver::kEopt: return "eopt";
+    case Driver::kCoNnt: return "connt";
+    case Driver::kCoNntAxis: return "connt-axis";
+  }
+  return "?";
+}
+
+bool parse_driver(const std::string& name, Driver& out) noexcept {
+  for (const Driver d :
+       {Driver::kClassicGhs, Driver::kClassicGhsCached, Driver::kSyncGhs,
+        Driver::kSyncGhsProbe, Driver::kEopt, Driver::kCoNnt,
+        Driver::kCoNntAxis}) {
+    if (name == driver_name(d)) {
+      out = d;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool driver_supports_loss(Driver driver) noexcept {
+  switch (driver) {
+    case Driver::kSyncGhs:
+    case Driver::kSyncGhsProbe:
+    case Driver::kEopt:
+      return true;
+    case Driver::kClassicGhs:
+    case Driver::kClassicGhsCached:
+    case Driver::kCoNnt:
+    case Driver::kCoNntAxis:
+      return false;
+  }
+  return false;
+}
+
+Instance sample_instance(std::size_t n, std::uint64_t seed,
+                         double radius_factor) {
+  support::Rng rng(seed);
+  Instance inst;
+  inst.points = geometry::uniform_points(n, rng);
+  inst.radius_factor = radius_factor;
+  return inst;
+}
+
+namespace {
+
+/// Overwrite a driver options struct's shared-knob slice with the facade's
+/// own, leaving the driver-specific fields the caller may have tuned.
+template <typename Options>
+Options with_shared(const Options& tuned, const RunConfig& cfg) {
+  Options out = tuned;
+  static_cast<sim::RunConfig&>(out) = static_cast<const sim::RunConfig&>(cfg);
+  return out;
+}
+
+void absorb(RunResult& out, ghs::MstRunResult&& run) {
+  out.tree = std::move(run.tree);
+  out.totals = run.totals;
+  out.phases = run.phases;
+  out.fragments = run.fragments;
+  out.faults = run.fault_stats;
+  out.per_node_energy = std::move(run.per_node_energy);
+  out.breakdown = run.energy_breakdown;
+  out.breakdown_recorded = run.breakdown_recorded;
+  out.epochs = run.epochs;
+  out.injected_crashes = std::move(run.injected_crashes);
+}
+
+}  // namespace
+
+template <typename Topo>
+RunResult run(const Topo& topo, const RunConfig& cfg) {
+  RunResult out;
+  out.driver = cfg.driver;
+  switch (cfg.driver) {
+    case Driver::kClassicGhs:
+    case Driver::kClassicGhsCached: {
+      ghs::ClassicGhsOptions opt = with_shared(cfg.classic, cfg);
+      opt.moe = cfg.driver == Driver::kClassicGhsCached
+                    ? ghs::MoeStrategy::kCachedConfirm
+                    : ghs::MoeStrategy::kTestAll;
+      if (cfg.radius > 0.0) opt.radius = cfg.radius;
+      absorb(out, ghs::run_classic_ghs(topo, opt));
+      break;
+    }
+    case Driver::kSyncGhs:
+    case Driver::kSyncGhsProbe: {
+      ghs::SyncGhsOptions opt = with_shared(cfg.sync, cfg);
+      opt.neighbor_cache = cfg.driver == Driver::kSyncGhs;
+      if (cfg.radius > 0.0) opt.radius = cfg.radius;
+      ghs::SyncGhsResult res = ghs::run_sync_ghs(topo, opt);
+      absorb(out, std::move(res.run));
+      out.faults = res.faults;
+      out.arq = res.arq;
+      out.hit_phase_cap = res.hit_phase_cap;
+      out.injected_crashes = std::move(res.injected_crashes);
+      break;
+    }
+    case Driver::kEopt: {
+      const eopt::EoptOptions opt = with_shared(cfg.eopt, cfg);
+      eopt::EoptResult res = eopt::run_eopt(topo, opt);
+      absorb(out, std::move(res.run));
+      out.faults = res.fault_stats;
+      out.arq = res.arq;
+      out.hit_phase_cap = res.hit_phase_cap;
+      break;
+    }
+    case Driver::kCoNnt:
+    case Driver::kCoNntAxis: {
+      nnt::CoNntOptions opt = with_shared(cfg.connt, cfg);
+      opt.scheme = cfg.driver == Driver::kCoNntAxis ? nnt::RankScheme::kAxis
+                                                    : nnt::RankScheme::kDiagonal;
+      nnt::CoNntResult res = nnt::run_connt(topo, opt);
+      out.tree = std::move(res.tree);
+      out.totals = res.totals;
+      out.phases = res.max_probe_rounds;
+      out.fragments = res.parent.size() - out.tree.size();
+      out.faults = res.fault_stats;
+      out.per_node_energy = std::move(res.per_node_energy);
+      out.breakdown = res.energy_breakdown;
+      out.breakdown_recorded = res.breakdown_recorded;
+      out.epochs = res.epochs;
+      out.injected_crashes = std::move(res.injected_crashes);
+      break;
+    }
+  }
+  return out;
+}
+
+template RunResult run<sim::Topology>(const sim::Topology&, const RunConfig&);
+template RunResult run<sim::ImplicitTopology>(const sim::ImplicitTopology&,
+                                              const RunConfig&);
+
+RunResult run(const Instance& inst, const RunConfig& cfg) {
+  const std::size_t n = inst.points.size();
+  EMST_ASSERT_MSG(n >= 2, "emst::run: an instance needs at least two nodes");
+  double radius = inst.radius;
+  if (radius <= 0.0) {
+    // EOPT's topology is built at its own Step-2 radius (exactly what
+    // eopt::eopt_topology does); everything else gets the connectivity
+    // radius for the instance's factor.
+    const double factor = cfg.driver == Driver::kEopt ? cfg.eopt.step2_factor
+                                                      : inst.radius_factor;
+    radius = rgg::connectivity_radius(n, factor);
+  }
+  if (inst.implicit_backend) {
+    const sim::ImplicitTopology topo(inst.points, radius);
+    return run(topo, cfg);
+  }
+  const sim::Topology topo(inst.points, radius);
+  return run(topo, cfg);
+}
+
+}  // namespace emst

@@ -1,0 +1,160 @@
+// The unified run facade (docs/API_TOUR.md).
+//
+// One entry point replaces the four per-driver calls: pick a driver with
+// `emst::Driver`, set the shared `sim::RunConfig` knobs once on
+// `emst::RunConfig`, and call `emst::run`. The facade dispatches to the
+// exact same driver code the legacy entry points execute, so results are
+// pinned bitwise-identical to direct calls (tests/run_facade_test.cpp);
+// telemetry, faults, ARQ, the invariant oracle, worker threads, and both
+// topology backends all compose through the one shared config.
+//
+//   emst::Instance inst = emst::sample_instance(2000, /*seed=*/7);
+//   emst::RunConfig cfg;
+//   cfg.driver = emst::Driver::kEopt;
+//   cfg.faults.loss = 0.1;
+//   cfg.arq.enabled = true;
+//   emst::RunResult res = emst::run(inst, cfg);
+//
+// Callers that already hold a topology (benches that sweep radii, the serve
+// session's resident deployment) use the topology overloads instead; the
+// `Instance` overload just builds the driver-appropriate backend and
+// forwards. The legacy entry points (`ghs::run_classic_ghs`,
+// `ghs::run_sync_ghs`, `eopt::run_eopt`, `nnt::run_connt`) are deprecated
+// wrappers of record — still there, still bitwise-identical, but new call
+// sites should go through the facade. Expert features the facade does not
+// express (seed forests, external meters, transmission logs) remain reasons
+// to call a driver directly; define EMST_NO_DEPRECATE in that TU.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "emst/eopt/eopt.hpp"
+#include "emst/ghs/classic.hpp"
+#include "emst/ghs/sync.hpp"
+#include "emst/nnt/connt.hpp"
+#include "emst/run_report.hpp"
+#include "emst/sim/implicit_topology.hpp"
+#include "emst/sim/run_config.hpp"
+#include "emst/sim/topology.hpp"
+
+namespace emst {
+
+/// Every algorithm the facade can dispatch, including the named variants
+/// the CLI exposes (`--algo=` spellings in comments).
+enum class Driver {
+  kClassicGhs,        ///< "ghs"        — 1983 protocol, TEST/ACCEPT/REJECT
+  kClassicGhsCached,  ///< "ghs-cached" — classic with the §V-A cache
+  kSyncGhs,           ///< "sync"       — phase-synchronous modified GHS
+  kSyncGhsProbe,      ///< "sync-probe" — phase-synchronous, probe flavour
+  kEopt,              ///< "eopt"       — the paper's two-step algorithm
+  kCoNnt,             ///< "connt"      — coordinate NNT, diagonal ranks
+  kCoNntAxis,         ///< "connt-axis" — coordinate NNT, axis ranks
+};
+
+/// CLI spelling of a driver ("ghs", "sync-probe", ...).
+[[nodiscard]] const char* driver_name(Driver driver) noexcept;
+
+/// Parse a CLI spelling; returns false (and leaves `out` untouched) for
+/// unknown names.
+[[nodiscard]] bool parse_driver(const std::string& name, Driver& out) noexcept;
+
+/// Whether the driver speaks message loss + ARQ (docs/ROBUSTNESS.md):
+/// classic GHS and Co-NNT survive crash-only fault models by epoch restart
+/// but have no loss recovery.
+[[nodiscard]] bool driver_supports_loss(Driver driver) noexcept;
+
+/// A deployment the facade can build a topology from: points plus the
+/// radius policy. `sample_instance` covers the common "n uniform points at
+/// the connectivity radius" case.
+struct Instance {
+  std::vector<geometry::Point2> points;
+  /// Maximum transmission radius. <= 0 → derive from `radius_factor`:
+  /// the connectivity radius factor·√(ln n / n) (rgg/radii.hpp) — except
+  /// for the EOPT driver, whose topology is built at its own r₂ =
+  /// step2_factor·√(ln n / n) exactly as `eopt::eopt_topology` does.
+  double radius = 0.0;
+  double radius_factor = 1.6;
+  /// Build the memory-lean `sim::ImplicitTopology` backend instead of the
+  /// materialized CSR. Results are bitwise-identical (docs/PERF.md).
+  bool implicit_backend = false;
+};
+
+/// n uniform points (geometry::uniform_points, stream-seeded like the CLI).
+[[nodiscard]] Instance sample_instance(std::size_t n, std::uint64_t seed,
+                                       double radius_factor = 1.6);
+
+/// Facade configuration: the shared `sim::RunConfig` knobs inline (set
+/// pathloss/faults/arq/telemetry/oracle/threads once, they reach whichever
+/// driver runs) plus the driver selector and, for callers that need them,
+/// the per-driver tuning structs. The `sim::RunConfig` base slice of each
+/// nested tuning struct is overwritten with this struct's own base before
+/// dispatch — shared knobs are set in exactly one place.
+struct RunConfig : sim::RunConfig {
+  Driver driver = Driver::kEopt;
+  /// Operating radius for the GHS drivers (<= 0 → the topology's max).
+  double radius = 0.0;
+  /// Advanced per-driver tuning. Only the struct matching `driver` is
+  /// consulted; its RunConfig base slice and variant-defining fields
+  /// (neighbor_cache, moe, scheme) are overridden by the facade.
+  eopt::EoptOptions eopt{};
+  ghs::SyncGhsOptions sync{};
+  ghs::ClassicGhsOptions classic{};
+  nnt::CoNntOptions connt{};
+};
+
+/// Convenience: a default-knob RunConfig for `driver` — the benches' common
+/// "just run this algorithm" case in one expression.
+[[nodiscard]] inline RunConfig config_for(Driver driver) {
+  RunConfig cfg;
+  cfg.driver = driver;
+  return cfg;
+}
+
+/// The facade's owning result: one shape for every driver, safe to return
+/// by value (unlike `RunReport`, whose pointers borrow from a live driver
+/// result). `report()` yields the classic non-owning view over this object.
+struct RunResult {
+  Driver driver = Driver::kEopt;
+  std::vector<graph::Edge> tree;  ///< canonical order
+  sim::Accounting totals;
+  std::size_t phases = 0;
+  std::size_t fragments = 0;  ///< 0 when the driver doesn't report it
+  sim::FaultStats faults;
+  sim::ArqStats arq;
+  std::vector<double> per_node_energy;  ///< empty unless tracking was on
+  sim::EnergyBreakdown breakdown;       ///< valid iff breakdown_recorded
+  bool breakdown_recorded = false;
+  bool hit_phase_cap = false;
+  std::size_t epochs = 1;  ///< fail-stop protocol restarts (1 = clean)
+  /// Chaos-controller injections during the run (replayable crash list).
+  std::vector<sim::CrashWindow> injected_crashes;
+
+  /// Non-owning view over this result — keep the result alive while using
+  /// it (same contract as every driver's report()).
+  [[nodiscard]] RunReport report() const {
+    RunReport out;
+    out.tree = &tree;
+    out.totals = totals;
+    out.phases = phases;
+    out.fragments = fragments;
+    out.faults = faults;
+    out.arq = arq;
+    if (!per_node_energy.empty()) out.per_node_energy = &per_node_energy;
+    if (breakdown_recorded) out.breakdown = &breakdown;
+    out.hit_phase_cap = hit_phase_cap;
+    return out;
+  }
+};
+
+/// Run `cfg.driver` on a caller-owned topology backend. Defined in run.cpp
+/// and explicitly instantiated for `sim::Topology` and
+/// `sim::ImplicitTopology`.
+template <typename Topo>
+[[nodiscard]] RunResult run(const Topo& topo, const RunConfig& cfg = {});
+
+/// Build the driver-appropriate topology for `inst` and run on it.
+[[nodiscard]] RunResult run(const Instance& inst, const RunConfig& cfg = {});
+
+}  // namespace emst

@@ -1,0 +1,82 @@
+// Shared command-line surface for the `emst::RunConfig` knobs.
+//
+// `emst_cli` and `emst_serve` accept the same run-configuration flags
+// (--loss/--arq/--chaos/--oracle/--per-node/--breakdown/--threads/--trace
+// and friends) with the same spellings, defaults, and error messages; this
+// is the one parser both share, so the two frontends cannot drift. Usage:
+//
+//   auto spec = my_frontend_flags();
+//   emst::merge_run_flag_spec(spec);               // splice in the knobs
+//   const support::Cli cli(argc, argv, spec);      // unknown flags abort
+//   emst::RunFlags flags = emst::parse_run_flags(cli);
+//   emst::RunConfig cfg;
+//   cfg.driver = ...;
+//   flags.apply(cfg);                              // knobs -> facade config
+//
+// `RunFlags` OWNS the chaos controller and the invariant oracle the parsed
+// configuration points at, so it must outlive every run it is applied to
+// (and is move-only for that reason).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "emst/run.hpp"
+#include "emst/sim/chaos.hpp"
+#include "emst/sim/oracle.hpp"
+#include "emst/support/cli.hpp"
+
+namespace emst {
+
+/// The shared run-configuration knobs parsed off a command line.
+struct RunFlags {
+  sim::FaultModel faults;  ///< loss/seed set; `controller` wired if --chaos
+  sim::ArqOptions arq;
+  bool per_node = false;
+  bool breakdown = false;
+  bool oracle_enabled = false;
+  std::size_t threads = 0;
+  std::string trace_path;  ///< empty = no telemetry trace requested
+
+  /// Owned by the flags object (moved, never copied).
+  std::unique_ptr<sim::BudgetedController> chaos_controller;
+  std::unique_ptr<sim::InvariantOracle> oracle;
+
+  RunFlags() = default;
+  RunFlags(RunFlags&&) noexcept = default;
+  RunFlags& operator=(RunFlags&&) noexcept = default;
+
+  /// Whether the fault surface needs the loss-recovering engines
+  /// (Bernoulli/Gilbert loss or ARQ — crash-only chaos works everywhere).
+  [[nodiscard]] bool lossy() const {
+    return faults.loss > 0.0 || faults.use_gilbert || arq.enabled;
+  }
+
+  /// Copy the knobs into a facade config. The config borrows this object's
+  /// oracle and chaos controller; keep the flags alive across the run.
+  void apply(RunConfig& cfg) const {
+    cfg.faults = faults;
+    cfg.arq = arq;
+    cfg.track_per_node_energy = per_node;
+    cfg.record_breakdown = breakdown;
+    cfg.threads = threads;
+    cfg.oracle = oracle.get();
+  }
+};
+
+/// Add the shared knob flags (with their help strings) to a frontend's
+/// `support::Cli` spec. Aborts the process if a frontend-specific flag
+/// collides with a shared spelling — the whole point is one surface.
+void merge_run_flag_spec(std::map<std::string, std::string>& spec);
+
+/// Parse the shared knobs off an already-constructed Cli (whose spec must
+/// include `merge_run_flag_spec`). Exits with status 2 on invalid values
+/// (unknown chaos strategy), matching the frontends' other flag errors.
+[[nodiscard]] RunFlags parse_run_flags(const support::Cli& cli);
+
+/// Exit with status 2 if the flags require loss recovery but `driver`
+/// cannot provide it (the shared "--loss/--arq apply to ..." message).
+void reject_unsupported_faults(const RunFlags& flags, Driver driver);
+
+}  // namespace emst

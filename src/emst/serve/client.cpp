@@ -1,0 +1,137 @@
+#include "emst/serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace emst::serve {
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), in_(std::move(other.in_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    in_ = std::move(other.in_);
+  }
+  return *this;
+}
+
+bool Client::connect(std::uint16_t port) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    close();
+    return false;
+  }
+  return true;
+}
+
+void Client::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  in_ = FrameBuffer{};
+}
+
+std::optional<proto::ServeResp> Client::request(const proto::ServeReq& req) {
+  if (fd_ < 0) return std::nullopt;
+  std::vector<std::uint8_t> out;
+  append_frame(out, req);
+  std::size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t n =
+        ::send(fd_, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      close();
+      return std::nullopt;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  Frame frame;
+  while (!in_.next(frame)) {
+    if (in_.corrupt()) {
+      close();
+      return std::nullopt;
+    }
+    std::uint8_t buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      close();
+      return std::nullopt;
+    }
+    in_.feed(buf, static_cast<std::size_t>(n));
+  }
+  if (frame.version != proto::kServeProtocolVersion) {
+    close();
+    return std::nullopt;
+  }
+  proto::BitReader r(frame.payload);
+  return proto::decode_serve_resp(r);
+}
+
+namespace {
+/// Unwrap the expected alternative; Error responses and wrong shapes map
+/// to nullopt.
+template <typename T>
+std::optional<T> expect(std::optional<proto::ServeResp> resp) {
+  if (!resp.has_value()) return std::nullopt;
+  if (const T* m = std::get_if<T>(&*resp)) return *m;
+  return std::nullopt;
+}
+}  // namespace
+
+std::optional<std::uint64_t> Client::hello() {
+  const auto ok = expect<proto::ServeHelloOk>(
+      request(proto::ServeHello{proto::kServeProtocolVersion}));
+  if (!ok.has_value()) return std::nullopt;
+  return ok->nodes;
+}
+
+graph::NodeId Client::add_node(double x, double y) {
+  const auto added =
+      expect<proto::ServeNodeAdded>(request(proto::ServeAddNode{x, y}));
+  return added.has_value() ? added->id : graph::kNoNode;
+}
+
+bool Client::remove_node(graph::NodeId id) {
+  return expect<proto::ServeAck>(request(proto::ServeRemoveNode{id}))
+      .has_value();
+}
+
+bool Client::move_node(graph::NodeId id, double x, double y) {
+  return expect<proto::ServeAck>(request(proto::ServeMoveNode{id, x, y}))
+      .has_value();
+}
+
+std::optional<proto::ServeCommitReport> Client::commit() {
+  return expect<proto::ServeCommitReport>(request(proto::ServeCommit{}));
+}
+
+std::optional<proto::ServeTreeSummary> Client::query_tree() {
+  return expect<proto::ServeTreeSummary>(request(proto::ServeQueryTree{}));
+}
+
+std::optional<proto::ServeStats> Client::query_stats() {
+  return expect<proto::ServeStats>(request(proto::ServeQueryStats{}));
+}
+
+bool Client::shutdown_server() {
+  return expect<proto::ServeAck>(request(proto::ServeShutdown{})).has_value();
+}
+
+}  // namespace emst::serve

@@ -1,0 +1,58 @@
+// Blocking client for the serve protocol (docs/SERVE.md).
+//
+// One loopback TCP connection, strict request → response lockstep: every
+// helper frames a request, sends it, and blocks until the matching
+// response frame arrives. Used by `emst_serve --client` (interactive and
+// scripted modes), the throughput bench, and the end-to-end test.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "emst/graph/edge.hpp"
+#include "emst/serve/framing.hpp"
+
+namespace emst::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connect to 127.0.0.1:port. False (not fatal) on refusal — callers in
+  /// sandboxed environments skip gracefully.
+  [[nodiscard]] bool connect(std::uint16_t port);
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+  void close();
+
+  /// One framed round-trip; nullopt when the connection died mid-exchange.
+  [[nodiscard]] std::optional<proto::ServeResp> request(
+      const proto::ServeReq& req);
+
+  // Typed helpers: each sends one request and unwraps the expected
+  // response, treating an Error response (or a transport failure) as the
+  // "no" value.
+
+  /// Open the session; returns the deployment size, or nullopt on version
+  /// mismatch / transport failure.
+  [[nodiscard]] std::optional<std::uint64_t> hello();
+  /// Returns the assigned node id, or graph::kNoNode on rejection.
+  [[nodiscard]] graph::NodeId add_node(double x, double y);
+  [[nodiscard]] bool remove_node(graph::NodeId id);
+  [[nodiscard]] bool move_node(graph::NodeId id, double x, double y);
+  [[nodiscard]] std::optional<proto::ServeCommitReport> commit();
+  [[nodiscard]] std::optional<proto::ServeTreeSummary> query_tree();
+  [[nodiscard]] std::optional<proto::ServeStats> query_stats();
+  /// Ask the daemon to commit pending work and exit; true on its Ack.
+  [[nodiscard]] bool shutdown_server();
+
+ private:
+  int fd_ = -1;
+  FrameBuffer in_;
+};
+
+}  // namespace emst::serve

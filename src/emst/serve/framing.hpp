@@ -1,0 +1,113 @@
+// Socket framing for the serve protocol (docs/SERVE.md).
+//
+// Every ServeMsg travels in a frame of
+//   [u16 protocol version | u32 payload byte length | payload bytes]
+// with both header fields big-endian. The length prefix keeps the stream
+// resynchronizable: a malformed payload costs one error response, never the
+// connection — the next frame boundary is always known. The version rides
+// on every frame (not just the hello) so a speaker of a future revision
+// fails fast instead of desynchronizing mid-session.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "emst/proto/serve_wire.hpp"
+
+namespace emst::serve {
+
+inline constexpr std::size_t kFrameHeaderBytes = 6;
+/// Sanity cap: every serve message is tens of bytes; anything bigger is a
+/// corrupt or hostile stream and kills the connection.
+inline constexpr std::size_t kMaxFramePayloadBytes = std::size_t{1} << 16;
+
+namespace detail {
+inline void append_frame_bytes(std::vector<std::uint8_t>& out,
+                               const proto::BitWriter& w) {
+  const std::vector<std::uint8_t>& payload = w.bytes();
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  out.push_back(static_cast<std::uint8_t>(proto::kServeProtocolVersion >> 8));
+  out.push_back(static_cast<std::uint8_t>(proto::kServeProtocolVersion));
+  out.push_back(static_cast<std::uint8_t>(len >> 24));
+  out.push_back(static_cast<std::uint8_t>(len >> 16));
+  out.push_back(static_cast<std::uint8_t>(len >> 8));
+  out.push_back(static_cast<std::uint8_t>(len));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+}  // namespace detail
+
+/// Append one framed request/response to `out`.
+inline void append_frame(std::vector<std::uint8_t>& out,
+                         const proto::ServeReq& m) {
+  proto::BitWriter w;
+  proto::encode(m, w);
+  detail::append_frame_bytes(out, w);
+}
+inline void append_frame(std::vector<std::uint8_t>& out,
+                         const proto::ServeResp& m) {
+  proto::BitWriter w;
+  proto::encode(m, w);
+  detail::append_frame_bytes(out, w);
+}
+
+/// One parsed frame: the sender's version word plus the raw payload.
+struct Frame {
+  std::uint16_t version = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Reassembles frames from an arbitrary byte stream (sockets deliver
+/// fragments). feed() bytes in, next() complete frames out; corrupt() goes
+/// latched-true on an oversized length word, after which the connection
+/// should be dropped.
+class FrameBuffer {
+ public:
+  void feed(const std::uint8_t* data, std::size_t len) {
+    buf_.insert(buf_.end(), data, data + len);
+  }
+
+  [[nodiscard]] bool corrupt() const noexcept { return corrupt_; }
+
+  /// Pop the next complete frame; false when more bytes are needed (or the
+  /// stream is corrupt).
+  [[nodiscard]] bool next(Frame& out) {
+    if (corrupt_ || buf_.size() - pos_ < kFrameHeaderBytes) {
+      compact();
+      return false;
+    }
+    const std::uint16_t version =
+        static_cast<std::uint16_t>((buf_[pos_] << 8) | buf_[pos_ + 1]);
+    const std::uint32_t len = (static_cast<std::uint32_t>(buf_[pos_ + 2]) << 24) |
+                              (static_cast<std::uint32_t>(buf_[pos_ + 3]) << 16) |
+                              (static_cast<std::uint32_t>(buf_[pos_ + 4]) << 8) |
+                              static_cast<std::uint32_t>(buf_[pos_ + 5]);
+    if (len > kMaxFramePayloadBytes) {
+      corrupt_ = true;
+      return false;
+    }
+    if (buf_.size() - pos_ < kFrameHeaderBytes + len) {
+      compact();
+      return false;
+    }
+    out.version = version;
+    const auto begin = buf_.begin() + static_cast<std::ptrdiff_t>(
+                                          pos_ + kFrameHeaderBytes);
+    out.payload.assign(begin, begin + static_cast<std::ptrdiff_t>(len));
+    pos_ += kFrameHeaderBytes + len;
+    return true;
+  }
+
+ private:
+  void compact() {
+    if (pos_ == 0) return;
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+  bool corrupt_ = false;
+};
+
+}  // namespace emst::serve

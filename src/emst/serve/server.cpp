@@ -1,0 +1,229 @@
+#include "emst/serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+
+#include "emst/support/assert.hpp"
+
+namespace emst::serve {
+
+namespace {
+
+/// Exact payload byte length each request tag must arrive with — every
+/// serve message is fixed-width, so a mismatch is a malformed frame, not a
+/// decoder crash (BitReader asserts on past-end reads; we never let a
+/// hostile payload reach that assert).
+[[nodiscard]] bool payload_length_ok(std::uint64_t tag, std::size_t bytes) {
+  using proto::ServeReqType;
+  if (tag >= static_cast<std::uint64_t>(ServeReqType::kTypeCount)) return false;
+  proto::ServeReq probe;
+  switch (static_cast<ServeReqType>(tag)) {
+    case ServeReqType::kHello: probe = proto::ServeHello{}; break;
+    case ServeReqType::kAddNode: probe = proto::ServeAddNode{}; break;
+    case ServeReqType::kRemoveNode: probe = proto::ServeRemoveNode{}; break;
+    case ServeReqType::kMoveNode: probe = proto::ServeMoveNode{}; break;
+    case ServeReqType::kCommit: probe = proto::ServeCommit{}; break;
+    case ServeReqType::kQueryTree: probe = proto::ServeQueryTree{}; break;
+    case ServeReqType::kQueryStats: probe = proto::ServeQueryStats{}; break;
+    case ServeReqType::kShutdown: probe = proto::ServeShutdown{}; break;
+    case ServeReqType::kTypeCount: return false;
+  }
+  return bytes == (proto::encoded_bits(probe) + 7) / 8;
+}
+
+}  // namespace
+
+Server::Server(Session session, ServerConfig cfg)
+    : session_(std::move(session)), cfg_(cfg) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return;
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(cfg_.port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0)
+    port_ = ntohs(bound.sin_port);
+}
+
+Server::~Server() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+bool Server::send_all(int fd, const std::vector<std::uint8_t>& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+proto::ServeResp Server::apply(const proto::ServeReq& req) {
+  using namespace proto;
+  if (shutting_down_)
+    return ServeErrorResp{ServeError::kShuttingDown};
+  switch (type_of(req)) {
+    case ServeReqType::kHello: {
+      const auto& m = std::get<ServeHello>(req);
+      if (m.version != kServeProtocolVersion)
+        return ServeErrorResp{ServeError::kVersionMismatch};
+      return ServeHelloOk{kServeProtocolVersion, session_.alive_count()};
+    }
+    case ServeReqType::kAddNode: {
+      const auto& m = std::get<ServeAddNode>(req);
+      const NodeId id = session_.queue_add({m.x, m.y});
+      if (id == graph::kNoNode) return ServeErrorResp{ServeError::kBadRequest};
+      return ServeNodeAdded{id};
+    }
+    case ServeReqType::kRemoveNode: {
+      const auto& m = std::get<ServeRemoveNode>(req);
+      if (!session_.queue_remove(m.id))
+        return ServeErrorResp{ServeError::kUnknownNode};
+      return ServeAck{};
+    }
+    case ServeReqType::kMoveNode: {
+      const auto& m = std::get<ServeMoveNode>(req);
+      if (!std::isfinite(m.x) || !std::isfinite(m.y))
+        return ServeErrorResp{ServeError::kBadRequest};
+      if (!session_.queue_move(m.id, {m.x, m.y}))
+        return ServeErrorResp{ServeError::kUnknownNode};
+      return ServeAck{};
+    }
+    case ServeReqType::kCommit: {
+      const CommitOutcome outcome = session_.commit();
+      return ServeCommitReport{static_cast<std::uint32_t>(outcome.admitted),
+                               outcome.nodes_touched, outcome.rebuilt,
+                               session_.tree().size(),
+                               session_.tree_length()};
+    }
+    case ServeReqType::kQueryTree: {
+      ServeTreeSummary out;
+      out.nodes = session_.alive_count();
+      out.edges = session_.tree().size();
+      for (const graph::Edge& e : session_.tree()) {
+        out.total_len += e.w;
+        out.total_sq += e.w * e.w;
+      }
+      return out;
+    }
+    case ServeReqType::kQueryStats: {
+      const SessionStats& s = session_.stats();
+      return ServeStats{s.commits,        s.rebuilds,
+                        s.admitted,       s.nodes_touched,
+                        session_.alive_count(), session_.tree().size()};
+    }
+    case ServeReqType::kShutdown:
+      if (session_.pending() > 0) (void)session_.commit();
+      shutting_down_ = true;
+      return ServeAck{};
+    case ServeReqType::kTypeCount: break;
+  }
+  return ServeErrorResp{ServeError::kBadRequest};
+}
+
+bool Server::handle_frame(const Conn& conn, const Frame& frame) {
+  using namespace proto;
+  ++served_;
+  ServeResp resp = ServeErrorResp{ServeError::kBadRequest};
+  if (frame.version != kServeProtocolVersion) {
+    resp = ServeErrorResp{ServeError::kVersionMismatch};
+  } else if (!frame.payload.empty()) {
+    BitReader peek(frame.payload);
+    const std::uint64_t tag = peek.read(kServeTagBits);
+    if (payload_length_ok(tag, frame.payload.size())) {
+      BitReader r(frame.payload);
+      resp = apply(decode_serve_req(r));
+      // A mutation may have tipped the batch over the auto-commit line.
+      if (!shutting_down_ && session_.pending() >= cfg_.max_batch)
+        (void)session_.commit();
+    }
+  }
+  std::vector<std::uint8_t> out;
+  append_frame(out, resp);
+  return send_all(conn.fd, out);
+}
+
+std::uint64_t Server::serve() {
+  EMST_ASSERT_MSG(ok(), "serve() on a server that failed to bind");
+  std::vector<Conn> conns;
+  std::vector<pollfd> fds;
+  std::uint8_t buf[4096];
+  while (!shutting_down_) {
+    fds.clear();
+    fds.push_back({listen_fd_, POLLIN, 0});
+    for (const Conn& c : conns) fds.push_back({c.fd, POLLIN, 0});
+    const int timeout =
+        session_.pending() > 0 ? cfg_.batch_timeout_ms : -1;
+    const int rc = ::poll(fds.data(), fds.size(), timeout);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (rc == 0) {
+      // Batch timer fired: fold the pending mutations in now.
+      (void)session_.commit();
+      continue;
+    }
+    if ((fds[0].revents & POLLIN) != 0) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd >= 0) conns.push_back(Conn{fd, {}});
+    }
+    // fds[1 + i] pairs with conns[i]; conns grown this round aren't polled
+    // until the next one.
+    const std::size_t polled = fds.size() - 1;
+    std::vector<std::size_t> dead;
+    for (std::size_t i = 0; i < polled && !shutting_down_; ++i) {
+      const short ev = fds[i + 1].revents;
+      if ((ev & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
+      Conn& c = conns[i];
+      const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+      if (n <= 0) {
+        if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+        dead.push_back(i);
+        continue;
+      }
+      c.in.feed(buf, static_cast<std::size_t>(n));
+      Frame frame;
+      bool drop = false;
+      while (!shutting_down_ && c.in.next(frame)) {
+        if (!handle_frame(c, frame)) {
+          drop = true;
+          break;
+        }
+      }
+      if (drop || c.in.corrupt()) dead.push_back(i);
+    }
+    for (auto it = dead.rbegin(); it != dead.rend(); ++it) {
+      ::close(conns[*it].fd);
+      conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(*it));
+    }
+  }
+  for (const Conn& c : conns) ::close(c.fd);
+  return served_;
+}
+
+}  // namespace emst::serve

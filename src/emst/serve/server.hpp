@@ -1,0 +1,73 @@
+// The emst_serve daemon core (docs/SERVE.md).
+//
+// Owns a resident serve::Session and speaks the framed ServeMsg protocol
+// over loopback TCP: poll-driven, multiple concurrent clients, one
+// request → one response. Mutations are validated immediately and queued;
+// the batch folds into the maintained tree on an explicit Commit request,
+// when it reaches `max_batch` admitted mutations, or after
+// `batch_timeout_ms` of quiet with work pending — whichever comes first.
+// A Shutdown request commits any pending batch and ends serve().
+//
+// Malformed input is never fatal to the daemon: an unknown tag or a
+// wrong-size payload earns an Error{kBadRequest} response (the length
+// prefix keeps the stream in sync), an oversized length word drops that
+// connection, and a frame with the wrong protocol version earns
+// Error{kVersionMismatch}.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "emst/serve/framing.hpp"
+#include "emst/serve/session.hpp"
+
+namespace emst::serve {
+
+struct ServerConfig {
+  std::uint16_t port = 0;       ///< 0 = let the kernel pick (see port())
+  std::size_t max_batch = 256;  ///< auto-commit at this many admitted ops
+  /// Auto-commit a non-empty batch after this long with no traffic;
+  /// < 0 disables the timer (commit only on request / max_batch).
+  int batch_timeout_ms = 50;
+};
+
+class Server {
+ public:
+  /// Binds and listens on 127.0.0.1 immediately; check ok() — binding can
+  /// legitimately fail in sandboxed environments.
+  Server(Session session, ServerConfig cfg = {});
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  [[nodiscard]] bool ok() const noexcept { return listen_fd_ >= 0; }
+  /// The actually-bound port (resolves port 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] Session& session() noexcept { return session_; }
+  [[nodiscard]] const Session& session() const noexcept { return session_; }
+
+  /// Accept/request loop until a Shutdown request arrives. Returns the
+  /// number of requests served.
+  std::uint64_t serve();
+
+ private:
+  struct Conn {
+    int fd = -1;
+    FrameBuffer in;
+  };
+
+  /// Decode + dispatch one frame, sending the response; false drops the
+  /// connection (corrupt stream).
+  bool handle_frame(const Conn& conn, const Frame& frame);
+  [[nodiscard]] proto::ServeResp apply(const proto::ServeReq& req);
+  static bool send_all(int fd, const std::vector<std::uint8_t>& bytes);
+
+  Session session_;
+  ServerConfig cfg_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  bool shutting_down_ = false;
+  std::uint64_t served_ = 0;
+};
+
+}  // namespace emst::serve

@@ -1,0 +1,17 @@
+// Deprecation attribute gate for the legacy per-driver entry points.
+//
+// The public way to run an algorithm is the `emst::run` facade
+// (emst/run.hpp); the four per-driver entry points remain available —
+// pinned bitwise-identical, the facade dispatches straight to them — but
+// new call sites should not appear. Translation units that legitimately
+// need the expert surface (the facade itself, EOPT's internal Step-1/2
+// calls, the harness, and tests that pin driver internals) define
+// `EMST_NO_DEPRECATE` before including any driver header, which turns the
+// attribute off for that TU only.
+#pragma once
+
+#if defined(EMST_NO_DEPRECATE)
+#define EMST_DEPRECATED(msg)
+#else
+#define EMST_DEPRECATED(msg) [[deprecated(msg)]]
+#endif

@@ -1,0 +1,202 @@
+// Pins the facade contract (docs/API_TOUR.md): emst::run dispatches to the
+// exact same driver code as the legacy per-driver entry points, so for any
+// driver × seed × fault model the facade's tree and accounting are bitwise
+// identical to a direct call with equivalently-wired options.
+//
+// This TU is the equivalence harness for the deprecated entry points, so it
+// is allowed to call them directly.
+#define EMST_NO_DEPRECATE
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "emst/rgg/radii.hpp"
+#include "emst/run.hpp"
+#include "emst/sim/topology.hpp"
+
+namespace emst {
+namespace {
+
+sim::Topology facade_topology(const Instance& inst, const RunConfig& cfg) {
+  // The same radius policy run(const Instance&, ...) applies before
+  // delegating to the topology overload.
+  double radius = inst.radius;
+  if (radius <= 0.0) {
+    const double factor = cfg.driver == Driver::kEopt ? cfg.eopt.step2_factor
+                                                      : inst.radius_factor;
+    radius = rgg::connectivity_radius(inst.points.size(), factor);
+  }
+  return sim::Topology(inst.points, radius);
+}
+
+void expect_same_tree(const std::vector<graph::Edge>& a,
+                      const std::vector<graph::Edge>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "edge " << i;
+    EXPECT_EQ(a[i].w, b[i].w) << "edge " << i;  // bitwise, not near
+  }
+}
+
+void expect_same_totals(const sim::Accounting& a, const sim::Accounting& b) {
+  EXPECT_EQ(a.energy, b.energy);  // bitwise, not near
+  EXPECT_EQ(a.unicasts, b.unicasts);
+  EXPECT_EQ(a.broadcasts, b.broadcasts);
+  EXPECT_EQ(a.deliveries, b.deliveries);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.bits, b.bits);
+}
+
+class RunFacadeEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, bool>> {};
+
+TEST_P(RunFacadeEquivalence, ClassicGhs) {
+  const auto [seed, faulty] = GetParam();
+  const Instance inst = sample_instance(160, seed);
+  for (const Driver driver : {Driver::kClassicGhs, Driver::kClassicGhsCached}) {
+    RunConfig cfg;
+    cfg.driver = driver;
+    if (faulty) cfg.faults.crashes = {{.node = 3, .from = 2, .until = 6}};
+    const RunResult facade = run(inst, cfg);
+
+    const sim::Topology topo = facade_topology(inst, cfg);
+    ghs::ClassicGhsOptions opt;
+    static_cast<sim::RunConfig&>(opt) = static_cast<const sim::RunConfig&>(cfg);
+    opt.moe = driver == Driver::kClassicGhsCached
+                  ? ghs::MoeStrategy::kCachedConfirm
+                  : ghs::MoeStrategy::kTestAll;
+    const ghs::MstRunResult direct = ghs::run_classic_ghs(topo, opt);
+
+    expect_same_tree(facade.tree, direct.tree);
+    expect_same_totals(facade.totals, direct.totals);
+    EXPECT_EQ(facade.phases, direct.phases);
+    EXPECT_EQ(facade.epochs, direct.epochs);
+  }
+}
+
+TEST_P(RunFacadeEquivalence, SyncGhs) {
+  const auto [seed, faulty] = GetParam();
+  const Instance inst = sample_instance(160, seed);
+  for (const Driver driver : {Driver::kSyncGhs, Driver::kSyncGhsProbe}) {
+    RunConfig cfg;
+    cfg.driver = driver;
+    if (faulty) {
+      cfg.faults.loss = 0.05;
+      cfg.arq.enabled = true;
+    }
+    const RunResult facade = run(inst, cfg);
+
+    const sim::Topology topo = facade_topology(inst, cfg);
+    ghs::SyncGhsOptions opt;
+    static_cast<sim::RunConfig&>(opt) = static_cast<const sim::RunConfig&>(cfg);
+    opt.neighbor_cache = driver == Driver::kSyncGhs;
+    const ghs::SyncGhsResult direct = ghs::run_sync_ghs(topo, opt);
+
+    expect_same_tree(facade.tree, direct.run.tree);
+    expect_same_totals(facade.totals, direct.run.totals);
+    EXPECT_EQ(facade.phases, direct.run.phases);
+    EXPECT_EQ(facade.arq.retransmissions, direct.arq.retransmissions);
+    EXPECT_EQ(facade.faults.lost, direct.faults.lost);
+  }
+}
+
+TEST_P(RunFacadeEquivalence, Eopt) {
+  const auto [seed, faulty] = GetParam();
+  const Instance inst = sample_instance(160, seed);
+  RunConfig cfg;
+  cfg.driver = Driver::kEopt;
+  if (faulty) {
+    cfg.faults.loss = 0.05;
+    cfg.arq.enabled = true;
+  }
+  const RunResult facade = run(inst, cfg);
+
+  const sim::Topology topo = facade_topology(inst, cfg);
+  eopt::EoptOptions opt;
+  static_cast<sim::RunConfig&>(opt) = static_cast<const sim::RunConfig&>(cfg);
+  const eopt::EoptResult direct = eopt::run_eopt(topo, opt);
+
+  expect_same_tree(facade.tree, direct.run.tree);
+  expect_same_totals(facade.totals, direct.run.totals);
+  EXPECT_EQ(facade.phases, direct.run.phases);
+  EXPECT_EQ(facade.arq.retransmissions, direct.arq.retransmissions);
+  EXPECT_EQ(facade.faults.lost, direct.fault_stats.lost);
+}
+
+TEST_P(RunFacadeEquivalence, CoNnt) {
+  const auto [seed, faulty] = GetParam();
+  const Instance inst = sample_instance(160, seed);
+  for (const Driver driver : {Driver::kCoNnt, Driver::kCoNntAxis}) {
+    RunConfig cfg;
+    cfg.driver = driver;
+    if (faulty) cfg.faults.crashes = {{.node = 5, .from = 1, .until = 4}};
+    const RunResult facade = run(inst, cfg);
+
+    const sim::Topology topo = facade_topology(inst, cfg);
+    nnt::CoNntOptions opt;
+    static_cast<sim::RunConfig&>(opt) = static_cast<const sim::RunConfig&>(cfg);
+    opt.scheme = driver == Driver::kCoNntAxis ? nnt::RankScheme::kAxis
+                                              : nnt::RankScheme::kDiagonal;
+    const nnt::CoNntResult direct = nnt::run_connt(topo, opt);
+
+    expect_same_tree(facade.tree, direct.tree);
+    expect_same_totals(facade.totals, direct.totals);
+    EXPECT_EQ(facade.epochs, direct.epochs);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndFaults, RunFacadeEquivalence,
+    ::testing::Combine(::testing::Values(1u, 7u, 42u),
+                       ::testing::Values(false, true)),
+    [](const auto& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) ? "_faulty" : "_clean");
+    });
+
+TEST(RunFacade, BackendsAgreeThroughInstance) {
+  Instance inst = sample_instance(200, 9);
+  RunConfig cfg;
+  cfg.driver = Driver::kEopt;
+  const RunResult csr = run(inst, cfg);
+  inst.implicit_backend = true;
+  const RunResult implicit = run(inst, cfg);
+  expect_same_tree(csr.tree, implicit.tree);
+  expect_same_totals(csr.totals, implicit.totals);
+}
+
+TEST(RunFacade, DriverNamesRoundTrip) {
+  for (const Driver d :
+       {Driver::kClassicGhs, Driver::kClassicGhsCached, Driver::kSyncGhs,
+        Driver::kSyncGhsProbe, Driver::kEopt, Driver::kCoNnt,
+        Driver::kCoNntAxis}) {
+    Driver parsed{};
+    ASSERT_TRUE(parse_driver(driver_name(d), parsed)) << driver_name(d);
+    EXPECT_EQ(parsed, d);
+  }
+  Driver parsed = Driver::kEopt;
+  EXPECT_FALSE(parse_driver("prim", parsed));
+  EXPECT_EQ(parsed, Driver::kEopt);  // unknown names leave `out` untouched
+}
+
+TEST(RunFacade, ExplicitRadiusReachesGhsDrivers) {
+  // The operating radius must stay within the topology's max radius
+  // (the instance builds at radius_factor 1.6), so pick a smaller one.
+  const Instance inst = sample_instance(120, 3);
+  RunConfig cfg;
+  cfg.driver = Driver::kClassicGhs;
+  cfg.radius = rgg::connectivity_radius(inst.points.size(), 1.2);
+  const RunResult facade = run(inst, cfg);
+
+  const sim::Topology topo = facade_topology(inst, cfg);
+  ghs::ClassicGhsOptions opt;
+  opt.moe = ghs::MoeStrategy::kTestAll;
+  opt.radius = cfg.radius;
+  const ghs::MstRunResult direct = ghs::run_classic_ghs(topo, opt);
+  expect_same_tree(facade.tree, direct.tree);
+  expect_same_totals(facade.totals, direct.totals);
+}
+
+}  // namespace
+}  // namespace emst

@@ -1,0 +1,291 @@
+// End-to-end serve test: a real Server on loopback TCP in a background
+// thread, driven by real Clients through the framed ServeMsg protocol —
+// the same wire path the CI smoke script exercises, plus the hostile-input
+// cases a scripted client can't produce (raw frames with bad tags, bad
+// lengths, wrong versions).
+//
+// Binding a loopback socket can legitimately fail in sandboxed build
+// environments; every test skips cleanly when it does.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "emst/geometry/sampling.hpp"
+#include "emst/serve/client.hpp"
+#include "emst/serve/server.hpp"
+#include "emst/support/rng.hpp"
+
+namespace emst::serve {
+namespace {
+
+/// The quiet-batch timer is disabled by default so tests observe exactly
+/// the commits they request (no 50ms races); MaxBatchAutoCommits opts in.
+ServerConfig no_timer_config() {
+  ServerConfig cfg;
+  cfg.batch_timeout_ms = -1;
+  return cfg;
+}
+
+/// A daemon on an ephemeral loopback port, serving until shutdown.
+class ServeFixture {
+ public:
+  explicit ServeFixture(std::size_t n = 64, ServerConfig cfg = no_timer_config()) {
+    support::Rng rng(21);
+    SessionConfig scfg;
+    scfg.run.driver = Driver::kEopt;
+    scfg.verify_after_commit = true;  // every commit differential-checked
+    server_ = std::make_unique<Server>(
+        Session(geometry::uniform_points(n, rng), std::move(scfg)), cfg);
+    if (!server_->ok()) return;
+    thread_ = std::thread([this] { server_->serve(); });
+  }
+
+  ~ServeFixture() {
+    if (thread_.joinable()) {
+      Client c;
+      if (c.connect(server_->port())) (void)c.shutdown_server();
+      thread_.join();
+    }
+  }
+
+  [[nodiscard]] bool ok() const { return server_->ok(); }
+  [[nodiscard]] std::uint16_t port() const { return server_->port(); }
+
+ private:
+  std::unique_ptr<Server> server_;
+  std::thread thread_;
+};
+
+#define SKIP_IF_NO_SOCKET(fixture)                                       \
+  if (!(fixture).ok()) GTEST_SKIP() << "cannot bind loopback socket in " \
+                                       "this environment"
+
+TEST(ServeE2E, FullSessionOverLoopback) {
+  ServeFixture daemon(64);
+  SKIP_IF_NO_SOCKET(daemon);
+  Client client;
+  ASSERT_TRUE(client.connect(daemon.port()));
+
+  const auto nodes = client.hello();
+  ASSERT_TRUE(nodes.has_value());
+  EXPECT_EQ(*nodes, 64u);
+
+  const graph::NodeId a = client.add_node(0.5, 0.5);
+  const graph::NodeId b = client.add_node(0.25, 0.75);
+  EXPECT_EQ(a, 64u);
+  EXPECT_EQ(b, 65u);
+  EXPECT_TRUE(client.remove_node(3));
+  EXPECT_TRUE(client.move_node(7, 0.1, 0.9));
+
+  const auto report = client.commit();
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->admitted, 4u);
+  EXPECT_FALSE(report->rebuilt);
+  EXPECT_GT(report->nodes_touched, 0u);
+
+  const auto tree = client.query_tree();
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_EQ(tree->nodes, 65u);  // 64 - 1 removed + 2 added
+  EXPECT_GT(tree->total_len, 0.0);
+
+  const auto stats = client.query_stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->commits, 1u);
+  EXPECT_EQ(stats->admitted, 4u);
+  EXPECT_EQ(stats->nodes, 65u);
+}
+
+TEST(ServeE2E, InvalidRequestsEarnErrorsNotDisconnects) {
+  ServeFixture daemon(32);
+  SKIP_IF_NO_SOCKET(daemon);
+  Client client;
+  ASSERT_TRUE(client.connect(daemon.port()));
+  ASSERT_TRUE(client.hello().has_value());
+
+  // Unknown node → kUnknownNode; the helpers map errors to false/kNoNode.
+  EXPECT_FALSE(client.remove_node(999));
+  EXPECT_FALSE(client.move_node(999, 0.5, 0.5));
+  // Non-finite coordinates → kBadRequest.
+  EXPECT_EQ(client.add_node(std::numeric_limits<double>::quiet_NaN(), 0.0),
+            graph::kNoNode);
+  // The connection survived all of it.
+  EXPECT_TRUE(client.hello().has_value());
+}
+
+TEST(ServeE2E, TwoClientsShareOneSession) {
+  ServeFixture daemon(32);
+  SKIP_IF_NO_SOCKET(daemon);
+  Client alice;
+  Client bob;
+  ASSERT_TRUE(alice.connect(daemon.port()));
+  ASSERT_TRUE(bob.connect(daemon.port()));
+  ASSERT_TRUE(alice.hello().has_value());
+  ASSERT_TRUE(bob.hello().has_value());
+
+  const graph::NodeId id = alice.add_node(0.5, 0.5);
+  ASSERT_NE(id, graph::kNoNode);
+  ASSERT_TRUE(bob.commit().has_value());  // bob flushes alice's mutation
+  const auto tree = alice.query_tree();
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_EQ(tree->nodes, 33u);
+  EXPECT_TRUE(bob.remove_node(id));  // and bob can touch alice's node
+}
+
+TEST(ServeE2E, MaxBatchAutoCommits) {
+  ServerConfig cfg;
+  cfg.max_batch = 3;
+  cfg.batch_timeout_ms = -1;  // only the size trigger
+  ServeFixture daemon(32, cfg);
+  SKIP_IF_NO_SOCKET(daemon);
+  Client client;
+  ASSERT_TRUE(client.connect(daemon.port()));
+  ASSERT_TRUE(client.hello().has_value());
+
+  ASSERT_NE(client.add_node(0.1, 0.1), graph::kNoNode);
+  ASSERT_NE(client.add_node(0.2, 0.2), graph::kNoNode);
+  ASSERT_NE(client.add_node(0.3, 0.3), graph::kNoNode);  // hits max_batch
+
+  const auto stats = client.query_stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->commits, 1u);
+  EXPECT_EQ(stats->nodes, 35u);
+}
+
+// ------------------------------------------------- hostile raw-byte input
+
+/// A client that speaks raw bytes instead of the Client class, for frames
+/// the well-behaved path can never produce.
+class RawConn {
+ public:
+  explicit RawConn(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~RawConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  [[nodiscard]] bool ok() const { return fd_ >= 0; }
+
+  void send_bytes(const std::vector<std::uint8_t>& bytes) {
+    (void)::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+  }
+
+  /// One framed response, or nullopt if the server closed the connection.
+  std::optional<proto::ServeResp> read_response() {
+    Frame frame;
+    while (!in_.next(frame)) {
+      if (in_.corrupt()) return std::nullopt;
+      std::uint8_t buf[512];
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) return std::nullopt;
+      in_.feed(buf, static_cast<std::size_t>(n));
+    }
+    proto::BitReader r(frame.payload);
+    return proto::decode_serve_resp(r);
+  }
+
+ private:
+  int fd_ = -1;
+  FrameBuffer in_;
+};
+
+std::vector<std::uint8_t> frame_raw(std::uint16_t version,
+                                    const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> out;
+  out.push_back(static_cast<std::uint8_t>(version >> 8));
+  out.push_back(static_cast<std::uint8_t>(version & 0xFF));
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  out.push_back(static_cast<std::uint8_t>(len >> 24));
+  out.push_back(static_cast<std::uint8_t>(len >> 16));
+  out.push_back(static_cast<std::uint8_t>(len >> 8));
+  out.push_back(static_cast<std::uint8_t>(len & 0xFF));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+TEST(ServeE2E, WrongVersionEarnsVersionMismatch) {
+  ServeFixture daemon(16);
+  SKIP_IF_NO_SOCKET(daemon);
+  RawConn conn(daemon.port());
+  ASSERT_TRUE(conn.ok());
+
+  proto::BitWriter w;
+  proto::encode(proto::ServeReq{proto::ServeHello{}}, w);
+  conn.send_bytes(frame_raw(proto::kServeProtocolVersion + 1, w.bytes()));
+  const auto resp = conn.read_response();
+  ASSERT_TRUE(resp.has_value());
+  const auto* err = std::get_if<proto::ServeErrorResp>(&*resp);
+  ASSERT_NE(err, nullptr);
+  EXPECT_EQ(err->code, proto::ServeError::kVersionMismatch);
+}
+
+TEST(ServeE2E, TruncatedPayloadEarnsBadRequestNotCrash) {
+  ServeFixture daemon(16);
+  SKIP_IF_NO_SOCKET(daemon);
+  RawConn conn(daemon.port());
+  ASSERT_TRUE(conn.ok());
+
+  // A MoveNode tag with half its payload missing: the fixed-width length
+  // guard must reject it before the BitReader ever sees it.
+  proto::BitWriter w;
+  proto::encode(proto::ServeReq{proto::ServeMoveNode{1, 0.5, 0.5}}, w);
+  std::vector<std::uint8_t> payload = w.bytes();
+  payload.resize(payload.size() / 2);
+  conn.send_bytes(frame_raw(proto::kServeProtocolVersion, payload));
+  const auto resp = conn.read_response();
+  ASSERT_TRUE(resp.has_value());
+  const auto* err = std::get_if<proto::ServeErrorResp>(&*resp);
+  ASSERT_NE(err, nullptr);
+  EXPECT_EQ(err->code, proto::ServeError::kBadRequest);
+
+  // And a garbage tag likewise.
+  conn.send_bytes(frame_raw(proto::kServeProtocolVersion, {0xFF, 0xFF}));
+  const auto resp2 = conn.read_response();
+  ASSERT_TRUE(resp2.has_value());
+  ASSERT_NE(std::get_if<proto::ServeErrorResp>(&*resp2), nullptr);
+
+  // The daemon is still healthy for well-behaved clients.
+  Client client;
+  ASSERT_TRUE(client.connect(daemon.port()));
+  EXPECT_TRUE(client.hello().has_value());
+}
+
+TEST(ServeE2E, OversizedFrameDropsOnlyThatConnection) {
+  ServeFixture daemon(16);
+  SKIP_IF_NO_SOCKET(daemon);
+  RawConn conn(daemon.port());
+  ASSERT_TRUE(conn.ok());
+
+  // Length word far beyond kMaxFramePayloadBytes: the stream is
+  // unrecoverable, so the server must drop the connection...
+  conn.send_bytes({0x00, 0x01, 0xFF, 0xFF, 0xFF, 0xFF});
+  EXPECT_FALSE(conn.read_response().has_value());
+
+  // ...but keep serving everyone else.
+  Client client;
+  ASSERT_TRUE(client.connect(daemon.port()));
+  EXPECT_TRUE(client.hello().has_value());
+}
+
+}  // namespace
+}  // namespace emst::serve

@@ -1,0 +1,192 @@
+// Round-trip tests for the serve protocol codec (proto/serve_wire.hpp),
+// mirroring proto_wire_test.cpp: every message encodes exactly
+// encoded_bits() bits, decodes back equal, the variant tag matches the enum
+// value, and the socket framing layer reassembles split streams.
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "emst/proto/serve_wire.hpp"
+#include "emst/serve/framing.hpp"
+
+namespace emst::proto {
+namespace {
+
+std::vector<ServeReq> sample_requests() {
+  return {
+      ServeHello{kServeProtocolVersion},
+      ServeHello{0x7FFF},
+      ServeAddNode{0.25, 0.75},
+      ServeAddNode{-1.5, 3.25e17},
+      ServeRemoveNode{0},
+      ServeRemoveNode{0xFFFF'FFFF},
+      ServeMoveNode{42, 0.125, 0.875},
+      ServeCommit{},
+      ServeQueryTree{},
+      ServeQueryStats{},
+      ServeShutdown{},
+  };
+}
+
+std::vector<ServeResp> sample_responses() {
+  return {
+      ServeHelloOk{kServeProtocolVersion, 10'000'000},
+      ServeNodeAdded{7},
+      ServeAck{},
+      ServeErrorResp{ServeError::kBadRequest},
+      ServeErrorResp{ServeError::kUnknownNode},
+      ServeErrorResp{ServeError::kVersionMismatch},
+      ServeErrorResp{ServeError::kShuttingDown},
+      ServeCommitReport{3, 128, true, 4095, 9.875},
+      ServeCommitReport{0, 0, false, 0, 0.0},
+      ServeTreeSummary{4096, 4095, 101.5, 3.25},
+      ServeStats{12, 2, 48, 900, 4096, 4095},
+  };
+}
+
+TEST(ServeWire, RequestRoundTrip) {
+  for (const ServeReq& msg : sample_requests()) {
+    BitWriter w;
+    encode(msg, w);
+    EXPECT_EQ(w.bit_count(), encoded_bits(msg))
+        << serve_req_type_name(type_of(msg));
+    BitReader r(w.bytes());
+    const ServeReq back = decode_serve_req(r);
+    EXPECT_EQ(r.bit_count(), encoded_bits(msg))
+        << serve_req_type_name(type_of(msg));
+    EXPECT_EQ(back, msg) << serve_req_type_name(type_of(msg));
+  }
+}
+
+TEST(ServeWire, ResponseRoundTrip) {
+  for (const ServeResp& msg : sample_responses()) {
+    BitWriter w;
+    encode(msg, w);
+    EXPECT_EQ(w.bit_count(), encoded_bits(msg))
+        << serve_resp_type_name(type_of(msg));
+    BitReader r(w.bytes());
+    const ServeResp back = decode_serve_resp(r);
+    EXPECT_EQ(r.bit_count(), encoded_bits(msg))
+        << serve_resp_type_name(type_of(msg));
+    EXPECT_EQ(back, msg) << serve_resp_type_name(type_of(msg));
+  }
+}
+
+TEST(ServeWire, TagIsVariantIndexIsEnum) {
+  for (const ServeReq& msg : sample_requests()) {
+    BitWriter w;
+    encode(msg, w);
+    BitReader r(w.bytes());
+    EXPECT_EQ(r.read(kServeTagBits), msg.index());
+    EXPECT_EQ(static_cast<std::size_t>(type_of(msg)), msg.index());
+  }
+  for (const ServeResp& msg : sample_responses()) {
+    BitWriter w;
+    encode(msg, w);
+    BitReader r(w.bytes());
+    EXPECT_EQ(r.read(kServeTagBits), msg.index());
+    EXPECT_EQ(static_cast<std::size_t>(type_of(msg)), msg.index());
+  }
+}
+
+TEST(ServeWire, CoordinatesSurviveBitExact) {
+  // Full-precision f64: the service hands back exactly the doubles it was
+  // given, including negative zero and subnormals.
+  for (const double v : {0.0, -0.0, 1e-310, -3.5, 0.1}) {
+    BitWriter w;
+    write_f64(w, v);
+    BitReader r(w.bytes());
+    const double back = read_f64(r);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(back),
+              std::bit_cast<std::uint64_t>(v));
+  }
+}
+
+TEST(ServeWire, FixedWidthsAreTopologyIndependent) {
+  // The serve vocabulary must NOT derive widths from a WireContext: a
+  // client speaks before knowing n, and n changes while the session runs.
+  EXPECT_EQ(ServeRemoveNode{1}.encoded_bits(),
+            kServeTagBits + kServeIdBits);
+  EXPECT_EQ(ServeAddNode{}.encoded_bits(), kServeTagBits + 128u);
+  EXPECT_EQ(ServeMoveNode{}.encoded_bits(),
+            kServeTagBits + kServeIdBits + 128u);
+  EXPECT_EQ(ServeHelloOk{}.encoded_bits(),
+            kServeTagBits + kServeVersionBits + kServeCountBits);
+  EXPECT_EQ(ServeStats{}.encoded_bits(), kServeTagBits + 6 * kServeCountBits);
+}
+
+TEST(ServeWireDeathTest, CorruptRequestTagAborts) {
+  BitWriter w;
+  w.write(static_cast<std::uint64_t>(ServeReqType::kTypeCount), kServeTagBits);
+  w.write(0, 32);
+  BitReader r(w.bytes());
+  EXPECT_DEATH((void)decode_serve_req(r), "corrupt serve request");
+}
+
+TEST(ServeWireDeathTest, CorruptResponseTagAborts) {
+  BitWriter w;
+  w.write(0xF, kServeTagBits);
+  w.write(0, 32);
+  BitReader r(w.bytes());
+  EXPECT_DEATH((void)decode_serve_resp(r), "corrupt serve response");
+}
+
+TEST(ServeWireDeathTest, TruncatedPayloadAborts) {
+  BitWriter w;
+  encode(ServeReq{ServeMoveNode{1, 0.5, 0.5}}, w);
+  std::vector<std::uint8_t> bytes = w.bytes();
+  bytes.resize(bytes.size() / 2);
+  BitReader r(bytes);
+  EXPECT_DEATH((void)decode_serve_req(r), "past end");
+}
+
+// ---------------------------------------------------------------- framing
+
+TEST(ServeFraming, RoundTripThroughSplitStream) {
+  std::vector<std::uint8_t> stream;
+  const std::vector<ServeReq> msgs = sample_requests();
+  for (const ServeReq& m : msgs) serve::append_frame(stream, m);
+
+  // Feed the stream one byte at a time: frames must reassemble exactly.
+  serve::FrameBuffer fb;
+  std::vector<ServeReq> got;
+  serve::Frame frame;
+  for (const std::uint8_t b : stream) {
+    fb.feed(&b, 1);
+    while (fb.next(frame)) {
+      EXPECT_EQ(frame.version, kServeProtocolVersion);
+      BitReader r(frame.payload);
+      got.push_back(decode_serve_req(r));
+    }
+  }
+  EXPECT_FALSE(fb.corrupt());
+  ASSERT_EQ(got.size(), msgs.size());
+  for (std::size_t i = 0; i < msgs.size(); ++i) EXPECT_EQ(got[i], msgs[i]);
+}
+
+TEST(ServeFraming, HeaderIsBigEndian) {
+  std::vector<std::uint8_t> out;
+  serve::append_frame(out, ServeReq{ServeCommit{}});
+  ASSERT_GE(out.size(), serve::kFrameHeaderBytes);
+  EXPECT_EQ(out[0], kServeProtocolVersion >> 8);
+  EXPECT_EQ(out[1], kServeProtocolVersion & 0xFF);
+  const std::size_t payload = out.size() - serve::kFrameHeaderBytes;
+  EXPECT_EQ(out[2], 0u);
+  EXPECT_EQ(out[3], 0u);
+  EXPECT_EQ(out[4], 0u);
+  EXPECT_EQ(out[5], payload);
+}
+
+TEST(ServeFraming, OversizedLengthLatchesCorrupt) {
+  serve::FrameBuffer fb;
+  const std::uint8_t bad[] = {0, 1, 0xFF, 0xFF, 0xFF, 0xFF};
+  fb.feed(bad, sizeof(bad));
+  serve::Frame frame;
+  EXPECT_FALSE(fb.next(frame));
+  EXPECT_TRUE(fb.corrupt());
+}
+
+}  // namespace
+}  // namespace emst::proto
