@@ -1,0 +1,277 @@
+// Scaling and wire-cost profile of the distributed engine
+// (docs/DISTRIBUTED.md).
+//
+// The parallel_scaling pump workload — fixed message counts on the
+// delayed-collect scenario — timed on the serial calendar engine
+// (`sim::Network`) and on `sim::DistributedNetwork` at rank counts
+// {1, 2, 4}. Unlike the sharded engine, every cross-rank message here
+// crosses a real socketpair as proto-codec bytes, so alongside wall time
+// the tracked BENCH_dist.json records bytes-on-wire (frame bytes sent to
+// and received from the rank processes, plus the payload bytes inside
+// them): the wire tax is the whole story of this engine's overhead.
+//
+// Every timed run is also a determinism check: the distributed engine must
+// deliver exactly the sent message count and reproduce the serial engine's
+// energy total bit-for-bit at every rank count. A mismatch exits non-zero —
+// the engine's contract is bitwise equivalence, not approximate agreement.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "emst/geometry/sampling.hpp"
+#include "emst/rgg/radii.hpp"
+#include "emst/sim/distributed_network.hpp"
+#include "emst/sim/network.hpp"
+#include "emst/support/cli.hpp"
+#include "emst/support/json.hpp"
+#include "emst/support/rng.hpp"
+#include "emst/support/stats.hpp"
+#include "emst/support/table.hpp"
+
+namespace {
+
+using namespace emst;
+
+using Payload = std::uint64_t;
+constexpr std::size_t kSendRounds = 32;
+
+struct World {
+  sim::Topology topo;
+  std::vector<std::pair<sim::NodeId, sim::NodeId>> sched;  ///< in-range pairs
+};
+
+World make_world(std::size_t nodes, std::size_t max_messages,
+                 std::uint64_t seed) {
+  support::Rng rng(seed);
+  const auto points = geometry::uniform_points(nodes, rng);
+  sim::Topology topo(points, rgg::connectivity_radius(nodes));
+  std::vector<std::pair<sim::NodeId, sim::NodeId>> sched;
+  sched.reserve(max_messages);
+  while (sched.size() < max_messages) {
+    const auto u = static_cast<sim::NodeId>(rng.uniform_int(nodes));
+    const auto nbs = topo.neighbors(u);
+    if (nbs.empty()) continue;
+    sched.emplace_back(u, nbs[rng.uniform_int(nbs.size())].id);
+  }
+  return World{std::move(topo), std::move(sched)};
+}
+
+struct Sample {
+  double millis = 0.0;
+  std::size_t delivered = 0;
+  double energy = 0.0;       ///< cross-engine identity check
+  std::uint64_t wire_sent = 0;      ///< frame bytes parent -> ranks
+  std::uint64_t wire_received = 0;  ///< frame bytes ranks -> parent
+  std::uint64_t payload_bytes = 0;  ///< codec bytes inside the frames
+};
+
+using Clock = std::chrono::steady_clock;
+
+/// The perf_sim steady-state pump: send over kSendRounds rounds, collecting
+/// each round, then drain. Construction is timed too — for the distributed
+/// engine that includes forking the rank processes.
+template <typename Net, typename... Extra>
+Sample run_pump(const World& w, std::size_t messages, std::uint32_t delay,
+                Extra... extra) {
+  const std::size_t per_round = (messages + kSendRounds - 1) / kSendRounds;
+  const auto start = Clock::now();
+  Net net(w.topo, {}, /*unbounded_broadcast=*/false,
+          sim::DelayModel{delay, 0xbe7cULL}, {}, nullptr, extra...);
+  std::size_t sent = 0;
+  Sample out;
+  while (sent < messages || net.pending()) {
+    const std::size_t stop = std::min(messages, sent + per_round);
+    for (; sent < stop; ++sent)
+      net.unicast(w.sched[sent].first, w.sched[sent].second, sent);
+    out.delivered += net.collect_round().size();
+  }
+  out.millis =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  out.energy = net.meter().totals().energy;
+  if constexpr (requires { net.bytes_sent(); }) {
+    out.wire_sent = net.bytes_sent();
+    out.wire_received = net.bytes_received();
+    out.payload_bytes = net.payload_bytes_sent();
+  }
+  return out;
+}
+
+struct Timing {
+  support::RunningStats ms;
+  bool checks_ok = true;
+  std::uint64_t wire_sent = 0;
+  std::uint64_t wire_received = 0;
+  std::uint64_t payload_bytes = 0;
+};
+
+struct Scenario {
+  std::size_t messages = 0;
+  Timing serial;
+  std::vector<Timing> dist;  ///< one per entry in the rank sweep
+  double serial_energy = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const support::Cli cli(
+      argc, argv,
+      {{"nodes", "deployment size for the pump topology (default 2048)"},
+       {"messages", "comma list of message counts (default 10000,100000)"},
+       {"ranks", "comma list of rank-process counts (default 1,2,4)"},
+       {"delay", "max extra delay D for the delayed-collect scenario (default 5)"},
+       {"trials", "timed repetitions per engine config (default 3)"},
+       {"seed", "master seed (default 2026)"},
+       {"json", "output JSON path (default BENCH_dist.json)"},
+       {"quick", "1 = CI-sized run (5k/20k messages, 2 trials)"}});
+  const bool quick = cli.get_int("quick", 0) != 0;
+  const auto nodes =
+      static_cast<std::size_t>(cli.get_int("nodes", quick ? 512 : 2048));
+  const auto message_counts = cli.get_int_list(
+      "messages", quick ? std::vector<std::int64_t>{5000, 20000}
+                        : std::vector<std::int64_t>{10000, 100000});
+  const auto rank_counts = cli.get_int_list("ranks", {1, 2, 4});
+  const auto delay = static_cast<std::uint32_t>(cli.get_int("delay", 5));
+  const auto trials =
+      static_cast<std::size_t>(cli.get_int("trials", quick ? 2 : 3));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 2026));
+  const std::string json_path = cli.get("json", "BENCH_dist.json");
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::size_t max_messages = 0;
+  for (const auto m : message_counts)
+    max_messages = std::max(max_messages, static_cast<std::size_t>(m));
+
+  std::printf("distributed scaling: pump at n(nodes)=%zu, D=%u, %zu trials, "
+              "host hardware_concurrency=%u\n\n",
+              nodes, delay, trials, hw);
+  const World w = make_world(nodes, max_messages, seed);
+
+  std::vector<Scenario> scenarios;
+  for (const auto m : message_counts) {
+    Scenario sc;
+    sc.messages = static_cast<std::size_t>(m);
+    sc.dist.resize(rank_counts.size());
+
+    // Untimed warm-up, and the energy reference for the identity check.
+    sc.serial_energy =
+        run_pump<sim::Network<Payload>>(w, sc.messages, delay).energy;
+
+    for (std::size_t t = 0; t < trials; ++t) {
+      const Sample s = run_pump<sim::Network<Payload>>(w, sc.messages, delay);
+      sc.serial.ms.add(s.millis);
+      sc.serial.checks_ok &=
+          s.delivered == sc.messages && s.energy == sc.serial_energy;
+      for (std::size_t ri = 0; ri < rank_counts.size(); ++ri) {
+        const auto ranks = static_cast<std::size_t>(rank_counts[ri]);
+        const Sample p = run_pump<sim::DistributedNetwork<Payload>>(
+            w, sc.messages, delay, ranks);
+        sc.dist[ri].ms.add(p.millis);
+        // The whole point: same count, bitwise-same energy, at every width.
+        sc.dist[ri].checks_ok &=
+            p.delivered == sc.messages && p.energy == sc.serial_energy;
+        sc.dist[ri].wire_sent = p.wire_sent;
+        sc.dist[ri].wire_received = p.wire_received;
+        sc.dist[ri].payload_bytes = p.payload_bytes;
+      }
+    }
+    scenarios.push_back(std::move(sc));
+  }
+
+  std::vector<std::string> header = {"messages", "serial_ms"};
+  for (const auto r : rank_counts) {
+    std::string col = "r";
+    col += std::to_string(r);
+    col += "_slowdown";
+    header.push_back(std::move(col));
+    col = "r";
+    col += std::to_string(r);
+    col += "_wire_mb";
+    header.push_back(std::move(col));
+  }
+  header.emplace_back("identical");
+  support::Table table(header);
+  bool all_ok = true;
+  for (const Scenario& sc : scenarios) {
+    std::vector<support::Cell> row = {
+        static_cast<long long>(sc.messages), sc.serial.ms.mean()};
+    bool ok = sc.serial.checks_ok;
+    for (const Timing& timing : sc.dist) {
+      row.emplace_back(timing.ms.mean() / sc.serial.ms.mean());
+      row.emplace_back(
+          static_cast<double>(timing.wire_sent + timing.wire_received) /
+          (1024.0 * 1024.0));
+      ok &= timing.checks_ok;
+    }
+    row.emplace_back(std::string(ok ? "yes" : "NO"));
+    all_ok &= ok;
+    table.add_row(row);
+  }
+  table.print(std::cout);
+
+  {
+    std::ofstream os(json_path);
+    if (!os) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    support::JsonWriter json(os);
+    json.begin_object();
+    json.key("bench").value("dist_scaling");
+    json.key("hardware_concurrency").value(static_cast<std::uint64_t>(hw));
+    json.key("nodes").value(static_cast<std::uint64_t>(nodes));
+    json.key("max_extra_delay").value(static_cast<std::uint64_t>(delay));
+    json.key("trials").value(static_cast<std::uint64_t>(trials));
+    json.key("seed").value(seed);
+    json.key("identical").value(all_ok);
+    json.key("scenarios").begin_array();
+    for (const Scenario& sc : scenarios) {
+      json.begin_object();
+      json.key("messages").value(static_cast<std::uint64_t>(sc.messages));
+      json.key("serial_ms").begin_object();
+      json.key("mean").value(sc.serial.ms.mean());
+      json.key("stddev").value(sc.serial.ms.stddev());
+      json.end_object();
+      json.key("distributed").begin_array();
+      for (std::size_t ri = 0; ri < rank_counts.size(); ++ri) {
+        json.begin_object();
+        json.key("ranks").value(static_cast<std::uint64_t>(rank_counts[ri]));
+        json.key("mean_ms").value(sc.dist[ri].ms.mean());
+        json.key("stddev_ms").value(sc.dist[ri].ms.stddev());
+        json.key("slowdown_vs_serial")
+            .value(sc.dist[ri].ms.mean() / sc.serial.ms.mean());
+        json.key("wire_bytes_sent").value(sc.dist[ri].wire_sent);
+        json.key("wire_bytes_received").value(sc.dist[ri].wire_received);
+        json.key("payload_bytes").value(sc.dist[ri].payload_bytes);
+        json.end_object();
+      }
+      json.end_array();
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    os << '\n';
+  }
+  std::printf("\nwrote %s\n", json_path.c_str());
+  std::printf("\nreading guide: rN_slowdown is the distributed engine's wall "
+              "time at N rank processes divided by the serial engine's — the "
+              "price of a real wire; rN_wire_mb is the frame traffic both "
+              "directions. Interpret against hardware_concurrency=%u. "
+              "'identical' confirms the distributed engine reproduced the "
+              "serial delivery count and energy bit-for-bit at every rank "
+              "count; a NO is a determinism-contract violation and the bench "
+              "exits non-zero.\n",
+              hw);
+  if (!all_ok) {
+    std::fprintf(stderr, "error: distributed engine diverged from the serial "
+                         "reference — determinism contract violated\n");
+    return 1;
+  }
+  return 0;
+}

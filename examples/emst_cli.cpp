@@ -233,7 +233,8 @@ int main(int argc, char** argv) {
     jsonl.emplace(trace_file);
     telemetry.set_sink(&*jsonl);
     telemetry_ptr = &telemetry;
-    sim::write_trace_header(trace_file, algos.front(), n, seed, flags.threads);
+    sim::write_trace_header(trace_file, algos.front(), n, seed, flags.threads,
+                            flags.ranks);
   }
 
   std::vector<Record> records;

@@ -94,6 +94,9 @@ def check_file(path: str) -> None:
     threads = header.get("threads", 1)
     if not isinstance(threads, int) or threads < 1:
         fail(path, 1, f"invalid thread count in header: {threads!r}")
+    ranks = header.get("ranks", 0)
+    if not isinstance(ranks, int) or ranks < 0:
+        fail(path, 1, f"invalid rank count in header: {ranks!r}")
 
     summary_obj = json.loads(lines[-1])
     if "summary" not in summary_obj:

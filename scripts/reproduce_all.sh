@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
 # Regenerate every table/figure of the reproduction and archive the outputs.
 #
-#   scripts/reproduce_all.sh [build_dir] [results_dir] [threads]
+#   scripts/reproduce_all.sh [build_dir] [results_dir] [threads] [ranks]
 #
 # Runs each bench binary at its default (paper-scale) parameters, teeing the
 # console tables into results/<bench>.txt and CSVs into results/<bench>.csv.
 # `threads` is a comma list forwarded to the parallel_scaling bench (default
-# 1,2,4,8) — set it to the core count of the reproduction machine.
+# 1,2,4,8) — set it to the core count of the reproduction machine. `ranks`
+# is the comma list forwarded to the dist_scaling bench (default 1,2,4).
 # Fails loudly (before running anything) if any bench binary named by a
 # bench/*.cpp source is missing from the build tree — a silent skip would
 # produce an incomplete results/ directory that looks complete.
@@ -16,6 +17,7 @@ REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${1:-build}"
 RESULTS_DIR="${2:-results}"
 THREADS="${3:-1,2,4,8}"
+RANKS="${4:-1,2,4}"
 
 if [ ! -d "$BUILD_DIR/bench" ]; then
   echo "error: $BUILD_DIR/bench not found — build first:" >&2
@@ -77,6 +79,16 @@ for name in "${benches[@]}"; do
       validate_json "$REPO_ROOT/BENCH_parallel.json"
       cp "$REPO_ROOT/BENCH_parallel.json" "$RESULTS_DIR/BENCH_parallel.json"
       ;;
+    dist_scaling)
+      echo "== $name (ranks=$RANKS)"
+      # Refreshes the tracked rank-process scaling record; the binary exits
+      # non-zero if the distributed engine diverges bitwise from the serial
+      # one at any rank count.
+      "$bench" --ranks="$RANKS" \
+        --json="$REPO_ROOT/BENCH_dist.json" | tee "$RESULTS_DIR/$name.txt"
+      validate_json "$REPO_ROOT/BENCH_dist.json"
+      cp "$REPO_ROOT/BENCH_dist.json" "$RESULTS_DIR/BENCH_dist.json"
+      ;;
     telemetry_overhead)
       echo "== $name"
       # Refreshes the tracked observer-cost record at the repo root.
@@ -132,6 +144,22 @@ if [ -x "$BUILD_DIR/examples/emst_cli" ] && command -v python3 >/dev/null 2>&1; 
   if ! diff <(tail -n +2 "$RESULTS_DIR/trace_sync.jsonl") \
             <(tail -n +2 "$RESULTS_DIR/trace_sync_t4.jsonl") > /dev/null; then
     echo "error: sharded trace diverged from the single-threaded trace" >&2
+    exit 1
+  fi
+  # Rank-process trace: the same contract for the distributed engine. The
+  # classic GHS run at 4 rank processes must write event lines byte-identical
+  # to the in-process run (only the header differs, by its "ranks" field).
+  "$BUILD_DIR/examples/emst_cli" --algo=ghs --n=500 --seed=7 \
+    --trace="$RESULTS_DIR/trace_ghs.jsonl" --format=json \
+    > "$RESULTS_DIR/trace_ghs.run.json"
+  "$BUILD_DIR/examples/emst_cli" --algo=ghs --n=500 --seed=7 --ranks=4 \
+    --trace="$RESULTS_DIR/trace_ghs_r4.jsonl" --format=json \
+    > "$RESULTS_DIR/trace_ghs_r4.run.json"
+  python3 "$REPO_ROOT/scripts/check_trace.py" \
+    "$RESULTS_DIR/trace_ghs.jsonl" "$RESULTS_DIR/trace_ghs_r4.jsonl"
+  if ! diff <(tail -n +2 "$RESULTS_DIR/trace_ghs.jsonl") \
+            <(tail -n +2 "$RESULTS_DIR/trace_ghs_r4.jsonl") > /dev/null; then
+    echo "error: distributed trace diverged from the in-process trace" >&2
     exit 1
   fi
   echo

@@ -18,6 +18,10 @@ Known records (matched by filename):
                         describes the system libbenchmark, not this repo
   BENCH_parallel.json   sharded-engine strong scaling; `identical` must be
                         true (the bitwise-determinism contract)
+  BENCH_dist.json       distributed-engine (rank processes) scaling;
+                        `identical` must be true and every rank run's
+                        bytes-on-wire must strictly exceed its codec
+                        payload (frames really crossed a socket)
   BENCH_faults.json     loss-sweep energy overhead of ARQ over lossy links
   BENCH_chaos.json      adversarial chaos campaign (drivers x strategies);
                         every cell's `exact` must be 1.0 (the fail-stop
@@ -98,6 +102,49 @@ def check_parallel(path: str, doc: dict) -> str:
         require(path, scenario, ("messages", "serial_ms", "sharded"),
                 where="scenario")
     return f"{len(doc['scenarios'])} scenarios, bitwise identical"
+
+
+def check_dist(path: str, doc: dict) -> str:
+    require(path, doc, ("hardware_concurrency", "nodes", "trials", "seed",
+                        "identical", "scenarios"))
+    if doc["identical"] is not True:
+        fail(path, "distributed engine diverged from the serial engine "
+                   "(identical != true) — this record must never be "
+                   "committed")
+    if not doc["scenarios"]:
+        fail(path, "no scenarios")
+    rank_runs = 0
+    for scenario in doc["scenarios"]:
+        require(path, scenario, ("messages", "serial_ms", "distributed"),
+                where="scenario")
+        if not scenario["distributed"]:
+            fail(path, f"messages={scenario['messages']}: no rank counts "
+                       "recorded")
+        for run in scenario["distributed"]:
+            require(path, run,
+                    ("ranks", "mean_ms", "slowdown_vs_serial",
+                     "wire_bytes_sent", "wire_bytes_received",
+                     "payload_bytes"),
+                    where=f"messages={scenario['messages']} rank record")
+            where = (f"messages={scenario['messages']} "
+                     f"ranks={run.get('ranks', '?')}")
+            if run["ranks"] < 1:
+                fail(path, f"{where}: ranks must be >= 1")
+            if run["mean_ms"] <= 0:
+                fail(path, f"{where}: mean_ms must be positive")
+            # The wire-reality contract: frames cross a real socket with
+            # headers and fingerprints, so bytes-on-wire must strictly
+            # exceed the raw codec payload they carry.
+            if not 0 < run["payload_bytes"] < run["wire_bytes_sent"]:
+                fail(path, f"{where}: payload_bytes {run['payload_bytes']} "
+                           f"not inside (0, wire_bytes_sent "
+                           f"{run['wire_bytes_sent']}) — frames did not "
+                           "cross a real wire")
+            if run["wire_bytes_received"] <= 0:
+                fail(path, f"{where}: wire_bytes_received must be positive")
+            rank_runs += 1
+    return (f"{len(doc['scenarios'])} scenarios x {rank_runs} rank runs, "
+            "bitwise identical")
 
 
 def check_faults(path: str, doc: dict) -> str:
@@ -275,6 +322,7 @@ def check_serve(path: str, doc: dict) -> str:
 CHECKS = {
     "BENCH_sim.json": check_sim,
     "BENCH_parallel.json": check_parallel,
+    "BENCH_dist.json": check_dist,
     "BENCH_faults.json": check_faults,
     "BENCH_chaos.json": check_chaos,
     "BENCH_telemetry.json": check_telemetry,

@@ -1,0 +1,50 @@
+// Rank worker process for the distributed engine (docs/DISTRIBUTED.md).
+//
+// `sim::DistributedNetwork` forks one of these per rank. A rank owns the
+// message plane for its grid tiles: the per-rank calendar ring, the
+// per-directed-link FIFO clamp and Gilbert–Elliott burst chains, and the
+// counter-based channel-fate evaluation — exactly the state a
+// `ShardedNetwork` shard owns, moved into its own address space. Everything
+// order-sensitive (energy charges, telemetry, crash classification, the
+// global merge) stays in the parent; the rank's reply is its drained
+// bucket in (receiver, sequence) order, which the parent's tie-free
+// receiver-keyed merge reconstructs into the exact serial delivery order.
+//
+// The rank never interprets payloads (they are opaque byte strings encoded
+// by the parent's `proto::DistMsgAdapter` and decoded again at the merge)
+// and never touches the topology: senders compute targets and distances, so
+// per-rank memory is O(in-flight messages + links seen), independent of n.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace emst::apps {
+
+/// Everything a rank worker needs, fixed at fork time. The loss-channel
+/// slice of the parent's `FaultModel` rides along so the rank can evaluate
+/// counter-based fates locally; crash windows and the chaos controller stay
+/// parent-side (crash classification happens at the merge, where the fault
+/// clock lives).
+struct RankSpec {
+  std::size_t rank = 0;
+  std::size_t ranks = 1;
+  std::uint32_t max_extra_delay = 0;
+  // Channel-fate model (FaultModel's loss slice; see fault.hpp).
+  double loss = 0.0;
+  bool use_gilbert = false;
+  double ge_good_to_bad = 0.05;
+  double ge_bad_to_good = 0.3;
+  double ge_loss_good = 0.0;
+  double ge_loss_bad = 0.8;
+  std::uint64_t fault_seed = 0;
+};
+
+/// Child-process entry point: serve the rank protocol on `fd` (one end of
+/// the parent's socketpair) until EOF. Returns the process exit code —
+/// 0 on a clean shutdown (parent closed the channel), small nonzero codes
+/// for protocol violations (see rank_runner.cpp). Never returns to the
+/// caller's logic: the forked child `_exit()`s with this value.
+int rank_main(int fd, const RankSpec& spec);
+
+}  // namespace emst::apps

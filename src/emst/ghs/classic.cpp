@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <variant>
 
+#include "emst/sim/distributed_network.hpp"
 #include "emst/sim/engine_factory.hpp"
 #include "emst/sim/implicit_topology.hpp"
 #include "emst/sim/network.hpp"
@@ -78,7 +79,8 @@ class ClassicGhsRun {
         net_(sim::make_engine<Engine>(topo, options.pathloss,
                                       /*unbounded_broadcast=*/false,
                                       options.delays, options.faults,
-                                      options.telemetry, options.threads)),
+                                      options.telemetry, options.threads,
+                                      options.ranks)),
         nodes_(topo.node_count()),
         starters_(options.spontaneous_wakeups),
         faulty_(options.faults.enabled()) {
@@ -514,6 +516,11 @@ MstRunResult run_classic_ghs(const Topo& topo,
   if (options.use_reference_engine) {
     return ClassicGhsRun<sim::ReferenceNetwork<GhsMsg, Topo>, Topo>(topo,
                                                                     options)
+        .run();
+  }
+  if (options.ranks > 0) {
+    return ClassicGhsRun<sim::DistributedNetwork<GhsMsg, Topo>, Topo>(topo,
+                                                                      options)
         .run();
   }
   if (options.threads > 1) {

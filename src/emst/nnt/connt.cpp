@@ -7,6 +7,7 @@
 #include <variant>
 
 #include "emst/proto/connt_wire.hpp"
+#include "emst/sim/distributed_network.hpp"
 #include "emst/sim/engine_factory.hpp"
 #include "emst/sim/implicit_topology.hpp"
 #include "emst/sim/network.hpp"
@@ -53,7 +54,8 @@ CoNntResult run_connt_actor_impl(const Topo& topo,
   Engine net(sim::make_engine<Engine>(topo, options.pathloss,
                                       /*unbounded_broadcast=*/true,
                                       /*delays=*/{}, options.faults,
-                                      options.telemetry, options.threads));
+                                      options.telemetry, options.threads,
+                                      options.ranks));
   if (options.oracle != nullptr) net.attach_oracle(options.oracle);
   // Codec hook: requests and replies carry grid-quantized coordinates, the
   // connect message a bare tag; widths come from the topology size.
@@ -188,7 +190,10 @@ CoNntResult run_connt(const Topo& topo, const CoNntOptions& options) {
   // Fault-aware runs need real in-flight messages (suppression, crash drops,
   // the epoch-restart loop) — delegate to the actor execution, which models
   // them; the choreographed fast path below stays the fault-free harness.
-  if (options.faults.enabled()) return run_connt_actor(topo, options);
+  // Rank processes only exist in the actor execution (the choreographed
+  // fast path has no network engine to distribute).
+  if (options.faults.enabled() || options.ranks > 0)
+    return run_connt_actor(topo, options);
   const std::size_t n = topo.node_count();
   EMST_ASSERT(n >= 1);
   const double n_est = std::max(2.0, static_cast<double>(n) * options.n_estimate_factor);
@@ -297,6 +302,10 @@ CoNntResult run_connt(const Topo& topo, const CoNntOptions& options) {
 
 template <typename Topo>
 CoNntResult run_connt_actor(const Topo& topo, const CoNntOptions& options) {
+  if (options.ranks > 0) {
+    return run_connt_actor_impl<sim::DistributedNetwork<proto::ConntMsg, Topo>,
+                                Topo>(topo, options);
+  }
   if (options.threads > 1) {
     return run_connt_actor_impl<sim::ShardedNetwork<proto::ConntMsg, Topo>,
                                 Topo>(topo, options);

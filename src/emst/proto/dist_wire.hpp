@@ -1,0 +1,181 @@
+// Cross-process wire format for the distributed engine (docs/DISTRIBUTED.md).
+//
+// `sim::DistributedNetwork` ships every cross-rank message through a real
+// socket, so the PR 5 codecs stop being an accounting fiction: the payload
+// bytes on the wire ARE the bit-packed proto encoding, and the engine
+// asserts that the measured bits-on-air equal the bytes actually sent
+// (payload bytes == ceil(bits/8), per message). `DistMsgAdapter<Msg>` is
+// the customization point that says how a message type crosses the process
+// boundary:
+//
+//  - the primary template covers trivially-copyable payloads (engine tests,
+//    raw pump traffic) with a byte-image codec — unmeasured by
+//    `sim::WireFormat`, so no bits/bytes identity is claimed for them;
+//  - specializations for the driver vocabularies (`GhsMsg`, `ConntMsg`)
+//    delegate to the proto codecs under the engine's configured
+//    `WireContext`, exactly the encoding `encoded_bits()` measures.
+//
+// This header also pins the rank-channel frame protocol shared by the
+// parent engine and the rank-runner child processes: the 6-byte
+// [u16 version | u32 length] header layout is serve's (serve/framing.hpp —
+// the parent and children reassemble streams with `serve::FrameBuffer`),
+// with a distinct version word so a dist frame can never be mistaken for a
+// serve frame, plus the PARCOACH-style collective-fingerprint chain both
+// sides maintain over every exchanged frame (docs/DISTRIBUTED.md §4).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "emst/proto/connt_wire.hpp"
+#include "emst/proto/ghs_wire.hpp"
+#include "emst/proto/wire.hpp"
+
+namespace emst::proto {
+
+// -- Rank-channel frame protocol --------------------------------------------
+
+/// Version word carried in every rank-channel frame header (the serve
+/// 6-byte layout). Distinct from kServeProtocolVersion by construction.
+inline constexpr std::uint16_t kDistProtocolVersion = 0x4401;
+
+/// Frame opcodes (first payload byte).
+inline constexpr std::uint8_t kDistOpRound = 1;    ///< parent → rank
+inline constexpr std::uint8_t kDistOpDrained = 2;  ///< rank → parent
+inline constexpr std::uint8_t kDistOpDesync = 3;   ///< rank → parent: abort
+
+/// Frame flags (second payload byte). A logical ROUND/DRAINED exchange may
+/// span several physical frames (chunks) when a round's mailbox outgrows
+/// the serve frame cap; the final chunk carries kDistFlagLast. Every chunk
+/// is individually fingerprinted, so chunking never weakens the collective
+/// check.
+inline constexpr std::uint8_t kDistFlagLast = 1;
+
+/// Fixed per-message record sizes (bytes, excluding the payload itself).
+/// Round records: seq u64 | due u64 | from u32 | to u32 | distance u64
+/// (bit image) | bits u32 | plen u32. Drained records: from u32 | to u32 |
+/// distance u64 | bits u32 | lost u8 | plen u32.
+inline constexpr std::size_t kDistRoundRecordBytes = 40;
+inline constexpr std::size_t kDistDrainedRecordBytes = 25;
+/// ROUND/DRAINED frame scaffolding: opcode u8 | flags u8 | round u64 |
+/// count u32 up front, and the 8-byte fingerprint trailer at the end.
+inline constexpr std::size_t kDistFrameFixedBytes = 14;
+inline constexpr std::size_t kDistFingerprintBytes = 8;
+/// Chunk budget: records are packed into a frame body until the NEXT record
+/// would push the payload (body + fingerprint trailer) past the serve
+/// frame cap. Must equal serve::kMaxFramePayloadBytes (static_asserted
+/// where both headers are visible — proto cannot include serve).
+inline constexpr std::size_t kDistMaxFramePayloadBytes = std::size_t{1} << 16;
+inline constexpr std::size_t kDistMaxChunkBodyBytes =
+    kDistMaxFramePayloadBytes - kDistFingerprintBytes;
+
+/// FNV-1a over a byte range — the frame-body hash both sides feed the
+/// fingerprint chain.
+[[nodiscard]] inline std::uint64_t dist_hash(const std::uint8_t* data,
+                                             std::size_t len) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Chain seed and mix: fp' = (fp ^ frame_hash) * FNV prime. Every frame in
+/// either direction advances the per-rank chain on both sides; equality at
+/// every frame is the collective-matching invariant (a rank that missed,
+/// repeated, or saw a corrupted exchange diverges immediately and
+/// diagnosably instead of hanging).
+inline constexpr std::uint64_t kDistFingerprintSeed = 0x9e3779b97f4a7c15ULL;
+[[nodiscard]] inline std::uint64_t dist_mix(std::uint64_t fp,
+                                            std::uint64_t frame_hash) noexcept {
+  return (fp ^ frame_hash) * 0x100000001b3ULL;
+}
+
+// Big-endian scalar packing, matching the serve frame header convention.
+inline void dist_put_u32(std::vector<std::uint8_t>& out,
+                         std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+inline void dist_put_u64(std::vector<std::uint8_t>& out,
+                         std::uint64_t v) {
+  dist_put_u32(out, static_cast<std::uint32_t>(v >> 32));
+  dist_put_u32(out, static_cast<std::uint32_t>(v));
+}
+[[nodiscard]] inline std::uint32_t dist_get_u32(const std::uint8_t* p) noexcept {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+[[nodiscard]] inline std::uint64_t dist_get_u64(const std::uint8_t* p) noexcept {
+  return (static_cast<std::uint64_t>(dist_get_u32(p)) << 32) |
+         dist_get_u32(p + 4);
+}
+
+// -- Message payload codec ---------------------------------------------------
+
+/// How a message type crosses the rank boundary. The engine encodes at
+/// route time (parent side — the sender), the payload bytes ride the
+/// frames out to the owning rank's calendar ring and back, and the engine
+/// decodes at the merge (parent side — delivery). The original in-memory
+/// object is dropped at encode time, so a codec bug is a failed
+/// differential test, not a silent fallback.
+///
+/// The primary template is the byte-image codec for trivially-copyable
+/// payloads; `sim::WireFormat` reports them unmeasured, so their wire cost
+/// is transport bookkeeping only. Driver vocabularies specialize below.
+template <typename Msg>
+struct DistMsgAdapter {
+  static_assert(std::is_trivially_copyable_v<Msg>,
+                "DistMsgAdapter needs a trivially-copyable payload or an "
+                "explicit specialization (see GhsMsg/ConntMsg below)");
+
+  static void encode(const Msg& m, BitWriter& w, const sim::WireFormat<Msg>&) {
+    std::uint8_t raw[sizeof(Msg)];
+    std::memcpy(raw, &m, sizeof(Msg));
+    for (const std::uint8_t b : raw) w.write(b, 8);
+  }
+  [[nodiscard]] static Msg decode(BitReader& r, const sim::WireFormat<Msg>&) {
+    std::uint8_t raw[sizeof(Msg)];
+    for (std::uint8_t& b : raw) b = static_cast<std::uint8_t>(r.read(8));
+    Msg m;
+    std::memcpy(&m, raw, sizeof(Msg));
+    return m;
+  }
+};
+
+/// Classic GHS vocabulary: the bit-packed tag+payload codec of ghs_wire.hpp
+/// under the engine's WireContext — the exact encoding `encoded_bits()`
+/// (and therefore every charged `Accounting::bits`) measures.
+template <>
+struct DistMsgAdapter<GhsMsg> {
+  static void encode(const GhsMsg& m, BitWriter& w,
+                     const sim::WireFormat<GhsMsg>& wf) {
+    proto::encode(m, w, wf.ctx);
+  }
+  [[nodiscard]] static GhsMsg decode(BitReader& r,
+                                     const sim::WireFormat<GhsMsg>& wf) {
+    return decode_ghs(r, wf.ctx);
+  }
+};
+
+/// Co-NNT vocabulary (connt_wire.hpp), same contract.
+template <>
+struct DistMsgAdapter<ConntMsg> {
+  static void encode(const ConntMsg& m, BitWriter& w,
+                     const sim::WireFormat<ConntMsg>& wf) {
+    proto::encode(m, w, wf.ctx);
+  }
+  [[nodiscard]] static ConntMsg decode(BitReader& r,
+                                       const sim::WireFormat<ConntMsg>& wf) {
+    return decode_connt(r, wf.ctx);
+  }
+};
+
+}  // namespace emst::proto

@@ -28,6 +28,9 @@ const std::map<std::string, std::string>& shared_spec() {
                 "scripts/check_trace.py)"},
       {"threads", "worker threads (default 1); results are bitwise "
                   "identical for every value (docs/PARALLEL.md)"},
+      {"ranks", "worker processes (default 0 = in-process); ghs|connt run "
+                "over the distributed engine, bitwise identical for every "
+                "value (docs/DISTRIBUTED.md)"},
   };
   return spec;
 }
@@ -70,6 +73,7 @@ RunFlags parse_run_flags(const support::Cli& cli) {
   flags.per_node = cli.get_int("per-node", 0) != 0;
   flags.breakdown = cli.get_int("breakdown", 0) != 0;
   flags.threads = static_cast<std::size_t>(cli.get_int("threads", 0));
+  flags.ranks = static_cast<std::size_t>(cli.get_int("ranks", 0));
   flags.trace_path = cli.get("trace", "");
   return flags;
 }

@@ -37,6 +37,7 @@ struct RunFlags {
   bool breakdown = false;
   bool oracle_enabled = false;
   std::size_t threads = 0;
+  std::size_t ranks = 0;  ///< >0 = distributed engine with forked ranks
   std::string trace_path;  ///< empty = no telemetry trace requested
 
   /// Owned by the flags object (moved, never copied).
@@ -61,6 +62,7 @@ struct RunFlags {
     cfg.track_per_node_energy = per_node;
     cfg.record_breakdown = breakdown;
     cfg.threads = threads;
+    cfg.ranks = ranks;
     cfg.oracle = oracle.get();
   }
 };

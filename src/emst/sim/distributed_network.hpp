@@ -1,0 +1,745 @@
+// Process-level distributed simulation engine (docs/DISTRIBUTED.md).
+//
+// `DistributedNetwork<Msg>` is a drop-in replacement for `Network<Msg>`
+// whose message plane runs in separate worker PROCESSES — one rank per
+// grid-partition shard, each forked at construction and connected by a
+// socketpair carrying serve-framed binary messages. It produces
+// BITWISE-identical results to the serial engine — same delivery sequences,
+// same meter totals (float addition order preserved), same telemetry event
+// stream, same fault fates — at every rank count, by the same argument the
+// sharded engine makes (sharded_network.hpp), with the shard moved across a
+// real wire:
+//
+//  1. Partition. The ShardedNetwork grid: tiles round-robin onto R ranks,
+//     a message lives with its RECEIVER's rank, so per-link state (FIFO
+//     clamp, Gilbert–Elliott chains) is rank-private.
+//  2. Per-rank calendar queues. Each rank process owns a D+1-bucket ring
+//     (apps/rank_runner.cpp). Records arrive in global send-sequence order,
+//     the rank drains its due bucket in stable by-receiver order, and the
+//     parent's receiver-keyed R-way merge reconstructs the global
+//     (receiver, sequence) delivery order tie-free.
+//  3. Order-sensitive state stays in the parent. Charges, suppressions,
+//     telemetry, drop events, crash classification, the fault clock, the
+//     chaos controller, and the oracle all run in the parent's serial
+//     sections; sends are staged and replayed through the ONE meter in
+//     issue order. Ranks do only order-insensitive work: ingest, clamp,
+//     counter-based fate draws, by-receiver ordering.
+//  4. The wire is real. Payloads cross the boundary as proto-codec bytes
+//     (`proto::DistMsgAdapter`): encoded at route time, decoded at the
+//     merge — the in-memory object does NOT travel, so for measured
+//     formats the bytes on the wire are the accounted bits rounded up to
+//     bytes (asserted per message, both directions).
+//
+// Every parent↔rank exchange is a collective with a PARCOACH-style
+// fingerprint: both sides chain an FNV-1a hash over every frame body in
+// both directions, the sender's chain rides each frame, and the receiver
+// compares after mixing. Any desynchronization — corrupted frame, skipped
+// or repeated collective, rank restart — aborts with rank, round, and
+// expected/actual fingerprints plus the recent collective log, instead of
+// deadlocking at the barrier. A rank process death is detected as EOF and
+// reported with the rank's exit status or signal; teardown closes channels
+// and reaps every child (no zombies).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "emst/apps/rank_runner.hpp"
+#include "emst/proto/dist_wire.hpp"
+#include "emst/serve/framing.hpp"
+#include "emst/sim/fault.hpp"
+#include "emst/sim/meter.hpp"
+#include "emst/sim/network.hpp"
+#include "emst/sim/topology.hpp"
+#include "emst/sim/wire.hpp"
+#include "emst/support/assert.hpp"
+#include "emst/support/rng.hpp"
+
+namespace emst::sim {
+
+namespace dist {
+
+/// One collective exchange remembered for desync diagnostics.
+struct CollectiveLogEntry {
+  std::uint8_t opcode = 0;
+  std::uint64_t round = 0;
+  std::uint32_t count = 0;
+  std::uint64_t hash = 0;
+};
+
+/// The non-templated process plumbing behind `DistributedNetwork`: rank
+/// lifecycle (socketpair + fork + reap), framed channel IO, and the fatal
+/// diagnostic path. Lives in distributed_network.cpp so the sim library
+/// never references the rank-runner symbol — the engine template injects
+/// the child entry point from its instantiation site.
+class ProcessGroup {
+ public:
+  using ChildEntry = std::function<int(int fd, std::size_t rank)>;
+
+  ProcessGroup() = default;
+  ~ProcessGroup();
+  ProcessGroup(const ProcessGroup&) = delete;
+  ProcessGroup& operator=(const ProcessGroup&) = delete;
+
+  /// Fork `count` rank processes. Each child keeps only its own channel
+  /// end, runs `entry(fd, rank)`, and `_exit`s with its return value.
+  void spawn(std::size_t count, const ChildEntry& entry);
+  /// Close every channel (ranks see EOF and exit) and reap every child.
+  void shutdown() noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return eps_.size(); }
+  [[nodiscard]] int pid(std::size_t rank) const { return eps_[rank].pid; }
+
+  /// Current round, included in every failure diagnostic.
+  void set_round(std::uint64_t round) noexcept { round_ = round; }
+
+  void send_frame(std::size_t rank, const std::vector<std::uint8_t>& body);
+  [[nodiscard]] serve::Frame read_frame(std::size_t rank);
+  void log_collective(std::size_t rank, std::uint8_t opcode,
+                      std::uint64_t round, std::uint32_t count,
+                      std::uint64_t hash);
+  [[noreturn]] void fatal(std::size_t rank, const std::string& what);
+
+  /// Transport totals, frame headers included (the bench's bytes-on-wire).
+  [[nodiscard]] std::uint64_t bytes_sent() const noexcept {
+    return bytes_sent_;
+  }
+  [[nodiscard]] std::uint64_t bytes_received() const noexcept {
+    return bytes_received_;
+  }
+
+ private:
+  static constexpr std::size_t kCollectiveLogSize = 8;
+
+  struct Endpoint {
+    int fd = -1;
+    int pid = -1;
+    serve::FrameBuffer in;
+    std::array<CollectiveLogEntry, kCollectiveLogSize> log{};
+    std::size_t log_next = 0;
+  };
+
+  std::vector<Endpoint> eps_;
+  std::vector<std::uint8_t> frame_scratch_;
+  std::uint64_t round_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
+};
+
+}  // namespace dist
+
+/// Topo is either sim::Topology or sim::ImplicitTopology (topology.hpp).
+/// Ranks never see the topology at all — senders compute every target and
+/// distance, so each rank process is O(in-flight + links seen) regardless
+/// of backend (the n=10^7 implicit-topology path adds no per-rank memory).
+template <typename Msg, typename Topo = Topology>
+class DistributedNetwork {
+ public:
+  /// Marker for `make_engine`: the trailing size parameter means rank
+  /// processes, not shard threads.
+  static constexpr bool kDistributedEngine = true;
+
+  DistributedNetwork(const Topo& topo, geometry::PathLoss model = {},
+                     bool unbounded_broadcast = false, DelayModel delays = {},
+                     FaultModel faults = {}, Telemetry* telemetry = nullptr,
+                     std::size_t ranks = 1)
+      : topo_(topo),
+        meter_(model),
+        unbounded_broadcast_(unbounded_broadcast),
+        delays_(delays),
+        delay_rng_(delays.seed),
+        faults_(faults),
+        rank_count_(ranks == 0 ? 1 : ranks),
+        mailboxes_(rank_count_),
+        drained_(rank_count_),
+        chains_(rank_count_, proto::kDistFingerprintSeed) {
+    meter_.attach_telemetry(telemetry);
+    build_partition();
+    if (faults_.enabled())
+      faults_.set_chaos_env(topo_.node_count(), topo_.points());
+    // Fork the rank processes. Each gets the loss-channel slice of the
+    // fault model (counter-based fates evaluate rank-side); crash windows
+    // and the chaos controller stay here with the fault clock.
+    apps::RankSpec spec;
+    spec.ranks = rank_count_;
+    spec.max_extra_delay = delays_.max_extra_delay;
+    const FaultModel& fm = faults_.model();
+    spec.loss = fm.loss;
+    spec.use_gilbert = fm.use_gilbert;
+    spec.ge_good_to_bad = fm.ge_good_to_bad;
+    spec.ge_bad_to_good = fm.ge_bad_to_good;
+    spec.ge_loss_good = fm.ge_loss_good;
+    spec.ge_loss_bad = fm.ge_loss_bad;
+    spec.fault_seed = fm.seed;
+    group_.spawn(rank_count_, [spec](int fd, std::size_t r) {
+      apps::RankSpec s = spec;
+      s.rank = r;
+      return apps::rank_main(fd, s);
+    });
+  }
+
+  DistributedNetwork(const DistributedNetwork&) = delete;
+  DistributedNetwork& operator=(const DistributedNetwork&) = delete;
+
+  // -- Network facade ------------------------------------------------------
+
+  /// Send m from u to v; delivered next round. Charges d(u,v)^α (at the
+  /// next round barrier, in issue order — the meter context active NOW is
+  /// captured with the send, exactly as if the charge had happened inline).
+  void unicast(NodeId u, NodeId v, Msg m) {
+    EMST_ASSERT(u < topo_.node_count() && v < topo_.node_count() && u != v);
+    const double d = topo_.distance(u, v);
+    EMST_ASSERT_MSG(unbounded_broadcast_ ||
+                        d <= topo_.max_radius() * (1.0 + 1e-12),
+                    "unicast beyond the maximum transmission radius");
+    stage_unicast(meter_context(), u, v, d, std::move(m));
+  }
+
+  /// Locally broadcast m from u at power radius `radius`. Charges radius^α.
+  void broadcast(NodeId u, double radius, const Msg& m) {
+    stage_broadcast(meter_context(), u, radius, Msg(m));
+  }
+  void broadcast(NodeId u, double radius, Msg&& m) {
+    stage_broadcast(meter_context(), u, radius, std::move(m));
+  }
+
+  [[nodiscard]] bool pending() const noexcept {
+    return staged_live_ > 0 || inflight_ > 0;
+  }
+
+  /// Advance to the next round and return the messages due for delivery,
+  /// sorted by (receiver, global send sequence) — byte-identical to
+  /// `Network::collect_round` on the same schedule, for every rank count.
+  [[nodiscard]] std::vector<Delivery<Msg>> collect_round() {
+    flush_staged();
+    begin_round();
+    std::vector<Delivery<Msg>> out;
+    exchange_round(&out);
+    return out;
+  }
+
+  // -- Accessors (Network-compatible) -------------------------------------
+
+  [[nodiscard]] const Topo& topology() const noexcept { return topo_; }
+  [[nodiscard]] EnergyMeter& meter() noexcept { return meter_; }
+  [[nodiscard]] const EnergyMeter& meter() const noexcept { return meter_; }
+  [[nodiscard]] FaultInjector& faults() noexcept { return faults_; }
+  [[nodiscard]] const FaultStats& fault_stats() const noexcept {
+    return faults_.stats();
+  }
+  /// Attach a runtime invariant oracle, checked at every round barrier
+  /// (serial section). Null (the default) costs one pointer test per round.
+  void attach_oracle(InvariantOracle* oracle) noexcept { oracle_ = oracle; }
+  [[nodiscard]] InvariantOracle* oracle() const noexcept { return oracle_; }
+  [[nodiscard]] std::size_t rank_count() const noexcept { return rank_count_; }
+  [[nodiscard]] std::size_t rank_of(NodeId u) const { return node_rank_[u]; }
+  /// The engine's message codec (wire.hpp) — same contract as
+  /// Network::wire_format(). Configure before sending; staged sends capture
+  /// their size at issue time and the payload is encoded under the context
+  /// active at the barrier.
+  [[nodiscard]] WireFormat<Msg>& wire_format() noexcept { return wire_; }
+  [[nodiscard]] const WireFormat<Msg>& wire_format() const noexcept {
+    return wire_;
+  }
+
+  // -- Distributed-specific introspection ----------------------------------
+
+  /// Transport totals (frame headers + records + fingerprints), both
+  /// directions — the bench's bytes-on-wire axis.
+  [[nodiscard]] std::uint64_t bytes_sent() const noexcept {
+    return group_.bytes_sent();
+  }
+  [[nodiscard]] std::uint64_t bytes_received() const noexcept {
+    return group_.bytes_received();
+  }
+  /// Sum of encoded payload bytes routed so far. For measured wire formats
+  /// this equals the sum of ceil(bits/8) over every charged transmission
+  /// (asserted per message at encode time).
+  [[nodiscard]] std::uint64_t payload_bytes_sent() const noexcept {
+    return payload_bytes_;
+  }
+  /// Rank process id, for fault-injection tests (kill a rank, observe the
+  /// reported teardown).
+  [[nodiscard]] int rank_pid(std::size_t rank) const {
+    return group_.pid(rank);
+  }
+
+  // -- Test hooks (negative tests for the fingerprint contract) ------------
+
+  /// Corrupt one byte of the next ROUND frame sent to `rank`, AFTER the
+  /// parent has mixed its fingerprint — models wire corruption. The rank
+  /// detects the mismatch and reports a desync instead of deadlocking.
+  void test_corrupt_next_frame(std::size_t rank) { corrupt_rank_ = rank; }
+  /// Advance the parent's chain for `rank` by one phantom mix AFTER the
+  /// next ROUND frame is on the wire — models a collective the parent
+  /// recorded but never exchanged (PARCOACH's mismatched-call bug class).
+  /// The outgoing trailer is still consistent, so the rank accepts the
+  /// frame; the divergence is caught by the PARENT when the rank's reply
+  /// fingerprint fails to match.
+  void test_skip_collective_mix(std::size_t rank) { skip_rank_ = rank; }
+
+ private:
+  static constexpr std::size_t kNoRank = static_cast<std::size_t>(-1);
+  /// Per-chunk record budget: chunk body stays within the serve frame cap.
+  static constexpr std::size_t kChunkRecordBudget =
+      proto::kDistMaxChunkBodyBytes - proto::kDistFrameFixedBytes;
+
+  struct Target {
+    NodeId to;
+    double distance;
+  };
+
+  /// Meter context captured with each staged send (sharded_network.hpp's
+  /// SendContext, minus the Mode-B merge key — the distributed engine only
+  /// fronts the Network facade, where staging order IS issue order).
+  struct SendContext {
+    MsgKind kind = MsgKind::kData;
+    PhaseTag phase = PhaseTag::kRun;
+    std::uint8_t flags = 0;
+    std::uint32_t fragment = kNoEventNode;
+    std::uint32_t bits = 0;
+  };
+
+  /// One staged send (unicast or broadcast) awaiting the barrier replay.
+  struct StagedOp {
+    SendContext ctx;
+    NodeId from = 0;
+    double reach = 0.0;  ///< distance (unicast) or power radius (broadcast)
+    std::uint32_t first = 0;  ///< targets range in targets_
+    std::uint32_t count = 0;
+    bool is_broadcast = false;
+    bool suppressed = false;  ///< sender down at issue time (clock-stable)
+    Msg msg{};
+  };
+
+  /// Outgoing mailbox for one rank: concatenated ROUND records, split into
+  /// chunk-sized runs as they are appended (records never straddle frames).
+  struct Mailbox {
+    std::vector<std::vector<std::uint8_t>> full;  ///< complete chunk runs
+    std::vector<std::uint32_t> full_counts;
+    std::vector<std::uint8_t> cur;
+    std::uint32_t cur_count = 0;
+  };
+
+  /// One record of a rank's drained reply, parsed and awaiting the merge.
+  struct DrainedRec {
+    NodeId from;
+    NodeId to;
+    double distance;
+    std::uint32_t bits;
+    bool lost;
+    std::vector<std::uint8_t> payload;
+  };
+
+  struct DrainedList {
+    std::vector<DrainedRec> items;
+    std::size_t cursor = 0;
+  };
+
+  // -- Construction --------------------------------------------------------
+
+  void build_partition() {
+    // Identical to ShardedNetwork::build_partition: g×g tiles round-robin
+    // onto ranks, a pure function of (points, rank count).
+    std::size_t g = 1;
+    while (g * g < rank_count_) ++g;
+    const auto& points = topo_.points();
+    node_rank_.resize(points.size());
+    const double scale = static_cast<double>(g);
+    auto cell = [g, scale](double coord) {
+      const double scaled = coord * scale;
+      if (!(scaled > 0.0)) return std::size_t{0};
+      return std::min(static_cast<std::size_t>(scaled), g - 1);
+    };
+    for (std::size_t u = 0; u < points.size(); ++u) {
+      const std::size_t tile = cell(points[u].x) + g * cell(points[u].y);
+      node_rank_[u] = static_cast<std::uint32_t>(tile % rank_count_);
+    }
+  }
+
+  // -- Staging (issue side — mirrors ShardedNetwork exactly) ---------------
+
+  [[nodiscard]] SendContext meter_context() const noexcept {
+    return {meter_.kind(), meter_.phase(), meter_.flags(), meter_.fragment(),
+            0};
+  }
+
+  void stage_unicast(const SendContext& ctx, NodeId u, NodeId v, double d,
+                     Msg m) {
+    StagedOp op;
+    op.ctx = ctx;
+    op.ctx.bits = wire_.bits(m);
+    op.from = u;
+    op.reach = d;
+    op.first = static_cast<std::uint32_t>(targets_.size());
+    op.count = 1;
+    op.suppressed = faults_.enabled() && faults_.crashed(u);
+    op.msg = std::move(m);
+    if (!op.suppressed) ++staged_live_;
+    targets_.push_back({v, d});
+    ops_.push_back(std::move(op));
+  }
+
+  void stage_broadcast(const SendContext& ctx, NodeId u, double radius,
+                       Msg m) {
+    EMST_ASSERT(u < topo_.node_count());
+    EMST_ASSERT(radius >= 0.0);
+    if (!unbounded_broadcast_) {
+      EMST_ASSERT_MSG(radius <= topo_.max_radius() * (1.0 + 1e-12),
+                      "broadcast beyond the maximum transmission radius");
+    }
+    StagedOp op;
+    op.ctx = ctx;
+    op.ctx.bits = wire_.bits(m);
+    op.from = u;
+    op.reach = radius;
+    op.first = static_cast<std::uint32_t>(targets_.size());
+    op.is_broadcast = true;
+    op.suppressed = faults_.enabled() && faults_.crashed(u);
+    op.msg = std::move(m);
+    if (!op.suppressed) {
+      // Same receiver enumeration as Network::broadcast_impl, including the
+      // per-receiver distance recomputation (bitwise-equal charges depend
+      // on identical inputs, not just identical sets).
+      if (radius <= topo_.max_radius()) {
+        for (const graph::Neighbor& nb : topo_.neighbors(u)) {
+          if (nb.w <= radius)
+            targets_.push_back({nb.id, topo_.distance(u, nb.id)});
+          else
+            break;
+        }
+      } else {
+        for (const NodeId v : topo_.nodes_within(u, radius))
+          targets_.push_back({v, topo_.distance(u, v)});
+      }
+      op.count = static_cast<std::uint32_t>(targets_.size()) - op.first;
+    }
+    staged_live_ += op.count;
+    ops_.push_back(std::move(op));
+  }
+
+  // -- Barrier: serial charge replay + routing -----------------------------
+
+  /// Replay the staging through the meter in issue order (the ONLY place
+  /// charges, suppressions and their telemetry events happen — float
+  /// accumulation order and event order match Network exactly), then
+  /// encode each physical message once and route the bytes to the
+  /// receiver's rank mailbox.
+  void flush_staged() {
+    if (ops_.empty()) return;
+    const MsgKind kind0 = meter_.kind();
+    const PhaseTag phase0 = meter_.phase();
+    const std::uint8_t flags0 = meter_.flags();
+    const std::uint32_t fragment0 = meter_.fragment();
+    for (StagedOp& op : ops_) {
+      meter_.set_kind(op.ctx.kind);
+      meter_.set_phase(op.ctx.phase);
+      meter_.set_flags(op.ctx.flags);
+      meter_.set_fragment(op.ctx.fragment);
+      meter_.set_bits(op.ctx.bits);
+      if (op.suppressed) {
+        ++faults_.stats().suppressed;
+        meter_.note_event(EventType::kSuppress, op.from,
+                          op.is_broadcast ? kNoEventNode
+                                          : targets_[op.first].to,
+                          op.reach);
+        continue;
+      }
+      const std::vector<std::uint8_t>& payload =
+          encode_payload(op.msg, op.ctx.bits);
+      if (op.is_broadcast) {
+        meter_.charge_broadcast(op.from, op.reach, op.count);
+        for (std::uint32_t i = op.first; i < op.first + op.count; ++i)
+          route(op.from, targets_[i].to, targets_[i].distance, op.ctx.bits,
+                payload);
+      } else {
+        const Target& t = targets_[op.first];
+        meter_.charge_unicast(op.from, t.to, t.distance);
+        route(op.from, t.to, t.distance, op.ctx.bits, payload);
+      }
+    }
+    meter_.set_kind(kind0);
+    meter_.set_phase(phase0);
+    meter_.set_flags(flags0);
+    meter_.set_fragment(fragment0);
+    // Network clears ambient bits after every send; end the replay in the
+    // same state so later note_events stamp identically.
+    meter_.clear_bits();
+    ops_.clear();
+    targets_.clear();
+    staged_live_ = 0;
+  }
+
+  /// Encode through the DistMsgAdapter — the ONLY representation that
+  /// crosses to the ranks and back; the original object never travels.
+  /// For measured formats this is where bits-on-air == bytes-on-wire is
+  /// enforced: the codec must produce exactly the accounted bit count.
+  [[nodiscard]] const std::vector<std::uint8_t>& encode_payload(
+      const Msg& m, std::uint32_t bits) {
+    proto::BitWriter w;
+    proto::DistMsgAdapter<Msg>::encode(m, w, wire_);
+    if constexpr (WireFormat<Msg>::kMeasured) {
+      EMST_ASSERT_MSG(w.bit_count() == bits,
+                      "wire codec and energy accounting disagree on size");
+      EMST_ASSERT(w.bytes().size() ==
+                  (static_cast<std::size_t>(bits) + 7) / 8);
+    }
+    payload_scratch_ = w.bytes();
+    return payload_scratch_;
+  }
+
+  void route(NodeId u, NodeId v, double d, std::uint32_t bits,
+             const std::vector<std::uint8_t>& payload) {
+    // Sequential delay draws in global send order — the exact stream
+    // Network::enqueue consumes. The FIFO clamp is applied rank-side
+    // (per-link state lives with the receiver's rank).
+    std::uint64_t due = now_ + 1;
+    if (delays_.max_extra_delay > 0)
+      due += delay_rng_.uniform_int(delays_.max_extra_delay + 1);
+    Mailbox& mb = mailboxes_[node_rank_[v]];
+    const std::size_t rec = proto::kDistRoundRecordBytes + payload.size();
+    EMST_ASSERT_MSG(rec <= kChunkRecordBudget, "message exceeds frame cap");
+    if (mb.cur.size() + rec > kChunkRecordBudget) {
+      mb.full.push_back(std::move(mb.cur));
+      mb.full_counts.push_back(mb.cur_count);
+      mb.cur.clear();
+      mb.cur_count = 0;
+    }
+    proto::dist_put_u64(mb.cur, seq_++);
+    proto::dist_put_u64(mb.cur, due);
+    proto::dist_put_u32(mb.cur, u);
+    proto::dist_put_u32(mb.cur, v);
+    proto::dist_put_u64(mb.cur, std::bit_cast<std::uint64_t>(d));
+    proto::dist_put_u32(mb.cur, bits);
+    proto::dist_put_u32(mb.cur, static_cast<std::uint32_t>(payload.size()));
+    mb.cur.insert(mb.cur.end(), payload.begin(), payload.end());
+    ++mb.cur_count;
+    ++inflight_;
+    payload_bytes_ += payload.size();
+  }
+
+  void begin_round() {
+    meter_.tick_round();
+    ++now_;
+    if (faults_.enabled()) {
+      // Serial section: the chaos controller consult (and its injections)
+      // happen before the exchange. `inflight_` counts routed,
+      // not-yet-delivered messages — Network's pre-drain count.
+      faults_.set_in_flight(inflight_);
+      faults_.advance_to(now_);
+      for (const CrashWindow& w : faults_.take_new_injections())
+        meter_.note_event(EventType::kCrashInject, w.node, kNoEventNode, 0.0,
+                          w.until);
+    }
+    if (oracle_ != nullptr) oracle_->on_round(now_, meter_);
+  }
+
+  // -- The round barrier: mailbox exchange over the wire -------------------
+
+  void exchange_round(std::vector<Delivery<Msg>>* out) {
+    group_.set_round(now_);
+    // Send phase: every rank gets its ROUND frames (even when empty — the
+    // empty frame IS the barrier tick that advances the rank's calendar
+    // ring) before any reply is awaited, so ranks work concurrently.
+    for (std::size_t r = 0; r < rank_count_; ++r) send_round(r);
+    // Receive phase, in rank order (the merge is receiver-keyed, so the
+    // collection order does not affect the output).
+    for (std::size_t r = 0; r < rank_count_; ++r) receive_drained(r);
+    merge_round(out);
+  }
+
+  void send_round(std::size_t rank) {
+    Mailbox& mb = mailboxes_[rank];
+    for (std::size_t c = 0; c < mb.full.size(); ++c)
+      emit_chunk(rank, /*last=*/false, mb.full_counts[c], mb.full[c]);
+    emit_chunk(rank, /*last=*/true, mb.cur_count, mb.cur);
+    mb.full.clear();
+    mb.full_counts.clear();
+    mb.cur.clear();
+    mb.cur_count = 0;
+  }
+
+  void emit_chunk(std::size_t rank, bool last, std::uint32_t count,
+                  const std::vector<std::uint8_t>& records) {
+    std::vector<std::uint8_t>& body = body_scratch_;
+    body.clear();
+    body.push_back(proto::kDistOpRound);
+    body.push_back(last ? proto::kDistFlagLast : 0);
+    proto::dist_put_u64(body, now_);
+    proto::dist_put_u32(body, count);
+    body.insert(body.end(), records.begin(), records.end());
+    const std::uint64_t h = proto::dist_hash(body.data(), body.size());
+    chains_[rank] = proto::dist_mix(chains_[rank], h);
+    group_.log_collective(rank, proto::kDistOpRound, now_, count, h);
+    if (corrupt_rank_ == rank) {
+      body[2] ^= 0x01;  // hook: corrupt AFTER hashing — wire damage
+      corrupt_rank_ = kNoRank;
+    }
+    proto::dist_put_u64(body, chains_[rank]);
+    group_.send_frame(rank, body);
+    if (skip_rank_ == rank) {
+      // Hook: a phantom collective only the parent's bookkeeping saw.
+      chains_[rank] = proto::dist_mix(chains_[rank], h);
+      skip_rank_ = kNoRank;
+    }
+  }
+
+  void receive_drained(std::size_t rank) {
+    DrainedList& dl = drained_[rank];
+    dl.items.clear();
+    dl.cursor = 0;
+    bool last = false;
+    while (!last) {
+      const serve::Frame frame = group_.read_frame(rank);
+      const std::vector<std::uint8_t>& p = frame.payload;
+      if (frame.version != proto::kDistProtocolVersion ||
+          p.size() < proto::kDistFrameFixedBytes) {
+        group_.fatal(rank, "malformed reply frame");
+      }
+      if (p[0] == proto::kDistOpDesync) {
+        // The rank detected a fingerprint mismatch on OUR frame and
+        // reported instead of hanging. Surface its view verbatim.
+        const std::uint64_t round = proto::dist_get_u64(p.data() + 2);
+        const std::uint64_t expected = proto::dist_get_u64(p.data() + 10);
+        const std::uint64_t actual = proto::dist_get_u64(p.data() + 18);
+        char msg[160];
+        std::snprintf(msg, sizeof msg,
+                      "collective fingerprint mismatch reported by rank at "
+                      "round %llu: expected %016llx actual %016llx",
+                      static_cast<unsigned long long>(round),
+                      static_cast<unsigned long long>(expected),
+                      static_cast<unsigned long long>(actual));
+        group_.fatal(rank, msg);
+      }
+      if (p[0] != proto::kDistOpDrained ||
+          p.size() < proto::kDistFrameFixedBytes +
+                         proto::kDistFingerprintBytes) {
+        group_.fatal(rank, "unexpected reply opcode");
+      }
+      last = (p[1] & proto::kDistFlagLast) != 0;
+      const std::uint64_t round = proto::dist_get_u64(p.data() + 2);
+      if (round != now_) group_.fatal(rank, "barrier round skew in reply");
+      const std::size_t body_len = p.size() - proto::kDistFingerprintBytes;
+      const std::uint64_t h = proto::dist_hash(p.data(), body_len);
+      chains_[rank] = proto::dist_mix(chains_[rank], h);
+      const std::uint32_t count = proto::dist_get_u32(p.data() + 10);
+      group_.log_collective(rank, proto::kDistOpDrained, round, count, h);
+      const std::uint64_t fp = proto::dist_get_u64(p.data() + body_len);
+      if (fp != chains_[rank]) {
+        char msg[160];
+        std::snprintf(msg, sizeof msg,
+                      "collective fingerprint mismatch in rank reply: "
+                      "expected %016llx actual %016llx",
+                      static_cast<unsigned long long>(chains_[rank]),
+                      static_cast<unsigned long long>(fp));
+        group_.fatal(rank, msg);
+      }
+      std::size_t off = proto::kDistFrameFixedBytes;
+      for (std::uint32_t i = 0; i < count; ++i) {
+        if (off + proto::kDistDrainedRecordBytes > body_len)
+          group_.fatal(rank, "truncated reply record");
+        DrainedRec rec;
+        rec.from = proto::dist_get_u32(&p[off]);
+        rec.to = proto::dist_get_u32(&p[off + 4]);
+        rec.distance =
+            std::bit_cast<double>(proto::dist_get_u64(&p[off + 8]));
+        rec.bits = proto::dist_get_u32(&p[off + 16]);
+        rec.lost = p[off + 20] != 0;
+        const std::uint32_t plen = proto::dist_get_u32(&p[off + 21]);
+        off += proto::kDistDrainedRecordBytes;
+        if (off + plen > body_len)
+          group_.fatal(rank, "truncated reply payload");
+        rec.payload.assign(p.begin() + static_cast<std::ptrdiff_t>(off),
+                           p.begin() + static_cast<std::ptrdiff_t>(off + plen));
+        off += plen;
+        dl.items.push_back(std::move(rec));
+      }
+    }
+  }
+
+  // -- Barrier: serial merge -----------------------------------------------
+
+  /// Walk the ranks' drained lists in global (receiver, sequence) order —
+  /// receivers partition across ranks, so a receiver-keyed R-way merge is
+  /// exact and tie-free. Drop events, crash classification (the fault
+  /// clock lives here) and fault stats are emitted in the same interleaved
+  /// order Network's delivery loop produces them; survivors decode from
+  /// their wire bytes.
+  void merge_round(std::vector<Delivery<Msg>>* out) {
+    std::size_t total = 0;
+    for (DrainedList& dl : drained_) total += dl.items.size();
+    inflight_ -= total;
+    out->reserve(total);
+    for (;;) {
+      DrainedList* next = nullptr;
+      for (DrainedList& dl : drained_) {
+        if (dl.cursor >= dl.items.size()) continue;
+        if (next == nullptr ||
+            dl.items[dl.cursor].to < next->items[next->cursor].to) {
+          next = &dl;
+        }
+      }
+      if (next == nullptr) break;
+      DrainedRec& item = next->items[next->cursor++];
+      if (faults_.enabled() && item.lost) {
+        ++faults_.stats().lost;
+        meter_.set_bits(item.bits);
+        meter_.note_event(EventType::kLoss, item.from, item.to,
+                          item.distance);
+        meter_.clear_bits();
+        continue;
+      }
+      if (faults_.enabled() && faults_.crashed(item.to)) {
+        ++faults_.stats().dropped_crashed;
+        meter_.set_bits(item.bits);
+        meter_.note_event(EventType::kCrashDrop, item.from, item.to,
+                          item.distance);
+        meter_.clear_bits();
+        continue;
+      }
+      proto::BitReader rdr(item.payload);
+      Msg m = proto::DistMsgAdapter<Msg>::decode(rdr, wire_);
+      if constexpr (WireFormat<Msg>::kMeasured) {
+        EMST_ASSERT_MSG(rdr.bit_count() == item.bits,
+                        "decode consumed a different size than accounted");
+      }
+      out->push_back({item.from, item.to, item.distance, std::move(m)});
+    }
+  }
+
+  const Topo& topo_;
+  EnergyMeter meter_;
+  WireFormat<Msg> wire_{};
+  bool unbounded_broadcast_;
+  DelayModel delays_;
+  support::Rng delay_rng_;
+  FaultInjector faults_;
+  InvariantOracle* oracle_ = nullptr;
+  std::size_t rank_count_;
+  std::vector<std::uint32_t> node_rank_;  ///< node → rank (tile % ranks)
+  dist::ProcessGroup group_;
+  std::vector<Mailbox> mailboxes_;
+  std::vector<DrainedList> drained_;
+  std::vector<std::uint64_t> chains_;  ///< per-rank fingerprint chains
+  // Frontend staging (issue order = replay order).
+  std::vector<StagedOp> ops_;
+  std::vector<Target> targets_;
+  std::vector<std::uint8_t> payload_scratch_;
+  std::vector<std::uint8_t> body_scratch_;
+  std::size_t staged_live_ = 0;  ///< staged deliveries that will route
+  std::uint64_t seq_ = 0;        ///< global send sequence number
+  std::size_t inflight_ = 0;
+  std::uint64_t now_ = 0;
+  std::uint64_t payload_bytes_ = 0;
+  std::size_t corrupt_rank_ = kNoRank;
+  std::size_t skip_rank_ = kNoRank;
+};
+
+}  // namespace emst::sim

@@ -44,6 +44,15 @@ struct RunConfig {
   /// meter-direct drivers parallelize their pure-compute stages. Results are
   /// bitwise-identical across thread counts (docs/PARALLEL.md).
   std::size_t threads = 0;
+  /// Worker PROCESSES for the run. 0 (default) = in-process engines. Any
+  /// value >= 1 makes the engine-driven drivers (classic GHS, the Co-NNT
+  /// actor) run over `sim::DistributedNetwork` with that many forked rank
+  /// processes and a real serialized wire; results are bitwise-identical to
+  /// the serial engine at every rank count (docs/DISTRIBUTED.md). The
+  /// choreographed drivers (sync GHS, EOPT) are meter-direct — no network
+  /// engine — so ranks is a documented no-op for them, mirroring `threads`.
+  /// Takes precedence over `threads` when both are set.
+  std::size_t ranks = 0;
 };
 
 }  // namespace emst::sim

@@ -99,22 +99,24 @@ ReplayTotals replay_events(std::span<const TelemetryEvent> events) {
 
 void write_trace_header(std::ostream& out, std::string_view algo,
                         std::size_t n, std::uint64_t seed,
-                        std::size_t threads) {
+                        std::size_t threads, std::size_t ranks) {
   char buf[256];
-  int len;
-  if (threads > 1) {
-    len = std::snprintf(
-        buf, sizeof(buf),
-        "{\"trace\":\"emst\",\"version\":1,\"algo\":\"%.*s\","
-        "\"n\":%zu,\"seed\":%llu,\"threads\":%zu}\n",
-        static_cast<int>(algo.size()), algo.data(), n,
-        static_cast<unsigned long long>(seed), threads);
-  } else {
-    len = std::snprintf(
-        buf, sizeof(buf), "{\"trace\":\"emst\",\"version\":1,\"algo\":\"%.*s\","
-                          "\"n\":%zu,\"seed\":%llu}\n",
-        static_cast<int>(algo.size()), algo.data(), n,
-        static_cast<unsigned long long>(seed));
+  int len = std::snprintf(
+      buf, sizeof(buf), "{\"trace\":\"emst\",\"version\":1,\"algo\":\"%.*s\","
+                        "\"n\":%zu,\"seed\":%llu",
+      static_cast<int>(algo.size()), algo.data(), n,
+      static_cast<unsigned long long>(seed));
+  if (len > 0 && len < static_cast<int>(sizeof(buf)) && threads > 1) {
+    len += std::snprintf(buf + len, sizeof(buf) - static_cast<size_t>(len),
+                         ",\"threads\":%zu", threads);
+  }
+  if (len > 0 && len < static_cast<int>(sizeof(buf)) && ranks > 0) {
+    len += std::snprintf(buf + len, sizeof(buf) - static_cast<size_t>(len),
+                         ",\"ranks\":%zu", ranks);
+  }
+  if (len > 0 && len < static_cast<int>(sizeof(buf))) {
+    len += std::snprintf(buf + len, sizeof(buf) - static_cast<size_t>(len),
+                         "}\n");
   }
   if (len > 0 && len < static_cast<int>(sizeof(buf))) out.write(buf, len);
 }

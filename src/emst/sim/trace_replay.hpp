@@ -47,12 +47,13 @@ struct ReplayTotals {
 /// JSONL framing for CLI trace files: one `{"trace":...}` header line before
 /// the event stream and one `{"summary":...}` line after it, carrying the
 /// live counters the replayer must reproduce (scripts/check_trace.py).
-/// `threads` records how the trace was produced; it never affects replay —
-/// thread counts are observationally equivalent (docs/PARALLEL.md) and the
-/// field only appears when > 1, so single-threaded traces are byte-stable.
+/// `threads` and `ranks` record how the trace was produced; neither affects
+/// replay — thread and rank counts are observationally equivalent
+/// (docs/PARALLEL.md, docs/DISTRIBUTED.md). "threads" only appears when
+/// > 1 and "ranks" when > 0, so default serial traces are byte-stable.
 void write_trace_header(std::ostream& out, std::string_view algo,
                         std::size_t n, std::uint64_t seed,
-                        std::size_t threads = 0);
+                        std::size_t threads = 0, std::size_t ranks = 0);
 void write_trace_summary(std::ostream& out, const Accounting& totals,
                          const FaultStats& faults, const ArqStats& arq);
 

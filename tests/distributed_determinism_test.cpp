@@ -1,0 +1,359 @@
+// Cross-process determinism at the driver level (docs/DISTRIBUTED.md).
+//
+// The contract: `RunConfig::ranks` changes the execution substrate only.
+// ranks=0 runs a driver on the in-process serial engine (`sim::Network`);
+// ranks>=1 runs the engine-driven drivers (classic GHS, Co-NNT actor) over
+// `sim::DistributedNetwork` — forked rank processes, every message crossing
+// a real socketpair as proto-codec bytes. For every driver, every seed,
+// with and without faults, the full observable result — tree, accounting
+// (float energy bitwise), phases, fault/ARQ counters, per-node ledger,
+// breakdown matrix, and the complete telemetry event stream — must be
+// identical at rank counts {0, 1, 2, 4}. A single flipped bit anywhere
+// fails the run: these are equality assertions, not tolerances. (The
+// choreographed drivers — sync GHS, EOPT — compute message behaviour in
+// lockstep without an engine; for them ranks is a documented no-op, pinned
+// here so the knob can never silently change their results.)
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "emst/eopt/eopt.hpp"
+#include "emst/geometry/sampling.hpp"
+#include "emst/ghs/classic.hpp"
+#include "emst/ghs/sync.hpp"
+#include "emst/nnt/connt.hpp"
+#include "emst/rgg/radii.hpp"
+#include "emst/sim/implicit_topology.hpp"
+#include "emst/run_report.hpp"
+#include "emst/support/rng.hpp"
+
+namespace emst {
+namespace {
+
+constexpr std::size_t kNodes = 120;
+constexpr std::size_t kSeeds = 3;
+/// 0 = the serial in-process engine — the reference every rank count must
+/// reproduce byte-for-byte.
+constexpr std::size_t kRankCounts[] = {0, 1, 2, 4};
+
+/// Everything observable about one run, copied out so runs can be compared
+/// after their backing results are gone.
+struct Observed {
+  std::vector<graph::Edge> tree;
+  sim::Accounting totals;
+  std::size_t phases = 0;
+  std::size_t fragments = 0;
+  sim::FaultStats faults;
+  sim::ArqStats arq;
+  std::vector<double> per_node;
+  sim::EnergyBreakdown breakdown;
+  bool hit_phase_cap = false;
+  std::vector<sim::TelemetryEvent> events;
+};
+
+Observed observe(const RunReport& report, const std::vector<graph::Edge>& tree,
+                 const sim::MemoryTraceSink& sink) {
+  Observed out;
+  out.tree = tree;
+  out.totals = report.totals;
+  out.phases = report.phases;
+  out.fragments = report.fragments;
+  out.faults = report.faults;
+  out.arq = report.arq;
+  if (report.per_node_energy != nullptr) out.per_node = *report.per_node_energy;
+  if (report.breakdown != nullptr) out.breakdown = *report.breakdown;
+  out.hit_phase_cap = report.hit_phase_cap;
+  out.events = sink.events();
+  return out;
+}
+
+void expect_observed_equal(const Observed& got, const Observed& want,
+                           const char* label, std::uint64_t seed,
+                           std::size_t ranks) {
+  SCOPED_TRACE(testing::Message() << label << " seed=" << seed
+                                  << " ranks=" << ranks);
+  ASSERT_EQ(got.tree.size(), want.tree.size());
+  for (std::size_t i = 0; i < got.tree.size(); ++i) {
+    EXPECT_EQ(got.tree[i].u, want.tree[i].u);
+    EXPECT_EQ(got.tree[i].v, want.tree[i].v);
+    EXPECT_EQ(got.tree[i].w, want.tree[i].w);  // bitwise
+  }
+  EXPECT_EQ(got.totals.energy, want.totals.energy);  // bitwise, no NEAR
+  EXPECT_EQ(got.totals.unicasts, want.totals.unicasts);
+  EXPECT_EQ(got.totals.broadcasts, want.totals.broadcasts);
+  EXPECT_EQ(got.totals.deliveries, want.totals.deliveries);
+  EXPECT_EQ(got.totals.rounds, want.totals.rounds);
+  EXPECT_EQ(got.totals.bits, want.totals.bits);
+  EXPECT_EQ(got.phases, want.phases);
+  EXPECT_EQ(got.fragments, want.fragments);
+  EXPECT_EQ(got.faults.lost, want.faults.lost);
+  EXPECT_EQ(got.faults.dropped_crashed, want.faults.dropped_crashed);
+  EXPECT_EQ(got.faults.suppressed, want.faults.suppressed);
+  EXPECT_EQ(got.arq.data_sent, want.arq.data_sent);
+  EXPECT_EQ(got.arq.retransmissions, want.arq.retransmissions);
+  EXPECT_EQ(got.arq.acks_sent, want.arq.acks_sent);
+  EXPECT_EQ(got.arq.delivered, want.arq.delivered);
+  EXPECT_EQ(got.arq.give_ups, want.arq.give_ups);
+  EXPECT_EQ(got.arq.timeout_rounds, want.arq.timeout_rounds);
+  EXPECT_EQ(got.per_node, want.per_node);  // element-wise bitwise
+  EXPECT_EQ(got.breakdown, want.breakdown);
+  EXPECT_EQ(got.hit_phase_cap, want.hit_phase_cap);
+  ASSERT_EQ(got.events.size(), want.events.size());
+  for (std::size_t i = 0; i < got.events.size(); ++i) {
+    ASSERT_EQ(got.events[i], want.events[i]) << "event " << i;
+  }
+}
+
+sim::Topology make_topology(std::uint64_t seed,
+                            std::vector<geometry::Point2>& points) {
+  support::Rng rng(seed);
+  points = geometry::uniform_points(kNodes, rng);
+  return sim::Topology(points, rgg::connectivity_radius(kNodes));
+}
+
+/// Crash-window fault configuration — works on every driver (loss and ARQ
+/// need the loss-recovering engines, exercised in the sync/EOPT cases).
+sim::FaultModel crashy_model() {
+  sim::FaultModel faults;
+  faults.crashes.push_back({7, 4, 18});
+  faults.crashes.push_back({23, 0, 12});
+  faults.crashes.push_back({41, 9, 26});
+  return faults;
+}
+
+/// Loss + bursts + crashes + ARQ, for the loss-recovering drivers.
+sim::FaultModel faulty_model() {
+  sim::FaultModel faults;
+  faults.loss = 0.08;
+  faults.use_gilbert = true;
+  faults.crashes.push_back({7, 4, 18});
+  faults.crashes.push_back({23, 0, 12});
+  return faults;
+}
+
+template <typename Options>
+void configure(Options& options, std::size_t ranks,
+               sim::Telemetry* telemetry) {
+  options.track_per_node_energy = true;
+  options.record_breakdown = true;
+  options.ranks = ranks;
+  options.telemetry = telemetry;
+}
+
+template <typename RunFn>
+void expect_rank_invariant(const char* label, RunFn&& run_at) {
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    Observed baseline;
+    bool have_baseline = false;
+    for (const std::size_t ranks : kRankCounts) {
+      const Observed got = run_at(seed, ranks);
+      if (!have_baseline) {
+        baseline = got;
+        have_baseline = true;
+        EXPECT_FALSE(baseline.tree.empty())
+            << label << " seed " << seed << ": empty tree";
+        continue;
+      }
+      expect_observed_equal(got, baseline, label, seed, ranks);
+    }
+  }
+}
+
+TEST(DistributedDeterminism, ClassicGhs) {
+  expect_rank_invariant("ghs", [](std::uint64_t seed, std::size_t ranks) {
+    std::vector<geometry::Point2> points;
+    const sim::Topology topo = make_topology(seed, points);
+    sim::MemoryTraceSink sink;
+    sim::Telemetry telemetry(&sink);
+    ghs::ClassicGhsOptions options;
+    configure(options, ranks, &telemetry);
+    const auto run = ghs::run_classic_ghs(topo, options);
+    return observe(run.report(), run.tree, sink);
+  });
+}
+
+TEST(DistributedDeterminism, ClassicGhsImplicitBackend) {
+  // The rank processes are topology-free, so the distributed engine works
+  // unchanged over the implicit backend — and must reproduce the
+  // materialized backend's serial result byte-for-byte at every rank count
+  // (the n=10^7 scale path stays O(n) in the parent, O(1) per rank).
+  expect_rank_invariant("ghs-imp", [](std::uint64_t seed, std::size_t ranks) {
+    support::Rng rng(seed);
+    const auto points = geometry::uniform_points(kNodes, rng);
+    sim::MemoryTraceSink sink;
+    sim::Telemetry telemetry(&sink);
+    ghs::ClassicGhsOptions options;
+    configure(options, ranks, &telemetry);
+    if (ranks == 0) {
+      // Baseline: the serial engine on the MATERIALIZED backend, so the
+      // comparison spans both the engine and the topology axis at once.
+      const sim::Topology topo(points, rgg::connectivity_radius(kNodes));
+      const auto run = ghs::run_classic_ghs(topo, options);
+      return observe(run.report(), run.tree, sink);
+    }
+    const sim::ImplicitTopology topo(points, rgg::connectivity_radius(kNodes));
+    const auto run = ghs::run_classic_ghs(topo, options);
+    return observe(run.report(), run.tree, sink);
+  });
+}
+
+TEST(DistributedDeterminism, ClassicGhsCachedWithDelays) {
+  // Random per-message delays exercise each rank's multi-bucket calendar
+  // ring and FIFO clamp; the cached-MOE variant adds local broadcasts.
+  expect_rank_invariant(
+      "ghs-cached", [](std::uint64_t seed, std::size_t ranks) {
+        std::vector<geometry::Point2> points;
+        const sim::Topology topo = make_topology(seed, points);
+        sim::MemoryTraceSink sink;
+        sim::Telemetry telemetry(&sink);
+        ghs::ClassicGhsOptions options;
+        options.moe = ghs::MoeStrategy::kCachedConfirm;
+        options.delays = {3, 0xabc0ULL + seed};
+        configure(options, ranks, &telemetry);
+        const auto run = ghs::run_classic_ghs(topo, options);
+        return observe(run.report(), run.tree, sink);
+      });
+}
+
+TEST(DistributedDeterminism, ClassicGhsCrashWindows) {
+  // Suppressions and crash drops are classified in the parent, where the
+  // fault clock lives; the event stream must interleave identically.
+  expect_rank_invariant(
+      "ghs+crashes", [](std::uint64_t seed, std::size_t ranks) {
+        std::vector<geometry::Point2> points;
+        const sim::Topology topo = make_topology(seed, points);
+        sim::MemoryTraceSink sink;
+        sim::Telemetry telemetry(&sink);
+        ghs::ClassicGhsOptions options;
+        options.faults = crashy_model();
+        options.faults.seed += seed;
+        configure(options, ranks, &telemetry);
+        const auto run = ghs::run_classic_ghs(topo, options);
+        return observe(run.report(), run.tree, sink);
+      });
+}
+
+TEST(DistributedDeterminism, SyncGhsRanksIsNoOp) {
+  // Choreographed driver: no engine, so ranks must change NOTHING.
+  expect_rank_invariant("sync", [](std::uint64_t seed, std::size_t ranks) {
+    std::vector<geometry::Point2> points;
+    const sim::Topology topo = make_topology(seed, points);
+    sim::MemoryTraceSink sink;
+    sim::Telemetry telemetry(&sink);
+    ghs::SyncGhsOptions options;
+    configure(options, ranks, &telemetry);
+    const auto run = ghs::run_sync_ghs(topo, options);
+    return observe(run.report(), run.run.tree, sink);
+  });
+}
+
+TEST(DistributedDeterminism, SyncGhsProbeFaultyArqRanksIsNoOp) {
+  expect_rank_invariant(
+      "sync-probe+faults", [](std::uint64_t seed, std::size_t ranks) {
+        std::vector<geometry::Point2> points;
+        const sim::Topology topo = make_topology(seed, points);
+        sim::MemoryTraceSink sink;
+        sim::Telemetry telemetry(&sink);
+        ghs::SyncGhsOptions options;
+        options.neighbor_cache = false;
+        options.faults = faulty_model();
+        options.faults.seed += seed;
+        options.arq.enabled = true;
+        configure(options, ranks, &telemetry);
+        const auto run = ghs::run_sync_ghs(topo, options);
+        return observe(run.report(), run.run.tree, sink);
+      });
+}
+
+TEST(DistributedDeterminism, EoptFaultyArqRanksIsNoOp) {
+  expect_rank_invariant(
+      "eopt+faults", [](std::uint64_t seed, std::size_t ranks) {
+        std::vector<geometry::Point2> points;
+        const sim::Topology topo = make_topology(seed, points);
+        sim::MemoryTraceSink sink;
+        sim::Telemetry telemetry(&sink);
+        eopt::EoptOptions options;
+        options.faults = faulty_model();
+        options.faults.seed += seed;
+        options.arq.enabled = true;
+        configure(options, ranks, &telemetry);
+        const auto run = eopt::run_eopt(topo, options);
+        return observe(run.report(), run.run.tree, sink);
+      });
+}
+
+TEST(DistributedDeterminism, CoNntFacadeDispatch) {
+  // run_connt with ranks>0 dispatches to the actor execution — the engine
+  // is where rank processes exist. The actor runs must be bitwise
+  // identical to each other at every rank count, and must produce the SAME
+  // TREE as the ranks=0 choreographed execution (whose event stream is
+  // shaped differently by design — billed per logical message, not per
+  // in-flight one — so only the result is compared across executions).
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    std::vector<geometry::Point2> points;
+    const sim::Topology topo = make_topology(seed, points);
+    auto run_at = [&topo](std::size_t ranks, sim::MemoryTraceSink& sink) {
+      sim::Telemetry telemetry(&sink);
+      nnt::CoNntOptions options;
+      configure(options, ranks, &telemetry);
+      const auto run = nnt::run_connt(topo, options);
+      return observe(run.report(), run.tree, sink);
+    };
+    sim::MemoryTraceSink sink0;
+    const Observed choreographed = run_at(0, sink0);
+    EXPECT_FALSE(choreographed.tree.empty());
+    Observed baseline;
+    bool have_baseline = false;
+    for (const std::size_t ranks : {1u, 2u, 4u}) {
+      sim::MemoryTraceSink sink;
+      const Observed got = run_at(ranks, sink);
+      ASSERT_EQ(got.tree.size(), choreographed.tree.size())
+          << "connt seed=" << seed << " ranks=" << ranks;
+      for (std::size_t i = 0; i < got.tree.size(); ++i) {
+        EXPECT_EQ(got.tree[i].u, choreographed.tree[i].u);
+        EXPECT_EQ(got.tree[i].v, choreographed.tree[i].v);
+        EXPECT_EQ(got.tree[i].w, choreographed.tree[i].w);
+      }
+      if (!have_baseline) {
+        baseline = got;
+        have_baseline = true;
+        continue;
+      }
+      expect_observed_equal(got, baseline, "connt", seed, ranks);
+    }
+  }
+}
+
+TEST(DistributedDeterminism, CoNntActor) {
+  expect_rank_invariant(
+      "connt-actor", [](std::uint64_t seed, std::size_t ranks) {
+        std::vector<geometry::Point2> points;
+        const sim::Topology topo = make_topology(seed, points);
+        sim::MemoryTraceSink sink;
+        sim::Telemetry telemetry(&sink);
+        nnt::CoNntOptions options;
+        configure(options, ranks, &telemetry);
+        const auto run = nnt::run_connt_actor(topo, options);
+        return observe(run.report(), run.tree, sink);
+      });
+}
+
+TEST(DistributedDeterminism, CoNntActorCrashWindows) {
+  expect_rank_invariant(
+      "connt-actor+crashes", [](std::uint64_t seed, std::size_t ranks) {
+        std::vector<geometry::Point2> points;
+        const sim::Topology topo = make_topology(seed, points);
+        sim::MemoryTraceSink sink;
+        sim::Telemetry telemetry(&sink);
+        nnt::CoNntOptions options;
+        options.faults = crashy_model();
+        options.faults.seed += seed;
+        configure(options, ranks, &telemetry);
+        const auto run = nnt::run_connt_actor(topo, options);
+        return observe(run.report(), run.tree, sink);
+      });
+}
+
+}  // namespace
+}  // namespace emst

@@ -1,0 +1,191 @@
+// Concurrent-connection stress for the serve daemon (docs/SERVE.md).
+//
+// N client threads hammer ONE session over loopback with interleaved
+// batched mutations — adds, moves, removes, commits, queries — in parallel.
+// The server is deliberately single-threaded (one poll loop owns the
+// session, so there is no locking to get wrong), which makes this test the
+// proof: under heavily interleaved concurrent traffic, every request gets a
+// well-formed reply on its own connection, ids never collide, and because
+// the fixture sets `verify_after_commit`, EVERY commit any thread triggers
+// is differential-checked against `graph::kruskal_msf` inside the session —
+// an exactness failure aborts the server thread and fails the test.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "emst/geometry/sampling.hpp"
+#include "emst/serve/client.hpp"
+#include "emst/serve/server.hpp"
+#include "emst/support/rng.hpp"
+
+namespace emst::serve {
+namespace {
+
+constexpr std::size_t kBaseNodes = 48;
+constexpr std::size_t kClients = 6;
+constexpr std::size_t kOpsPerClient = 120;
+
+class StressFixture {
+ public:
+  explicit StressFixture(ServerConfig cfg) {
+    support::Rng rng(35);
+    SessionConfig scfg;
+    scfg.run.driver = Driver::kEopt;
+    scfg.verify_after_commit = true;  // kruskal_msf check inside EVERY commit
+    server_ = std::make_unique<Server>(
+        Session(geometry::uniform_points(kBaseNodes, rng), std::move(scfg)),
+        cfg);
+    if (!server_->ok()) return;
+    thread_ = std::thread([this] { server_->serve(); });
+  }
+
+  ~StressFixture() {
+    if (thread_.joinable()) {
+      Client c;
+      if (c.connect(server_->port())) (void)c.shutdown_server();
+      thread_.join();
+    }
+  }
+
+  [[nodiscard]] bool ok() const { return server_->ok(); }
+  [[nodiscard]] std::uint16_t port() const { return server_->port(); }
+
+ private:
+  std::unique_ptr<Server> server_;
+  std::thread thread_;
+};
+
+#define SKIP_IF_NO_SOCKET(fixture)                                       \
+  if (!(fixture).ok()) GTEST_SKIP() << "cannot bind loopback socket in " \
+                                       "this environment"
+
+/// One client thread's workload: a private mix of mutations against nodes
+/// it created itself (ids are server-assigned, so territories can never
+/// collide across threads), explicit commits, and tree/stats queries.
+/// Every helper's reply is checked; any torn frame or cross-connection
+/// response bleed shows up as a failed expectation here.
+void client_workload(std::uint16_t port, std::uint64_t seed,
+                     std::atomic<int>& failures,
+                     std::atomic<std::uint64_t>& commits_issued) {
+  Client client;
+  if (!client.connect(port)) {
+    ++failures;
+    return;
+  }
+  if (!client.hello().has_value()) {
+    ++failures;
+    return;
+  }
+  support::Rng rng(seed);
+  std::vector<graph::NodeId> mine;
+  std::set<graph::NodeId> seen;
+  for (std::size_t op = 0; op < kOpsPerClient; ++op) {
+    const double roll = rng.uniform();
+    if (roll < 0.45 || mine.empty()) {
+      const graph::NodeId id =
+          client.add_node(rng.uniform(), rng.uniform());
+      if (id == graph::kNoNode || !seen.insert(id).second) {
+        // A duplicate id here means two connections were handed the same
+        // node — exactly the race this test exists to rule out.
+        ++failures;
+        return;
+      }
+      mine.push_back(id);
+    } else if (roll < 0.70) {
+      const std::size_t pick = rng.uniform_int(mine.size());
+      if (!client.move_node(mine[pick], rng.uniform(), rng.uniform())) {
+        ++failures;
+        return;
+      }
+    } else if (roll < 0.85) {
+      const std::size_t pick = rng.uniform_int(mine.size());
+      if (!client.remove_node(mine[pick])) {
+        ++failures;
+        return;
+      }
+      mine.erase(mine.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else if (roll < 0.95) {
+      if (!client.commit().has_value()) {
+        ++failures;
+        return;
+      }
+      ++commits_issued;
+    } else {
+      // Queries must always see a coherent snapshot (never a half-applied
+      // batch): a well-formed summary with a connected-forest edge count.
+      const auto tree = client.query_tree();
+      if (!tree.has_value() || tree->edges >= tree->nodes) {
+        ++failures;
+        return;
+      }
+    }
+  }
+  if (!client.commit().has_value()) {
+    ++failures;
+    return;
+  }
+  ++commits_issued;
+}
+
+void run_stress(ServerConfig cfg) {
+  StressFixture daemon(std::move(cfg));
+  SKIP_IF_NO_SOCKET(daemon);
+
+  std::atomic<int> failures{0};
+  std::atomic<std::uint64_t> commits_issued{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    threads.emplace_back(client_workload, daemon.port(), 0xace0ULL + 31 * c,
+                         std::ref(failures), std::ref(commits_issued));
+  }
+  for (std::thread& t : threads) t.join();
+  ASSERT_EQ(failures.load(), 0);
+  EXPECT_GT(commits_issued.load(), 0u);
+
+  // Post-mortem from a fresh connection: the session absorbed every
+  // surviving mutation, and one final verified commit still passes.
+  Client client;
+  ASSERT_TRUE(client.connect(daemon.port()));
+  ASSERT_TRUE(client.commit().has_value());
+  const auto stats = client.query_stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_GE(stats->commits, commits_issued.load());
+  const auto tree = client.query_tree();
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_GT(tree->nodes, 0u);
+  EXPECT_LT(tree->edges, tree->nodes);
+}
+
+TEST(ServeStress, ConcurrentClientsExplicitCommits) {
+  // Quiet-batch timer off: commits happen exactly when a client asks (or
+  // when max_batch tips) — the highest commit rate the protocol produces.
+  ServerConfig cfg;
+  cfg.batch_timeout_ms = -1;
+  run_stress(cfg);
+}
+
+TEST(ServeStress, ConcurrentClientsSmallAutoBatches) {
+  // max_batch=5 forces frequent auto-commits mid-stream, interleaving
+  // verified rebuild work between every few mutations from ANY client.
+  ServerConfig cfg;
+  cfg.batch_timeout_ms = -1;
+  cfg.max_batch = 5;
+  run_stress(cfg);
+}
+
+TEST(ServeStress, ConcurrentClientsBatchTimer) {
+  // A short quiet-batch timer commits concurrently with incoming traffic —
+  // the poll-timeout path racing the request path onto one session.
+  ServerConfig cfg;
+  cfg.batch_timeout_ms = 1;
+  run_stress(cfg);
+}
+
+}  // namespace
+}  // namespace emst::serve
