@@ -10,10 +10,20 @@
 // and received from the rank processes, plus the payload bytes inside
 // them): the wire tax is the whole story of this engine's overhead.
 //
+// Every rank count is timed under BOTH execution placements
+// (docs/DISTRIBUTED.md §6): routing placement ("parent" — ranks are byte
+// routers, the parent merges and dispatches) and actor placement ("rank" —
+// a node actor runs the message handlers inside the rank processes and
+// ships an effect ledger home). The tracked records carry a
+// `handler_placement` field so the two cost profiles stay distinguishable.
+//
 // Every timed run is also a determinism check: the distributed engine must
 // deliver exactly the sent message count and reproduce the serial engine's
-// energy total bit-for-bit at every rank count. A mismatch exits non-zero —
-// the engine's contract is bitwise equivalence, not approximate agreement.
+// energy total bit-for-bit at every rank count and placement. The actor
+// runs additionally harvest the rank-resident handler-invocation counter —
+// it must equal the message count (every handler ran out there, none in the
+// parent). A mismatch exits non-zero — the engine's contract is bitwise
+// equivalence, not approximate agreement.
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -25,7 +35,9 @@
 #include <vector>
 
 #include "emst/geometry/sampling.hpp"
+#include "emst/proto/wire.hpp"
 #include "emst/rgg/radii.hpp"
+#include "emst/sim/actor.hpp"
 #include "emst/sim/distributed_network.hpp"
 #include "emst/sim/network.hpp"
 #include "emst/support/cli.hpp"
@@ -69,6 +81,7 @@ struct Sample {
   std::uint64_t wire_sent = 0;      ///< frame bytes parent -> ranks
   std::uint64_t wire_received = 0;  ///< frame bytes ranks -> parent
   std::uint64_t payload_bytes = 0;  ///< codec bytes inside the frames
+  std::uint64_t rank_invocations = 0;  ///< harvested handler count (actor)
 };
 
 using Clock = std::chrono::steady_clock;
@@ -102,6 +115,66 @@ Sample run_pump(const World& w, std::size_t messages, std::uint32_t delay,
   return out;
 }
 
+/// The same pump under actor placement: a node actor whose handlers count
+/// deliveries and emit no effects, so the timed delta against the routing
+/// pump is pure execution placement — rank-side handler execution plus the
+/// effect-ledger half of the barrier, no algorithmic work.
+struct PumpActor {
+  void on_round_start(std::uint64_t /*round*/) {}
+  template <typename Env>
+  void on_message(const sim::Delivery<Payload>& /*d*/, Env& /*env*/) {
+    ++invocations_;
+  }
+  template <typename LocalPred, typename Env, typename Emit>
+  void step(std::uint8_t /*kind*/, std::uint64_t /*param*/,
+            std::span<const sim::NodeId> /*list*/,
+            const sim::FaultInjector& /*faults*/, bool /*faulty*/,
+            LocalPred&& /*is_local*/, Env& /*env*/, Emit&& /*emit*/) {}
+  void encode_node(sim::NodeId /*u*/, proto::BitWriter& /*w*/) const {}
+  void decode_node(sim::NodeId /*u*/, proto::BitReader& /*r*/) {}
+  [[nodiscard]] std::uint64_t invocations() const { return invocations_; }
+
+ private:
+  std::uint64_t invocations_ = 0;
+};
+
+/// Effect-replay observer for the actor pump: the actor emits nothing, so
+/// every callback is a no-op.
+struct PumpSink {
+  void on_send(std::uint8_t /*dtag*/, double /*reach*/) {}
+  void on_step_node(sim::NodeId /*u*/, std::uint8_t /*flag*/) {}
+  void on_note(sim::NodeId /*u*/, std::uint32_t /*a*/, std::uint64_t /*b*/) {}
+};
+
+Sample run_pump_actor(const World& w, std::size_t messages,
+                      std::uint32_t delay, std::size_t ranks) {
+  const std::size_t per_round = (messages + kSendRounds - 1) / kSendRounds;
+  const auto start = Clock::now();
+  sim::DistributedNetwork<Payload> net(w.topo, {}, /*unbounded_broadcast=*/false,
+                                       sim::DelayModel{delay, 0xbe7cULL}, {},
+                                       nullptr, ranks);
+  PumpActor actor;
+  net.install_actor(actor, /*faulty=*/false);
+  PumpSink sink;
+  std::size_t sent = 0;
+  Sample out;
+  while (sent < messages || net.pending()) {
+    const std::size_t stop = std::min(messages, sent + per_round);
+    for (; sent < stop; ++sent)
+      net.unicast(w.sched[sent].first, w.sched[sent].second, sent);
+    out.delivered += net.actor_collect_round(sink).batch;
+  }
+  out.millis =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  out.energy = net.meter().totals().energy;
+  // Placement witness: every handler ran inside a rank, none here.
+  out.rank_invocations = net.actor_harvest(actor);
+  out.wire_sent = net.bytes_sent();
+  out.wire_received = net.bytes_received();
+  out.payload_bytes = net.payload_bytes_sent();
+  return out;
+}
+
 struct Timing {
   support::RunningStats ms;
   bool checks_ok = true;
@@ -113,9 +186,18 @@ struct Timing {
 struct Scenario {
   std::size_t messages = 0;
   Timing serial;
-  std::vector<Timing> dist;  ///< one per entry in the rank sweep
+  std::vector<Timing> dist;   ///< routing placement, one per rank count
+  std::vector<Timing> actor;  ///< actor placement, one per rank count
   double serial_energy = 0.0;
 };
+
+/// Payload-vs-frame sanity (tracked-record invariant): codec bytes ride
+/// inside the frame bytes, so the strict inequality can only be asserted
+/// once at least one message actually crossed a rank boundary — a run whose
+/// traffic never left the parent records payload_bytes == 0 legitimately.
+bool payload_within_wire(const Sample& s) {
+  return s.payload_bytes == 0 || s.payload_bytes < s.wire_sent;
+}
 
 }  // namespace
 
@@ -158,6 +240,7 @@ int main(int argc, char** argv) {
     Scenario sc;
     sc.messages = static_cast<std::size_t>(m);
     sc.dist.resize(rank_counts.size());
+    sc.actor.resize(rank_counts.size());
 
     // Untimed warm-up, and the energy reference for the identity check.
     sc.serial_energy =
@@ -174,11 +257,23 @@ int main(int argc, char** argv) {
             w, sc.messages, delay, ranks);
         sc.dist[ri].ms.add(p.millis);
         // The whole point: same count, bitwise-same energy, at every width.
-        sc.dist[ri].checks_ok &=
-            p.delivered == sc.messages && p.energy == sc.serial_energy;
+        sc.dist[ri].checks_ok &= p.delivered == sc.messages &&
+                                 p.energy == sc.serial_energy &&
+                                 payload_within_wire(p);
         sc.dist[ri].wire_sent = p.wire_sent;
         sc.dist[ri].wire_received = p.wire_received;
         sc.dist[ri].payload_bytes = p.payload_bytes;
+
+        // Same width, actor placement: handlers execute inside the ranks.
+        const Sample a = run_pump_actor(w, sc.messages, delay, ranks);
+        sc.actor[ri].ms.add(a.millis);
+        sc.actor[ri].checks_ok &= a.delivered == sc.messages &&
+                                  a.energy == sc.serial_energy &&
+                                  a.rank_invocations == sc.messages &&
+                                  payload_within_wire(a);
+        sc.actor[ri].wire_sent = a.wire_sent;
+        sc.actor[ri].wire_received = a.wire_received;
+        sc.actor[ri].payload_bytes = a.payload_bytes;
       }
     }
     scenarios.push_back(std::move(sc));
@@ -192,6 +287,10 @@ int main(int argc, char** argv) {
     header.push_back(std::move(col));
     col = "r";
     col += std::to_string(r);
+    col += "_actor_slowdown";
+    header.push_back(std::move(col));
+    col = "r";
+    col += std::to_string(r);
     col += "_wire_mb";
     header.push_back(std::move(col));
   }
@@ -202,12 +301,14 @@ int main(int argc, char** argv) {
     std::vector<support::Cell> row = {
         static_cast<long long>(sc.messages), sc.serial.ms.mean()};
     bool ok = sc.serial.checks_ok;
-    for (const Timing& timing : sc.dist) {
-      row.emplace_back(timing.ms.mean() / sc.serial.ms.mean());
+    for (std::size_t ri = 0; ri < sc.dist.size(); ++ri) {
+      row.emplace_back(sc.dist[ri].ms.mean() / sc.serial.ms.mean());
+      row.emplace_back(sc.actor[ri].ms.mean() / sc.serial.ms.mean());
       row.emplace_back(
-          static_cast<double>(timing.wire_sent + timing.wire_received) /
+          static_cast<double>(sc.dist[ri].wire_sent +
+                              sc.dist[ri].wire_received) /
           (1024.0 * 1024.0));
-      ok &= timing.checks_ok;
+      ok &= sc.dist[ri].checks_ok && sc.actor[ri].checks_ok;
     }
     row.emplace_back(std::string(ok ? "yes" : "NO"));
     all_ok &= ok;
@@ -240,16 +341,21 @@ int main(int argc, char** argv) {
       json.end_object();
       json.key("distributed").begin_array();
       for (std::size_t ri = 0; ri < rank_counts.size(); ++ri) {
-        json.begin_object();
-        json.key("ranks").value(static_cast<std::uint64_t>(rank_counts[ri]));
-        json.key("mean_ms").value(sc.dist[ri].ms.mean());
-        json.key("stddev_ms").value(sc.dist[ri].ms.stddev());
-        json.key("slowdown_vs_serial")
-            .value(sc.dist[ri].ms.mean() / sc.serial.ms.mean());
-        json.key("wire_bytes_sent").value(sc.dist[ri].wire_sent);
-        json.key("wire_bytes_received").value(sc.dist[ri].wire_received);
-        json.key("payload_bytes").value(sc.dist[ri].payload_bytes);
-        json.end_object();
+        for (const bool actor_row : {false, true}) {
+          const Timing& timing = actor_row ? sc.actor[ri] : sc.dist[ri];
+          json.begin_object();
+          json.key("ranks").value(static_cast<std::uint64_t>(rank_counts[ri]));
+          json.key("handler_placement")
+              .value(std::string(actor_row ? "rank" : "parent"));
+          json.key("mean_ms").value(timing.ms.mean());
+          json.key("stddev_ms").value(timing.ms.stddev());
+          json.key("slowdown_vs_serial")
+              .value(timing.ms.mean() / sc.serial.ms.mean());
+          json.key("wire_bytes_sent").value(timing.wire_sent);
+          json.key("wire_bytes_received").value(timing.wire_received);
+          json.key("payload_bytes").value(timing.payload_bytes);
+          json.end_object();
+        }
       }
       json.end_array();
       json.end_object();
@@ -261,12 +367,15 @@ int main(int argc, char** argv) {
   std::printf("\nwrote %s\n", json_path.c_str());
   std::printf("\nreading guide: rN_slowdown is the distributed engine's wall "
               "time at N rank processes divided by the serial engine's — the "
-              "price of a real wire; rN_wire_mb is the frame traffic both "
-              "directions. Interpret against hardware_concurrency=%u. "
-              "'identical' confirms the distributed engine reproduced the "
-              "serial delivery count and energy bit-for-bit at every rank "
-              "count; a NO is a determinism-contract violation and the bench "
-              "exits non-zero.\n",
+              "price of a real wire; rN_actor_slowdown is the same width with "
+              "the handlers executing INSIDE the ranks (actor placement, "
+              "docs/DISTRIBUTED.md §6); rN_wire_mb is the routing-placement "
+              "frame traffic both directions. Interpret against "
+              "hardware_concurrency=%u. 'identical' confirms both placements "
+              "reproduced the serial delivery count and energy bit-for-bit at "
+              "every rank count, and that the actor runs executed every "
+              "handler rank-side; a NO is a determinism-contract violation "
+              "and the bench exits non-zero.\n",
               hw);
   if (!all_ok) {
     std::fprintf(stderr, "error: distributed engine diverged from the serial "

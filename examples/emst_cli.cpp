@@ -233,8 +233,18 @@ int main(int argc, char** argv) {
     jsonl.emplace(trace_file);
     telemetry.set_sink(&*jsonl);
     telemetry_ptr = &telemetry;
+    // Record the driver variant that will actually execute (the Co-NNT
+    // drivers silently dispatch to their node-actor implementation under
+    // faults or ranks) so check_trace.py can validate the dispatch.
+    std::string driver_field = algos.front();
+    Driver traced_driver;
+    if (parse_driver(algos.front(), traced_driver)) {
+      emst::RunConfig traced_cfg = emst::config_for(traced_driver);
+      flags.apply(traced_cfg);
+      driver_field = resolved_driver_name(traced_driver, traced_cfg);
+    }
     sim::write_trace_header(trace_file, algos.front(), n, seed, flags.threads,
-                            flags.ranks);
+                            flags.ranks, driver_field);
   }
 
   std::vector<Record> records;

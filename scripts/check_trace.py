@@ -97,6 +97,24 @@ def check_file(path: str) -> None:
     ranks = header.get("ranks", 0)
     if not isinstance(ranks, int) or ranks < 0:
         fail(path, 1, f"invalid rank count in header: {ranks!r}")
+    # "driver" records the driver variant that actually executed
+    # (emst::resolved_driver_name). The Co-NNT algos silently dispatch to
+    # their node-actor implementation under faults or ranks; the header must
+    # confess that dispatch, and with ranks the plain choreographed variant
+    # is impossible.
+    algo = header.get("algo", "")
+    driver = header.get("driver")
+    if driver is not None:
+        if not isinstance(driver, str):
+            fail(path, 1, f"invalid driver variant in header: {driver!r}")
+        if driver not in (algo, f"{algo}-actor"):
+            fail(path, 1,
+                 f"driver variant {driver!r} does not match algo {algo!r}")
+        if ranks > 0 and algo in ("connt", "connt-axis") \
+                and driver != f"{algo}-actor":
+            fail(path, 1,
+                 f"ranks={ranks} forces the {algo} actor dispatch but the "
+                 f"header records driver {driver!r}")
 
     summary_obj = json.loads(lines[-1])
     if "summary" not in summary_obj:
@@ -192,10 +210,11 @@ def check_file(path: str) -> None:
               f"({replay_energy!r} vs {live_energy!r})", file=sys.stderr)
 
     threads_note = f", {threads} threads" if threads > 1 else ""
+    driver_note = f", driver {driver}" if driver and driver != algo else ""
     print(f"{path}: ok — {events} events, energy {live_energy:.6f}, "
           f"{summary['unicasts']} unicasts / {summary['broadcasts']} "
           f"broadcasts / {summary['bits']} bits over {summary['rounds']} "
-          f"rounds{threads_note}")
+          f"rounds{threads_note}{driver_note}")
 
 
 def main(argv: list[str]) -> int:

@@ -114,6 +114,7 @@ def check_dist(path: str, doc: dict) -> str:
     if not doc["scenarios"]:
         fail(path, "no scenarios")
     rank_runs = 0
+    placements = set()
     for scenario in doc["scenarios"]:
         require(path, scenario, ("messages", "serial_ms", "distributed"),
                 where="scenario")
@@ -122,29 +123,42 @@ def check_dist(path: str, doc: dict) -> str:
                        "recorded")
         for run in scenario["distributed"]:
             require(path, run,
-                    ("ranks", "mean_ms", "slowdown_vs_serial",
-                     "wire_bytes_sent", "wire_bytes_received",
-                     "payload_bytes"),
+                    ("ranks", "handler_placement", "mean_ms",
+                     "slowdown_vs_serial", "wire_bytes_sent",
+                     "wire_bytes_received", "payload_bytes"),
                     where=f"messages={scenario['messages']} rank record")
             where = (f"messages={scenario['messages']} "
-                     f"ranks={run.get('ranks', '?')}")
+                     f"ranks={run.get('ranks', '?')} "
+                     f"placement={run.get('handler_placement', '?')}")
+            if run["handler_placement"] not in ("parent", "rank"):
+                fail(path, f"{where}: handler_placement must be 'parent' "
+                           "(routing mode) or 'rank' (actor mode)")
+            placements.add(run["handler_placement"])
             if run["ranks"] < 1:
                 fail(path, f"{where}: ranks must be >= 1")
             if run["mean_ms"] <= 0:
                 fail(path, f"{where}: mean_ms must be positive")
             # The wire-reality contract: frames cross a real socket with
             # headers and fingerprints, so bytes-on-wire must strictly
-            # exceed the raw codec payload they carry.
-            if not 0 < run["payload_bytes"] < run["wire_bytes_sent"]:
-                fail(path, f"{where}: payload_bytes {run['payload_bytes']} "
-                           f"not inside (0, wire_bytes_sent "
-                           f"{run['wire_bytes_sent']}) — frames did not "
-                           "cross a real wire")
+            # exceed the raw codec payload they carry. Only assertable when
+            # at least one message crossed a rank boundary — a run whose
+            # codec traffic never left the parent legitimately records
+            # payload_bytes == 0.
+            if run["payload_bytes"] > 0:
+                if not run["payload_bytes"] < run["wire_bytes_sent"]:
+                    fail(path, f"{where}: payload_bytes "
+                               f"{run['payload_bytes']} not below "
+                               f"wire_bytes_sent {run['wire_bytes_sent']} — "
+                               "frames did not cross a real wire")
             if run["wire_bytes_received"] <= 0:
                 fail(path, f"{where}: wire_bytes_received must be positive")
             rank_runs += 1
-    return (f"{len(doc['scenarios'])} scenarios x {rank_runs} rank runs, "
-            "bitwise identical")
+    if placements != {"parent", "rank"}:
+        fail(path, "tracked record must time BOTH handler placements "
+                   f"(saw {sorted(placements)}) — routing mode and the "
+                   "rank-resident actor runtime")
+    return (f"{len(doc['scenarios'])} scenarios x {rank_runs} rank runs "
+            "across both placements, bitwise identical")
 
 
 def check_faults(path: str, doc: dict) -> str:

@@ -1,0 +1,359 @@
+// Actor-mode rank worker loop (docs/DISTRIBUTED.md §6).
+//
+// In actor placement a rank process is not a byte router: it owns a replica
+// of the NodeActor state for its node slice and EXECUTES the message
+// handlers and choreographed steps locally. Everything externally visible a
+// handler does is captured by `sim::RankActorEnv` as a fixed-layout effect
+// record and shipped home in the ACTOR_DRAINED / ACTOR_STEPPED ledger; the
+// parent replays that ledger in the serial global order against its own
+// meter, fault clock and staging queues, so the accounting stream stays
+// bitwise-identical to the in-process engines while the computation itself
+// runs out here.
+//
+// The loop shares the routing rank's transport skeleton (rank_detail.hpp):
+// serve-framed chunks, fingerprint-verify-before-parse, the D+1-bucket
+// calendar ring with the per-link FIFO clamp, and by-receiver ordering of
+// the due bucket. On top of that it keeps two pieces of protocol state the
+// routing rank never needed:
+//
+//  - a local deferred FIFO holding the raw payload bytes of deliveries the
+//    handler deferred — the parent's deferred-queue model reproduces its
+//    order exactly, entry for entry;
+//  - a mirrored FaultInjector carrying the crash schedule (static windows
+//    from the model at install time; chaos injections arrive per round in
+//    the final ACTOR_ROUND chunk). The rank classifies crash drops with the
+//    mirror so it can skip the handler; the parent re-classifies with the
+//    authoritative clock and asserts agreement.
+#pragma once
+
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <csignal>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "emst/apps/rank_detail.hpp"
+#include "emst/proto/dist_wire.hpp"
+#include "emst/serve/framing.hpp"
+#include "emst/sim/actor.hpp"
+#include "emst/sim/fault.hpp"
+#include "emst/sim/network.hpp"
+#include "emst/sim/wire.hpp"
+#include "emst/support/assert.hpp"
+#include "emst/support/flat_map.hpp"
+
+namespace emst::apps {
+
+/// Everything an actor worker needs from the engine. The spans/pointers
+/// reference the parent's memory, carried into the child as copy-on-write
+/// pages by fork — nothing topology-sized is serialized at spawn.
+template <typename Msg>
+struct ActorRankCtx {
+  int fd = -1;
+  std::size_t rank = 0;
+  std::uint32_t max_extra_delay = 0;
+  std::span<const std::uint32_t> node_rank;  ///< node → owning rank
+  const sim::WireFormat<Msg>* wire = nullptr;
+  bool faulty = false;
+  sim::ActorTestHooks hooks{};
+};
+
+namespace detail {
+
+/// Reconstruct the in-memory delivery from its wire image — the same codec
+/// and size assertion the parent's routing-mode merge applies.
+template <typename Msg>
+[[nodiscard]] inline sim::Delivery<Msg> decode_item(
+    const Item& item, const sim::WireFormat<Msg>& wf) {
+  proto::BitReader r(item.payload);
+  Msg m = proto::DistMsgAdapter<Msg>::decode(r, wf);
+  if constexpr (sim::WireFormat<Msg>::kMeasured) {
+    EMST_ASSERT_MSG(r.bit_count() == item.bits,
+                    "rank decode consumed a different size than accounted");
+  }
+  return {item.from, item.to, std::bit_cast<double>(item.distance_bits),
+          std::move(m)};
+}
+
+}  // namespace detail
+
+/// The child entry point installed by `DistributedNetwork::install_actor`.
+/// Returns the exit status (0 = clean EOF shutdown; rank_detail.hpp codes
+/// otherwise). `actor` is this rank's replica; `mirror` the crash-schedule
+/// mirror described above.
+template <typename Msg, typename Actor>
+int actor_rank_main(const ActorRankCtx<Msg>& ctx, Actor& actor,
+                    sim::FaultInjector& mirror) {
+  serve::FrameBuffer in;
+  std::uint64_t chain = proto::kDistFingerprintSeed;
+
+  // Calendar ring + FIFO clamp: identical to the routing rank. Actor mode is
+  // crash-only by contract (asserted at install), so there are no loss draws.
+  std::vector<std::vector<detail::Item>> buckets(ctx.max_extra_delay + 1);
+  std::size_t head = 0;
+  support::FlatMap64 last_due;
+
+  std::vector<detail::Item> fifo;  ///< deferred deliveries, local FIFO order
+  std::vector<std::uint32_t> steplist;  ///< accumulated step wire list
+  sim::RankActorEnv<Msg> env(*ctx.wire);
+
+  std::vector<std::uint8_t> rdbuf(1 << 16);
+  std::vector<std::uint8_t> body;
+  std::vector<std::uint32_t> order, recv_slot, touched;
+  serve::Frame frame;
+
+  const bool kill_armed = ctx.hooks.kill_rank == ctx.rank;
+  auto is_local = [&ctx](std::uint32_t u) {
+    return ctx.node_rank[u] == ctx.rank;
+  };
+
+  for (;;) {
+    // -- Receive one frame (blocking; EOF = clean shutdown) ------------------
+    while (!in.next(frame)) {
+      if (in.corrupt()) return detail::kExitCorrupt;
+      const ssize_t n = ::read(ctx.fd, rdbuf.data(), rdbuf.size());
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return 0;
+      }
+      if (n == 0) return 0;
+      in.feed(rdbuf.data(), static_cast<std::size_t>(n));
+    }
+    if (frame.version != proto::kDistProtocolVersion)
+      return detail::kExitBadFrame;
+    const std::vector<std::uint8_t>& p = frame.payload;
+    if (p.size() < proto::kDistFrameFixedBytes + proto::kDistFingerprintBytes)
+      return detail::kExitBadFrame;
+    const std::uint8_t op = p[0];
+    const bool last_chunk = (p[1] & proto::kDistFlagLast) != 0;
+    const std::uint64_t round = proto::dist_get_u64(p.data() + 2);
+
+    // -- Collective fingerprint: verify BEFORE parsing (rank_runner.cpp) -----
+    const std::size_t body_len = p.size() - proto::kDistFingerprintBytes;
+    chain = proto::dist_mix(chain, proto::dist_hash(p.data(), body_len));
+    const std::uint64_t expected = proto::dist_get_u64(p.data() + body_len);
+    if (expected != chain) {
+      body.clear();
+      body.push_back(proto::kDistOpDesync);
+      body.push_back(proto::kDistFlagLast);
+      proto::dist_put_u64(body, round);
+      proto::dist_put_u64(body, expected);
+      proto::dist_put_u64(body, chain);
+      detail::frame_and_send(ctx.fd, body);
+      return detail::kExitDesync;
+    }
+
+    switch (op) {
+      // ---------------------------------------------------------------------
+      case proto::kDistOpActorRound: {
+        // Ingest this chunk's routed messages. Eagerly emitted chunks arrive
+        // while the parent is still replaying the previous round — ingest is
+        // order-insensitive, so overlapping the barrier halves is free.
+        const std::uint32_t count = proto::dist_get_u32(p.data() + 10);
+        std::size_t off = proto::kDistFrameFixedBytes;
+        for (std::uint32_t i = 0; i < count; ++i) {
+          if (off + proto::kDistRoundRecordBytes > body_len)
+            return detail::kExitBadFrame;
+          std::uint64_t due = proto::dist_get_u64(&p[off + 8]);
+          const std::uint32_t from = proto::dist_get_u32(&p[off + 16]);
+          const std::uint32_t to = proto::dist_get_u32(&p[off + 20]);
+          const std::uint64_t distance_bits = proto::dist_get_u64(&p[off + 24]);
+          const std::uint32_t bits = proto::dist_get_u32(&p[off + 32]);
+          const std::uint32_t plen = proto::dist_get_u32(&p[off + 36]);
+          off += proto::kDistRoundRecordBytes;
+          if (off + plen > body_len) return detail::kExitBadFrame;
+          if (ctx.max_extra_delay > 0) {
+            const std::uint64_t key = (static_cast<std::uint64_t>(from) << 32) |
+                                      static_cast<std::uint64_t>(to);
+            const auto slot = last_due.find_or_insert(key, due);
+            if (!slot.inserted) {
+              due = std::max(due, *slot.value);
+              *slot.value = due;
+            }
+          }
+          EMST_ASSERT(due >= round && due - round <= ctx.max_extra_delay);
+          std::size_t idx = head + static_cast<std::size_t>(due - round);
+          if (idx >= buckets.size()) idx -= buckets.size();
+          buckets[idx].push_back(
+              {from, to, distance_bits, bits, false,
+               std::vector<std::uint8_t>(
+                   p.begin() + static_cast<std::ptrdiff_t>(off),
+                   p.begin() + static_cast<std::ptrdiff_t>(off + plen))});
+          off += plen;
+        }
+        if (!last_chunk) break;
+
+        // The final chunk carries the chaos windows injected this round; the
+        // mirror must know them before the due-bucket crash classification.
+        if (off + 4 > body_len) return detail::kExitBadFrame;
+        const std::uint32_t wcount = proto::dist_get_u32(&p[off]);
+        off += 4;
+        for (std::uint32_t i = 0; i < wcount; ++i) {
+          if (off + 20 > body_len) return detail::kExitBadFrame;
+          sim::CrashWindow w;
+          w.node = proto::dist_get_u32(&p[off]);
+          w.from = proto::dist_get_u64(&p[off + 4]);
+          w.until = proto::dist_get_u64(&p[off + 12]);
+          mirror.add_crash_window(w);
+          off += 20;
+        }
+        mirror.advance_to(round);
+
+        // -- Execute the round: retries first (local FIFO order), then the
+        // due bucket in by-receiver order — the exact per-rank projection of
+        // the serial driver's retry-then-batch sweep.
+        actor.on_round_start(round);
+        std::vector<detail::Item> retry = std::move(fifo);
+        fifo = {};
+        detail::begin_chunk(body, proto::kDistOpActorDrained, round);
+        std::uint32_t chunk_count = 0;
+        auto flush_if_needed = [&](std::size_t entry_bytes) {
+          if (body.size() + entry_bytes > proto::kDistMaxChunkBodyBytes) {
+            detail::patch_chunk(body, 0, chunk_count);
+            detail::seal_and_send(ctx.fd, body, chain);
+            detail::begin_chunk(body, proto::kDistOpActorDrained, round);
+            chunk_count = 0;
+          }
+        };
+        auto maybe_kill = [&]() {
+          // Test hook: die mid-round, immediately before a handler runs —
+          // the parent's barrier read must report the death, not hang.
+          if (kill_armed && round >= ctx.hooks.kill_round)
+            std::raise(SIGKILL);
+        };
+        for (detail::Item& item : retry) {
+          maybe_kill();
+          env.begin_entry();
+          const std::uint32_t node = item.to;
+          const sim::Delivery<Msg> d = detail::decode_item(item, *ctx.wire);
+          actor.on_message(d, env);
+          const bool redeferred = env.deferred();
+          flush_if_needed(proto::kDistEntryRetryFixedBytes +
+                          env.effects().size());
+          body.push_back(proto::kDistEntryRetry);
+          proto::dist_put_u32(body, node);
+          body.push_back(redeferred ? 1 : 0);
+          proto::dist_put_u16(body, env.effect_count());
+          body.insert(body.end(), env.effects().begin(), env.effects().end());
+          ++chunk_count;
+          if (redeferred) fifo.push_back(std::move(item));
+        }
+        std::vector<detail::Item>& bucket = buckets[head];
+        head = head + 1 == buckets.size() ? 0 : head + 1;
+        detail::order_by_receiver(bucket, order, recv_slot, touched);
+        for (std::size_t i = 0; i < bucket.size(); ++i) {
+          detail::Item& item = bucket[order[i]];
+          std::uint8_t status = proto::kDistDeliveryDispatched;
+          env.begin_entry();
+          if (ctx.faulty && mirror.crashed(item.to)) {
+            // Receiver is down at the mirror clock: no handler runs, the
+            // entry ships with zero effects and the parent emits the drop
+            // event at this entry's merge position.
+            status = proto::kDistDeliveryCrashDropped;
+          } else {
+            maybe_kill();
+            const sim::Delivery<Msg> d = detail::decode_item(item, *ctx.wire);
+            actor.on_message(d, env);
+            if (env.deferred()) status = proto::kDistDeliveryDeferred;
+          }
+          flush_if_needed(proto::kDistEntryDeliveryFixedBytes +
+                          env.effects().size());
+          body.push_back(proto::kDistEntryDelivery);
+          proto::dist_put_u32(body, item.from);
+          proto::dist_put_u32(body, item.to);
+          proto::dist_put_u64(body, item.distance_bits);
+          proto::dist_put_u32(body, item.bits);
+          body.push_back(status);
+          proto::dist_put_u16(body, env.effect_count());
+          body.insert(body.end(), env.effects().begin(), env.effects().end());
+          ++chunk_count;
+          if (status == proto::kDistDeliveryDeferred)
+            fifo.push_back(std::move(item));
+        }
+        bucket.clear();
+        detail::patch_chunk(body, proto::kDistFlagLast, chunk_count);
+        detail::seal_and_send(ctx.fd, body, chain);
+        break;
+      }
+      // ---------------------------------------------------------------------
+      case proto::kDistOpActorStep: {
+        if (body_len < proto::kDistStepFixedBytes) return detail::kExitBadFrame;
+        const std::uint8_t kind = p[10];
+        const std::uint64_t param = proto::dist_get_u64(p.data() + 11);
+        const std::uint64_t fault_round = proto::dist_get_u64(p.data() + 19);
+        const std::uint32_t count = proto::dist_get_u32(p.data() + 27);
+        std::size_t off = proto::kDistStepFixedBytes;
+        if (off + static_cast<std::size_t>(count) * 4 > body_len)
+          return detail::kExitBadFrame;
+        for (std::uint32_t i = 0; i < count; ++i) {
+          steplist.push_back(proto::dist_get_u32(&p[off]));
+          off += 4;
+        }
+        if (!last_chunk) break;
+        mirror.advance_to(fault_round);
+        // An epoch restart resets the deferred model on both sides.
+        if (kind == proto::kDistStepRestart) fifo.clear();
+        detail::begin_chunk(body, proto::kDistOpActorStepped, round);
+        std::uint32_t chunk_count = 0;
+        auto emit = [&](std::uint32_t u, std::uint8_t flag) {
+          const std::size_t bytes =
+              proto::kDistStepGroupFixedBytes + env.effects().size();
+          if (body.size() + bytes > proto::kDistMaxChunkBodyBytes) {
+            detail::patch_chunk(body, 0, chunk_count);
+            detail::seal_and_send(ctx.fd, body, chain);
+            detail::begin_chunk(body, proto::kDistOpActorStepped, round);
+            chunk_count = 0;
+          }
+          proto::dist_put_u32(body, u);
+          body.push_back(flag);
+          proto::dist_put_u16(body, env.effect_count());
+          body.insert(body.end(), env.effects().begin(), env.effects().end());
+          ++chunk_count;
+        };
+        actor.step(kind, param, std::span<const std::uint32_t>(steplist),
+                   mirror, ctx.faulty, is_local, env, emit);
+        steplist.clear();
+        detail::patch_chunk(body, proto::kDistFlagLast, chunk_count);
+        detail::seal_and_send(ctx.fd, body, chain);
+        break;
+      }
+      // ---------------------------------------------------------------------
+      case proto::kDistOpActorHarvest: {
+        detail::begin_chunk(body, proto::kDistOpActorHarvested, round);
+        std::uint32_t chunk_count = 0;
+        for (std::uint32_t u = 0;
+             u < static_cast<std::uint32_t>(ctx.node_rank.size()); ++u) {
+          if (!is_local(u)) continue;
+          proto::BitWriter w;
+          actor.encode_node(u, w);
+          const std::vector<std::uint8_t>& img = w.bytes();
+          // +8 keeps room for the trailing invocation counter, which must
+          // ride the final chunk.
+          if (body.size() + proto::kDistHarvestNodeFixedBytes + img.size() + 8 >
+              proto::kDistMaxChunkBodyBytes) {
+            detail::patch_chunk(body, 0, chunk_count);
+            detail::seal_and_send(ctx.fd, body, chain);
+            detail::begin_chunk(body, proto::kDistOpActorHarvested, round);
+            chunk_count = 0;
+          }
+          proto::dist_put_u32(body, u);
+          proto::dist_put_u32(body, static_cast<std::uint32_t>(img.size()));
+          body.insert(body.end(), img.begin(), img.end());
+          ++chunk_count;
+        }
+        proto::dist_put_u64(body, actor.invocations());
+        detail::patch_chunk(body, proto::kDistFlagLast, chunk_count);
+        detail::seal_and_send(ctx.fd, body, chain);
+        break;
+      }
+      default:
+        return detail::kExitBadFrame;
+    }
+  }
+}
+
+}  // namespace emst::apps

@@ -1,0 +1,152 @@
+// Shared plumbing for the rank worker loops (routing mode: rank_runner.cpp;
+// actor mode: actor_rank.hpp). A rank, in either placement, speaks the same
+// dist frame protocol: serve-framed chunks with a collective-fingerprint
+// trailer, a calendar ring keyed by due round, and by-receiver ordering of
+// the due bucket. These helpers are the placement-independent half.
+#pragma once
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdint>
+#include <vector>
+
+#include "emst/proto/dist_wire.hpp"
+#include "emst/serve/framing.hpp"
+
+namespace emst::apps::detail {
+
+static_assert(proto::kDistMaxFramePayloadBytes == serve::kMaxFramePayloadBytes,
+              "dist chunk budget must match the serve frame cap");
+
+// Child exit codes beyond 0 (clean EOF). The parent reports these verbatim
+// in its teardown diagnostic, so keep them distinct per failure mode.
+inline constexpr int kExitDesync = 3;    // fingerprint mismatch (after reporting)
+inline constexpr int kExitCorrupt = 4;   // FrameBuffer latched corrupt
+inline constexpr int kExitBadFrame = 5;  // wrong version / opcode / truncated body
+
+/// One ingested message waiting in the rank's calendar ring. Distance rides
+/// as its raw bit image — the rank orders by receiver only and never does
+/// float arithmetic, so nothing here can perturb the parent's accounting.
+struct Item {
+  std::uint32_t from;
+  std::uint32_t to;
+  std::uint64_t distance_bits;
+  std::uint32_t bits;
+  bool lost;
+  std::vector<std::uint8_t> payload;
+};
+
+inline bool write_all(int fd, const std::uint8_t* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += static_cast<std::size_t>(n);
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+inline void frame_and_send(int fd, const std::vector<std::uint8_t>& body) {
+  std::vector<std::uint8_t> out;
+  out.reserve(serve::kFrameHeaderBytes + body.size());
+  out.push_back(static_cast<std::uint8_t>(proto::kDistProtocolVersion >> 8));
+  out.push_back(static_cast<std::uint8_t>(proto::kDistProtocolVersion));
+  const auto len = static_cast<std::uint32_t>(body.size());
+  out.push_back(static_cast<std::uint8_t>(len >> 24));
+  out.push_back(static_cast<std::uint8_t>(len >> 16));
+  out.push_back(static_cast<std::uint8_t>(len >> 8));
+  out.push_back(static_cast<std::uint8_t>(len));
+  out.insert(out.end(), body.begin(), body.end());
+  (void)write_all(fd, out.data(), out.size());
+}
+
+/// Same three-strategy by-receiver ordering as the in-process engines
+/// (Network / ShardedNetwork drain_by_receiver): append order within the
+/// bucket is global sequence order, so a stable by-receiver order yields
+/// the (receiver, sequence) contract for this rank's slice.
+inline constexpr std::size_t kSmallBucket = 48;
+
+inline void order_by_receiver(const std::vector<Item>& bucket,
+                              std::vector<std::uint32_t>& order,
+                              std::vector<std::uint32_t>& recv_slot,
+                              std::vector<std::uint32_t>& touched) {
+  const std::size_t b = bucket.size();
+  order.resize(b);
+  bool in_order = true;
+  for (std::size_t i = 1; i < b; ++i) {
+    if (bucket[i - 1].to > bucket[i].to) {
+      in_order = false;
+      break;
+    }
+  }
+  if (in_order) {
+    for (std::size_t i = 0; i < b; ++i)
+      order[i] = static_cast<std::uint32_t>(i);
+    return;
+  }
+  if (b <= kSmallBucket) {
+    for (std::size_t i = 0; i < b; ++i)
+      order[i] = static_cast<std::uint32_t>(i);
+    std::stable_sort(order.begin(), order.end(),
+                     [&bucket](std::uint32_t a, std::uint32_t c) {
+                       return bucket[a].to < bucket[c].to;
+                     });
+    return;
+  }
+  // Counting scatter over the receivers this bucket touches (the rank does
+  // not know node_count, so the slot table is sized by the max receiver).
+  std::uint32_t max_to = 0;
+  for (const Item& item : bucket) max_to = std::max(max_to, item.to);
+  if (recv_slot.size() <= max_to) recv_slot.resize(max_to + 1, 0);
+  touched.clear();
+  for (const Item& item : bucket) {
+    if (recv_slot[item.to]++ == 0) touched.push_back(item.to);
+  }
+  std::sort(touched.begin(), touched.end());
+  std::uint32_t offset = 0;
+  for (const std::uint32_t r : touched) {
+    const std::uint32_t count = recv_slot[r];
+    recv_slot[r] = offset;
+    offset += count;
+  }
+  for (std::size_t i = 0; i < b; ++i)
+    order[recv_slot[bucket[i].to]++] = static_cast<std::uint32_t>(i);
+  for (const std::uint32_t r : touched) recv_slot[r] = 0;
+}
+
+/// Start a chunk body for any round-scoped opcode; flags and count (bytes
+/// 1 and 10..13) are patched at finish.
+inline void begin_chunk(std::vector<std::uint8_t>& body, std::uint8_t opcode,
+                        std::uint64_t round) {
+  body.clear();
+  body.push_back(opcode);
+  body.push_back(0);  // flags, patched at finish
+  proto::dist_put_u64(body, round);
+  proto::dist_put_u32(body, 0);  // count, patched at finish
+}
+
+inline void patch_chunk(std::vector<std::uint8_t>& body, std::uint8_t flags,
+                        std::uint32_t count) {
+  body[1] = flags;
+  body[10] = static_cast<std::uint8_t>(count >> 24);
+  body[11] = static_cast<std::uint8_t>(count >> 16);
+  body[12] = static_cast<std::uint8_t>(count >> 8);
+  body[13] = static_cast<std::uint8_t>(count);
+}
+
+/// Mix the finished chunk into the collective chain, append the trailer and
+/// put it on the wire — the send half every rank reply shares.
+inline void seal_and_send(int fd, std::vector<std::uint8_t>& body,
+                          std::uint64_t& chain) {
+  chain = proto::dist_mix(chain, proto::dist_hash(body.data(), body.size()));
+  proto::dist_put_u64(body, chain);
+  frame_and_send(fd, body);
+}
+
+}  // namespace emst::apps::detail

@@ -1,13 +1,12 @@
 #include "emst/apps/rank_runner.hpp"
 
-#include <sys/socket.h>
 #include <unistd.h>
 
-#include <algorithm>
 #include <cerrno>
 #include <cstdint>
 #include <vector>
 
+#include "emst/apps/rank_detail.hpp"
 #include "emst/proto/dist_wire.hpp"
 #include "emst/serve/framing.hpp"
 #include "emst/sim/fault.hpp"
@@ -15,130 +14,8 @@
 #include "emst/support/flat_map.hpp"
 
 namespace emst::apps {
-namespace {
 
-static_assert(proto::kDistMaxFramePayloadBytes == serve::kMaxFramePayloadBytes,
-              "dist chunk budget must match the serve frame cap");
-
-// Child exit codes beyond 0 (clean EOF). The parent reports these verbatim
-// in its teardown diagnostic, so keep them distinct per failure mode.
-constexpr int kExitDesync = 3;     // fingerprint mismatch (after reporting)
-constexpr int kExitCorrupt = 4;    // FrameBuffer latched corrupt
-constexpr int kExitBadFrame = 5;   // wrong version / opcode / truncated body
-
-/// One ingested message waiting in the rank's calendar ring. Distance rides
-/// as its raw bit image — the rank orders by receiver only and never does
-/// float arithmetic, so nothing here can perturb the parent's accounting.
-struct Item {
-  std::uint32_t from;
-  std::uint32_t to;
-  std::uint64_t distance_bits;
-  std::uint32_t bits;
-  bool lost;
-  std::vector<std::uint8_t> payload;
-};
-
-bool write_all(int fd, const std::uint8_t* data, std::size_t len) {
-  while (len > 0) {
-    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    data += static_cast<std::size_t>(n);
-    len -= static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-void frame_and_send(int fd, const std::vector<std::uint8_t>& body) {
-  std::vector<std::uint8_t> out;
-  out.reserve(serve::kFrameHeaderBytes + body.size());
-  out.push_back(static_cast<std::uint8_t>(proto::kDistProtocolVersion >> 8));
-  out.push_back(static_cast<std::uint8_t>(proto::kDistProtocolVersion));
-  const auto len = static_cast<std::uint32_t>(body.size());
-  out.push_back(static_cast<std::uint8_t>(len >> 24));
-  out.push_back(static_cast<std::uint8_t>(len >> 16));
-  out.push_back(static_cast<std::uint8_t>(len >> 8));
-  out.push_back(static_cast<std::uint8_t>(len));
-  out.insert(out.end(), body.begin(), body.end());
-  (void)write_all(fd, out.data(), out.size());
-}
-
-/// Same three-strategy by-receiver ordering as the in-process engines
-/// (Network / ShardedNetwork drain_by_receiver): append order within the
-/// bucket is global sequence order, so a stable by-receiver order yields
-/// the (receiver, sequence) contract for this rank's slice.
-constexpr std::size_t kSmallBucket = 48;
-
-void order_by_receiver(const std::vector<Item>& bucket,
-                       std::vector<std::uint32_t>& order,
-                       std::vector<std::uint32_t>& recv_slot,
-                       std::vector<std::uint32_t>& touched) {
-  const std::size_t b = bucket.size();
-  order.resize(b);
-  bool in_order = true;
-  for (std::size_t i = 1; i < b; ++i) {
-    if (bucket[i - 1].to > bucket[i].to) {
-      in_order = false;
-      break;
-    }
-  }
-  if (in_order) {
-    for (std::size_t i = 0; i < b; ++i)
-      order[i] = static_cast<std::uint32_t>(i);
-    return;
-  }
-  if (b <= kSmallBucket) {
-    for (std::size_t i = 0; i < b; ++i)
-      order[i] = static_cast<std::uint32_t>(i);
-    std::stable_sort(order.begin(), order.end(),
-                     [&bucket](std::uint32_t a, std::uint32_t c) {
-                       return bucket[a].to < bucket[c].to;
-                     });
-    return;
-  }
-  // Counting scatter over the receivers this bucket touches (the rank does
-  // not know node_count, so the slot table is sized by the max receiver).
-  std::uint32_t max_to = 0;
-  for (const Item& item : bucket) max_to = std::max(max_to, item.to);
-  if (recv_slot.size() <= max_to) recv_slot.resize(max_to + 1, 0);
-  touched.clear();
-  for (const Item& item : bucket) {
-    if (recv_slot[item.to]++ == 0) touched.push_back(item.to);
-  }
-  std::sort(touched.begin(), touched.end());
-  std::uint32_t offset = 0;
-  for (const std::uint32_t r : touched) {
-    const std::uint32_t count = recv_slot[r];
-    recv_slot[r] = offset;
-    offset += count;
-  }
-  for (std::size_t i = 0; i < b; ++i)
-    order[recv_slot[bucket[i].to]++] = static_cast<std::uint32_t>(i);
-  for (const std::uint32_t r : touched) recv_slot[r] = 0;
-}
-
-/// Start a ROUND/DRAINED chunk body; count (bytes 10..13) is patched later.
-void begin_chunk(std::vector<std::uint8_t>& body, std::uint8_t opcode,
-                 std::uint64_t round) {
-  body.clear();
-  body.push_back(opcode);
-  body.push_back(0);  // flags, patched at finish
-  proto::dist_put_u64(body, round);
-  proto::dist_put_u32(body, 0);  // count, patched at finish
-}
-
-void patch_chunk(std::vector<std::uint8_t>& body, std::uint8_t flags,
-                 std::uint32_t count) {
-  body[1] = flags;
-  body[10] = static_cast<std::uint8_t>(count >> 24);
-  body[11] = static_cast<std::uint8_t>(count >> 16);
-  body[12] = static_cast<std::uint8_t>(count >> 8);
-  body[13] = static_cast<std::uint8_t>(count);
-}
-
-}  // namespace
+using detail::Item;
 
 int rank_main(int fd, const RankSpec& spec) {
   serve::FrameBuffer in;
@@ -175,7 +52,7 @@ int rank_main(int fd, const RankSpec& spec) {
     while (!last_chunk) {
       // -- Receive one ROUND chunk (blocking; EOF = clean shutdown) --------
       while (!in.next(frame)) {
-        if (in.corrupt()) return kExitCorrupt;
+        if (in.corrupt()) return detail::kExitCorrupt;
         const ssize_t n = ::read(fd, rdbuf.data(), rdbuf.size());
         if (n < 0) {
           if (errno == EINTR) continue;
@@ -184,12 +61,13 @@ int rank_main(int fd, const RankSpec& spec) {
         if (n == 0) return 0;
         in.feed(rdbuf.data(), static_cast<std::size_t>(n));
       }
-      if (frame.version != proto::kDistProtocolVersion) return kExitBadFrame;
+      if (frame.version != proto::kDistProtocolVersion)
+        return detail::kExitBadFrame;
       const std::vector<std::uint8_t>& p = frame.payload;
       if (p.size() <
               proto::kDistFrameFixedBytes + proto::kDistFingerprintBytes ||
           p[0] != proto::kDistOpRound) {
-        return kExitBadFrame;
+        return detail::kExitBadFrame;
       }
       last_chunk = (p[1] & proto::kDistFlagLast) != 0;
       round = proto::dist_get_u64(p.data() + 2);
@@ -209,8 +87,8 @@ int rank_main(int fd, const RankSpec& spec) {
         proto::dist_put_u64(body, round);
         proto::dist_put_u64(body, expected);
         proto::dist_put_u64(body, chain);
-        frame_and_send(fd, body);
-        return kExitDesync;
+        detail::frame_and_send(fd, body);
+        return detail::kExitDesync;
       }
 
       // -- Ingest this chunk's routed messages into the calendar ring ------
@@ -218,7 +96,7 @@ int rank_main(int fd, const RankSpec& spec) {
       std::size_t off = proto::kDistFrameFixedBytes;
       for (std::uint32_t i = 0; i < count; ++i) {
         if (off + proto::kDistRoundRecordBytes > body_len)
-          return kExitBadFrame;
+          return detail::kExitBadFrame;
         const std::uint64_t seq = proto::dist_get_u64(&p[off]);
         std::uint64_t due = proto::dist_get_u64(&p[off + 8]);
         const std::uint32_t from = proto::dist_get_u32(&p[off + 16]);
@@ -227,7 +105,7 @@ int rank_main(int fd, const RankSpec& spec) {
         const std::uint32_t bits = proto::dist_get_u32(&p[off + 32]);
         const std::uint32_t plen = proto::dist_get_u32(&p[off + 36]);
         off += proto::kDistRoundRecordBytes;
-        if (off + plen > body_len) return kExitBadFrame;
+        if (off + plen > body_len) return detail::kExitBadFrame;
 
         if (spec.max_extra_delay > 0) {
           const std::uint64_t key = (static_cast<std::uint64_t>(from) << 32) |
@@ -254,21 +132,18 @@ int rank_main(int fd, const RankSpec& spec) {
     // -- Drain the due bucket and reply (every round — this IS the barrier)
     std::vector<Item>& bucket = buckets[head];
     head = head + 1 == buckets.size() ? 0 : head + 1;
-    order_by_receiver(bucket, order, recv_slot, touched);
+    detail::order_by_receiver(bucket, order, recv_slot, touched);
 
-    begin_chunk(body, proto::kDistOpDrained, round);
+    detail::begin_chunk(body, proto::kDistOpDrained, round);
     std::uint32_t chunk_count = 0;
     for (std::size_t i = 0; i < bucket.size(); ++i) {
       const Item& item = bucket[order[i]];
       const std::size_t rec =
           proto::kDistDrainedRecordBytes + item.payload.size();
       if (body.size() + rec > proto::kDistMaxChunkBodyBytes) {
-        patch_chunk(body, 0, chunk_count);
-        chain =
-            proto::dist_mix(chain, proto::dist_hash(body.data(), body.size()));
-        proto::dist_put_u64(body, chain);
-        frame_and_send(fd, body);
-        begin_chunk(body, proto::kDistOpDrained, round);
+        detail::patch_chunk(body, 0, chunk_count);
+        detail::seal_and_send(fd, body, chain);
+        detail::begin_chunk(body, proto::kDistOpDrained, round);
         chunk_count = 0;
       }
       proto::dist_put_u32(body, item.from);
@@ -282,10 +157,8 @@ int rank_main(int fd, const RankSpec& spec) {
       ++chunk_count;
     }
     bucket.clear();
-    patch_chunk(body, proto::kDistFlagLast, chunk_count);
-    chain = proto::dist_mix(chain, proto::dist_hash(body.data(), body.size()));
-    proto::dist_put_u64(body, chain);
-    frame_and_send(fd, body);
+    detail::patch_chunk(body, proto::kDistFlagLast, chunk_count);
+    detail::seal_and_send(fd, body, chain);
   }
 }
 

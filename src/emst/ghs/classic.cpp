@@ -3,9 +3,8 @@
 #include "emst/ghs/classic.hpp"
 
 #include <algorithm>
-#include <unordered_map>
-#include <variant>
 
+#include "emst/ghs/classic_actor.hpp"
 #include "emst/sim/distributed_network.hpp"
 #include "emst/sim/engine_factory.hpp"
 #include "emst/sim/implicit_topology.hpp"
@@ -17,58 +16,26 @@
 namespace emst::ghs {
 namespace {
 
-// ---------------------------------------------------------------------------
-// Message types (Gallager, Humblet & Spira 1983, §3) — the wire structs and
-// their codecs live in the proto layer; fragment names are edge indices of
-// the core edge, levels are integers.
-// ---------------------------------------------------------------------------
-
-using NodeState = proto::GhsNodeState;
-enum class EdgeState : std::uint8_t { kBasic, kBranch, kRejected };
-
-using Connect = proto::GhsConnect;
-using Initiate = proto::GhsInitiate;
-using Test = proto::GhsTest;
-using Accept = proto::GhsAccept;
-using Reject = proto::GhsReject;
-using Report = proto::GhsReport;
-using ChangeRoot = proto::GhsChangeRoot;
-using Announce = proto::GhsAnnounce;
 using GhsMsg = proto::GhsMsg;
 
-constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
-constexpr EdgeIndex kNoFragName = static_cast<EdgeIndex>(-1);
-
 // ---------------------------------------------------------------------------
-// Per-node protocol state. Edges are addressed by "slot": the position in
-// the node's radius-filtered neighbor span (ascending weight), which makes
-// "minimum-weight basic edge" a linear scan from slot 0.
+// The protocol driver, templated on the network engine so the calendar-
+// queue `sim::Network` and the `sim::ReferenceNetwork` oracle execute the
+// EXACT same protocol code — any divergence (accounting, telemetry stream,
+// tree) is an engine bug, not a driver difference. Also templated on the
+// topology backend: fragment names are canonical edge indices, which the
+// implicit backend serves from its edge-rank table (built up front by
+// `prepare_edge_indices`), so the wire traffic is identical either way.
+//
+// Since the node-actor refactor the handlers themselves live in
+// `ClassicGhsActor` (classic_actor.hpp); this driver owns the choreography
+// — wakeups, the round loop, the deferred queue, fail-stop epochs — and the
+// env that turns handler actions into engine calls. On the distributed
+// engine the actor is installed INSIDE the rank processes and the driver
+// replays the effect ledger instead (run_distributed below); every other
+// engine dispatches the same actor serially.
 // ---------------------------------------------------------------------------
 
-struct NodeCtx {
-  NodeState state = NodeState::kSleeping;
-  std::uint32_t level = 0;
-  EdgeIndex frag = kNoFragName;       // undefined until first Initiate
-  std::vector<EdgeState> edge_state;  // per neighbor slot
-  std::size_t best_slot = kNoSlot;    // candidate MOE (local slot)
-  std::uint64_t best_edge = kInfEdge; // its global edge index
-  std::size_t test_slot = kNoSlot;    // slot currently under TEST
-  std::size_t in_branch = kNoSlot;    // slot toward the core
-  std::uint32_t find_count = 0;
-  bool halted = false;
-  /// kCachedConfirm: last fragment name each neighbor announced. Names are
-  /// globally unique over time (a core edge can core only once), so a cache
-  /// hit equal to the node's own name proves the edge internal forever.
-  std::unordered_map<NodeId, EdgeIndex> cache;
-};
-
-/// The protocol driver, templated on the network engine so the calendar-
-/// queue `sim::Network` and the `sim::ReferenceNetwork` oracle execute the
-/// EXACT same protocol code — any divergence (accounting, telemetry stream,
-/// tree) is an engine bug, not a driver difference. Also templated on the
-/// topology backend: fragment names are canonical edge indices, which the
-/// implicit backend serves from its edge-rank table (built up front by
-/// `prepare_edge_indices`), so the wire traffic is identical either way.
 template <typename Engine, typename Topo>
 class ClassicGhsRun {
  public:
@@ -81,7 +48,7 @@ class ClassicGhsRun {
                                       options.delays, options.faults,
                                       options.telemetry, options.threads,
                                       options.ranks)),
-        nodes_(topo.node_count()),
+        actor_(topo, radius_, moe_),
         starters_(options.spontaneous_wakeups),
         faulty_(options.faults.enabled()) {
     EMST_ASSERT(radius_ <= topo.max_radius() * (1.0 + 1e-12));
@@ -108,19 +75,66 @@ class ClassicGhsRun {
     if (options.track_per_node_energy)
       net_.meter().enable_per_node(topo.node_count());
     if (options.record_breakdown) net_.meter().enable_breakdown();
-    for (NodeId u = 0; u < topo_.node_count(); ++u) {
-      nodes_[u].edge_state.assign(neighbors(u).size(), EdgeState::kBasic);
-    }
   }
 
   MstRunResult run() {
+    if constexpr (sim::DistributedEngine<Engine>) {
+      return run_distributed();
+    } else {
+      return run_serial();
+    }
+  }
+
+ private:
+  using Actor = ClassicGhsActor<Topo>;
+  using Delivery = sim::Delivery<GhsMsg>;
+
+  /// The serial env: handler actions become immediate engine calls, in the
+  /// exact statement order of the pre-actor inline driver (tally, then
+  /// telemetry context, then the charge+enqueue) — byte-identical meter and
+  /// telemetry streams.
+  struct SerialEnv {
+    ClassicGhsRun* run;
+
+    void unicast(NodeId u, NodeId to, sim::MsgKind kind, std::uint8_t dtag,
+                 std::uint32_t fragment, double reach, GhsMsg msg) {
+      run->tally(static_cast<GhsMsgType>(dtag), reach);
+      run->net_.meter().set_kind(kind);
+      run->net_.meter().set_fragment(fragment);
+      run->net_.unicast(u, to, std::move(msg));
+    }
+    void broadcast(NodeId u, double radius, sim::MsgKind kind,
+                   std::uint8_t dtag, std::uint32_t fragment, GhsMsg msg) {
+      run->tally(static_cast<GhsMsgType>(dtag), radius);
+      run->net_.meter().set_kind(kind);
+      run->net_.meter().set_fragment(fragment);
+      run->net_.broadcast(u, radius, std::move(msg));
+    }
+    void defer(const Delivery& d) { run->deferred_.push_back(d); }
+    void note(std::uint32_t, std::uint64_t) {}
+  };
+
+  /// The replay sink for the distributed path: the engine stages, charges
+  /// and contextualizes each effect itself; the driver only keeps its
+  /// per-type tally, exactly what SerialEnv::unicast/broadcast do first.
+  struct ReplaySink {
+    ClassicGhsRun* run;
+    void on_send(std::uint8_t dtag, double reach) {
+      run->tally(static_cast<GhsMsgType>(dtag), reach);
+    }
+    void on_step_node(NodeId, std::uint8_t) {}
+    void on_note(NodeId, std::uint32_t, std::uint64_t) {}
+  };
+
+  MstRunResult run_serial() {
+    SerialEnv env{this};
     if (starters_.empty()) {
       for (NodeId u = 0; u < topo_.node_count(); ++u) {
-        if (!faulty_ || !net_.faults().crashed(u)) wakeup(u);
+        if (!faulty_ || !net_.faults().crashed(u)) actor_.wakeup(u, env);
       }
     } else {
       for (NodeId u : starters_) {
-        if (!faulty_ || !net_.faults().crashed(u)) wakeup(u);
+        if (!faulty_ || !net_.faults().crashed(u)) actor_.wakeup(u, env);
       }
     }
     // Fail-stop epochs (docs/ROBUSTNESS.md): run the 1983 protocol to
@@ -135,7 +149,7 @@ class ClassicGhsRun {
     std::uint64_t activity = crash_activity();
     const std::size_t max_epochs = faulty_ ? topo_.node_count() + 2 : 1;
     while (true) {
-      run_epoch();
+      run_epoch(env);
       if (!faulty_) break;
       std::vector<char> now_dead = dead_snapshot();
       const std::uint64_t now_activity = crash_activity();
@@ -144,31 +158,102 @@ class ClassicGhsRun {
       activity = now_activity;
       EMST_ASSERT_MSG(++epochs_ <= max_epochs,
                       "classic GHS exceeded fail-stop epoch cap");
-      restart_epoch();
+      restart_epoch(env);
     }
     return harvest();
   }
 
- private:
-  using Delivery = sim::Delivery<GhsMsg>;
+  /// Rank-resident execution (docs/DISTRIBUTED.md §6): the actor is
+  /// installed inside the rank processes, the choreography below mirrors
+  /// run_serial step for step, and every handler runs in the rank that owns
+  /// its receiver — the parent replays the effect ledgers. The fail-stop
+  /// epoch logic is unchanged because the crash clock, the suppressed /
+  /// dropped counters and the stall detection all stay parent-side.
+  MstRunResult run_distributed() {
+    ReplaySink sink{this};
+    net_.install_actor(actor_, faulty_);
+    wakeup_step(sink);
+    std::vector<char> dead = dead_snapshot();
+    std::uint64_t activity = crash_activity();
+    const std::size_t max_epochs = faulty_ ? topo_.node_count() + 2 : 1;
+    while (true) {
+      run_epoch_distributed(sink);
+      if (!faulty_) break;
+      std::vector<char> now_dead = dead_snapshot();
+      const std::uint64_t now_activity = crash_activity();
+      if (now_dead == dead && now_activity == activity) break;  // clean epoch
+      dead = std::move(now_dead);
+      activity = now_activity;
+      EMST_ASSERT_MSG(++epochs_ <= max_epochs,
+                      "classic GHS exceeded fail-stop epoch cap");
+      rounds_ = 0;  // the round cap is per epoch; epochs_ bounds the restarts
+      net_.actor_step(proto::kDistStepRestart, 0, {}, {}, sink);
+      restart_wakeups_.clear();
+      for (NodeId u = 0; u < topo_.node_count(); ++u) {
+        if (!net_.faults().crashed(u)) restart_wakeups_.push_back(u);
+      }
+      net_.actor_step(proto::kDistStepWakeupAll, 0, {}, restart_wakeups_,
+                      sink);
+    }
+    rank_invocations_ = net_.actor_harvest(actor_);
+    return harvest();
+  }
+
+  /// Initial wakeups as a choreographed step: the parent computes the
+  /// global invocation order (its fault clock owns the crash skips), the
+  /// ranks invoke the same set locally via the mirrored clock.
+  void wakeup_step(ReplaySink& sink) {
+    restart_wakeups_.clear();
+    if (starters_.empty()) {
+      for (NodeId u = 0; u < topo_.node_count(); ++u) {
+        if (!faulty_ || !net_.faults().crashed(u))
+          restart_wakeups_.push_back(u);
+      }
+      net_.actor_step(proto::kDistStepWakeupAll, 0, {}, restart_wakeups_,
+                      sink);
+    } else {
+      for (NodeId u : starters_) {
+        if (!faulty_ || !net_.faults().crashed(u))
+          restart_wakeups_.push_back(u);
+      }
+      net_.actor_step(proto::kDistStepWakeupList, 0, starters_,
+                      restart_wakeups_, sink);
+    }
+  }
 
   /// Drive the protocol until quiescence: nothing in flight and nothing
   /// deferred — or, under faults, a stall: nothing in flight and a round of
   /// redispatching the deferred queue changed nothing (every enabler died
   /// with a crashed node; fault-free GHS always keeps an enabling message in
   /// flight, so the stall exit can only fire in fault mode).
-  void run_epoch() {
+  void run_epoch(SerialEnv& env) {
     while (net_.pending() || !deferred_.empty()) {
       EMST_ASSERT_MSG(++rounds_ <= max_rounds_,
                       "classic GHS exceeded round cap");
       auto batch = net_.collect_round();
+      actor_.on_round_start(rounds_);
       // Retry messages deferred in earlier rounds first (they are older).
       auto retry = std::move(deferred_);
       deferred_.clear();
-      for (auto& d : retry) dispatch(d);
-      for (auto& d : batch) dispatch(d);
+      for (auto& d : retry) actor_.on_message(d, env);
+      for (auto& d : batch) actor_.on_message(d, env);
       if (faulty_ && batch.empty() && !net_.pending() &&
           deferred_.size() == retry.size()) {
+        return;  // stalled: only re-deferred messages remain
+      }
+    }
+  }
+
+  /// Same loop against the rank-resident actor: the engine executes the
+  /// retries and the round batch inside the ranks and replays the ledgers;
+  /// the stall condition maps one-to-one onto the round info.
+  void run_epoch_distributed(ReplaySink& sink) {
+    while (net_.pending() || net_.actor_deferred_size() > 0) {
+      EMST_ASSERT_MSG(++rounds_ <= max_rounds_,
+                      "classic GHS exceeded round cap");
+      const sim::ActorRoundInfo info = net_.actor_collect_round(sink);
+      if (faulty_ && info.batch == 0 && !net_.pending() &&
+          info.deferred_after == info.retried) {
         return;  // stalled: only re-deferred messages remain
       }
     }
@@ -191,41 +276,22 @@ class ClassicGhsRun {
     return s.dropped_crashed + s.suppressed;
   }
 
-  /// Discard all protocol state and start over among the survivors. Edges to
-  /// permanently dead neighbors are marked Rejected up front — that is the
-  /// failure detector: after the stall timeout every survivor knows which
-  /// neighbors are gone and runs plain GHS on the survivor subgraph.
-  /// Temporarily crashed nodes keep their edges Basic; probing them drops
-  /// messages, which flags the epoch unclean and forces another restart
-  /// after they recover.
-  void restart_epoch() {
+  /// Serial fail-stop restart: reset the actor (which pre-Rejects edges to
+  /// permanently dead neighbors — the failure detector) and wake the
+  /// survivors. Temporarily crashed nodes keep their edges Basic; probing
+  /// them drops messages, which flags the epoch unclean and forces another
+  /// restart after they recover.
+  void restart_epoch(SerialEnv& env) {
     deferred_.clear();
     rounds_ = 0;  // the round cap is per epoch; epochs_ bounds the restarts
+    actor_.restart(net_.faults());
     for (NodeId u = 0; u < topo_.node_count(); ++u) {
-      NodeCtx& n = nodes_[u];
-      const auto nbs = neighbors(u);
-      n = NodeCtx{};
-      n.edge_state.assign(nbs.size(), EdgeState::kBasic);
-      for (std::size_t i = 0; i < nbs.size(); ++i) {
-        if (net_.faults().crashed_forever(nbs[i].id))
-          n.edge_state[i] = EdgeState::kRejected;
-      }
-    }
-    for (NodeId u = 0; u < topo_.node_count(); ++u) {
-      if (!net_.faults().crashed(u)) wakeup(u);
+      if (!net_.faults().crashed(u)) actor_.wakeup(u, env);
     }
   }
 
   [[nodiscard]] std::span<const graph::Neighbor> neighbors(NodeId u) const {
     return neighbors_within(topo_, u, radius_);
-  }
-
-  [[nodiscard]] std::size_t slot_of(NodeId u, NodeId v) const {
-    return neighbor_slot(topo_, u, v);
-  }
-
-  [[nodiscard]] static GhsMsgType type_of(const GhsMsg& msg) {
-    return proto::type_of(msg);
   }
 
   void tally(GhsMsgType type, double reach) {
@@ -234,236 +300,15 @@ class ClassicGhsRun {
     breakdown_.energy[index] += net_.meter().model().cost(reach);
   }
 
-  void send(NodeId u, std::size_t slot, GhsMsg msg) {
-    const GhsMsgType type = type_of(msg);
-    tally(type, neighbors(u)[slot].w);
-    // Telemetry context rides on the meter: wire type + sender's fragment
-    // name (a core-edge index; kNoFragName == kNoEventNode, so unnamed
-    // nodes emit no fragment field).
-    net_.meter().set_kind(to_msg_kind(type));
-    net_.meter().set_fragment(nodes_[u].frag);
-    net_.unicast(u, neighbors(u)[slot].id, std::move(msg));
-  }
-
-  void defer(const Delivery& d) { deferred_.push_back(d); }
-
-  // --- GHS procedures (numbered as in the 1983 paper) ---------------------
-
-  /// (2) Spontaneous wakeup: mark the minimum-weight edge Branch and send
-  /// CONNECT(0) over it. Isolated nodes halt immediately. After a fail-stop
-  /// restart, edges to dead neighbors are pre-Rejected, so the minimum edge
-  /// is the cheapest surviving one (slot 0 in the fault-free run).
-  void wakeup(NodeId u) {
-    NodeCtx& n = nodes_[u];
-    if (n.state != NodeState::kSleeping) return;
-    n.state = NodeState::kFound;
-    n.level = 0;
-    n.find_count = 0;
-    std::size_t first = kNoSlot;
-    for (std::size_t i = 0; i < n.edge_state.size(); ++i) {
-      if (n.edge_state[i] == EdgeState::kBasic) {
-        first = i;
-        break;
-      }
-    }
-    if (first == kNoSlot) {
-      n.halted = true;  // isolated node (or all neighbors dead)
-      return;
-    }
-    n.edge_state[first] = EdgeState::kBranch;
-    send(u, first, Connect{0});
-  }
-
-  /// (3) Receiving CONNECT(L) on edge j.
-  void on_connect(NodeId u, std::size_t j, const Connect& m, const Delivery& d) {
-    NodeCtx& n = nodes_[u];
-    if (m.level < n.level) {
-      // Absorb the lower-level fragment.
-      n.edge_state[j] = EdgeState::kBranch;
-      send(u, j, Initiate{n.level, n.frag, n.state});
-      if (n.state == NodeState::kFind) ++n.find_count;
-    } else if (n.edge_state[j] == EdgeState::kBasic) {
-      defer(d);  // equal level but j not yet known to be the mutual MOE
-    } else {
-      // Merge: j is the core of the new fragment, named by its edge index.
-      const EdgeIndex core = neighbors(u)[j].edge_index;
-      send(u, j, Initiate{n.level + 1, core, NodeState::kFind});
-    }
-  }
-
-  /// (4) Receiving INITIATE(L, F, S) on edge j.
-  void on_initiate(NodeId u, std::size_t j, const Initiate& m) {
-    NodeCtx& n = nodes_[u];
-    n.level = m.level;
-    const bool renamed = n.frag != m.frag;
-    n.frag = m.frag;
-    // §V-A modification: a node whose fragment name changed announces it to
-    // its whole neighbourhood with one local broadcast.
-    if (moe_ == MoeStrategy::kCachedConfirm && renamed) {
-      tally(GhsMsgType::kAnnounce, radius_);
-      net_.meter().set_kind(sim::MsgKind::kAnnounce);
-      net_.meter().set_fragment(m.frag);
-      net_.broadcast(u, radius_, Announce{m.frag});
-    }
-    n.state = m.state;
-    n.in_branch = j;
-    n.best_slot = kNoSlot;
-    n.best_edge = kInfEdge;
-    for (std::size_t i = 0; i < n.edge_state.size(); ++i) {
-      if (i == j || n.edge_state[i] != EdgeState::kBranch) continue;
-      send(u, i, Initiate{m.level, m.frag, m.state});
-      if (m.state == NodeState::kFind) ++n.find_count;
-    }
-    if (m.state == NodeState::kFind) test(u);
-  }
-
-  /// (5) Procedure test: probe the minimum-weight basic edge. In cached
-  /// mode, edges whose neighbour announced the node's own fragment name are
-  /// rejected for free; the first remaining candidate is still confirmed
-  /// with one TEST (the cache can be stale in the other direction only).
-  void test(NodeId u) {
-    NodeCtx& n = nodes_[u];
-    const auto nbs = neighbors(u);
-    for (std::size_t i = 0; i < n.edge_state.size(); ++i) {
-      if (n.edge_state[i] != EdgeState::kBasic) continue;
-      if (moe_ == MoeStrategy::kCachedConfirm) {
-        const auto hit = n.cache.find(nbs[i].id);
-        if (hit != n.cache.end() && hit->second == n.frag) {
-          n.edge_state[i] = EdgeState::kRejected;  // proven internal, free
-          continue;
-        }
-      }
-      n.test_slot = i;
-      send(u, i, Test{n.level, n.frag});
-      return;
-    }
-    n.test_slot = kNoSlot;
-    report(u);
-  }
-
-  /// (6) Receiving TEST(L, F) on edge j.
-  void on_test(NodeId u, std::size_t j, const Test& m, const Delivery& d) {
-    NodeCtx& n = nodes_[u];
-    if (m.level > n.level) {
-      defer(d);
-      return;
-    }
-    if (m.frag != n.frag) {
-      send(u, j, Accept{});
-      return;
-    }
-    // Same fragment: internal edge.
-    if (n.edge_state[j] == EdgeState::kBasic) n.edge_state[j] = EdgeState::kRejected;
-    if (n.test_slot != j) {
-      send(u, j, Reject{});
-    } else {
-      test(u);  // the edge we were testing is internal; try the next
-    }
-  }
-
-  /// (7) Receiving ACCEPT on edge j.
-  void on_accept(NodeId u, std::size_t j) {
-    NodeCtx& n = nodes_[u];
-    n.test_slot = kNoSlot;
-    const std::uint64_t idx = neighbors(u)[j].edge_index;
-    if (idx < n.best_edge) {
-      n.best_edge = idx;
-      n.best_slot = j;
-    }
-    report(u);
-  }
-
-  /// (8) Receiving REJECT on edge j.
-  void on_reject(NodeId u, std::size_t j) {
-    NodeCtx& n = nodes_[u];
-    if (n.edge_state[j] == EdgeState::kBasic) n.edge_state[j] = EdgeState::kRejected;
-    test(u);
-  }
-
-  /// (9) Procedure report.
-  void report(NodeId u) {
-    NodeCtx& n = nodes_[u];
-    if (n.find_count == 0 && n.test_slot == kNoSlot) {
-      n.state = NodeState::kFound;
-      EMST_ASSERT(n.in_branch != kNoSlot);
-      send(u, n.in_branch, Report{n.best_edge});
-    }
-  }
-
-  /// (10) Receiving REPORT(w) on edge j.
-  void on_report(NodeId u, std::size_t j, const Report& m, const Delivery& d) {
-    NodeCtx& n = nodes_[u];
-    if (j != n.in_branch) {
-      EMST_ASSERT(n.find_count > 0);
-      --n.find_count;
-      if (m.best < n.best_edge) {
-        n.best_edge = m.best;
-        n.best_slot = j;
-      }
-      report(u);
-      return;
-    }
-    // Report arriving over the core edge.
-    if (n.state == NodeState::kFind) {
-      defer(d);
-    } else if (m.best > n.best_edge) {
-      change_root(u);
-    } else if (m.best == kInfEdge && n.best_edge == kInfEdge) {
-      n.halted = true;  // the whole fragment has no outgoing edge: done
-    }
-    // else: the other core node owns the fragment MOE and will change root.
-  }
-
-  /// (11) Procedure change-root.
-  void change_root(NodeId u) {
-    NodeCtx& n = nodes_[u];
-    EMST_ASSERT(n.best_slot != kNoSlot);
-    if (n.edge_state[n.best_slot] == EdgeState::kBranch) {
-      send(u, n.best_slot, ChangeRoot{});
-    } else {
-      send(u, n.best_slot, Connect{n.level});
-      n.edge_state[n.best_slot] = EdgeState::kBranch;
-    }
-  }
-
-  void dispatch(const Delivery& d) {
-    const NodeId u = d.to;
-    const std::size_t j = slot_of(u, d.from);
-    // A sleeping node is awakened by any incoming message (all nodes wake in
-    // round 0 here, but keep the guard for partial-start configurations).
-    if (nodes_[u].state == NodeState::kSleeping) wakeup(u);
-    std::visit(
-        [&](const auto& msg) {
-          using T = std::decay_t<decltype(msg)>;
-          if constexpr (std::is_same_v<T, Connect>) {
-            on_connect(u, j, msg, d);
-          } else if constexpr (std::is_same_v<T, Initiate>) {
-            on_initiate(u, j, msg);
-          } else if constexpr (std::is_same_v<T, Test>) {
-            on_test(u, j, msg, d);
-          } else if constexpr (std::is_same_v<T, Accept>) {
-            on_accept(u, j);
-          } else if constexpr (std::is_same_v<T, Reject>) {
-            on_reject(u, j);
-          } else if constexpr (std::is_same_v<T, Report>) {
-            on_report(u, j, msg, d);
-          } else if constexpr (std::is_same_v<T, Announce>) {
-            nodes_[u].cache[d.from] = msg.frag;
-          } else {
-            change_root(u);
-          }
-        },
-        d.msg);
-  }
-
   MstRunResult harvest() {
+    using EdgeState = typename Actor::EdgeState;
     MstRunResult result;
     std::uint32_t max_level = 0;
     // Collect Branch slots as endpoint edges: a tree edge appears once per
     // endpoint that marked it Branch (usually both), so sort canonically
     // and drop adjacent endpoint duplicates — no global edge list needed.
     for (NodeId u = 0; u < topo_.node_count(); ++u) {
-      const NodeCtx& n = nodes_[u];
+      const typename Actor::NodeCtx& n = actor_.node(u);
       max_level = std::max(max_level, n.level);
       const auto nbs = neighbors(u);
       for (std::size_t i = 0; i < n.edge_state.size(); ++i) {
@@ -491,6 +336,8 @@ class ClassicGhsRun {
     result.fault_stats = net_.fault_stats();
     result.epochs = epochs_;
     result.injected_crashes = net_.faults().injected_schedule();
+    result.handler_invocations = actor_.invocations();
+    result.rank_handler_invocations = rank_invocations_;
     return result;
   }
 
@@ -498,13 +345,15 @@ class ClassicGhsRun {
   double radius_;
   MoeStrategy moe_;
   Engine net_;
-  std::vector<NodeCtx> nodes_;
+  Actor actor_;
   std::vector<NodeId> starters_;
   bool faulty_ = false;
   std::vector<Delivery> deferred_;
+  std::vector<NodeId> restart_wakeups_;
   std::size_t max_rounds_ = 0;
   std::size_t rounds_ = 0;
   std::size_t epochs_ = 1;
+  std::uint64_t rank_invocations_ = 0;
   GhsMessageBreakdown breakdown_;
 };
 

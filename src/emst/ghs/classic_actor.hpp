@@ -1,0 +1,442 @@
+// Classic GHS as a node actor (docs/DISTRIBUTED.md §6).
+//
+// The 1983 protocol's per-node handler logic — the seven message procedures,
+// spontaneous wakeup and the fail-stop reset — extracted out of the driver
+// into a NodeActor so the same handler code runs in two placements:
+//
+//  - serially, inside the driver process, against an env that tallies and
+//    stages each send immediately (all in-process engines, and the
+//    distributed engine's routing mode), byte-identical to the pre-actor
+//    inline driver;
+//  - rank-resident, inside the forked rank that owns the receiving node,
+//    against a `sim::RankActorEnv` that records each send as an effect
+//    ledger record for the parent to replay.
+//
+// Every handler reads and writes ONLY the state of the receiving node (plus
+// the read-only topology); that receiver-locality is the entire correctness
+// argument for rank residency, so keep it when editing: a handler that
+// peeks at another node's state would silently diverge across placements.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "emst/ghs/classic.hpp"
+#include "emst/ghs/common.hpp"
+#include "emst/proto/dist_wire.hpp"
+#include "emst/proto/wire.hpp"
+#include "emst/sim/fault.hpp"
+#include "emst/sim/network.hpp"
+#include "emst/support/assert.hpp"
+
+namespace emst::ghs {
+
+template <typename Topo>
+class ClassicGhsActor {
+ public:
+  using Msg = proto::GhsMsg;
+  using Delivery = sim::Delivery<Msg>;
+  using NodeState = proto::GhsNodeState;
+  enum class EdgeState : std::uint8_t { kBasic, kBranch, kRejected };
+
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+  static constexpr EdgeIndex kNoFragName = static_cast<EdgeIndex>(-1);
+
+  /// Per-node protocol state. Edges are addressed by "slot": the position
+  /// in the node's radius-filtered neighbor span (ascending weight), which
+  /// makes "minimum-weight basic edge" a linear scan from slot 0.
+  struct NodeCtx {
+    NodeState state = NodeState::kSleeping;
+    std::uint32_t level = 0;
+    EdgeIndex frag = kNoFragName;       // undefined until first Initiate
+    std::vector<EdgeState> edge_state;  // per neighbor slot
+    std::size_t best_slot = kNoSlot;    // candidate MOE (local slot)
+    std::uint64_t best_edge = kInfEdge; // its global edge index
+    std::size_t test_slot = kNoSlot;    // slot currently under TEST
+    std::size_t in_branch = kNoSlot;    // slot toward the core
+    std::uint32_t find_count = 0;
+    bool halted = false;
+    /// kCachedConfirm: last fragment name each neighbor announced. Names
+    /// are globally unique over time (a core edge can core only once), so a
+    /// cache hit equal to the node's own name proves the edge internal
+    /// forever.
+    std::unordered_map<NodeId, EdgeIndex> cache;
+  };
+
+  ClassicGhsActor(const Topo& topo, double radius, MoeStrategy moe)
+      : topo_(&topo), radius_(radius), moe_(moe), nodes_(topo.node_count()) {
+    for (NodeId u = 0; u < topo.node_count(); ++u) {
+      nodes_[u].edge_state.assign(neighbors(u).size(), EdgeState::kBasic);
+    }
+  }
+
+  /// Per-round hook of the NodeActor shape. Classic GHS keeps no per-round
+  /// bookkeeping; invoked once per round on every replica either way.
+  void on_round_start(std::uint64_t /*round*/) {}
+
+  /// Dispatch one delivery to its receiver's handler (paper procedure
+  /// numbering in the comments below). The env decides the placement.
+  template <typename Env>
+  void on_message(const Delivery& d, Env& env) {
+    ++invocations_;
+    const NodeId u = d.to;
+    const std::size_t j = slot_of(u, d.from);
+    // A sleeping node is awakened by any incoming message (all nodes wake in
+    // round 0 here, but keep the guard for partial-start configurations).
+    if (nodes_[u].state == NodeState::kSleeping) wakeup_locked(u, env);
+    std::visit(
+        [&](const auto& msg) {
+          using T = std::decay_t<decltype(msg)>;
+          if constexpr (std::is_same_v<T, proto::GhsConnect>) {
+            on_connect(u, j, msg, d, env);
+          } else if constexpr (std::is_same_v<T, proto::GhsInitiate>) {
+            on_initiate(u, j, msg, env);
+          } else if constexpr (std::is_same_v<T, proto::GhsTest>) {
+            on_test(u, j, msg, d, env);
+          } else if constexpr (std::is_same_v<T, proto::GhsAccept>) {
+            on_accept(u, j, env);
+          } else if constexpr (std::is_same_v<T, proto::GhsReject>) {
+            on_reject(u, j, env);
+          } else if constexpr (std::is_same_v<T, proto::GhsReport>) {
+            on_report(u, j, msg, d, env);
+          } else if constexpr (std::is_same_v<T, proto::GhsAnnounce>) {
+            nodes_[u].cache[d.from] = msg.frag;
+          } else {
+            change_root(u, env);
+          }
+        },
+        d.msg);
+  }
+
+  /// (2) Spontaneous wakeup: mark the minimum-weight edge Branch and send
+  /// CONNECT(0) over it. Isolated nodes halt immediately. After a fail-stop
+  /// restart, edges to dead neighbors are pre-Rejected, so the minimum edge
+  /// is the cheapest surviving one (slot 0 in the fault-free run).
+  template <typename Env>
+  void wakeup(NodeId u, Env& env) {
+    ++invocations_;
+    wakeup_locked(u, env);
+  }
+
+  /// Fail-stop reset (docs/ROBUSTNESS.md): discard all protocol state and
+  /// pre-Reject edges to permanently dead neighbors — the modeled
+  /// neighbor-timeout failure detector. The wakeups that start the next
+  /// epoch are the driver's (a choreographed step, not a handler).
+  void restart(const sim::FaultInjector& faults) {
+    for (NodeId u = 0; u < node_count(); ++u) {
+      NodeCtx& n = nodes_[u];
+      const auto nbs = neighbors(u);
+      n = NodeCtx{};
+      n.edge_state.assign(nbs.size(), EdgeState::kBasic);
+      for (std::size_t i = 0; i < nbs.size(); ++i) {
+        if (faults.crashed_forever(nbs[i].id))
+          n.edge_state[i] = EdgeState::kRejected;
+      }
+    }
+  }
+
+  /// Rank-side execution of one choreographed step (actor_rank.hpp). The
+  /// parent ships the step kind; each rank invokes its local share in the
+  /// same order the parent's expected-order walk assumes — ascending node id
+  /// for the whole-network wakeup, the wire list's own order for partial
+  /// starts — and emits one ACTOR_STEPPED group per invocation. Crash skips
+  /// use the rank's mirrored fault clock; the parent asserts the resulting
+  /// group sequence matches its own (authoritative) computation node for
+  /// node.
+  template <typename LocalPred, typename Env, typename Emit>
+  void step(std::uint8_t kind, std::uint64_t /*param*/,
+            std::span<const NodeId> list, const sim::FaultInjector& faults,
+            bool faulty, LocalPred&& is_local, Env& env, Emit&& emit) {
+    switch (kind) {
+      case proto::kDistStepWakeupAll:
+        for (NodeId u = 0; u < node_count(); ++u) {
+          if (!is_local(u)) continue;
+          if (faulty && faults.crashed(u)) continue;
+          env.begin_entry();
+          wakeup(u, env);
+          emit(u, std::uint8_t{0});
+        }
+        break;
+      case proto::kDistStepWakeupList:
+        for (const NodeId u : list) {
+          if (!is_local(u)) continue;
+          if (faulty && faults.crashed(u)) continue;
+          env.begin_entry();
+          wakeup(u, env);
+          emit(u, std::uint8_t{0});
+        }
+        break;
+      case proto::kDistStepRestart:
+        restart(faults);
+        break;
+      default:
+        EMST_ASSERT_MSG(false, "classic GHS actor: unknown step kind");
+    }
+  }
+
+  [[nodiscard]] NodeId node_count() const {
+    return static_cast<NodeId>(nodes_.size());
+  }
+  [[nodiscard]] const NodeCtx& node(NodeId u) const { return nodes_[u]; }
+  [[nodiscard]] std::uint64_t invocations() const { return invocations_; }
+
+  /// Node-state codec for the harvest collective. The announcement cache is
+  /// deliberately not shipped: it is a pure message-saving optimization that
+  /// only influences *future* sends, and harvest runs strictly after
+  /// quiescence — nothing downstream reads it.
+  void encode_node(NodeId u, proto::BitWriter& w) const {
+    const NodeCtx& n = nodes_[u];
+    w.write(static_cast<std::uint64_t>(n.state), 2);
+    w.write(n.level, 32);
+    w.write(static_cast<std::uint32_t>(n.frag), 32);
+    for (const EdgeState e : n.edge_state)
+      w.write(static_cast<std::uint64_t>(e), 2);
+    w.write(slot_image(n.best_slot), 32);
+    w.write(n.best_edge, 64);
+    w.write(slot_image(n.test_slot), 32);
+    w.write(slot_image(n.in_branch), 32);
+    w.write(n.find_count, 32);
+    w.write(n.halted ? 1 : 0, 1);
+  }
+
+  void decode_node(NodeId u, proto::BitReader& r) {
+    NodeCtx& n = nodes_[u];
+    n.state = static_cast<NodeState>(r.read(2));
+    n.level = static_cast<std::uint32_t>(r.read(32));
+    n.frag = static_cast<EdgeIndex>(r.read(32));
+    for (EdgeState& e : n.edge_state) e = static_cast<EdgeState>(r.read(2));
+    n.best_slot = slot_value(static_cast<std::uint32_t>(r.read(32)));
+    n.best_edge = r.read(64);
+    n.test_slot = slot_value(static_cast<std::uint32_t>(r.read(32)));
+    n.in_branch = slot_value(static_cast<std::uint32_t>(r.read(32)));
+    n.find_count = static_cast<std::uint32_t>(r.read(32));
+    n.halted = r.read(1) != 0;
+  }
+
+ private:
+  [[nodiscard]] static std::uint32_t slot_image(std::size_t slot) {
+    return slot == kNoSlot ? 0xFFFFFFFFu : static_cast<std::uint32_t>(slot);
+  }
+  [[nodiscard]] static std::size_t slot_value(std::uint32_t image) {
+    return image == 0xFFFFFFFFu ? kNoSlot : static_cast<std::size_t>(image);
+  }
+
+  [[nodiscard]] std::span<const graph::Neighbor> neighbors(NodeId u) const {
+    return neighbors_within(*topo_, u, radius_);
+  }
+  [[nodiscard]] std::size_t slot_of(NodeId u, NodeId v) const {
+    return neighbor_slot(*topo_, u, v);
+  }
+
+  /// Unicast `msg` over slot `slot` of `u`: the single chokepoint where a
+  /// handler action becomes an env effect (type tally reach = the slot
+  /// weight; telemetry context = wire kind + sender's current fragment).
+  template <typename Env>
+  void send(NodeId u, std::size_t slot, Msg msg, Env& env) {
+    const GhsMsgType type = proto::type_of(msg);
+    const graph::Neighbor& nb = neighbors(u)[slot];
+    env.unicast(u, nb.id, to_msg_kind(type), static_cast<std::uint8_t>(type),
+                static_cast<std::uint32_t>(nodes_[u].frag), nb.w,
+                std::move(msg));
+  }
+
+  template <typename Env>
+  void wakeup_locked(NodeId u, Env& env) {
+    NodeCtx& n = nodes_[u];
+    if (n.state != NodeState::kSleeping) return;
+    n.state = NodeState::kFound;
+    n.level = 0;
+    n.find_count = 0;
+    std::size_t first = kNoSlot;
+    for (std::size_t i = 0; i < n.edge_state.size(); ++i) {
+      if (n.edge_state[i] == EdgeState::kBasic) {
+        first = i;
+        break;
+      }
+    }
+    if (first == kNoSlot) {
+      n.halted = true;  // isolated node (or all neighbors dead)
+      return;
+    }
+    n.edge_state[first] = EdgeState::kBranch;
+    send(u, first, proto::GhsConnect{0}, env);
+  }
+
+  /// (3) Receiving CONNECT(L) on edge j.
+  template <typename Env>
+  void on_connect(NodeId u, std::size_t j, const proto::GhsConnect& m,
+                  const Delivery& d, Env& env) {
+    NodeCtx& n = nodes_[u];
+    if (m.level < n.level) {
+      // Absorb the lower-level fragment.
+      n.edge_state[j] = EdgeState::kBranch;
+      send(u, j, proto::GhsInitiate{n.level, n.frag, n.state}, env);
+      if (n.state == NodeState::kFind) ++n.find_count;
+    } else if (n.edge_state[j] == EdgeState::kBasic) {
+      env.defer(d);  // equal level but j not yet known to be the mutual MOE
+    } else {
+      // Merge: j is the core of the new fragment, named by its edge index.
+      const EdgeIndex core = neighbors(u)[j].edge_index;
+      send(u, j, proto::GhsInitiate{n.level + 1, core, NodeState::kFind}, env);
+    }
+  }
+
+  /// (4) Receiving INITIATE(L, F, S) on edge j.
+  template <typename Env>
+  void on_initiate(NodeId u, std::size_t j, const proto::GhsInitiate& m,
+                   Env& env) {
+    NodeCtx& n = nodes_[u];
+    n.level = m.level;
+    const bool renamed = n.frag != m.frag;
+    n.frag = m.frag;
+    // §V-A modification: a node whose fragment name changed announces it to
+    // its whole neighbourhood with one local broadcast.
+    if (moe_ == MoeStrategy::kCachedConfirm && renamed) {
+      env.broadcast(u, radius_, sim::MsgKind::kAnnounce,
+                    static_cast<std::uint8_t>(GhsMsgType::kAnnounce),
+                    static_cast<std::uint32_t>(m.frag),
+                    Msg{proto::GhsAnnounce{m.frag}});
+    }
+    n.state = m.state;
+    n.in_branch = j;
+    n.best_slot = kNoSlot;
+    n.best_edge = kInfEdge;
+    for (std::size_t i = 0; i < n.edge_state.size(); ++i) {
+      if (i == j || n.edge_state[i] != EdgeState::kBranch) continue;
+      send(u, i, proto::GhsInitiate{m.level, m.frag, m.state}, env);
+      if (m.state == NodeState::kFind) ++n.find_count;
+    }
+    if (m.state == NodeState::kFind) test(u, env);
+  }
+
+  /// (5) Procedure test: probe the minimum-weight basic edge. In cached
+  /// mode, edges whose neighbour announced the node's own fragment name are
+  /// rejected for free; the first remaining candidate is still confirmed
+  /// with one TEST (the cache can be stale in the other direction only).
+  template <typename Env>
+  void test(NodeId u, Env& env) {
+    NodeCtx& n = nodes_[u];
+    const auto nbs = neighbors(u);
+    for (std::size_t i = 0; i < n.edge_state.size(); ++i) {
+      if (n.edge_state[i] != EdgeState::kBasic) continue;
+      if (moe_ == MoeStrategy::kCachedConfirm) {
+        const auto hit = n.cache.find(nbs[i].id);
+        if (hit != n.cache.end() && hit->second == n.frag) {
+          n.edge_state[i] = EdgeState::kRejected;  // proven internal, free
+          continue;
+        }
+      }
+      n.test_slot = i;
+      send(u, i, proto::GhsTest{n.level, n.frag}, env);
+      return;
+    }
+    n.test_slot = kNoSlot;
+    report(u, env);
+  }
+
+  /// (6) Receiving TEST(L, F) on edge j.
+  template <typename Env>
+  void on_test(NodeId u, std::size_t j, const proto::GhsTest& m,
+               const Delivery& d, Env& env) {
+    NodeCtx& n = nodes_[u];
+    if (m.level > n.level) {
+      env.defer(d);
+      return;
+    }
+    if (m.frag != n.frag) {
+      send(u, j, proto::GhsAccept{}, env);
+      return;
+    }
+    // Same fragment: internal edge.
+    if (n.edge_state[j] == EdgeState::kBasic)
+      n.edge_state[j] = EdgeState::kRejected;
+    if (n.test_slot != j) {
+      send(u, j, proto::GhsReject{}, env);
+    } else {
+      test(u, env);  // the edge we were testing is internal; try the next
+    }
+  }
+
+  /// (7) Receiving ACCEPT on edge j.
+  template <typename Env>
+  void on_accept(NodeId u, std::size_t j, Env& env) {
+    NodeCtx& n = nodes_[u];
+    n.test_slot = kNoSlot;
+    const std::uint64_t idx = neighbors(u)[j].edge_index;
+    if (idx < n.best_edge) {
+      n.best_edge = idx;
+      n.best_slot = j;
+    }
+    report(u, env);
+  }
+
+  /// (8) Receiving REJECT on edge j.
+  template <typename Env>
+  void on_reject(NodeId u, std::size_t j, Env& env) {
+    NodeCtx& n = nodes_[u];
+    if (n.edge_state[j] == EdgeState::kBasic)
+      n.edge_state[j] = EdgeState::kRejected;
+    test(u, env);
+  }
+
+  /// (9) Procedure report.
+  template <typename Env>
+  void report(NodeId u, Env& env) {
+    NodeCtx& n = nodes_[u];
+    if (n.find_count == 0 && n.test_slot == kNoSlot) {
+      n.state = NodeState::kFound;
+      EMST_ASSERT(n.in_branch != kNoSlot);
+      send(u, n.in_branch, proto::GhsReport{n.best_edge}, env);
+    }
+  }
+
+  /// (10) Receiving REPORT(w) on edge j.
+  template <typename Env>
+  void on_report(NodeId u, std::size_t j, const proto::GhsReport& m,
+                 const Delivery& d, Env& env) {
+    NodeCtx& n = nodes_[u];
+    if (j != n.in_branch) {
+      EMST_ASSERT(n.find_count > 0);
+      --n.find_count;
+      if (m.best < n.best_edge) {
+        n.best_edge = m.best;
+        n.best_slot = j;
+      }
+      report(u, env);
+      return;
+    }
+    // Report arriving over the core edge.
+    if (n.state == NodeState::kFind) {
+      env.defer(d);
+    } else if (m.best > n.best_edge) {
+      change_root(u, env);
+    } else if (m.best == kInfEdge && n.best_edge == kInfEdge) {
+      n.halted = true;  // the whole fragment has no outgoing edge: done
+    }
+    // else: the other core node owns the fragment MOE and will change root.
+  }
+
+  /// (11) Procedure change-root.
+  template <typename Env>
+  void change_root(NodeId u, Env& env) {
+    NodeCtx& n = nodes_[u];
+    EMST_ASSERT(n.best_slot != kNoSlot);
+    if (n.edge_state[n.best_slot] == EdgeState::kBranch) {
+      send(u, n.best_slot, proto::GhsChangeRoot{}, env);
+    } else {
+      send(u, n.best_slot, proto::GhsConnect{n.level}, env);
+      n.edge_state[n.best_slot] = EdgeState::kBranch;
+    }
+  }
+
+  const Topo* topo_;
+  double radius_;
+  MoeStrategy moe_;
+  std::vector<NodeCtx> nodes_;
+  std::uint64_t invocations_ = 0;
+};
+
+}  // namespace emst::ghs

@@ -102,6 +102,13 @@ struct MstRunResult {
   /// order — replaying them as a static `FaultModel::crashes` schedule
   /// reproduces the adversarial run.
   std::vector<sim::CrashWindow> injected_crashes;
+  /// Execution-placement witnesses (docs/DISTRIBUTED.md §6): handler
+  /// invocations performed by THIS process's actor vs the sum shipped home
+  /// by the rank processes. Serial runs have invocations here and zero in
+  /// the ranks; rank-resident runs the exact inverse — asserted in the
+  /// distributed determinism suite.
+  std::uint64_t handler_invocations = 0;
+  std::uint64_t rank_handler_invocations = 0;
 
   /// The algorithm-independent view (docs/API_TOUR.md). Non-owning: keep
   /// this result alive while using the report.

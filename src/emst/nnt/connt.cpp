@@ -3,9 +3,11 @@
 #include "emst/nnt/connt.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <variant>
 
+#include "emst/nnt/connt_actor.hpp"
 #include "emst/proto/connt_wire.hpp"
 #include "emst/sim/distributed_network.hpp"
 #include "emst/sim/engine_factory.hpp"
@@ -18,20 +20,60 @@
 namespace emst::nnt {
 namespace {
 
-/// Per-node doubling schedule shared by both executions.
-struct ProbePlan {
-  std::size_t max_rounds = 0;
+/// Serial actor env: handler actions become immediate engine calls. The
+/// telemetry context (meter kind) is phase-scoped by the choreography, so
+/// the per-effect kind/fragment parameters are ignored here — exactly the
+/// pre-actor inline behavior.
+template <typename Engine>
+struct SerialConntEnv {
+  Engine* net;
+  CoNntResult* result;
+  std::size_t round = 0;
+  graph::NodeId cur = graph::kNoNode;  ///< node of the running connect step
 
-  ProbePlan(RankScheme scheme, geometry::Point2 p, double n_est) {
-    const double lu = potential_distance(scheme, p);
-    const double m_exact = std::log2(std::max(2.0, n_est * lu * lu));
-    max_rounds = static_cast<std::size_t>(std::max(1.0, std::ceil(m_exact)));
+  void unicast(graph::NodeId u, graph::NodeId to, sim::MsgKind,
+               std::uint8_t, std::uint32_t, double, proto::ConntMsg msg) {
+    net->unicast(u, to, std::move(msg));
   }
+  void broadcast(graph::NodeId u, double radius, sim::MsgKind, std::uint8_t,
+                 std::uint32_t, proto::ConntMsg msg) {
+    net->broadcast(u, radius, std::move(msg));
+  }
+  void defer(const sim::Delivery<proto::ConntMsg>&) {}
+  void note(std::uint32_t a, std::uint64_t b) {
+    const double dist = std::bit_cast<double>(b);
+    result->parent[cur] = a;
+    result->tree.push_back(graph::Edge{cur, a, dist}.canonical());
+    result->max_connect_distance =
+        std::max(result->max_connect_distance, dist);
+    result->max_probe_rounds = std::max(result->max_probe_rounds, round);
+  }
+};
 
-  [[nodiscard]] static double radius(std::size_t round, double n_est) {
-    return std::min(
-        std::sqrt(std::pow(2.0, static_cast<double>(round)) / n_est),
-        std::sqrt(2.0));
+/// Replay sink for the rank-resident execution: the engine stages and
+/// charges effects itself; the driver folds step flags into its
+/// unresolved/searching model and notes into the tree bookkeeping.
+struct DistConntSink {
+  CoNntResult* result;
+  std::vector<graph::NodeId>* out = nullptr;  ///< searching / still_unresolved
+  std::size_t round = 0;
+  bool probe_mode = false;
+
+  void on_send(std::uint8_t, double) {}
+  void on_step_node(graph::NodeId u, std::uint8_t flag) {
+    if (probe_mode) {
+      if (flag == kConntStepSearching) out->push_back(u);
+    } else {
+      if (flag == kConntStepUnresolved) out->push_back(u);
+    }
+  }
+  void on_note(graph::NodeId u, std::uint32_t a, std::uint64_t b) {
+    const double dist = std::bit_cast<double>(b);
+    result->parent[u] = a;
+    result->tree.push_back(graph::Edge{u, a, dist}.canonical());
+    result->max_connect_distance =
+        std::max(result->max_connect_distance, dist);
+    result->max_probe_rounds = std::max(result->max_probe_rounds, round);
   }
 };
 
@@ -65,6 +107,8 @@ CoNntResult run_connt_actor_impl(const Topo& topo,
   if (options.record_breakdown) net.meter().enable_breakdown();
 
   CoNntResult result;
+  ConntActor<Topo> actor(topo, options.scheme, n_est, ctx);
+  std::uint64_t rank_invocations = 0;
 
   // Fail-stop epochs: an epoch excludes the nodes crashed when it starts and
   // runs the full doubling protocol among the rest. If the crashed set ever
@@ -91,83 +135,114 @@ CoNntResult run_connt_actor_impl(const Topo& topo,
     }
   };
   const std::size_t max_epochs = faulty ? n + 2 : 1;
-  while (true) {
-    result.parent.assign(n, graph::kNoNode);
-    result.tree.clear();
-    result.max_probe_rounds = 0;
-    result.max_connect_distance = 0.0;
-    dirty = false;
-    if (faulty) snapshot_excluded();
-    std::vector<graph::NodeId> unresolved;
-    unresolved.reserve(n);
-    for (graph::NodeId u = 0; u < n; ++u) {
-      if (!faulty || excluded[u] == 0) unresolved.push_back(u);
-    }
 
-    for (std::size_t round = 1; !unresolved.empty(); ++round) {
-      // Each doubling round is a protocol phase boundary for the chaos
-      // controller (CrashWaveAtPhaseBoundary keys on this).
-      if (faulty) net.faults().note_phase_boundary();
-      // Phase step 1: every still-searching node broadcasts a REQUEST.
-      net.meter().set_kind(sim::MsgKind::kRequest);
+  if constexpr (sim::DistributedEngine<Engine>) {
+    // Rank-resident execution (docs/DISTRIBUTED.md §6): handlers and step
+    // sweeps run inside the ranks; the choreography below mirrors the
+    // serial branch phase for phase, with each sweep shipped as an
+    // ACTOR_STEP collective and each delivery round as an effect-ledger
+    // exchange. The fault clock, the phase boundaries and the dirty scan
+    // stay parent-side — they own determinism.
+    net.install_actor(actor, faulty);
+    DistConntSink sink{&result};
+    while (true) {
+      result.parent.assign(n, graph::kNoNode);
+      result.tree.clear();
+      result.max_probe_rounds = 0;
+      result.max_connect_distance = 0.0;
+      dirty = false;
+      if (faulty) snapshot_excluded();
+      net.actor_step(proto::kDistStepConntReset, 0, {}, {}, sink);
+      std::vector<graph::NodeId> unresolved;
+      unresolved.reserve(n);
+      for (graph::NodeId u = 0; u < n; ++u) {
+        if (!faulty || excluded[u] == 0) unresolved.push_back(u);
+      }
+
       std::vector<graph::NodeId> searching;
-      for (const graph::NodeId u : unresolved) {
-        const ProbePlan plan(options.scheme, points[u], n_est);
-        if (round > plan.max_rounds) continue;  // top-ranked node: done
-        net.broadcast(u, ProbePlan::radius(round, n_est),
-                      proto::ConntMsg{proto::ConntRequest::from_point(points[u], ctx)});
-        searching.push_back(u);
-      }
-      // Phase step 2: higher-ranked hearers REPLY.
-      net.meter().set_kind(sim::MsgKind::kReply);
-      auto requests = net.collect_round();
-      scan_dirty();
-      for (const auto& d : requests) {
-        EMST_ASSERT(std::holds_alternative<proto::ConntRequest>(d.msg));
-        if (rank_less(options.scheme, points, d.from, d.to)) {
-          net.unicast(d.to, d.from,
-                      proto::ConntMsg{proto::ConntReply::from_point(points[d.to], ctx)});
-        }
-      }
-      // Phase step 3: requesters CONNECT to their nearest replier.
-      struct Best {
-        graph::NodeId node = graph::kNoNode;
-        double distance = 0.0;
-      };
-      std::vector<Best> best(n);
-      auto replies = net.collect_round();
-      scan_dirty();
-      for (const auto& d : replies) {
-        EMST_ASSERT(std::holds_alternative<proto::ConntReply>(d.msg));
-        Best& b = best[d.to];
-        if (b.node == graph::kNoNode || d.distance < b.distance ||
-            (d.distance == b.distance && d.from < b.node)) {
-          b = {d.from, d.distance};
-        }
-      }
-      net.meter().set_kind(sim::MsgKind::kConnection);
       std::vector<graph::NodeId> still_unresolved;
-      for (const graph::NodeId u : searching) {
-        const Best& b = best[u];
-        if (b.node == graph::kNoNode) {
-          still_unresolved.push_back(u);
-          continue;
-        }
-        net.unicast(u, b.node, proto::ConntMsg{proto::ConntConnect{}});
-        result.parent[u] = b.node;
-        result.tree.push_back(graph::Edge{u, b.node, b.distance}.canonical());
-        result.max_connect_distance =
-            std::max(result.max_connect_distance, b.distance);
-        result.max_probe_rounds = std::max(result.max_probe_rounds, round);
+      for (std::size_t round = 1; !unresolved.empty(); ++round) {
+        if (faulty) net.faults().note_phase_boundary();
+        net.meter().set_kind(sim::MsgKind::kRequest);
+        searching.clear();
+        sink.probe_mode = true;
+        sink.out = &searching;
+        sink.round = round;
+        net.actor_step(proto::kDistStepConntProbe, round, {}, unresolved,
+                       sink);
+        net.meter().set_kind(sim::MsgKind::kReply);
+        (void)net.actor_collect_round(sink);  // REQUESTs delivered in-rank
+        scan_dirty();
+        (void)net.actor_collect_round(sink);  // REPLYs delivered in-rank
+        scan_dirty();
+        net.meter().set_kind(sim::MsgKind::kConnection);
+        still_unresolved.clear();
+        sink.probe_mode = false;
+        sink.out = &still_unresolved;
+        net.actor_step(proto::kDistStepConntConnect, 0, {}, searching, sink);
+        (void)net.actor_collect_round(sink);  // drain CONNECT deliveries
+        scan_dirty();
+        unresolved = still_unresolved;
       }
-      (void)net.collect_round();  // drain CONNECT deliveries
-      scan_dirty();
-      unresolved = std::move(still_unresolved);
-    }
 
-    if (!faulty || !dirty) break;
-    EMST_ASSERT_MSG(++result.epochs <= max_epochs,
-                    "Co-NNT exceeded fail-stop epoch cap");
+      if (!faulty || !dirty) break;
+      EMST_ASSERT_MSG(++result.epochs <= max_epochs,
+                      "Co-NNT exceeded fail-stop epoch cap");
+    }
+    rank_invocations = net.actor_harvest(actor);
+  } else {
+    SerialConntEnv<Engine> env{&net, &result};
+    while (true) {
+      result.parent.assign(n, graph::kNoNode);
+      result.tree.clear();
+      result.max_probe_rounds = 0;
+      result.max_connect_distance = 0.0;
+      dirty = false;
+      if (faulty) snapshot_excluded();
+      actor.reset(net.faults(), faulty);
+      std::vector<graph::NodeId> unresolved;
+      unresolved.reserve(n);
+      for (graph::NodeId u = 0; u < n; ++u) {
+        if (!faulty || excluded[u] == 0) unresolved.push_back(u);
+      }
+
+      for (std::size_t round = 1; !unresolved.empty(); ++round) {
+        // Each doubling round is a protocol phase boundary for the chaos
+        // controller (CrashWaveAtPhaseBoundary keys on this).
+        if (faulty) net.faults().note_phase_boundary();
+        // Phase step 1: every still-searching node broadcasts a REQUEST.
+        net.meter().set_kind(sim::MsgKind::kRequest);
+        env.round = round;
+        std::vector<graph::NodeId> searching;
+        for (const graph::NodeId u : unresolved) {
+          if (actor.step_probe(u, round, env) == kConntStepSearching)
+            searching.push_back(u);
+        }
+        // Phase step 2: higher-ranked hearers REPLY.
+        net.meter().set_kind(sim::MsgKind::kReply);
+        auto requests = net.collect_round();
+        scan_dirty();
+        for (const auto& d : requests) actor.on_message(d, env);
+        // Phase step 3: requesters CONNECT to their nearest replier.
+        auto replies = net.collect_round();
+        scan_dirty();
+        for (const auto& d : replies) actor.on_message(d, env);
+        net.meter().set_kind(sim::MsgKind::kConnection);
+        std::vector<graph::NodeId> still_unresolved;
+        for (const graph::NodeId u : searching) {
+          env.cur = u;
+          if (actor.step_connect(u, env) != kConntStepConnected)
+            still_unresolved.push_back(u);
+        }
+        (void)net.collect_round();  // drain CONNECT deliveries
+        scan_dirty();
+        unresolved = std::move(still_unresolved);
+      }
+
+      if (!faulty || !dirty) break;
+      EMST_ASSERT_MSG(++result.epochs <= max_epochs,
+                      "Co-NNT exceeded fail-stop epoch cap");
+    }
   }
 
   graph::sort_edges(result.tree);
@@ -180,6 +255,8 @@ CoNntResult run_connt_actor_impl(const Topo& topo,
     result.breakdown_recorded = true;
   }
   result.telemetry = net.meter().telemetry();
+  result.handler_invocations = actor.invocations();
+  result.rank_handler_invocations = rank_invocations;
   return result;
 }
 

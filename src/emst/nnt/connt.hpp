@@ -56,6 +56,12 @@ struct CoNntResult {
   std::size_t epochs = 1;
   /// Chaos-controller injections, in injection order (replayable).
   std::vector<sim::CrashWindow> injected_crashes;
+  /// Execution-placement witnesses (docs/DISTRIBUTED.md §6): handler/step
+  /// invocations performed by this process's actor vs the sum shipped home
+  /// by the rank processes. Zero/zero on the choreographed fast path (it
+  /// has no actor).
+  std::uint64_t handler_invocations = 0;
+  std::uint64_t rank_handler_invocations = 0;
 
   /// The algorithm-independent view (docs/API_TOUR.md). Non-owning.
   [[nodiscard]] RunReport report() const {

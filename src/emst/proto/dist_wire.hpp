@@ -46,6 +46,19 @@ inline constexpr std::uint8_t kDistOpRound = 1;    ///< parent → rank
 inline constexpr std::uint8_t kDistOpDrained = 2;  ///< rank → parent
 inline constexpr std::uint8_t kDistOpDesync = 3;   ///< rank → parent: abort
 
+/// Actor-mode opcodes (docs/DISTRIBUTED.md §6). In routing mode the ranks
+/// are byte routers and every handler runs in the parent; in actor mode the
+/// handlers themselves run inside the rank that owns the receiving node,
+/// and the rank ships back an *effect ledger* the parent replays. The
+/// opcodes are disjoint from the routing set so a placement mix-up is a
+/// collective desync, not a silent misparse.
+inline constexpr std::uint8_t kDistOpActorRound = 6;      ///< parent → rank
+inline constexpr std::uint8_t kDistOpActorDrained = 7;    ///< rank → parent
+inline constexpr std::uint8_t kDistOpActorStep = 8;       ///< parent → rank
+inline constexpr std::uint8_t kDistOpActorStepped = 9;    ///< rank → parent
+inline constexpr std::uint8_t kDistOpActorHarvest = 10;   ///< parent → rank
+inline constexpr std::uint8_t kDistOpActorHarvested = 11; ///< rank → parent
+
 /// Frame flags (second payload byte). A logical ROUND/DRAINED exchange may
 /// span several physical frames (chunks) when a round's mailbox outgrows
 /// the serve frame cap; the final chunk carries kDistFlagLast. Every chunk
@@ -70,6 +83,83 @@ inline constexpr std::size_t kDistFingerprintBytes = 8;
 inline constexpr std::size_t kDistMaxFramePayloadBytes = std::size_t{1} << 16;
 inline constexpr std::size_t kDistMaxChunkBodyBytes =
     kDistMaxFramePayloadBytes - kDistFingerprintBytes;
+
+// -- Actor effect ledger -----------------------------------------------------
+//
+// When handlers run rank-resident, a handler invocation cannot touch the
+// parent's meter or staging queues directly. Instead the rank records every
+// externally visible thing the handler did as a fixed-layout *effect
+// record*, and the parent replays those records — in the exact order the
+// serial engine would have produced them — against its own meter, fault
+// clock and staging queues. Determinism therefore never depends on the
+// rank's own clocks: the parent remains the single owner of energy
+// accounting, loss/crash fates and telemetry.
+//
+// Effect records (inside a ledger entry):
+//   unicast   tag u8=0 | kind u8 | dtag u8 | fragment u32 | to u32 |
+//             reach u64 (double bit image) | bits u32 | plen u32 | payload
+//   broadcast tag u8=1 | kind u8 | dtag u8 | fragment u32 |
+//             radius u64 (double bit image) | bits u32 | plen u32 | payload
+//   note      tag u8=2 | a u32 | b u64
+//
+// `dtag` is the driver's own message-type index (GhsMsgType for classic
+// GHS; 0 for Co-NNT) so the parent can replay per-type tallies without
+// decoding the payload. `note` is a driver-defined scalar observation
+// (Co-NNT uses it to ship the chosen connection target + its distance).
+inline constexpr std::uint8_t kDistEffectUnicast = 0;
+inline constexpr std::uint8_t kDistEffectBroadcast = 1;
+inline constexpr std::uint8_t kDistEffectNote = 2;
+inline constexpr std::size_t kDistEffectUnicastFixedBytes = 27;
+inline constexpr std::size_t kDistEffectBroadcastFixedBytes = 23;
+inline constexpr std::size_t kDistEffectNoteBytes = 13;
+
+// ACTOR_DRAINED ledger entries (one per handler invocation or crash drop,
+// never straddling a chunk boundary):
+//   retry     tag u8=0 | node u32 | redeferred u8 | neffects u16 | effects
+//   delivery  tag u8=1 | from u32 | to u32 | distance u64 (double bit
+//             image) | bits u32 | status u8 | neffects u16 | effects
+// Retry entries come first, in the rank-local FIFO order (which the parent
+// reproduces from its own deferred-queue model); delivery entries follow in
+// ascending-receiver order, exactly the per-rank order the routing-mode
+// DRAINED records use, so the parent's min-receiver merge is unchanged.
+inline constexpr std::uint8_t kDistEntryRetry = 0;
+inline constexpr std::uint8_t kDistEntryDelivery = 1;
+inline constexpr std::size_t kDistEntryRetryFixedBytes = 8;
+inline constexpr std::size_t kDistEntryDeliveryFixedBytes = 24;
+
+/// Delivery entry statuses. The rank classifies crash drops with its
+/// *mirrored* fault clock; the parent re-classifies with the authoritative
+/// clock and asserts agreement — a mirror divergence aborts loudly instead
+/// of corrupting the energy stream.
+inline constexpr std::uint8_t kDistDeliveryDispatched = 0;
+inline constexpr std::uint8_t kDistDeliveryCrashDropped = 1;
+inline constexpr std::uint8_t kDistDeliveryDeferred = 2;
+
+// ACTOR_STEP frames choreograph the driver phases that are not message
+// deliveries (spontaneous wakeups, epoch restarts, Co-NNT's probe/connect
+// sweeps). Body: op u8 | flags u8 | round u64 | step u8 | param u64 |
+// fault_round u64 | count u32 | node u32 × count. The reply
+// (ACTOR_STEPPED) carries one group per invoked node:
+//   group  node u32 | flag u8 | neffects u16 | effects
+// in ascending local-node order; the parent walks its independently
+// computed global invocation order and pulls each group from the owning
+// rank, asserting the node ids line up.
+inline constexpr std::uint8_t kDistStepWakeupAll = 0;
+inline constexpr std::uint8_t kDistStepWakeupList = 1;
+inline constexpr std::uint8_t kDistStepRestart = 2;
+inline constexpr std::uint8_t kDistStepConntProbe = 3;
+inline constexpr std::uint8_t kDistStepConntConnect = 4;
+inline constexpr std::uint8_t kDistStepConntReset = 5;
+inline constexpr std::size_t kDistStepFixedBytes = 31;
+inline constexpr std::size_t kDistStepGroupFixedBytes = 7;
+
+// ACTOR_HARVEST asks a rank to ship its node states home at the end of a
+// run: the ACTOR_HARVESTED reply carries `node u32 | nbytes u32 | state
+// image` per local node in ascending order (state images are the actor's
+// own proto::BitWriter codec), and the final chunk ends with the rank's
+// u64 handler-invocation counter — the acceptance witness that handlers
+// really ran rank-side (> 0 in the rank, 0 in the parent).
+inline constexpr std::size_t kDistHarvestNodeFixedBytes = 8;
 
 /// FNV-1a over a byte range — the frame-body hash both sides feed the
 /// fingerprint chain.
@@ -106,6 +196,15 @@ inline void dist_put_u64(std::vector<std::uint8_t>& out,
                          std::uint64_t v) {
   dist_put_u32(out, static_cast<std::uint32_t>(v >> 32));
   dist_put_u32(out, static_cast<std::uint32_t>(v));
+}
+inline void dist_put_u16(std::vector<std::uint8_t>& out,
+                         std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+[[nodiscard]] inline std::uint16_t dist_get_u16(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint16_t>((static_cast<std::uint16_t>(p[0]) << 8) |
+                                    static_cast<std::uint16_t>(p[1]));
 }
 [[nodiscard]] inline std::uint32_t dist_get_u32(const std::uint8_t* p) noexcept {
   return (static_cast<std::uint32_t>(p[0]) << 24) |

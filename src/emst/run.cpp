@@ -39,6 +39,38 @@ bool parse_driver(const std::string& name, Driver& out) noexcept {
   return false;
 }
 
+const char* resolved_driver_name(Driver driver,
+                                 const sim::RunConfig& cfg) noexcept {
+  // Mirror of nnt::run_connt's dispatch rule: faults or ranks send the run
+  // through the node-actor implementation.
+  const bool connt_actor = cfg.faults.enabled() || cfg.ranks > 0;
+  switch (driver) {
+    case Driver::kCoNnt: return connt_actor ? "connt-actor" : "connt";
+    case Driver::kCoNntAxis:
+      return connt_actor ? "connt-axis-actor" : "connt-axis";
+    default: return driver_name(driver);
+  }
+}
+
+const char* handler_placement_name(Driver driver,
+                                   const sim::RunConfig& cfg) noexcept {
+  if (cfg.ranks == 0) return "parent";
+  switch (driver) {
+    case Driver::kClassicGhs:
+    case Driver::kClassicGhsCached:
+    case Driver::kCoNnt:
+    case Driver::kCoNntAxis:
+      return "rank";
+    case Driver::kSyncGhs:
+    case Driver::kSyncGhsProbe:
+    case Driver::kEopt:
+      // Choreographed meter-direct drivers: no per-node handlers exist to
+      // place, and `ranks` is a pinned no-op (distributed_determinism_test).
+      return "parent";
+  }
+  return "parent";
+}
+
 bool driver_supports_loss(Driver driver) noexcept {
   switch (driver) {
     case Driver::kSyncGhs:
@@ -85,6 +117,8 @@ void absorb(RunResult& out, ghs::MstRunResult&& run) {
   out.breakdown_recorded = run.breakdown_recorded;
   out.epochs = run.epochs;
   out.injected_crashes = std::move(run.injected_crashes);
+  out.handler_invocations = run.handler_invocations;
+  out.rank_handler_invocations = run.rank_handler_invocations;
 }
 
 }  // namespace
@@ -142,6 +176,8 @@ RunResult run(const Topo& topo, const RunConfig& cfg) {
       out.breakdown_recorded = res.breakdown_recorded;
       out.epochs = res.epochs;
       out.injected_crashes = std::move(res.injected_crashes);
+      out.handler_invocations = res.handler_invocations;
+      out.rank_handler_invocations = res.rank_handler_invocations;
       break;
     }
   }

@@ -60,6 +60,26 @@ enum class Driver {
 /// unknown names.
 [[nodiscard]] bool parse_driver(const std::string& name, Driver& out) noexcept;
 
+/// The driver variant that will actually execute under `cfg`: the Co-NNT
+/// drivers silently dispatch to their node-actor implementation whenever
+/// faults are enabled or ranks are requested (the exact rule inside
+/// `nnt::run_connt`), so the resolved spelling becomes "connt-actor" /
+/// "connt-axis-actor" there; every other driver resolves to its plain
+/// `driver_name` spelling. Trace headers record this so offline tooling can
+/// tell which implementation produced a stream (scripts/check_trace.py).
+[[nodiscard]] const char* resolved_driver_name(Driver driver,
+                                               const sim::RunConfig& cfg) noexcept;
+
+/// Where `cfg` places message-handler execution (docs/DISTRIBUTED.md §6):
+/// "rank" when a NodeActor runs its handlers inside forked rank processes
+/// (classic GHS and the Co-NNT actor variant with ranks > 0), "parent" for
+/// every in-process engine — including the phase-synchronous sync/EOPT
+/// drivers, which are choreographed meter-direct sweeps with no per-node
+/// handlers; for them `ranks` is a documented no-op and placement is always
+/// the parent.
+[[nodiscard]] const char* handler_placement_name(
+    Driver driver, const sim::RunConfig& cfg) noexcept;
+
 /// Whether the driver speaks message loss + ARQ (docs/ROBUSTNESS.md):
 /// classic GHS and Co-NNT survive crash-only fault models by epoch restart
 /// but have no loss recovery.
@@ -130,6 +150,12 @@ struct RunResult {
   std::size_t epochs = 1;  ///< fail-stop protocol restarts (1 = clean)
   /// Chaos-controller injections during the run (replayable crash list).
   std::vector<sim::CrashWindow> injected_crashes;
+  /// Execution-placement witnesses: how many NodeActor handler invocations
+  /// ran in the driver process vs inside forked rank workers. For the
+  /// actor-backed drivers exactly one of the two is non-zero; both stay 0
+  /// for the choreographed paths (sync/EOPT, faultless serial Co-NNT).
+  std::uint64_t handler_invocations = 0;
+  std::uint64_t rank_handler_invocations = 0;
 
   /// Non-owning view over this result — keep the result alive while using
   /// it (same contract as every driver's report()).

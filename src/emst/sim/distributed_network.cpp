@@ -33,6 +33,12 @@ const char* opcode_name(std::uint8_t op) {
     case proto::kDistOpRound: return "round";
     case proto::kDistOpDrained: return "drained";
     case proto::kDistOpDesync: return "desync";
+    case proto::kDistOpActorRound: return "actor-round";
+    case proto::kDistOpActorDrained: return "actor-drained";
+    case proto::kDistOpActorStep: return "actor-step";
+    case proto::kDistOpActorStepped: return "actor-stepped";
+    case proto::kDistOpActorHarvest: return "actor-harvest";
+    case proto::kDistOpActorHarvested: return "actor-harvested";
     default: return "?";
   }
 }
@@ -101,6 +107,9 @@ void ProcessGroup::shutdown() noexcept {
       ep.pid = -1;
     }
   }
+  // Leave the group respawnable: installing a node actor tears the routing
+  // workers down and forks actor workers through the same spawn path.
+  eps_.clear();
 }
 
 void ProcessGroup::send_frame(std::size_t rank,

@@ -47,12 +47,15 @@
 #include <cstdint>
 #include <cstdio>
 #include <functional>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "emst/apps/actor_rank.hpp"
 #include "emst/apps/rank_runner.hpp"
 #include "emst/proto/dist_wire.hpp"
+#include "emst/sim/actor.hpp"
 #include "emst/serve/framing.hpp"
 #include "emst/sim/fault.hpp"
 #include "emst/sim/meter.hpp"
@@ -218,11 +221,223 @@ class DistributedNetwork {
   /// sorted by (receiver, global send sequence) — byte-identical to
   /// `Network::collect_round` on the same schedule, for every rank count.
   [[nodiscard]] std::vector<Delivery<Msg>> collect_round() {
+    EMST_ASSERT_MSG(!actor_mode_,
+                    "collect_round is the routing-placement barrier; actor "
+                    "installs drive actor_collect_round");
     flush_staged();
     begin_round();
     std::vector<Delivery<Msg>> out;
     exchange_round(&out);
     return out;
+  }
+
+  // -- Actor placement: rank-resident execution ----------------------------
+  //
+  // `install_actor` switches the engine from ROUTING placement (ranks are
+  // byte routers; every handler runs in the parent) to ACTOR placement: the
+  // routing workers are torn down and actor workers are forked in their
+  // place, each owning a replica of the actor's node states. From then on
+  // the barrier verb is `actor_collect_round`: staged sends route exactly
+  // as before, but the due deliveries are EXECUTED rank-side and only a
+  // compact deterministic effect ledger comes home, which the parent
+  // replays in the serial global order (docs/DISTRIBUTED.md §6). Bitwise
+  // identity with the serial engines holds because every order-sensitive
+  // consumer — meter, fault clock, telemetry, chaos controller, oracle —
+  // still runs here, on the replayed stream.
+
+  /// Fork actor workers carrying `actor`'s initial state (copy-on-write via
+  /// fork — nothing topology-sized is serialized). Must run before any
+  /// traffic; the fingerprint chains restart from the seed on both sides.
+  /// Crash-only fault models only: loss fates are counter-draws in routing
+  /// ranks, but an actor rank cannot execute a handler on a message whose
+  /// fate it cannot decide locally without a loss-model mirror.
+  template <typename Actor>
+  void install_actor(const Actor& actor, bool faulty) {
+    static_assert(NodeActorState<Actor>);
+    EMST_ASSERT_MSG(!actor_mode_, "install_actor: actor already installed");
+    EMST_ASSERT_MSG(now_ == 0 && seq_ == 0 && ops_.empty() && inflight_ == 0,
+                    "install_actor must run before any traffic");
+    const FaultModel& fm = faults_.model();
+    EMST_ASSERT_MSG(fm.loss == 0.0 && !fm.use_gilbert,
+                    "rank-resident actors support crash-only fault models");
+    actor_mode_ = true;
+    actor_drained_.resize(rank_count_);
+    group_.shutdown();
+    std::fill(chains_.begin(), chains_.end(), proto::kDistFingerprintSeed);
+    // The rank-side crash mirror: static windows + seed from the model;
+    // the chaos controller, stats and the authoritative clock stay here
+    // (controller injections ship per round in the final ACTOR_ROUND
+    // chunk).
+    FaultModel mirror;
+    mirror.crashes = fm.crashes;
+    mirror.seed = fm.seed;
+    const ActorTestHooks hooks = actor_hooks_;
+    group_.spawn(rank_count_,
+                 [this, actor, mirror, faulty, hooks](int fd, std::size_t r) {
+                   apps::ActorRankCtx<Msg> ctx;
+                   ctx.fd = fd;
+                   ctx.rank = r;
+                   ctx.max_extra_delay = delays_.max_extra_delay;
+                   ctx.node_rank = node_rank_;
+                   ctx.wire = &wire_;
+                   ctx.faulty = faulty;
+                   ctx.hooks = hooks;
+                   Actor replica = actor;
+                   FaultInjector m(mirror);
+                   return apps::actor_rank_main(ctx, replica, m);
+                 });
+  }
+
+  /// Pre-spawn test hooks for the actor workers (set BEFORE install_actor).
+  void set_actor_test_hooks(const ActorTestHooks& hooks) {
+    EMST_ASSERT(!actor_mode_);
+    actor_hooks_ = hooks;
+  }
+
+  /// The actor-placement round barrier. Flushes the staged sends (charges,
+  /// suppressions, routing — identical to routing placement), ticks the
+  /// round, exchanges ACTOR_ROUND/ACTOR_DRAINED with every rank, and
+  /// replays the returned effect ledger in the serial global order: crash
+  /// classification first (pass A — drop events fire before any of this
+  /// round's effects, like the serial drain), then the retries in the
+  /// parent's deferred-model order (pass B), then the surviving deliveries
+  /// in (receiver, sequence) merge order (pass C). `sink` observes the
+  /// replay: on_send(dtag, reach) per send effect, on_note(node, a, b) per
+  /// note — the driver's tallies, byte-identical to its serial env.
+  template <typename Sink>
+  ActorRoundInfo actor_collect_round(Sink& sink) {
+    EMST_ASSERT(actor_mode_);
+    flush_staged();
+    begin_round();
+    group_.set_round(now_);
+    windows_scratch_.clear();
+    proto::dist_put_u32(windows_scratch_, static_cast<std::uint32_t>(
+                                              pending_window_ship_.size()));
+    for (const CrashWindow& w : pending_window_ship_) {
+      proto::dist_put_u32(windows_scratch_, w.node);
+      proto::dist_put_u64(windows_scratch_, w.from);
+      proto::dist_put_u64(windows_scratch_, w.until);
+    }
+    pending_window_ship_.clear();
+    for (std::size_t r = 0; r < rank_count_; ++r) send_actor_round(r);
+    for (std::size_t r = 0; r < rank_count_; ++r) receive_actor_ledger(r);
+    return replay_actor_round(sink);
+  }
+
+  /// Execute one choreographed phase step on every rank (wakeups, epoch
+  /// restarts, Co-NNT probe/connect/reset sweeps). `wire_list` is the
+  /// explicit node list shipped to the ranks (kDistStepWakeupList; its
+  /// ORDER is preserved — the serial driver iterates it as given);
+  /// `expected` is the parent's independently computed global invocation
+  /// order, against which the ACTOR_STEPPED groups are matched node-for-
+  /// node. Per group: sink.on_step_node(node, flag), then the effects
+  /// replay.
+  template <typename Sink>
+  void actor_step(std::uint8_t kind, std::uint64_t param,
+                  std::span<const NodeId> wire_list,
+                  std::span<const NodeId> expected, Sink& sink) {
+    EMST_ASSERT(actor_mode_);
+    group_.set_round(now_);
+    const std::uint64_t fault_round = faults_.round();
+    std::size_t idx = 0;
+    bool more = false;
+    do {
+      const std::size_t n =
+          std::min(wire_list.size() - idx, kStepNodesPerChunk);
+      more = idx + n < wire_list.size();
+      for (std::size_t r = 0; r < rank_count_; ++r) {
+        std::vector<std::uint8_t>& body = body_scratch_;
+        body.clear();
+        body.push_back(proto::kDistOpActorStep);
+        body.push_back(more ? 0 : proto::kDistFlagLast);
+        proto::dist_put_u64(body, now_);
+        body.push_back(kind);
+        proto::dist_put_u64(body, param);
+        proto::dist_put_u64(body, fault_round);
+        proto::dist_put_u32(body, static_cast<std::uint32_t>(n));
+        for (std::size_t i = 0; i < n; ++i)
+          proto::dist_put_u32(body, wire_list[idx + i]);
+        seal_parent_chunk(r, proto::kDistOpActorStep,
+                          static_cast<std::uint32_t>(n));
+      }
+      idx += n;
+    } while (more);
+    if (kind == proto::kDistStepRestart) defer_fifo_.clear();
+    for (std::size_t r = 0; r < rank_count_; ++r)
+      receive_actor_groups(r, proto::kDistOpActorStepped);
+    for (const NodeId u : expected) {
+      ActorLedger& lg = actor_drained_[node_rank_[u]];
+      EMST_ASSERT_MSG(lg.cursor < lg.groups.size(),
+                      "actor step ledger shorter than the expected order");
+      const ActorEntry& g = lg.groups[lg.cursor++];
+      EMST_ASSERT_MSG(g.to == u, "actor step ledger order diverged");
+      sink.on_step_node(u, g.status);
+      replay_effects(u, g, sink);
+    }
+    for (const ActorLedger& lg : actor_drained_)
+      EMST_ASSERT_MSG(lg.cursor == lg.groups.size(),
+                      "actor step ledger longer than the expected order");
+  }
+
+  /// Ship every rank's node states home into `actor` (the parent's
+  /// never-stepped replica) and return the summed rank-side handler/step
+  /// invocation counter — the placement witness (> 0 rank-side while the
+  /// parent replica stays at 0).
+  template <typename Actor>
+  std::uint64_t actor_harvest(Actor& actor) {
+    EMST_ASSERT(actor_mode_);
+    group_.set_round(now_);
+    for (std::size_t r = 0; r < rank_count_; ++r) {
+      std::vector<std::uint8_t>& body = body_scratch_;
+      body.clear();
+      body.push_back(proto::kDistOpActorHarvest);
+      body.push_back(proto::kDistFlagLast);
+      proto::dist_put_u64(body, now_);
+      proto::dist_put_u32(body, 0);
+      seal_parent_chunk(r, proto::kDistOpActorHarvest, 0);
+    }
+    std::uint64_t total = 0;
+    std::vector<std::uint8_t> image;
+    for (std::size_t r = 0; r < rank_count_; ++r) {
+      bool last = false;
+      while (!last) {
+        std::vector<std::uint8_t> p;
+        std::uint32_t count = 0;
+        last = read_reply_chunk(r, proto::kDistOpActorHarvested, &p, &count);
+        const std::size_t body_len = p.size() - proto::kDistFingerprintBytes;
+        const std::uint8_t* ptr = p.data() + proto::kDistFrameFixedBytes;
+        const std::uint8_t* end = p.data() + body_len;
+        for (std::uint32_t i = 0; i < count; ++i) {
+          if (end - ptr <
+              static_cast<std::ptrdiff_t>(proto::kDistHarvestNodeFixedBytes))
+            group_.fatal(r, "truncated harvest group");
+          const NodeId u = proto::dist_get_u32(ptr);
+          const std::uint32_t nbytes = proto::dist_get_u32(ptr + 4);
+          ptr += proto::kDistHarvestNodeFixedBytes;
+          if (end - ptr < static_cast<std::ptrdiff_t>(nbytes))
+            group_.fatal(r, "truncated harvest state");
+          EMST_ASSERT(node_rank_[u] == r);
+          image.assign(ptr, ptr + nbytes);
+          proto::BitReader rdr(image);
+          actor.decode_node(u, rdr);
+          ptr += nbytes;
+        }
+        if (last) {
+          if (end - ptr < 8) group_.fatal(r, "truncated harvest counter");
+          total += proto::dist_get_u64(ptr);
+          ptr += 8;
+        }
+        if (ptr != end) group_.fatal(r, "trailing bytes in harvest chunk");
+      }
+    }
+    return total;
+  }
+
+  /// Size of the parent's deferred-queue model (== the summed rank FIFOs);
+  /// the actor drivers' stall detection reads it like the serial deferred
+  /// vector's size.
+  [[nodiscard]] std::size_t actor_deferred_size() const noexcept {
+    return defer_fifo_.size();
   }
 
   // -- Accessors (Network-compatible) -------------------------------------
@@ -317,13 +532,19 @@ class DistributedNetwork {
     bool is_broadcast = false;
     bool suppressed = false;  ///< sender down at issue time (clock-stable)
     Msg msg{};
+    /// Actor-mode replay: the payload already crossed the wire once (encoded
+    /// rank-side by RankActorEnv), so the replayed send re-stages the exact
+    /// bytes instead of re-encoding the in-memory object it never had.
+    std::vector<std::uint8_t> raw;
+    bool raw_payload = false;
   };
 
-  /// Outgoing mailbox for one rank: concatenated ROUND records, split into
-  /// chunk-sized runs as they are appended (records never straddle frames).
+  /// Outgoing mailbox for one rank: concatenated ROUND records, packed into
+  /// one chunk-sized run (records never straddle frames). A run that fills
+  /// goes on the wire IMMEDIATELY (route()), overlapping the barrier's send
+  /// half with the parent's remaining serial work; only the final, partial
+  /// run waits for the barrier.
   struct Mailbox {
-    std::vector<std::vector<std::uint8_t>> full;  ///< complete chunk runs
-    std::vector<std::uint32_t> full_counts;
     std::vector<std::uint8_t> cur;
     std::uint32_t cur_count = 0;
   };
@@ -341,6 +562,43 @@ class DistributedNetwork {
   struct DrainedList {
     std::vector<DrainedRec> items;
     std::size_t cursor = 0;
+  };
+
+  /// Node capacity of one ACTOR_STEP chunk (wire lists chunk like records).
+  static constexpr std::size_t kStepNodesPerChunk =
+      (proto::kDistMaxChunkBodyBytes - proto::kDistStepFixedBytes) / 4;
+
+  /// One parsed actor-ledger entry (retry, delivery, or step group — the
+  /// field subset in use depends on the tag). Effect bytes are pointers
+  /// into the retained chunk payloads, not copies.
+  struct ActorEntry {
+    NodeId from = 0;
+    NodeId to = 0;  ///< receiver / retried node / stepped node
+    double distance = 0.0;
+    std::uint32_t bits = 0;
+    std::uint8_t status = 0;  ///< delivery status / retry redeferred / flag
+    std::uint16_t neffects = 0;
+    const std::uint8_t* eff = nullptr;
+    const std::uint8_t* eff_end = nullptr;
+  };
+
+  /// One rank's parsed actor reply (drained ledger or step groups), plus
+  /// the owning chunk buffers the entries point into.
+  struct ActorLedger {
+    std::vector<std::vector<std::uint8_t>> chunks;
+    std::vector<ActorEntry> retries;     ///< rank-local FIFO order
+    std::vector<ActorEntry> deliveries;  ///< ascending-receiver order
+    std::vector<ActorEntry> groups;      ///< step groups, rank-local order
+    std::size_t retry_cursor = 0;
+    std::size_t cursor = 0;
+    void reset() {
+      chunks.clear();
+      retries.clear();
+      deliveries.clear();
+      groups.clear();
+      retry_cursor = 0;
+      cursor = 0;
+    }
   };
 
   // -- Construction --------------------------------------------------------
@@ -425,6 +683,79 @@ class DistributedNetwork {
     ops_.push_back(std::move(op));
   }
 
+  // -- Actor-replay staging (raw payload bytes; ambient meter context) ------
+
+  /// Stage a replayed unicast effect. The context is captured from the
+  /// AMBIENT meter — replay_effects set kind/fragment from the effect
+  /// record just before, reproducing the serial env's set-then-send
+  /// sequence — and the charge distance is recomputed from the parent's
+  /// topology exactly like the serial engine's unicast.
+  void stage_raw_unicast(NodeId u, NodeId v, std::uint32_t bits,
+                         const std::uint8_t* payload, std::uint32_t plen) {
+    EMST_ASSERT(u < topo_.node_count() && v < topo_.node_count() && u != v);
+    const double d = topo_.distance(u, v);
+    EMST_ASSERT_MSG(unbounded_broadcast_ ||
+                        d <= topo_.max_radius() * (1.0 + 1e-12),
+                    "unicast beyond the maximum transmission radius");
+    if constexpr (WireFormat<Msg>::kMeasured) {
+      EMST_ASSERT(plen == (static_cast<std::size_t>(bits) + 7) / 8);
+    }
+    StagedOp op;
+    op.ctx = meter_context();
+    op.ctx.bits = bits;
+    op.from = u;
+    op.reach = d;
+    op.first = static_cast<std::uint32_t>(targets_.size());
+    op.count = 1;
+    op.suppressed = faults_.enabled() && faults_.crashed(u);
+    op.raw_payload = true;
+    op.raw.assign(payload, payload + plen);
+    if (!op.suppressed) ++staged_live_;
+    targets_.push_back({v, d});
+    ops_.push_back(std::move(op));
+  }
+
+  /// Stage a replayed broadcast effect — same receiver enumeration and
+  /// distance recomputation as stage_broadcast.
+  void stage_raw_broadcast(NodeId u, double radius, std::uint32_t bits,
+                           const std::uint8_t* payload, std::uint32_t plen) {
+    EMST_ASSERT(u < topo_.node_count());
+    EMST_ASSERT(radius >= 0.0);
+    if (!unbounded_broadcast_) {
+      EMST_ASSERT_MSG(radius <= topo_.max_radius() * (1.0 + 1e-12),
+                      "broadcast beyond the maximum transmission radius");
+    }
+    if constexpr (WireFormat<Msg>::kMeasured) {
+      EMST_ASSERT(plen == (static_cast<std::size_t>(bits) + 7) / 8);
+    }
+    StagedOp op;
+    op.ctx = meter_context();
+    op.ctx.bits = bits;
+    op.from = u;
+    op.reach = radius;
+    op.first = static_cast<std::uint32_t>(targets_.size());
+    op.is_broadcast = true;
+    op.suppressed = faults_.enabled() && faults_.crashed(u);
+    op.raw_payload = true;
+    op.raw.assign(payload, payload + plen);
+    if (!op.suppressed) {
+      if (radius <= topo_.max_radius()) {
+        for (const graph::Neighbor& nb : topo_.neighbors(u)) {
+          if (nb.w <= radius)
+            targets_.push_back({nb.id, topo_.distance(u, nb.id)});
+          else
+            break;
+        }
+      } else {
+        for (const NodeId v : topo_.nodes_within(u, radius))
+          targets_.push_back({v, topo_.distance(u, v)});
+      }
+      op.count = static_cast<std::uint32_t>(targets_.size()) - op.first;
+    }
+    staged_live_ += op.count;
+    ops_.push_back(std::move(op));
+  }
+
   // -- Barrier: serial charge replay + routing -----------------------------
 
   /// Replay the staging through the meter in issue order (the ONLY place
@@ -453,7 +784,7 @@ class DistributedNetwork {
         continue;
       }
       const std::vector<std::uint8_t>& payload =
-          encode_payload(op.msg, op.ctx.bits);
+          op.raw_payload ? op.raw : encode_payload(op.msg, op.ctx.bits);
       if (op.is_broadcast) {
         meter_.charge_broadcast(op.from, op.reach, op.count);
         for (std::uint32_t i = op.first; i < op.first + op.count; ++i)
@@ -503,12 +834,18 @@ class DistributedNetwork {
     std::uint64_t due = now_ + 1;
     if (delays_.max_extra_delay > 0)
       due += delay_rng_.uniform_int(delays_.max_extra_delay + 1);
-    Mailbox& mb = mailboxes_[node_rank_[v]];
+    const std::size_t rank = node_rank_[v];
+    Mailbox& mb = mailboxes_[rank];
     const std::size_t rec = proto::kDistRoundRecordBytes + payload.size();
     EMST_ASSERT_MSG(rec <= kChunkRecordBudget, "message exceeds frame cap");
     if (mb.cur.size() + rec > kChunkRecordBudget) {
-      mb.full.push_back(std::move(mb.cur));
-      mb.full_counts.push_back(mb.cur_count);
+      // Overlap the barrier halves: the full chunk goes on the wire NOW (an
+      // async put into the rank's next-round buffer — ingest is
+      // order-insensitive) instead of queueing for a send-all at the
+      // barrier. flush_staged runs entirely before begin_round's clock
+      // tick, so every chunk of this barrier stamps the same round, now_+1.
+      emit_chunk(rank, round_opcode(), /*last=*/false, mb.cur_count, mb.cur,
+                 now_ + 1);
       mb.cur.clear();
       mb.cur_count = 0;
     }
@@ -534,9 +871,14 @@ class DistributedNetwork {
       // not-yet-delivered messages — Network's pre-drain count.
       faults_.set_in_flight(inflight_);
       faults_.advance_to(now_);
-      for (const CrashWindow& w : faults_.take_new_injections())
+      for (const CrashWindow& w : faults_.take_new_injections()) {
         meter_.note_event(EventType::kCrashInject, w.node, kNoEventNode, 0.0,
                           w.until);
+        // Actor placement: the rank-side crash mirrors need this window
+        // before they classify the round's due bucket; it ships in the
+        // final ACTOR_ROUND chunk of this same barrier.
+        if (actor_mode_) pending_window_ship_.push_back(w);
+      }
     }
     if (oracle_ != nullptr) oracle_->on_round(now_, meter_);
   }
@@ -557,27 +899,34 @@ class DistributedNetwork {
 
   void send_round(std::size_t rank) {
     Mailbox& mb = mailboxes_[rank];
-    for (std::size_t c = 0; c < mb.full.size(); ++c)
-      emit_chunk(rank, /*last=*/false, mb.full_counts[c], mb.full[c]);
-    emit_chunk(rank, /*last=*/true, mb.cur_count, mb.cur);
-    mb.full.clear();
-    mb.full_counts.clear();
+    emit_chunk(rank, proto::kDistOpRound, /*last=*/true, mb.cur_count, mb.cur,
+               now_);
     mb.cur.clear();
     mb.cur_count = 0;
   }
 
-  void emit_chunk(std::size_t rank, bool last, std::uint32_t count,
-                  const std::vector<std::uint8_t>& records) {
+  [[nodiscard]] std::uint8_t round_opcode() const noexcept {
+    return actor_mode_ ? proto::kDistOpActorRound : proto::kDistOpRound;
+  }
+
+  /// Seal one round-scoped chunk (either placement's ROUND opcode) and put
+  /// it on the wire. `extra` is an opcode-specific section appended after
+  /// the records (actor mode: the chaos-window section of the final chunk).
+  void emit_chunk(std::size_t rank, std::uint8_t opcode, bool last,
+                  std::uint32_t count, const std::vector<std::uint8_t>& records,
+                  std::uint64_t round,
+                  const std::vector<std::uint8_t>* extra = nullptr) {
     std::vector<std::uint8_t>& body = body_scratch_;
     body.clear();
-    body.push_back(proto::kDistOpRound);
+    body.push_back(opcode);
     body.push_back(last ? proto::kDistFlagLast : 0);
-    proto::dist_put_u64(body, now_);
+    proto::dist_put_u64(body, round);
     proto::dist_put_u32(body, count);
     body.insert(body.end(), records.begin(), records.end());
+    if (extra != nullptr) body.insert(body.end(), extra->begin(), extra->end());
     const std::uint64_t h = proto::dist_hash(body.data(), body.size());
     chains_[rank] = proto::dist_mix(chains_[rank], h);
-    group_.log_collective(rank, proto::kDistOpRound, now_, count, h);
+    group_.log_collective(rank, opcode, round, count, h);
     if (corrupt_rank_ == rank) {
       body[2] ^= 0x01;  // hook: corrupt AFTER hashing — wire damage
       corrupt_rank_ = kNoRank;
@@ -591,56 +940,70 @@ class DistributedNetwork {
     }
   }
 
+  /// Read, verify (protocol + fingerprint) and log one rank reply chunk of
+  /// the given opcode; hands back the raw frame payload. Shared by every
+  /// rank-to-parent collective in both placements.
+  bool read_reply_chunk(std::size_t rank, std::uint8_t opcode,
+                        std::vector<std::uint8_t>* payload,
+                        std::uint32_t* count) {
+    serve::Frame frame = group_.read_frame(rank);
+    std::vector<std::uint8_t>& p = frame.payload;
+    if (frame.version != proto::kDistProtocolVersion ||
+        p.size() < proto::kDistFrameFixedBytes) {
+      group_.fatal(rank, "malformed reply frame");
+    }
+    if (p[0] == proto::kDistOpDesync) {
+      // The rank detected a fingerprint mismatch on OUR frame and
+      // reported instead of hanging. Surface its view verbatim.
+      const std::uint64_t round = proto::dist_get_u64(p.data() + 2);
+      const std::uint64_t expected = proto::dist_get_u64(p.data() + 10);
+      const std::uint64_t actual = proto::dist_get_u64(p.data() + 18);
+      char msg[160];
+      std::snprintf(msg, sizeof msg,
+                    "collective fingerprint mismatch reported by rank at "
+                    "round %llu: expected %016llx actual %016llx",
+                    static_cast<unsigned long long>(round),
+                    static_cast<unsigned long long>(expected),
+                    static_cast<unsigned long long>(actual));
+      group_.fatal(rank, msg);
+    }
+    if (p[0] != opcode ||
+        p.size() <
+            proto::kDistFrameFixedBytes + proto::kDistFingerprintBytes) {
+      group_.fatal(rank, "unexpected reply opcode");
+    }
+    const bool last = (p[1] & proto::kDistFlagLast) != 0;
+    const std::uint64_t round = proto::dist_get_u64(p.data() + 2);
+    if (round != now_) group_.fatal(rank, "barrier round skew in reply");
+    const std::size_t body_len = p.size() - proto::kDistFingerprintBytes;
+    const std::uint64_t h = proto::dist_hash(p.data(), body_len);
+    chains_[rank] = proto::dist_mix(chains_[rank], h);
+    *count = proto::dist_get_u32(p.data() + 10);
+    group_.log_collective(rank, opcode, round, *count, h);
+    const std::uint64_t fp = proto::dist_get_u64(p.data() + body_len);
+    if (fp != chains_[rank]) {
+      char msg[160];
+      std::snprintf(msg, sizeof msg,
+                    "collective fingerprint mismatch in rank reply: "
+                    "expected %016llx actual %016llx",
+                    static_cast<unsigned long long>(chains_[rank]),
+                    static_cast<unsigned long long>(fp));
+      group_.fatal(rank, msg);
+    }
+    *payload = std::move(p);
+    return last;
+  }
+
   void receive_drained(std::size_t rank) {
     DrainedList& dl = drained_[rank];
     dl.items.clear();
     dl.cursor = 0;
     bool last = false;
     while (!last) {
-      const serve::Frame frame = group_.read_frame(rank);
-      const std::vector<std::uint8_t>& p = frame.payload;
-      if (frame.version != proto::kDistProtocolVersion ||
-          p.size() < proto::kDistFrameFixedBytes) {
-        group_.fatal(rank, "malformed reply frame");
-      }
-      if (p[0] == proto::kDistOpDesync) {
-        // The rank detected a fingerprint mismatch on OUR frame and
-        // reported instead of hanging. Surface its view verbatim.
-        const std::uint64_t round = proto::dist_get_u64(p.data() + 2);
-        const std::uint64_t expected = proto::dist_get_u64(p.data() + 10);
-        const std::uint64_t actual = proto::dist_get_u64(p.data() + 18);
-        char msg[160];
-        std::snprintf(msg, sizeof msg,
-                      "collective fingerprint mismatch reported by rank at "
-                      "round %llu: expected %016llx actual %016llx",
-                      static_cast<unsigned long long>(round),
-                      static_cast<unsigned long long>(expected),
-                      static_cast<unsigned long long>(actual));
-        group_.fatal(rank, msg);
-      }
-      if (p[0] != proto::kDistOpDrained ||
-          p.size() < proto::kDistFrameFixedBytes +
-                         proto::kDistFingerprintBytes) {
-        group_.fatal(rank, "unexpected reply opcode");
-      }
-      last = (p[1] & proto::kDistFlagLast) != 0;
-      const std::uint64_t round = proto::dist_get_u64(p.data() + 2);
-      if (round != now_) group_.fatal(rank, "barrier round skew in reply");
+      std::vector<std::uint8_t> p;
+      std::uint32_t count = 0;
+      last = read_reply_chunk(rank, proto::kDistOpDrained, &p, &count);
       const std::size_t body_len = p.size() - proto::kDistFingerprintBytes;
-      const std::uint64_t h = proto::dist_hash(p.data(), body_len);
-      chains_[rank] = proto::dist_mix(chains_[rank], h);
-      const std::uint32_t count = proto::dist_get_u32(p.data() + 10);
-      group_.log_collective(rank, proto::kDistOpDrained, round, count, h);
-      const std::uint64_t fp = proto::dist_get_u64(p.data() + body_len);
-      if (fp != chains_[rank]) {
-        char msg[160];
-        std::snprintf(msg, sizeof msg,
-                      "collective fingerprint mismatch in rank reply: "
-                      "expected %016llx actual %016llx",
-                      static_cast<unsigned long long>(chains_[rank]),
-                      static_cast<unsigned long long>(fp));
-        group_.fatal(rank, msg);
-      }
       std::size_t off = proto::kDistFrameFixedBytes;
       for (std::uint32_t i = 0; i < count; ++i) {
         if (off + proto::kDistDrainedRecordBytes > body_len)
@@ -662,6 +1025,238 @@ class DistributedNetwork {
         dl.items.push_back(std::move(rec));
       }
     }
+  }
+
+  // -- Actor placement: exchange, parse, replay ----------------------------
+
+  /// Seal the chunk staged in body_scratch_ into the rank's chain and send
+  /// it (parent → rank collectives that are not ROUND-record chunks).
+  void seal_parent_chunk(std::size_t rank, std::uint8_t opcode,
+                         std::uint32_t count) {
+    std::vector<std::uint8_t>& body = body_scratch_;
+    const std::uint64_t h = proto::dist_hash(body.data(), body.size());
+    chains_[rank] = proto::dist_mix(chains_[rank], h);
+    group_.log_collective(rank, opcode, now_, count, h);
+    proto::dist_put_u64(body, chains_[rank]);
+    group_.send_frame(rank, body);
+  }
+
+  /// Send the final ACTOR_ROUND chunk (plus the chaos-window section) to
+  /// one rank; full chunks already went out eagerly from route().
+  void send_actor_round(std::size_t rank) {
+    Mailbox& mb = mailboxes_[rank];
+    if (mb.cur.size() + windows_scratch_.size() > kChunkRecordBudget) {
+      emit_chunk(rank, proto::kDistOpActorRound, /*last=*/false, mb.cur_count,
+                 mb.cur, now_);
+      mb.cur.clear();
+      mb.cur_count = 0;
+    }
+    emit_chunk(rank, proto::kDistOpActorRound, /*last=*/true, mb.cur_count,
+               mb.cur, now_, &windows_scratch_);
+    mb.cur.clear();
+    mb.cur_count = 0;
+  }
+
+  /// Parse the effect run of one ledger entry (bounds-asserted) and return
+  /// the position past it.
+  [[nodiscard]] const std::uint8_t* skip_effects(const std::uint8_t* ptr,
+                                                const std::uint8_t* end,
+                                                std::uint16_t neffects) {
+    EffectView ev;
+    for (std::uint16_t k = 0; k < neffects; ++k)
+      ptr = decode_effect(ptr, end, ev);
+    return ptr;
+  }
+
+  /// Receive one rank's ACTOR_DRAINED ledger: retry entries (rank FIFO
+  /// order) and delivery entries (ascending-receiver order).
+  void receive_actor_ledger(std::size_t rank) {
+    ActorLedger& lg = actor_drained_[rank];
+    lg.reset();
+    bool last = false;
+    while (!last) {
+      std::vector<std::uint8_t> p;
+      std::uint32_t count = 0;
+      last = read_reply_chunk(rank, proto::kDistOpActorDrained, &p, &count);
+      lg.chunks.push_back(std::move(p));
+      const std::vector<std::uint8_t>& buf = lg.chunks.back();
+      const std::size_t body_len = buf.size() - proto::kDistFingerprintBytes;
+      const std::uint8_t* ptr = buf.data() + proto::kDistFrameFixedBytes;
+      const std::uint8_t* end = buf.data() + body_len;
+      for (std::uint32_t i = 0; i < count; ++i) {
+        if (ptr >= end) group_.fatal(rank, "truncated actor ledger entry");
+        const std::uint8_t tag = *ptr++;
+        ActorEntry e;
+        bool retry = false;
+        if (tag == proto::kDistEntryRetry) {
+          if (end - ptr <
+              static_cast<std::ptrdiff_t>(proto::kDistEntryRetryFixedBytes - 1))
+            group_.fatal(rank, "truncated actor ledger entry");
+          e.to = proto::dist_get_u32(ptr);
+          e.status = ptr[4];
+          e.neffects = proto::dist_get_u16(ptr + 5);
+          ptr += proto::kDistEntryRetryFixedBytes - 1;
+          retry = true;
+        } else if (tag == proto::kDistEntryDelivery) {
+          if (end - ptr < static_cast<std::ptrdiff_t>(
+                              proto::kDistEntryDeliveryFixedBytes - 1))
+            group_.fatal(rank, "truncated actor ledger entry");
+          e.from = proto::dist_get_u32(ptr);
+          e.to = proto::dist_get_u32(ptr + 4);
+          e.distance = std::bit_cast<double>(proto::dist_get_u64(ptr + 8));
+          e.bits = proto::dist_get_u32(ptr + 16);
+          e.status = ptr[20];
+          e.neffects = proto::dist_get_u16(ptr + 21);
+          ptr += proto::kDistEntryDeliveryFixedBytes - 1;
+        } else {
+          group_.fatal(rank, "unknown actor ledger entry tag");
+        }
+        e.eff = ptr;
+        ptr = skip_effects(ptr, end, e.neffects);
+        e.eff_end = ptr;
+        (retry ? lg.retries : lg.deliveries).push_back(e);
+      }
+      if (ptr != end)
+        group_.fatal(rank, "trailing bytes in actor ledger chunk");
+    }
+  }
+
+  /// Receive one rank's ACTOR_STEPPED groups (rank-local invocation order).
+  void receive_actor_groups(std::size_t rank, std::uint8_t opcode) {
+    ActorLedger& lg = actor_drained_[rank];
+    lg.reset();
+    bool last = false;
+    while (!last) {
+      std::vector<std::uint8_t> p;
+      std::uint32_t count = 0;
+      last = read_reply_chunk(rank, opcode, &p, &count);
+      lg.chunks.push_back(std::move(p));
+      const std::vector<std::uint8_t>& buf = lg.chunks.back();
+      const std::size_t body_len = buf.size() - proto::kDistFingerprintBytes;
+      const std::uint8_t* ptr = buf.data() + proto::kDistFrameFixedBytes;
+      const std::uint8_t* end = buf.data() + body_len;
+      for (std::uint32_t i = 0; i < count; ++i) {
+        if (end - ptr <
+            static_cast<std::ptrdiff_t>(proto::kDistStepGroupFixedBytes))
+          group_.fatal(rank, "truncated actor step group");
+        ActorEntry g;
+        g.to = proto::dist_get_u32(ptr);
+        g.status = ptr[4];
+        g.neffects = proto::dist_get_u16(ptr + 5);
+        ptr += proto::kDistStepGroupFixedBytes;
+        g.eff = ptr;
+        ptr = skip_effects(ptr, end, g.neffects);
+        g.eff_end = ptr;
+        lg.groups.push_back(g);
+      }
+      if (ptr != end)
+        group_.fatal(rank, "trailing bytes in actor step chunk");
+    }
+  }
+
+  /// Replay one entry's effects in recorded order. Send effects reproduce
+  /// the serial env's sequence exactly — sink tally, then kind/fragment on
+  /// the ambient meter, then the stage (which captures the ambient
+  /// context). Ambient kind/fragment are deliberately LEFT at the last
+  /// effect's values: that is the state the serial run's meter would be in
+  /// after the same handler, and later events stamp against it.
+  template <typename Sink>
+  void replay_effects(NodeId from, const ActorEntry& e, Sink& sink) {
+    const std::uint8_t* p = e.eff;
+    EffectView ev;
+    for (std::uint16_t i = 0; i < e.neffects; ++i) {
+      p = decode_effect(p, e.eff_end, ev);
+      switch (ev.tag) {
+        case proto::kDistEffectUnicast: {
+          sink.on_send(ev.dtag, std::bit_cast<double>(ev.reach_bits));
+          meter_.set_kind(ev.kind);
+          meter_.set_fragment(ev.fragment);
+          stage_raw_unicast(from, ev.to, ev.bits, ev.payload, ev.plen);
+          break;
+        }
+        case proto::kDistEffectBroadcast: {
+          const double radius = std::bit_cast<double>(ev.reach_bits);
+          sink.on_send(ev.dtag, radius);
+          meter_.set_kind(ev.kind);
+          meter_.set_fragment(ev.fragment);
+          stage_raw_broadcast(from, radius, ev.bits, ev.payload, ev.plen);
+          break;
+        }
+        default:
+          sink.on_note(from, ev.a, ev.b);
+          break;
+      }
+    }
+    EMST_ASSERT(p == e.eff_end);
+  }
+
+  /// The serial half of the actor barrier (see actor_collect_round).
+  template <typename Sink>
+  ActorRoundInfo replay_actor_round(Sink& sink) {
+    ActorRoundInfo info;
+    info.retried = defer_fifo_.size();
+    std::size_t total = 0;
+    for (const ActorLedger& lg : actor_drained_) total += lg.deliveries.size();
+    inflight_ -= total;
+    // Pass A — classification in global (receiver, sequence) order: crash
+    // fates and their telemetry events fire HERE, before any of this
+    // round's effects replay, exactly like the serial drain (handler
+    // effects carry no events, so the round's event stream is the drop
+    // sequence at its merge positions).
+    survivors_scratch_.clear();
+    for (;;) {
+      ActorLedger* next = nullptr;
+      for (ActorLedger& lg : actor_drained_) {
+        if (lg.cursor >= lg.deliveries.size()) continue;
+        if (next == nullptr ||
+            lg.deliveries[lg.cursor].to < next->deliveries[next->cursor].to) {
+          next = &lg;
+        }
+      }
+      if (next == nullptr) break;
+      const ActorEntry& e = next->deliveries[next->cursor++];
+      const bool drop = faults_.enabled() && faults_.crashed(e.to);
+      EMST_ASSERT_MSG(drop == (e.status == proto::kDistDeliveryCrashDropped),
+                      "rank crash mirror diverged from the fault clock");
+      if (drop) {
+        EMST_ASSERT(e.neffects == 0);
+        ++faults_.stats().dropped_crashed;
+        meter_.set_bits(e.bits);
+        meter_.note_event(EventType::kCrashDrop, e.from, e.to, e.distance);
+        meter_.clear_bits();
+        continue;
+      }
+      survivors_scratch_.push_back(&e);
+    }
+    info.batch = survivors_scratch_.size();
+    // Pass B — retries replay in the parent's deferred-model order (= the
+    // serial driver's retry sweep), pulling each rank's stream in step.
+    fifo_scratch_.clear();
+    for (const NodeId u : defer_fifo_) {
+      ActorLedger& lg = actor_drained_[node_rank_[u]];
+      EMST_ASSERT_MSG(lg.retry_cursor < lg.retries.size(),
+                      "actor retry ledger shorter than the deferred model");
+      const ActorEntry& e = lg.retries[lg.retry_cursor++];
+      EMST_ASSERT_MSG(e.to == u, "actor retry ledger order diverged");
+      replay_effects(u, e, sink);
+      if (e.status != 0) fifo_scratch_.push_back(u);
+    }
+    for (const ActorLedger& lg : actor_drained_)
+      EMST_ASSERT_MSG(lg.retry_cursor == lg.retries.size(),
+                      "actor retry ledger longer than the deferred model");
+    // Pass C — surviving deliveries replay in merge order; deferred ones
+    // extend the deferred model exactly like the serial driver's queue.
+    for (const ActorEntry* e : survivors_scratch_) {
+      replay_effects(e->to, *e, sink);
+      if (e->status == proto::kDistDeliveryDeferred) {
+        fifo_scratch_.push_back(e->to);
+      } else {
+        EMST_ASSERT(e->status == proto::kDistDeliveryDispatched);
+      }
+    }
+    std::swap(defer_fifo_, fifo_scratch_);
+    info.deferred_after = defer_fifo_.size();
+    return info;
   }
 
   // -- Barrier: serial merge -----------------------------------------------
@@ -740,6 +1335,15 @@ class DistributedNetwork {
   std::uint64_t payload_bytes_ = 0;
   std::size_t corrupt_rank_ = kNoRank;
   std::size_t skip_rank_ = kNoRank;
+  // Actor placement (rank-resident execution).
+  bool actor_mode_ = false;
+  ActorTestHooks actor_hooks_{};
+  std::vector<ActorLedger> actor_drained_;
+  std::vector<NodeId> defer_fifo_;  ///< deferred-queue model (receiver ids)
+  std::vector<NodeId> fifo_scratch_;
+  std::vector<const ActorEntry*> survivors_scratch_;
+  std::vector<CrashWindow> pending_window_ship_;
+  std::vector<std::uint8_t> windows_scratch_;
 };
 
 }  // namespace emst::sim

@@ -99,7 +99,8 @@ ReplayTotals replay_events(std::span<const TelemetryEvent> events) {
 
 void write_trace_header(std::ostream& out, std::string_view algo,
                         std::size_t n, std::uint64_t seed,
-                        std::size_t threads, std::size_t ranks) {
+                        std::size_t threads, std::size_t ranks,
+                        std::string_view driver) {
   char buf[256];
   int len = std::snprintf(
       buf, sizeof(buf), "{\"trace\":\"emst\",\"version\":1,\"algo\":\"%.*s\","
@@ -113,6 +114,11 @@ void write_trace_header(std::ostream& out, std::string_view algo,
   if (len > 0 && len < static_cast<int>(sizeof(buf)) && ranks > 0) {
     len += std::snprintf(buf + len, sizeof(buf) - static_cast<size_t>(len),
                          ",\"ranks\":%zu", ranks);
+  }
+  if (len > 0 && len < static_cast<int>(sizeof(buf)) && !driver.empty()) {
+    len += std::snprintf(buf + len, sizeof(buf) - static_cast<size_t>(len),
+                         ",\"driver\":\"%.*s\"", static_cast<int>(driver.size()),
+                         driver.data());
   }
   if (len > 0 && len < static_cast<int>(sizeof(buf))) {
     len += std::snprintf(buf + len, sizeof(buf) - static_cast<size_t>(len),

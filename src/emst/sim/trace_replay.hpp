@@ -51,9 +51,15 @@ struct ReplayTotals {
 /// replay — thread and rank counts are observationally equivalent
 /// (docs/PARALLEL.md, docs/DISTRIBUTED.md). "threads" only appears when
 /// > 1 and "ranks" when > 0, so default serial traces are byte-stable.
+/// `driver` records the driver variant that actually executed
+/// (emst::resolved_driver_name) — the Co-NNT drivers silently dispatch to
+/// their node-actor implementation under faults or ranks, and the header is
+/// where that dispatch becomes visible to offline tooling; it only appears
+/// when non-empty and is validated by scripts/check_trace.py.
 void write_trace_header(std::ostream& out, std::string_view algo,
                         std::size_t n, std::uint64_t seed,
-                        std::size_t threads = 0, std::size_t ranks = 0);
+                        std::size_t threads = 0, std::size_t ranks = 0,
+                        std::string_view driver = {});
 void write_trace_summary(std::ostream& out, const Accounting& totals,
                          const FaultStats& faults, const ArqStats& arq);
 

@@ -24,6 +24,7 @@
 #include "emst/ghs/sync.hpp"
 #include "emst/nnt/connt.hpp"
 #include "emst/rgg/radii.hpp"
+#include "emst/sim/chaos.hpp"
 #include "emst/sim/implicit_topology.hpp"
 #include "emst/run_report.hpp"
 #include "emst/support/rng.hpp"
@@ -160,6 +161,21 @@ void expect_rank_invariant(const char* label, RunFn&& run_at) {
   }
 }
 
+/// Execution-placement witness (docs/DISTRIBUTED.md §6): with ranks the
+/// handlers must have executed inside the rank workers and never in the
+/// parent; serially it is exactly the other way around. Kept OUT of the
+/// Observed equality — the counters are placement metadata, not results.
+void expect_placement(std::uint64_t parent_invocations,
+                      std::uint64_t rank_invocations, std::size_t ranks) {
+  if (ranks > 0) {
+    EXPECT_GT(rank_invocations, 0u) << "ranks=" << ranks;
+    EXPECT_EQ(parent_invocations, 0u) << "ranks=" << ranks;
+  } else {
+    EXPECT_GT(parent_invocations, 0u);
+    EXPECT_EQ(rank_invocations, 0u);
+  }
+}
+
 TEST(DistributedDeterminism, ClassicGhs) {
   expect_rank_invariant("ghs", [](std::uint64_t seed, std::size_t ranks) {
     std::vector<geometry::Point2> points;
@@ -169,6 +185,8 @@ TEST(DistributedDeterminism, ClassicGhs) {
     ghs::ClassicGhsOptions options;
     configure(options, ranks, &telemetry);
     const auto run = ghs::run_classic_ghs(topo, options);
+    expect_placement(run.handler_invocations, run.rank_handler_invocations,
+                     ranks);
     return observe(run.report(), run.tree, sink);
   });
 }
@@ -335,6 +353,8 @@ TEST(DistributedDeterminism, CoNntActor) {
         nnt::CoNntOptions options;
         configure(options, ranks, &telemetry);
         const auto run = nnt::run_connt_actor(topo, options);
+        expect_placement(run.handler_invocations, run.rank_handler_invocations,
+                         ranks);
         return observe(run.report(), run.tree, sink);
       });
 }
@@ -351,6 +371,54 @@ TEST(DistributedDeterminism, CoNntActorCrashWindows) {
         options.faults.seed += seed;
         configure(options, ranks, &telemetry);
         const auto run = nnt::run_connt_actor(topo, options);
+        return observe(run.report(), run.tree, sink);
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Chaos strategies in the rank matrix. The adversarial controller is
+// consulted ONLY from the parent's serial sections (it owns the fault
+// clock); in actor mode the injected windows ship to the ranks inside the
+// round's final ACTOR_ROUND chunk. The injected schedule and every
+// downstream observable must therefore be rank-invariant. Controllers are
+// stateful — one instance drives one run — so each run constructs a fresh
+// one.
+// ---------------------------------------------------------------------------
+
+TEST(DistributedDeterminism, ClassicGhsKillLeaderChaos) {
+  expect_rank_invariant(
+      "ghs+kill_leader", [](std::uint64_t seed, std::size_t ranks) {
+        std::vector<geometry::Point2> points;
+        const sim::Topology topo = make_topology(seed, points);
+        sim::MemoryTraceSink sink;
+        sim::Telemetry telemetry(&sink);
+        sim::KillLeader controller;
+        ghs::ClassicGhsOptions options;
+        options.faults.controller = &controller;
+        options.faults.seed = 0xc0a0ULL + seed;
+        configure(options, ranks, &telemetry);
+        const auto run = ghs::run_classic_ghs(topo, options);
+        expect_placement(run.handler_invocations,
+                         run.rank_handler_invocations, ranks);
+        return observe(run.report(), run.tree, sink);
+      });
+}
+
+TEST(DistributedDeterminism, CoNntActorPartitionHalfChaos) {
+  expect_rank_invariant(
+      "connt+partition_half", [](std::uint64_t seed, std::size_t ranks) {
+        std::vector<geometry::Point2> points;
+        const sim::Topology topo = make_topology(seed, points);
+        sim::MemoryTraceSink sink;
+        sim::Telemetry telemetry(&sink);
+        sim::PartitionHalf controller(/*at_round=*/4);
+        nnt::CoNntOptions options;
+        options.faults.controller = &controller;
+        options.faults.seed = 0x9a17ULL + seed;
+        configure(options, ranks, &telemetry);
+        const auto run = nnt::run_connt_actor(topo, options);
+        expect_placement(run.handler_invocations,
+                         run.rank_handler_invocations, ranks);
         return observe(run.report(), run.tree, sink);
       });
 }

@@ -18,11 +18,14 @@
 
 #include <csignal>
 #include <cstdint>
+#include <numeric>
 #include <vector>
 
 #include "emst/geometry/sampling.hpp"
+#include "emst/nnt/connt_actor.hpp"
 #include "emst/proto/dist_wire.hpp"
 #include "emst/rgg/radii.hpp"
+#include "emst/sim/actor.hpp"
 #include "emst/sim/distributed_network.hpp"
 #include "emst/sim/network.hpp"
 #include "emst/support/rng.hpp"
@@ -284,6 +287,47 @@ TEST(DistributedNetworkDeathTest, KilledRankIsReportedWithSignal) {
         for (int round = 0; round < 100; ++round) {
           dist.unicast(0, topo.neighbors(0)[0].id, 1);
           (void)dist.collect_round();
+        }
+      },
+      "rank 1 (failed at round [0-9]+: (rank channel closed mid-round|"
+      "write to rank failed)(.|\n)*)?killed by signal 9");
+}
+
+/// Effect-replay observer that records nothing — the mid-handler kill test
+/// only cares that the parent REPORTS the death instead of hanging.
+struct NullActorSink {
+  void on_send(std::uint8_t, double) {}
+  void on_step_node(NodeId, std::uint8_t) {}
+  void on_note(NodeId, std::uint32_t, std::uint64_t) {}
+};
+
+TEST(DistributedNetworkDeathTest, KilledRankMidHandlerIsReportedWithoutDeadlock) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const Topology topo = small_topology();
+  EXPECT_DEATH(
+      {
+        DistributedNetwork<proto::ConntMsg> dist(topo, {}, true, {}, {},
+                                                 nullptr, 2);
+        dist.wire_format().ctx = proto::WireContext::for_topology(
+            topo.node_count(), topo.edge_count());
+        // Arm the hook BEFORE install: rank 1 raises SIGKILL on itself
+        // immediately before EXECUTING a handler at round >= 1 — mid-round,
+        // after ingesting the round's frames, while the parent is blocked in
+        // the barrier's receive half.
+        dist.set_actor_test_hooks({.kill_rank = 1, .kill_round = 1});
+        nnt::ConntActor<Topology> actor(
+            topo, nnt::RankScheme::kDiagonal,
+            static_cast<double>(topo.node_count()), dist.wire_format().ctx);
+        dist.install_actor(actor, /*faulty=*/false);
+        NullActorSink sink;
+        std::vector<NodeId> all(topo.node_count());
+        std::iota(all.begin(), all.end(), NodeId{0});
+        // Probe sweeps at a fixed early round keep every node unresolved, so
+        // the expected step order stays the full node list while REQUEST and
+        // REPLY deliveries land on rank 1's handlers until the hook fires.
+        for (int r = 0; r < 16; ++r) {
+          dist.actor_step(proto::kDistStepConntProbe, 1, {}, all, sink);
+          (void)dist.actor_collect_round(sink);
         }
       },
       "rank 1 (failed at round [0-9]+: (rank channel closed mid-round|"

@@ -180,6 +180,50 @@ TEST(RunFacade, DriverNamesRoundTrip) {
   EXPECT_EQ(parsed, Driver::kEopt);  // unknown names leave `out` untouched
 }
 
+TEST(RunFacade, ResolvedDriverAndPlacementNames) {
+  RunConfig cfg;  // no faults, no ranks
+  EXPECT_STREQ(resolved_driver_name(Driver::kCoNnt, cfg), "connt");
+  EXPECT_STREQ(handler_placement_name(Driver::kCoNnt, cfg), "parent");
+  EXPECT_STREQ(handler_placement_name(Driver::kClassicGhs, cfg), "parent");
+
+  cfg.ranks = 2;
+  EXPECT_STREQ(resolved_driver_name(Driver::kCoNnt, cfg), "connt-actor");
+  EXPECT_STREQ(resolved_driver_name(Driver::kCoNntAxis, cfg),
+               "connt-axis-actor");
+  EXPECT_STREQ(handler_placement_name(Driver::kCoNnt, cfg), "rank");
+  EXPECT_STREQ(handler_placement_name(Driver::kClassicGhs, cfg), "rank");
+  // Choreographed drivers never ship handlers to the ranks.
+  EXPECT_STREQ(handler_placement_name(Driver::kSyncGhs, cfg), "parent");
+  EXPECT_STREQ(handler_placement_name(Driver::kEopt, cfg), "parent");
+  // Classic GHS keeps its name — the actor is the same algorithm, and the
+  // trace contract wants serial/ranked headers to differ only where the
+  // dispatch actually changes the driver (Co-NNT's fault-path variant).
+  EXPECT_STREQ(resolved_driver_name(Driver::kClassicGhs, cfg), "ghs");
+
+  cfg.ranks = 0;
+  // The fault path also forces the actor variant, but serially.
+  cfg.faults.crashes.push_back({.node = 0, .from = 2, .until = 4});
+  EXPECT_STREQ(resolved_driver_name(Driver::kCoNnt, cfg), "connt-actor");
+  EXPECT_STREQ(handler_placement_name(Driver::kCoNnt, cfg), "parent");
+}
+
+TEST(RunFacade, PlacementWitnessCountersThroughFacade) {
+  const Instance inst = sample_instance(120, 5);
+  RunConfig cfg;
+  cfg.driver = Driver::kCoNnt;
+  // A crash window forces the actor variant while staying serial.
+  cfg.faults.crashes.push_back({.node = 1, .from = 2, .until = 4});
+  const RunResult serial = run(inst, cfg);
+  EXPECT_GT(serial.handler_invocations, 0u);
+  EXPECT_EQ(serial.rank_handler_invocations, 0u);
+
+  cfg.faults = {};
+  cfg.ranks = 2;
+  const RunResult ranked = run(inst, cfg);
+  EXPECT_EQ(ranked.handler_invocations, 0u);
+  EXPECT_GT(ranked.rank_handler_invocations, 0u);
+}
+
 TEST(RunFacade, ExplicitRadiusReachesGhsDrivers) {
   // The operating radius must stay within the topology's max radius
   // (the instance builds at radius_factor 1.6), so pick a smaller one.
